@@ -1,0 +1,47 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test vet bench cover fuzz reproduce examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test: vet
+	$(GO) test ./...
+
+# Short mode skips the slow calibration and sharing sweeps.
+test-short: vet
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+cover:
+	$(GO) test -cover ./...
+
+# Brief fuzz passes over the wire-format decoders.
+fuzz:
+	$(GO) test -run xxx -fuzz 'FuzzDecode$$' -fuzztime 30s ./internal/protocol/
+	$(GO) test -run xxx -fuzz 'FuzzDecodeBatch$$' -fuzztime 30s ./internal/protocol/
+	$(GO) test -run xxx -fuzz FuzzDecodeCSCS -fuzztime 30s ./internal/fb/
+
+# Regenerate every table and figure from the paper (quick corpus).
+reproduce:
+	$(GO) run ./cmd/slimbench
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/mobility
+	$(GO) run ./examples/video
+	$(GO) run ./examples/desktop
+	$(GO) run ./examples/mediamix
+	$(GO) run ./examples/sharing
+
+clean:
+	rm -f quickstart.png video-frame.png desktop.png screen.png

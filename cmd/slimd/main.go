@@ -1,0 +1,129 @@
+// Command slimd is the SLIM server daemon: it serves sessions to SLIM
+// consoles over UDP. Each session runs the built-in glyph terminal, or —
+// with -app — a video player (the §7 multimedia configurations). Register
+// card tokens with -card token=user (repeatable).
+//
+// Usage:
+//
+//	slimd -addr 127.0.0.1:5499 -card card-1=alice -card card-2=bob
+//	slimd -app quake -fps 30       # every session plays the game stream
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"slim"
+)
+
+type cardFlags []string
+
+func (c *cardFlags) String() string { return strings.Join(*c, ",") }
+
+func (c *cardFlags) Set(v string) error {
+	if !strings.Contains(v, "=") {
+		return fmt.Errorf("want token=user, got %q", v)
+	}
+	*c = append(*c, v)
+	return nil
+}
+
+// appFactory maps the -app flag to a session application constructor and
+// reports whether the ticker must run.
+func appFactory(name string, fps float64) (slim.AppFactory, bool, error) {
+	switch name {
+	case "terminal":
+		return slim.WithTerminalApp(), false, nil
+	case "desktop":
+		// The desktop paints itself on the first tick.
+		return slim.WithDesktopApp(), true, nil
+	case "quake":
+		return func(user string, w, h int) slim.Application {
+			return slim.NewVideoApp(slim.NewQuakeSource(min(w, 640), min(h, 480), 3),
+				slim.Rect{W: min(w, 640), H: min(h, 480)}, slim.CSCS5, fps)
+		}, true, nil
+	case "mpeg2":
+		return func(user string, w, h int) slim.Application {
+			return slim.NewVideoApp(slim.NewMPEG2Source(3),
+				slim.Rect{W: min(w, 720), H: min(h, 480)}, slim.CSCS6, fps)
+		}, true, nil
+	case "ntsc":
+		return func(user string, w, h int) slim.Application {
+			return slim.NewVideoApp(slim.NewNTSCSource(3),
+				slim.Rect{W: min(w, 640), H: min(h, 480)}, slim.CSCS8, fps)
+		}, true, nil
+	default:
+		return nil, false, fmt.Errorf("unknown application %q", name)
+	}
+}
+
+func main() {
+	log.SetPrefix("slimd: ")
+	log.SetFlags(log.Ltime)
+	addr := flag.String("addr", "127.0.0.1:5499", "UDP address to listen on")
+	state := flag.String("state", "", "session state file: loaded at boot, saved at shutdown")
+	app := flag.String("app", "terminal", "session application: terminal|desktop|quake|mpeg2|ntsc")
+	fps := flag.Float64("fps", 24, "video frame rate for video applications")
+	var cards cardFlags
+	flag.Var(&cards, "card", "register a smart card as token=user (repeatable)")
+	flag.Parse()
+
+	if len(cards) == 0 {
+		cards = append(cards, "card-demo=demo")
+	}
+	factory, video, err := appFactory(*app, *fps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := slim.ListenAndServe(*addr, factory)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	if video {
+		srv.StartTicker(*fps * 2) // tick faster than the frame rate
+	}
+	if *state != "" {
+		if f, err := os.Open(*state); err == nil {
+			loadErr := srv.Server.LoadSessions(f)
+			f.Close()
+			if loadErr != nil {
+				log.Fatalf("load %s: %v", *state, loadErr)
+			}
+			log.Printf("restored sessions from %s", *state)
+		} else if !os.IsNotExist(err) {
+			log.Fatal(err)
+		}
+	}
+	for _, c := range cards {
+		parts := strings.SplitN(c, "=", 2)
+		srv.Server.Auth.Register(parts[0], parts[1])
+		log.Printf("registered card %q for user %q", parts[0], parts[1])
+	}
+	log.Printf("serving SLIM sessions on %s", srv.Addr())
+
+	log.Printf("sessions run the %q application", *app)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	if *state != "" {
+		f, err := os.Create(*state)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := srv.Server.SaveSessions(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("sessions saved to %s; they resume on the next start", *state)
+		return
+	}
+	log.Print("shutting down; sessions persist only in this process")
+}

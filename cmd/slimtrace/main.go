@@ -1,0 +1,166 @@
+// Command slimtrace generates, inspects, and summarizes SLIM session
+// traces — the §3.1 methodology as a tool.
+//
+// Usage:
+//
+//	slimtrace gen -app netscape -user 3 -minutes 10 -o netscape.trace
+//	slimtrace stat -i netscape.trace
+//	slimtrace json -i netscape.trace            # dump as JSON
+//	slimtrace replay -i netscape.trace -kbps 1000   # Figure 6 on any trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"slim/internal/netsim"
+	"slim/internal/stats"
+	"slim/internal/trace"
+	"slim/internal/workload"
+)
+
+func main() {
+	log.SetPrefix("slimtrace: ")
+	log.SetFlags(0)
+	if len(os.Args) < 2 {
+		log.Fatal("usage: slimtrace gen|stat|json [flags]")
+	}
+	switch os.Args[1] {
+	case "gen":
+		gen(os.Args[2:])
+	case "stat":
+		stat(os.Args[2:])
+	case "json":
+		dumpJSON(os.Args[2:])
+	case "replay":
+		replay(os.Args[2:])
+	default:
+		log.Fatalf("unknown subcommand %q (want gen, stat, json, or replay)", os.Args[1])
+	}
+}
+
+func gen(args []string) {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	app := fs.String("app", "netscape", "application model: photoshop|netscape|framemaker|pim")
+	user := fs.Int("user", 0, "simulated user index (varies the seed)")
+	minutes := fs.Int("minutes", 10, "session length")
+	seed := fs.Uint64("seed", 1999, "corpus seed")
+	out := fs.String("o", "", "output file (binary trace); default <app>-<user>.trace")
+	mustParse(fs, args)
+
+	a, err := workload.ParseApp(*app)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sess := workload.NewSession(a, *user, *seed)
+	tr := sess.Run(time.Duration(*minutes) * time.Minute)
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("%s-%d.trace", *app, *user)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tr.WriteBinary(f); err != nil {
+		f.Close()
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s: %d records, %d input events, %.1f minutes\n",
+		path, len(tr.Records), tr.InputCount(), tr.Duration.Minutes())
+}
+
+func load(path string) *trace.Trace {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.ReadBinary(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return tr
+}
+
+func stat(args []string) {
+	fs := flag.NewFlagSet("stat", flag.ExitOnError)
+	in := fs.String("i", "", "input trace file")
+	mustParse(fs, args)
+	if *in == "" {
+		log.Fatal("stat: -i is required")
+	}
+	tr := load(*in)
+	fmt.Printf("app=%s user=%d duration=%.1f min\n", tr.App, tr.User, tr.Duration.Minutes())
+	fmt.Printf("input events: %d (%.2f/sec)\n", tr.InputCount(),
+		float64(tr.InputCount())/tr.Duration.Seconds())
+	px := tr.PixelsPerEvent()
+	by := tr.BytesPerEvent()
+	if px.N() > 0 {
+		fmt.Printf("pixels/event: p50=%.0f p90=%.0f p99=%.0f\n",
+			px.Percentile(.5), px.Percentile(.9), px.Percentile(.99))
+		fmt.Printf("bytes/event:  p50=%.0f p90=%.0f p99=%.0f\n",
+			by.Percentile(.5), by.Percentile(.9), by.Percentile(.99))
+	}
+	fmt.Printf("average SLIM bandwidth: %.3f Mbps\n", tr.AvgBandwidthBps()/1e6)
+	fmt.Println("per-command bytes:")
+	for cmd, pe := range tr.CommandBytes() {
+		fmt.Printf("  %-7s %12d bytes %14d pixels\n", cmd, pe.Bytes, pe.Pixels)
+	}
+}
+
+func dumpJSON(args []string) {
+	fs := flag.NewFlagSet("json", flag.ExitOnError)
+	in := fs.String("i", "", "input trace file")
+	mustParse(fs, args)
+	if *in == "" {
+		log.Fatal("json: -i is required")
+	}
+	if err := load(*in).WriteJSON(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// replay retransmits a trace's display packets over a simulated
+// constrained link and reports the per-packet delays added relative to the
+// 100 Mbps reference — the §5.4 / Figure 6 methodology applied to any
+// captured session.
+func replay(args []string) {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	in := fs.String("i", "", "input trace file")
+	kbps := fs.Float64("kbps", 1000, "constrained link rate in Kbps")
+	mustParse(fs, args)
+	if *in == "" {
+		log.Fatal("replay: -i is required")
+	}
+	tr := load(*in)
+	pkts := tr.Packets(0)
+	if len(pkts) == 0 {
+		log.Fatal("replay: trace has no display packets")
+	}
+	ref := &netsim.Link{Bps: netsim.Rate100Mbps}
+	slow := &netsim.Link{Bps: *kbps * 1e3}
+	cdf := stats.NewCDF(len(pkts))
+	for _, d := range netsim.AddedDelays(pkts, ref, slow) {
+		cdf.Add(d.Seconds())
+	}
+	fmt.Printf("%s: %d packets replayed at %.0f Kbps (reference 100 Mbps)\n",
+		tr.App, len(pkts), *kbps)
+	for _, p := range []float64{0.5, 0.9, 0.99} {
+		fmt.Printf("  p%02.0f added delay: %v\n", p*100,
+			time.Duration(cdf.Percentile(p)*float64(time.Second)).Round(10*time.Microsecond))
+	}
+	fmt.Printf("  fraction above 100ms (noticeable): %.3f\n", 1-cdf.At(0.100))
+}
+
+func mustParse(fs *flag.FlagSet, args []string) {
+	if err := fs.Parse(args); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,61 @@
+// Command slimview is a headless SLIM console: it attaches to a slimd
+// server over UDP, presents a smart card, optionally types text into the
+// session, and writes the resulting frame buffer as a PNG screenshot —
+// a desktop unit for machines without desks.
+//
+// Usage:
+//
+//	slimview -server 127.0.0.1:5499 -card card-demo -type "hello" -o screen.png
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"slim"
+)
+
+func main() {
+	log.SetPrefix("slimview: ")
+	log.SetFlags(log.Ltime)
+	server := flag.String("server", "127.0.0.1:5499", "slimd UDP address")
+	card := flag.String("card", "card-demo", "smart card token to present")
+	width := flag.Int("width", 1024, "display width in pixels")
+	height := flag.Int("height", 768, "display height in pixels")
+	text := flag.String("type", "", "text to type into the session")
+	wait := flag.Duration("wait", 500*time.Millisecond, "settle time before the screenshot")
+	out := flag.String("o", "screen.png", "screenshot output path")
+	flag.Parse()
+
+	con, err := slim.DialConsole(*server, slim.ConsoleConfig{Width: *width, Height: *height}, *card)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer con.Close()
+	time.Sleep(*wait / 2) // allow attach + repaint
+
+	if *text != "" {
+		if err := con.TypeString(*text); err != nil {
+			log.Fatal(err)
+		}
+	}
+	time.Sleep(*wait)
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := con.Console.Framebuffer().WritePNG(f); err != nil {
+		f.Close()
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	applied, dropped := con.Console.Counters()
+	fmt.Printf("session %d: %d display commands applied, %d dropped; screenshot in %s\n",
+		con.Console.SessionID(), applied, dropped, *out)
+}

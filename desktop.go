@@ -1,0 +1,29 @@
+package slim
+
+import "slim/internal/wm"
+
+// DesktopApp is a complete windowed desktop environment as a session
+// application: terminal windows composed server-side, driven by keyboard
+// and mouse over the wire. See internal/wm for the key bindings.
+type DesktopApp = wm.DesktopApp
+
+// NewDesktopApp returns a desktop environment for a w×h session.
+func NewDesktopApp(w, h int) *DesktopApp { return wm.NewDesktopApp(w, h) }
+
+// WithDesktopApp is an application factory giving every session a
+// windowed desktop.
+func WithDesktopApp() AppFactory {
+	return func(user string, w, h int) Application { return wm.NewDesktopApp(w, h) }
+}
+
+// Desktop key codes (above ASCII; plain characters type into the focused
+// terminal window).
+const (
+	KeyNewWindow   = wm.KeyNewWindow
+	KeyCycleFocus  = wm.KeyCycleFocus
+	KeyCloseWindow = wm.KeyCloseWindow
+	KeyNudgeLeft   = wm.KeyNudgeLeft
+	KeyNudgeRight  = wm.KeyNudgeRight
+	KeyNudgeUp     = wm.KeyNudgeUp
+	KeyNudgeDown   = wm.KeyNudgeDown
+)

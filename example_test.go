@@ -1,0 +1,65 @@
+package slim_test
+
+import (
+	"fmt"
+
+	"slim"
+)
+
+// Example_quickstart builds a complete SLIM system in-process: server,
+// stateless console, smart-card login, and typing — the README's first
+// program.
+func Example_quickstart() {
+	fabric := slim.NewFabric()
+	srv := slim.NewServer(fabric, slim.WithTerminalApp())
+	srv.Auth.Register("card-alice", "alice")
+
+	con, err := slim.NewConsole(slim.ConsoleConfig{Width: 640, Height: 400})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fabric.Attach("desk-1", con, srv)
+	if err := fabric.Boot("desk-1", "card-alice"); err != nil {
+		fmt.Println(err)
+		return
+	}
+	if err := fabric.TypeString("desk-1", "hello, thin world"); err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	sess := srv.SessionByUser("alice")
+	applied, dropped := con.Counters()
+	fmt.Printf("session %d on desk-1\n", sess.ID)
+	fmt.Printf("commands applied: %d, dropped: %d\n", applied, dropped)
+	fmt.Printf("console matches server: %v\n", con.Framebuffer().Equal(sess.Encoder.FB))
+	// Output:
+	// session 1 on desk-1
+	// commands applied: 18, dropped: 0
+	// console matches server: true
+}
+
+// Example_mobility shows the hot-desking model: the session follows the
+// smart card, and the screen is restored bit-for-bit.
+func Example_mobility() {
+	fabric := slim.NewFabric()
+	srv := slim.NewServer(fabric, slim.WithTerminalApp())
+	srv.Auth.Register("card-b", "bea")
+
+	for _, desk := range []string{"desk-1", "desk-2"} {
+		con, _ := slim.NewConsole(slim.ConsoleConfig{Width: 320, Height: 240})
+		fabric.Attach(desk, con, srv)
+		_ = fabric.Boot(desk, "")
+	}
+	_ = fabric.InsertCard("desk-1", "card-b")
+	_ = fabric.TypeString("desk-1", "draft...")
+	con1, _ := fabric.Console("desk-1")
+	before := con1.Framebuffer().Snapshot()
+
+	_ = fabric.InsertCard("desk-2", "card-b") // walk to the next desk
+	con2, _ := fabric.Console("desk-2")
+	fmt.Printf("restored bit-for-bit: %v\n", con2.Framebuffer().Equal(before))
+	// Output:
+	// restored bit-for-bit: true
+}

@@ -1,0 +1,99 @@
+// Mediamix: the §7 scenario end to end — a console playing synchronized
+// video and audio while the bandwidth allocator keeps a GUI session
+// responsive.
+//
+// Ten seconds of 320x240 game video at 5 bpp stream to the console with
+// CD-quality PCM audio in 10 ms blocks. The console's jitter buffer
+// absorbs network jitter (no underruns on a dedicated fabric), and the §7
+// sorted-grant allocator shows why a video stream cannot starve the GUI.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"slim"
+	"slim/internal/audio"
+	"slim/internal/console"
+	"slim/internal/core"
+	"slim/internal/netsim"
+	"slim/internal/protocol"
+	"slim/internal/video"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	con, err := console.New(console.Config{
+		Width: 640, Height: 480,
+		AudioBuffer: 40 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Media pipeline: game frames at 25 Hz plus audio blocks every 10 ms.
+	src := video.NewQuake(320, 240, 11)
+	enc := slim.NewEncoder(640, 480)
+	var audioSeq protocol.Sequencer
+	streamer := audio.NewStreamer(audio.NewTone(440), &audioSeq)
+	link := &netsim.Link{Bps: netsim.Rate100Mbps, Prop: 20 * time.Microsecond}
+
+	const seconds = 10
+	const fps = 25
+	frameGap := time.Second / fps
+	var videoBytes, audioBytes int64
+	now := time.Duration(0)
+
+	for f := 0; f < seconds*fps; f++ {
+		// Video frame → CSCS strips → console.
+		frame := src.Next()
+		dgs, err := enc.Encode(core.VideoOp{
+			Src:    protocol.Rect{W: 320, H: 240},
+			Dst:    protocol.Rect{X: 160, Y: 120, W: 320, H: 240},
+			Format: slim.CSCS5,
+			Pixels: frame.Pixels,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		t := now
+		for _, d := range dgs {
+			t += link.SerializeTime(len(d.Wire))
+			if _, err := con.HandleDatagram(d.Wire, t); err != nil {
+				log.Fatal(err)
+			}
+			videoBytes += int64(len(d.Wire))
+		}
+		// Audio blocks covering this frame interval, delivered with the
+		// network's (tiny) jitter.
+		for a := 0; a < int(frameGap/audio.BlockDuration); a++ {
+			wire, _ := streamer.NextBlock()
+			at := now + time.Duration(a)*audio.BlockDuration + link.SerializeTime(len(wire))
+			if _, err := con.HandleDatagram(wire, at); err != nil {
+				log.Fatal(err)
+			}
+			audioBytes += int64(len(wire))
+		}
+		now += frameGap
+	}
+
+	applied, dropped := con.Counters()
+	received, underruns := con.AudioStats(now)
+	fmt.Printf("streamed %ds of 320x240 video + CD audio to one console\n", seconds)
+	fmt.Printf("video: %d commands applied (%d dropped), %.1f Mbps\n",
+		applied, dropped, float64(videoBytes*8)/float64(seconds)/1e6)
+	fmt.Printf("audio: %d blocks, %d underruns, %.2f Mbps\n",
+		received, underruns, float64(audioBytes*8)/float64(seconds)/1e6)
+
+	// The §7 allocator: video asks big, GUI asks small, GUI never starves.
+	alloc := console.NewBandwidthAllocator(uint64(netsim.Rate100Mbps))
+	alloc.Request(1, 2_000_000)  // GUI session
+	alloc.Request(2, 60_000_000) // this video stream
+	alloc.Request(3, 80_000_000) // a second, greedier stream
+	fmt.Println("bandwidth grants (sorted-grant arbitration):")
+	for _, g := range alloc.Grants() {
+		fmt.Printf("  session %d: %.1f Mbps\n", g.SessionID, float64(g.Bps)/1e6)
+	}
+}

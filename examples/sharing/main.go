@@ -1,0 +1,50 @@
+// Sharing: Figure 9 in miniature. How many active Netscape users fit on
+// one processor before the yardstick application (30 ms of CPU per event,
+// 150 ms of think time) reports noticeable delay?
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"slim/internal/experiments"
+	"slim/internal/loadgen"
+	"slim/internal/sched"
+	"slim/internal/workload"
+	"slim/internal/yardstick"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Record resource profiles for eight simulated Netscape users — the
+	// §6.1 methodology: trace once, replay at any multiplicity.
+	fmt.Println("recording Netscape user profiles...")
+	profiles := workload.RecordedProfiles(workload.Netscape, 8, 5*time.Minute, 42)
+
+	cfg := sched.Config{CPUs: 1, RAMMB: 4096, PagePenalty: 2}
+	fmt.Println("users  avg added latency  verdict")
+	knee := 0
+	for _, n := range []int{1, 2, 4, 6, 8, 10, 12, 14, 16, 20} {
+		bg := make([]sched.Source, 0, n)
+		for i := 0; i < n; i++ {
+			bg = append(bg, loadgen.NewCPUSource(profiles[i%len(profiles)], uint64(i)*7919))
+		}
+		res := sched.Run(cfg, bg, yardstick.NewCPU(), 45*time.Second)
+		added := res.AvgAdded()
+		verdict := "imperceptible"
+		switch {
+		case added >= yardstick.CPUKneeAdded:
+			verdict = "noticeably poor (paper's tolerance limit)"
+			if knee == 0 {
+				knee = n
+			}
+		case added >= yardstick.NoticeLow:
+			verdict = "noticeable but acceptable"
+		}
+		fmt.Printf("%5d  %17v  %s\n", n, added.Round(100*time.Microsecond), verdict)
+	}
+	fmt.Printf("\nknee at %d users on one CPU (paper: 12-14 Netscape users)\n", knee)
+	_ = experiments.DefaultConfig // the full sweep lives in cmd/slimbench -run fig9
+}

@@ -1,0 +1,63 @@
+// Video: stream synthetic MPEG-II-style frames to a console with the CSCS
+// command (§7.1), exercising the real YUV encode → strip → decode →
+// bilinear-scale path, then report what the 1999 hardware model says the
+// same pipeline achieves on a Sun Ray 1.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"slim"
+	"slim/internal/core"
+	"slim/internal/fb"
+	"slim/internal/netsim"
+	"slim/internal/protocol"
+	"slim/internal/video"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Real data path: 64 frames of 720x480 video through the encoder into
+	// a console frame buffer at 6 bits per pixel.
+	src := video.NewMPEG2(2026)
+	enc := slim.NewEncoder(1280, 1024)
+	screen := fb.New(1280, 1024)
+	dst := protocol.Rect{X: 280, Y: 272, W: 720, H: 480}
+	hz, wire, err := video.Stream(src, enc, screen, dst, slim.CSCS6, 64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("streamed 64 frames of 720x480 @ 6bpp on this host: %.1f fps, %.1f Mbps at 20 Hz\n",
+		hz, float64(wire)/64*20*8/1e6)
+
+	// Save the last frame for inspection.
+	f, err := os.Create("video-frame.png")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := screen.WritePNG(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("last frame written to video-frame.png")
+
+	// The paper's question: on Sun Ray 1 hardware, where is the
+	// bottleneck and what rate survives?
+	pipe := video.Pipeline{
+		SrcW: 720, SrcH: 480, DstW: 720, DstH: 480,
+		Format:                 slim.CSCS6,
+		ServerPerFrame:         video.MPEG2DecodeCost,
+		Instances:              1,
+		CPUs:                   8,
+		LinkBps:                netsim.Rate100Mbps,
+		Console:                core.SunRay1Costs(),
+		ConsoleVideoEfficiency: video.DefaultConsoleVideoEfficiency,
+		TargetHz:               30,
+	}
+	fmt.Printf("Sun Ray 1 model: %v (paper: 20 Hz, ~40 Mbps, server-bound)\n", pipe.Analyze())
+}

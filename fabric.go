@@ -1,0 +1,215 @@
+package slim
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"slim/internal/protocol"
+)
+
+// Fabric is an in-process interconnection fabric: consoles and a server
+// wired directly together, with the same message flow as the UDP transport
+// but no sockets. It is the easiest way to embed a SLIM system in tests,
+// examples, and simulations.
+//
+// Fabric implements Transport for the server side; console replies (Nacks,
+// Pongs, bandwidth grants) are routed back automatically.
+type Fabric struct {
+	mu       sync.Mutex
+	consoles map[string]*Console
+	servers  map[string]*Server
+	// Clock is the virtual time passed to console handlers; advance it if
+	// your test models decode delays.
+	Clock time.Duration
+
+	// dropEvery, when positive, drops every Nth display datagram on the
+	// server→console path — loss injection for exercising the protocol's
+	// replay recovery. Control traffic is never dropped.
+	dropEvery int
+	sent      int
+	dropped   int
+
+	// Delivery is flattened into a FIFO: a datagram sent while another is
+	// being delivered queues behind it instead of recursing. Without this,
+	// loss recovery triggered from inside a delivery would nest — a
+	// recovery datagram's own loss spawning recovery — which a real
+	// network (where transmission is asynchronous) never does.
+	queue    []queuedDatagram
+	draining bool
+}
+
+type queuedDatagram struct {
+	console string
+	wire    []byte
+}
+
+// NewFabric returns an empty fabric.
+func NewFabric() *Fabric {
+	return &Fabric{
+		consoles: make(map[string]*Console),
+		servers:  make(map[string]*Server),
+	}
+}
+
+// Attach wires a console to a server under the given desk ID.
+func (f *Fabric) Attach(id string, con *Console, srv *Server) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.consoles[id] = con
+	f.servers[id] = srv
+}
+
+// SetLoss makes the fabric drop every Nth display datagram on the
+// server→console path (0 disables). The SLIM protocol is designed to
+// survive exactly this (§2.2); tests use it to exercise Nack recovery.
+func (f *Fabric) SetLoss(dropEvery int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.dropEvery = dropEvery
+	f.sent = 0
+}
+
+// LossStats reports display datagrams delivered and dropped.
+func (f *Fabric) LossStats() (delivered, dropped int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.sent - f.dropped, f.dropped
+}
+
+// isDisplayDatagram peeks at a plain-framed datagram's type byte.
+func isDisplayDatagram(wire []byte) bool {
+	return len(wire) >= protocol.HeaderSize &&
+		protocol.MsgType(wire[3]).IsDisplay() && !protocol.IsBatch(wire)
+}
+
+// Send implements Transport: deliver a server datagram to the console and
+// feed any console replies back to the server. Deliveries are serialized
+// through a FIFO; a Send issued during another delivery (loss recovery,
+// bandwidth grants) queues rather than nesting.
+func (f *Fabric) Send(consoleID string, wire []byte) error {
+	f.mu.Lock()
+	_, ok := f.consoles[consoleID]
+	if !ok {
+		f.mu.Unlock()
+		return fmt.Errorf("slim: no console %q on fabric", consoleID)
+	}
+	if f.dropEvery > 0 && isDisplayDatagram(wire) {
+		f.sent++
+		if f.sent%f.dropEvery == 0 {
+			f.dropped++
+			f.mu.Unlock()
+			return nil // the datagram vanished on the wire
+		}
+	}
+	f.queue = append(f.queue, queuedDatagram{console: consoleID, wire: wire})
+	if f.draining {
+		f.mu.Unlock()
+		return nil // the active drain will deliver it
+	}
+	f.draining = true
+	f.mu.Unlock()
+	return f.drain()
+}
+
+// drain delivers queued datagrams in order until the queue empties.
+func (f *Fabric) drain() error {
+	var firstErr error
+	for {
+		f.mu.Lock()
+		if len(f.queue) == 0 {
+			f.draining = false
+			f.mu.Unlock()
+			return firstErr
+		}
+		item := f.queue[0]
+		f.queue = f.queue[1:]
+		con := f.consoles[item.console]
+		srv := f.servers[item.console]
+		clock := f.Clock
+		f.mu.Unlock()
+		if con == nil {
+			continue
+		}
+		replies, err := con.HandleDatagram(item.wire, clock)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		for _, r := range replies {
+			// Console→server traffic may re-enter Send; it queues.
+			if err := srv.HandleDatagram(item.console, r, clock); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+}
+
+// lookup fetches the console/server pair for a desk.
+func (f *Fabric) lookup(id string) (*Console, *Server, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	con, ok := f.consoles[id]
+	if !ok {
+		return nil, nil, fmt.Errorf("slim: no console %q on fabric", id)
+	}
+	return con, f.servers[id], nil
+}
+
+// Boot powers on a console: it sends Hello (with the card token, if any)
+// to its server, which attaches or creates the user's session and repaints.
+func (f *Fabric) Boot(id, cardToken string) error {
+	con, srv, err := f.lookup(id)
+	if err != nil {
+		return err
+	}
+	hello := con.Hello()
+	hello.CardToken = cardToken
+	return srv.Handle(id, hello, f.Clock)
+}
+
+// InsertCard presents a smart card at a console, moving the owner's
+// session to this desk (§1.1's mobility model).
+func (f *Fabric) InsertCard(id, token string) error {
+	con, srv, err := f.lookup(id)
+	if err != nil {
+		return err
+	}
+	return srv.Handle(id, con.InsertCard(token), f.Clock)
+}
+
+// SendKey delivers a keystroke from a console to its server.
+func (f *Fabric) SendKey(id string, code uint16, down bool) error {
+	_, srv, err := f.lookup(id)
+	if err != nil {
+		return err
+	}
+	return srv.Handle(id, &protocol.KeyEvent{Code: code, Down: down}, f.Clock)
+}
+
+// SendPointer delivers a mouse update from a console to its server.
+func (f *Fabric) SendPointer(id string, x, y uint16, buttons uint8) error {
+	_, srv, err := f.lookup(id)
+	if err != nil {
+		return err
+	}
+	return srv.Handle(id, &protocol.PointerEvent{X: x, Y: y, Buttons: buttons}, f.Clock)
+}
+
+// TypeString types a string at a console (press + release per character).
+func (f *Fabric) TypeString(id, s string) error {
+	for i := 0; i < len(s); i++ {
+		if err := f.SendKey(id, uint16(s[i]), true); err != nil {
+			return err
+		}
+		if err := f.SendKey(id, uint16(s[i]), false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Console returns the console attached at a desk.
+func (f *Fabric) Console(id string) (*Console, error) {
+	con, _, err := f.lookup(id)
+	return con, err
+}

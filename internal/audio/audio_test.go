@@ -1,0 +1,149 @@
+package audio
+
+import (
+	"testing"
+	"time"
+
+	"slim/internal/protocol"
+)
+
+func TestToneSource(t *testing.T) {
+	src := NewTone(440)
+	buf := make([]int16, 4410*2) // 100ms stereo
+	n := src.Read(buf)
+	if n != 4410 {
+		t.Fatalf("frames = %d", n)
+	}
+	// Signal present, bounded, both channels identical.
+	var peak int16
+	for i := 0; i < n; i++ {
+		l, r := buf[2*i], buf[2*i+1]
+		if l != r {
+			t.Fatal("channels differ")
+		}
+		if l > peak {
+			peak = l
+		}
+	}
+	if peak < 15000 || peak > 21000 {
+		t.Errorf("peak = %d", peak)
+	}
+	// ~44 zero crossings in 100ms of 440Hz (one per half period).
+	crossings := 0
+	for i := 1; i < n; i++ {
+		if (buf[2*i] >= 0) != (buf[2*(i-1)] >= 0) {
+			crossings++
+		}
+	}
+	if crossings < 80 || crossings > 96 {
+		t.Errorf("zero crossings = %d, want ~88", crossings)
+	}
+}
+
+func TestStreamerBlocks(t *testing.T) {
+	var seq protocol.Sequencer
+	st := NewStreamer(NewTone(1000), &seq)
+	wire, msg := st.NextBlock()
+	if len(wire) != st.BlockWireBytes() {
+		t.Errorf("wire = %d, want %d", len(wire), st.BlockWireBytes())
+	}
+	// 10ms at 44.1kHz stereo 16-bit = 441 frames * 4 bytes.
+	if len(msg.Samples) != 441*4 {
+		t.Errorf("samples = %d bytes", len(msg.Samples))
+	}
+	// Round trip through the wire.
+	gotSeq, decoded, _, err := protocol.Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotSeq != 1 {
+		t.Errorf("seq = %d", gotSeq)
+	}
+	a := decoded.(*protocol.Audio)
+	if a.SampleRate != 44100 || a.Channels != 2 || len(a.Samples) != len(msg.Samples) {
+		t.Error("audio round trip lost fields")
+	}
+	// Stream bandwidth ≈ 1.4 Mbps + headers.
+	bps := float64(st.BlockWireBytes()*8) / BlockDuration.Seconds()
+	if bps < 1.4e6 || bps > 1.5e6 {
+		t.Errorf("stream bandwidth = %.0f bps", bps)
+	}
+}
+
+func TestSinkSmoothPlayback(t *testing.T) {
+	var seq protocol.Sequencer
+	st := NewStreamer(NewTone(440), &seq)
+	sink := NewSink(30 * time.Millisecond)
+	// Deliver blocks exactly on time for one second.
+	for i := 0; i < 100; i++ {
+		_, msg := st.NextBlock()
+		if err := sink.Submit(msg, time.Duration(i)*BlockDuration); err != nil {
+			t.Fatal(err)
+		}
+	}
+	received, underruns := sink.Stats(time.Second)
+	if received != 100 {
+		t.Errorf("received = %d", received)
+	}
+	if underruns != 0 {
+		t.Errorf("underruns on a smooth stream = %d", underruns)
+	}
+}
+
+func TestSinkUnderrunsOnGap(t *testing.T) {
+	var seq protocol.Sequencer
+	st := NewStreamer(NewTone(440), &seq)
+	sink := NewSink(20 * time.Millisecond)
+	now := time.Duration(0)
+	for i := 0; i < 10; i++ {
+		_, msg := st.NextBlock()
+		if err := sink.Submit(msg, now); err != nil {
+			t.Fatal(err)
+		}
+		now += BlockDuration
+	}
+	// A 500 ms network stall: the buffer (≤100 ms) must run dry.
+	now += 500 * time.Millisecond
+	_, msg := st.NextBlock()
+	if err := sink.Submit(msg, now); err != nil {
+		t.Fatal(err)
+	}
+	_, underruns := sink.Stats(now)
+	if underruns == 0 {
+		t.Error("no underrun after a long stall")
+	}
+}
+
+func TestSinkJitterAbsorbed(t *testing.T) {
+	var seq protocol.Sequencer
+	st := NewStreamer(NewTone(440), &seq)
+	sink := NewSink(40 * time.Millisecond)
+	// Blocks arrive alternately early/late by 8ms around their schedule.
+	for i := 0; i < 200; i++ {
+		_, msg := st.NextBlock()
+		jitter := time.Duration(0)
+		if i%2 == 1 {
+			jitter = 8 * time.Millisecond
+		}
+		if err := sink.Submit(msg, time.Duration(i)*BlockDuration+jitter); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, underruns := sink.Stats(200 * BlockDuration)
+	if underruns != 0 {
+		t.Errorf("jitter within buffer depth caused %d underruns", underruns)
+	}
+}
+
+func TestSinkRejectsMalformed(t *testing.T) {
+	sink := NewSink(time.Millisecond)
+	if err := sink.Submit(&protocol.Audio{}, 0); err == nil {
+		t.Error("malformed block accepted")
+	}
+}
+
+func TestBytesPerSecond(t *testing.T) {
+	if BytesPerSecond(44100, 2) != 176400 {
+		t.Errorf("CD rate = %d", BytesPerSecond(44100, 2))
+	}
+}

@@ -1,0 +1,86 @@
+package console
+
+import (
+	"sort"
+
+	"slim/internal/protocol"
+)
+
+// BandwidthAllocator implements the console's network bandwidth allocation
+// mechanism of §7: sessions (possibly on different servers) request
+// downstream bandwidth based on their past needs; the console sorts the
+// requests in ascending order and grants them one at a time until a request
+// exceeds the remaining budget, at which point every unsatisfied session
+// receives a fair share of what is left. Small interactive sessions are
+// therefore never starved by a video stream.
+type BandwidthAllocator struct {
+	total    uint64
+	requests map[uint32]uint64
+}
+
+// NewBandwidthAllocator returns an allocator over total bits per second.
+func NewBandwidthAllocator(total uint64) *BandwidthAllocator {
+	return &BandwidthAllocator{total: total, requests: make(map[uint32]uint64)}
+}
+
+// Request records a session's demand and recomputes all grants. The full
+// grant set is returned because adding a demanding session can shrink
+// earlier grants.
+func (a *BandwidthAllocator) Request(session uint32, bps uint64) []protocol.BandwidthGrant {
+	if bps == 0 {
+		delete(a.requests, session)
+	} else {
+		a.requests[session] = bps
+	}
+	return a.Grants()
+}
+
+// Grants computes the current allocation.
+func (a *BandwidthAllocator) Grants() []protocol.BandwidthGrant {
+	type req struct {
+		session uint32
+		bps     uint64
+	}
+	reqs := make([]req, 0, len(a.requests))
+	for s, b := range a.requests {
+		reqs = append(reqs, req{s, b})
+	}
+	// Ascending demand; ties broken by session ID for determinism.
+	sort.Slice(reqs, func(i, j int) bool {
+		if reqs[i].bps != reqs[j].bps {
+			return reqs[i].bps < reqs[j].bps
+		}
+		return reqs[i].session < reqs[j].session
+	})
+	grants := make([]protocol.BandwidthGrant, 0, len(reqs))
+	remaining := a.total
+	for i, r := range reqs {
+		if r.bps <= remaining {
+			grants = append(grants, protocol.BandwidthGrant{SessionID: r.session, Bps: r.bps})
+			remaining -= r.bps
+			continue
+		}
+		// This and all remaining requests split what is left fairly.
+		unsatisfied := uint64(len(reqs) - i)
+		share := remaining / unsatisfied
+		for _, rr := range reqs[i:] {
+			grants = append(grants, protocol.BandwidthGrant{SessionID: rr.session, Bps: share})
+		}
+		remaining = 0
+		break
+	}
+	return grants
+}
+
+// GrantFor reports the current grant for one session (0 if none).
+func (a *BandwidthAllocator) GrantFor(session uint32) uint64 {
+	for _, g := range a.Grants() {
+		if g.SessionID == session {
+			return g.Bps
+		}
+	}
+	return 0
+}
+
+// Total reports the allocator's budget.
+func (a *BandwidthAllocator) Total() uint64 { return a.total }

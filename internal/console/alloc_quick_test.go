@@ -1,0 +1,81 @@
+package console
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property-based tests on the §7 bandwidth allocator's invariants.
+
+func TestQuickAllocatorInvariants(t *testing.T) {
+	f := func(seed int64, nSessions uint8, total32 uint32) bool {
+		total := uint64(total32%1_000_000) + 1000
+		n := int(nSessions%12) + 1
+		rng := rand.New(rand.NewSource(seed))
+		a := NewBandwidthAllocator(total)
+		requests := map[uint32]uint64{}
+		for i := 0; i < n; i++ {
+			id := uint32(i + 1)
+			req := uint64(rng.Int63n(int64(total) * 2))
+			if req == 0 {
+				req = 1
+			}
+			requests[id] = req
+			a.Request(id, req)
+		}
+		grants := a.Grants()
+		if len(grants) != len(requests) {
+			return false
+		}
+		var granted uint64
+		for _, g := range grants {
+			// No session receives more than it asked for.
+			if g.Bps > requests[g.SessionID] {
+				return false
+			}
+			granted += g.Bps
+		}
+		// The allocator never oversubscribes the fabric.
+		if granted > total {
+			return false
+		}
+		// Work conservation: if any request was unsatisfied, at most a
+		// rounding remainder (< number of sessions) stays unallocated.
+		var demand uint64
+		for _, r := range requests {
+			demand += r
+		}
+		if demand >= total && total-granted >= uint64(len(requests)) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The paper's sorted-grant algorithm is NOT monotone in fabric capacity:
+// growing the console's bandwidth can fully satisfy a mid-sized request
+// and leave the largest requester with *less* than its previous fair
+// share. This test pins the counterexample so the behavior is a documented
+// property of the §7 algorithm, not an accident.
+func TestAllocatorNonMonotoneInTotal(t *testing.T) {
+	// Requests 11 and 20 on a 10-unit console: neither fits, so both
+	// split the fabric 5/5.
+	small := NewBandwidthAllocator(10)
+	small.Request(1, 11)
+	small.Request(2, 20)
+	if small.GrantFor(1) != 5 || small.GrantFor(2) != 5 {
+		t.Fatalf("small grants = %d/%d, want 5/5", small.GrantFor(1), small.GrantFor(2))
+	}
+	// On a 12-unit console, request 11 is granted in full and the larger
+	// session drops from 5 to 1.
+	big := NewBandwidthAllocator(12)
+	big.Request(1, 11)
+	big.Request(2, 20)
+	if big.GrantFor(1) != 11 || big.GrantFor(2) != 1 {
+		t.Fatalf("big grants = %d/%d, want 11/1", big.GrantFor(1), big.GrantFor(2))
+	}
+}

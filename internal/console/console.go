@@ -1,0 +1,277 @@
+// Package console implements the SLIM desktop unit (§2.3): a stateless
+// frame buffer on a network. The console runs no operating system and no
+// applications; it decodes display commands into pixels, forwards raw input
+// to the server, answers liveness probes, and arbitrates downstream
+// bandwidth between sessions (§7). Everything it holds is soft state that
+// the server can regenerate at any moment.
+package console
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"slim/internal/audio"
+	"slim/internal/core"
+	"slim/internal/fb"
+	"slim/internal/protocol"
+	"slim/internal/stats"
+)
+
+// Config parameterizes a console.
+type Config struct {
+	// Width and Height give the display geometry. The Sun Ray 1 supported
+	// up to 1280x1024 at 76 Hz with 24-bit pixels.
+	Width, Height int
+	// Costs models the decode hardware; nil means "no modelled delay"
+	// (decode at host speed). With the Sun Ray 1 model installed, service
+	// times reproduce Table 5 and Figure 7.
+	Costs *core.CostModel
+	// ReorderWindow is the sequence-gap tolerance before a Nack is sent.
+	ReorderWindow uint32
+	// TotalBps is the downstream bandwidth the allocator may hand out.
+	TotalBps uint64
+	// CardToken is the smart card currently inserted, if any.
+	CardToken string
+	// AudioBuffer enables the audio sink with the given jitter-buffer
+	// depth (0 disables audio modelling; blocks are accepted and
+	// discarded).
+	AudioBuffer time.Duration
+}
+
+// Console is one SLIM desktop unit.
+type Console struct {
+	mu   sync.Mutex
+	cfg  Config
+	fb   *fb.Framebuffer
+	gaps *protocol.GapTracker
+	seq  protocol.Sequencer // for console→server messages
+	// Service-time observations, the Figure 7 sample.
+	serviceTimes *stats.CDF
+	// Modelled clock: when the decode engine becomes free. Commands that
+	// arrive while it is busy queue; sustained overload drops commands,
+	// which is how §4.3 found the processing limits.
+	busyUntil time.Duration
+	// QueueLimit bounds modelled decode backlog; beyond it commands drop.
+	QueueLimit time.Duration
+	dropped    uint64
+	applied    uint64
+	alloc      *BandwidthAllocator
+	sessionID  uint32
+	audioSink  *audio.Sink
+}
+
+// New returns a console with the given configuration.
+func New(cfg Config) (*Console, error) {
+	if cfg.Width <= 0 || cfg.Height <= 0 {
+		return nil, fmt.Errorf("console: invalid geometry %dx%d", cfg.Width, cfg.Height)
+	}
+	if cfg.ReorderWindow == 0 {
+		cfg.ReorderWindow = 64
+	}
+	if cfg.TotalBps == 0 {
+		cfg.TotalBps = 100_000_000
+	}
+	c := &Console{
+		cfg:          cfg,
+		fb:           fb.New(cfg.Width, cfg.Height),
+		gaps:         protocol.NewGapTracker(cfg.ReorderWindow),
+		serviceTimes: stats.NewCDF(1024),
+		QueueLimit:   500 * time.Millisecond,
+		alloc:        NewBandwidthAllocator(cfg.TotalBps),
+	}
+	if cfg.AudioBuffer > 0 {
+		c.audioSink = audio.NewSink(cfg.AudioBuffer)
+	}
+	return c, nil
+}
+
+// Hello builds the console's boot announcement.
+func (c *Console) Hello() *protocol.Hello {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return &protocol.Hello{
+		Width:     uint16(c.cfg.Width),
+		Height:    uint16(c.cfg.Height),
+		CardToken: c.cfg.CardToken,
+	}
+}
+
+// InsertCard simulates inserting a smart identification card; the returned
+// message should be sent to the server to trigger session attach.
+func (c *Console) InsertCard(token string) *protocol.SessionConnect {
+	c.mu.Lock()
+	c.cfg.CardToken = token
+	c.mu.Unlock()
+	return &protocol.SessionConnect{Token: token}
+}
+
+// RemoveCard simulates pulling the card. The display keeps its soft state
+// until the server detaches or repaints it; true state lives server side.
+func (c *Console) RemoveCard() {
+	c.mu.Lock()
+	c.cfg.CardToken = ""
+	c.mu.Unlock()
+}
+
+// SessionID reports the attached session (0 = none).
+func (c *Console) SessionID() uint32 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sessionID
+}
+
+// HandleDatagram processes one datagram received at the modelled time now
+// and returns any console→server replies. Display commands are applied to
+// the local frame buffer; the decode delay model accounts for their cost.
+func (c *Console) HandleDatagram(wire []byte, now time.Duration) ([][]byte, error) {
+	seq, msg, _, err := protocol.Decode(wire)
+	if err != nil {
+		return nil, err
+	}
+	return c.Handle(seq, msg, now)
+}
+
+// Handle processes one already-decoded message.
+func (c *Console) Handle(seq uint32, msg protocol.Message, now time.Duration) ([][]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	var replies [][]byte
+	if msg.Type().IsDisplay() {
+		for _, nack := range c.gaps.Observe(seq) {
+			n := nack
+			replies = append(replies, protocol.Encode(nil, c.seq.Next(), &n))
+		}
+		svc, ok := c.applyDisplay(msg, now)
+		if !ok {
+			c.dropped++
+			return replies, nil
+		}
+		c.applied++
+		c.serviceTimes.Add(svc.Seconds())
+		return replies, nil
+	}
+
+	switch m := msg.(type) {
+	case *protocol.HelloAck:
+		c.setSession(m.SessionID)
+	case *protocol.SessionAttach:
+		c.setSession(m.SessionID)
+	case *protocol.SessionDetach:
+		if c.sessionID == m.SessionID {
+			c.sessionID = 0
+		}
+	case *protocol.Ping:
+		pong := &protocol.Pong{Nonce: m.Nonce, Padding: m.Padding}
+		replies = append(replies, protocol.Encode(nil, c.seq.Next(), pong))
+	case *protocol.BandwidthRequest:
+		grants := c.alloc.Request(m.SessionID, m.Bps)
+		for _, g := range grants {
+			grant := g
+			replies = append(replies, protocol.Encode(nil, c.seq.Next(), &grant))
+		}
+	case *protocol.Audio:
+		// Hand samples to the DAC through the jitter buffer, if modelled.
+		if c.audioSink != nil {
+			return nil, c.audioSink.Submit(m, now)
+		}
+	case *protocol.Device:
+		// Peripheral traffic terminates at the USB hub.
+	default:
+		return nil, fmt.Errorf("console: unexpected message %v", msg.Type())
+	}
+	return replies, nil
+}
+
+// setSession switches the console to a (possibly different) session. Each
+// session has its own display sequence space, so the gap tracker resets;
+// anything else would nack the jump from the old session's numbering.
+// Callers hold c.mu.
+func (c *Console) setSession(id uint32) {
+	if id != c.sessionID {
+		c.gaps = protocol.NewGapTracker(c.cfg.ReorderWindow)
+	}
+	c.sessionID = id
+}
+
+// applyDisplay renders one display command, returning its modelled service
+// time and whether it was processed (false = dropped due to overload).
+func (c *Console) applyDisplay(msg protocol.Message, now time.Duration) (time.Duration, bool) {
+	var decode time.Duration
+	if c.cfg.Costs != nil {
+		decode = c.cfg.Costs.ServiceTime(msg)
+		start := now
+		if c.busyUntil > start {
+			start = c.busyUntil
+		}
+		if start-now > c.QueueLimit {
+			return 0, false // decode queue overflow: drop (§4.3)
+		}
+		c.busyUntil = start + decode
+		decode = c.busyUntil - now // queueing + decode = service time
+	}
+	if err := c.fb.Apply(msg); err != nil {
+		// Malformed geometry is clipped by fb; real errors are protocol
+		// violations we count as drops.
+		return 0, false
+	}
+	return decode, true
+}
+
+// KeyInput encodes a keystroke for transmission to the server.
+func (c *Console) KeyInput(code uint16, down bool) []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return protocol.Encode(nil, c.seq.Next(), &protocol.KeyEvent{Code: code, Down: down})
+}
+
+// PointerInput encodes a mouse update for transmission to the server.
+func (c *Console) PointerInput(x, y uint16, buttons uint8) []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return protocol.Encode(nil, c.seq.Next(), &protocol.PointerEvent{X: x, Y: y, Buttons: buttons})
+}
+
+// Status reports the console's heartbeat message.
+func (c *Console) Status() *protocol.Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return &protocol.Status{
+		LastSeq: c.gaps.Highest(),
+		Dropped: uint32(c.dropped),
+	}
+}
+
+// Framebuffer exposes the soft display state (for screenshots and tests).
+func (c *Console) Framebuffer() *fb.Framebuffer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.fb
+}
+
+// ServiceTimes returns the observed display service-time sample in seconds
+// (Figure 7's data).
+func (c *Console) ServiceTimes() *stats.CDF {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.serviceTimes
+}
+
+// AudioStats reports audio blocks received and underruns at model time
+// now. It returns zeros when audio modelling is disabled.
+func (c *Console) AudioStats(now time.Duration) (received, underruns int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.audioSink == nil {
+		return 0, 0
+	}
+	return c.audioSink.Stats(now)
+}
+
+// Counters reports applied and dropped display command counts.
+func (c *Console) Counters() (applied, dropped uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.applied, c.dropped
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"testing"
+
+	"slim/internal/fb"
+	"slim/internal/protocol"
+)
+
+func TestBatcherCoalesces(t *testing.T) {
+	b := NewBatcher(1400)
+	e := NewEncoder(64, 64)
+	var packets [][]byte
+	for i := 0; i < 10; i++ {
+		dgs, err := e.Encode(FillOp{Rect: protocol.Rect{X: i, Y: i, W: 4, H: 4}, Color: protocol.Pixel(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range dgs {
+			packets = append(packets, b.Add(d)...)
+		}
+	}
+	packets = append(packets, b.Flush()...)
+	if len(packets) != 1 {
+		t.Fatalf("10 fills became %d packets, want 1 batch", len(packets))
+	}
+	seqs, msgs, err := protocol.DecodeAny(packets[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 10 || seqs[9] != 10 {
+		t.Fatalf("batch carries %d messages, last seq %d", len(msgs), seqs[len(seqs)-1])
+	}
+}
+
+func TestBatcherRespectsMTU(t *testing.T) {
+	b := NewBatcher(256)
+	e := NewEncoder(64, 64)
+	var packets [][]byte
+	for i := 0; i < 40; i++ {
+		dgs, err := e.Encode(FillOp{Rect: protocol.Rect{X: i % 32, Y: i % 32, W: 2, H: 2}, Color: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range dgs {
+			packets = append(packets, b.Add(d)...)
+		}
+	}
+	packets = append(packets, b.Flush()...)
+	if len(packets) < 2 {
+		t.Fatal("small MTU produced one packet")
+	}
+	for i, p := range packets {
+		if len(p) > 256 {
+			t.Errorf("packet %d is %d bytes", i, len(p))
+		}
+	}
+}
+
+func TestBatcherPassesOversizedPlain(t *testing.T) {
+	b := NewBatcher(512)
+	pix := make([]protocol.Pixel, 40*40)
+	msg := &protocol.Set{Rect: protocol.Rect{W: 40, H: 40}, Pixels: pix}
+	packets := b.Add(Datagram{Seq: 1, Msg: msg})
+	if len(packets) != 1 || protocol.IsBatch(packets[0]) {
+		t.Fatalf("oversized message not passed through plain (%d packets)", len(packets))
+	}
+	if b.Pending() != 0 {
+		t.Error("oversized message left pending state")
+	}
+}
+
+// The end-to-end invariant survives batching: a console decoding batched
+// packets converges to the server's frame buffer.
+func TestBatchedDeliveryConverges(t *testing.T) {
+	e := NewEncoder(128, 128)
+	screen := fb.New(128, 128)
+	b := NewBatcher(1400)
+	ops := []Op{
+		FillOp{Rect: protocol.Rect{W: 128, H: 128}, Color: 0x202020},
+		TextOp{Rect: protocol.Rect{X: 8, Y: 8, W: 64, H: 16},
+			Fg: 0xffffff, Bg: 0x202020,
+			Bits: make([]byte, protocol.BitmapRowBytes(64)*16)},
+		ScrollOp{Rect: protocol.Rect{X: 0, Y: 16, W: 128, H: 100}, DY: -16},
+		FillOp{Rect: protocol.Rect{X: 0, Y: 100, W: 128, H: 16}, Color: 0x404040},
+	}
+	var packets [][]byte
+	for _, op := range ops {
+		dgs, err := e.Encode(op)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range dgs {
+			packets = append(packets, b.Add(d)...)
+		}
+	}
+	packets = append(packets, b.Flush()...)
+	for _, p := range packets {
+		_, msgs, err := protocol.DecodeAny(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range msgs {
+			if err := screen.Apply(m); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if !screen.Equal(e.FB) {
+		t.Fatal("batched delivery diverged")
+	}
+}
+
+func TestBatcherSeqDeltaLimit(t *testing.T) {
+	b := NewBatcher(64 * 1024)
+	fill := &protocol.Fill{Rect: protocol.Rect{W: 1, H: 1}}
+	var flushed [][]byte
+	flushed = append(flushed, b.Add(Datagram{Seq: 1, Msg: fill})...)
+	// A jump beyond 255 forces a flush of the pending batch.
+	flushed = append(flushed, b.Add(Datagram{Seq: 500, Msg: fill})...)
+	if len(flushed) != 1 {
+		t.Fatalf("seq jump flushed %d packets, want 1", len(flushed))
+	}
+	flushed = append(flushed, b.Flush()...)
+	if len(flushed) != 2 {
+		t.Fatalf("total packets = %d", len(flushed))
+	}
+}

@@ -1,0 +1,371 @@
+package core
+
+import (
+	"fmt"
+
+	"slim/internal/fb"
+	"slim/internal/protocol"
+)
+
+// DefaultMTU is the default maximum datagram body size. It leaves room for
+// UDP/IP headers inside a 1500-byte Ethernet frame, matching the fabric the
+// paper ran on.
+const DefaultMTU = 1400
+
+// Datagram is one framed protocol message ready for transmission.
+type Datagram struct {
+	Seq  uint32
+	Msg  protocol.Message
+	Wire []byte
+}
+
+// Encoder is the server-side SLIM display driver. Applications hand it
+// rendering Ops; it maintains the authoritative frame buffer (the console's
+// copy is only soft state), lowers each op to the cheapest display
+// command(s), splits commands to fit the MTU, assigns sequence numbers, and
+// keeps per-command accounting.
+type Encoder struct {
+	// FB is the server's persistent frame buffer for the session.
+	FB *fb.Framebuffer
+	// MTU bounds the body size of generated datagrams.
+	MTU int
+	// AnalyzeImages enables content analysis of ImageOps (uniform regions
+	// become FILL, bicolor regions become BITMAP). Disabling it is the
+	// "SET-only" ablation: every image pixel goes out literally.
+	AnalyzeImages bool
+	// SkipWire suppresses datagram marshalling (and replay retention):
+	// commands are interpreted and rendered into the authoritative frame
+	// buffer but no display data is prepared for the IF — the x11perf
+	// "no display data sent" configuration of Table 4.
+	SkipWire bool
+	// Stats accumulates per-command wire accounting.
+	Stats CommandStats
+
+	seq    protocol.Sequencer
+	replay *ReplayBuffer
+}
+
+// NewEncoder returns an encoder managing a w×h session frame buffer.
+func NewEncoder(w, h int) *Encoder {
+	return &Encoder{
+		FB:            fb.New(w, h),
+		MTU:           DefaultMTU,
+		AnalyzeImages: true,
+		replay:        NewReplayBuffer(4096),
+	}
+}
+
+// emit frames msg, records it for replay, and accounts for it.
+func (e *Encoder) emit(msg protocol.Message) Datagram {
+	seq := e.seq.Next()
+	d := Datagram{Seq: seq, Msg: msg}
+	if !e.SkipWire {
+		d.Wire = protocol.Encode(nil, seq, msg)
+		e.replay.Store(d)
+	}
+	e.Stats.Record(msg)
+	return d
+}
+
+// Encode lowers one rendering op into SLIM datagrams, updating the
+// authoritative frame buffer as it goes.
+func (e *Encoder) Encode(op Op) ([]Datagram, error) {
+	if err := validateOp(op); err != nil {
+		return nil, err
+	}
+	switch o := op.(type) {
+	case FillOp:
+		e.FB.Fill(o.Rect, o.Color)
+		return []Datagram{e.emit(&protocol.Fill{Rect: o.Rect, Color: o.Color})}, nil
+
+	case TextOp:
+		if err := e.FB.Bitmap(o.Rect, o.Fg, o.Bg, o.Bits); err != nil {
+			return nil, err
+		}
+		return e.encodeBitmap(o.Rect, o.Fg, o.Bg, o.Bits), nil
+
+	case ScrollOp:
+		e.FB.Copy(o.Rect, o.Rect.X+o.DX, o.Rect.Y+o.DY)
+		return []Datagram{e.emit(&protocol.Copy{
+			Rect: o.Rect, DstX: o.Rect.X + o.DX, DstY: o.Rect.Y + o.DY,
+		})}, nil
+
+	case ImageOp:
+		if err := e.FB.Set(o.Rect, o.Pixels); err != nil {
+			return nil, err
+		}
+		return e.encodeRegion(o.Rect, o.Pixels), nil
+
+	case VideoOp:
+		return e.encodeVideo(o)
+
+	default:
+		return nil, fmt.Errorf("core: unknown op type %T", op)
+	}
+}
+
+// encodeRegion lowers a pixel rectangle to the cheapest command sequence.
+func (e *Encoder) encodeRegion(r protocol.Rect, pixels []protocol.Pixel) []Datagram {
+	if e.AnalyzeImages {
+		if c, uniform := analyzeUniform(pixels); uniform {
+			return []Datagram{e.emit(&protocol.Fill{Rect: r, Color: c})}
+		}
+		if fg, bg, bits, ok := analyzeBicolor(r, pixels); ok {
+			return e.encodeBitmap(r, fg, bg, bits)
+		}
+	}
+	return e.encodeSet(r, pixels)
+}
+
+// encodeSet splits a literal-pixel rectangle into MTU-sized SET commands.
+func (e *Encoder) encodeSet(r protocol.Rect, pixels []protocol.Pixel) []Datagram {
+	budget := e.MTU - 8 // rect header
+	maxPixels := max(1, budget/3)
+	tileW := min(r.W, maxPixels)
+	tileH := max(1, maxPixels/tileW)
+	var out []Datagram
+	for _, t := range tileRect(r, tileW, tileH) {
+		sub := make([]protocol.Pixel, 0, t.Pixels())
+		for y := t.Y; y < t.Y+t.H; y++ {
+			row := (y - r.Y) * r.W
+			for x := t.X; x < t.X+t.W; x++ {
+				sub = append(sub, pixels[row+(x-r.X)])
+			}
+		}
+		out = append(out, e.emit(&protocol.Set{Rect: t, Pixels: sub}))
+	}
+	return out
+}
+
+// encodeBitmap splits a bicolor rectangle into MTU-sized BITMAP commands.
+func (e *Encoder) encodeBitmap(r protocol.Rect, fg, bg protocol.Pixel, bits []byte) []Datagram {
+	budget := e.MTU - 8 - 6 // rect + two colors
+	tileW := min(r.W, max(8, budget*8))
+	rowBytes := protocol.BitmapRowBytes(tileW)
+	tileH := max(1, budget/rowBytes)
+	srcRow := protocol.BitmapRowBytes(r.W)
+	var out []Datagram
+	for _, t := range tileRect(r, tileW, tileH) {
+		tRow := protocol.BitmapRowBytes(t.W)
+		sub := make([]byte, tRow*t.H)
+		for y := 0; y < t.H; y++ {
+			for x := 0; x < t.W; x++ {
+				sx := t.X - r.X + x
+				sy := t.Y - r.Y + y
+				if bits[sy*srcRow+sx/8]&(0x80>>uint(sx%8)) != 0 {
+					sub[y*tRow+x/8] |= 0x80 >> uint(x%8)
+				}
+			}
+		}
+		out = append(out, e.emit(&protocol.Bitmap{Rect: t, Fg: fg, Bg: bg, Bits: sub}))
+	}
+	return out
+}
+
+// encodeVideo lowers a video frame to CSCS strips that fit the MTU. Strips
+// are even-height so 2x2 chroma blocks never straddle a boundary; the
+// destination is carved proportionally so scaled strips tile exactly.
+func (e *Encoder) encodeVideo(o VideoOp) ([]Datagram, error) {
+	budget := e.MTU - 17 // two rects + format byte
+	// Rows per strip under the byte budget, rounded down to even.
+	rows := o.Src.H
+	for rows > 2 && o.Format.PayloadLen(o.Src.W, rows) > budget {
+		rows = (rows / 2) &^ 1
+		if rows < 2 {
+			rows = 2
+		}
+	}
+	for rows > 2 && o.Format.PayloadLen(o.Src.W, rows) > budget {
+		rows -= 2
+	}
+	var out []Datagram
+	for y0 := 0; y0 < o.Src.H; y0 += rows {
+		h := min(rows, o.Src.H-y0)
+		strip := o.Pixels[y0*o.Src.W : (y0+h)*o.Src.W]
+		data, err := fb.EncodeCSCS(strip, o.Src.W, h, o.Format)
+		if err != nil {
+			return nil, err
+		}
+		// Proportional destination band.
+		dy0 := o.Dst.Y + y0*o.Dst.H/o.Src.H
+		dy1 := o.Dst.Y + (y0+h)*o.Dst.H/o.Src.H
+		if dy1 <= dy0 {
+			dy1 = dy0 + 1
+		}
+		msg := &protocol.CSCS{
+			Src:    protocol.Rect{X: o.Src.X, Y: o.Src.Y + y0, W: o.Src.W, H: h},
+			Dst:    protocol.Rect{X: o.Dst.X, Y: dy0, W: o.Dst.W, H: dy1 - dy0},
+			Format: o.Format,
+			Data:   data,
+		}
+		// Keep the authoritative frame buffer current: apply the same
+		// command the console will see.
+		if err := e.FB.ApplyCSCS(msg); err != nil {
+			return nil, err
+		}
+		out = append(out, e.emit(msg))
+	}
+	return out, nil
+}
+
+// Repaint regenerates the given region from the authoritative frame buffer
+// as fresh commands. This is the recovery path for lost datagrams and the
+// attach path when a session migrates to a new console: because the server
+// holds the true state, recovery never needs to stop and wait (§2.2).
+func (e *Encoder) Repaint(r protocol.Rect) []Datagram {
+	r = r.Intersect(e.FB.Bounds())
+	if r.Empty() {
+		return nil
+	}
+	return e.encodeRegion(r, e.FB.ReadRect(r))
+}
+
+// RepaintAll regenerates the entire screen (session attach after mobility).
+func (e *Encoder) RepaintAll() []Datagram {
+	return e.Repaint(e.FB.Bounds())
+}
+
+// HandleNack recovers from a reported loss. Verbatim replay of just the
+// lost datagrams is not safe in general: by the time the Nack arrives the
+// console has already applied later commands, and a COPY among them — the
+// one command that reads the frame buffer — may have propagated the stale
+// pixels elsewhere. Recovery therefore repaints, from the authoritative
+// frame buffer, the lost commands' regions plus the regions of every
+// subsequent COPY whose source touched the (transitively growing) damage.
+// Non-COPY commands applied after the loss drew correct pixels and do not
+// extend the damage, which keeps recovery proportional to what was lost —
+// crucial when recovery traffic itself suffers loss. If the range has
+// aged out of the replay ring, the whole screen is repainted. Either way,
+// never stop-and-wait (§2.2).
+func (e *Encoder) HandleNack(n protocol.Nack) []Datagram {
+	var damage fb.Region
+	for seq := n.From; seq <= n.To; seq++ {
+		d, ok := e.replay.Get(seq)
+		if !ok {
+			return e.RepaintAll()
+		}
+		damage.Add(affectedRect(d.Msg))
+	}
+	for seq := n.To + 1; seq <= e.seq.Current(); seq++ {
+		d, ok := e.replay.Get(seq)
+		if !ok {
+			return e.RepaintAll()
+		}
+		if c, isCopy := d.Msg.(*protocol.Copy); isCopy && damage.Intersects(c.Rect) {
+			damage.Add(affectedRect(c))
+		}
+	}
+	damage.Clip(e.FB.Bounds())
+	var out []Datagram
+	for _, r := range damage.Rects() {
+		out = append(out, e.Repaint(r)...)
+	}
+	return out
+}
+
+// affectedRect reports every pixel a display command may change — for
+// COPY, both where it read and where it wrote.
+func affectedRect(msg protocol.Message) protocol.Rect {
+	switch m := msg.(type) {
+	case *protocol.Set:
+		return m.Rect
+	case *protocol.Bitmap:
+		return m.Rect
+	case *protocol.Fill:
+		return m.Rect
+	case *protocol.Copy:
+		dst := protocol.Rect{X: m.DstX, Y: m.DstY, W: m.Rect.W, H: m.Rect.H}
+		x1 := min(m.Rect.X, dst.X)
+		y1 := min(m.Rect.Y, dst.Y)
+		x2 := max(m.Rect.X+m.Rect.W, dst.X+dst.W)
+		y2 := max(m.Rect.Y+m.Rect.H, dst.Y+dst.H)
+		return protocol.Rect{X: x1, Y: y1, W: x2 - x1, H: y2 - y1}
+	case *protocol.CSCS:
+		return m.Dst
+	}
+	return protocol.Rect{}
+}
+
+// LastSeq reports the most recent sequence number issued.
+func (e *Encoder) LastSeq() uint32 { return e.seq.Current() }
+
+// analyzeUniform reports whether all pixels share one value.
+func analyzeUniform(pixels []protocol.Pixel) (protocol.Pixel, bool) {
+	if len(pixels) == 0 {
+		return 0, false
+	}
+	c := pixels[0]
+	for _, p := range pixels[1:] {
+		if p != c {
+			return 0, false
+		}
+	}
+	return c, true
+}
+
+// analyzeBicolor reports whether the region uses exactly two colors and, if
+// so, builds the 1bpp bitmap. The more frequent color becomes the
+// background, which is the convention for text.
+func analyzeBicolor(r protocol.Rect, pixels []protocol.Pixel) (fg, bg protocol.Pixel, bits []byte, ok bool) {
+	if len(pixels) < 2 {
+		return 0, 0, nil, false
+	}
+	c0 := pixels[0]
+	var c1 protocol.Pixel
+	have1 := false
+	n0 := 0
+	for _, p := range pixels {
+		switch {
+		case p == c0:
+			n0++
+		case !have1:
+			c1, have1 = p, true
+		case p != c1:
+			return 0, 0, nil, false
+		}
+	}
+	if !have1 {
+		return 0, 0, nil, false // uniform; caller should have used FILL
+	}
+	bg, fg = c0, c1
+	if n0 < len(pixels)-n0 {
+		bg, fg = c1, c0
+	}
+	rowBytes := protocol.BitmapRowBytes(r.W)
+	bits = make([]byte, rowBytes*r.H)
+	for y := 0; y < r.H; y++ {
+		for x := 0; x < r.W; x++ {
+			if pixels[y*r.W+x] == fg {
+				bits[y*rowBytes+x/8] |= 0x80 >> uint(x%8)
+			}
+		}
+	}
+	return fg, bg, bits, true
+}
+
+// tileRect splits r into a grid of tiles at most maxW wide and maxH tall.
+func tileRect(r protocol.Rect, maxW, maxH int) []protocol.Rect {
+	var out []protocol.Rect
+	for y := r.Y; y < r.Y+r.H; y += maxH {
+		h := min(maxH, r.Y+r.H-y)
+		for x := r.X; x < r.X+r.W; x += maxW {
+			w := min(maxW, r.X+r.W-x)
+			out = append(out, protocol.Rect{X: x, Y: y, W: w, H: h})
+		}
+	}
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

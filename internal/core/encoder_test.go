@@ -1,0 +1,473 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"slim/internal/fb"
+	"slim/internal/protocol"
+)
+
+// applyAll decodes datagrams and applies them to a console frame buffer.
+func applyAll(t *testing.T, screen *fb.Framebuffer, dgs []Datagram) {
+	t.Helper()
+	for _, d := range dgs {
+		seq, msg, n, err := protocol.Decode(d.Wire)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if n != len(d.Wire) {
+			t.Fatalf("datagram has %d trailing bytes", len(d.Wire)-n)
+		}
+		if seq != d.Seq {
+			t.Fatalf("seq mismatch: wire %d, datagram %d", seq, d.Seq)
+		}
+		if err := screen.Apply(msg); err != nil {
+			t.Fatalf("apply %v: %v", msg.Type(), err)
+		}
+	}
+}
+
+func TestEncodeFillOp(t *testing.T) {
+	e := NewEncoder(64, 64)
+	dgs, err := e.Encode(FillOp{Rect: protocol.Rect{X: 1, Y: 2, W: 10, H: 10}, Color: 0x123456})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dgs) != 1 {
+		t.Fatalf("fill produced %d datagrams", len(dgs))
+	}
+	if dgs[0].Msg.Type() != protocol.TypeFill {
+		t.Errorf("fill lowered to %v", dgs[0].Msg.Type())
+	}
+}
+
+func TestEncodeTextOpBecomesBitmap(t *testing.T) {
+	e := NewEncoder(64, 64)
+	r := protocol.Rect{W: 16, H: 16}
+	bits := make([]byte, protocol.BitmapRowBytes(r.W)*r.H)
+	bits[0] = 0xff
+	dgs, err := e.Encode(TextOp{Rect: r, Fg: 1, Bg: 2, Bits: bits})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dgs) != 1 || dgs[0].Msg.Type() != protocol.TypeBitmap {
+		t.Fatalf("text lowered to %v (%d datagrams)", dgs[0].Msg.Type(), len(dgs))
+	}
+}
+
+func TestEncodeUniformImageBecomesFill(t *testing.T) {
+	e := NewEncoder(64, 64)
+	r := protocol.Rect{W: 20, H: 20}
+	pix := make([]protocol.Pixel, r.Pixels())
+	for i := range pix {
+		pix[i] = 0xabcdef
+	}
+	dgs, err := e.Encode(ImageOp{Rect: r, Pixels: pix})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dgs) != 1 || dgs[0].Msg.Type() != protocol.TypeFill {
+		t.Fatalf("uniform image lowered to %v", dgs[0].Msg.Type())
+	}
+}
+
+func TestEncodeBicolorImageBecomesBitmap(t *testing.T) {
+	e := NewEncoder(64, 64)
+	r := protocol.Rect{W: 16, H: 4}
+	pix := make([]protocol.Pixel, r.Pixels())
+	for i := range pix {
+		if i%3 == 0 {
+			pix[i] = 0x111111
+		} else {
+			pix[i] = 0x222222
+		}
+	}
+	dgs, err := e.Encode(ImageOp{Rect: r, Pixels: pix})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dgs) != 1 || dgs[0].Msg.Type() != protocol.TypeBitmap {
+		t.Fatalf("bicolor image lowered to %v", dgs[0].Msg.Type())
+	}
+	// Majority color must be background (cheaper to keep fg sparse).
+	bm := dgs[0].Msg.(*protocol.Bitmap)
+	if bm.Bg != 0x222222 {
+		t.Errorf("background = %06x, want the majority color", bm.Bg)
+	}
+}
+
+func TestEncodeNoisyImageBecomesSetChunks(t *testing.T) {
+	e := NewEncoder(1280, 1024)
+	rng := rand.New(rand.NewSource(1))
+	r := protocol.Rect{W: 100, H: 100}
+	pix := make([]protocol.Pixel, r.Pixels())
+	for i := range pix {
+		pix[i] = protocol.Pixel(rng.Uint32() & 0xffffff)
+	}
+	dgs, err := e.Encode(ImageOp{Rect: r, Pixels: pix})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dgs) < 2 {
+		t.Fatalf("10Kpx image fit in %d datagrams under a %dB MTU", len(dgs), e.MTU)
+	}
+	for _, d := range dgs {
+		if d.Msg.Type() != protocol.TypeSet {
+			t.Fatalf("noisy image lowered to %v", d.Msg.Type())
+		}
+		if len(d.Wire) > e.MTU+protocol.HeaderSize {
+			t.Fatalf("datagram %d bytes exceeds MTU budget", len(d.Wire))
+		}
+	}
+}
+
+func TestAnalyzeImagesAblation(t *testing.T) {
+	mk := func(analyze bool) int64 {
+		e := NewEncoder(64, 64)
+		e.AnalyzeImages = analyze
+		r := protocol.Rect{W: 32, H: 32}
+		pix := make([]protocol.Pixel, r.Pixels())
+		for i := range pix {
+			pix[i] = 0x336699
+		}
+		if _, err := e.Encode(ImageOp{Rect: r, Pixels: pix}); err != nil {
+			t.Fatal(err)
+		}
+		return e.Stats.TotalWireBytes()
+	}
+	withAnalysis := mk(true)
+	without := mk(false)
+	if withAnalysis*10 >= without {
+		t.Errorf("analysis saved too little: %d vs %d bytes", withAnalysis, without)
+	}
+}
+
+func TestEncodeScrollOp(t *testing.T) {
+	e := NewEncoder(64, 64)
+	e.FB.Fill(protocol.Rect{X: 0, Y: 10, W: 64, H: 10}, 0x777777)
+	dgs, err := e.Encode(ScrollOp{Rect: protocol.Rect{X: 0, Y: 10, W: 64, H: 10}, DY: -10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dgs) != 1 || dgs[0].Msg.Type() != protocol.TypeCopy {
+		t.Fatalf("scroll lowered to %v", dgs[0].Msg.Type())
+	}
+	if e.FB.At(0, 0) != 0x777777 {
+		t.Error("server FB did not scroll")
+	}
+}
+
+func TestEncodeVideoStrips(t *testing.T) {
+	e := NewEncoder(800, 600)
+	const w, h = 64, 48
+	pix := make([]protocol.Pixel, w*h)
+	for i := range pix {
+		pix[i] = protocol.RGB(uint8(i), uint8(i/2), uint8(i/3))
+	}
+	dgs, err := e.Encode(VideoOp{
+		Src:    protocol.Rect{W: w, H: h},
+		Dst:    protocol.Rect{X: 10, Y: 10, W: w, H: h},
+		Format: protocol.CSCS12,
+		Pixels: pix,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dgs) < 2 {
+		t.Fatalf("64x48 12bpp frame fit in %d datagrams", len(dgs))
+	}
+	// Strips must tile the destination exactly.
+	covered := 0
+	for _, d := range dgs {
+		cs := d.Msg.(*protocol.CSCS)
+		if len(d.Wire) > e.MTU+protocol.HeaderSize {
+			t.Fatalf("video datagram %dB over MTU", len(d.Wire))
+		}
+		covered += cs.Dst.H
+		if cs.Dst.W != w {
+			t.Fatalf("strip width %d", cs.Dst.W)
+		}
+	}
+	if covered != h {
+		t.Fatalf("strips cover %d rows, want %d", covered, h)
+	}
+}
+
+// The load-bearing invariant of the whole system: after applying an
+// encoder's datagrams in order, a console frame buffer is pixel-identical
+// to the server's authoritative frame buffer — for arbitrary op sequences.
+func TestConsoleMatchesServerProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for round := 0; round < 30; round++ {
+		e := NewEncoder(160, 120)
+		screen := fb.New(160, 120)
+		for op := 0; op < 25; op++ {
+			dgs, err := e.Encode(randomOp(rng, 160, 120))
+			if err != nil {
+				t.Fatal(err)
+			}
+			applyAll(t, screen, dgs)
+		}
+		// Video ops are lossy (YUV quantization) so compare with
+		// tolerance-free equality only when no video op ran; randomOp
+		// avoids video for this test.
+		if !screen.Equal(e.FB) {
+			t.Fatalf("round %d: console and server frame buffers diverged", round)
+		}
+	}
+}
+
+func randomOp(rng *rand.Rand, w, h int) Op {
+	r := protocol.Rect{
+		X: rng.Intn(w - 8), Y: rng.Intn(h - 8),
+		W: 1 + rng.Intn(32), H: 1 + rng.Intn(32),
+	}
+	if r.X+r.W > w {
+		r.W = w - r.X
+	}
+	if r.Y+r.H > h {
+		r.H = h - r.Y
+	}
+	switch rng.Intn(4) {
+	case 0:
+		return FillOp{Rect: r, Color: protocol.Pixel(rng.Uint32() & 0xffffff)}
+	case 1:
+		bits := make([]byte, protocol.BitmapRowBytes(r.W)*r.H)
+		rng.Read(bits)
+		return TextOp{Rect: r, Fg: 0xffffff, Bg: 0x000040, Bits: bits}
+	case 2:
+		dx := rng.Intn(9) - 4
+		dy := rng.Intn(9) - 4
+		if dx == 0 && dy == 0 {
+			dx = 1
+		}
+		return ScrollOp{Rect: r, DX: dx, DY: dy}
+	default:
+		pix := make([]protocol.Pixel, r.Pixels())
+		for i := range pix {
+			pix[i] = protocol.Pixel(rng.Uint32() & 0xffffff)
+		}
+		return ImageOp{Rect: r, Pixels: pix}
+	}
+}
+
+func TestRepaintMatchesFB(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	e := NewEncoder(100, 80)
+	for i := 0; i < 10; i++ {
+		if _, err := e.Encode(randomOp(rng, 100, 80)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	screen := fb.New(100, 80)
+	applyAll(t, screen, e.RepaintAll())
+	if !screen.Equal(e.FB) {
+		t.Fatal("repaint did not reproduce the authoritative frame buffer")
+	}
+}
+
+func TestHandleNackRepaintsAffectedUnion(t *testing.T) {
+	e := NewEncoder(64, 64)
+	d1, err := e.Encode(FillOp{Rect: protocol.Rect{X: 0, Y: 0, W: 16, H: 16}, Color: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Encode(FillOp{Rect: protocol.Rect{X: 32, Y: 32, W: 8, H: 8}, Color: 2}); err != nil {
+		t.Fatal(err)
+	}
+	out := e.HandleNack(protocol.Nack{From: d1[0].Seq, To: d1[0].Seq})
+	if len(out) == 0 {
+		t.Fatal("nack produced nothing")
+	}
+	// Recovery covers the lost fill; the later, disjoint non-COPY command
+	// was applied correctly and is left alone — recovery stays
+	// proportional to the loss.
+	var covered fb.Region
+	pixels := 0
+	for _, d := range out {
+		r := affectedRect(d.Msg)
+		covered.Add(r)
+		pixels += r.Pixels()
+	}
+	if !covered.Contains(5, 5) {
+		t.Error("recovery misses the lost region")
+	}
+	if covered.Contains(35, 35) {
+		t.Error("recovery repainted an unaffected region")
+	}
+	if pixels >= 64*64 {
+		t.Errorf("recovery repainted the whole screen (%d px)", pixels)
+	}
+	// Applying recovery to a console that lost d1 entirely converges.
+	screen := fb.New(64, 64)
+	screen.Fill(protocol.Rect{X: 32, Y: 32, W: 8, H: 8}, 2)
+	applyAll(t, screen, out)
+	if !screen.Equal(e.FB) {
+		t.Fatal("recovery did not converge")
+	}
+}
+
+// TestHandleNackLostCopyScenario reproduces the soak-test failure mode:
+// a COPY is lost, later commands land, and recovery must fix both the
+// copy's destination and anything it would have moved.
+func TestHandleNackLostCopyScenario(t *testing.T) {
+	e := NewEncoder(64, 64)
+	if _, err := e.Encode(FillOp{Rect: protocol.Rect{X: 0, Y: 0, W: 16, H: 16}, Color: 7}); err != nil {
+		t.Fatal(err)
+	}
+	screen := fb.New(64, 64)
+	applyAll(t, screen, e.RepaintAll())
+
+	// The console loses this scroll...
+	lost, err := e.Encode(ScrollOp{Rect: protocol.Rect{X: 0, Y: 0, W: 16, H: 16}, DX: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ...but applies the next command.
+	after, err := e.Encode(FillOp{Rect: protocol.Rect{X: 0, Y: 0, W: 4, H: 4}, Color: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyAll(t, screen, after)
+	// Nack-driven recovery converges despite the stale copy source.
+	applyAll(t, screen, e.HandleNack(protocol.Nack{From: lost[0].Seq, To: lost[0].Seq}))
+	if !screen.Equal(e.FB) {
+		t.Fatal("lost-COPY recovery diverged")
+	}
+}
+
+func TestHandleNackAgedOutRepaints(t *testing.T) {
+	e := NewEncoder(32, 32)
+	e.replay = NewReplayBuffer(2) // tiny buffer so seq 1 ages out
+	first, err := e.Encode(FillOp{Rect: protocol.Rect{W: 32, H: 32}, Color: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := e.Encode(FillOp{Rect: protocol.Rect{W: 4, H: 4}, Color: protocol.Pixel(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := e.HandleNack(protocol.Nack{From: first[0].Seq, To: first[0].Seq})
+	if len(out) == 0 {
+		t.Fatal("aged-out nack produced nothing")
+	}
+	// Applying the recovery datagrams must reproduce the current state.
+	screen := fb.New(32, 32)
+	applyAll(t, screen, out)
+	if !screen.Equal(e.FB) {
+		t.Fatal("nack recovery did not restore the display")
+	}
+}
+
+func TestValidateOpErrors(t *testing.T) {
+	e := NewEncoder(64, 64)
+	cases := []Op{
+		FillOp{Rect: protocol.Rect{W: 0, H: 5}},
+		TextOp{Rect: protocol.Rect{W: 8, H: 8}, Bits: []byte{1}},
+		ImageOp{Rect: protocol.Rect{W: 2, H: 2}, Pixels: make([]protocol.Pixel, 3)},
+		ScrollOp{Rect: protocol.Rect{W: 4, H: 4}},
+		VideoOp{Src: protocol.Rect{W: 2, H: 2}, Dst: protocol.Rect{W: 2, H: 2}, Format: 99, Pixels: make([]protocol.Pixel, 4)},
+	}
+	for i, op := range cases {
+		if _, err := e.Encode(op); err == nil {
+			t.Errorf("case %d: invalid op accepted", i)
+		}
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	e := NewEncoder(64, 64)
+	if _, err := e.Encode(FillOp{Rect: protocol.Rect{W: 10, H: 10}, Color: 3}); err != nil {
+		t.Fatal(err)
+	}
+	ts := e.Stats.PerType[protocol.TypeFill]
+	if ts == nil || ts.Commands != 1 || ts.Pixels != 100 || ts.RawBytes != 300 {
+		t.Fatalf("fill stats = %+v", ts)
+	}
+	if e.Stats.CompressionFactor() < 5 {
+		t.Errorf("fill compression = %f", e.Stats.CompressionFactor())
+	}
+	var other CommandStats
+	other.Merge(&e.Stats)
+	if other.TotalWireBytes() != e.Stats.TotalWireBytes() {
+		t.Error("merge lost bytes")
+	}
+	if e.Stats.String() == "" {
+		t.Error("empty stats string")
+	}
+	e.Stats.Reset()
+	if e.Stats.TotalCommands() != 0 {
+		t.Error("reset did not clear")
+	}
+}
+
+func TestSunRay1CostModel(t *testing.T) {
+	costs := SunRay1Costs()
+	// Table 5 spot checks.
+	fill := &protocol.Fill{Rect: protocol.Rect{W: 100, H: 100}}
+	want := 5000 + 2*100*100 // ns
+	if got := costs.ServiceTime(fill).Nanoseconds(); got != int64(want) {
+		t.Errorf("FILL 100x100 = %dns, want %d", got, want)
+	}
+	set := &protocol.Set{Rect: protocol.Rect{W: 10, H: 10}, Pixels: make([]protocol.Pixel, 100)}
+	if got := costs.ServiceTime(set).Nanoseconds(); got != 5000+270*100 {
+		t.Errorf("SET 10x10 = %dns", got)
+	}
+	// CSCS cost scales with destination pixels.
+	cscs := &protocol.CSCS{Src: protocol.Rect{W: 10, H: 10}, Dst: protocol.Rect{W: 20, H: 20}, Format: protocol.CSCS5}
+	if got := costs.ServiceTime(cscs).Nanoseconds(); got != 24000+150*400 {
+		t.Errorf("CSCS scaled = %dns", got)
+	}
+	// Sustained rate: FILL moves pixels orders of magnitude faster than SET.
+	fillRate := costs.SustainedPixelRate(protocol.TypeFill, 0, 10000)
+	setRate := costs.SustainedPixelRate(protocol.TypeSet, 0, 10000)
+	if fillRate < 50*setRate {
+		t.Errorf("fill rate %.0f not far above set rate %.0f", fillRate, setRate)
+	}
+}
+
+func TestReplayBuffer(t *testing.T) {
+	b := NewReplayBuffer(4)
+	for seq := uint32(1); seq <= 6; seq++ {
+		b.Store(Datagram{Seq: seq, Msg: &protocol.Fill{}, Wire: []byte{byte(seq)}})
+	}
+	if _, ok := b.Get(1); ok {
+		t.Error("evicted datagram still present")
+	}
+	d, ok := b.Get(5)
+	if !ok || d.Wire[0] != 5 {
+		t.Error("recent datagram missing")
+	}
+	if _, ok := b.Get(99); ok {
+		t.Error("never-stored datagram present")
+	}
+}
+
+func TestReplayBufferPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for capacity 0")
+		}
+	}()
+	NewReplayBuffer(0)
+}
+
+func TestSkipWire(t *testing.T) {
+	e := NewEncoder(64, 64)
+	e.SkipWire = true
+	dgs, err := e.Encode(FillOp{Rect: protocol.Rect{W: 8, H: 8}, Color: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dgs[0].Wire != nil {
+		t.Error("SkipWire still marshalled bytes")
+	}
+	if e.FB.At(0, 0) != 1 {
+		t.Error("SkipWire skipped rendering too")
+	}
+	if e.Stats.TotalCommands() != 1 {
+		t.Error("SkipWire skipped accounting")
+	}
+}

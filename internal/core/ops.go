@@ -1,0 +1,132 @@
+package core
+
+import (
+	"fmt"
+
+	"slim/internal/protocol"
+)
+
+// Op is a rendering operation produced by an application or window system,
+// one level above the wire protocol. The encoder lowers each Op to the
+// cheapest SLIM command sequence. This is the seam the paper describes in
+// §2.2: "applications can be ported by simply changing the device drivers
+// in rendering libraries".
+type Op interface {
+	// Bounds reports the affected screen rectangle.
+	Bounds() protocol.Rect
+	// RawPixels reports the pixels an uncompressed protocol would carry
+	// for this operation (the "Raw Pixels" baseline of Figure 8).
+	RawPixels() int
+}
+
+// FillOp paints a solid rectangle.
+type FillOp struct {
+	Rect  protocol.Rect
+	Color protocol.Pixel
+}
+
+// Bounds implements Op.
+func (o FillOp) Bounds() protocol.Rect { return o.Rect }
+
+// RawPixels implements Op.
+func (o FillOp) RawPixels() int { return o.Rect.Pixels() }
+
+// TextOp draws pre-rendered bicolor glyphs: a 1bpp bitmap plus foreground
+// and background colors. Text windows are exactly what the BITMAP command
+// was designed for.
+type TextOp struct {
+	Rect   protocol.Rect
+	Fg, Bg protocol.Pixel
+	// Bits holds Rect.H rows of ceil(Rect.W/8) bytes.
+	Bits []byte
+}
+
+// Bounds implements Op.
+func (o TextOp) Bounds() protocol.Rect { return o.Rect }
+
+// RawPixels implements Op.
+func (o TextOp) RawPixels() int { return o.Rect.Pixels() }
+
+// ImageOp blits arbitrary pixels (decoded images, anti-aliased content).
+type ImageOp struct {
+	Rect   protocol.Rect
+	Pixels []protocol.Pixel
+}
+
+// Bounds implements Op.
+func (o ImageOp) Bounds() protocol.Rect { return o.Rect }
+
+// RawPixels implements Op.
+func (o ImageOp) RawPixels() int { return o.Rect.Pixels() }
+
+// ScrollOp moves a window region by (DX, DY) — the COPY command's home
+// turf. The exposed strip must be repainted by a follow-up op.
+type ScrollOp struct {
+	Rect   protocol.Rect
+	DX, DY int
+}
+
+// Bounds implements Op.
+func (o ScrollOp) Bounds() protocol.Rect { return o.Rect }
+
+// RawPixels implements Op.
+func (o ScrollOp) RawPixels() int { return o.Rect.Pixels() }
+
+// VideoOp carries one video frame (or strip) for CSCS transmission. Src
+// gives the encoded geometry, Dst where it lands (possibly scaled).
+type VideoOp struct {
+	Src, Dst protocol.Rect
+	Format   protocol.CSCSFormat
+	Pixels   []protocol.Pixel // Src.W*Src.H RGB source pixels
+}
+
+// Bounds implements Op.
+func (o VideoOp) Bounds() protocol.Rect { return o.Dst }
+
+// RawPixels implements Op — an uncompressed protocol would carry the full
+// destination resolution (X has no console-side scaling; see §8.1).
+func (o VideoOp) RawPixels() int { return o.Dst.Pixels() }
+
+// validateOp sanity checks op geometry before encoding.
+func validateOp(op Op) error {
+	switch o := op.(type) {
+	case FillOp:
+		if !o.Rect.Valid() {
+			return fmt.Errorf("core: invalid fill rect %v", o.Rect)
+		}
+	case TextOp:
+		if !o.Rect.Valid() {
+			return fmt.Errorf("core: invalid text rect %v", o.Rect)
+		}
+		if want := protocol.BitmapRowBytes(o.Rect.W) * o.Rect.H; len(o.Bits) != want {
+			return fmt.Errorf("core: text op wants %d bitmap bytes, got %d", want, len(o.Bits))
+		}
+	case ImageOp:
+		if !o.Rect.Valid() {
+			return fmt.Errorf("core: invalid image rect %v", o.Rect)
+		}
+		if len(o.Pixels) != o.Rect.Pixels() {
+			return fmt.Errorf("core: image op wants %d pixels, got %d", o.Rect.Pixels(), len(o.Pixels))
+		}
+	case ScrollOp:
+		if !o.Rect.Valid() {
+			return fmt.Errorf("core: invalid scroll rect %v", o.Rect)
+		}
+		if o.DX == 0 && o.DY == 0 {
+			return fmt.Errorf("core: no-op scroll")
+		}
+	case VideoOp:
+		if !o.Src.Valid() || !o.Dst.Valid() {
+			return fmt.Errorf("core: invalid video rects src=%v dst=%v", o.Src, o.Dst)
+		}
+		if len(o.Pixels) != o.Src.Pixels() {
+			return fmt.Errorf("core: video op wants %d pixels, got %d", o.Src.Pixels(), len(o.Pixels))
+		}
+		if !o.Format.Valid() {
+			return fmt.Errorf("core: invalid CSCS format %d", o.Format)
+		}
+	default:
+		return fmt.Errorf("core: unknown op type %T", op)
+	}
+	return nil
+}

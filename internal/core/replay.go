@@ -1,0 +1,38 @@
+package core
+
+// ReplayBuffer retains recently transmitted datagrams keyed by sequence
+// number so the server can answer a Nack by retransmission instead of
+// stop-and-wait. Because every SLIM message is idempotent, replaying a
+// datagram the console actually received is harmless (§2.2).
+type ReplayBuffer struct {
+	cap   int
+	slots []Datagram // ring indexed by seq % cap
+}
+
+// NewReplayBuffer returns a buffer retaining the most recent capacity
+// datagrams. Capacity must be positive.
+func NewReplayBuffer(capacity int) *ReplayBuffer {
+	if capacity <= 0 {
+		panic("core: replay buffer capacity must be positive")
+	}
+	return &ReplayBuffer{cap: capacity, slots: make([]Datagram, capacity)}
+}
+
+// Store records a transmitted datagram, evicting the one that shared its
+// ring slot.
+func (b *ReplayBuffer) Store(d Datagram) {
+	b.slots[int(d.Seq)%b.cap] = d
+}
+
+// Get returns the datagram with the given sequence number if it is still
+// retained.
+func (b *ReplayBuffer) Get(seq uint32) (Datagram, bool) {
+	d := b.slots[int(seq)%b.cap]
+	if d.Seq != seq || d.Msg == nil {
+		return Datagram{}, false
+	}
+	return d, true
+}
+
+// Capacity reports the ring size.
+func (b *ReplayBuffer) Capacity() int { return b.cap }

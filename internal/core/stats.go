@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"slim/internal/protocol"
+)
+
+// CommandStats accumulates per-command-type wire accounting: how many
+// commands, wire bytes, and pixels each Table 1 command carried, plus what
+// the same pixels would have cost uncompressed. Figure 4 ("efficiency of
+// SLIM protocol display commands") and Figure 8 ("average bandwidth") are
+// computed from exactly these counters.
+type CommandStats struct {
+	PerType map[protocol.MsgType]*TypeStats
+}
+
+// TypeStats is the accounting for one command type.
+type TypeStats struct {
+	Commands  int
+	WireBytes int64 // bytes on the wire including headers
+	Pixels    int64 // display pixels affected
+	RawBytes  int64 // 3 bytes/pixel uncompressed equivalent
+}
+
+// Record accounts for one outgoing display command.
+func (s *CommandStats) Record(msg protocol.Message) {
+	if s.PerType == nil {
+		s.PerType = make(map[protocol.MsgType]*TypeStats)
+	}
+	t := msg.Type()
+	ts := s.PerType[t]
+	if ts == nil {
+		ts = &TypeStats{}
+		s.PerType[t] = ts
+	}
+	ts.Commands++
+	ts.WireBytes += int64(protocol.WireSize(msg))
+	pixels := PixelsOf(msg)
+	ts.Pixels += int64(pixels)
+	ts.RawBytes += int64(3 * pixels)
+}
+
+// PixelsOf reports the display pixels a command affects: the command's
+// rectangle, or for CSCS the rendered destination rectangle.
+func PixelsOf(msg protocol.Message) int {
+	switch m := msg.(type) {
+	case *protocol.Set:
+		return m.Rect.Pixels()
+	case *protocol.Bitmap:
+		return m.Rect.Pixels()
+	case *protocol.Fill:
+		return m.Rect.Pixels()
+	case *protocol.Copy:
+		return m.Rect.Pixels()
+	case *protocol.CSCS:
+		return m.Dst.Pixels()
+	}
+	return 0
+}
+
+// TotalWireBytes reports wire bytes summed over all command types.
+func (s *CommandStats) TotalWireBytes() int64 {
+	var n int64
+	for _, ts := range s.PerType {
+		n += ts.WireBytes
+	}
+	return n
+}
+
+// TotalRawBytes reports the uncompressed (3 bytes/pixel) equivalent summed
+// over all command types.
+func (s *CommandStats) TotalRawBytes() int64 {
+	var n int64
+	for _, ts := range s.PerType {
+		n += ts.RawBytes
+	}
+	return n
+}
+
+// TotalCommands reports the number of commands recorded.
+func (s *CommandStats) TotalCommands() int {
+	n := 0
+	for _, ts := range s.PerType {
+		n += ts.Commands
+	}
+	return n
+}
+
+// CompressionFactor reports raw/wire — the Figure 4 headline number (2× for
+// Photoshop, ≥10× for the others).
+func (s *CommandStats) CompressionFactor() float64 {
+	wire := s.TotalWireBytes()
+	if wire == 0 {
+		return 0
+	}
+	return float64(s.TotalRawBytes()) / float64(wire)
+}
+
+// Merge folds other's counters into s.
+func (s *CommandStats) Merge(other *CommandStats) {
+	for t, ots := range other.PerType {
+		if s.PerType == nil {
+			s.PerType = make(map[protocol.MsgType]*TypeStats)
+		}
+		ts := s.PerType[t]
+		if ts == nil {
+			ts = &TypeStats{}
+			s.PerType[t] = ts
+		}
+		ts.Commands += ots.Commands
+		ts.WireBytes += ots.WireBytes
+		ts.Pixels += ots.Pixels
+		ts.RawBytes += ots.RawBytes
+	}
+}
+
+// Reset clears all counters.
+func (s *CommandStats) Reset() { s.PerType = nil }
+
+// String renders a per-command table in wire order.
+func (s *CommandStats) String() string {
+	var types []protocol.MsgType
+	for t := range s.PerType {
+		types = append(types, t)
+	}
+	sort.Slice(types, func(i, j int) bool { return types[i] < types[j] })
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %10s %14s %14s %14s\n", "command", "count", "wire bytes", "pixels", "raw bytes")
+	for _, t := range types {
+		ts := s.PerType[t]
+		fmt.Fprintf(&b, "%-8s %10d %14d %14d %14d\n", t, ts.Commands, ts.WireBytes, ts.Pixels, ts.RawBytes)
+	}
+	return b.String()
+}

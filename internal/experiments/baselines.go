@@ -1,0 +1,18 @@
+package experiments
+
+import (
+	"slim/internal/workload"
+	"slim/internal/xproto"
+)
+
+// baselineBytes re-encodes a captured session op stream under the X and
+// raw-pixel protocols (Figure 8's comparison requires all three protocols
+// to see the *identical* rendering operations).
+func baselineBytes(sess *workload.Session) (xBytes, rawBytes int64) {
+	x, raw, err := xproto.SessionBytes(sess.Ops)
+	if err != nil {
+		// Ops come from our own generator; an unknown op is a bug.
+		panic("experiments: " + err.Error())
+	}
+	return x, raw
+}

@@ -1,0 +1,176 @@
+// Package experiments contains one runner per table and figure in the
+// paper's evaluation (§4–§7). Each runner regenerates its result from the
+// substrates — workload models, encoder, console model, fabric and
+// scheduler simulators — and renders the same rows or series the paper
+// reports. EXPERIMENTS.md records paper-vs-measured for each.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"slim/internal/trace"
+	"slim/internal/workload"
+)
+
+// Config scales the experiment corpus. The paper used 50 users x >=10 min
+// per application; the default here is smaller so the full suite runs in
+// seconds, and slimbench exposes flags to run at paper scale.
+type Config struct {
+	Users    int           // simulated study participants per application
+	Duration time.Duration // session length per user
+	Seed     uint64        // corpus seed; fixed seed = fixed results
+}
+
+// DefaultConfig is sized to finish the whole suite quickly.
+var DefaultConfig = Config{Users: 10, Duration: 10 * time.Minute, Seed: 1999}
+
+// UserStudy is the generated corpus for one application: per-user traces,
+// the pooled trace, per-user resource profiles, and the op streams plus
+// encoder statistics needed by the protocol-comparison figures.
+type UserStudy struct {
+	App      workload.App
+	Traces   []*trace.Trace
+	Pooled   *trace.Trace
+	Profiles []*workload.Profile
+	// XBytes and RawBytes are the baselines' totals over the same ops.
+	XBytes   int64
+	RawBytes int64
+	// SlimBytes is the SLIM wire total; PerCommand the Figure 4 split.
+	SlimBytes  int64
+	PerCommand map[string]CommandShare
+	// TotalDuration sums all session durations.
+	TotalDuration time.Duration
+}
+
+// CommandShare is one command's byte and pixel share for Figure 4.
+type CommandShare struct {
+	WireBytes int64
+	RawBytes  int64
+	Pixels    int64
+	Commands  int
+}
+
+// Corpus generates (and caches, keyed by config) the full user-study data
+// set for all four applications.
+type Corpus struct {
+	mu      sync.Mutex
+	cfg     Config
+	studies map[workload.App]*UserStudy
+}
+
+// NewCorpus returns an empty corpus for the given config.
+func NewCorpus(cfg Config) *Corpus {
+	if cfg.Users <= 0 {
+		cfg.Users = DefaultConfig.Users
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = DefaultConfig.Duration
+	}
+	return &Corpus{cfg: cfg, studies: make(map[workload.App]*UserStudy)}
+}
+
+// Config reports the corpus configuration.
+func (c *Corpus) Config() Config { return c.cfg }
+
+// Study returns the user study for one application, generating it on first
+// use.
+func (c *Corpus) Study(app workload.App) *UserStudy {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if s, ok := c.studies[app]; ok {
+		return s
+	}
+	s := c.generate(app)
+	c.studies[app] = s
+	return s
+}
+
+func (c *Corpus) generate(app workload.App) *UserStudy {
+	model := workload.ModelFor(app)
+	study := &UserStudy{App: app, PerCommand: make(map[string]CommandShare)}
+	type result struct {
+		idx  int
+		tr   *trace.Trace
+		prof *workload.Profile
+		x    int64
+		raw  int64
+		slim int64
+		per  map[string]CommandShare
+	}
+	results := make([]result, c.cfg.Users)
+	var wg sync.WaitGroup
+	for u := 0; u < c.cfg.Users; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			sess := workload.NewSession(app, u, c.cfg.Seed)
+			sess.CaptureOps = true
+			tr := sess.Run(c.cfg.Duration)
+			x, raw := baselineBytes(sess)
+			per := make(map[string]CommandShare)
+			for t, ts := range sess.Encoder.Stats.PerType {
+				per[t.String()] = CommandShare{
+					WireBytes: ts.WireBytes,
+					RawBytes:  ts.RawBytes,
+					Pixels:    ts.Pixels,
+					Commands:  ts.Commands,
+				}
+			}
+			results[u] = result{
+				idx: u, tr: tr,
+				prof: workload.BuildProfile(model, tr, c.cfg.Seed^uint64(u)<<32),
+				x:    x, raw: raw,
+				slim: sess.Encoder.Stats.TotalWireBytes(),
+				per:  per,
+			}
+		}(u)
+	}
+	wg.Wait()
+	for _, r := range results {
+		study.Traces = append(study.Traces, r.tr)
+		study.Profiles = append(study.Profiles, r.prof)
+		study.XBytes += r.x
+		study.RawBytes += r.raw
+		study.SlimBytes += r.slim
+		study.TotalDuration += r.tr.Duration
+		for k, v := range r.per {
+			cs := study.PerCommand[k]
+			cs.WireBytes += v.WireBytes
+			cs.RawBytes += v.RawBytes
+			cs.Pixels += v.Pixels
+			cs.Commands += v.Commands
+			study.PerCommand[k] = cs
+		}
+	}
+	study.Pooled = trace.Merge(study.Traces)
+	return study
+}
+
+// table renders aligned columns: rows of cells, first row is the header.
+func table(rows [][]string) string {
+	if len(rows) == 0 {
+		return ""
+	}
+	widths := make([]int, len(rows[0]))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	for _, row := range rows {
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

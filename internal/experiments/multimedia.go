@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"slim/internal/core"
+	"slim/internal/netsim"
+	"slim/internal/protocol"
+	"slim/internal/video"
+)
+
+// MultimediaCase is one §7 configuration and its analysis.
+type MultimediaCase struct {
+	Name   string
+	Paper  string // the paper's reported result, for the table
+	Report video.Report
+}
+
+// Multimedia analyzes every §7 configuration on the paper's hardware
+// model: 336 MHz server CPUs, Sun Ray 1 console costs, 100 Mbps fabric.
+func Multimedia() []MultimediaCase {
+	costs := core.SunRay1Costs()
+	base := video.Pipeline{
+		CPUs:                   8,
+		LinkBps:                netsim.Rate100Mbps,
+		Console:                costs,
+		ConsoleVideoEfficiency: video.DefaultConsoleVideoEfficiency,
+	}
+	var out []MultimediaCase
+
+	// §7.1: MPEG-II 720x480, CSCS 6 bpp, single threaded decode.
+	mpeg := base
+	mpeg.SrcW, mpeg.SrcH, mpeg.DstW, mpeg.DstH = 720, 480, 720, 480
+	mpeg.Format = protocol.CSCS6
+	mpeg.ServerPerFrame = video.MPEG2DecodeCost
+	mpeg.Instances = 1
+	mpeg.TargetHz = 30
+	out = append(out, MultimediaCase{
+		Name:   "MPEG-II 720x480, 6bpp",
+		Paper:  "20 Hz, ~40 Mbps, server-bound",
+		Report: mpeg.Analyze(),
+	})
+
+	// §7.1 variant: send every other line, scale at the desktop.
+	half := mpeg
+	half.SrcH = 240
+	out = append(out, MultimediaCase{
+		Name:   "MPEG-II 720x240→720x480 (line-skip + console scale)",
+		Paper:  "30 Hz at half the bandwidth",
+		Report: half.Analyze(),
+	})
+
+	// §7.2: live NTSC, single instance: 640x240 fields scaled to 640x480.
+	ntsc := base
+	ntsc.SrcW, ntsc.SrcH, ntsc.DstW, ntsc.DstH = 640, 240, 640, 480
+	ntsc.Format = protocol.CSCS8
+	ntsc.ServerPerFrame = (video.NTSCDecodeCostLo + video.NTSCDecodeCostHi) / 2
+	ntsc.Instances = 1
+	ntsc.TargetHz = 30
+	out = append(out, MultimediaCase{
+		Name:   "NTSC 640x240→640x480, 1 instance",
+		Paper:  "16–20 Hz (19–23 Mbps), server-bound",
+		Report: ntsc.Analyze(),
+	})
+
+	// §7.2: four half-size players — console becomes the bottleneck.
+	ntsc4 := base
+	ntsc4.SrcW, ntsc4.SrcH, ntsc4.DstW, ntsc4.DstH = 320, 240, 320, 240
+	ntsc4.Format = protocol.CSCS8
+	ntsc4.ServerPerFrame = (video.NTSCDecodeCostLo + video.NTSCDecodeCostHi) / 2 / 4 // quarter-size decode
+	ntsc4.Instances = 4
+	ntsc4.TargetHz = 30
+	out = append(out, MultimediaCase{
+		Name:   "NTSC 4x 320x240",
+		Paper:  "25–28 Hz (59–66 Mbps), console-bound",
+		Report: ntsc4.Analyze(),
+	})
+
+	// §7.3: Quake 640x480, 5 bpp.
+	quakeCase := func(w, h, instances int, name, paper string) MultimediaCase {
+		q := base
+		q.SrcW, q.SrcH, q.DstW, q.DstH = w, h, w, h
+		q.Format = protocol.CSCS5
+		scale := float64(w*h) / (640 * 480)
+		render := (video.QuakeRenderCostLo + video.QuakeRenderCostHi) / 2
+		per := time.Duration(float64(render+video.QuakeTranslateCost640+video.QuakeTransmitCost640) * scale)
+		q.ServerPerFrame = per
+		q.Instances = instances
+		return MultimediaCase{Name: name, Paper: paper, Report: q.Analyze()}
+	}
+	out = append(out, quakeCase(640, 480, 1, "Quake 640x480, 5bpp", "18–21 Hz (22–26 Mbps), server-bound"))
+	out = append(out, quakeCase(480, 360, 1, "Quake 480x360, 5bpp", "28–34 Hz (20–24 Mbps), playable"))
+	out = append(out, quakeCase(320, 240, 4, "Quake 4x 320x240 (simulated parallelism)", "37–40 Hz (46–50 Mbps), console-bound"))
+	return out
+}
+
+// RenderMultimedia prints the §7 table.
+func RenderMultimedia(cases []MultimediaCase) string {
+	rows := [][]string{{"configuration", "achieved", "Mbps", "bottleneck", "paper"}}
+	for _, c := range cases {
+		rows = append(rows, []string{
+			c.Name,
+			fmt.Sprintf("%.1f Hz", c.Report.AchievedHz),
+			fmt.Sprintf("%.1f", c.Report.Mbps),
+			c.Report.Bottleneck,
+			c.Paper,
+		})
+	}
+	return "Section 7: multimedia on the Sun Ray 1 hardware model\n" + table(rows)
+}

@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+)
+
+// Text plots: slimbench renders each figure as an ASCII chart under its
+// checkpoint table, so the output reads like the paper's figures.
+
+// curve is one plotted series.
+type curve struct {
+	label  byte
+	name   string
+	points []pt
+}
+
+type pt struct{ x, y float64 }
+
+// plot renders curves on a w×h character grid. logX selects a log10 x
+// axis. Y is assumed to span [0, yMax] (yMax computed from the data when
+// maxY <= 0).
+func plot(title string, curves []curve, w, h int, logX bool, maxY float64, fmtX, fmtY func(float64) string) string {
+	if len(curves) == 0 {
+		return title + "\n(no data)\n"
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	yTop := maxY
+	for _, c := range curves {
+		for _, p := range c.points {
+			if logX && p.x <= 0 {
+				continue
+			}
+			minX = math.Min(minX, p.x)
+			maxX = math.Max(maxX, p.x)
+			if maxY <= 0 {
+				yTop = math.Max(yTop, p.y)
+			}
+		}
+	}
+	if math.IsInf(minX, 1) || maxX <= minX || yTop <= 0 {
+		return title + "\n(degenerate data)\n"
+	}
+	xform := func(x float64) float64 { return x }
+	if logX {
+		xform = math.Log10
+	}
+	x0, x1 := xform(minX), xform(maxX)
+
+	grid := make([][]byte, h)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", w))
+	}
+	for _, c := range curves {
+		for _, p := range c.points {
+			if logX && p.x <= 0 {
+				continue
+			}
+			col := int((xform(p.x) - x0) / (x1 - x0) * float64(w-1))
+			row := h - 1 - int(p.y/yTop*float64(h-1))
+			if col < 0 || col >= w || row < 0 || row >= h {
+				continue
+			}
+			if grid[row][col] == ' ' || grid[row][col] == c.label {
+				grid[row][col] = c.label
+			} else {
+				grid[row][col] = '*'
+			}
+		}
+	}
+	var b strings.Builder
+	b.WriteString(title + "\n")
+	for i, row := range grid {
+		yVal := yTop * float64(h-1-i) / float64(h-1)
+		fmt.Fprintf(&b, "%8s |%s|\n", fmtY(yVal), string(row))
+	}
+	fmt.Fprintf(&b, "%8s +%s+\n", "", strings.Repeat("-", w))
+	lo, hi := fmtX(minX), fmtX(maxX)
+	mid := fmtX(unxform(logX, (x0+x1)/2))
+	pad := w - len(lo) - len(mid) - len(hi)
+	if pad < 2 {
+		pad = 2
+	}
+	fmt.Fprintf(&b, "%8s  %s%s%s%s%s\n", "", lo,
+		strings.Repeat(" ", pad/2), mid, strings.Repeat(" ", pad-pad/2), hi)
+	var legend []string
+	for _, c := range curves {
+		legend = append(legend, fmt.Sprintf("%c=%s", c.label, c.name))
+	}
+	b.WriteString("          " + strings.Join(legend, "  ") + "\n")
+	return b.String()
+}
+
+func unxform(logX bool, v float64) float64 {
+	if logX {
+		return math.Pow(10, v)
+	}
+	return v
+}
+
+// PlotCDFFigure draws per-application CDF curves (fraction on the y axis).
+func PlotCDFFigure(series []AppSeries, title string, logX bool, fmtX func(float64) string) string {
+	const samples = 120
+	var curves []curve
+	for i, s := range series {
+		c := curve{label: byte('1' + i%9), name: string(s.App)}
+		for _, p := range s.CDF.Points(samples) {
+			c.points = append(c.points, pt{x: p.X, y: p.P})
+		}
+		curves = append(curves, c)
+	}
+	return plot(title, curves, 64, 16, logX, 1,
+		fmtX, func(y float64) string { return fmt.Sprintf("%.2f", y) })
+}
+
+// PlotSharing draws added-latency (or RTT) versus users for one or more
+// sweeps.
+func PlotSharing(results []SharingResult, title, metric string) string {
+	var curves []curve
+	var yMax float64
+	for i, r := range results {
+		name := string(r.App)
+		if r.CPUs > 1 {
+			name = fmt.Sprintf("%s/%dcpu", r.App, r.CPUs)
+		}
+		c := curve{label: byte('1' + i%9), name: name}
+		for _, p := range r.Points {
+			y := p.AvgAdded.Seconds() * 1e3
+			if metric == "avg RTT" {
+				y = p.AvgRTT.Seconds() * 1e3
+			}
+			c.points = append(c.points, pt{x: float64(p.Users), y: y})
+			yMax = math.Max(yMax, y)
+		}
+		curves = append(curves, c)
+	}
+	return plot(title, curves, 64, 14, false, yMax*1.05,
+		func(x float64) string { return fmt.Sprintf("%.0f users", x) },
+		func(y float64) string { return fmt.Sprintf("%.0fms", y) })
+}
+
+// PlotDelaySeries draws the Figure 6 added-delay CDFs on a log-x axis.
+func PlotDelaySeries(series []Figure6Series) string {
+	var curves []curve
+	for i, s := range series {
+		c := curve{label: byte('a' + i), name: s.Label}
+		for _, p := range s.Delays.Points(120) {
+			if p.X <= 0 {
+				p.X = 1e-6
+			}
+			c.points = append(c.points, pt{x: p.X, y: p.P})
+		}
+		curves = append(curves, c)
+	}
+	return plot("Figure 6 (plot): added packet delay CDFs", curves, 64, 16, true, 1,
+		func(x float64) string {
+			return time.Duration(x * float64(time.Second)).Round(10 * time.Microsecond).String()
+		},
+		func(y float64) string { return fmt.Sprintf("%.2f", y) })
+}

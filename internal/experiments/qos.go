@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"slim/internal/console"
+	"slim/internal/core"
+	"slim/internal/loadgen"
+	"slim/internal/netsim"
+	"slim/internal/protocol"
+	"slim/internal/sched"
+	"slim/internal/video"
+	"slim/internal/workload"
+	"slim/internal/yardstick"
+)
+
+// MixedLoadResult shows the §7 bandwidth allocator arbitrating a console
+// shared by a GUI session and multimedia streams: the GUI's small request
+// is granted in full (it sorts first), the video streams split what is
+// left, and their frame rates throttle to their grants.
+type MixedLoadResult struct {
+	GUIRequestMbps float64
+	GUIGrantMbps   float64
+	VideoA         video.Report // MPEG-II under its grant
+	VideoB         video.Report // Quake under its grant
+	GrantA         float64
+	GrantB         float64
+	ReqA           float64
+	ReqB           float64
+}
+
+// MixedLoad runs the allocator scenario on a 100 Mbps console.
+func MixedLoad() (MixedLoadResult, error) {
+	var res MixedLoadResult
+	alloc := console.NewBandwidthAllocator(uint64(netsim.Rate100Mbps))
+	costs := core.SunRay1Costs()
+
+	// Requests "based on their past needs" (§7).
+	const guiBps = 2_000_000
+	mpeg := video.Pipeline{
+		SrcW: 720, SrcH: 480, DstW: 720, DstH: 480,
+		Format:         protocol.CSCS6,
+		ServerPerFrame: video.MPEG2DecodeCost,
+		Instances:      1, CPUs: 8,
+		LinkBps: netsim.Rate100Mbps,
+		Console: costs, ConsoleVideoEfficiency: video.DefaultConsoleVideoEfficiency,
+		TargetHz: 30,
+	}
+	quake := video.Pipeline{
+		SrcW: 640, SrcH: 480, DstW: 640, DstH: 480,
+		Format:         protocol.CSCS5,
+		ServerPerFrame: 30 * time.Millisecond,
+		Instances:      1, CPUs: 8,
+		LinkBps: netsim.Rate100Mbps,
+		Console: costs, ConsoleVideoEfficiency: video.DefaultConsoleVideoEfficiency,
+	}
+	// Each stream requests its unconstrained appetite.
+	reqA := uint64(mpeg.Analyze().Mbps * 1e6 * 1.1)
+	reqB := uint64(quake.Analyze().Mbps * 1e6 * 1.1)
+	alloc.Request(1, guiBps)
+	alloc.Request(2, reqA)
+	alloc.Request(3, reqB)
+	grants := map[uint32]uint64{}
+	for _, g := range alloc.Grants() {
+		grants[g.SessionID] = g.Bps
+	}
+	res.GUIRequestMbps = guiBps / 1e6
+	res.GUIGrantMbps = float64(grants[1]) / 1e6
+	res.GrantA = float64(grants[2]) / 1e6
+	res.GrantB = float64(grants[3]) / 1e6
+	res.ReqA = float64(reqA) / 1e6
+	res.ReqB = float64(reqB) / 1e6
+	mpeg.GrantedBps = float64(grants[2])
+	quake.GrantedBps = float64(grants[3])
+	res.VideoA = mpeg.Analyze()
+	res.VideoB = quake.Analyze()
+	return res, nil
+}
+
+// RenderMixedLoad prints the arbitration outcome.
+func RenderMixedLoad(r MixedLoadResult) string {
+	rows := [][]string{
+		{"session", "request", "grant", "outcome"},
+		{"GUI (X session)", fmt.Sprintf("%.1f Mbps", r.GUIRequestMbps),
+			fmt.Sprintf("%.1f Mbps", r.GUIGrantMbps), "granted in full: interactive service preserved"},
+		{"MPEG-II video", fmt.Sprintf("%.1f Mbps", r.ReqA),
+			fmt.Sprintf("%.1f Mbps", r.GrantA),
+			fmt.Sprintf("%.1f Hz at %.1f Mbps (%s-bound)", r.VideoA.AchievedHz, r.VideoA.Mbps, r.VideoA.Bottleneck)},
+		{"Quake", fmt.Sprintf("%.1f Mbps", r.ReqB),
+			fmt.Sprintf("%.1f Mbps", r.GrantB),
+			fmt.Sprintf("%.1f Hz at %.1f Mbps (%s-bound)", r.VideoB.AchievedHz, r.VideoB.Mbps, r.VideoB.Bottleneck)},
+	}
+	return "Section 7: console bandwidth allocation under mixed load\n" + table(rows)
+}
+
+// QoSResult compares the fair-share scheduler against the §9
+// interactive-priority policy on the Figure 9 workload.
+type QoSResult struct {
+	App   workload.App
+	Users int
+	Fair  time.Duration // added yardstick latency, fair sharing
+	Prio  time.Duration // added latency with interactive priority
+}
+
+// QoSAblation runs the same overload point under both policies.
+func QoSAblation(c *Corpus, app workload.App, users []int, runFor time.Duration) []QoSResult {
+	study := c.Study(app)
+	var out []QoSResult
+	for _, n := range users {
+		row := QoSResult{App: app, Users: n}
+		for _, policy := range []sched.Policy{sched.PolicyFair, sched.PolicyInteractive} {
+			bg := make([]sched.Source, 0, n)
+			for i := 0; i < n; i++ {
+				prof := study.Profiles[i%len(study.Profiles)]
+				bg = append(bg, loadgen.NewCPUSource(prof, c.cfg.Seed^uint64(i)*0x9e37))
+			}
+			cfg := sched.Config{CPUs: 1, Policy: policy, RAMMB: 4096, PagePenalty: 2}
+			r := sched.Run(cfg, bg, yardstick.NewCPU(), runFor)
+			if policy == sched.PolicyFair {
+				row.Fair = r.AvgAdded()
+			} else {
+				row.Prio = r.AvgAdded()
+			}
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// RenderQoS prints the policy comparison.
+func RenderQoS(rows []QoSResult) string {
+	t := [][]string{{"application", "users", "fair-share added", "interactive-priority added"}}
+	for _, r := range rows {
+		t = append(t, []string{
+			string(r.App), fmt.Sprintf("%d", r.Users),
+			r.Fair.Round(100 * time.Microsecond).String(),
+			r.Prio.Round(100 * time.Microsecond).String(),
+		})
+	}
+	return "Section 9 extension: interactive performance guarantees (scheduler ablation)\n" + table(t)
+}

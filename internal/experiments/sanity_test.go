@@ -1,0 +1,29 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"slim/internal/workload"
+)
+
+// TestSanityReport prints the headline experiment outputs for tuning; the
+// binding assertions live in the dedicated test files.
+func TestSanityReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	t.Log("\n" + RenderMultimedia(Multimedia()))
+
+	c := NewCorpus(Config{Users: 6, Duration: 5 * time.Minute, Seed: 7})
+	users := []int{1, 4, 8, 10, 12, 16, 20, 28, 36, 44}
+	for _, app := range workload.Apps {
+		r := Figure9(c, app, users, 60*time.Second)
+		t.Log("\nFigure 9 " + RenderSharing(r, "avg added"))
+	}
+	net := []int{25, 50, 100, 130, 160, 200, 300, 400, 500}
+	for _, app := range []workload.App{workload.Netscape, workload.PIM} {
+		r := Figure11(c, app, net, 5, 30*time.Second)
+		t.Log("\nFigure 11 (paper-density traffic) " + RenderSharing(r, "avg RTT"))
+	}
+}

@@ -1,0 +1,298 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"slim/internal/loadgen"
+	"slim/internal/netsim"
+	"slim/internal/sched"
+	"slim/internal/stats"
+	"slim/internal/workload"
+	"slim/internal/yardstick"
+)
+
+// SharingPoint is one x-axis point of Figure 9/10/11.
+type SharingPoint struct {
+	Users       int
+	AvgAdded    time.Duration // Figure 9/10: mean latency added to 30 ms
+	AvgRTT      time.Duration // Figure 11: mean yardstick round trip
+	P95         time.Duration
+	Utilization float64
+	DroppedPct  float64
+}
+
+// SharingResult is one application's sweep.
+type SharingResult struct {
+	App    workload.App
+	CPUs   int
+	Points []SharingPoint
+	// Knee is the lowest user count whose metric crossed the paper's
+	// tolerance threshold (100 ms added CPU latency; 30 ms network RTT);
+	// 0 if never crossed.
+	Knee int
+}
+
+// Figure9 measures interactive performance under shared processor load:
+// the CPU yardstick (30 ms service / 150 ms think) runs alongside n
+// simulated users replaying recorded resource profiles, for each n in
+// users. One CPU, as in the paper's Figure 9.
+func Figure9(c *Corpus, app workload.App, users []int, runFor time.Duration) SharingResult {
+	return cpuSharing(c, app, users, 1, runFor)
+}
+
+// Figure10 is the SMP scaling experiment: Netscape users on 1–8 CPUs. The
+// returned slice has one sweep per CPU count; plot added latency against
+// users-per-CPU to reproduce the paper's normalization.
+func Figure10(c *Corpus, cpuCounts []int, usersPerCPU []int, runFor time.Duration) []SharingResult {
+	var out []SharingResult
+	for _, cpus := range cpuCounts {
+		users := make([]int, len(usersPerCPU))
+		for i, u := range usersPerCPU {
+			users[i] = u * cpus
+		}
+		out = append(out, cpuSharing(c, workload.Netscape, users, cpus, runFor))
+	}
+	return out
+}
+
+func cpuSharing(c *Corpus, app workload.App, users []int, cpus int, runFor time.Duration) SharingResult {
+	study := c.Study(app)
+	res := SharingResult{App: app, CPUs: cpus}
+	cfg := sched.Config{CPUs: cpus, RAMMB: 4096, PagePenalty: 2.0}
+	for _, n := range users {
+		bg := make([]sched.Source, 0, n)
+		for i := 0; i < n; i++ {
+			prof := study.Profiles[i%len(study.Profiles)]
+			bg = append(bg, loadgen.NewCPUSource(prof, c.cfg.Seed^uint64(i)*0x9e37))
+		}
+		r := sched.Run(cfg, bg, yardstick.NewCPU(), runFor)
+		pt := SharingPoint{
+			Users:       n,
+			AvgAdded:    r.AvgAdded(),
+			Utilization: r.Utilization,
+		}
+		if r.Added.N() > 0 {
+			pt.P95 = time.Duration(r.Added.Percentile(0.95) * float64(time.Second))
+		}
+		res.Points = append(res.Points, pt)
+		if res.Knee == 0 && pt.AvgAdded >= yardstick.CPUKneeAdded {
+			res.Knee = n
+		}
+	}
+	return res
+}
+
+// Figure11 measures interactive performance when the interconnection
+// fabric is shared: n users' display traffic (played back from the network
+// portion of their profiles) contends with the network yardstick on the
+// server's 100 Mbps link to the switch.
+//
+// trafficScale multiplies each user's offered traffic. Our synthetic
+// sessions average ~4x less bandwidth than the paper's user-study traffic,
+// so scale 1 puts the knee near 600+ Netscape users; scale 5 reproduces
+// the paper's per-user traffic density and lands the knee at the paper's
+// 130–140. Both are reported in EXPERIMENTS.md. The knee counts a point as
+// degraded when the yardstick RTT passes 30 ms or loss passes 1% — the
+// paper's "response time suffered greatly and packet loss became a
+// problem".
+func Figure11(c *Corpus, app workload.App, users []int, trafficScale int, runFor time.Duration) SharingResult {
+	if trafficScale < 1 {
+		trafficScale = 1
+	}
+	study := c.Study(app)
+	res := SharingResult{App: app}
+	down := &netsim.Link{
+		Bps:      netsim.Rate100Mbps,
+		Prop:     20 * time.Microsecond, // one switch hop
+		BufBytes: 512 * 1024,            // switch buffering
+	}
+	up := &netsim.Link{Bps: netsim.Rate100Mbps, Prop: 20 * time.Microsecond}
+	for _, n := range users {
+		var pkts []netsim.Packet
+		for i := 0; i < n; i++ {
+			prof := study.Profiles[i%len(study.Profiles)]
+			for j := 0; j < trafficScale; j++ {
+				seed := c.cfg.Seed ^ uint64(i)*0x1234 ^ uint64(j)<<40
+				pkts = append(pkts, loadgen.NetPackets(prof, i, 1400, runFor, seed)...)
+			}
+		}
+		pkts = append(pkts, yardstick.NetProbe(runFor, c.cfg.Seed)...)
+		deliveries := down.Run(pkts)
+		rtts, dropped := yardstick.NetRTTs(deliveries, up, down)
+		pt := SharingPoint{Users: n}
+		if rtts.N() > 0 {
+			pt.AvgRTT = time.Duration(rtts.Mean() * float64(time.Second))
+			pt.P95 = time.Duration(rtts.Percentile(0.95) * float64(time.Second))
+			pt.DroppedPct = 100 * float64(dropped) / float64(rtts.N()+dropped)
+		}
+		res.Points = append(res.Points, pt)
+		if res.Knee == 0 && (pt.AvgRTT >= yardstick.NetKneeRTT || pt.DroppedPct >= 1) {
+			res.Knee = n
+		}
+	}
+	return res
+}
+
+// RenderSharing prints a sweep as a table.
+func RenderSharing(r SharingResult, metric string) string {
+	rows := [][]string{{"users", metric, "P95", "util/drop"}}
+	for _, p := range r.Points {
+		m := p.AvgAdded
+		aux := fmt.Sprintf("%.0f%% util", 100*p.Utilization)
+		if metric == "avg RTT" {
+			m = p.AvgRTT
+			aux = fmt.Sprintf("%.2f%% drop", p.DroppedPct)
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", p.Users),
+			m.Round(100 * time.Microsecond).String(),
+			p.P95.Round(100 * time.Microsecond).String(),
+			aux,
+		})
+	}
+	hdr := fmt.Sprintf("%s (%d CPU(s)): knee at %d users\n", r.App, max(1, r.CPUs), r.Knee)
+	return hdr + table(rows)
+}
+
+// CaseStudySample is one five-minute sample of Figure 12's day-long plots.
+type CaseStudySample struct {
+	Minute      int
+	TotalUsers  int
+	ActiveUsers int
+	CPUUtil     float64 // fraction of all CPUs, 0..1
+	NetMbps     float64
+}
+
+// CaseStudySite describes one monitored installation.
+type CaseStudySite struct {
+	Name      string
+	Terminals int
+	CPUs      int
+	// Mix weights user sessions across the four applications.
+	Mix map[workload.App]float64
+}
+
+// Figure12Sites returns the two installations monitored in §6.3.
+func Figure12Sites() []CaseStudySite {
+	return []CaseStudySite{
+		{
+			Name: "university lab (E250, 2 CPUs, 50 terminals)", Terminals: 50, CPUs: 2,
+			Mix: map[workload.App]float64{
+				workload.Netscape: 0.35, workload.PIM: 0.30,
+				workload.FrameMaker: 0.20, workload.Photoshop: 0.15,
+			},
+		},
+		{
+			Name: "product development (E4500, 8 CPUs, 100 terminals)", Terminals: 100, CPUs: 8,
+			Mix: map[workload.App]float64{
+				workload.FrameMaker: 0.35, workload.PIM: 0.30,
+				workload.Netscape: 0.25, workload.Photoshop: 0.10,
+			},
+		},
+	}
+}
+
+// Figure12 synthesizes a day-long load profile for a site: users arrive on
+// a diurnal curve, a fraction are actively working at any instant, and
+// each active session contributes its application's CPU and network
+// demand. Values are sampled every five minutes (the paper reports the
+// five-minute maxima of 10-second snapshots).
+func Figure12(site CaseStudySite, seed uint64) []CaseStudySample {
+	rng := stats.NewRNG(seed)
+	apps := make([]workload.App, 0, len(site.Mix))
+	weights := make([]float64, 0, len(site.Mix))
+	for app, w := range site.Mix {
+		apps = append(apps, app)
+		weights = append(weights, w)
+	}
+	var out []CaseStudySample
+	for min := 0; min < 24*60; min += 5 {
+		h := float64(min) / 60
+		occupancy := diurnal(h)
+		total := int(occupancy*float64(site.Terminals) + rng.Range(-2, 2))
+		if total < 0 {
+			total = 0
+		}
+		if total > site.Terminals {
+			total = site.Terminals
+		}
+		// "far fewer users are actively running jobs": ~40–60% of logged-in
+		// users are active at the busiest times.
+		active := int(float64(total) * rng.Range(0.35, 0.6))
+		var cpu, mbps float64
+		for i := 0; i < active; i++ {
+			app := apps[rng.Pick(weights)]
+			m := workload.ModelFor(app)
+			burst := rng.Range(0.5, 2.5) // five-minute max, not mean
+			cpu += m.AvgCPU * burst
+			mbps += appNetMbps(app) * burst
+		}
+		util := cpu / float64(site.CPUs)
+		if util > 1 {
+			util = 1
+		}
+		out = append(out, CaseStudySample{
+			Minute: min, TotalUsers: total, ActiveUsers: active,
+			CPUUtil: util, NetMbps: mbps,
+		})
+	}
+	return out
+}
+
+// appNetMbps is the measured average SLIM bandwidth per application from
+// the calibrated models (Figure 8 scale).
+func appNetMbps(app workload.App) float64 {
+	switch app {
+	case workload.Photoshop:
+		return 0.15
+	case workload.Netscape:
+		return 0.09
+	case workload.FrameMaker:
+		return 0.02
+	default:
+		return 0.013
+	}
+}
+
+// diurnal is a simple two-peak office occupancy curve in [0,1].
+func diurnal(hour float64) float64 {
+	switch {
+	case hour < 7:
+		return 0.02
+	case hour < 9:
+		return 0.02 + 0.4*(hour-7)/2
+	case hour < 12:
+		return 0.42 + 0.38*(hour-9)/3
+	case hour < 13:
+		return 0.6 // lunch dip
+	case hour < 17:
+		return 0.8
+	case hour < 20:
+		return 0.8 - 0.6*(hour-17)/3
+	default:
+		return 0.1
+	}
+}
+
+// RenderFigure12 summarizes a day profile.
+func RenderFigure12(site CaseStudySite, samples []CaseStudySample) string {
+	var peakUsers, peakActive int
+	var peakCPU, peakNet float64
+	for _, s := range samples {
+		if s.TotalUsers > peakUsers {
+			peakUsers = s.TotalUsers
+		}
+		if s.ActiveUsers > peakActive {
+			peakActive = s.ActiveUsers
+		}
+		if s.CPUUtil > peakCPU {
+			peakCPU = s.CPUUtil
+		}
+		if s.NetMbps > peakNet {
+			peakNet = s.NetMbps
+		}
+	}
+	return fmt.Sprintf("%s: peak users=%d active=%d cpu=%.0f%% net=%.2f Mbps (aggregate network stays below 5 Mbps: %v)\n",
+		site.Name, peakUsers, peakActive, 100*peakCPU, peakNet, peakNet < 5)
+}

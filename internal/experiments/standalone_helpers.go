@@ -1,0 +1,34 @@
+package experiments
+
+import (
+	"time"
+
+	"slim/internal/core"
+	"slim/internal/fb"
+	"slim/internal/protocol"
+	"slim/internal/workload"
+)
+
+// newScreen builds the console-side frame buffer used by the Table 5
+// measurement.
+func newScreen() *fb.Framebuffer { return fb.New(512, 512) }
+
+// fbEncodeCSCS wraps the frame buffer CSCS encoder at 12 bpp.
+func fbEncodeCSCS(pix []protocol.Pixel, w, h int) ([]byte, error) {
+	return fb.EncodeCSCS(pix, w, h, protocol.CSCS12)
+}
+
+// Screen geometry aliases for the overhead measurement.
+const (
+	workloadScreenW = workload.ScreenW
+	workloadScreenH = workload.ScreenH
+)
+
+// overheadOps captures a representative Netscape op stream once for the
+// §5.5 encoder-overhead measurement.
+func overheadOps() []core.Op {
+	sess := workload.NewSession(workload.Netscape, 0, 77)
+	sess.CaptureOps = true
+	sess.Run(60 * time.Second)
+	return sess.Ops
+}

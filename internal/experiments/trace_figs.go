@@ -1,0 +1,298 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"slim/internal/core"
+	"slim/internal/netsim"
+	"slim/internal/protocol"
+	"slim/internal/stats"
+	"slim/internal/trace"
+	"slim/internal/workload"
+)
+
+// AppSeries holds one figure's per-application distribution.
+type AppSeries struct {
+	App workload.App
+	CDF *stats.CDF
+}
+
+// Figure2 computes the cumulative distributions of user input event
+// frequency (events/sec) per application.
+func Figure2(c *Corpus) []AppSeries {
+	var out []AppSeries
+	for _, app := range workload.Apps {
+		study := c.Study(app)
+		cdf := stats.NewCDF(4096)
+		for _, tr := range study.Traces {
+			cdf.AddAll(tr.EventFrequencies())
+		}
+		out = append(out, AppSeries{App: app, CDF: cdf})
+	}
+	return out
+}
+
+// Figure3 computes the cumulative distributions of pixels changed per
+// input event.
+func Figure3(c *Corpus) []AppSeries {
+	var out []AppSeries
+	for _, app := range workload.Apps {
+		study := c.Study(app)
+		cdf := stats.NewCDF(4096)
+		for _, tr := range study.Traces {
+			for _, pe := range tr.PerEventTotals() {
+				cdf.Add(float64(pe.Pixels))
+			}
+		}
+		out = append(out, AppSeries{App: app, CDF: cdf})
+	}
+	return out
+}
+
+// Figure5 computes the cumulative distributions of SLIM protocol bytes
+// transmitted per input event.
+func Figure5(c *Corpus) []AppSeries {
+	var out []AppSeries
+	for _, app := range workload.Apps {
+		study := c.Study(app)
+		cdf := stats.NewCDF(4096)
+		for _, tr := range study.Traces {
+			for _, pe := range tr.PerEventTotals() {
+				cdf.Add(float64(pe.Bytes))
+			}
+		}
+		out = append(out, AppSeries{App: app, CDF: cdf})
+	}
+	return out
+}
+
+// RenderCDFFigure prints a paper-style checkpoint table for a CDF figure.
+func RenderCDFFigure(series []AppSeries, label string, checkpoints []float64, fmtX func(float64) string) string {
+	rows := [][]string{{"application"}}
+	for _, x := range checkpoints {
+		rows[0] = append(rows[0], "P(X<="+fmtX(x)+")")
+	}
+	for _, s := range series {
+		row := []string{string(s.App)}
+		for _, x := range checkpoints {
+			row = append(row, fmt.Sprintf("%.3f", s.CDF.At(x)))
+		}
+		rows = append(rows, row)
+	}
+	return label + "\n" + table(rows)
+}
+
+// Figure4Row is one application's per-command efficiency decomposition:
+// left bar (uncompressed pixels) vs right bar (SLIM wire bytes).
+type Figure4Row struct {
+	App         workload.App
+	Uncomp      int64 // 3 bytes per affected pixel
+	Wire        int64
+	Compression float64
+	PerCommand  map[string]CommandShare
+}
+
+// Figure4 computes the efficiency of the SLIM display commands.
+func Figure4(c *Corpus) []Figure4Row {
+	var out []Figure4Row
+	for _, app := range workload.Apps {
+		study := c.Study(app)
+		var raw int64
+		for _, cs := range study.PerCommand {
+			raw += cs.RawBytes
+		}
+		row := Figure4Row{
+			App:        app,
+			Uncomp:     raw,
+			Wire:       study.SlimBytes,
+			PerCommand: study.PerCommand,
+		}
+		if row.Wire > 0 {
+			row.Compression = float64(row.Uncomp) / float64(row.Wire)
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// RenderFigure4 prints the per-command decomposition.
+func RenderFigure4(rows []Figure4Row) string {
+	out := "Figure 4: efficiency of SLIM protocol display commands\n"
+	hdr := [][]string{{"application", "command", "wire bytes", "uncompressed", "share of raw"}}
+	for _, r := range rows {
+		for _, cmd := range []string{"SET", "BITMAP", "FILL", "COPY", "CSCS"} {
+			cs, ok := r.PerCommand[cmd]
+			if !ok {
+				continue
+			}
+			hdr = append(hdr, []string{
+				string(r.App), cmd,
+				fmt.Sprintf("%d", cs.WireBytes),
+				fmt.Sprintf("%d", cs.RawBytes),
+				fmt.Sprintf("%.1f%%", 100*float64(cs.RawBytes)/float64(r.Uncomp)),
+			})
+		}
+		hdr = append(hdr, []string{string(r.App), "TOTAL",
+			fmt.Sprintf("%d", r.Wire), fmt.Sprintf("%d", r.Uncomp),
+			fmt.Sprintf("%.1fx compression", r.Compression)})
+	}
+	return out + table(hdr)
+}
+
+// Figure6Series is the added-delay distribution at one bandwidth level.
+type Figure6Series struct {
+	Label  string
+	Bps    float64
+	Delays *stats.CDF // seconds of delay added relative to 100 Mbps
+}
+
+// Figure6 replays a Netscape trace's packets over constrained links and
+// reports per-packet delays in excess of the 100 Mbps reference (§5.4).
+func Figure6(c *Corpus) []Figure6Series {
+	study := c.Study(workload.Netscape)
+	// One representative user, as in the paper.
+	pkts := study.Traces[0].Packets(0)
+	ref := &netsim.Link{Bps: netsim.Rate100Mbps}
+	levels := []struct {
+		label string
+		bps   float64
+	}{
+		{"10Mbps", netsim.Rate10Mbps},
+		{"2Mbps", netsim.Rate2Mbps},
+		{"1Mbps", netsim.Rate1Mbps},
+		{"128Kbps", netsim.Rate128Kbps},
+		{"56Kbps", netsim.Rate56Kbps},
+	}
+	var out []Figure6Series
+	for _, lv := range levels {
+		slow := &netsim.Link{Bps: lv.bps}
+		cdf := stats.NewCDF(len(pkts))
+		for _, d := range netsim.AddedDelays(pkts, ref, slow) {
+			cdf.Add(d.Seconds())
+		}
+		out = append(out, Figure6Series{Label: lv.label, Bps: lv.bps, Delays: cdf})
+	}
+	return out
+}
+
+// RenderFigure6 prints checkpoint delays per bandwidth level.
+func RenderFigure6(series []Figure6Series) string {
+	rows := [][]string{{"bandwidth", "P50 added", "P90 added", "P99 added", "P(added>100ms)"}}
+	for _, s := range series {
+		rows = append(rows, []string{
+			s.Label,
+			fmtDur(s.Delays.Percentile(0.50)),
+			fmtDur(s.Delays.Percentile(0.90)),
+			fmtDur(s.Delays.Percentile(0.99)),
+			fmt.Sprintf("%.3f", 1-s.Delays.At(0.100)),
+		})
+	}
+	return "Figure 6: added packet delays vs fabric bandwidth (Netscape trace)\n" + table(rows)
+}
+
+// Figure7 replays each application's pooled display command log through
+// the Sun Ray 1 cost model, including decode queueing, and reports the
+// distribution of display-update service times per input event.
+func Figure7(c *Corpus) []AppSeries {
+	costs := core.SunRay1Costs()
+	var out []AppSeries
+	for _, app := range workload.Apps {
+		study := c.Study(app)
+		cdf := stats.NewCDF(4096)
+		for _, tr := range study.Traces {
+			addServiceTimes(cdf, tr, costs)
+		}
+		out = append(out, AppSeries{App: app, CDF: cdf})
+	}
+	return out
+}
+
+// addServiceTimes accumulates per-event display service times: for each
+// input event, the time from the event until the console finishes decoding
+// every command of the induced update (queueing included).
+func addServiceTimes(cdf *stats.CDF, tr *trace.Trace, costs *core.CostModel) {
+	var busyUntil time.Duration
+	var eventStart time.Duration
+	var finish time.Duration
+	open := false
+	flush := func() {
+		if open {
+			cdf.Add((finish - eventStart).Seconds())
+		}
+	}
+	for _, r := range tr.Records {
+		switch {
+		case r.Kind.IsInput():
+			flush()
+			eventStart = r.T
+			finish = r.T
+			open = true
+		case r.Kind == trace.KindDisplay && open:
+			decode := commandServiceTime(costs, r)
+			start := r.T
+			if busyUntil > start {
+				start = busyUntil
+			}
+			busyUntil = start + decode
+			if busyUntil > finish {
+				finish = busyUntil
+			}
+		}
+	}
+	flush()
+}
+
+// commandServiceTime evaluates the cost model from a trace record.
+func commandServiceTime(costs *core.CostModel, r trace.Record) time.Duration {
+	ns := costs.Startup[r.Cmd]
+	if r.Cmd == protocol.TypeCSCS {
+		ns += costs.CSCSPerPixel[protocol.CSCS12] * float64(r.Pixels)
+	} else {
+		ns += costs.PerPixel[r.Cmd] * float64(r.Pixels)
+	}
+	return time.Duration(ns)
+}
+
+// Figure8Row is one application's average bandwidth under each protocol.
+type Figure8Row struct {
+	App      workload.App
+	XMbps    float64
+	SlimMbps float64
+	RawMbps  float64
+}
+
+// Figure8 computes the average bandwidth consumed by the benchmark
+// applications under the X, SLIM, and raw-pixel protocols.
+func Figure8(c *Corpus) []Figure8Row {
+	var out []Figure8Row
+	for _, app := range workload.Apps {
+		study := c.Study(app)
+		secs := study.TotalDuration.Seconds()
+		out = append(out, Figure8Row{
+			App:      app,
+			XMbps:    float64(study.XBytes*8) / secs / 1e6,
+			SlimMbps: float64(study.SlimBytes*8) / secs / 1e6,
+			RawMbps:  float64(study.RawBytes*8) / secs / 1e6,
+		})
+	}
+	return out
+}
+
+// RenderFigure8 prints the three-protocol comparison.
+func RenderFigure8(rows []Figure8Row) string {
+	t := [][]string{{"application", "X (Mbps)", "SLIM (Mbps)", "raw pixels (Mbps)"}}
+	for _, r := range rows {
+		t = append(t, []string{
+			string(r.App),
+			fmt.Sprintf("%.4f", r.XMbps),
+			fmt.Sprintf("%.4f", r.SlimMbps),
+			fmt.Sprintf("%.4f", r.RawMbps),
+		})
+	}
+	return "Figure 8: average bandwidth under X, SLIM, and raw-pixel protocols\n" + table(t)
+}
+
+func fmtDur(seconds float64) string {
+	return time.Duration(seconds * float64(time.Second)).Round(10 * time.Microsecond).String()
+}

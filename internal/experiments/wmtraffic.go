@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"slim/internal/core"
+	"slim/internal/protocol"
+	"slim/internal/stats"
+	"slim/internal/wm"
+	"slim/internal/xproto"
+)
+
+// WMTrafficResult measures what pure window management — opening,
+// dragging, restacking, and closing windows at human rates — costs on the
+// wire. Window drags are where SLIM's COPY earns its keep: the console
+// moves the pixels it already has, while a raw protocol retransmits every
+// pixel of the window at every drag step.
+type WMTrafficResult struct {
+	Minutes     float64
+	Events      int
+	SlimBytes   int64
+	XBytes      int64
+	RawBytes    int64
+	CopyShare   float64 // fraction of SLIM-affected pixels moved by COPY
+	SlimMbps    float64
+	Compression float64
+}
+
+// WMTraffic drives a desktop through a synthetic management session:
+// windows open, get dragged in multi-step movements (one COPY per step,
+// as a real drag generates), raised, and closed.
+func WMTraffic(minutes int, seed uint64) (WMTrafficResult, error) {
+	res := WMTrafficResult{Minutes: float64(minutes)}
+	rng := stats.NewRNG(seed)
+	desk := wm.New(1280, 1024)
+	enc := core.NewEncoder(1280, 1024)
+	var xBytes, rawBytes int64
+
+	apply := func(ops []core.Op) error {
+		for _, op := range ops {
+			if _, err := enc.Encode(op); err != nil {
+				return err
+			}
+			xb, err := xproto.BytesFor(op)
+			if err != nil {
+				return err
+			}
+			xBytes += int64(xb)
+			rawBytes += int64(xproto.RawBytesFor(op))
+		}
+		return nil
+	}
+	if err := apply(desk.InitOps()); err != nil {
+		return res, err
+	}
+
+	var ids []int
+	elapsed := time.Duration(0)
+	total := time.Duration(minutes) * time.Minute
+	for elapsed < total {
+		// Management actions arrive every ~2-6 seconds.
+		elapsed += time.Duration(rng.Range(2, 6) * float64(time.Second))
+		res.Events++
+		switch action := rng.Intn(10); {
+		case action < 3 || len(ids) == 0: // open a window
+			if len(ids) >= 8 {
+				break
+			}
+			r := protocol.Rect{
+				X: rng.Intn(600), Y: rng.Intn(500),
+				W: 300 + rng.Intn(400), H: 250 + rng.Intn(350),
+			}
+			id, ops, err := desk.Create(r, "app")
+			if err != nil {
+				break
+			}
+			if err := apply(ops); err != nil {
+				return res, err
+			}
+			ids = append(ids, id)
+		case action < 7: // drag: 10-25 incremental steps of ~15px
+			id := ids[rng.Intn(len(ids))]
+			if ops, err := desk.Raise(id); err == nil {
+				if err := apply(ops); err != nil {
+					return res, err
+				}
+			}
+			steps := 10 + rng.Intn(16)
+			dx, dy := rng.Intn(31)-15, rng.Intn(31)-15
+			for s := 0; s < steps; s++ {
+				ops, err := desk.Move(id, dx, dy)
+				if err != nil {
+					return res, err
+				}
+				if err := apply(ops); err != nil {
+					return res, err
+				}
+			}
+		case action < 9: // restack
+			id := ids[rng.Intn(len(ids))]
+			ops, err := desk.Raise(id)
+			if err != nil {
+				return res, err
+			}
+			if err := apply(ops); err != nil {
+				return res, err
+			}
+		default: // close
+			if len(ids) < 2 {
+				break
+			}
+			k := rng.Intn(len(ids))
+			ops, err := desk.Close(ids[k])
+			if err != nil {
+				return res, err
+			}
+			ids = append(ids[:k], ids[k+1:]...)
+			if err := apply(ops); err != nil {
+				return res, err
+			}
+		}
+	}
+
+	res.SlimBytes = enc.Stats.TotalWireBytes()
+	res.XBytes = xBytes
+	res.RawBytes = rawBytes
+	res.SlimMbps = float64(res.SlimBytes*8) / total.Seconds() / 1e6
+	res.Compression = enc.Stats.CompressionFactor()
+	var copyPx, allPx int64
+	for t, ts := range enc.Stats.PerType {
+		allPx += ts.Pixels
+		if t == protocol.TypeCopy {
+			copyPx += ts.Pixels
+		}
+	}
+	if allPx > 0 {
+		res.CopyShare = float64(copyPx) / float64(allPx)
+	}
+	return res, nil
+}
+
+// RenderWMTraffic prints the comparison.
+func RenderWMTraffic(r WMTrafficResult) string {
+	rows := [][]string{
+		{"metric", "value"},
+		{"management events", fmt.Sprintf("%d over %.0f min", r.Events, r.Minutes)},
+		{"SLIM wire", fmt.Sprintf("%d bytes (%.3f Mbps avg)", r.SlimBytes, r.SlimMbps)},
+		{"X protocol", fmt.Sprintf("%d bytes", r.XBytes)},
+		{"raw pixels", fmt.Sprintf("%d bytes", r.RawBytes)},
+		{"SLIM compression vs raw", fmt.Sprintf("%.0fx", r.Compression)},
+		{"pixels moved by COPY", fmt.Sprintf("%.0f%%", 100*r.CopyShare)},
+	}
+	return "Window management traffic (drags, restacks, exposures)\n" + table(rows) +
+		"(X column models exposure repaints as PutImage; a real X app would\n" +
+		" redraw with primitives, landing between the X and SLIM columns.)\n"
+}

@@ -1,0 +1,351 @@
+// Package fb implements the frame buffer substrate shared by SLIM servers
+// and consoles: a 32-bit pixel surface with the five Table 1 operations
+// (SET, BITMAP, FILL, COPY, CSCS), YUV color-space conversion with optional
+// bilinear scaling, damage tracking, and frame differencing for the
+// raw-pixel baseline protocol.
+//
+// The server keeps the persistent, authoritative frame buffer; the console
+// keeps only a soft copy that may be overwritten at any time (§2.2). Both
+// sides use this package.
+package fb
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+
+	"slim/internal/protocol"
+)
+
+// Framebuffer is a W×H surface of 32-bit pixels stored row-major as
+// 0x00RRGGBB words — the native 4-byte format the Sun Ray's graphics
+// controller wants, and the reason SET pays a packing-expansion cost per
+// pixel (Table 5).
+type Framebuffer struct {
+	W, H int
+	Pix  []uint32
+
+	damage  protocol.Rect
+	damaged bool
+
+	// TrackRegion enables exact damage-region accumulation (disjoint
+	// rectangles) in addition to the cheap bounding box. The VNC-style
+	// baseline and region repaints use it; SLIM's own push path does not
+	// need it, which is part of why a SLIM server is simpler (§8.3).
+	TrackRegion  bool
+	damageRegion Region
+}
+
+// New returns a zeroed (black) frame buffer. It panics on non-positive
+// dimensions; screen geometry comes from validated Hello messages.
+func New(w, h int) *Framebuffer {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("fb: invalid size %dx%d", w, h))
+	}
+	return &Framebuffer{W: w, H: h, Pix: make([]uint32, w*h)}
+}
+
+// Bounds returns the full-screen rectangle.
+func (f *Framebuffer) Bounds() protocol.Rect {
+	return protocol.Rect{W: f.W, H: f.H}
+}
+
+// At returns the pixel at (x, y). Out-of-range coordinates return 0.
+func (f *Framebuffer) At(x, y int) protocol.Pixel {
+	if x < 0 || y < 0 || x >= f.W || y >= f.H {
+		return 0
+	}
+	return protocol.Pixel(f.Pix[y*f.W+x])
+}
+
+// SetAt writes the pixel at (x, y), ignoring out-of-range coordinates.
+func (f *Framebuffer) SetAt(x, y int, p protocol.Pixel) {
+	if x < 0 || y < 0 || x >= f.W || y >= f.H {
+		return
+	}
+	f.Pix[y*f.W+x] = uint32(p)
+}
+
+// clip returns r clipped to the frame buffer.
+func (f *Framebuffer) clip(r protocol.Rect) protocol.Rect {
+	return r.Intersect(f.Bounds())
+}
+
+// noteDamage extends the damage region to cover r.
+func (f *Framebuffer) noteDamage(r protocol.Rect) {
+	if r.Empty() {
+		return
+	}
+	if f.TrackRegion {
+		f.damageRegion.Add(r)
+	}
+	if !f.damaged {
+		f.damage = r
+		f.damaged = true
+		return
+	}
+	x1 := min(f.damage.X, r.X)
+	y1 := min(f.damage.Y, r.Y)
+	x2 := max(f.damage.X+f.damage.W, r.X+r.W)
+	y2 := max(f.damage.Y+f.damage.H, r.Y+r.H)
+	f.damage = protocol.Rect{X: x1, Y: y1, W: x2 - x1, H: y2 - y1}
+}
+
+// TakeDamage returns the bounding box of all writes since the last call and
+// resets it. The server-side encoder uses damage to know what to repaint
+// after a session migrates to a new console.
+func (f *Framebuffer) TakeDamage() (protocol.Rect, bool) {
+	r, ok := f.damage, f.damaged
+	f.damage, f.damaged = protocol.Rect{}, false
+	f.damageRegion.Clear()
+	return r, ok
+}
+
+// TakeDamageRegion returns the exact damaged rectangles since the last
+// take and resets tracking. Requires TrackRegion.
+func (f *Framebuffer) TakeDamageRegion() []protocol.Rect {
+	rects := f.damageRegion.Rects()
+	f.damageRegion.Clear()
+	f.damage, f.damaged = protocol.Rect{}, false
+	return rects
+}
+
+// Fill paints r with a single color (the FILL command).
+func (f *Framebuffer) Fill(r protocol.Rect, c protocol.Pixel) {
+	r = f.clip(r)
+	if r.Empty() {
+		return
+	}
+	for y := r.Y; y < r.Y+r.H; y++ {
+		row := f.Pix[y*f.W+r.X : y*f.W+r.X+r.W]
+		for i := range row {
+			row[i] = uint32(c)
+		}
+	}
+	f.noteDamage(r)
+}
+
+// Set writes literal pixels into r (the SET command). pixels must hold
+// r.W*r.H values in row-major order; rows that fall outside the frame
+// buffer are clipped.
+func (f *Framebuffer) Set(r protocol.Rect, pixels []protocol.Pixel) error {
+	if len(pixels) != r.Pixels() {
+		return fmt.Errorf("fb: SET %v wants %d pixels, got %d", r, r.Pixels(), len(pixels))
+	}
+	clipped := f.clip(r)
+	if clipped.Empty() {
+		return nil
+	}
+	for y := clipped.Y; y < clipped.Y+clipped.H; y++ {
+		srcRow := (y - r.Y) * r.W
+		dstRow := y * f.W
+		for x := clipped.X; x < clipped.X+clipped.W; x++ {
+			f.Pix[dstRow+x] = uint32(pixels[srcRow+(x-r.X)])
+		}
+	}
+	f.noteDamage(clipped)
+	return nil
+}
+
+// Bitmap expands a 1bpp bitmap into fg/bg colors over r (the BITMAP
+// command). bits holds r.H padded rows of ceil(r.W/8) bytes, MSB first.
+func (f *Framebuffer) Bitmap(r protocol.Rect, fg, bg protocol.Pixel, bits []byte) error {
+	rowBytes := protocol.BitmapRowBytes(r.W)
+	if len(bits) != rowBytes*r.H {
+		return fmt.Errorf("fb: BITMAP %v wants %d bytes, got %d", r, rowBytes*r.H, len(bits))
+	}
+	clipped := f.clip(r)
+	if clipped.Empty() {
+		return nil
+	}
+	for y := clipped.Y; y < clipped.Y+clipped.H; y++ {
+		srcRow := (y - r.Y) * rowBytes
+		dstRow := y * f.W
+		for x := clipped.X; x < clipped.X+clipped.W; x++ {
+			bx := x - r.X
+			if bits[srcRow+bx/8]&(0x80>>uint(bx%8)) != 0 {
+				f.Pix[dstRow+x] = uint32(fg)
+			} else {
+				f.Pix[dstRow+x] = uint32(bg)
+			}
+		}
+	}
+	f.noteDamage(clipped)
+	return nil
+}
+
+// Copy moves the src rectangle so its top-left lands at (dstX, dstY) (the
+// COPY command). Overlapping regions copy correctly, which is what makes
+// COPY usable for scrolling.
+func (f *Framebuffer) Copy(src protocol.Rect, dstX, dstY int) {
+	src = f.clip(src)
+	if src.Empty() {
+		return
+	}
+	dst := f.clip(protocol.Rect{X: dstX, Y: dstY, W: src.W, H: src.H})
+	if dst.Empty() {
+		return
+	}
+	// Shrink src to match the clipped destination.
+	src = protocol.Rect{
+		X: src.X + (dst.X - dstX),
+		Y: src.Y + (dst.Y - dstY),
+		W: dst.W,
+		H: dst.H,
+	}
+	// Choose iteration order so overlapping copies are safe.
+	if dst.Y > src.Y || (dst.Y == src.Y && dst.X > src.X) {
+		for y := src.H - 1; y >= 0; y-- {
+			f.copyRow(src, dst, y)
+		}
+	} else {
+		for y := 0; y < src.H; y++ {
+			f.copyRow(src, dst, y)
+		}
+	}
+	f.noteDamage(dst)
+}
+
+func (f *Framebuffer) copyRow(src, dst protocol.Rect, y int) {
+	s := f.Pix[(src.Y+y)*f.W+src.X : (src.Y+y)*f.W+src.X+src.W]
+	d := f.Pix[(dst.Y+y)*f.W+dst.X : (dst.Y+y)*f.W+dst.X+dst.W]
+	copy(d, s) // builtin copy handles overlap within a row
+}
+
+// Snapshot returns a deep copy of the frame buffer contents.
+func (f *Framebuffer) Snapshot() *Framebuffer {
+	c := New(f.W, f.H)
+	copy(c.Pix, f.Pix)
+	return c
+}
+
+// Equal reports whether two frame buffers have identical geometry and
+// pixels.
+func (f *Framebuffer) Equal(o *Framebuffer) bool {
+	if f.W != o.W || f.H != o.H {
+		return false
+	}
+	for i := range f.Pix {
+		if f.Pix[i] != o.Pix[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// DiffPixels counts pixels that differ between two equally sized frame
+// buffers. The raw-pixel baseline of Figure 8 transmits exactly these.
+func (f *Framebuffer) DiffPixels(o *Framebuffer) (int, error) {
+	if f.W != o.W || f.H != o.H {
+		return 0, fmt.Errorf("fb: diff of mismatched sizes %dx%d vs %dx%d", f.W, f.H, o.W, o.H)
+	}
+	n := 0
+	for i := range f.Pix {
+		if f.Pix[i] != o.Pix[i] {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// DiffRect returns the bounding rectangle of all differing pixels, and
+// false if the frame buffers are identical.
+func (f *Framebuffer) DiffRect(o *Framebuffer) (protocol.Rect, bool) {
+	if f.W != o.W || f.H != o.H {
+		return f.Bounds(), true
+	}
+	minX, minY := f.W, f.H
+	maxX, maxY := -1, -1
+	for y := 0; y < f.H; y++ {
+		row := y * f.W
+		for x := 0; x < f.W; x++ {
+			if f.Pix[row+x] != o.Pix[row+x] {
+				if x < minX {
+					minX = x
+				}
+				if x > maxX {
+					maxX = x
+				}
+				if y < minY {
+					minY = y
+				}
+				if y > maxY {
+					maxY = y
+				}
+			}
+		}
+	}
+	if maxX < 0 {
+		return protocol.Rect{}, false
+	}
+	return protocol.Rect{X: minX, Y: minY, W: maxX - minX + 1, H: maxY - minY + 1}, true
+}
+
+// ReadRect copies the pixels of r (clipped) out of the frame buffer in
+// row-major order.
+func (f *Framebuffer) ReadRect(r protocol.Rect) []protocol.Pixel {
+	r = f.clip(r)
+	out := make([]protocol.Pixel, 0, r.Pixels())
+	for y := r.Y; y < r.Y+r.H; y++ {
+		row := y * f.W
+		for x := r.X; x < r.X+r.W; x++ {
+			out = append(out, protocol.Pixel(f.Pix[row+x]))
+		}
+	}
+	return out
+}
+
+// Apply executes one display command against the frame buffer. This is the
+// entire console rendering path: a SLIM console is "not much more
+// intelligent than a frame buffer" (§9).
+func (f *Framebuffer) Apply(msg protocol.Message) error {
+	switch m := msg.(type) {
+	case *protocol.Set:
+		return f.Set(m.Rect, m.Pixels)
+	case *protocol.Bitmap:
+		return f.Bitmap(m.Rect, m.Fg, m.Bg, m.Bits)
+	case *protocol.Fill:
+		f.Fill(m.Rect, m.Color)
+		return nil
+	case *protocol.Copy:
+		f.Copy(m.Rect, m.DstX, m.DstY)
+		return nil
+	case *protocol.CSCS:
+		return f.ApplyCSCS(m)
+	default:
+		return fmt.Errorf("fb: %v is not a display command", msg.Type())
+	}
+}
+
+// Image converts the frame buffer to an image.RGBA for inspection.
+func (f *Framebuffer) Image() *image.RGBA {
+	img := image.NewRGBA(image.Rect(0, 0, f.W, f.H))
+	for y := 0; y < f.H; y++ {
+		for x := 0; x < f.W; x++ {
+			p := protocol.Pixel(f.Pix[y*f.W+x])
+			img.SetRGBA(x, y, color.RGBA{R: p.R(), G: p.G(), B: p.B(), A: 0xff})
+		}
+	}
+	return img
+}
+
+// WritePNG encodes the frame buffer as PNG — the slimview screenshot path.
+func (f *Framebuffer) WritePNG(w io.Writer) error {
+	return png.Encode(w, f.Image())
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

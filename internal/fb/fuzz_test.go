@@ -1,0 +1,51 @@
+package fb
+
+import (
+	"testing"
+
+	"slim/internal/protocol"
+)
+
+// FuzzDecodeCSCS hammers the bit-packed YUV payload parser: any payload of
+// the correct length must decode without panicking, and the decoded pixels
+// must re-encode to a payload of the same length (the codec never reads or
+// writes out of bounds).
+func FuzzDecodeCSCS(f *testing.F) {
+	seedPix := make([]protocol.Pixel, 8*6)
+	for i := range seedPix {
+		seedPix[i] = protocol.RGB(byte(i*37), byte(i*11), byte(i*5))
+	}
+	for _, format := range []protocol.CSCSFormat{protocol.CSCS16, protocol.CSCS12, protocol.CSCS8, protocol.CSCS6, protocol.CSCS5} {
+		data, err := EncodeCSCS(seedPix, 8, 6, format)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(int(format), 8, 6, data)
+	}
+	f.Fuzz(func(t *testing.T, formatInt, w, h int, data []byte) {
+		format := protocol.CSCSFormat(formatInt)
+		if !format.Valid() || w <= 0 || h <= 0 || w > 64 || h > 64 {
+			return
+		}
+		if len(data) != format.PayloadLen(w, h) {
+			if _, err := DecodeCSCS(data, w, h, format); err == nil {
+				t.Fatal("wrong-length payload accepted")
+			}
+			return
+		}
+		pixels, err := DecodeCSCS(data, w, h, format)
+		if err != nil {
+			t.Fatalf("correct-length payload rejected: %v", err)
+		}
+		if len(pixels) != w*h {
+			t.Fatalf("decoded %d pixels for %dx%d", len(pixels), w, h)
+		}
+		re, err := EncodeCSCS(pixels, w, h, format)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(re) != len(data) {
+			t.Fatalf("re-encode length %d != %d", len(re), len(data))
+		}
+	})
+}

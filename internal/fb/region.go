@@ -1,0 +1,205 @@
+package fb
+
+import (
+	"sort"
+
+	"slim/internal/protocol"
+)
+
+// Region is a set of screen pixels represented as disjoint rectangles —
+// the damage structure a window system keeps per window. The server-side
+// encoder repaints regions (not bounding boxes) after loss or console
+// reboot, and the VNC-style baseline ships exactly the damaged region per
+// client pull.
+//
+// The zero value is an empty region.
+type Region struct {
+	rects []protocol.Rect // pairwise disjoint, all non-empty
+}
+
+// Add unions a rectangle into the region.
+func (g *Region) Add(r protocol.Rect) {
+	if r.Empty() {
+		return
+	}
+	// Insert only the parts of r not already covered.
+	pending := []protocol.Rect{r}
+	for _, have := range g.rects {
+		var next []protocol.Rect
+		for _, p := range pending {
+			next = append(next, subtractRect(p, have)...)
+		}
+		pending = next
+		if len(pending) == 0 {
+			return
+		}
+	}
+	g.rects = append(g.rects, pending...)
+}
+
+// AddRegion unions another region.
+func (g *Region) AddRegion(o *Region) {
+	for _, r := range o.rects {
+		g.Add(r)
+	}
+}
+
+// subtractRect returns the parts of a not covered by b (0–4 rectangles).
+func subtractRect(a, b protocol.Rect) []protocol.Rect {
+	in := a.Intersect(b)
+	if in.Empty() {
+		return []protocol.Rect{a}
+	}
+	var out []protocol.Rect
+	// Top band.
+	if in.Y > a.Y {
+		out = append(out, protocol.Rect{X: a.X, Y: a.Y, W: a.W, H: in.Y - a.Y})
+	}
+	// Bottom band.
+	if in.Y+in.H < a.Y+a.H {
+		out = append(out, protocol.Rect{X: a.X, Y: in.Y + in.H, W: a.W, H: a.Y + a.H - in.Y - in.H})
+	}
+	// Left band (within the intersected rows).
+	if in.X > a.X {
+		out = append(out, protocol.Rect{X: a.X, Y: in.Y, W: in.X - a.X, H: in.H})
+	}
+	// Right band.
+	if in.X+in.W < a.X+a.W {
+		out = append(out, protocol.Rect{X: in.X + in.W, Y: in.Y, W: a.X + a.W - in.X - in.W, H: in.H})
+	}
+	return out
+}
+
+// Empty reports whether the region covers no pixels.
+func (g *Region) Empty() bool { return len(g.rects) == 0 }
+
+// Area reports the number of pixels covered.
+func (g *Region) Area() int {
+	n := 0
+	for _, r := range g.rects {
+		n += r.Pixels()
+	}
+	return n
+}
+
+// Contains reports whether the pixel (x, y) is in the region.
+func (g *Region) Contains(x, y int) bool {
+	for _, r := range g.rects {
+		if x >= r.X && x < r.X+r.W && y >= r.Y && y < r.Y+r.H {
+			return true
+		}
+	}
+	return false
+}
+
+// Bounds reports the bounding rectangle (zero Rect if empty).
+func (g *Region) Bounds() protocol.Rect {
+	if len(g.rects) == 0 {
+		return protocol.Rect{}
+	}
+	b := g.rects[0]
+	for _, r := range g.rects[1:] {
+		x1 := min(b.X, r.X)
+		y1 := min(b.Y, r.Y)
+		x2 := max(b.X+b.W, r.X+r.W)
+		y2 := max(b.Y+b.H, r.Y+r.H)
+		b = protocol.Rect{X: x1, Y: y1, W: x2 - x1, H: y2 - y1}
+	}
+	return b
+}
+
+// Rects returns the disjoint rectangles, coalesced: horizontally adjacent
+// rects with identical vertical extent are merged, then vertically
+// adjacent rects with identical horizontal extent. The result is sorted
+// top-to-bottom, left-to-right.
+func (g *Region) Rects() []protocol.Rect {
+	rects := append([]protocol.Rect(nil), g.rects...)
+	sort.Slice(rects, func(i, j int) bool {
+		if rects[i].Y != rects[j].Y {
+			return rects[i].Y < rects[j].Y
+		}
+		return rects[i].X < rects[j].X
+	})
+	rects = mergeRun(rects, func(a, b protocol.Rect) (protocol.Rect, bool) {
+		if a.Y == b.Y && a.H == b.H && a.X+a.W == b.X {
+			return protocol.Rect{X: a.X, Y: a.Y, W: a.W + b.W, H: a.H}, true
+		}
+		return a, false
+	})
+	sort.Slice(rects, func(i, j int) bool {
+		if rects[i].X != rects[j].X {
+			return rects[i].X < rects[j].X
+		}
+		return rects[i].Y < rects[j].Y
+	})
+	rects = mergeRun(rects, func(a, b protocol.Rect) (protocol.Rect, bool) {
+		if a.X == b.X && a.W == b.W && a.Y+a.H == b.Y {
+			return protocol.Rect{X: a.X, Y: a.Y, W: a.W, H: a.H + b.H}, true
+		}
+		return a, false
+	})
+	sort.Slice(rects, func(i, j int) bool {
+		if rects[i].Y != rects[j].Y {
+			return rects[i].Y < rects[j].Y
+		}
+		return rects[i].X < rects[j].X
+	})
+	return rects
+}
+
+// mergeRun repeatedly merges adjacent list entries with the given rule.
+func mergeRun(rects []protocol.Rect, merge func(a, b protocol.Rect) (protocol.Rect, bool)) []protocol.Rect {
+	if len(rects) == 0 {
+		return rects
+	}
+	out := rects[:1]
+	for _, r := range rects[1:] {
+		if m, ok := merge(out[len(out)-1], r); ok {
+			out[len(out)-1] = m
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// Intersects reports whether the region overlaps a rectangle.
+func (g *Region) Intersects(r protocol.Rect) bool {
+	for _, have := range g.rects {
+		if !have.Intersect(r).Empty() {
+			return true
+		}
+	}
+	return false
+}
+
+// Subtract removes a rectangle from the region.
+func (g *Region) Subtract(r protocol.Rect) {
+	if r.Empty() {
+		return
+	}
+	var out []protocol.Rect
+	for _, have := range g.rects {
+		out = append(out, subtractRect(have, r)...)
+	}
+	g.rects = out
+}
+
+// Clone returns an independent copy of the region.
+func (g *Region) Clone() *Region {
+	return &Region{rects: append([]protocol.Rect(nil), g.rects...)}
+}
+
+// Clear empties the region.
+func (g *Region) Clear() { g.rects = g.rects[:0] }
+
+// Clip intersects the region with a rectangle.
+func (g *Region) Clip(bounds protocol.Rect) {
+	var out []protocol.Rect
+	for _, r := range g.rects {
+		if c := r.Intersect(bounds); !c.Empty() {
+			out = append(out, c)
+		}
+	}
+	g.rects = out
+}

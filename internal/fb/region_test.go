@@ -1,0 +1,148 @@
+package fb
+
+import (
+	"math/rand"
+	"testing"
+
+	"slim/internal/protocol"
+)
+
+func TestRegionBasics(t *testing.T) {
+	var g Region
+	if !g.Empty() || g.Area() != 0 {
+		t.Error("zero region not empty")
+	}
+	g.Add(protocol.Rect{X: 0, Y: 0, W: 10, H: 10})
+	if g.Empty() || g.Area() != 100 {
+		t.Errorf("area = %d", g.Area())
+	}
+	// Fully-contained add is a no-op.
+	g.Add(protocol.Rect{X: 2, Y: 2, W: 3, H: 3})
+	if g.Area() != 100 {
+		t.Errorf("contained add changed area to %d", g.Area())
+	}
+	// Disjoint add accumulates.
+	g.Add(protocol.Rect{X: 20, Y: 0, W: 5, H: 5})
+	if g.Area() != 125 {
+		t.Errorf("area = %d", g.Area())
+	}
+	if b := g.Bounds(); b != (protocol.Rect{X: 0, Y: 0, W: 25, H: 10}) {
+		t.Errorf("bounds = %v", b)
+	}
+	g.Clear()
+	if !g.Empty() {
+		t.Error("clear failed")
+	}
+}
+
+func TestRegionOverlapArea(t *testing.T) {
+	var g Region
+	g.Add(protocol.Rect{X: 0, Y: 0, W: 10, H: 10})
+	g.Add(protocol.Rect{X: 5, Y: 5, W: 10, H: 10})
+	// Union area = 100 + 100 - 25.
+	if g.Area() != 175 {
+		t.Errorf("area = %d, want 175", g.Area())
+	}
+}
+
+func TestSubtractRect(t *testing.T) {
+	a := protocol.Rect{X: 0, Y: 0, W: 10, H: 10}
+	// Hole in the middle: 4 pieces totalling 100-4.
+	pieces := subtractRect(a, protocol.Rect{X: 4, Y: 4, W: 2, H: 2})
+	area := 0
+	for _, p := range pieces {
+		area += p.Pixels()
+	}
+	if area != 96 {
+		t.Errorf("remainder area = %d", area)
+	}
+	// Disjoint: unchanged.
+	if got := subtractRect(a, protocol.Rect{X: 50, Y: 50, W: 1, H: 1}); len(got) != 1 || got[0] != a {
+		t.Errorf("disjoint subtract = %v", got)
+	}
+	// Full cover: nothing left.
+	if got := subtractRect(a, a); len(got) != 0 {
+		t.Errorf("self subtract = %v", got)
+	}
+}
+
+// Property: region semantics match a pixel-set reference model.
+func TestRegionMatchesPixelSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for round := 0; round < 50; round++ {
+		var g Region
+		ref := map[[2]int]bool{}
+		for i := 0; i < 12; i++ {
+			r := protocol.Rect{
+				X: rng.Intn(30), Y: rng.Intn(30),
+				W: 1 + rng.Intn(12), H: 1 + rng.Intn(12),
+			}
+			g.Add(r)
+			for y := r.Y; y < r.Y+r.H; y++ {
+				for x := r.X; x < r.X+r.W; x++ {
+					ref[[2]int{x, y}] = true
+				}
+			}
+		}
+		if g.Area() != len(ref) {
+			t.Fatalf("round %d: area %d != reference %d", round, g.Area(), len(ref))
+		}
+		for y := 0; y < 45; y++ {
+			for x := 0; x < 45; x++ {
+				if g.Contains(x, y) != ref[[2]int{x, y}] {
+					t.Fatalf("round %d: contains(%d,%d) mismatch", round, x, y)
+				}
+			}
+		}
+		// Rects() must be disjoint and cover the same area.
+		rects := g.Rects()
+		area := 0
+		for i, a := range rects {
+			area += a.Pixels()
+			for _, b := range rects[i+1:] {
+				if !a.Intersect(b).Empty() {
+					t.Fatalf("round %d: output rects overlap: %v %v", round, a, b)
+				}
+			}
+		}
+		if area != g.Area() {
+			t.Fatalf("round %d: Rects area %d != %d", round, area, g.Area())
+		}
+	}
+}
+
+func TestRegionRectsCoalesce(t *testing.T) {
+	var g Region
+	// Four quadrants of one square, added separately.
+	g.Add(protocol.Rect{X: 0, Y: 0, W: 5, H: 5})
+	g.Add(protocol.Rect{X: 5, Y: 0, W: 5, H: 5})
+	g.Add(protocol.Rect{X: 0, Y: 5, W: 5, H: 5})
+	g.Add(protocol.Rect{X: 5, Y: 5, W: 5, H: 5})
+	rects := g.Rects()
+	if len(rects) != 1 || rects[0] != (protocol.Rect{X: 0, Y: 0, W: 10, H: 10}) {
+		t.Errorf("coalesced rects = %v", rects)
+	}
+}
+
+func TestRegionClip(t *testing.T) {
+	var g Region
+	g.Add(protocol.Rect{X: 0, Y: 0, W: 20, H: 20})
+	g.Clip(protocol.Rect{X: 10, Y: 10, W: 20, H: 20})
+	if g.Area() != 100 {
+		t.Errorf("clipped area = %d", g.Area())
+	}
+	g.Clip(protocol.Rect{X: 100, Y: 100, W: 5, H: 5})
+	if !g.Empty() {
+		t.Error("clip to disjoint not empty")
+	}
+}
+
+func TestRegionAddRegion(t *testing.T) {
+	var a, b Region
+	a.Add(protocol.Rect{W: 4, H: 4})
+	b.Add(protocol.Rect{X: 2, Y: 2, W: 4, H: 4})
+	a.AddRegion(&b)
+	if a.Area() != 16+16-4 {
+		t.Errorf("union area = %d", a.Area())
+	}
+}

@@ -1,0 +1,278 @@
+package fb
+
+import (
+	"fmt"
+
+	"slim/internal/protocol"
+)
+
+// YUV color-space support for the CSCS command (Table 1): the server
+// converts frames to YUV, quantizes and subsamples them down to the
+// format's bit budget, and the console converts back to RGB with optional
+// bilinear scaling. Varying the color-space conversion parameters is how
+// the paper trades quality for bandwidth between 16 and 5 bits per pixel
+// (§8.1).
+
+// RGBToYUV converts one pixel to full-range BT.601 YUV components.
+func RGBToYUV(p protocol.Pixel) (y, u, v uint8) {
+	r, g, b := int32(p.R()), int32(p.G()), int32(p.B())
+	// Fixed-point BT.601, full range.
+	yy := (77*r + 150*g + 29*b + 128) >> 8
+	uu := ((-43*r - 85*g + 128*b + 128) >> 8) + 128
+	vv := ((128*r - 107*g - 21*b + 128) >> 8) + 128
+	return clamp8(yy), clamp8(uu), clamp8(vv)
+}
+
+// YUVToRGB converts full-range BT.601 YUV components back to a pixel.
+func YUVToRGB(y, u, v uint8) protocol.Pixel {
+	yy, uu, vv := int32(y), int32(u)-128, int32(v)-128
+	r := yy + ((359 * vv) >> 8)
+	g := yy - ((88*uu + 183*vv) >> 8)
+	b := yy + ((454 * uu) >> 8)
+	return protocol.RGB(clamp8(r), clamp8(g), clamp8(b))
+}
+
+func clamp8(v int32) uint8 {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return uint8(v)
+}
+
+// bitWriter packs values MSB-first into a byte stream.
+type bitWriter struct {
+	buf  []byte
+	bits uint32 // pending bits, left aligned in acc
+	acc  uint64
+}
+
+func (w *bitWriter) write(v uint32, n uint) {
+	w.acc = (w.acc << n) | uint64(v&((1<<n)-1))
+	w.bits += uint32(n)
+	for w.bits >= 8 {
+		w.bits -= 8
+		w.buf = append(w.buf, byte(w.acc>>w.bits))
+	}
+}
+
+func (w *bitWriter) flush() {
+	if w.bits > 0 {
+		w.buf = append(w.buf, byte(w.acc<<(8-w.bits)))
+		w.bits = 0
+		w.acc = 0
+	}
+}
+
+// bitReader unpacks MSB-first values from a byte stream.
+type bitReader struct {
+	buf  []byte
+	pos  int
+	bits uint32
+	acc  uint64
+}
+
+func (r *bitReader) read(n uint) uint32 {
+	for r.bits < uint32(n) {
+		var b byte
+		if r.pos < len(r.buf) {
+			b = r.buf[r.pos]
+			r.pos++
+		}
+		r.acc = (r.acc << 8) | uint64(b)
+		r.bits += 8
+	}
+	r.bits -= uint32(n)
+	return uint32(r.acc>>r.bits) & ((1 << n) - 1)
+}
+
+func (r *bitReader) align() {
+	r.bits = 0
+	r.acc = 0
+}
+
+// quantize reduces an 8-bit component to n bits. For n > 8 the value is
+// placed in the high bits (the extra precision exists only so the 16 bpp
+// format is bit-exact for luma gradients).
+func quantize(v uint8, n int) uint32 {
+	if n >= 8 {
+		return uint32(v) << uint(n-8)
+	}
+	return uint32(v) >> uint(8-n)
+}
+
+// dequantize expands an n-bit component back to 8 bits with full-scale
+// replication so white stays white.
+func dequantize(q uint32, n int) uint8 {
+	if n >= 8 {
+		return uint8(q >> uint(n-8))
+	}
+	maxQ := uint32(1<<uint(n)) - 1
+	if maxQ == 0 {
+		return 0
+	}
+	return uint8((q*255 + maxQ/2) / maxQ)
+}
+
+// EncodeCSCS compresses a w×h block of RGB pixels into the packed YUV
+// payload of the given format: a full-resolution luma plane followed by
+// 2x2-subsampled chroma planes, both bit-packed.
+func EncodeCSCS(pixels []protocol.Pixel, w, h int, format protocol.CSCSFormat) ([]byte, error) {
+	if len(pixels) != w*h {
+		return nil, fmt.Errorf("fb: EncodeCSCS wants %d pixels, got %d", w*h, len(pixels))
+	}
+	if !format.Valid() {
+		return nil, fmt.Errorf("fb: invalid CSCS format %d", format)
+	}
+	yBits, cBits := format.Params()
+	ys := make([]uint8, w*h)
+	us := make([]uint8, w*h)
+	vs := make([]uint8, w*h)
+	for i, p := range pixels {
+		ys[i], us[i], vs[i] = RGBToYUV(p)
+	}
+	bw := &bitWriter{buf: make([]byte, 0, format.PayloadLen(w, h))}
+	for _, y := range ys {
+		bw.write(quantize(y, yBits), uint(yBits))
+	}
+	bw.flush()
+	// Chroma, subsampled over 2x2 blocks (block average).
+	cw, ch := (w+1)/2, (h+1)/2
+	writePlane := func(plane []uint8) {
+		for by := 0; by < ch; by++ {
+			for bx := 0; bx < cw; bx++ {
+				sum, n := 0, 0
+				for dy := 0; dy < 2; dy++ {
+					for dx := 0; dx < 2; dx++ {
+						x, y := bx*2+dx, by*2+dy
+						if x < w && y < h {
+							sum += int(plane[y*w+x])
+							n++
+						}
+					}
+				}
+				bw.write(quantize(uint8(sum/n), cBits), uint(cBits))
+			}
+		}
+	}
+	writePlane(us)
+	writePlane(vs)
+	bw.flush()
+	return bw.buf, nil
+}
+
+// DecodeCSCS expands a packed YUV payload back into w×h RGB pixels.
+func DecodeCSCS(data []byte, w, h int, format protocol.CSCSFormat) ([]protocol.Pixel, error) {
+	if !format.Valid() {
+		return nil, fmt.Errorf("fb: invalid CSCS format %d", format)
+	}
+	if want := format.PayloadLen(w, h); len(data) != want {
+		return nil, fmt.Errorf("fb: DecodeCSCS wants %d bytes, got %d", want, len(data))
+	}
+	yBits, cBits := format.Params()
+	br := &bitReader{buf: data}
+	ys := make([]uint8, w*h)
+	for i := range ys {
+		ys[i] = dequantize(br.read(uint(yBits)), yBits)
+	}
+	// Luma plane is byte aligned on the wire.
+	br.align()
+	br.pos = (w*h*yBits + 7) / 8
+	cw, ch := (w+1)/2, (h+1)/2
+	readPlane := func() []uint8 {
+		plane := make([]uint8, cw*ch)
+		for i := range plane {
+			plane[i] = dequantize(br.read(uint(cBits)), cBits)
+		}
+		return plane
+	}
+	us := readPlane()
+	vs := readPlane()
+	out := make([]protocol.Pixel, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			c := (y/2)*cw + x/2
+			out[y*w+x] = YUVToRGB(ys[y*w+x], us[c], vs[c])
+		}
+	}
+	return out, nil
+}
+
+// ScaleBilinear resamples a sw×sh pixel block to dw×dh with bilinear
+// filtering — the console-side scaling that lets a half-size video stream
+// fill the screen for a quarter of the bandwidth (§7, §8.1).
+func ScaleBilinear(src []protocol.Pixel, sw, sh, dw, dh int) ([]protocol.Pixel, error) {
+	if len(src) != sw*sh {
+		return nil, fmt.Errorf("fb: ScaleBilinear wants %d pixels, got %d", sw*sh, len(src))
+	}
+	if dw <= 0 || dh <= 0 {
+		return nil, fmt.Errorf("fb: invalid destination %dx%d", dw, dh)
+	}
+	if dw == sw && dh == sh {
+		return append([]protocol.Pixel(nil), src...), nil
+	}
+	dst := make([]protocol.Pixel, dw*dh)
+	for dy := 0; dy < dh; dy++ {
+		// Map destination pixel centers into source space.
+		fy := (float64(dy)+0.5)*float64(sh)/float64(dh) - 0.5
+		y0 := int(fy)
+		ty := fy - float64(y0)
+		if fy < 0 {
+			y0, ty = 0, 0
+		}
+		y1 := y0 + 1
+		if y1 >= sh {
+			y1 = sh - 1
+		}
+		for dx := 0; dx < dw; dx++ {
+			fx := (float64(dx)+0.5)*float64(sw)/float64(dw) - 0.5
+			x0 := int(fx)
+			tx := fx - float64(x0)
+			if fx < 0 {
+				x0, tx = 0, 0
+			}
+			x1 := x0 + 1
+			if x1 >= sw {
+				x1 = sw - 1
+			}
+			p00 := src[y0*sw+x0]
+			p01 := src[y0*sw+x1]
+			p10 := src[y1*sw+x0]
+			p11 := src[y1*sw+x1]
+			lerp := func(a, b uint8, t float64) float64 {
+				return float64(a) + (float64(b)-float64(a))*t
+			}
+			blend := func(c00, c01, c10, c11 uint8) uint8 {
+				top := lerp(c00, c01, tx)
+				bot := lerp(c10, c11, tx)
+				v := top + (bot-top)*ty
+				return clamp8(int32(v + 0.5))
+			}
+			dst[dy*dw+dx] = protocol.RGB(
+				blend(p00.R(), p01.R(), p10.R(), p11.R()),
+				blend(p00.G(), p01.G(), p10.G(), p11.G()),
+				blend(p00.B(), p01.B(), p10.B(), p11.B()),
+			)
+		}
+	}
+	return dst, nil
+}
+
+// ApplyCSCS decodes a CSCS command — YUV expansion plus optional bilinear
+// scale — and writes the result into the frame buffer at the destination
+// rectangle.
+func (f *Framebuffer) ApplyCSCS(m *protocol.CSCS) error {
+	pixels, err := DecodeCSCS(m.Data, m.Src.W, m.Src.H, m.Format)
+	if err != nil {
+		return err
+	}
+	if m.Dst.W != m.Src.W || m.Dst.H != m.Src.H {
+		pixels, err = ScaleBilinear(pixels, m.Src.W, m.Src.H, m.Dst.W, m.Dst.H)
+		if err != nil {
+			return err
+		}
+	}
+	return f.Set(m.Dst, pixels)
+}

@@ -1,0 +1,133 @@
+// Package loadgen implements the trace-driven load generator of §6.1: it
+// "plays back" previously recorded resource usage profiles, consuming the
+// same quantity of CPU, memory, and network in each time interval as the
+// original application did — without replaying any high-level commands.
+// This is what lets the sharing experiments model the system in overload,
+// where script-based emulation breaks down (§3.2).
+package loadgen
+
+import (
+	"time"
+
+	"slim/internal/netsim"
+	"slim/internal/sched"
+	"slim/internal/stats"
+	"slim/internal/workload"
+)
+
+// BurstPeriod is the cadence at which an interval's CPU demand is issued as
+// discrete bursts. Interactive processes wake per event; ~150 ms matches
+// the event-processing cadence the yardstick models.
+const BurstPeriod = 150 * time.Millisecond
+
+// CPUSource replays the CPU component of a resource profile as a burst
+// stream for the scheduler simulator. The profile loops, so a source never
+// runs dry; phase is randomized so simulated users are not synchronized.
+type CPUSource struct {
+	profile *workload.Profile
+	rng     *stats.RNG
+	idx     int // current interval
+	offset  time.Duration
+}
+
+// NewCPUSource returns a playback source over the profile.
+func NewCPUSource(p *workload.Profile, seed uint64) *CPUSource {
+	rng := stats.NewRNG(seed)
+	idx := 0
+	if n := len(p.Intervals); n > 0 {
+		idx = rng.Intn(n)
+	}
+	return &CPUSource{profile: p, rng: rng, idx: idx}
+}
+
+// Next implements sched.Source: each burst consumes the current interval's
+// CPU fraction over one BurstPeriod, with ±20% jitter so bursts from
+// different users interleave realistically.
+func (s *CPUSource) Next() (sched.Burst, bool) {
+	if len(s.profile.Intervals) == 0 {
+		return sched.Burst{}, false
+	}
+	iv := s.profile.Intervals[s.idx]
+	period := time.Duration(float64(BurstPeriod) * s.rng.Range(0.8, 1.2))
+	service := time.Duration(iv.CPU * float64(period))
+	think := period - service
+	if think < 0 {
+		think = 0
+	}
+	s.offset += period
+	if s.offset >= workload.ProfileInterval {
+		s.offset = 0
+		s.idx = (s.idx + 1) % len(s.profile.Intervals)
+	}
+	return sched.Burst{Service: service, Think: think}, true
+}
+
+// MemMB implements sched.Source.
+func (s *CPUSource) MemMB() float64 {
+	if len(s.profile.Intervals) == 0 {
+		return 0
+	}
+	return s.profile.Intervals[0].MemMB
+}
+
+// FixedSource is a constant burst generator — the yardstick shape (§6.1:
+// 30 ms of dedicated CPU per event, 150 ms of think time) and any other
+// synthetic load.
+type FixedSource struct {
+	Service time.Duration
+	Think   time.Duration
+	Mem     float64
+}
+
+// Next implements sched.Source.
+func (s *FixedSource) Next() (sched.Burst, bool) {
+	return sched.Burst{Service: s.Service, Think: s.Think}, true
+}
+
+// MemMB implements sched.Source.
+func (s *FixedSource) MemMB() float64 { return s.Mem }
+
+// NetPackets replays the network component of a profile as datagrams for
+// the fabric simulator: each interval's bytes are emitted as MTU-sized
+// packets in event-shaped bursts at random offsets within the interval,
+// repeated (looping the profile) to fill the requested duration.
+func NetPackets(p *workload.Profile, flow int, mtu int, dur time.Duration, seed uint64) []netsim.Packet {
+	if mtu <= 0 {
+		mtu = 1400
+	}
+	rng := stats.NewRNG(seed)
+	var out []netsim.Packet
+	if len(p.Intervals) == 0 {
+		return out
+	}
+	phase := time.Duration(rng.Range(0, float64(workload.ProfileInterval)))
+	for start := -phase; start < dur; {
+		for _, iv := range p.Intervals {
+			remaining := iv.NetBytes
+			// Group the interval's bytes into a handful of update bursts.
+			for remaining > 0 {
+				burst := remaining
+				if burst > 64*1024 {
+					burst = int64(rng.Range(8*1024, 64*1024))
+				}
+				remaining -= burst
+				t := start + time.Duration(rng.Range(0, float64(workload.ProfileInterval)))
+				for burst > 0 && t >= 0 && t < dur {
+					size := int64(mtu)
+					if burst < size {
+						size = burst
+					}
+					out = append(out, netsim.Packet{T: t, Size: int(size), Flow: flow})
+					burst -= size
+					// Back-to-back at 100 Mbps line rate.
+					t += time.Duration(float64(size+netsim.FrameOverhead) * 8 / netsim.Rate100Mbps * float64(time.Second))
+				}
+			}
+			start += workload.ProfileInterval
+			if start >= dur {
+				break
+			}
+		}
+	}
+	return out
+}

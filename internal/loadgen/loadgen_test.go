@@ -1,0 +1,129 @@
+package loadgen
+
+import (
+	"testing"
+	"time"
+
+	"slim/internal/sched"
+	"slim/internal/workload"
+)
+
+func profileWith(cpus []float64, netBytes int64) *workload.Profile {
+	p := &workload.Profile{App: workload.Netscape}
+	for _, c := range cpus {
+		p.Intervals = append(p.Intervals, workload.Interval{CPU: c, MemMB: 40, NetBytes: netBytes})
+	}
+	return p
+}
+
+func TestCPUSourcePlaybackMatchesProfile(t *testing.T) {
+	p := profileWith([]float64{0.2, 0.2, 0.2, 0.2}, 0)
+	src := NewCPUSource(p, 1)
+	var service, total time.Duration
+	for i := 0; i < 2000; i++ {
+		b, ok := src.Next()
+		if !ok {
+			t.Fatal("profile source ran dry")
+		}
+		service += b.Service
+		total += b.Service + b.Think
+	}
+	frac := float64(service) / float64(total)
+	if frac < 0.18 || frac > 0.22 {
+		t.Errorf("played-back CPU fraction = %f, want ~0.2", frac)
+	}
+	if src.MemMB() != 40 {
+		t.Errorf("MemMB = %f", src.MemMB())
+	}
+}
+
+func TestCPUSourceLoopsForever(t *testing.T) {
+	p := profileWith([]float64{0.5}, 0)
+	src := NewCPUSource(p, 2)
+	for i := 0; i < 500; i++ {
+		if _, ok := src.Next(); !ok {
+			t.Fatal("looping source terminated")
+		}
+	}
+}
+
+func TestCPUSourceEmptyProfile(t *testing.T) {
+	src := NewCPUSource(&workload.Profile{}, 3)
+	if _, ok := src.Next(); ok {
+		t.Error("empty profile produced a burst")
+	}
+	if src.MemMB() != 0 {
+		t.Error("empty profile has memory")
+	}
+}
+
+func TestCPUSourcePhaseRandomized(t *testing.T) {
+	// Two users with the same profile must not be in lockstep.
+	p := profileWith([]float64{0.9, 0.0, 0.9, 0.0, 0.9, 0.0}, 0)
+	a := NewCPUSource(p, 100)
+	b := NewCPUSource(p, 200)
+	ba, _ := a.Next()
+	bb, _ := b.Next()
+	different := ba.Service != bb.Service
+	for i := 0; i < 20 && !different; i++ {
+		ba, _ = a.Next()
+		bb, _ = b.Next()
+		different = ba.Service != bb.Service
+	}
+	if !different {
+		t.Error("distinct seeds produced identical burst trains")
+	}
+}
+
+func TestFixedSource(t *testing.T) {
+	src := &FixedSource{Service: 30 * time.Millisecond, Think: 150 * time.Millisecond, Mem: 8}
+	b, ok := src.Next()
+	if !ok || b.Service != 30*time.Millisecond || b.Think != 150*time.Millisecond {
+		t.Errorf("burst = %+v %v", b, ok)
+	}
+	if src.MemMB() != 8 {
+		t.Error("mem wrong")
+	}
+	var _ sched.Source = src
+}
+
+func TestNetPacketsConserveBytes(t *testing.T) {
+	const perInterval = 100_000
+	p := profileWith([]float64{0, 0, 0, 0}, perInterval)
+	dur := 20 * time.Second // one profile pass
+	pkts := NetPackets(p, 3, 1400, dur, 9)
+	var total int64
+	for _, pk := range pkts {
+		if pk.Flow != 3 {
+			t.Fatalf("flow = %d", pk.Flow)
+		}
+		if pk.T < 0 || pk.T >= dur {
+			t.Fatalf("packet at %v outside run", pk.T)
+		}
+		if pk.Size <= 0 || pk.Size > 1400 {
+			t.Fatalf("packet size %d", pk.Size)
+		}
+		total += int64(pk.Size)
+	}
+	want := int64(4 * perInterval)
+	// Phase randomization clips the first partial pass; allow 30% slack.
+	if total < want*7/10 || total > want*13/10 {
+		t.Errorf("played back %d bytes, want ≈%d", total, want)
+	}
+}
+
+func TestNetPacketsEmptyProfile(t *testing.T) {
+	if pkts := NetPackets(&workload.Profile{}, 0, 1400, time.Second, 1); len(pkts) != 0 {
+		t.Error("empty profile produced packets")
+	}
+}
+
+func TestNetPacketsDefaultMTU(t *testing.T) {
+	p := profileWith([]float64{0}, 5000)
+	pkts := NetPackets(p, 0, 0, 5*time.Second, 1)
+	for _, pk := range pkts {
+		if pk.Size > 1400 {
+			t.Fatalf("default MTU not applied: %d", pk.Size)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func ms(n float64) time.Duration { return time.Duration(n * float64(time.Millisecond)) }
+
+func TestSerializeTime(t *testing.T) {
+	l := &Link{Bps: Rate100Mbps}
+	// 1400B + 42B overhead = 11536 bits at 100 Mbps = 115.36 µs.
+	got := l.SerializeTime(1400)
+	want := time.Duration(float64(1400+FrameOverhead) * 8 / Rate100Mbps * 1e9)
+	if got != want {
+		t.Errorf("SerializeTime = %v, want %v", got, want)
+	}
+}
+
+func TestRunIdleLink(t *testing.T) {
+	l := &Link{Bps: Rate100Mbps}
+	out := l.Run([]Packet{{T: 0, Size: 100}, {T: ms(10), Size: 100}})
+	for _, d := range out {
+		if d.Queued != l.SerializeTime(100) {
+			t.Errorf("idle packet queued %v, want pure serialization %v", d.Queued, l.SerializeTime(100))
+		}
+	}
+}
+
+func TestRunBackToBackQueueing(t *testing.T) {
+	l := &Link{Bps: Rate1Mbps}
+	// Three 1000B packets at t=0: each takes (1000+42)*8µs ≈ 8.336ms.
+	out := l.Run([]Packet{{T: 0, Size: 1000, Flow: 0}, {T: 0, Size: 1000, Flow: 1}, {T: 0, Size: 1000, Flow: 2}})
+	ser := l.SerializeTime(1000)
+	for i, d := range out {
+		want := time.Duration(i+1) * ser
+		if d.Depart != want {
+			t.Errorf("packet %d departs %v, want %v", i, d.Depart, want)
+		}
+	}
+}
+
+func TestRunFIFOOrder(t *testing.T) {
+	l := &Link{Bps: Rate10Mbps}
+	rng := rand.New(rand.NewSource(2))
+	var pkts []Packet
+	for i := 0; i < 200; i++ {
+		pkts = append(pkts, Packet{T: time.Duration(rng.Intn(50)) * time.Millisecond, Size: 100 + rng.Intn(1300), Flow: i})
+	}
+	out := l.Run(pkts)
+	var prev time.Duration
+	for _, d := range out {
+		if d.Dropped {
+			t.Fatal("unbounded link dropped")
+		}
+		if d.Depart < prev {
+			t.Fatal("departures out of order")
+		}
+		if d.Depart < d.T {
+			t.Fatal("packet departed before it arrived")
+		}
+		prev = d.Depart
+	}
+}
+
+func TestRunTailDrop(t *testing.T) {
+	l := &Link{Bps: Rate56Kbps, BufBytes: 3000}
+	var pkts []Packet
+	for i := 0; i < 50; i++ {
+		pkts = append(pkts, Packet{T: 0, Size: 1000, Flow: i})
+	}
+	out := l.Run(pkts)
+	dropped := 0
+	for _, d := range out {
+		if d.Dropped {
+			dropped++
+		}
+	}
+	if dropped == 0 {
+		t.Fatal("overloaded bounded link dropped nothing")
+	}
+	if dropped >= len(pkts) {
+		t.Fatal("everything dropped")
+	}
+}
+
+func TestRunPanicsOnBadRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for zero rate")
+		}
+	}()
+	(&Link{}).Run([]Packet{{}})
+}
+
+func TestAddedDelaysNonNegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var pkts []Packet
+	for i := 0; i < 300; i++ {
+		pkts = append(pkts, Packet{
+			T:    time.Duration(rng.Intn(10_000)) * time.Millisecond,
+			Size: 60 + rng.Intn(1340),
+		})
+	}
+	ref := &Link{Bps: Rate100Mbps}
+	for _, bps := range []float64{Rate10Mbps, Rate1Mbps, Rate56Kbps} {
+		delays := AddedDelays(pkts, ref, &Link{Bps: bps})
+		for _, d := range delays {
+			if d < 0 {
+				t.Fatalf("negative added delay at %v bps", bps)
+			}
+		}
+	}
+}
+
+// Property (the Figure 6 shape): mean added delay grows monotonically as
+// bandwidth shrinks.
+func TestAddedDelaysMonotoneInBandwidth(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	var pkts []Packet
+	for i := 0; i < 500; i++ {
+		pkts = append(pkts, Packet{
+			T:    time.Duration(rng.Intn(60_000)) * time.Millisecond,
+			Size: 200 + rng.Intn(1200),
+		})
+	}
+	ref := &Link{Bps: Rate100Mbps}
+	prevMean := -1.0
+	for _, bps := range []float64{Rate10Mbps, Rate2Mbps, Rate1Mbps, Rate128Kbps, Rate56Kbps} {
+		delays := AddedDelays(pkts, ref, &Link{Bps: bps})
+		sum := 0.0
+		for _, d := range delays {
+			sum += d.Seconds()
+		}
+		mean := sum / float64(len(delays))
+		if mean < prevMean {
+			t.Fatalf("mean added delay shrank when bandwidth dropped to %v", bps)
+		}
+		prevMean = mean
+	}
+}
+
+func TestRTT(t *testing.T) {
+	up := &Link{Bps: Rate100Mbps, Prop: 20 * time.Microsecond}
+	down := &Link{Bps: Rate100Mbps, Prop: 20 * time.Microsecond}
+	rtt := RTT(up, down, 64, 1200, 0)
+	want := up.SerializeTime(64) + down.SerializeTime(1200) + 40*time.Microsecond
+	if rtt != want {
+		t.Errorf("RTT = %v, want %v", rtt, want)
+	}
+	// Queueing adds linearly.
+	if RTT(up, down, 64, 1200, time.Millisecond)-rtt != time.Millisecond {
+		t.Error("queue delay not additive")
+	}
+}

@@ -1,0 +1,153 @@
+package protocol
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Batched framing. §5.4 observes that the SLIM protocol was not designed
+// for low-bandwidth links and that "optimizations like header compression
+// and batching of command packets could have a dramatic effect." This file
+// implements both: several messages share one datagram, and each batched
+// message carries a 4-byte compact header (type, sequence delta, body
+// length) instead of the full 12-byte header — on top of saving the
+// ~42 bytes of UDP/IP/Ethernet framing per message.
+
+// BatchMagic identifies a batched datagram ("SB").
+const BatchMagic = 0x5342
+
+// batchHeaderSize is the outer header: magic(2) version(1) count(1)
+// baseSeq(4).
+const batchHeaderSize = 8
+
+// compactHeaderSize is the per-message header inside a batch: type(1)
+// seqDelta(1) bodyLen(2).
+const compactHeaderSize = 4
+
+// maxCompactBody bounds a batched message body (uint16 length field).
+const maxCompactBody = 0xffff
+
+// ErrBatchOverflow reports a message that cannot be expressed in compact
+// form (body too large or sequence delta beyond 255).
+var ErrBatchOverflow = fmt.Errorf("protocol: message does not fit batch framing")
+
+// EncodeBatch frames messages msgs with sequence numbers seqs into one
+// batched datagram appended to dst. All sequence numbers must lie within
+// 255 of the smallest (the batch rebases on it).
+func EncodeBatch(dst []byte, seqs []uint32, msgs []Message) ([]byte, error) {
+	if len(msgs) == 0 || len(msgs) > 255 {
+		return nil, fmt.Errorf("protocol: batch of %d messages", len(msgs))
+	}
+	if len(seqs) != len(msgs) {
+		return nil, fmt.Errorf("protocol: %d seqs for %d messages", len(seqs), len(msgs))
+	}
+	base := seqs[0]
+	for _, s := range seqs[1:] {
+		if s < base {
+			base = s
+		}
+	}
+	var hdr [batchHeaderSize]byte
+	binary.BigEndian.PutUint16(hdr[0:], BatchMagic)
+	hdr[2] = Version
+	hdr[3] = byte(len(msgs))
+	binary.BigEndian.PutUint32(hdr[4:], base)
+	dst = append(dst, hdr[:]...)
+	for i, m := range msgs {
+		if seqs[i] < base || seqs[i]-base > 255 {
+			return nil, fmt.Errorf("%w: seq delta %d", ErrBatchOverflow, int64(seqs[i])-int64(base))
+		}
+		body := m.BodyLen()
+		if body > maxCompactBody {
+			return nil, fmt.Errorf("%w: body %d bytes", ErrBatchOverflow, body)
+		}
+		var ch [compactHeaderSize]byte
+		ch[0] = byte(m.Type())
+		ch[1] = byte(seqs[i] - base)
+		binary.BigEndian.PutUint16(ch[2:], uint16(body))
+		dst = append(dst, ch[:]...)
+		dst = m.MarshalBody(dst)
+	}
+	return dst, nil
+}
+
+// BatchWireSize reports the batched size of the given messages without
+// encoding them.
+func BatchWireSize(msgs []Message) int {
+	n := batchHeaderSize
+	for _, m := range msgs {
+		n += compactHeaderSize + m.BodyLen()
+	}
+	return n
+}
+
+// IsBatch reports whether a datagram uses batched framing.
+func IsBatch(src []byte) bool {
+	return len(src) >= 2 && binary.BigEndian.Uint16(src) == BatchMagic
+}
+
+// DecodeBatch parses a batched datagram into its messages and sequence
+// numbers.
+func DecodeBatch(src []byte) ([]uint32, []Message, error) {
+	if len(src) < batchHeaderSize {
+		return nil, nil, ErrShort
+	}
+	if binary.BigEndian.Uint16(src[0:]) != BatchMagic {
+		return nil, nil, ErrBadMagic
+	}
+	if src[2] != Version {
+		return nil, nil, ErrBadVersion
+	}
+	count := int(src[3])
+	if count == 0 {
+		return nil, nil, fmt.Errorf("%w: empty batch", ErrBodyLen)
+	}
+	base := binary.BigEndian.Uint32(src[4:])
+	src = src[batchHeaderSize:]
+	seqs := make([]uint32, 0, count)
+	msgs := make([]Message, 0, count)
+	for i := 0; i < count; i++ {
+		if len(src) < compactHeaderSize {
+			return nil, nil, ErrShort
+		}
+		t := MsgType(src[0])
+		delta := uint32(src[1])
+		if base+delta < base {
+			// Sequence space wraparound: a session never issues 2^32
+			// commands, so this is a malformed datagram.
+			return nil, nil, fmt.Errorf("%w: sequence overflow", ErrBodyLen)
+		}
+		bodyLen := int(binary.BigEndian.Uint16(src[2:]))
+		src = src[compactHeaderSize:]
+		if len(src) < bodyLen {
+			return nil, nil, ErrShort
+		}
+		msg, err := newMessage(t)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := msg.UnmarshalBody(src[:bodyLen]); err != nil {
+			return nil, nil, err
+		}
+		src = src[bodyLen:]
+		seqs = append(seqs, base+delta)
+		msgs = append(msgs, msg)
+	}
+	if len(src) != 0 {
+		return nil, nil, fmt.Errorf("%w: %d trailing bytes", ErrBodyLen, len(src))
+	}
+	return seqs, msgs, nil
+}
+
+// DecodeAny parses either framing: a batched datagram yields all its
+// messages, a plain datagram yields one.
+func DecodeAny(src []byte) ([]uint32, []Message, error) {
+	if IsBatch(src) {
+		return DecodeBatch(src)
+	}
+	seq, msg, _, err := Decode(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	return []uint32{seq}, []Message{msg}, nil
+}

@@ -1,0 +1,110 @@
+package protocol
+
+import (
+	"testing"
+)
+
+func TestBatchRoundTrip(t *testing.T) {
+	msgs := []Message{
+		&Fill{Rect: Rect{W: 10, H: 10}, Color: RGB(1, 2, 3)},
+		&Copy{Rect: Rect{W: 5, H: 5}, DstX: 1, DstY: 2},
+		&KeyEvent{Code: 'q', Down: true},
+	}
+	seqs := []uint32{100, 101, 105}
+	wire, err := EncodeBatch(nil, seqs, msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wire) != BatchWireSize(msgs) {
+		t.Errorf("wire %d != BatchWireSize %d", len(wire), BatchWireSize(msgs))
+	}
+	if !IsBatch(wire) {
+		t.Error("IsBatch = false")
+	}
+	gotSeqs, gotMsgs, err := DecodeBatch(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotMsgs) != 3 {
+		t.Fatalf("decoded %d messages", len(gotMsgs))
+	}
+	for i := range seqs {
+		if gotSeqs[i] != seqs[i] {
+			t.Errorf("seq[%d] = %d, want %d", i, gotSeqs[i], seqs[i])
+		}
+		if gotMsgs[i].Type() != msgs[i].Type() {
+			t.Errorf("type[%d] = %v", i, gotMsgs[i].Type())
+		}
+	}
+}
+
+func TestBatchSavesHeaders(t *testing.T) {
+	msgs := []Message{}
+	seqs := []uint32{}
+	plain := 0
+	for i := 0; i < 20; i++ {
+		m := &Fill{Rect: Rect{X: i, Y: i, W: 4, H: 4}, Color: Pixel(i)}
+		msgs = append(msgs, m)
+		seqs = append(seqs, uint32(i+1))
+		plain += WireSize(m)
+	}
+	batched := BatchWireSize(msgs)
+	// 20 fills: plain 20*(12+11)=460; batched 8+20*(4+11)=308.
+	if batched >= plain*3/4 {
+		t.Errorf("batched %d not well below plain %d", batched, plain)
+	}
+}
+
+func TestBatchErrors(t *testing.T) {
+	fill := &Fill{Rect: Rect{W: 1, H: 1}}
+	if _, err := EncodeBatch(nil, nil, nil); err == nil {
+		t.Error("empty batch accepted")
+	}
+	if _, err := EncodeBatch(nil, []uint32{1}, []Message{fill, fill}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, err := EncodeBatch(nil, []uint32{1, 300}, []Message{fill, fill}); err == nil {
+		t.Error("seq delta > 255 accepted")
+	}
+	big := &Set{Rect: Rect{W: 256, H: 256}, Pixels: make([]Pixel, 256*256)}
+	if _, err := EncodeBatch(nil, []uint32{1}, []Message{big}); err == nil {
+		t.Error("oversized body accepted")
+	}
+}
+
+func TestDecodeBatchErrors(t *testing.T) {
+	good, err := EncodeBatch(nil, []uint32{1}, []Message{&Fill{Rect: Rect{W: 1, H: 1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := [][]byte{
+		good[:4],                 // short
+		append(good, 0xff),       // trailing garbage
+		mut(good, 2, 99),         // bad version
+		mut(good, 8, 200),        // bad inner type
+		good[:len(good)-1],       // truncated body
+		{0, 0, 0, 0, 0, 0, 0, 0}, // bad magic
+	}
+	for i, c := range cases {
+		if _, _, err := DecodeBatch(c); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestDecodeAny(t *testing.T) {
+	fill := &Fill{Rect: Rect{W: 2, H: 2}, Color: 5}
+	plain := Encode(nil, 9, fill)
+	seqs, msgs, err := DecodeAny(plain)
+	if err != nil || len(msgs) != 1 || seqs[0] != 9 {
+		t.Fatalf("plain DecodeAny = %v %v %v", seqs, msgs, err)
+	}
+	batch, err := EncodeBatch(nil, []uint32{4, 5}, []Message{fill, fill})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqs, msgs, err = DecodeAny(batch)
+	if err != nil || len(msgs) != 2 || seqs[1] != 5 {
+		t.Fatalf("batch DecodeAny = %v %v %v", seqs, msgs, err)
+	}
+}

@@ -1,0 +1,313 @@
+package protocol
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Set carries literal pixel values for a rectangular region (Table 1).
+// Pixels are packed 3 bytes each in row-major order.
+type Set struct {
+	Rect   Rect
+	Pixels []Pixel
+}
+
+// Type implements Message.
+func (m *Set) Type() MsgType { return TypeSet }
+
+// BodyLen implements Message.
+func (m *Set) BodyLen() int { return 8 + 3*len(m.Pixels) }
+
+// MarshalBody implements Message.
+func (m *Set) MarshalBody(dst []byte) []byte {
+	dst = putRect(dst, m.Rect)
+	for _, p := range m.Pixels {
+		dst = append(dst, p.R(), p.G(), p.B())
+	}
+	return dst
+}
+
+// UnmarshalBody implements Message.
+func (m *Set) UnmarshalBody(src []byte) error {
+	r, rest, err := getRect(src)
+	if err != nil {
+		return err
+	}
+	if !r.Valid() {
+		return ErrBadGeometry
+	}
+	n := r.Pixels()
+	if len(rest) != 3*n {
+		return fmt.Errorf("%w: SET wants %d pixel bytes, have %d", ErrBodyLen, 3*n, len(rest))
+	}
+	m.Rect = r
+	m.Pixels = make([]Pixel, n)
+	for i := 0; i < n; i++ {
+		m.Pixels[i] = RGB(rest[3*i], rest[3*i+1], rest[3*i+2])
+	}
+	return nil
+}
+
+// Bitmap expands a 1-bit-per-pixel bitmap into a two-colour rectangle
+// (Table 1): foreground where the bitmap holds 1, background where it holds
+// 0. This is the workhorse for text — a glyph row costs one bit per pixel
+// instead of three bytes.
+type Bitmap struct {
+	Rect Rect
+	Fg   Pixel
+	Bg   Pixel
+	// Bits holds H rows, each padded to a whole byte: ceil(W/8) bytes per
+	// row, MSB first.
+	Bits []byte
+}
+
+// BitmapRowBytes reports the padded byte width of one bitmap row.
+func BitmapRowBytes(w int) int { return (w + 7) / 8 }
+
+// Type implements Message.
+func (m *Bitmap) Type() MsgType { return TypeBitmap }
+
+// BodyLen implements Message.
+func (m *Bitmap) BodyLen() int { return 8 + 6 + len(m.Bits) }
+
+// MarshalBody implements Message.
+func (m *Bitmap) MarshalBody(dst []byte) []byte {
+	dst = putRect(dst, m.Rect)
+	dst = append(dst, m.Fg.R(), m.Fg.G(), m.Fg.B())
+	dst = append(dst, m.Bg.R(), m.Bg.G(), m.Bg.B())
+	return append(dst, m.Bits...)
+}
+
+// UnmarshalBody implements Message.
+func (m *Bitmap) UnmarshalBody(src []byte) error {
+	r, rest, err := getRect(src)
+	if err != nil {
+		return err
+	}
+	if !r.Valid() {
+		return ErrBadGeometry
+	}
+	if len(rest) < 6 {
+		return ErrShort
+	}
+	m.Fg = RGB(rest[0], rest[1], rest[2])
+	m.Bg = RGB(rest[3], rest[4], rest[5])
+	rest = rest[6:]
+	want := BitmapRowBytes(r.W) * r.H
+	if len(rest) != want {
+		return fmt.Errorf("%w: BITMAP wants %d bitmap bytes, have %d", ErrBodyLen, want, len(rest))
+	}
+	m.Rect = r
+	m.Bits = append([]byte(nil), rest...)
+	return nil
+}
+
+// BitAt reports the bitmap bit for pixel (x, y) inside the rectangle.
+func (m *Bitmap) BitAt(x, y int) bool {
+	row := BitmapRowBytes(m.Rect.W)
+	b := m.Bits[y*row+x/8]
+	return b&(0x80>>uint(x%8)) != 0
+}
+
+// Fill paints a rectangular region with a single pixel value (Table 1).
+// The paper found FILL alone reduces bandwidth by 40–75%.
+type Fill struct {
+	Rect  Rect
+	Color Pixel
+}
+
+// Type implements Message.
+func (m *Fill) Type() MsgType { return TypeFill }
+
+// BodyLen implements Message.
+func (m *Fill) BodyLen() int { return 8 + 3 }
+
+// MarshalBody implements Message.
+func (m *Fill) MarshalBody(dst []byte) []byte {
+	dst = putRect(dst, m.Rect)
+	return append(dst, m.Color.R(), m.Color.G(), m.Color.B())
+}
+
+// UnmarshalBody implements Message.
+func (m *Fill) UnmarshalBody(src []byte) error {
+	r, rest, err := getRect(src)
+	if err != nil {
+		return err
+	}
+	if !r.Valid() {
+		return ErrBadGeometry
+	}
+	if len(rest) != 3 {
+		return ErrBodyLen
+	}
+	m.Rect = r
+	m.Color = RGB(rest[0], rest[1], rest[2])
+	return nil
+}
+
+// Copy moves a rectangle within the console's frame buffer (Table 1): the
+// source Rect is copied so its top-left lands at (DstX, DstY). Scrolling a
+// window costs 14 bytes regardless of size.
+type Copy struct {
+	Rect       Rect
+	DstX, DstY int
+}
+
+// Type implements Message.
+func (m *Copy) Type() MsgType { return TypeCopy }
+
+// BodyLen implements Message.
+func (m *Copy) BodyLen() int { return 8 + 4 }
+
+// MarshalBody implements Message.
+func (m *Copy) MarshalBody(dst []byte) []byte {
+	dst = putRect(dst, m.Rect)
+	var b [4]byte
+	binary.BigEndian.PutUint16(b[0:], uint16(m.DstX))
+	binary.BigEndian.PutUint16(b[2:], uint16(m.DstY))
+	return append(dst, b[:]...)
+}
+
+// UnmarshalBody implements Message.
+func (m *Copy) UnmarshalBody(src []byte) error {
+	r, rest, err := getRect(src)
+	if err != nil {
+		return err
+	}
+	if !r.Valid() {
+		return ErrBadGeometry
+	}
+	if len(rest) != 4 {
+		return ErrBodyLen
+	}
+	m.Rect = r
+	m.DstX = int(binary.BigEndian.Uint16(rest[0:]))
+	m.DstY = int(binary.BigEndian.Uint16(rest[2:]))
+	return nil
+}
+
+// CSCSFormat selects the compressed YUV encoding used by a CSCS command.
+// The bits-per-pixel levels match Table 5 and §7 of the paper: luma is
+// carried at YBits per pixel and chroma at CBits per component, subsampled
+// over 2x2 blocks, giving BPP = YBits + CBits/2.
+type CSCSFormat uint8
+
+// CSCS formats, named by total bits per pixel.
+const (
+	CSCS16 CSCSFormat = iota // Y12 + C8/2x2: 16 bpp
+	CSCS12                   // Y8 + C8/2x2: 12 bpp
+	CSCS8                    // Y6 + C4/2x2: 8 bpp
+	CSCS6                    // Y4 + C4/2x2: 6 bpp (used for MPEG-II in §7.1)
+	CSCS5                    // Y4 + C2/2x2: 5 bpp (used for Quake in §7.3)
+	numCSCSFormats
+)
+
+// Params reports the luma and chroma bit depths of the format.
+func (f CSCSFormat) Params() (yBits, cBits int) {
+	switch f {
+	case CSCS16:
+		return 12, 8
+	case CSCS12:
+		return 8, 8
+	case CSCS8:
+		return 6, 4
+	case CSCS6:
+		return 4, 4
+	case CSCS5:
+		return 4, 2
+	default:
+		return 8, 8
+	}
+}
+
+// BitsPerPixel reports the total encoded bits per source pixel.
+func (f CSCSFormat) BitsPerPixel() float64 {
+	y, c := f.Params()
+	return float64(y) + float64(c)/2
+}
+
+// Valid reports whether f is a defined format.
+func (f CSCSFormat) Valid() bool { return f < numCSCSFormats }
+
+func (f CSCSFormat) String() string {
+	switch f {
+	case CSCS16:
+		return "CSCS-16bpp"
+	case CSCS12:
+		return "CSCS-12bpp"
+	case CSCS8:
+		return "CSCS-8bpp"
+	case CSCS6:
+		return "CSCS-6bpp"
+	case CSCS5:
+		return "CSCS-5bpp"
+	}
+	return fmt.Sprintf("CSCSFormat(%d)", uint8(f))
+}
+
+// PayloadLen reports the encoded payload size in bytes for a w×h source
+// region: packed luma plane plus two 2x2-subsampled chroma planes.
+func (f CSCSFormat) PayloadLen(w, h int) int {
+	y, c := f.Params()
+	yBits := w * h * y
+	cw, ch := (w+1)/2, (h+1)/2
+	cBits := 2 * cw * ch * c
+	return (yBits+7)/8 + (cBits+7)/8
+}
+
+// CSCS color-space converts a YUV region to RGB with optional bilinear
+// scaling (Table 1). Src describes the transmitted YUV region geometry;
+// Dst is where (and at what size) it lands in the frame buffer. Sending
+// half-resolution video and scaling at the console is the bandwidth trick
+// of §7 and §8.1.
+type CSCS struct {
+	Src    Rect // geometry of the encoded YUV data (X,Y unused; W,H matter)
+	Dst    Rect // destination rectangle in the frame buffer
+	Format CSCSFormat
+	// Data is the packed YUV payload; see CSCSFormat.PayloadLen.
+	Data []byte
+}
+
+// Type implements Message.
+func (m *CSCS) Type() MsgType { return TypeCSCS }
+
+// BodyLen implements Message.
+func (m *CSCS) BodyLen() int { return 8 + 8 + 1 + len(m.Data) }
+
+// MarshalBody implements Message.
+func (m *CSCS) MarshalBody(dst []byte) []byte {
+	dst = putRect(dst, m.Src)
+	dst = putRect(dst, m.Dst)
+	dst = append(dst, byte(m.Format))
+	return append(dst, m.Data...)
+}
+
+// UnmarshalBody implements Message.
+func (m *CSCS) UnmarshalBody(src []byte) error {
+	s, rest, err := getRect(src)
+	if err != nil {
+		return err
+	}
+	d, rest, err := getRect(rest)
+	if err != nil {
+		return err
+	}
+	if !s.Valid() || !d.Valid() {
+		return ErrBadGeometry
+	}
+	if len(rest) < 1 {
+		return ErrShort
+	}
+	f := CSCSFormat(rest[0])
+	if !f.Valid() {
+		return fmt.Errorf("%w: CSCS format %d", ErrBadType, rest[0])
+	}
+	rest = rest[1:]
+	want := f.PayloadLen(s.W, s.H)
+	if len(rest) != want {
+		return fmt.Errorf("%w: CSCS wants %d payload bytes, have %d", ErrBodyLen, want, len(rest))
+	}
+	m.Src, m.Dst, m.Format = s, d, f
+	m.Data = append([]byte(nil), rest...)
+	return nil
+}

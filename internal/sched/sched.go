@@ -1,0 +1,259 @@
+// Package sched simulates time-sharing a SLIM server's processors among
+// interactive users — the substrate for the processor-sharing experiments
+// of §6.1 (Figures 9 and 10).
+//
+// The model is fluid processor sharing: every runnable process receives an
+// equal share of the machine's N CPUs, capped at one CPU per process (the
+// Table 2 applications are single threaded). This captures the two effects
+// the paper measures: a yardstick event takes longer as more bursts overlap
+// with it, and a machine with more CPUs is "better able to find a free CPU
+// when one is required."
+package sched
+
+import (
+	"math"
+	"time"
+
+	"slim/internal/stats"
+)
+
+// Burst is one unit of work: Service seconds of CPU demand followed by
+// Think seconds of sleep.
+type Burst struct {
+	Service time.Duration
+	Think   time.Duration
+}
+
+// Source produces a process's bursts in order. Next returning ok=false
+// terminates the process.
+type Source interface {
+	Next() (Burst, bool)
+	// MemMB reports the process's resident set for the memory model.
+	MemMB() float64
+}
+
+// Policy selects how runnable processes share the CPUs.
+type Policy int
+
+const (
+	// PolicyFair is plain processor sharing: every runnable process gets
+	// an equal share (Solaris TS, approximately — the paper's testbed).
+	PolicyFair Policy = iota
+	// PolicyInteractive gives the yardstick-class process strict priority
+	// up to one CPU, with the background sharing the remainder. This is
+	// the §9 future-work direction ("interactive performance guarantees
+	// in a shared environment") — and the SMART scheduler the authors
+	// cite [11] pursued the same goal.
+	PolicyInteractive
+)
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// CPUs is the number of processors (Figure 9 uses 1; Figure 10 sweeps
+	// 1–8).
+	CPUs int
+	// Policy selects the sharing discipline (default PolicyFair).
+	Policy Policy
+	// RAMMB is physical memory. When the resident sets of all processes
+	// exceed it, every service demand is inflated by the paging penalty —
+	// the coarse memory model matching the paper's observation that memory
+	// and swap, not the network, bound sharing.
+	RAMMB float64
+	// PagePenalty is the service inflation per unit of memory
+	// oversubscription (demand/RAM - 1). Zero disables the memory model.
+	PagePenalty float64
+}
+
+// Result summarizes a run.
+type Result struct {
+	// Added is the distribution of latency added to each yardstick event:
+	// (completion - start) - service demand. Figure 9's y-axis is its mean.
+	Added *stats.CDF
+	// Utilization is delivered CPU work divided by capacity.
+	Utilization float64
+	// YardstickEvents counts completed yardstick bursts.
+	YardstickEvents int
+}
+
+// AvgAdded reports the mean added latency.
+func (r Result) AvgAdded() time.Duration {
+	if r.Added.N() == 0 {
+		return 0
+	}
+	return time.Duration(r.Added.Mean() * float64(time.Second))
+}
+
+type procState int
+
+const (
+	stateSleeping procState = iota
+	stateRunnable
+	stateDone
+)
+
+type proc struct {
+	src       Source
+	state     procState
+	wakeAt    float64 // valid when sleeping
+	remaining float64 // CPU seconds left in current burst
+	started   float64 // when the current burst became runnable
+	service   float64 // nominal demand of current burst (pre-inflation)
+	think     float64 // sleep after the current burst completes
+	yard      bool
+}
+
+// Run simulates the background sources plus one yardstick source for the
+// given duration and reports the yardstick's added latencies.
+func Run(cfg Config, background []Source, yardstick Source, dur time.Duration) Result {
+	if cfg.CPUs <= 0 {
+		cfg.CPUs = 1
+	}
+	procs := make([]*proc, 0, len(background)+1)
+	var memMB float64
+	for _, s := range background {
+		procs = append(procs, &proc{src: s, state: stateSleeping})
+		memMB += s.MemMB()
+	}
+	if yardstick != nil {
+		procs = append(procs, &proc{src: yardstick, state: stateSleeping, yard: true})
+		memMB += yardstick.MemMB()
+	}
+	inflate := 1.0
+	if cfg.PagePenalty > 0 && cfg.RAMMB > 0 && memMB > cfg.RAMMB {
+		inflate = 1 + cfg.PagePenalty*(memMB/cfg.RAMMB-1)
+	}
+
+	end := dur.Seconds()
+	now := 0.0
+	var workDone float64
+	res := Result{Added: stats.NewCDF(1024)}
+
+	// Prime every process with its first burst.
+	for _, p := range procs {
+		advanceProc(p, now, inflate)
+	}
+
+	rates := make([]float64, len(procs))
+	for now < end {
+		computeRates(cfg, procs, rates)
+		// Next event: earliest completion or wakeup, capped at end.
+		next := end
+		for i, p := range procs {
+			switch p.state {
+			case stateRunnable:
+				if rates[i] > 0 {
+					if t := now + p.remaining/rates[i]; t < next {
+						next = t
+					}
+				}
+			case stateSleeping:
+				if p.wakeAt < next {
+					next = p.wakeAt
+				}
+			}
+		}
+		dt := next - now
+		if dt < 0 {
+			dt = 0
+		}
+		// Apply service.
+		for i, p := range procs {
+			if p.state == stateRunnable {
+				p.remaining -= dt * rates[i]
+				workDone += dt * rates[i]
+			}
+		}
+		now = next
+		// Handle completions and wakeups.
+		const eps = 1e-12
+		for _, p := range procs {
+			switch p.state {
+			case stateRunnable:
+				if p.remaining <= eps {
+					if p.yard {
+						added := (now - p.started) - p.service
+						if added < 0 {
+							added = 0
+						}
+						res.Added.Add(added)
+						res.YardstickEvents++
+					}
+					p.state = stateSleeping
+					p.wakeAt = now + p.think
+				}
+			case stateSleeping:
+				if p.wakeAt <= now+eps {
+					advanceProc(p, now, inflate)
+				}
+			}
+		}
+	}
+	res.Utilization = workDone / (end * float64(cfg.CPUs))
+	return res
+}
+
+// computeRates fills each runnable process's service rate under the
+// configured policy.
+func computeRates(cfg Config, procs []*proc, rates []float64) {
+	runnable := 0
+	yardRunnable := false
+	for _, p := range procs {
+		if p.state == stateRunnable {
+			runnable++
+			if p.yard {
+				yardRunnable = true
+			}
+		}
+	}
+	for i := range rates {
+		rates[i] = 0
+	}
+	if runnable == 0 {
+		return
+	}
+	if cfg.Policy == PolicyInteractive && yardRunnable {
+		// The interactive process owns one CPU; background shares the rest.
+		bgCPUs := float64(cfg.CPUs - 1)
+		bgRunnable := runnable - 1
+		for i, p := range procs {
+			if p.state != stateRunnable {
+				continue
+			}
+			if p.yard {
+				rates[i] = 1
+			} else if bgRunnable > 0 && bgCPUs > 0 {
+				rates[i] = math.Min(1, bgCPUs/float64(bgRunnable))
+			}
+		}
+		return
+	}
+	share := math.Min(1, float64(cfg.CPUs)/float64(runnable))
+	for i, p := range procs {
+		if p.state == stateRunnable {
+			rates[i] = share
+		}
+	}
+}
+
+// advanceProc pulls the next burst for a sleeping process and makes it
+// runnable (or done).
+func advanceProc(p *proc, now, inflate float64) {
+	b, ok := p.src.Next()
+	if !ok {
+		p.state = stateDone
+		return
+	}
+	p.service = b.Service.Seconds()
+	p.remaining = p.service * inflate
+	p.think = b.Think.Seconds()
+	if p.think <= 0 {
+		p.think = 1e-6 // keep the event loop advancing
+	}
+	p.started = now
+	p.state = stateRunnable
+	if p.remaining <= 0 {
+		// Zero-service bursts just sleep.
+		p.state = stateSleeping
+		p.wakeAt = now + p.think
+	}
+}

@@ -1,0 +1,173 @@
+package sched
+
+import (
+	"testing"
+	"time"
+)
+
+// fixedSource emits a constant burst pattern.
+type fixedSource struct {
+	service, think time.Duration
+	mem            float64
+	limit          int // 0 = unlimited
+	emitted        int
+}
+
+func (f *fixedSource) Next() (Burst, bool) {
+	if f.limit > 0 && f.emitted >= f.limit {
+		return Burst{}, false
+	}
+	f.emitted++
+	return Burst{Service: f.service, Think: f.think}, true
+}
+
+func (f *fixedSource) MemMB() float64 { return f.mem }
+
+func yard() Source {
+	return &fixedSource{service: 30 * time.Millisecond, think: 150 * time.Millisecond}
+}
+
+func TestUnloadedYardstickHasNoAddedLatency(t *testing.T) {
+	res := Run(Config{CPUs: 1}, nil, yard(), 10*time.Second)
+	if res.YardstickEvents < 50 {
+		t.Fatalf("events = %d", res.YardstickEvents)
+	}
+	if got := res.AvgAdded(); got != 0 {
+		t.Errorf("unloaded added latency = %v, want 0", got)
+	}
+	// 30ms per 180ms cycle ≈ 16.7% utilization.
+	if res.Utilization < 0.15 || res.Utilization > 0.18 {
+		t.Errorf("utilization = %f", res.Utilization)
+	}
+}
+
+func TestTwoCPUBoundProcsShareFairly(t *testing.T) {
+	// A CPU-bound competitor stretches every yardstick burst ~2x:
+	// 30ms of demand at rate 1/2 = 60ms → 30ms added.
+	hog := &fixedSource{service: time.Hour, think: 0}
+	res := Run(Config{CPUs: 1}, []Source{hog}, yard(), 20*time.Second)
+	got := res.AvgAdded()
+	if got < 25*time.Millisecond || got > 35*time.Millisecond {
+		t.Errorf("added vs one hog = %v, want ~30ms", got)
+	}
+}
+
+func TestSecondCPUAbsorbsTheHog(t *testing.T) {
+	hog := &fixedSource{service: time.Hour, think: 0}
+	res := Run(Config{CPUs: 2}, []Source{hog}, yard(), 20*time.Second)
+	if got := res.AvgAdded(); got > time.Millisecond {
+		t.Errorf("added with a free CPU = %v, want ~0", got)
+	}
+}
+
+func TestAddedLatencyMonotoneInLoad(t *testing.T) {
+	prev := time.Duration(-1)
+	for _, n := range []int{0, 2, 4, 8, 16} {
+		var bg []Source
+		for i := 0; i < n; i++ {
+			bg = append(bg, &fixedSource{service: 20 * time.Millisecond, think: 130 * time.Millisecond})
+		}
+		res := Run(Config{CPUs: 1}, bg, yard(), 30*time.Second)
+		if got := res.AvgAdded(); got < prev {
+			t.Fatalf("added latency fell from %v to %v at %d users", prev, got, n)
+		} else {
+			prev = got
+		}
+	}
+}
+
+func TestUtilizationNeverExceedsCapacity(t *testing.T) {
+	var bg []Source
+	for i := 0; i < 20; i++ {
+		bg = append(bg, &fixedSource{service: 50 * time.Millisecond, think: 50 * time.Millisecond})
+	}
+	for _, cpus := range []int{1, 2, 4} {
+		res := Run(Config{CPUs: cpus}, bg, yard(), 10*time.Second)
+		if res.Utilization > 1.0001 {
+			t.Errorf("cpus=%d: utilization %f > 1", cpus, res.Utilization)
+		}
+		// Identical sources run in lockstep: they all sleep through the
+		// same 50 ms window each cycle, so utilization tops out below 1
+		// even in overload. ~0.83 is the analytic value at 4 CPUs.
+		if res.Utilization < 0.80 {
+			t.Errorf("cpus=%d: overloaded system at %f utilization", cpus, res.Utilization)
+		}
+	}
+}
+
+func TestMemoryPressureInflatesService(t *testing.T) {
+	bg := []Source{&fixedSource{service: 10 * time.Millisecond, think: 100 * time.Millisecond, mem: 2000}}
+	lean := Run(Config{CPUs: 1, RAMMB: 4096, PagePenalty: 2}, bg, yard(), 10*time.Second)
+	tight := Run(Config{CPUs: 1, RAMMB: 1000, PagePenalty: 2}, bg, yard(), 10*time.Second)
+	if tight.AvgAdded() <= lean.AvgAdded() {
+		t.Errorf("paging did not hurt: lean %v vs tight %v", lean.AvgAdded(), tight.AvgAdded())
+	}
+}
+
+func TestFiniteSourceTerminates(t *testing.T) {
+	src := &fixedSource{service: 5 * time.Millisecond, think: 5 * time.Millisecond, limit: 10}
+	res := Run(Config{CPUs: 1}, []Source{src}, yard(), 5*time.Second)
+	if src.emitted != 10 {
+		t.Errorf("finite source emitted %d bursts", src.emitted)
+	}
+	if res.YardstickEvents == 0 {
+		t.Error("yardstick starved by finite source")
+	}
+}
+
+func TestZeroServiceBurstsOnlySleep(t *testing.T) {
+	idle := &fixedSource{service: 0, think: 10 * time.Millisecond}
+	res := Run(Config{CPUs: 1}, []Source{idle}, yard(), 5*time.Second)
+	if got := res.AvgAdded(); got != 0 {
+		t.Errorf("idle competitor added %v", got)
+	}
+}
+
+func TestNoYardstick(t *testing.T) {
+	res := Run(Config{CPUs: 1}, []Source{&fixedSource{service: time.Millisecond, think: time.Millisecond}}, nil, time.Second)
+	if res.YardstickEvents != 0 || res.Added.N() != 0 {
+		t.Error("phantom yardstick events")
+	}
+	if res.Utilization <= 0 {
+		t.Error("background did no work")
+	}
+}
+
+func TestInteractivePolicyShieldsYardstick(t *testing.T) {
+	var bg []Source
+	for i := 0; i < 12; i++ {
+		bg = append(bg, &fixedSource{service: 40 * time.Millisecond, think: 100 * time.Millisecond})
+	}
+	fair := Run(Config{CPUs: 1, Policy: PolicyFair}, bg, yard(), 20*time.Second)
+	prio := Run(Config{CPUs: 1, Policy: PolicyInteractive}, bg, yard(), 20*time.Second)
+	if fair.AvgAdded() < 50*time.Millisecond {
+		t.Fatalf("fair baseline not overloaded: %v", fair.AvgAdded())
+	}
+	if prio.AvgAdded() > time.Millisecond {
+		t.Errorf("interactive policy added %v, want ~0 (§9 guarantee)", prio.AvgAdded())
+	}
+	// Background still makes progress under priority (work conserving;
+	// identical sources sleep in partial lockstep, so ~0.87 is the
+	// saturated value here, as in TestUtilizationNeverExceedsCapacity).
+	if prio.Utilization < 0.85 {
+		t.Errorf("priority policy idled the CPU: %f", prio.Utilization)
+	}
+}
+
+func TestInteractivePolicyMultiCPU(t *testing.T) {
+	hogs := []Source{
+		&fixedSource{service: time.Hour, think: 0},
+		&fixedSource{service: time.Hour, think: 0},
+	}
+	res := Run(Config{CPUs: 2, Policy: PolicyInteractive}, hogs, yard(), 10*time.Second)
+	if res.AvgAdded() > time.Millisecond {
+		t.Errorf("added = %v with a reserved CPU", res.AvgAdded())
+	}
+}
+
+func TestDefaultCPUs(t *testing.T) {
+	res := Run(Config{}, nil, yard(), time.Second)
+	if res.YardstickEvents == 0 {
+		t.Error("zero-CPU config did not default to 1")
+	}
+}

@@ -1,0 +1,414 @@
+// Package server implements the SLIM server-side system services of §2.4:
+// the authentication manager that verifies desktop users, the session
+// manager that redirects a user's display I/O to whichever console they are
+// sitting at, and the remote device manager for console-attached
+// peripherals. Sessions own a display encoder and an application; consoles
+// are interchangeable sinks that can be swapped under a session at any
+// time — that is the mobility model.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"slim/internal/core"
+	"slim/internal/protocol"
+)
+
+// Application is the program a session runs: it receives raw input events
+// and responds with rendering operations. Real deployments ran X servers
+// here; the library ships an echo terminal (Terminal) and the experiment
+// harness drives synthetic applications.
+type Application interface {
+	// HandleKey processes one keystroke.
+	HandleKey(ev protocol.KeyEvent) []core.Op
+	// HandlePointer processes one mouse update.
+	HandlePointer(ev protocol.PointerEvent) []core.Op
+}
+
+// Ticker is implemented by applications that render on their own clock —
+// video players, animations — in addition to reacting to input. The
+// server's Tick drives them.
+type Ticker interface {
+	// Tick renders any output due at model time now.
+	Tick(now time.Duration) []core.Op
+}
+
+// Transport delivers server→console datagrams. Implementations include UDP
+// (package slim) and in-memory pipes for tests and simulation.
+type Transport interface {
+	Send(console string, wire []byte) error
+}
+
+// Errors returned by the server's managers.
+var (
+	ErrBadToken       = errors.New("server: unknown authentication token")
+	ErrNoSession      = errors.New("server: console has no attached session")
+	ErrUnknownConsole = errors.New("server: unknown console")
+)
+
+// AuthManager verifies user identities presented via smart cards (§1.1:
+// "users can simply present a smart identification card at any desktop").
+type AuthManager struct {
+	mu     sync.Mutex
+	tokens map[string]string // card token → user name
+}
+
+// NewAuthManager returns an empty registry.
+func NewAuthManager() *AuthManager {
+	return &AuthManager{tokens: make(map[string]string)}
+}
+
+// Register binds a card token to a user.
+func (a *AuthManager) Register(token, user string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.tokens[token] = user
+}
+
+// Revoke removes a card token.
+func (a *AuthManager) Revoke(token string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	delete(a.tokens, token)
+}
+
+// Authenticate resolves a token to a user.
+func (a *AuthManager) Authenticate(token string) (string, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	user, ok := a.tokens[token]
+	if !ok {
+		return "", fmt.Errorf("%w: %q", ErrBadToken, token)
+	}
+	return user, nil
+}
+
+// Session is one user's persistent desktop: the authoritative frame buffer
+// (inside the encoder), the running application, and the console it is
+// currently displayed on (if any).
+type Session struct {
+	ID      uint32
+	User    string
+	Encoder *core.Encoder
+	App     Application
+	Console string // attached console ID, "" if detached
+}
+
+// Server ties the managers together and speaks the SLIM protocol to
+// consoles.
+type Server struct {
+	Auth *AuthManager
+	// NewApp builds the application for a fresh session.
+	NewApp func(user string, w, h int) Application
+
+	mu        sync.Mutex
+	transport Transport
+	sessions  map[uint32]*Session
+	byUser    map[string]uint32
+	consoles  map[string]*consoleState
+	nextID    uint32
+}
+
+type consoleState struct {
+	w, h    int
+	session uint32 // attached session, 0 = login screen
+	// dropped is the console's cumulative drop counter at the last Status;
+	// an increase means display state was lost and must be regenerated.
+	dropped uint32
+}
+
+// StatusLagThreshold is how many display sequence numbers a console may
+// trail the encoder before a Status heartbeat triggers a recovery repaint.
+// A console that rebooted (soft state gone) reports LastSeq far behind or
+// zero and is repainted in full.
+const StatusLagThreshold = 512
+
+// New returns a server sending through the given transport.
+func New(t Transport, newApp func(user string, w, h int) Application) *Server {
+	return &Server{
+		Auth:      NewAuthManager(),
+		NewApp:    newApp,
+		transport: t,
+		sessions:  make(map[uint32]*Session),
+		byUser:    make(map[string]uint32),
+		consoles:  make(map[string]*consoleState),
+	}
+}
+
+// outbound is one queued server→console datagram. Sends are queued while
+// the server lock is held and flushed after it is released, so a transport
+// that delivers synchronously (the in-process fabric) can feed console
+// replies straight back into Handle without deadlocking.
+type outbound struct {
+	console string
+	wire    []byte
+}
+
+// HandleDatagram processes one console→server datagram.
+func (s *Server) HandleDatagram(console string, wire []byte, now time.Duration) error {
+	_, msg, _, err := protocol.Decode(wire)
+	if err != nil {
+		return err
+	}
+	return s.Handle(console, msg, now)
+}
+
+// Handle processes one already-decoded console message.
+func (s *Server) Handle(console string, msg protocol.Message, now time.Duration) error {
+	s.mu.Lock()
+	var out []outbound
+	herr := s.handleLocked(&out, console, msg, now)
+	s.mu.Unlock()
+	ferr := s.flush(out)
+	if herr != nil {
+		return herr
+	}
+	return ferr
+}
+
+// flush delivers queued datagrams outside the lock.
+func (s *Server) flush(out []outbound) error {
+	for _, o := range out {
+		if err := s.transport.Send(o.console, o.wire); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// handleLocked dispatches one message. Callers hold s.mu; all transmissions
+// are queued on out.
+func (s *Server) handleLocked(out *[]outbound, console string, msg protocol.Message, now time.Duration) error {
+	switch m := msg.(type) {
+	case *protocol.Hello:
+		s.consoles[console] = &consoleState{w: int(m.Width), h: int(m.Height)}
+		if m.CardToken != "" {
+			if err := s.attachByToken(out, console, m.CardToken); err != nil {
+				return err
+			}
+		}
+		cs := s.consoles[console]
+		s.send(out, console, &protocol.HelloAck{SessionID: cs.session})
+		return nil
+
+	case *protocol.SessionConnect:
+		if _, ok := s.consoles[console]; !ok {
+			return fmt.Errorf("%w: %q", ErrUnknownConsole, console)
+		}
+		return s.attachByToken(out, console, m.Token)
+
+	case *protocol.KeyEvent:
+		sess, err := s.sessionFor(console)
+		if err != nil {
+			return err
+		}
+		return s.render(out, sess, sess.App.HandleKey(*m))
+
+	case *protocol.PointerEvent:
+		sess, err := s.sessionFor(console)
+		if err != nil {
+			return err
+		}
+		return s.render(out, sess, sess.App.HandlePointer(*m))
+
+	case *protocol.Nack:
+		sess, err := s.sessionFor(console)
+		if err != nil {
+			return err
+		}
+		s.sendDatagrams(out, sess.Console, sess.Encoder.HandleNack(*m))
+		return nil
+
+	case *protocol.Status:
+		return s.handleStatus(out, console, m)
+
+	case *protocol.Pong:
+		return nil // liveness; nothing to do
+
+	case *protocol.Device:
+		// Remote device manager: peripheral traffic is consumed here.
+		return nil
+
+	default:
+		return fmt.Errorf("server: unexpected message %v from console %q", msg.Type(), console)
+	}
+}
+
+// handleStatus inspects a console heartbeat and regenerates display state
+// when the console has demonstrably lost it: its decode-drop counter grew
+// (protocol overload, §4.3) or its applied sequence trails the encoder by
+// more than the in-flight window (console reboot — soft state is
+// disposable by design, §2.2). Recovery is always a repaint from the
+// authoritative frame buffer; never stop-and-wait. Callers hold s.mu.
+func (s *Server) handleStatus(out *[]outbound, console string, st *protocol.Status) error {
+	cs, ok := s.consoles[console]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownConsole, console)
+	}
+	if cs.session == 0 {
+		return nil
+	}
+	sess := s.sessions[cs.session]
+	lost := st.Dropped > cs.dropped
+	cs.dropped = st.Dropped
+	lag := sess.Encoder.LastSeq() > st.LastSeq &&
+		sess.Encoder.LastSeq()-st.LastSeq > StatusLagThreshold
+	if lost || lag {
+		s.sendDatagrams(out, console, sess.Encoder.RepaintAll())
+	}
+	return nil
+}
+
+// attachByToken authenticates a card token and moves the user's session to
+// the given console, creating the session on first use. Callers hold s.mu.
+func (s *Server) attachByToken(out *[]outbound, console, token string) error {
+	user, err := s.Auth.Authenticate(token)
+	if err != nil {
+		return err
+	}
+	cs := s.consoles[console]
+	id, ok := s.byUser[user]
+	var sess *Session
+	if ok {
+		sess = s.sessions[id]
+	} else {
+		s.nextID++
+		sess = &Session{
+			ID:      s.nextID,
+			User:    user,
+			Encoder: core.NewEncoder(cs.w, cs.h),
+		}
+		if s.NewApp != nil {
+			sess.App = s.NewApp(user, cs.w, cs.h)
+		}
+		s.sessions[sess.ID] = sess
+		s.byUser[user] = sess.ID
+	}
+	// Detach from wherever it was displayed before.
+	if sess.Console != "" && sess.Console != console {
+		if old, ok := s.consoles[sess.Console]; ok && old.session == sess.ID {
+			old.session = 0
+		}
+		s.send(out, sess.Console, &protocol.SessionDetach{SessionID: sess.ID})
+	}
+	// Evict whatever session the target console was showing.
+	if cs.session != 0 && cs.session != sess.ID {
+		if other, ok := s.sessions[cs.session]; ok {
+			other.Console = ""
+		}
+	}
+	cs.session = sess.ID
+	sess.Console = console
+	s.send(out, console, &protocol.SessionAttach{SessionID: sess.ID})
+	// The console held only soft state: repaint the screen "to the exact
+	// state at which it was left" (§1.1).
+	s.sendDatagrams(out, console, sess.Encoder.RepaintAll())
+	return nil
+}
+
+// Tick drives every session whose application renders on its own clock
+// (Ticker). Call it periodically — the UDP transport runs it at the
+// configured tick rate.
+func (s *Server) Tick(now time.Duration) error {
+	s.mu.Lock()
+	var out []outbound
+	var firstErr error
+	for _, sess := range s.sessions {
+		tk, ok := sess.App.(Ticker)
+		if !ok {
+			continue
+		}
+		if err := s.render(&out, sess, tk.Tick(now)); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	s.mu.Unlock()
+	if err := s.flush(out); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+// Detach removes a session from its console (card pulled) without
+// destroying it; state persists server side.
+func (s *Server) Detach(user string) error {
+	s.mu.Lock()
+	var out []outbound
+	id, ok := s.byUser[user]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("server: no session for user %q", user)
+	}
+	sess := s.sessions[id]
+	if sess.Console != "" {
+		if cs, ok := s.consoles[sess.Console]; ok && cs.session == id {
+			cs.session = 0
+		}
+		s.send(&out, sess.Console, &protocol.SessionDetach{SessionID: id})
+		sess.Console = ""
+	}
+	s.mu.Unlock()
+	return s.flush(out)
+}
+
+// sessionFor resolves the session attached to a console. Callers hold s.mu.
+func (s *Server) sessionFor(console string) (*Session, error) {
+	cs, ok := s.consoles[console]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownConsole, console)
+	}
+	if cs.session == 0 {
+		return nil, ErrNoSession
+	}
+	return s.sessions[cs.session], nil
+}
+
+// render encodes ops for a session and queues them for its console.
+func (s *Server) render(out *[]outbound, sess *Session, ops []core.Op) error {
+	for _, op := range ops {
+		dgs, err := sess.Encoder.Encode(op)
+		if err != nil {
+			return err
+		}
+		s.sendDatagrams(out, sess.Console, dgs)
+	}
+	return nil
+}
+
+func (s *Server) sendDatagrams(out *[]outbound, console string, dgs []core.Datagram) {
+	if console == "" {
+		return // detached session keeps rendering into its frame buffer
+	}
+	for _, d := range dgs {
+		*out = append(*out, outbound{console: console, wire: d.Wire})
+	}
+}
+
+func (s *Server) send(out *[]outbound, console string, msg protocol.Message) {
+	*out = append(*out, outbound{console: console, wire: protocol.Encode(nil, 0, msg)})
+}
+
+// SessionOf reports the session currently owning a console (nil if none).
+func (s *Server) SessionOf(console string) *Session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cs, ok := s.consoles[console]
+	if !ok || cs.session == 0 {
+		return nil
+	}
+	return s.sessions[cs.session]
+}
+
+// SessionByUser reports a user's session (nil if none).
+func (s *Server) SessionByUser(user string) *Session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id, ok := s.byUser[user]
+	if !ok {
+		return nil
+	}
+	return s.sessions[id]
+}

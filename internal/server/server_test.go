@@ -1,0 +1,398 @@
+package server
+
+import (
+	"errors"
+	"testing"
+
+	"slim/internal/core"
+	"slim/internal/fb"
+	"slim/internal/protocol"
+)
+
+// memTransport collects datagrams per console and can replay them into
+// console frame buffers.
+type memTransport struct {
+	sent map[string][][]byte
+}
+
+func newMemTransport() *memTransport {
+	return &memTransport{sent: make(map[string][][]byte)}
+}
+
+func (m *memTransport) Send(console string, wire []byte) error {
+	m.sent[console] = append(m.sent[console], append([]byte(nil), wire...))
+	return nil
+}
+
+// renderTo applies every display datagram sent to a console onto a frame
+// buffer.
+func (m *memTransport) renderTo(t *testing.T, console string, screen *fb.Framebuffer) {
+	t.Helper()
+	for _, wire := range m.sent[console] {
+		_, msg, _, err := protocol.Decode(wire)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if msg.Type().IsDisplay() {
+			if err := screen.Apply(msg); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// msgsTo decodes everything sent to a console.
+func (m *memTransport) msgsTo(t *testing.T, console string) []protocol.Message {
+	t.Helper()
+	var out []protocol.Message
+	for _, wire := range m.sent[console] {
+		_, msg, _, err := protocol.Decode(wire)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, msg)
+	}
+	return out
+}
+
+func newTestServer(tr Transport) *Server {
+	s := New(tr, func(user string, w, h int) Application { return NewTerminal(w, h) })
+	s.Auth.Register("card-alice", "alice")
+	s.Auth.Register("card-bob", "bob")
+	return s
+}
+
+func hello(w, h int, card string) *protocol.Hello {
+	return &protocol.Hello{Width: uint16(w), Height: uint16(h), CardToken: card}
+}
+
+func TestAuthManager(t *testing.T) {
+	a := NewAuthManager()
+	a.Register("tok", "u")
+	user, err := a.Authenticate("tok")
+	if err != nil || user != "u" {
+		t.Errorf("auth = %q, %v", user, err)
+	}
+	if _, err := a.Authenticate("nope"); !errors.Is(err, ErrBadToken) {
+		t.Errorf("bad token error = %v", err)
+	}
+	a.Revoke("tok")
+	if _, err := a.Authenticate("tok"); err == nil {
+		t.Error("revoked token accepted")
+	}
+}
+
+func TestHelloCreatesSessionWithCard(t *testing.T) {
+	tr := newMemTransport()
+	s := newTestServer(tr)
+	if err := s.Handle("c1", hello(320, 200, "card-alice"), 0); err != nil {
+		t.Fatal(err)
+	}
+	sess := s.SessionByUser("alice")
+	if sess == nil || sess.Console != "c1" {
+		t.Fatal("session not created/attached")
+	}
+	// Console receives attach + repaint + hello ack.
+	var sawAttach, sawAck bool
+	for _, msg := range tr.msgsTo(t, "c1") {
+		switch m := msg.(type) {
+		case *protocol.SessionAttach:
+			if m.SessionID == sess.ID {
+				sawAttach = true
+			}
+		case *protocol.HelloAck:
+			if m.SessionID == sess.ID {
+				sawAck = true
+			}
+		}
+	}
+	if !sawAttach || !sawAck {
+		t.Errorf("attach=%v ack=%v", sawAttach, sawAck)
+	}
+}
+
+func TestHelloWithoutCardShowsLogin(t *testing.T) {
+	tr := newMemTransport()
+	s := newTestServer(tr)
+	if err := s.Handle("c1", hello(320, 200, ""), 0); err != nil {
+		t.Fatal(err)
+	}
+	if s.SessionOf("c1") != nil {
+		t.Error("session created without a card")
+	}
+}
+
+func TestBadCardRejected(t *testing.T) {
+	tr := newMemTransport()
+	s := newTestServer(tr)
+	if err := s.Handle("c1", hello(320, 200, "card-evil"), 0); !errors.Is(err, ErrBadToken) {
+		t.Errorf("bad card error = %v", err)
+	}
+}
+
+func TestInputDrivesApplication(t *testing.T) {
+	tr := newMemTransport()
+	s := newTestServer(tr)
+	if err := s.Handle("c1", hello(320, 200, "card-alice"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Handle("c1", &protocol.KeyEvent{Code: 'x', Down: true}, 0); err != nil {
+		t.Fatal(err)
+	}
+	// The echo terminal must have emitted a BITMAP for the glyph.
+	var sawGlyph bool
+	for _, msg := range tr.msgsTo(t, "c1") {
+		if msg.Type() == protocol.TypeBitmap {
+			sawGlyph = true
+		}
+	}
+	if !sawGlyph {
+		t.Error("keystroke produced no display update")
+	}
+}
+
+func TestInputWithoutSessionFails(t *testing.T) {
+	tr := newMemTransport()
+	s := newTestServer(tr)
+	if err := s.Handle("c1", hello(320, 200, ""), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Handle("c1", &protocol.KeyEvent{Code: 'x', Down: true}, 0); !errors.Is(err, ErrNoSession) {
+		t.Errorf("error = %v", err)
+	}
+	if err := s.Handle("ghost", &protocol.KeyEvent{}, 0); !errors.Is(err, ErrUnknownConsole) {
+		t.Errorf("ghost console error = %v", err)
+	}
+}
+
+func TestMobilityRestoresExactScreen(t *testing.T) {
+	tr := newMemTransport()
+	s := newTestServer(tr)
+	if err := s.Handle("c1", hello(320, 200, ""), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Handle("c2", hello(320, 200, ""), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Handle("c1", &protocol.SessionConnect{Token: "card-alice"}, 0); err != nil {
+		t.Fatal(err)
+	}
+	for _, ch := range "hello" {
+		if err := s.Handle("c1", &protocol.KeyEvent{Code: uint16(ch), Down: true}, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	screen1 := fb.New(320, 200)
+	tr.renderTo(t, "c1", screen1)
+
+	// Move to c2.
+	if err := s.Handle("c2", &protocol.SessionConnect{Token: "card-alice"}, 0); err != nil {
+		t.Fatal(err)
+	}
+	sess := s.SessionByUser("alice")
+	if sess.Console != "c2" {
+		t.Fatal("session did not move")
+	}
+	screen2 := fb.New(320, 200)
+	tr.renderTo(t, "c2", screen2)
+	if !screen2.Equal(screen1) {
+		t.Error("screen not restored bit-for-bit after mobility")
+	}
+	// Old console got a detach.
+	var sawDetach bool
+	for _, msg := range tr.msgsTo(t, "c1") {
+		if d, ok := msg.(*protocol.SessionDetach); ok && d.SessionID == sess.ID {
+			sawDetach = true
+		}
+	}
+	if !sawDetach {
+		t.Error("old console never detached")
+	}
+	if s.SessionOf("c1") != nil {
+		t.Error("old console still owns the session")
+	}
+}
+
+func TestDetach(t *testing.T) {
+	tr := newMemTransport()
+	s := newTestServer(tr)
+	if err := s.Handle("c1", hello(320, 200, "card-alice"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Detach("alice"); err != nil {
+		t.Fatal(err)
+	}
+	if s.SessionOf("c1") != nil {
+		t.Error("console still attached")
+	}
+	if s.SessionByUser("alice") == nil {
+		t.Error("session destroyed by detach")
+	}
+	if err := s.Detach("alice"); err != nil {
+		t.Error("double detach errored")
+	}
+	if err := s.Detach("nobody"); err == nil {
+		t.Error("detach of unknown user succeeded")
+	}
+}
+
+func TestSessionSurvivesDetachedInput(t *testing.T) {
+	tr := newMemTransport()
+	s := newTestServer(tr)
+	if err := s.Handle("c1", hello(320, 200, "card-alice"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Detach("alice"); err != nil {
+		t.Fatal(err)
+	}
+	// Application keeps rendering into the session frame buffer even with
+	// no console attached (e.g. a long-running job updating the screen).
+	sess := s.SessionByUser("alice")
+	term := sess.App.(*Terminal)
+	for _, op := range term.TypeString("offline") {
+		if _, err := sess.Encoder.Encode(op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Reattach elsewhere: repaint must carry the offline output.
+	if err := s.Handle("c2", hello(320, 200, "card-alice"), 0); err != nil {
+		t.Fatal(err)
+	}
+	screen := fb.New(320, 200)
+	tr.renderTo(t, "c2", screen)
+	if !screen.Equal(sess.Encoder.FB) {
+		t.Error("reattach did not restore offline rendering")
+	}
+}
+
+func TestNackTriggersRecovery(t *testing.T) {
+	tr := newMemTransport()
+	s := newTestServer(tr)
+	if err := s.Handle("c1", hello(320, 200, "card-alice"), 0); err != nil {
+		t.Fatal(err)
+	}
+	before := len(tr.sent["c1"])
+	if err := s.Handle("c1", &protocol.Nack{From: 1, To: 1}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.sent["c1"]) <= before {
+		t.Error("nack produced no retransmission")
+	}
+}
+
+func TestEvictionOnSharedConsole(t *testing.T) {
+	tr := newMemTransport()
+	s := newTestServer(tr)
+	if err := s.Handle("c1", hello(320, 200, "card-alice"), 0); err != nil {
+		t.Fatal(err)
+	}
+	// Bob badges into the same console: Alice's session is evicted but
+	// preserved.
+	if err := s.Handle("c1", &protocol.SessionConnect{Token: "card-bob"}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.SessionOf("c1"); got == nil || got.User != "bob" {
+		t.Fatalf("console owner = %+v", got)
+	}
+	alice := s.SessionByUser("alice")
+	if alice == nil || alice.Console != "" {
+		t.Errorf("alice session = %+v", alice)
+	}
+}
+
+func TestServerStatusIgnoredWithoutSession(t *testing.T) {
+	tr := newMemTransport()
+	s := newTestServer(tr)
+	if err := s.Handle("c1", hello(32, 32, ""), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Handle("c1", &protocol.Status{LastSeq: 1}, 0); err != nil {
+		t.Errorf("status errored: %v", err)
+	}
+	if err := s.Handle("c1", &protocol.HelloAck{}, 0); err == nil {
+		t.Error("server accepted a server→console message")
+	}
+	if err := s.Handle("ghost", &protocol.Status{}, 0); err == nil {
+		t.Error("status from unknown console accepted")
+	}
+}
+
+func TestStatusDropTriggersRepaint(t *testing.T) {
+	tr := newMemTransport()
+	s := newTestServer(tr)
+	if err := s.Handle("c1", hello(64, 64, "card-alice"), 0); err != nil {
+		t.Fatal(err)
+	}
+	sess := s.SessionByUser("alice")
+	// Healthy heartbeat: no new traffic.
+	before := len(tr.sent["c1"])
+	if err := s.Handle("c1", &protocol.Status{LastSeq: sess.Encoder.LastSeq()}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.sent["c1"]) != before {
+		t.Error("healthy status triggered traffic")
+	}
+	// Drops grew: the console shed commands under overload → repaint.
+	if err := s.Handle("c1", &protocol.Status{LastSeq: sess.Encoder.LastSeq(), Dropped: 3}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.sent["c1"]) <= before {
+		t.Error("drop growth did not trigger recovery")
+	}
+	// Same counter again: no repeat repaint.
+	before = len(tr.sent["c1"])
+	if err := s.Handle("c1", &protocol.Status{LastSeq: sess.Encoder.LastSeq(), Dropped: 3}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.sent["c1"]) != before {
+		t.Error("stable drop counter repainted again")
+	}
+}
+
+func TestStatusLagTriggersRepaint(t *testing.T) {
+	tr := newMemTransport()
+	s := newTestServer(tr)
+	if err := s.Handle("c1", hello(64, 64, "card-alice"), 0); err != nil {
+		t.Fatal(err)
+	}
+	sess := s.SessionByUser("alice")
+	// Push the encoder far ahead of what the console claims it applied.
+	term := sess.App.(*Terminal)
+	for i := 0; i < StatusLagThreshold+64; i++ {
+		for _, op := range term.Type(byte('a' + i%26)) {
+			if _, err := sess.Encoder.Encode(op); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	before := len(tr.sent["c1"])
+	// Console reports it is still at sequence 1: it rebooted.
+	if err := s.Handle("c1", &protocol.Status{LastSeq: 1}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.sent["c1"]) <= before {
+		t.Error("sequence lag did not trigger recovery")
+	}
+	// Verify the repaint restores the screen exactly.
+	screen := fb.New(64, 64)
+	for _, wire := range tr.sent["c1"][before:] {
+		_, msg, _, err := protocol.Decode(wire)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if msg.Type().IsDisplay() {
+			if err := screen.Apply(msg); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if !screen.Equal(sess.Encoder.FB) {
+		t.Error("recovery repaint incomplete")
+	}
+}
+
+// Compile-time check: Terminal satisfies Application.
+var _ Application = (*Terminal)(nil)
+
+// Guard against accidental interface drift in core.Op usage.
+var _ core.Op = core.FillOp{}

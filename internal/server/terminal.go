@@ -1,0 +1,171 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+
+	"slim/internal/core"
+	"slim/internal/protocol"
+)
+
+// Terminal is the "simple server application which accepts keystrokes ...
+// and responds by sending characters to the console" used for the response
+// time measurement in §4.1, grown into a usable glyph terminal: typed
+// characters echo at a cursor, newlines wrap, and the screen scrolls with a
+// COPY when the bottom is reached.
+type Terminal struct {
+	mu   sync.Mutex
+	w, h int // screen pixels
+	cols int
+	rows int
+	col  int
+	row  int
+	fg   protocol.Pixel
+	bg   protocol.Pixel
+	font *Font
+}
+
+// Terminal glyph cell geometry (an 8x16 console font).
+const (
+	TermGlyphW = 8
+	TermGlyphH = 16
+)
+
+// NewTerminal returns a terminal application for a w×h pixel session.
+func NewTerminal(w, h int) *Terminal {
+	return &Terminal{
+		w: w, h: h,
+		cols: w / TermGlyphW,
+		rows: h / TermGlyphH,
+		fg:   protocol.RGB(0xe0, 0xe0, 0xe0),
+		bg:   protocol.RGB(0x10, 0x10, 0x20),
+		font: DefaultFont(),
+	}
+}
+
+// HandleKey implements Application: key presses echo their character.
+func (t *Terminal) HandleKey(ev protocol.KeyEvent) []core.Op {
+	if !ev.Down {
+		return nil
+	}
+	return t.Type(byte(ev.Code))
+}
+
+// HandlePointer implements Application: clicks move the cursor to the
+// clicked cell.
+func (t *Terminal) HandlePointer(ev protocol.PointerEvent) []core.Op {
+	if ev.Buttons == 0 {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.col = clampInt(int(ev.X)/TermGlyphW, 0, t.cols-1)
+	t.row = clampInt(int(ev.Y)/TermGlyphH, 0, t.rows-1)
+	return nil
+}
+
+// Type renders one character at the cursor and advances it, returning the
+// rendering ops.
+func (t *Terminal) Type(ch byte) []core.Op {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var ops []core.Op
+	switch ch {
+	case '\n', '\r':
+		t.col = 0
+		t.row++
+	case 8, 127: // backspace / delete
+		if t.col > 0 {
+			t.col--
+		}
+		ops = append(ops, core.FillOp{Rect: t.cellRect(t.col, t.row), Color: t.bg})
+	default:
+		ops = append(ops, core.TextOp{
+			Rect: t.cellRect(t.col, t.row),
+			Fg:   t.fg,
+			Bg:   t.bg,
+			Bits: t.font.Glyph(ch),
+		})
+		t.col++
+		if t.col >= t.cols {
+			t.col = 0
+			t.row++
+		}
+	}
+	if t.row >= t.rows {
+		ops = append(ops, t.scrollLocked()...)
+		t.row = t.rows - 1
+	}
+	return ops
+}
+
+// TypeString renders a whole string.
+func (t *Terminal) TypeString(s string) []core.Op {
+	var ops []core.Op
+	for i := 0; i < len(s); i++ {
+		ops = append(ops, t.Type(s[i])...)
+	}
+	return ops
+}
+
+// Clear paints the whole terminal background and homes the cursor.
+func (t *Terminal) Clear() []core.Op {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.col, t.row = 0, 0
+	return []core.Op{core.FillOp{
+		Rect:  protocol.Rect{W: t.w, H: t.h},
+		Color: t.bg,
+	}}
+}
+
+// scrollLocked scrolls the screen up one text row. Callers hold t.mu.
+func (t *Terminal) scrollLocked() []core.Op {
+	body := protocol.Rect{X: 0, Y: TermGlyphH, W: t.cols * TermGlyphW, H: (t.rows - 1) * TermGlyphH}
+	last := protocol.Rect{X: 0, Y: (t.rows - 1) * TermGlyphH, W: t.cols * TermGlyphW, H: TermGlyphH}
+	return []core.Op{
+		core.ScrollOp{Rect: body, DY: -TermGlyphH},
+		core.FillOp{Rect: last, Color: t.bg},
+	}
+}
+
+func (t *Terminal) cellRect(col, row int) protocol.Rect {
+	return protocol.Rect{X: col * TermGlyphW, Y: row * TermGlyphH, W: TermGlyphW, H: TermGlyphH}
+}
+
+// Cursor reports the current cursor cell.
+func (t *Terminal) Cursor() (col, row int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.col, t.row
+}
+
+// SaveState implements Persistent: the cursor position (the text itself
+// lives as pixels in the session frame buffer).
+func (t *Terminal) SaveState() []byte {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return []byte{byte(t.col), byte(t.col >> 8), byte(t.row), byte(t.row >> 8)}
+}
+
+// RestoreState implements Persistent.
+func (t *Terminal) RestoreState(data []byte) error {
+	if len(data) != 4 {
+		return fmt.Errorf("server: terminal state is %d bytes, want 4", len(data))
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.col = clampInt(int(data[0])|int(data[1])<<8, 0, t.cols-1)
+	t.row = clampInt(int(data[2])|int(data[3])<<8, 0, t.rows-1)
+	return nil
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

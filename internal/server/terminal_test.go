@@ -1,0 +1,165 @@
+package server
+
+import (
+	"testing"
+
+	"slim/internal/core"
+	"slim/internal/protocol"
+)
+
+func TestTerminalTypeAdvancesCursor(t *testing.T) {
+	term := NewTerminal(160, 64) // 20 cols x 4 rows
+	ops := term.Type('A')
+	if len(ops) != 1 {
+		t.Fatalf("ops = %d", len(ops))
+	}
+	txt, ok := ops[0].(core.TextOp)
+	if !ok {
+		t.Fatalf("op = %T", ops[0])
+	}
+	if txt.Rect != (protocol.Rect{X: 0, Y: 0, W: TermGlyphW, H: TermGlyphH}) {
+		t.Errorf("glyph rect = %v", txt.Rect)
+	}
+	col, row := term.Cursor()
+	if col != 1 || row != 0 {
+		t.Errorf("cursor = %d,%d", col, row)
+	}
+}
+
+func TestTerminalNewline(t *testing.T) {
+	term := NewTerminal(160, 64)
+	term.Type('A')
+	term.Type('\n')
+	col, row := term.Cursor()
+	if col != 0 || row != 1 {
+		t.Errorf("cursor after newline = %d,%d", col, row)
+	}
+}
+
+func TestTerminalWrap(t *testing.T) {
+	term := NewTerminal(80, 64) // 10 cols
+	for i := 0; i < 10; i++ {
+		term.Type('x')
+	}
+	col, row := term.Cursor()
+	if col != 0 || row != 1 {
+		t.Errorf("cursor after wrap = %d,%d", col, row)
+	}
+}
+
+func TestTerminalBackspace(t *testing.T) {
+	term := NewTerminal(160, 64)
+	term.Type('A')
+	ops := term.Type(8)
+	if len(ops) != 1 {
+		t.Fatalf("backspace ops = %d", len(ops))
+	}
+	if _, ok := ops[0].(core.FillOp); !ok {
+		t.Errorf("backspace op = %T", ops[0])
+	}
+	col, _ := term.Cursor()
+	if col != 0 {
+		t.Errorf("cursor after backspace = %d", col)
+	}
+}
+
+func TestTerminalScrollAtBottom(t *testing.T) {
+	term := NewTerminal(80, 32) // 10 cols x 2 rows
+	var ops []core.Op
+	for i := 0; i < 3; i++ {
+		ops = append(ops, term.TypeString("abcdefghij")...) // fills a row
+	}
+	var sawScroll bool
+	for _, op := range ops {
+		if _, ok := op.(core.ScrollOp); ok {
+			sawScroll = true
+		}
+	}
+	if !sawScroll {
+		t.Error("terminal never scrolled")
+	}
+	_, row := term.Cursor()
+	if row != 1 {
+		t.Errorf("cursor row after scroll = %d", row)
+	}
+}
+
+func TestTerminalOpsRenderCleanly(t *testing.T) {
+	// All ops must encode without error on a session-sized frame buffer.
+	term := NewTerminal(640, 480)
+	enc := core.NewEncoder(640, 480)
+	ops := term.Clear()
+	ops = append(ops, term.TypeString("the quick brown fox\njumps over 1234!\n")...)
+	for _, op := range ops {
+		if _, err := enc.Encode(op); err != nil {
+			t.Fatalf("encode %T: %v", op, err)
+		}
+	}
+	// Something must actually be on screen.
+	nonzero := 0
+	for _, p := range enc.FB.Pix {
+		if p != 0 {
+			nonzero++
+		}
+	}
+	if nonzero == 0 {
+		t.Error("terminal rendered nothing")
+	}
+}
+
+func TestTerminalPointerMovesCursor(t *testing.T) {
+	term := NewTerminal(160, 64)
+	term.HandlePointer(protocol.PointerEvent{X: 85, Y: 20, Buttons: 1})
+	col, row := term.Cursor()
+	if col != 10 || row != 1 {
+		t.Errorf("cursor = %d,%d", col, row)
+	}
+	// No buttons: no move.
+	term.HandlePointer(protocol.PointerEvent{X: 0, Y: 0})
+	col, row = term.Cursor()
+	if col != 10 || row != 1 {
+		t.Error("motion without buttons moved cursor")
+	}
+}
+
+func TestTerminalKeyUpIgnored(t *testing.T) {
+	term := NewTerminal(160, 64)
+	if ops := term.HandleKey(protocol.KeyEvent{Code: 'a', Down: false}); ops != nil {
+		t.Error("key release rendered")
+	}
+}
+
+func TestFontGlyphs(t *testing.T) {
+	f := DefaultFont()
+	seen := map[string]bool{}
+	for ch := byte(33); ch < 127; ch++ {
+		g := f.Glyph(ch)
+		if len(g) != TermGlyphH {
+			t.Fatalf("glyph %q has %d rows", ch, len(g))
+		}
+		lit := false
+		for _, row := range g {
+			if row != 0 {
+				lit = true
+			}
+		}
+		if !lit {
+			t.Errorf("glyph %q is blank", ch)
+		}
+		seen[string(g)] = true
+	}
+	// Glyphs must be reasonably distinct (the selector uses 7 bits).
+	if len(seen) < 40 {
+		t.Errorf("only %d distinct glyph shapes", len(seen))
+	}
+	// Space is blank.
+	for _, row := range f.Glyph(' ') {
+		if row != 0 {
+			t.Error("space glyph not blank")
+		}
+	}
+	// Caching returns identical data.
+	if &f.Glyph('A')[0] != &f.Glyph('A')[0] {
+		t.Error("glyph cache not shared")
+	}
+}

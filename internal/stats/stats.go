@@ -1,0 +1,311 @@
+// Package stats provides the small statistical toolkit used throughout the
+// SLIM reproduction: streaming summaries, histograms, empirical CDFs,
+// percentiles, and least-squares fits. The paper reports almost every result
+// as a cumulative distribution or a fitted linear cost model (Table 5), so
+// these primitives are shared by the workload generators, the trace
+// analyzers, and the experiment harness.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary accumulates streaming moments of a sample without retaining the
+// observations. The zero value is ready to use.
+type Summary struct {
+	n          int
+	mean       float64
+	m2         float64 // sum of squared deviations (Welford)
+	min        float64
+	max        float64
+	total      float64
+	hasExtrema bool
+}
+
+// Add records one observation.
+func (s *Summary) Add(x float64) {
+	s.n++
+	s.total += x
+	delta := x - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (x - s.mean)
+	if !s.hasExtrema || x < s.min {
+		s.min = x
+	}
+	if !s.hasExtrema || x > s.max {
+		s.max = x
+	}
+	s.hasExtrema = true
+}
+
+// N reports the number of observations.
+func (s *Summary) N() int { return s.n }
+
+// Mean reports the arithmetic mean, or 0 for an empty summary.
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Sum reports the total of all observations.
+func (s *Summary) Sum() float64 { return s.total }
+
+// Min reports the smallest observation, or 0 for an empty summary.
+func (s *Summary) Min() float64 { return s.min }
+
+// Max reports the largest observation, or 0 for an empty summary.
+func (s *Summary) Max() float64 { return s.max }
+
+// Variance reports the unbiased sample variance.
+func (s *Summary) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// Stddev reports the sample standard deviation.
+func (s *Summary) Stddev() float64 { return math.Sqrt(s.Variance()) }
+
+// Merge folds other into s, as if every observation given to other had been
+// given to s.
+func (s *Summary) Merge(other *Summary) {
+	if other.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = *other
+		return
+	}
+	n1, n2 := float64(s.n), float64(other.n)
+	delta := other.mean - s.mean
+	total := n1 + n2
+	s.m2 += other.m2 + delta*delta*n1*n2/total
+	s.mean += delta * n2 / total
+	s.n += other.n
+	s.total += other.total
+	if other.min < s.min {
+		s.min = other.min
+	}
+	if other.max > s.max {
+		s.max = other.max
+	}
+}
+
+// CDF is an empirical cumulative distribution function over a retained
+// sample. It mirrors the paper's presentation style: every per-application
+// figure (2, 3, 5, 6, 7) is a CDF.
+type CDF struct {
+	xs     []float64
+	sorted bool
+}
+
+// NewCDF returns a CDF pre-sized for n observations.
+func NewCDF(n int) *CDF {
+	return &CDF{xs: make([]float64, 0, n)}
+}
+
+// Add records one observation.
+func (c *CDF) Add(x float64) {
+	c.xs = append(c.xs, x)
+	c.sorted = false
+}
+
+// AddAll records a batch of observations.
+func (c *CDF) AddAll(xs []float64) {
+	c.xs = append(c.xs, xs...)
+	c.sorted = false
+}
+
+// N reports the number of observations.
+func (c *CDF) N() int { return len(c.xs) }
+
+func (c *CDF) ensureSorted() {
+	if !c.sorted {
+		sort.Float64s(c.xs)
+		c.sorted = true
+	}
+}
+
+// At reports P(X <= x), the fraction of observations at or below x.
+func (c *CDF) At(x float64) float64 {
+	if len(c.xs) == 0 {
+		return 0
+	}
+	c.ensureSorted()
+	// Index of first element > x.
+	i := sort.Search(len(c.xs), func(i int) bool { return c.xs[i] > x })
+	return float64(i) / float64(len(c.xs))
+}
+
+// Percentile reports the value at quantile p in [0,1] using the
+// nearest-rank method. It panics if the CDF is empty.
+func (c *CDF) Percentile(p float64) float64 {
+	if len(c.xs) == 0 {
+		panic("stats: percentile of empty CDF")
+	}
+	c.ensureSorted()
+	if p <= 0 {
+		return c.xs[0]
+	}
+	if p >= 1 {
+		return c.xs[len(c.xs)-1]
+	}
+	rank := int(math.Ceil(p * float64(len(c.xs))))
+	if rank < 1 {
+		rank = 1
+	}
+	return c.xs[rank-1]
+}
+
+// Mean reports the sample mean.
+func (c *CDF) Mean() float64 {
+	if len(c.xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range c.xs {
+		sum += x
+	}
+	return sum / float64(len(c.xs))
+}
+
+// Max reports the largest observation, or 0 if empty.
+func (c *CDF) Max() float64 {
+	if len(c.xs) == 0 {
+		return 0
+	}
+	c.ensureSorted()
+	return c.xs[len(c.xs)-1]
+}
+
+// Min reports the smallest observation, or 0 if empty.
+func (c *CDF) Min() float64 {
+	if len(c.xs) == 0 {
+		return 0
+	}
+	c.ensureSorted()
+	return c.xs[0]
+}
+
+// Points samples the CDF at n evenly spaced quantiles and returns (x, p)
+// pairs suitable for plotting a paper-style cumulative curve.
+func (c *CDF) Points(n int) []Point {
+	if len(c.xs) == 0 || n <= 0 {
+		return nil
+	}
+	c.ensureSorted()
+	pts := make([]Point, 0, n)
+	for i := 1; i <= n; i++ {
+		p := float64(i) / float64(n)
+		pts = append(pts, Point{X: c.Percentile(p), P: p})
+	}
+	return pts
+}
+
+// Point is one sample of a cumulative distribution: fraction P of
+// observations are at or below X.
+type Point struct {
+	X float64
+	P float64
+}
+
+// Histogram counts observations into fixed-width buckets, mirroring the
+// bucketed presentation in the paper's figures ("histogram bucket size is
+// 0.005 events/sec").
+type Histogram struct {
+	Width   float64
+	counts  map[int]int
+	total   int
+	summary Summary
+}
+
+// NewHistogram returns a histogram with the given bucket width. Width must
+// be positive.
+func NewHistogram(width float64) *Histogram {
+	if width <= 0 {
+		panic("stats: histogram width must be positive")
+	}
+	return &Histogram{Width: width, counts: make(map[int]int)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.counts[int(math.Floor(x/h.Width))]++
+	h.total++
+	h.summary.Add(x)
+}
+
+// N reports the number of observations.
+func (h *Histogram) N() int { return h.total }
+
+// Summary returns streaming moments over all observations.
+func (h *Histogram) Summary() Summary { return h.summary }
+
+// Bucket reports the count in the bucket containing x.
+func (h *Histogram) Bucket(x float64) int {
+	return h.counts[int(math.Floor(x/h.Width))]
+}
+
+// CumulativeAt reports the fraction of observations in buckets whose upper
+// edge is at or below x.
+func (h *Histogram) CumulativeAt(x float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	limit := int(math.Floor(x / h.Width))
+	n := 0
+	for b, c := range h.counts {
+		if b < limit {
+			n += c
+		}
+	}
+	return float64(n) / float64(h.total)
+}
+
+// LinearFit is the result of an ordinary least-squares fit y = Intercept +
+// Slope*x. Table 5 of the paper is exactly such a fit: per-command startup
+// cost (intercept) and per-pixel cost (slope).
+type LinearFit struct {
+	Slope     float64
+	Intercept float64
+	R2        float64
+}
+
+// ErrDegenerate reports a fit over fewer than two distinct x values.
+var ErrDegenerate = errors.New("stats: degenerate fit (need >=2 distinct x)")
+
+// FitLine computes an ordinary least-squares line through (xs, ys).
+func FitLine(xs, ys []float64) (LinearFit, error) {
+	if len(xs) != len(ys) {
+		return LinearFit{}, fmt.Errorf("stats: mismatched lengths %d != %d", len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return LinearFit{}, ErrDegenerate
+	}
+	n := float64(len(xs))
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return LinearFit{}, ErrDegenerate
+	}
+	slope := sxy / sxx
+	fit := LinearFit{Slope: slope, Intercept: my - slope*mx}
+	if syy > 0 {
+		fit.R2 = (sxy * sxy) / (sxx * syy)
+	} else {
+		fit.R2 = 1 // all y identical and perfectly predicted by a flat line
+	}
+	return fit, nil
+}

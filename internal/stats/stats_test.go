@@ -1,0 +1,301 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{1, 2, 3, 4, 5} {
+		s.Add(x)
+	}
+	if s.N() != 5 || s.Mean() != 3 || s.Min() != 1 || s.Max() != 5 || s.Sum() != 15 {
+		t.Errorf("summary = n%d mean%f min%f max%f sum%f", s.N(), s.Mean(), s.Min(), s.Max(), s.Sum())
+	}
+	if math.Abs(s.Variance()-2.5) > 1e-9 {
+		t.Errorf("variance = %f, want 2.5", s.Variance())
+	}
+	if math.Abs(s.Stddev()-math.Sqrt(2.5)) > 1e-9 {
+		t.Errorf("stddev = %f", s.Stddev())
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Variance() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Error("empty summary not zero")
+	}
+}
+
+// Property: merging two summaries equals one summary over the
+// concatenation.
+func TestSummaryMergeProperty(t *testing.T) {
+	f := func(a, b []float64) bool {
+		var s1, s2, all Summary
+		for _, x := range a {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e100 {
+				return true // squared deviations overflow near MaxFloat64
+			}
+			s1.Add(x)
+			all.Add(x)
+		}
+		for _, x := range b {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e100 {
+				return true // squared deviations overflow near MaxFloat64
+			}
+			s2.Add(x)
+			all.Add(x)
+		}
+		s1.Merge(&s2)
+		if s1.N() != all.N() {
+			return false
+		}
+		if all.N() == 0 {
+			return true
+		}
+		closeTo := func(x, y float64) bool {
+			scale := math.Max(1, math.Max(math.Abs(x), math.Abs(y)))
+			return math.Abs(x-y) <= 1e-6*scale
+		}
+		return closeTo(s1.Mean(), all.Mean()) &&
+			closeTo(s1.Variance(), all.Variance()) &&
+			s1.Min() == all.Min() && s1.Max() == all.Max()
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(11))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCDFAtAndPercentile(t *testing.T) {
+	c := NewCDF(10)
+	for i := 1; i <= 100; i++ {
+		c.Add(float64(i))
+	}
+	if got := c.At(50); got != 0.5 {
+		t.Errorf("At(50) = %f", got)
+	}
+	if got := c.At(0); got != 0 {
+		t.Errorf("At(0) = %f", got)
+	}
+	if got := c.At(1000); got != 1 {
+		t.Errorf("At(1000) = %f", got)
+	}
+	if got := c.Percentile(0.5); got != 50 {
+		t.Errorf("P50 = %f", got)
+	}
+	if c.Percentile(0) != 1 || c.Percentile(1) != 100 {
+		t.Error("percentile extremes wrong")
+	}
+	if c.Min() != 1 || c.Max() != 100 || c.Mean() != 50.5 {
+		t.Error("min/max/mean wrong")
+	}
+}
+
+func TestCDFPercentilePanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on empty percentile")
+		}
+	}()
+	NewCDF(0).Percentile(0.5)
+}
+
+// Property: At is monotone and Percentile inverts it within rank error.
+func TestCDFProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := raw[:0]
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		c := NewCDF(len(xs))
+		c.AddAll(xs)
+		// Monotonicity over sampled points.
+		prev := -1.0
+		for _, pt := range c.Points(20) {
+			if pt.P < prev {
+				return false
+			}
+			prev = pt.P
+			// At(Percentile(p)) >= p.
+			if c.At(pt.X)+1e-9 < pt.P {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(12))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0.5)
+	for _, x := range []float64{0.1, 0.2, 0.6, 0.7, 1.4, 2.2} {
+		h.Add(x)
+	}
+	if h.N() != 6 {
+		t.Errorf("N = %d", h.N())
+	}
+	if h.Bucket(0.3) != 2 || h.Bucket(0.9) != 2 || h.Bucket(1.3) != 1 {
+		t.Error("bucket counts wrong")
+	}
+	if got := h.CumulativeAt(1.0); got != float64(4)/6 {
+		t.Errorf("CumulativeAt(1.0) = %f", got)
+	}
+	sum := h.Summary()
+	if sum.N() != 6 {
+		t.Error("summary not tracking")
+	}
+}
+
+func TestHistogramPanicsOnBadWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for width 0")
+		}
+	}()
+	NewHistogram(0)
+}
+
+func TestFitLineRecovers(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3*x + 7
+	}
+	fit, err := FitLine(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope-3) > 1e-9 || math.Abs(fit.Intercept-7) > 1e-9 {
+		t.Errorf("fit = %+v", fit)
+	}
+	if fit.R2 < 0.999999 {
+		t.Errorf("R2 = %f", fit.R2)
+	}
+}
+
+func TestFitLineErrors(t *testing.T) {
+	if _, err := FitLine([]float64{1}, []float64{2}); err == nil {
+		t.Error("single point accepted")
+	}
+	if _, err := FitLine([]float64{1, 1}, []float64{2, 3}); err == nil {
+		t.Error("degenerate x accepted")
+	}
+	if _, err := FitLine([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+}
+
+func TestFitLineFlat(t *testing.T) {
+	fit, err := FitLine([]float64{1, 2, 3}, []float64{5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Slope != 0 || fit.Intercept != 5 || fit.R2 != 1 {
+		t.Errorf("flat fit = %+v", fit)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a2 := NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a2.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds identical")
+	}
+}
+
+func TestRNGRanges(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 10000; i++ {
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %f", f)
+		}
+		if n := r.Intn(10); n < 0 || n >= 10 {
+			t.Fatalf("Intn = %d", n)
+		}
+		if v := r.Range(5, 7); v < 5 || v >= 7 {
+			t.Fatalf("Range = %f", v)
+		}
+		if e := r.Exp(2); e < 0 {
+			t.Fatalf("Exp = %f", e)
+		}
+		if p := r.Pareto(1, 100, 1.2); p < 1 || p > 100.0001 {
+			t.Fatalf("Pareto = %f", p)
+		}
+	}
+}
+
+func TestRNGNormStats(t *testing.T) {
+	r := NewRNG(2)
+	var s Summary
+	for i := 0; i < 50000; i++ {
+		s.Add(r.Norm())
+	}
+	if math.Abs(s.Mean()) > 0.03 {
+		t.Errorf("normal mean = %f", s.Mean())
+	}
+	if math.Abs(s.Stddev()-1) > 0.03 {
+		t.Errorf("normal stddev = %f", s.Stddev())
+	}
+}
+
+func TestRNGPick(t *testing.T) {
+	r := NewRNG(3)
+	counts := [3]int{}
+	for i := 0; i < 30000; i++ {
+		counts[r.Pick([]float64{1, 2, 7})]++
+	}
+	if counts[2] < counts[1] || counts[1] < counts[0] {
+		t.Errorf("pick distribution off: %v", counts)
+	}
+	frac := float64(counts[2]) / 30000
+	if frac < 0.65 || frac > 0.75 {
+		t.Errorf("heavy weight frequency = %f, want ~0.7", frac)
+	}
+}
+
+func TestRNGPickPanics(t *testing.T) {
+	r := NewRNG(4)
+	for _, w := range [][]float64{{}, {0, 0}, {-1, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("no panic for weights %v", w)
+				}
+			}()
+			r.Pick(w)
+		}()
+	}
+}
+
+func TestRNGIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for Intn(0)")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}

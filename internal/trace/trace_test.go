@@ -1,0 +1,182 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"slim/internal/protocol"
+)
+
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+func sampleTrace() *Trace {
+	tr := &Trace{App: "netscape", User: 3}
+	tr.Append(Record{T: ms(0), Kind: KindKey, Bytes: 15})
+	tr.Append(Record{T: ms(5), Kind: KindDisplay, Cmd: protocol.TypeBitmap, Bytes: 40, Pixels: 128})
+	tr.Append(Record{T: ms(7), Kind: KindDisplay, Cmd: protocol.TypeFill, Bytes: 23, Pixels: 1000})
+	tr.Append(Record{T: ms(100), Kind: KindClick, Bytes: 17})
+	tr.Append(Record{T: ms(110), Kind: KindDisplay, Cmd: protocol.TypeSet, Bytes: 3012, Pixels: 1000})
+	tr.Append(Record{T: ms(600), Kind: KindKey, Bytes: 15})
+	return tr
+}
+
+func TestKindHelpers(t *testing.T) {
+	if !KindKey.IsInput() || !KindClick.IsInput() || KindDisplay.IsInput() {
+		t.Error("IsInput wrong")
+	}
+	if KindKey.String() != "key" || KindDisplay.String() != "display" {
+		t.Error("names wrong")
+	}
+	if Kind(9).String() == "" {
+		t.Error("unknown kind has empty name")
+	}
+}
+
+func TestInputAccounting(t *testing.T) {
+	tr := sampleTrace()
+	if tr.InputCount() != 3 {
+		t.Errorf("InputCount = %d", tr.InputCount())
+	}
+	times := tr.InputTimes()
+	if len(times) != 3 || times[1] != ms(100) {
+		t.Errorf("InputTimes = %v", times)
+	}
+	if tr.Duration != ms(600) {
+		t.Errorf("Duration = %v", tr.Duration)
+	}
+}
+
+func TestEventFrequencies(t *testing.T) {
+	tr := sampleTrace()
+	freqs := tr.EventFrequencies()
+	if len(freqs) != 2 {
+		t.Fatalf("freqs = %v", freqs)
+	}
+	if freqs[0] != 10 { // 100ms gap
+		t.Errorf("freq[0] = %f, want 10", freqs[0])
+	}
+	if freqs[1] != 2 { // 500ms gap
+		t.Errorf("freq[1] = %f, want 2", freqs[1])
+	}
+}
+
+func TestPerEventAttribution(t *testing.T) {
+	tr := sampleTrace()
+	pes := tr.PerEventTotals()
+	if len(pes) != 3 {
+		t.Fatalf("per-event = %v", pes)
+	}
+	// First event gets the bitmap+fill.
+	if pes[0].Pixels != 1128 || pes[0].Bytes != 63 {
+		t.Errorf("event 0 = %+v", pes[0])
+	}
+	if pes[1].Pixels != 1000 || pes[1].Bytes != 3012 {
+		t.Errorf("event 1 = %+v", pes[1])
+	}
+	if pes[2].Pixels != 0 {
+		t.Errorf("event 2 = %+v", pes[2])
+	}
+}
+
+func TestCDFExtraction(t *testing.T) {
+	tr := sampleTrace()
+	px := tr.PixelsPerEvent()
+	if px.N() != 3 {
+		t.Errorf("pixels CDF N = %d", px.N())
+	}
+	by := tr.BytesPerEvent()
+	if by.Max() != 3012 {
+		t.Errorf("bytes CDF max = %f", by.Max())
+	}
+}
+
+func TestBandwidth(t *testing.T) {
+	tr := sampleTrace()
+	if tr.DisplayBytes() != 40+23+3012 {
+		t.Errorf("DisplayBytes = %d", tr.DisplayBytes())
+	}
+	want := float64(tr.DisplayBytes()*8) / 0.6
+	if got := tr.AvgBandwidthBps(); got != want {
+		t.Errorf("bandwidth = %f, want %f", got, want)
+	}
+	if (&Trace{}).AvgBandwidthBps() != 0 {
+		t.Error("empty trace bandwidth != 0")
+	}
+}
+
+func TestPackets(t *testing.T) {
+	tr := sampleTrace()
+	pkts := tr.Packets(7)
+	if len(pkts) != 3 {
+		t.Fatalf("packets = %v", pkts)
+	}
+	if pkts[0].Flow != 7 || pkts[0].Size != 40 || pkts[0].T != ms(5) {
+		t.Errorf("packet 0 = %+v", pkts[0])
+	}
+}
+
+func TestCommandBytes(t *testing.T) {
+	tr := sampleTrace()
+	cb := tr.CommandBytes()
+	if cb[protocol.TypeSet].Bytes != 3012 || cb[protocol.TypeFill].Pixels != 1000 {
+		t.Errorf("command bytes = %v", cb)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := sampleTrace()
+	b := sampleTrace()
+	m := Merge([]*Trace{a, b})
+	if m.InputCount() != 6 {
+		t.Errorf("merged inputs = %d", m.InputCount())
+	}
+	if m.Duration != 2*a.Duration {
+		t.Errorf("merged duration = %v", m.Duration)
+	}
+	if Merge(nil).InputCount() != 0 {
+		t.Error("empty merge broken")
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := tr.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.App != tr.App || got.User != tr.User || len(got.Records) != len(tr.Records) {
+		t.Errorf("binary roundtrip lost data")
+	}
+	if got.Records[4] != tr.Records[4] {
+		t.Errorf("record mismatch: %+v vs %+v", got.Records[4], tr.Records[4])
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Duration != tr.Duration || len(got.Records) != len(tr.Records) {
+		t.Error("json roundtrip lost data")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Error("junk binary accepted")
+	}
+	if _, err := ReadJSON(bytes.NewReader([]byte("{"))); err == nil {
+		t.Error("junk json accepted")
+	}
+}

@@ -1,0 +1,89 @@
+package video
+
+import (
+	"sync"
+	"time"
+
+	"slim/internal/core"
+	"slim/internal/protocol"
+)
+
+// App is a session application that plays a video source — the shape of
+// the paper's ShowMeTV port (§7.1): frames are converted and pushed to the
+// console with CSCS on the application's own clock, not in response to
+// input. It implements both the server's Application interface and its
+// Ticker extension.
+type App struct {
+	mu       sync.Mutex
+	src      Source
+	dst      protocol.Rect
+	format   protocol.CSCSFormat
+	interval time.Duration
+	next     time.Duration
+	playing  bool
+	frames   int
+}
+
+// NewApp returns a player rendering src into dst at fps via the given
+// CSCS format. Playback starts immediately.
+func NewApp(src Source, dst protocol.Rect, format protocol.CSCSFormat, fps float64) *App {
+	if fps <= 0 {
+		fps = 24
+	}
+	return &App{
+		src:      src,
+		dst:      dst,
+		format:   format,
+		interval: time.Duration(float64(time.Second) / fps),
+		playing:  true,
+	}
+}
+
+// HandleKey implements the application interface: space toggles playback,
+// any other key is ignored (the player owns the screen).
+func (a *App) HandleKey(ev protocol.KeyEvent) []core.Op {
+	if !ev.Down || ev.Code != ' ' {
+		return nil
+	}
+	a.mu.Lock()
+	a.playing = !a.playing
+	a.mu.Unlock()
+	return nil
+}
+
+// HandlePointer implements the application interface.
+func (a *App) HandlePointer(ev protocol.PointerEvent) []core.Op { return nil }
+
+// Tick renders the next frame when due.
+func (a *App) Tick(now time.Duration) []core.Op {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.playing || now < a.next {
+		return nil
+	}
+	if a.next == 0 {
+		a.next = now
+	}
+	a.next += a.interval
+	// If we fell far behind (server stall), resynchronize rather than
+	// bursting stale frames.
+	if now-a.next > 4*a.interval {
+		a.next = now + a.interval
+	}
+	w, h := a.src.Geometry()
+	frame := a.src.Next()
+	a.frames++
+	return []core.Op{core.VideoOp{
+		Src:    protocol.Rect{W: w, H: h},
+		Dst:    a.dst,
+		Format: a.format,
+		Pixels: frame.Pixels,
+	}}
+}
+
+// Frames reports how many frames have been rendered.
+func (a *App) Frames() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.frames
+}

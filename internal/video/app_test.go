@@ -1,0 +1,73 @@
+package video
+
+import (
+	"testing"
+	"time"
+
+	"slim/internal/core"
+	"slim/internal/protocol"
+)
+
+func TestAppTicksAtRate(t *testing.T) {
+	app := NewApp(NewQuake(64, 48, 1), protocol.Rect{W: 64, H: 48}, protocol.CSCS5, 10)
+	frames := 0
+	for i := 0; i <= 100; i++ { // one second in 10ms steps
+		ops := app.Tick(time.Duration(i) * 10 * time.Millisecond)
+		frames += len(ops)
+		for _, op := range ops {
+			if _, ok := op.(core.VideoOp); !ok {
+				t.Fatalf("tick produced %T", op)
+			}
+		}
+	}
+	if frames < 9 || frames > 12 {
+		t.Errorf("frames in 1s at 10fps = %d", frames)
+	}
+	if app.Frames() != frames {
+		t.Errorf("Frames() = %d, rendered %d", app.Frames(), frames)
+	}
+}
+
+func TestAppPauseToggle(t *testing.T) {
+	app := NewApp(NewQuake(32, 24, 2), protocol.Rect{W: 32, H: 24}, protocol.CSCS5, 30)
+	if ops := app.Tick(time.Second); len(ops) != 1 {
+		t.Fatal("no frame while playing")
+	}
+	app.HandleKey(protocol.KeyEvent{Code: ' ', Down: true})
+	if ops := app.Tick(2 * time.Second); len(ops) != 0 {
+		t.Error("paused app rendered")
+	}
+	// Key release and other keys do not toggle.
+	app.HandleKey(protocol.KeyEvent{Code: ' ', Down: false})
+	app.HandleKey(protocol.KeyEvent{Code: 'x', Down: true})
+	if ops := app.Tick(3 * time.Second); len(ops) != 0 {
+		t.Error("release/other key resumed playback")
+	}
+	app.HandleKey(protocol.KeyEvent{Code: ' ', Down: true})
+	if ops := app.Tick(4 * time.Second); len(ops) != 1 {
+		t.Error("space did not resume")
+	}
+	if ops := app.HandlePointer(protocol.PointerEvent{X: 1, Y: 1, Buttons: 1}); ops != nil {
+		t.Error("pointer rendered")
+	}
+}
+
+func TestAppResyncAfterStall(t *testing.T) {
+	app := NewApp(NewQuake(32, 24, 2), protocol.Rect{W: 32, H: 24}, protocol.CSCS5, 25)
+	app.Tick(0)
+	// A long stall must not cause a burst of stale frames.
+	burst := 0
+	for i := 0; i < 5; i++ {
+		burst += len(app.Tick(10*time.Second + time.Duration(i)*time.Millisecond))
+	}
+	if burst > 2 {
+		t.Errorf("stall burst = %d frames", burst)
+	}
+}
+
+func TestAppDefaultFPS(t *testing.T) {
+	app := NewApp(NewQuake(16, 16, 1), protocol.Rect{W: 16, H: 16}, protocol.CSCS5, 0)
+	if app.interval != time.Second/24 {
+		t.Errorf("default interval = %v", app.interval)
+	}
+}

@@ -1,0 +1,179 @@
+package video
+
+import (
+	"fmt"
+	"time"
+
+	"slim/internal/core"
+	"slim/internal/fb"
+	"slim/internal/netsim"
+	"slim/internal/protocol"
+)
+
+// Pipeline describes one multimedia stream from server to console and
+// answers the paper's question: where is the bottleneck, and what frame
+// rate gets through? (§7: "it turns out that server performance is the
+// primary bottleneck.")
+type Pipeline struct {
+	// SrcW, SrcH is the transmitted resolution; DstW, DstH where it lands
+	// (console scales if they differ).
+	SrcW, SrcH, DstW, DstH int
+	// Format is the CSCS bit depth.
+	Format protocol.CSCSFormat
+	// ServerPerFrame is the server CPU time per frame (decode/render/
+	// translate/transmit).
+	ServerPerFrame time.Duration
+	// Instances is the number of parallel streams (the paper simulates
+	// 4-way parallelism with four half-size players).
+	Instances int
+	// CPUs bounds total server parallelism.
+	CPUs int
+	// LinkBps is the fabric capacity to the console.
+	LinkBps float64
+	// GrantedBps, when positive, caps the stream at the console's §7
+	// bandwidth grant (the sorted-grant allocator's output); the video
+	// library throttles its frame rate to fit the grant.
+	GrantedBps float64
+	// Console is the desktop cost model; nil disables the console bound.
+	Console *core.CostModel
+	// ConsoleVideoEfficiency models the overlap of network DMA, CPU, and
+	// the graphics controller's YUV hardware on sustained streams. Table 5
+	// costs are measured per isolated command; during steady-state video
+	// the Sun Ray pipelines them. Calibrated so the paper's console-bound
+	// configurations (4x320x240) land in their published ranges.
+	ConsoleVideoEfficiency float64
+	// TargetHz caps the rate (media frame rate: 30 for NTSC/MPEG clips).
+	TargetHz float64
+}
+
+// Report is the steady-state analysis of a pipeline.
+type Report struct {
+	ServerHz   float64 // rate the server CPUs can produce (all instances)
+	ConsoleHz  float64 // rate the console can decode
+	LinkHz     float64 // rate the fabric can carry
+	AchievedHz float64 // min of the above and TargetHz
+	Mbps       float64 // wire bandwidth at the achieved rate
+	Bottleneck string  // "server", "console", "link", or "source"
+}
+
+// FrameWireBytes reports the on-the-wire size of one encoded frame,
+// including datagram and frame overheads for MTU-sized CSCS strips.
+func (p *Pipeline) FrameWireBytes() int {
+	payload := p.Format.PayloadLen(p.SrcW, p.SrcH)
+	budget := core.DefaultMTU - 17
+	strips := (payload + budget - 1) / budget
+	perStrip := protocol.HeaderSize + 17 + netsim.FrameOverhead
+	return payload + strips*perStrip
+}
+
+// Analyze computes the steady-state report.
+func (p *Pipeline) Analyze() Report {
+	if p.Instances <= 0 {
+		p.Instances = 1
+	}
+	if p.CPUs <= 0 {
+		p.CPUs = p.Instances
+	}
+	eff := p.ConsoleVideoEfficiency
+	if eff <= 0 {
+		eff = 1
+	}
+	var r Report
+
+	// Server: each instance is single threaded, so an instance runs at
+	// 1/ServerPerFrame; total is bounded by available CPUs.
+	perInstance := 1.0 / p.ServerPerFrame.Seconds()
+	parallel := p.Instances
+	if parallel > p.CPUs {
+		parallel = p.CPUs
+	}
+	r.ServerHz = perInstance * float64(parallel)
+
+	// Console: CSCS decode cost over all destination pixels per frame-set.
+	r.ConsoleHz = 1e18
+	if p.Console != nil {
+		perPixel := p.Console.CSCSPerPixel[p.Format] / eff
+		payload := p.Format.PayloadLen(p.SrcW, p.SrcH)
+		budget := core.DefaultMTU - 17
+		strips := (payload + budget - 1) / budget
+		nsPerFrame := p.Console.Startup[protocol.TypeCSCS]*float64(strips) +
+			perPixel*float64(p.DstW*p.DstH)
+		r.ConsoleHz = 1e9 / (nsPerFrame * float64(p.Instances))
+	}
+
+	// Link: wire bytes per frame-set, bounded by capacity and by the
+	// console's bandwidth grant when one is in force.
+	r.LinkHz = 1e18
+	limit := p.LinkBps
+	if p.GrantedBps > 0 && (limit <= 0 || p.GrantedBps < limit) {
+		limit = p.GrantedBps
+	}
+	if limit > 0 {
+		bitsPerSet := float64(p.FrameWireBytes()*8) * float64(p.Instances)
+		r.LinkHz = limit / bitsPerSet
+	}
+
+	r.AchievedHz = r.ServerHz
+	r.Bottleneck = "server"
+	if r.ConsoleHz < r.AchievedHz {
+		r.AchievedHz = r.ConsoleHz
+		r.Bottleneck = "console"
+	}
+	if r.LinkHz < r.AchievedHz {
+		r.AchievedHz = r.LinkHz
+		r.Bottleneck = "link"
+	}
+	if p.TargetHz > 0 && p.TargetHz < r.AchievedHz {
+		r.AchievedHz = p.TargetHz
+		r.Bottleneck = "source"
+	}
+	r.Mbps = r.AchievedHz * float64(p.FrameWireBytes()*8) * float64(p.Instances) / 1e6
+	return r
+}
+
+func (r Report) String() string {
+	return fmt.Sprintf("achieved %.1f Hz (%.1f Mbps, %s-bound; server %.1f, console %.1f, link %.1f)",
+		r.AchievedHz, r.Mbps, r.Bottleneck, r.ServerHz, r.ConsoleHz, r.LinkHz)
+}
+
+// Stream actually pushes n frames from a source through a SLIM encoder
+// into a console frame buffer, returning the wall-clock encode+decode rate
+// of this host and the wire bytes moved. Used by the examples and tests to
+// prove the data path end to end (the Reports above are the 1999 hardware
+// model; this is the real code running).
+func Stream(src Source, enc *core.Encoder, dst *fb.Framebuffer, dstRect protocol.Rect, format protocol.CSCSFormat, n int) (hostHz float64, wireBytes int64, err error) {
+	w, h := src.Geometry()
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		frame := src.Next()
+		op := core.VideoOp{
+			Src:    protocol.Rect{W: w, H: h},
+			Dst:    dstRect,
+			Format: format,
+			Pixels: frame.Pixels,
+		}
+		dgs, err := enc.Encode(op)
+		if err != nil {
+			return 0, 0, err
+		}
+		for _, d := range dgs {
+			wireBytes += int64(len(d.Wire))
+			_, msg, _, err := protocol.Decode(d.Wire)
+			if err != nil {
+				return 0, 0, err
+			}
+			if err := dst.Apply(msg); err != nil {
+				return 0, 0, err
+			}
+		}
+	}
+	elapsed := time.Since(start).Seconds()
+	if elapsed <= 0 {
+		elapsed = 1e-9
+	}
+	return float64(n) / elapsed, wireBytes, nil
+}
+
+// DefaultConsoleVideoEfficiency is the calibrated overlap factor; see
+// Pipeline.ConsoleVideoEfficiency.
+const DefaultConsoleVideoEfficiency = 1.8

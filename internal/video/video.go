@@ -1,0 +1,139 @@
+// Package video implements the multimedia substrate of §7: synthetic
+// stand-ins for the paper's MPEG-II player, live NTSC video, and Quake,
+// plus the streaming pipeline that carries their frames to a console with
+// the CSCS command.
+//
+// The real applications are unavailable (and their decode costs belong to
+// 1999 hardware anyway), so each source pairs synthetic frame content with
+// a *server cost model* calibrated to the paper: MPEG-II decode consumes an
+// entire CPU at ~20 Hz, NTSC JPEG decompression at 16–20 Hz depending on
+// content, and Quake pays ~30 ms/frame for YUV translation plus ~13 ms for
+// transmission at 640x480. The experiments then ask the same question the
+// paper did: given those costs, the console's protocol processing limits,
+// and the fabric, what frame rate survives end to end?
+package video
+
+import (
+	"time"
+
+	"slim/internal/protocol"
+	"slim/internal/stats"
+)
+
+// Frame is one RGB video frame.
+type Frame struct {
+	W, H   int
+	Pixels []protocol.Pixel
+}
+
+// Source produces frames and models their per-frame server-side cost
+// (decode, capture, or game rendering — everything before SLIM encoding).
+type Source interface {
+	// Next returns the next frame.
+	Next() Frame
+	// FrameCost reports the modelled server CPU time consumed producing
+	// the most recent frame.
+	FrameCost() time.Duration
+	// Geometry reports the source resolution.
+	Geometry() (w, h int)
+}
+
+// Reference server-cost constants, calibrated to §7 (times are for one
+// 336 MHz UltraSPARC-II).
+const (
+	// MPEG2DecodeCost is per 720x480 frame: disk I/O plus MPEG-II
+	// decompression "nearly consumes an entire CPU" at 20 Hz.
+	MPEG2DecodeCost = 48 * time.Millisecond
+	// NTSCDecodeCostLo/Hi bound per-field JPEG decompression (16–20 Hz,
+	// "depending on characteristics of the video").
+	NTSCDecodeCostLo = 50 * time.Millisecond
+	NTSCDecodeCostHi = 62 * time.Millisecond
+	// QuakeTranslateCost640 is the 8-bit→YUV lookup translation at
+	// 640x480 ("roughly 30ms/frame"); it scales linearly with pixels.
+	QuakeTranslateCost640 = 30 * time.Millisecond
+	// QuakeTransmitCost640 is the transmission cost at 640x480
+	// ("13ms/frame"); also linear in bytes sent.
+	QuakeTransmitCost640 = 13 * time.Millisecond
+	// QuakeRenderCostLo/Hi bound the engine's own software rendering per
+	// 640x480 frame, varying with scene complexity.
+	QuakeRenderCostLo = 4 * time.Millisecond
+	QuakeRenderCostHi = 11 * time.Millisecond
+)
+
+// mpeg2Source synthesizes a 720x480 movie: a smoothly panning gradient
+// scene with a moving high-contrast subject, roughly the pixel statistics
+// of natural video.
+type mpeg2Source struct {
+	w, h  int
+	frame int
+	rng   *stats.RNG
+	cost  time.Duration
+}
+
+// NewMPEG2 returns the stored-video source of §7.1 (720x480).
+func NewMPEG2(seed uint64) Source {
+	return &mpeg2Source{w: 720, h: 480, rng: stats.NewRNG(seed)}
+}
+
+func (s *mpeg2Source) Geometry() (int, int) { return s.w, s.h }
+
+func (s *mpeg2Source) FrameCost() time.Duration { return s.cost }
+
+func (s *mpeg2Source) Next() Frame {
+	f := Frame{W: s.w, H: s.h, Pixels: make([]protocol.Pixel, s.w*s.h)}
+	t := s.frame
+	// Panning background plus a moving bright blob.
+	bx := (t * 7) % s.w
+	by := (t * 3) % s.h
+	for y := 0; y < s.h; y++ {
+		for x := 0; x < s.w; x++ {
+			r := uint8((x + t*2) * 255 / (s.w + 120))
+			g := uint8((y + t) * 255 / (s.h + 60))
+			b := uint8(128 + 64*((x>>5+y>>5+t>>3)&1))
+			dx, dy := x-bx, y-by
+			if dx*dx+dy*dy < 40*40 {
+				r, g, b = 250, 240, 200
+			}
+			f.Pixels[y*s.w+x] = protocol.RGB(r, g, b)
+		}
+	}
+	s.frame++
+	// Mild content-dependent cost jitter.
+	s.cost = MPEG2DecodeCost + time.Duration(s.rng.Range(-2e6, 2e6))
+	return f
+}
+
+// ntscSource synthesizes interlaced capture fields: 640x240, scaled to
+// 640x480 at the console (§7.2).
+type ntscSource struct {
+	w, h  int
+	frame int
+	rng   *stats.RNG
+	cost  time.Duration
+}
+
+// NewNTSC returns the live-video source of §7.2 (640x240 fields).
+func NewNTSC(seed uint64) Source {
+	return &ntscSource{w: 640, h: 240, rng: stats.NewRNG(seed)}
+}
+
+func (s *ntscSource) Geometry() (int, int) { return s.w, s.h }
+
+func (s *ntscSource) FrameCost() time.Duration { return s.cost }
+
+func (s *ntscSource) Next() Frame {
+	f := Frame{W: s.w, H: s.h, Pixels: make([]protocol.Pixel, s.w*s.h)}
+	t := s.frame
+	for y := 0; y < s.h; y++ {
+		for x := 0; x < s.w; x++ {
+			// Camera noise over a slowly changing scene.
+			base := uint8(96 + 32*((x>>6+y>>4+t>>2)&3))
+			n := uint8(s.rng.Intn(24))
+			f.Pixels[y*s.w+x] = protocol.RGB(base+n, base, base-n/2)
+		}
+	}
+	s.frame++
+	// JPEG decompression cost varies with content (16–20 Hz).
+	s.cost = NTSCDecodeCostLo + time.Duration(s.rng.Range(0, float64(NTSCDecodeCostHi-NTSCDecodeCostLo)))
+	return f
+}

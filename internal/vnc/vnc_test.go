@@ -1,0 +1,191 @@
+package vnc
+
+import (
+	"math/rand"
+	"testing"
+
+	"slim/internal/core"
+	"slim/internal/protocol"
+)
+
+func TestPullDeliversDamage(t *testing.T) {
+	srv := NewServer(64, 64)
+	client := NewClient(64, 64)
+	if err := srv.Render(core.FillOp{Rect: protocol.Rect{X: 4, Y: 4, W: 10, H: 10}, Color: 0x336699}); err != nil {
+		t.Fatal(err)
+	}
+	u, err := srv.Pull(EncodingRaw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Rects) == 0 || u.Pixels() != 100 {
+		t.Fatalf("update = %d rects, %d pixels", len(u.Rects), u.Pixels())
+	}
+	if err := client.Apply(u); err != nil {
+		t.Fatal(err)
+	}
+	if !client.FB.Equal(srv.FB()) {
+		t.Error("client diverged after pull")
+	}
+	// Nothing new: next pull is empty.
+	u2, err := srv.Pull(EncodingRaw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u2.Rects) != 0 {
+		t.Errorf("idle pull returned %d rects", len(u2.Rects))
+	}
+}
+
+func TestCoalescingAcrossPulls(t *testing.T) {
+	srv := NewServer(64, 64)
+	// Paint the same rectangle five times between pulls; the pull ships
+	// it once — the pull model's bandwidth advantage (§8.3).
+	r := protocol.Rect{X: 0, Y: 0, W: 32, H: 32}
+	for i := 0; i < 5; i++ {
+		if err := srv.Render(core.FillOp{Rect: r, Color: protocol.Pixel(i + 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	u, err := srv.Pull(EncodingRaw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Pixels() != r.Pixels() {
+		t.Errorf("pull shipped %d pixels, want %d (coalesced)", u.Pixels(), r.Pixels())
+	}
+}
+
+func TestRLERoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for round := 0; round < 50; round++ {
+		n := 1 + rng.Intn(500)
+		pixels := make([]protocol.Pixel, n)
+		for i := range pixels {
+			// Mix runs and noise.
+			if rng.Intn(3) > 0 && i > 0 {
+				pixels[i] = pixels[i-1]
+			} else {
+				pixels[i] = protocol.Pixel(rng.Uint32() & 0xffffff)
+			}
+		}
+		enc := encodeRLE(pixels)
+		dec, err := decodeRLE(enc, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range pixels {
+			if dec[i] != pixels[i] {
+				t.Fatalf("round %d: pixel %d mismatch", round, i)
+			}
+		}
+	}
+}
+
+func TestRLECompressesSolid(t *testing.T) {
+	pixels := make([]protocol.Pixel, 10_000)
+	for i := range pixels {
+		pixels[i] = 0x123456
+	}
+	enc := encodeRLE(pixels)
+	if len(enc) > 8 { // one or two runs
+		t.Errorf("solid RLE = %d bytes", len(enc))
+	}
+}
+
+func TestRLEFromRaw(t *testing.T) {
+	raw := []byte{1, 2, 3, 1, 2, 3, 9, 9, 9}
+	enc := RLEFromRaw(raw)
+	dec, err := decodeRLE(enc, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec[0] != protocol.RGB(1, 2, 3) || dec[2] != protocol.RGB(9, 9, 9) {
+		t.Errorf("decoded = %v", dec)
+	}
+}
+
+func TestFullUpdate(t *testing.T) {
+	srv := NewServer(16, 16)
+	if err := srv.Render(core.FillOp{Rect: protocol.Rect{W: 16, H: 16}, Color: 7}); err != nil {
+		t.Fatal(err)
+	}
+	u, err := srv.FullUpdate(EncodingRLE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := NewClient(16, 16)
+	if err := client.Apply(u); err != nil {
+		t.Fatal(err)
+	}
+	if !client.FB.Equal(srv.FB()) {
+		t.Error("full update diverged")
+	}
+}
+
+func TestApplyRejectsMalformed(t *testing.T) {
+	client := NewClient(8, 8)
+	bad := Update{Rects: []RectUpdate{{
+		Rect: protocol.Rect{W: 4, H: 4}, Encoding: EncodingRaw, Payload: []byte{1, 2},
+	}}}
+	if err := client.Apply(bad); err == nil {
+		t.Error("short raw payload accepted")
+	}
+	bad.Rects[0].Encoding = Encoding(9)
+	if err := client.Apply(bad); err == nil {
+		t.Error("unknown encoding accepted")
+	}
+	bad.Rects[0].Encoding = EncodingRLE
+	bad.Rects[0].Payload = []byte{0, 1, 1, 2, 3} // one pixel, want 16
+	if err := client.Apply(bad); err == nil {
+		t.Error("short RLE accepted")
+	}
+}
+
+func TestEncodingString(t *testing.T) {
+	if EncodingRaw.String() != "raw" || EncodingRLE.String() != "rle" {
+		t.Error("encoding names wrong")
+	}
+	if Encoding(7).String() == "" {
+		t.Error("unknown encoding has empty name")
+	}
+}
+
+func TestRandomSessionConvergence(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	srv := NewServer(100, 100)
+	client := NewClient(100, 100)
+	for round := 0; round < 20; round++ {
+		// A few random ops between pulls.
+		for k := 0; k < 5; k++ {
+			r := protocol.Rect{X: rng.Intn(80), Y: rng.Intn(80), W: 1 + rng.Intn(20), H: 1 + rng.Intn(20)}
+			var op core.Op
+			if rng.Intn(2) == 0 {
+				op = core.FillOp{Rect: r, Color: protocol.Pixel(rng.Uint32() & 0xffffff)}
+			} else {
+				pix := make([]protocol.Pixel, r.Pixels())
+				for i := range pix {
+					pix[i] = protocol.Pixel(rng.Uint32() & 0xffffff)
+				}
+				op = core.ImageOp{Rect: r, Pixels: pix}
+			}
+			if err := srv.Render(op); err != nil {
+				t.Fatal(err)
+			}
+		}
+		enc := EncodingRaw
+		if round%2 == 1 {
+			enc = EncodingRLE
+		}
+		u, err := srv.Pull(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := client.Apply(u); err != nil {
+			t.Fatal(err)
+		}
+		if !client.FB.Equal(srv.FB()) {
+			t.Fatalf("round %d: diverged", round)
+		}
+	}
+}

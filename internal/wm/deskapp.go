@@ -1,0 +1,256 @@
+package wm
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"slim/internal/core"
+	"slim/internal/protocol"
+	"slim/internal/server"
+)
+
+// DesktopApp is a complete desktop environment as a SLIM session
+// application: multiple terminal windows composed by the window system,
+// driven entirely by keyboard and mouse over the wire protocol. This
+// implementation uses key codes as characters, so the window-management
+// chords live above the ASCII range:
+//
+//	0x81  open a new terminal window
+//	0x82  cycle focus (raises the next window)
+//	0x83  close the focused window
+//	0x84-0x87  nudge the focused window left/right/up/down
+//	ASCII      type into the focused window's terminal
+//
+// Clicking a window raises it. The app shows that a stateless console
+// needs nothing beyond the five display commands to host a windowed
+// desktop.
+type DesktopApp struct {
+	mu     sync.Mutex
+	desk   *Desktop
+	terms  map[int]*server.Terminal // window id → its terminal
+	order  []int                    // creation order, for focus cycling
+	focus  int                      // focused window id (0 = none)
+	inited bool
+}
+
+// Window-management key codes (above ASCII so terminal input is clean).
+const (
+	KeyNewWindow   = 0x81
+	KeyCycleFocus  = 0x82
+	KeyCloseWindow = 0x83
+	KeyNudgeLeft   = 0x84
+	KeyNudgeRight  = 0x85
+	KeyNudgeUp     = 0x86
+	KeyNudgeDown   = 0x87
+)
+
+// NewDesktopApp returns a desktop environment for a w×h session.
+func NewDesktopApp(w, h int) *DesktopApp {
+	return &DesktopApp{
+		desk:  New(w, h),
+		terms: make(map[int]*server.Terminal),
+	}
+}
+
+// initOps paints the desktop and opens the first window.
+func (a *DesktopApp) initOps() []core.Op {
+	ops := a.desk.InitOps()
+	more, err := a.openWindow()
+	if err == nil {
+		ops = append(ops, more...)
+	}
+	return ops
+}
+
+// openWindow creates a terminal window cascaded from the last one.
+// Callers hold a.mu.
+func (a *DesktopApp) openWindow() ([]core.Op, error) {
+	n := len(a.order)
+	r := protocol.Rect{
+		X: 40 + (n*48)%max(1, a.desk.W/2),
+		Y: 30 + (n*36)%max(1, a.desk.H/2),
+		W: min(480, a.desk.W-80),
+		H: min(360, a.desk.H-60),
+	}
+	id, ops, err := a.desk.Create(r, fmt.Sprintf("term %d", n+1))
+	if err != nil {
+		return nil, err
+	}
+	_, w, err := a.desk.find(id)
+	if err != nil {
+		return nil, err
+	}
+	interior := w.Interior()
+	term := server.NewTerminal(interior.W, interior.H)
+	a.terms[id] = term
+	a.order = append(a.order, id)
+	a.focus = id
+	// Paint the terminal background and a prompt into the window.
+	clientOps := term.Clear()
+	clientOps = append(clientOps, term.TypeString(fmt.Sprintf("slim desktop — window %d\n$ ", n+1))...)
+	drawn, err := a.desk.Draw(id, clientOps)
+	if err != nil {
+		return nil, err
+	}
+	return append(ops, drawn...), nil
+}
+
+// HandleKey implements the application interface.
+func (a *DesktopApp) HandleKey(ev protocol.KeyEvent) []core.Op {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var pre []core.Op
+	if !a.inited {
+		a.inited = true
+		pre = a.initOps()
+	}
+	if !ev.Down {
+		return pre
+	}
+	ops, err := a.handleKeyLocked(ev.Code)
+	if err != nil {
+		return pre
+	}
+	return append(pre, ops...)
+}
+
+func (a *DesktopApp) handleKeyLocked(code uint16) ([]core.Op, error) {
+	switch code {
+	case KeyNewWindow:
+		return a.openWindow()
+	case KeyCycleFocus:
+		next := a.nextFocus()
+		if next == 0 {
+			return nil, nil
+		}
+		a.focus = next
+		return a.desk.Raise(next)
+	case KeyCloseWindow:
+		if a.focus == 0 {
+			return nil, nil
+		}
+		return a.closeFocused()
+	case KeyNudgeLeft, KeyNudgeRight, KeyNudgeUp, KeyNudgeDown:
+		if a.focus == 0 {
+			return nil, nil
+		}
+		dx, dy := 0, 0
+		switch code {
+		case KeyNudgeLeft:
+			dx = -24
+		case KeyNudgeRight:
+			dx = 24
+		case KeyNudgeUp:
+			dy = -24
+		case KeyNudgeDown:
+			dy = 24
+		}
+		return a.desk.Move(a.focus, dx, dy)
+	default:
+		term := a.terms[a.focus]
+		if term == nil {
+			return nil, nil
+		}
+		return a.desk.Draw(a.focus, term.Type(byte(code)))
+	}
+}
+
+func (a *DesktopApp) nextFocus() int {
+	if len(a.order) == 0 {
+		return 0
+	}
+	for i, id := range a.order {
+		if id == a.focus {
+			return a.order[(i+1)%len(a.order)]
+		}
+	}
+	return a.order[0]
+}
+
+func (a *DesktopApp) closeFocused() ([]core.Op, error) {
+	id := a.focus
+	ops, err := a.desk.Close(id)
+	if err != nil {
+		return nil, err
+	}
+	delete(a.terms, id)
+	for i, o := range a.order {
+		if o == id {
+			a.order = append(a.order[:i], a.order[i+1:]...)
+			break
+		}
+	}
+	a.focus = 0
+	if n := len(a.order); n > 0 {
+		a.focus = a.order[n-1]
+		more, err := a.desk.Raise(a.focus)
+		if err == nil {
+			ops = append(ops, more...)
+		}
+	}
+	return ops, nil
+}
+
+// HandlePointer implements the application interface: clicking a window
+// raises and focuses it.
+func (a *DesktopApp) HandlePointer(ev protocol.PointerEvent) []core.Op {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var pre []core.Op
+	if !a.inited {
+		a.inited = true
+		pre = a.initOps()
+	}
+	if ev.Buttons == 0 {
+		return pre
+	}
+	// Topmost window under the pointer wins.
+	wins := a.desk.Windows()
+	for i := len(wins) - 1; i >= 0; i-- {
+		w := wins[i]
+		r := w.Rect
+		if int(ev.X) >= r.X && int(ev.X) < r.X+r.W && int(ev.Y) >= r.Y && int(ev.Y) < r.Y+r.H {
+			a.focus = w.ID
+			ops, err := a.desk.Raise(w.ID)
+			if err != nil {
+				return pre
+			}
+			return append(pre, ops...)
+		}
+	}
+	return pre
+}
+
+// Tick implements the Ticker interface with a one-shot initial paint, so
+// the desktop appears even before the first input arrives.
+func (a *DesktopApp) Tick(now time.Duration) []core.Op {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.inited {
+		return nil
+	}
+	a.inited = true
+	return a.initOps()
+}
+
+// Windows reports the number of open windows.
+func (a *DesktopApp) Windows() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.order)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

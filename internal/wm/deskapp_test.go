@@ -1,0 +1,138 @@
+package wm
+
+import (
+	"testing"
+
+	"slim/internal/core"
+	"slim/internal/fb"
+	"slim/internal/protocol"
+	"slim/internal/server"
+)
+
+// deskHarness renders a DesktopApp's output through an encoder into a
+// console frame buffer, checking the end-to-end pixel invariant.
+type deskHarness struct {
+	t      *testing.T
+	app    *DesktopApp
+	enc    *core.Encoder
+	screen *fb.Framebuffer
+}
+
+func newDeskHarness(t *testing.T) *deskHarness {
+	return &deskHarness{
+		t:      t,
+		app:    NewDesktopApp(640, 480),
+		enc:    core.NewEncoder(640, 480),
+		screen: fb.New(640, 480),
+	}
+}
+
+func (h *deskHarness) apply(ops []core.Op) {
+	h.t.Helper()
+	for _, op := range ops {
+		dgs, err := h.enc.Encode(op)
+		if err != nil {
+			h.t.Fatalf("encode: %v", err)
+		}
+		for _, d := range dgs {
+			_, msg, _, err := protocol.Decode(d.Wire)
+			if err != nil {
+				h.t.Fatal(err)
+			}
+			if err := h.screen.Apply(msg); err != nil {
+				h.t.Fatal(err)
+			}
+		}
+	}
+}
+
+func (h *deskHarness) key(code uint16) {
+	h.t.Helper()
+	h.apply(h.app.HandleKey(protocol.KeyEvent{Code: code, Down: true}))
+	h.apply(h.app.HandleKey(protocol.KeyEvent{Code: code, Down: false}))
+}
+
+func (h *deskHarness) check(when string) {
+	h.t.Helper()
+	if !h.screen.Equal(h.enc.FB) {
+		h.t.Fatalf("%s: console diverged", when)
+	}
+}
+
+func TestDesktopAppLifecycle(t *testing.T) {
+	h := newDeskHarness(t)
+	// First tick paints the desktop with one window.
+	h.apply(h.app.Tick(0))
+	if h.app.Windows() != 1 {
+		t.Fatalf("windows = %d after init", h.app.Windows())
+	}
+	h.check("after init")
+	// Second tick is a no-op.
+	if ops := h.app.Tick(1); len(ops) != 0 {
+		t.Error("second tick repainted")
+	}
+
+	// Type into the first terminal.
+	for _, ch := range "make test" {
+		h.key(uint16(ch))
+	}
+	h.check("after typing")
+
+	// F1 opens a second window on top.
+	h.key(KeyNewWindow)
+	if h.app.Windows() != 2 {
+		t.Fatalf("windows = %d after F1", h.app.Windows())
+	}
+	h.check("after F1")
+
+	// F2 cycles focus back to window 1 (raises it).
+	h.key(KeyCycleFocus)
+	h.check("after F2")
+
+	// Arrow nudges move the focused window.
+	h.key(KeyNudgeRight)
+	h.key(KeyNudgeDown)
+	h.check("after nudges")
+
+	// F3 closes the focused window.
+	h.key(KeyCloseWindow)
+	if h.app.Windows() != 1 {
+		t.Fatalf("windows = %d after F3", h.app.Windows())
+	}
+	h.check("after F3")
+}
+
+func TestDesktopAppClickRaises(t *testing.T) {
+	h := newDeskHarness(t)
+	h.apply(h.app.Tick(0))
+	h.key(KeyNewWindow) // second window overlaps the first
+	// Click inside the first window's title bar area.
+	wins := h.app.desk.Windows()
+	first := wins[0]
+	h.apply(h.app.HandlePointer(protocol.PointerEvent{
+		X: uint16(first.Rect.X + 5), Y: uint16(first.Rect.Y + 5), Buttons: 1,
+	}))
+	h.check("after click raise")
+	if top := h.app.desk.Windows()[h.app.Windows()-1]; top.ID != first.ID {
+		t.Error("click did not raise the window")
+	}
+	// Click on the background: no change, no divergence.
+	h.apply(h.app.HandlePointer(protocol.PointerEvent{X: 639, Y: 479, Buttons: 1}))
+	h.check("after background click")
+}
+
+func TestDesktopAppInitViaInput(t *testing.T) {
+	// Without a tick, the first key paints the desktop too.
+	h := newDeskHarness(t)
+	h.key('x')
+	if h.app.Windows() != 1 {
+		t.Fatal("no window after first key")
+	}
+	h.check("after key-driven init")
+}
+
+// Compile-time interface checks.
+var (
+	_ server.Application = (*DesktopApp)(nil)
+	_ server.Ticker      = (*DesktopApp)(nil)
+)

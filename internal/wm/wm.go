@@ -1,0 +1,365 @@
+// Package wm is a small window system layered over the SLIM rendering
+// ops — the role the X server's window machinery played above the SLIM
+// display driver (§2.2). It owns window geometry and stacking order,
+// keeps a backing store per window (the server holds all true state, so
+// occluded content is never lost), and lowers window operations —
+// create, draw, move, raise, close — into rendering operations with
+// correct exposure handling and no overdraw.
+//
+// It exists both as a substrate for realistic desktop behavior and as a
+// demonstration that a complete window system needs nothing from the
+// console beyond the five Table 1 commands.
+package wm
+
+import (
+	"fmt"
+
+	"slim/internal/core"
+	"slim/internal/fb"
+	"slim/internal/protocol"
+)
+
+// Decoration geometry.
+const (
+	TitleBarH = 20
+	BorderW   = 2
+)
+
+// Window is one managed window.
+type Window struct {
+	ID    int
+	Title string
+	// Rect is the outer geometry (decorations included) in screen
+	// coordinates.
+	Rect protocol.Rect
+
+	backing *fb.Framebuffer // interior content, window-local coordinates
+	focused bool
+}
+
+// Interior reports the client area in screen coordinates.
+func (w *Window) Interior() protocol.Rect {
+	return protocol.Rect{
+		X: w.Rect.X + BorderW,
+		Y: w.Rect.Y + TitleBarH,
+		W: w.Rect.W - 2*BorderW,
+		H: w.Rect.H - TitleBarH - BorderW,
+	}
+}
+
+// Desktop composes windows onto a screen.
+type Desktop struct {
+	W, H       int
+	Background protocol.Pixel
+
+	stack  []*Window // bottom → top
+	nextID int
+}
+
+// New returns an empty desktop of the given size.
+func New(w, h int) *Desktop {
+	return &Desktop{W: w, H: h, Background: protocol.RGB(0x2e, 0x6e, 0x6e)}
+}
+
+// Bounds reports the screen rectangle.
+func (d *Desktop) Bounds() protocol.Rect { return protocol.Rect{W: d.W, H: d.H} }
+
+// InitOps paints the empty desktop.
+func (d *Desktop) InitOps() []core.Op {
+	return []core.Op{core.FillOp{Rect: d.Bounds(), Color: d.Background}}
+}
+
+// find returns the window and its stack index.
+func (d *Desktop) find(id int) (int, *Window, error) {
+	for i, w := range d.stack {
+		if w.ID == id {
+			return i, w, nil
+		}
+	}
+	return 0, nil, fmt.Errorf("wm: no window %d", id)
+}
+
+// Windows returns the stacking order, bottom to top.
+func (d *Desktop) Windows() []*Window {
+	return append([]*Window(nil), d.stack...)
+}
+
+// Create opens a window at the given outer geometry (clipped to the
+// screen; minimum useful size enforced) on top of the stack, and returns
+// its id plus the ops that paint it.
+func (d *Desktop) Create(r protocol.Rect, title string) (int, []core.Op, error) {
+	r = r.Intersect(d.Bounds())
+	if r.W < 2*BorderW+8 || r.H < TitleBarH+BorderW+8 {
+		return 0, nil, fmt.Errorf("wm: window %v too small", r)
+	}
+	d.nextID++
+	w := &Window{ID: d.nextID, Title: title, Rect: r}
+	interior := w.Interior()
+	w.backing = fb.New(interior.W, interior.H)
+	w.backing.Fill(protocol.Rect{W: interior.W, H: interior.H}, protocol.RGB(0xf2, 0xf2, 0xee))
+	prevFocus := d.focusedWindow()
+	d.setFocus(w)
+	d.stack = append(d.stack, w)
+	// A new window is topmost: its whole rect is visible.
+	var reg fb.Region
+	reg.Add(r)
+	ops := d.paintRegion(&reg)
+	// The previously focused window's title bar dims.
+	if prevFocus != nil {
+		ops = append(ops, d.paintTitleBar(prevFocus)...)
+	}
+	return w.ID, ops, nil
+}
+
+// setFocus marks w focused and unfocuses the rest (title bar color).
+func (d *Desktop) setFocus(w *Window) {
+	for _, o := range d.stack {
+		o.focused = false
+	}
+	if w != nil {
+		w.focused = true
+	}
+}
+
+// Raise brings a window to the top and returns the ops repainting its
+// newly exposed parts (and the title bars that changed focus).
+func (d *Desktop) Raise(id int) ([]core.Op, error) {
+	i, w, err := d.find(id)
+	if err != nil {
+		return nil, err
+	}
+	// Region of w previously hidden by windows above it.
+	var hidden fb.Region
+	for _, above := range d.stack[i+1:] {
+		if ov := w.Rect.Intersect(above.Rect); !ov.Empty() {
+			hidden.Add(ov)
+		}
+	}
+	d.stack = append(append(d.stack[:i], d.stack[i+1:]...), w)
+	prevFocus := d.focusedWindow()
+	d.setFocus(w)
+	ops := d.paintRegion(&hidden)
+	// Focus change repaints both title bars.
+	ops = append(ops, d.paintTitleBar(w)...)
+	if prevFocus != nil && prevFocus != w {
+		ops = append(ops, d.paintTitleBar(prevFocus)...)
+	}
+	return ops, nil
+}
+
+func (d *Desktop) focusedWindow() *Window {
+	for _, w := range d.stack {
+		if w.focused {
+			return w
+		}
+	}
+	return nil
+}
+
+// Move shifts a window by (dx, dy), clipped to keep it on screen, and
+// returns the repaint ops. A topmost, fully visible window moves with a
+// single COPY plus exposure repaint — the window-drag fast path that makes
+// COPY such a large share of desktop pixel traffic (Figure 4).
+func (d *Desktop) Move(id, dx, dy int) ([]core.Op, error) {
+	i, w, err := d.find(id)
+	if err != nil {
+		return nil, err
+	}
+	old := w.Rect
+	nr := old
+	nr.X = clamp(nr.X+dx, 0, d.W-nr.W)
+	nr.Y = clamp(nr.Y+dy, 0, d.H-nr.H)
+	if nr == old {
+		return nil, nil
+	}
+	w.Rect = nr
+
+	topmost := i == len(d.stack)-1
+	var ops []core.Op
+	if topmost && d.Bounds().Contains(old) && d.Bounds().Contains(nr) {
+		ops = append(ops, core.ScrollOp{Rect: old, DX: nr.X - old.X, DY: nr.Y - old.Y})
+		// Exposed area: the old rect minus the new one.
+		var exposed fb.Region
+		exposed.Add(old)
+		exposed.Subtract(nr)
+		ops = append(ops, d.paintRegion(&exposed)...)
+		return ops, nil
+	}
+	// General case: repaint both old and new areas.
+	var damage fb.Region
+	damage.Add(old)
+	damage.Add(nr)
+	return d.paintRegion(&damage), nil
+}
+
+// Close destroys a window and repaints what it revealed.
+func (d *Desktop) Close(id int) ([]core.Op, error) {
+	i, w, err := d.find(id)
+	if err != nil {
+		return nil, err
+	}
+	d.stack = append(d.stack[:i], d.stack[i+1:]...)
+	if w.focused && len(d.stack) > 0 {
+		d.setFocus(d.stack[len(d.stack)-1])
+	}
+	var damage fb.Region
+	damage.Add(w.Rect)
+	ops := d.paintRegion(&damage)
+	if top := d.focusedWindow(); top != nil {
+		ops = append(ops, d.paintTitleBar(top)...)
+	}
+	return ops, nil
+}
+
+// Draw applies client rendering ops (in interior-local coordinates) to a
+// window's backing store and returns the screen ops for the visible
+// parts. Occluded content lands in the backing store only, to reappear on
+// the next expose.
+func (d *Desktop) Draw(id int, ops []core.Op) ([]core.Op, error) {
+	i, w, err := d.find(id)
+	if err != nil {
+		return nil, err
+	}
+	interior := w.Interior()
+	var damage fb.Region
+	for _, op := range ops {
+		local, err := applyToBacking(w.backing, op)
+		if err != nil {
+			return nil, err
+		}
+		damage.Add(protocol.Rect{
+			X: interior.X + local.X, Y: interior.Y + local.Y,
+			W: local.W, H: local.H,
+		})
+	}
+	damage.Clip(interior)
+	// Only the parts not hidden by higher windows reach the screen.
+	for _, above := range d.stack[i+1:] {
+		damage.Subtract(above.Rect)
+	}
+	var out []core.Op
+	for _, r := range damage.Rects() {
+		out = append(out, d.windowContentOp(w, r)...)
+	}
+	return out, nil
+}
+
+// applyToBacking renders one op into the backing store, returning its
+// local bounds.
+func applyToBacking(backing *fb.Framebuffer, op core.Op) (protocol.Rect, error) {
+	switch o := op.(type) {
+	case core.FillOp:
+		backing.Fill(o.Rect, o.Color)
+	case core.TextOp:
+		if err := backing.Bitmap(o.Rect, o.Fg, o.Bg, o.Bits); err != nil {
+			return protocol.Rect{}, err
+		}
+	case core.ImageOp:
+		if err := backing.Set(o.Rect, o.Pixels); err != nil {
+			return protocol.Rect{}, err
+		}
+	case core.ScrollOp:
+		backing.Copy(o.Rect, o.Rect.X+o.DX, o.Rect.Y+o.DY)
+		return o.Rect.Intersect(backing.Bounds()), nil
+	default:
+		return protocol.Rect{}, fmt.Errorf("wm: unsupported client op %T", op)
+	}
+	return op.Bounds().Intersect(backing.Bounds()), nil
+}
+
+// paintRegion repaints a screen region top-down with no overdraw: each
+// window claims its visible share, and whatever remains is desktop
+// background.
+func (d *Desktop) paintRegion(damage *fb.Region) []core.Op {
+	damage.Clip(d.Bounds())
+	remaining := damage.Clone()
+	var ops []core.Op
+	for i := len(d.stack) - 1; i >= 0 && !remaining.Empty(); i-- {
+		w := d.stack[i]
+		vis := remaining.Clone()
+		vis.Clip(w.Rect)
+		for _, r := range vis.Rects() {
+			ops = append(ops, d.windowContentOp(w, r)...)
+		}
+		remaining.Subtract(w.Rect)
+	}
+	for _, r := range remaining.Rects() {
+		ops = append(ops, core.FillOp{Rect: r, Color: d.Background})
+	}
+	return ops
+}
+
+// windowContentOp renders the part of window w covering screen rect r:
+// decoration fills where r overlaps them, backing-store pixels where it
+// overlaps the interior.
+func (d *Desktop) windowContentOp(w *Window, r protocol.Rect) []core.Op {
+	r = r.Intersect(w.Rect)
+	if r.Empty() {
+		return nil
+	}
+	var ops []core.Op
+	// Title bar.
+	bar := protocol.Rect{X: w.Rect.X, Y: w.Rect.Y, W: w.Rect.W, H: TitleBarH}
+	if ov := r.Intersect(bar); !ov.Empty() {
+		ops = append(ops, core.FillOp{Rect: ov, Color: w.titleColor()})
+	}
+	// Borders (left, right, bottom).
+	for _, b := range []protocol.Rect{
+		{X: w.Rect.X, Y: w.Rect.Y + TitleBarH, W: BorderW, H: w.Rect.H - TitleBarH},
+		{X: w.Rect.X + w.Rect.W - BorderW, Y: w.Rect.Y + TitleBarH, W: BorderW, H: w.Rect.H - TitleBarH},
+		{X: w.Rect.X, Y: w.Rect.Y + w.Rect.H - BorderW, W: w.Rect.W, H: BorderW},
+	} {
+		if ov := r.Intersect(b); !ov.Empty() {
+			ops = append(ops, core.FillOp{Rect: ov, Color: w.borderColor()})
+		}
+	}
+	// Interior from the backing store.
+	interior := w.Interior()
+	if ov := r.Intersect(interior); !ov.Empty() {
+		local := protocol.Rect{X: ov.X - interior.X, Y: ov.Y - interior.Y, W: ov.W, H: ov.H}
+		ops = append(ops, core.ImageOp{Rect: ov, Pixels: w.backing.ReadRect(local)})
+	}
+	return ops
+}
+
+// paintTitleBar repaints a window's visible title bar (focus change).
+func (d *Desktop) paintTitleBar(w *Window) []core.Op {
+	i, _, err := d.find(w.ID)
+	if err != nil {
+		return nil
+	}
+	var bar fb.Region
+	bar.Add(protocol.Rect{X: w.Rect.X, Y: w.Rect.Y, W: w.Rect.W, H: TitleBarH})
+	for _, above := range d.stack[i+1:] {
+		bar.Subtract(above.Rect)
+	}
+	var ops []core.Op
+	for _, r := range bar.Rects() {
+		ops = append(ops, core.FillOp{Rect: r, Color: w.titleColor()})
+	}
+	return ops
+}
+
+func (w *Window) titleColor() protocol.Pixel {
+	if w.focused {
+		return protocol.RGB(0x33, 0x55, 0x99)
+	}
+	return protocol.RGB(0x7a, 0x7a, 0x8a)
+}
+
+func (w *Window) borderColor() protocol.Pixel {
+	return protocol.RGB(0x50, 0x50, 0x5c)
+}
+
+func clamp(v, lo, hi int) int {
+	if hi < lo {
+		hi = lo
+	}
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

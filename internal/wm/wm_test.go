@@ -1,0 +1,261 @@
+package wm
+
+import (
+	"math/rand"
+	"testing"
+
+	"slim/internal/core"
+	"slim/internal/protocol"
+)
+
+// harness drives a desktop through a SLIM encoder and maintains an
+// independent reference screen painted the obvious way (background, then
+// every window bottom-up, decorations and backing store). After every
+// operation, encoder frame buffer == reference — the no-overdraw
+// exposure machinery must produce exactly the same pixels.
+type harness struct {
+	t   *testing.T
+	d   *Desktop
+	enc *core.Encoder
+}
+
+func newHarness(t *testing.T, w, h int) *harness {
+	hn := &harness{t: t, d: New(w, h), enc: core.NewEncoder(w, h)}
+	hn.apply(hn.d.InitOps())
+	return hn
+}
+
+func (h *harness) apply(ops []core.Op) {
+	h.t.Helper()
+	for _, op := range ops {
+		if _, err := h.enc.Encode(op); err != nil {
+			h.t.Fatalf("encode %T: %v", op, err)
+		}
+	}
+}
+
+// reference paints the whole desktop bottom-up with overdraw.
+func (h *harness) reference() *core.Encoder {
+	ref := core.NewEncoder(h.d.W, h.d.H)
+	mustEnc := func(op core.Op) {
+		if _, err := ref.Encode(op); err != nil {
+			h.t.Fatalf("reference encode: %v", err)
+		}
+	}
+	mustEnc(core.FillOp{Rect: h.d.Bounds(), Color: h.d.Background})
+	for _, w := range h.d.Windows() {
+		mustEnc(core.FillOp{
+			Rect:  protocol.Rect{X: w.Rect.X, Y: w.Rect.Y, W: w.Rect.W, H: TitleBarH},
+			Color: w.titleColor(),
+		})
+		for _, b := range []protocol.Rect{
+			{X: w.Rect.X, Y: w.Rect.Y + TitleBarH, W: BorderW, H: w.Rect.H - TitleBarH},
+			{X: w.Rect.X + w.Rect.W - BorderW, Y: w.Rect.Y + TitleBarH, W: BorderW, H: w.Rect.H - TitleBarH},
+			{X: w.Rect.X, Y: w.Rect.Y + w.Rect.H - BorderW, W: w.Rect.W, H: BorderW},
+		} {
+			mustEnc(core.FillOp{Rect: b, Color: w.borderColor()})
+		}
+		interior := w.Interior()
+		mustEnc(core.ImageOp{
+			Rect:   interior,
+			Pixels: w.backing.ReadRect(protocol.Rect{W: interior.W, H: interior.H}),
+		})
+	}
+	return ref
+}
+
+func (h *harness) check(when string) {
+	h.t.Helper()
+	ref := h.reference()
+	if !h.enc.FB.Equal(ref.FB) {
+		h.t.Fatalf("%s: composited screen differs from reference", when)
+	}
+}
+
+func TestCreateRaiseCloseComposite(t *testing.T) {
+	h := newHarness(t, 300, 200)
+	a, ops, err := h.d.Create(protocol.Rect{X: 10, Y: 10, W: 120, H: 90}, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.apply(ops)
+	h.check("after create a")
+
+	b, ops, err := h.d.Create(protocol.Rect{X: 60, Y: 40, W: 140, H: 100}, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.apply(ops)
+	h.check("after create b (overlapping)")
+
+	ops, err = h.d.Raise(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.apply(ops)
+	h.check("after raise a")
+
+	ops, err = h.d.Close(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.apply(ops)
+	h.check("after close a")
+
+	ops, err = h.d.Close(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.apply(ops)
+	h.check("after close b")
+}
+
+func TestDrawOccludedContentSurvives(t *testing.T) {
+	h := newHarness(t, 300, 200)
+	a, ops, _ := h.d.Create(protocol.Rect{X: 10, Y: 10, W: 150, H: 120}, "a")
+	h.apply(ops)
+	// Cover a completely.
+	bID, ops, _ := h.d.Create(protocol.Rect{X: 0, Y: 0, W: 300, H: 200}, "b")
+	h.apply(ops)
+
+	// Draw into the hidden window: nothing should reach the screen.
+	drawOps, err := h.d.Draw(a, []core.Op{
+		core.FillOp{Rect: protocol.Rect{X: 5, Y: 5, W: 40, H: 30}, Color: 0xff0000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(drawOps) != 0 {
+		t.Errorf("occluded draw produced %d screen ops", len(drawOps))
+	}
+	h.check("after hidden draw")
+
+	// Close the cover: the red fill must appear (from the backing store).
+	ops, err = h.d.Close(bID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.apply(ops)
+	h.check("after expose")
+	interior := h.d.Windows()[0].Interior()
+	if h.enc.FB.At(interior.X+10, interior.Y+10) != 0xff0000 {
+		t.Error("exposed content missing")
+	}
+}
+
+func TestMoveTopmostUsesCopy(t *testing.T) {
+	h := newHarness(t, 300, 200)
+	id, ops, _ := h.d.Create(protocol.Rect{X: 20, Y: 20, W: 100, H: 80}, "w")
+	h.apply(ops)
+	ops, err := h.d.Move(id, 40, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, isCopy := ops[0].(core.ScrollOp); !isCopy {
+		t.Errorf("topmost move starts with %T, want ScrollOp", ops[0])
+	}
+	h.apply(ops)
+	h.check("after copy move")
+}
+
+func TestMoveClampsToScreen(t *testing.T) {
+	h := newHarness(t, 300, 200)
+	id, ops, _ := h.d.Create(protocol.Rect{X: 20, Y: 20, W: 100, H: 80}, "w")
+	h.apply(ops)
+	ops, err := h.d.Move(id, -500, -500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.apply(ops)
+	_, w, _ := h.d.find(id)
+	if w.Rect.X != 0 || w.Rect.Y != 0 {
+		t.Errorf("window at %v after clamped move", w.Rect)
+	}
+	h.check("after clamped move")
+	// Move with no effect produces no ops.
+	ops, err = h.d.Move(id, -10, -10)
+	if err != nil || len(ops) != 0 {
+		t.Errorf("no-op move produced %d ops (%v)", len(ops), err)
+	}
+}
+
+func TestErrorsAndValidation(t *testing.T) {
+	d := New(100, 100)
+	if _, _, err := d.Create(protocol.Rect{X: 0, Y: 0, W: 5, H: 5}, "tiny"); err == nil {
+		t.Error("tiny window accepted")
+	}
+	if _, err := d.Raise(42); err == nil {
+		t.Error("raise of unknown window succeeded")
+	}
+	if _, err := d.Move(42, 1, 1); err == nil {
+		t.Error("move of unknown window succeeded")
+	}
+	if _, err := d.Close(42); err == nil {
+		t.Error("close of unknown window succeeded")
+	}
+	if _, err := d.Draw(42, nil); err == nil {
+		t.Error("draw to unknown window succeeded")
+	}
+}
+
+// The main property: a random operation storm never desynchronizes the
+// composited screen from the reference.
+func TestRandomDesktopStormProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for round := 0; round < 5; round++ {
+		h := newHarness(t, 320, 240)
+		var ids []int
+		for step := 0; step < 60; step++ {
+			switch op := rng.Intn(6); {
+			case op == 0 || len(ids) == 0: // create
+				r := protocol.Rect{
+					X: rng.Intn(200), Y: rng.Intn(140),
+					W: 60 + rng.Intn(100), H: 50 + rng.Intn(80),
+				}
+				id, ops, err := h.d.Create(r, "w")
+				if err != nil {
+					continue
+				}
+				ids = append(ids, id)
+				h.apply(ops)
+			case op == 1: // move
+				id := ids[rng.Intn(len(ids))]
+				ops, err := h.d.Move(id, rng.Intn(81)-40, rng.Intn(81)-40)
+				if err != nil {
+					t.Fatal(err)
+				}
+				h.apply(ops)
+			case op == 2: // raise
+				id := ids[rng.Intn(len(ids))]
+				ops, err := h.d.Raise(id)
+				if err != nil {
+					t.Fatal(err)
+				}
+				h.apply(ops)
+			case op == 3 && len(ids) > 1: // close
+				k := rng.Intn(len(ids))
+				ops, err := h.d.Close(ids[k])
+				if err != nil {
+					t.Fatal(err)
+				}
+				ids = append(ids[:k], ids[k+1:]...)
+				h.apply(ops)
+			default: // draw
+				id := ids[rng.Intn(len(ids))]
+				fill := core.FillOp{
+					Rect: protocol.Rect{
+						X: rng.Intn(60), Y: rng.Intn(50),
+						W: 1 + rng.Intn(60), H: 1 + rng.Intn(40),
+					},
+					Color: protocol.Pixel(rng.Uint32() & 0xffffff),
+				}
+				ops, err := h.d.Draw(id, []core.Op{fill})
+				if err != nil {
+					t.Fatal(err)
+				}
+				h.apply(ops)
+			}
+			h.check("storm step")
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"slim/internal/stats"
+	"slim/internal/trace"
+)
+
+// TestCalibrationReport prints the distribution checkpoints the paper
+// publishes so drift is visible in -v output. The hard assertions live in
+// the other test files; this one is the tuning dashboard.
+func TestCalibrationReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration report is slow")
+	}
+	const users = 8
+	const dur = 10 * time.Minute
+	for _, app := range Apps {
+		freqs := stats.NewCDF(4096)
+		pixels := stats.NewCDF(4096)
+		bytesC := stats.NewCDF(4096)
+		var totalBytes int64
+		var totalDur time.Duration
+		var rawBytes, wireBytes int64
+		for u := 0; u < users; u++ {
+			s := NewSession(app, u, 42)
+			tr := s.Run(dur)
+			for _, f := range tr.EventFrequencies() {
+				freqs.Add(f)
+			}
+			for _, pe := range tr.PerEventTotals() {
+				pixels.Add(float64(pe.Pixels))
+				bytesC.Add(float64(pe.Bytes))
+			}
+			totalBytes += tr.DisplayBytes()
+			totalDur += tr.Duration
+			rawBytes += s.Encoder.Stats.TotalRawBytes()
+			wireBytes += s.Encoder.Stats.TotalWireBytes()
+			if u == 0 {
+				t.Logf("%s command mix:\n%s", app, s.Encoder.Stats.String())
+			}
+		}
+		bwMbps := float64(totalBytes*8) / totalDur.Seconds() / 1e6
+		_ = trace.KindDisplay
+		t.Logf("%-11s events=%d  P(freq>28Hz)=%.3f  P(freq<10Hz)=%.3f  P(gap>=1s)=%.3f",
+			app, freqs.N(), 1-freqs.At(28), freqs.At(10), freqs.At(1))
+		t.Logf("%-11s P(px<10K)=%.2f  P(px>50K)=%.2f  P(px>10K)=%.2f",
+			app, pixels.At(10_000), 1-pixels.At(50_000), 1-pixels.At(10_000))
+		t.Logf("%-11s P(bytes>10KB)=%.2f  P(bytes>50KB)=%.2f  P(bytes>1KB)=%.2f",
+			app, 1-bytesC.At(10_000), 1-bytesC.At(50_000), 1-bytesC.At(1_000))
+		t.Logf("%-11s avgBW=%.3f Mbps  compression=%.1fx (raw=%d wire=%d)",
+			app, bwMbps, float64(rawBytes)/float64(wireBytes), rawBytes, wireBytes)
+	}
+}

@@ -1,0 +1,128 @@
+package workload
+
+import (
+	"slim/internal/protocol"
+	"slim/internal/stats"
+)
+
+// Synthetic display content. The generators produce the three content
+// classes GUI applications paint: bicolor text (glyph bitmaps), flat fills,
+// and continuous-tone images. The statistical properties — not the visual
+// ones — are what matter: text must be exactly two colors so the encoder
+// lowers it to BITMAP, and photo content must defeat both the uniform and
+// bicolor analyses so it ships as literal SET pixels, exactly as Photoshop
+// canvases did in the paper (Figure 4).
+
+// Standard glyph cell geometry for the synthetic text renderer; a common
+// 1999-era fixed font.
+const (
+	GlyphW = 8
+	GlyphH = 16
+)
+
+// glyphBitmap renders rows×cols character cells of plausible text into a
+// 1bpp bitmap: each glyph lights ~30% of its cell with a deterministic
+// per-character pattern, and word boundaries leave blank cells.
+func glyphBitmap(rng *stats.RNG, cols, rows int) (w, h int, bits []byte) {
+	w, h = cols*GlyphW, rows*GlyphH
+	rowBytes := protocol.BitmapRowBytes(w)
+	bits = make([]byte, rowBytes*h)
+	for row := 0; row < rows; row++ {
+		for col := 0; col < cols; col++ {
+			if rng.Float64() < 0.18 {
+				continue // space between words
+			}
+			glyphSeed := rng.Uint64()
+			g := stats.NewRNG(glyphSeed)
+			for gy := 2; gy < GlyphH-3; gy++ {
+				for gx := 0; gx < GlyphW-1; gx++ {
+					if g.Float64() < 0.42 {
+						x := col*GlyphW + gx
+						y := row*GlyphH + gy
+						bits[y*rowBytes+x/8] |= 0x80 >> uint(x%8)
+					}
+				}
+			}
+		}
+	}
+	return w, h, bits
+}
+
+// photoPixels synthesizes continuous-tone content: a smooth two-axis
+// gradient with per-pixel noise. Neighboring pixels are correlated (as in
+// photographs) but no two-color or uniform structure survives, so the
+// encoder must use SET.
+func photoPixels(rng *stats.RNG, w, h int) []protocol.Pixel {
+	pix := make([]protocol.Pixel, w*h)
+	baseR := uint32(rng.Intn(200))
+	baseG := uint32(rng.Intn(200))
+	baseB := uint32(rng.Intn(200))
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			gx := uint32(x * 55 / max(1, w-1))
+			gy := uint32(y * 55 / max(1, h-1))
+			noise := uint32(rng.Intn(24))
+			r := clampC(baseR + gx + noise)
+			g := clampC(baseG + gy + noise/2)
+			b := clampC(baseB + gx/2 + gy/2 + noise/3)
+			pix[y*w+x] = protocol.RGB(uint8(r), uint8(g), uint8(b))
+		}
+	}
+	return pix
+}
+
+// ditheredImagePixels synthesizes web-style graphics: large flat color
+// areas with occasional speckle. Mostly it still requires SET (more than
+// two colors overall) but compresses much better visually; the point is
+// that browsers ship such content as a few distinct blocks, which the
+// session generator emits as separate fill/text/image ops.
+func ditheredImagePixels(rng *stats.RNG, w, h int) []protocol.Pixel {
+	pix := make([]protocol.Pixel, w*h)
+	colors := []protocol.Pixel{
+		protocol.RGB(uint8(rng.Intn(256)), uint8(rng.Intn(256)), uint8(rng.Intn(256))),
+		protocol.RGB(uint8(rng.Intn(256)), uint8(rng.Intn(256)), uint8(rng.Intn(256))),
+		protocol.RGB(uint8(rng.Intn(256)), uint8(rng.Intn(256)), uint8(rng.Intn(256))),
+	}
+	for i := range pix {
+		pix[i] = colors[rng.Pick([]float64{0.6, 0.3, 0.1})]
+	}
+	return pix
+}
+
+func clampC(v uint32) uint32 {
+	if v > 255 {
+		return 255
+	}
+	return v
+}
+
+// uiPalette holds plausible 1999 desktop colors for fills and text.
+var uiPalette = []protocol.Pixel{
+	protocol.RGB(0xde, 0xde, 0xde), // motif gray
+	protocol.RGB(0xff, 0xff, 0xff), // paper white
+	protocol.RGB(0xc0, 0xc0, 0xd8), // selection
+	protocol.RGB(0x33, 0x55, 0x99), // title bar
+	protocol.RGB(0xee, 0xee, 0xcc), // form background
+}
+
+// textColor pairs: fg on bg.
+var textColors = [][2]protocol.Pixel{
+	{protocol.RGB(0, 0, 0), protocol.RGB(0xff, 0xff, 0xff)},
+	{protocol.RGB(0, 0, 0), protocol.RGB(0xde, 0xde, 0xde)},
+	{protocol.RGB(0x20, 0x20, 0x80), protocol.RGB(0xff, 0xff, 0xff)},
+	{protocol.RGB(0xff, 0xff, 0xff), protocol.RGB(0x33, 0x55, 0x99)},
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

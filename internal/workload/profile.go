@@ -1,0 +1,128 @@
+package workload
+
+import (
+	"time"
+
+	"slim/internal/stats"
+	"slim/internal/trace"
+)
+
+// ProfileInterval is the sampling period of the resource-profile tool the
+// paper ran during the user studies: "samples the number of CPU cycles
+// consumed and physical memory occupied by each process at five-second
+// intervals" (§6.1).
+const ProfileInterval = 5 * time.Second
+
+// Interval is one sampling period of a resource usage profile.
+type Interval struct {
+	// CPU is the fraction of one reference processor consumed (may exceed
+	// 1.0 only for multi-threaded apps; the Table 2 apps are single
+	// threaded).
+	CPU float64
+	// MemMB is the resident set in megabytes.
+	MemMB float64
+	// NetBytes is the SLIM display traffic sent during the interval.
+	NetBytes int64
+}
+
+// Profile is a per-user resource usage recording, the input format of the
+// load generator (§6.1): the generator "merely utilizes the same quantity
+// of resources in each time interval as the original application did."
+type Profile struct {
+	App       App
+	User      int
+	Intervals []Interval
+}
+
+// Duration reports the profile length.
+func (p *Profile) Duration() time.Duration {
+	return time.Duration(len(p.Intervals)) * ProfileInterval
+}
+
+// AvgCPU reports the mean CPU fraction over the profile.
+func (p *Profile) AvgCPU() float64 {
+	if len(p.Intervals) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, iv := range p.Intervals {
+		sum += iv.CPU
+	}
+	return sum / float64(len(p.Intervals))
+}
+
+// AvgNetBps reports the mean network demand in bits per second.
+func (p *Profile) AvgNetBps() float64 {
+	if len(p.Intervals) == 0 {
+		return 0
+	}
+	var total int64
+	for _, iv := range p.Intervals {
+		total += iv.NetBytes
+	}
+	return float64(total*8) / p.Duration().Seconds()
+}
+
+// BuildProfile derives a resource usage profile from a session trace. CPU
+// demand tracks display activity: an interval's CPU is the model's average
+// demand scaled by that interval's share of display work, plus a floor for
+// background processing. This reproduces the burstiness that makes
+// processor sharing interesting: averages are low (3–14%) but instantaneous
+// demand spikes with large display updates.
+func BuildProfile(m *Model, tr *trace.Trace, seed uint64) *Profile {
+	n := int(tr.Duration/ProfileInterval) + 1
+	rng := stats.NewRNG(seed)
+	bytesPer := make([]int64, n)
+	pixelsPer := make([]int64, n)
+	for _, r := range tr.Records {
+		if r.Kind != trace.KindDisplay {
+			continue
+		}
+		i := int(r.T / ProfileInterval)
+		if i >= n {
+			i = n - 1
+		}
+		bytesPer[i] += int64(r.Bytes)
+		pixelsPer[i] += int64(r.Pixels)
+	}
+	var totalPixels int64
+	for _, p := range pixelsPer {
+		totalPixels += p
+	}
+	meanPixels := float64(totalPixels) / float64(n)
+
+	prof := &Profile{App: m.App, User: tr.User, Intervals: make([]Interval, n)}
+	floor := m.AvgCPU * 0.25
+	for i := range prof.Intervals {
+		activity := 0.0
+		if meanPixels > 0 {
+			activity = float64(pixelsPer[i]) / meanPixels
+		}
+		cpu := floor + m.AvgCPU*0.75*activity
+		// Small multiplicative jitter: rendering cost varies with content.
+		cpu *= 0.9 + 0.2*rng.Float64()
+		if cpu > 1 {
+			cpu = 1
+		}
+		prof.Intervals[i] = Interval{
+			CPU:      cpu,
+			MemMB:    m.MemMB * (0.95 + 0.1*rng.Float64()),
+			NetBytes: bytesPer[i],
+		}
+	}
+	return prof
+}
+
+// RecordedProfiles generates the full user-study corpus for one
+// application: users sessions of the given length, traced and profiled.
+// This is the data set every sharing experiment replays.
+func RecordedProfiles(app App, users int, d time.Duration, seed uint64) []*Profile {
+	m := ModelFor(app)
+	out := make([]*Profile, 0, users)
+	for u := 0; u < users; u++ {
+		sess := NewSession(app, u, seed)
+		tr := sess.Run(d)
+		out = append(out, BuildProfile(m, tr, seed^uint64(u)<<32))
+	}
+	return out
+}

@@ -1,0 +1,281 @@
+package workload
+
+import (
+	"math"
+	"time"
+
+	"slim/internal/core"
+	"slim/internal/netsim"
+	"slim/internal/protocol"
+	"slim/internal/stats"
+	"slim/internal/trace"
+)
+
+// Session generates one user's application session: a stream of input
+// events and the display operations they induce, pushed through a real
+// SLIM encoder and logged into a trace — the synthetic equivalent of one
+// ten-minute user-study run (§3.1).
+type Session struct {
+	Model *Model
+	// Encoder is the SLIM display driver the session renders through. Its
+	// Stats carry the per-command accounting afterwards.
+	Encoder *core.Encoder
+	// Ops retains the rendering operations when CaptureOps is set, so the
+	// X-protocol and VNC baselines can re-encode the identical session
+	// (Figure 8, §8.3). OpTimes holds each op's event timestamp.
+	Ops        []core.Op
+	OpTimes    []time.Duration
+	CaptureOps bool
+
+	rng     *stats.RNG
+	now     time.Duration
+	trace   *trace.Trace
+	winX    int
+	winY    int
+	winW    int
+	winH    int
+	lineSer *netsim.Link
+}
+
+// NewSession prepares a session for one simulated user. Sessions with the
+// same seed are bit-identical; distinct users get distinct seeds.
+func NewSession(app App, user int, seed uint64) *Session {
+	m := ModelFor(app)
+	rng := stats.NewRNG(seed ^ uint64(user)*0x9e3779b97f4a7c15)
+	winW := m.Window.Lo
+	winH := m.Window.Hi
+	s := &Session{
+		Model:   m,
+		Encoder: core.NewEncoder(ScreenW, ScreenH),
+		rng:     rng,
+		trace:   &trace.Trace{App: string(app), User: user},
+		winW:    winW,
+		winH:    winH,
+		winX:    rng.Intn(ScreenW - winW + 1),
+		winY:    rng.Intn(ScreenH - winH + 1),
+		lineSer: &netsim.Link{Bps: netsim.Rate100Mbps},
+	}
+	return s
+}
+
+// Run simulates a session of the given duration and returns its trace.
+func (s *Session) Run(d time.Duration) *trace.Trace {
+	for s.now < d {
+		s.Step()
+	}
+	s.trace.Duration = s.now
+	return s.trace
+}
+
+// Trace returns the trace accumulated so far.
+func (s *Session) Trace() *trace.Trace { return s.trace }
+
+// Step advances the session by one input event and its induced display
+// update.
+func (s *Session) Step() {
+	s.now += s.sampleInterArrival()
+	kind := trace.KindClick
+	wire := protocol.WireSize(&protocol.PointerEvent{})
+	// Burst-regime events are overwhelmingly keystrokes.
+	if s.rng.Float64() < s.Model.Arrival.BurstW/(s.Model.Arrival.BurstW+0.25) {
+		kind = trace.KindKey
+		wire = protocol.WireSize(&protocol.KeyEvent{})
+	}
+	s.trace.Append(trace.Record{T: s.now, Kind: kind, Bytes: wire})
+
+	action := actionKind(s.rng.Pick(s.Model.ActionW[:]))
+	budget := s.samplePixels(action)
+	for _, op := range s.buildOps(action, budget) {
+		if s.CaptureOps {
+			s.Ops = append(s.Ops, op)
+			s.OpTimes = append(s.OpTimes, s.now)
+		}
+		dgs, err := s.Encoder.Encode(op)
+		if err != nil {
+			// Generator bugs only; geometry is always pre-clamped.
+			panic("workload: " + err.Error())
+		}
+		// Timestamp datagrams back to back at line rate after the event.
+		t := s.now
+		for _, d := range dgs {
+			t += s.lineSer.SerializeTime(len(d.Wire))
+			s.trace.Append(trace.Record{
+				T:      t,
+				Kind:   trace.KindDisplay,
+				Cmd:    d.Msg.Type(),
+				Bytes:  len(d.Wire),
+				Pixels: core.PixelsOf(d.Msg),
+			})
+		}
+	}
+}
+
+// sampleInterArrival draws the next inter-event gap from the model's
+// three-regime mixture.
+func (s *Session) sampleInterArrival() time.Duration {
+	a := s.Model.Arrival
+	switch s.rng.Pick([]float64{a.BurstW, a.ModerateW, a.PauseW}) {
+	case 0:
+		return time.Duration(s.rng.Range(float64(a.BurstLo), float64(a.BurstHi)))
+	case 1:
+		return time.Duration(s.rng.Range(float64(a.ModerateLo), float64(a.ModerateHi)))
+	default:
+		return time.Second + time.Duration(s.rng.Exp(float64(a.PauseMean)))
+	}
+}
+
+// samplePixels draws a pixel budget for the action, log-uniform over the
+// model's range so sizes are heavy tailed within each class.
+func (s *Session) samplePixels(a actionKind) int {
+	r := s.Model.Sizes[a]
+	lo, hi := float64(r.Lo), float64(r.Hi)
+	u := s.rng.Float64()
+	// log-uniform interpolation
+	return int(lo * math.Pow(hi/lo, u))
+}
+
+// buildOps lowers an abstract action to rendering operations placed inside
+// the application window.
+func (s *Session) buildOps(a actionKind, pixels int) []core.Op {
+	switch a {
+	case actEcho:
+		return s.textOps(pixels, 1)
+	case actBlock:
+		// A text block over a freshly painted background panel.
+		fillPx := int(float64(pixels) * s.Model.RepaintFill * 0.8)
+		ops := s.fillOps(fillPx)
+		return append(ops, s.textOps(pixels-fillPx, 2)...)
+	case actScroll:
+		return s.scrollOps(pixels)
+	case actImage:
+		return s.imageOps(pixels)
+	case actRepaint:
+		return s.repaintOps(pixels)
+	default:
+		return nil
+	}
+}
+
+// place picks a random position for a w×h rectangle within the window,
+// clamped to the screen.
+func (s *Session) place(w, h int) protocol.Rect {
+	if w > s.winW {
+		w = s.winW
+	}
+	if h > s.winH {
+		h = s.winH
+	}
+	if w < 1 {
+		w = 1
+	}
+	if h < 1 {
+		h = 1
+	}
+	x := s.winX + s.rng.Intn(s.winW-w+1)
+	y := s.winY + s.rng.Intn(s.winH-h+1)
+	return protocol.Rect{X: x, Y: y, W: w, H: h}
+}
+
+// textOps renders ~pixels of bicolor text as up to maxOps glyph blocks.
+func (s *Session) textOps(pixels, maxOps int) []core.Op {
+	var ops []core.Op
+	per := pixels / maxOps
+	if per < GlyphW*GlyphH {
+		per = pixels
+		maxOps = 1
+	}
+	for i := 0; i < maxOps; i++ {
+		cells := max(1, per/(GlyphW*GlyphH))
+		// Prefer wide, short text blocks, like lines of a document.
+		maxCols := max(1, s.winW/GlyphW)
+		cols := min(cells, maxCols)
+		rows := max(1, cells/cols)
+		w, h, bits := glyphBitmap(s.rng, cols, rows)
+		r := s.place(w, h)
+		// Regenerate bitmap if clamping shrank the rect.
+		if r.W != w || r.H != h {
+			w, h, bits = glyphBitmap(s.rng, max(1, r.W/GlyphW), max(1, r.H/GlyphH))
+			r.W, r.H = w, h
+		}
+		ci := s.rng.Intn(len(textColors))
+		ops = append(ops, core.TextOp{Rect: r, Fg: textColors[ci][0], Bg: textColors[ci][1], Bits: bits})
+	}
+	return ops
+}
+
+// fillOps paints ~pixels of flat background.
+func (s *Session) fillOps(pixels int) []core.Op {
+	if pixels < 1 {
+		return nil
+	}
+	w := min(s.winW, max(8, intSqrt(pixels*2)))
+	h := max(1, pixels/w)
+	r := s.place(w, h)
+	c := uiPalette[s.rng.Intn(len(uiPalette))]
+	return []core.Op{core.FillOp{Rect: r, Color: c}}
+}
+
+// scrollOps moves a region and repaints the exposed strip with text.
+func (s *Session) scrollOps(pixels int) []core.Op {
+	w := min(s.winW, max(64, intSqrt(pixels)))
+	h := min(s.winH, max(32, pixels/w))
+	r := s.place(w, h)
+	lines := GlyphH * (1 + s.rng.Intn(3))
+	if lines >= r.H {
+		lines = max(1, r.H/2)
+	}
+	// Scroll up by `lines`: region moves up, strip at bottom is exposed.
+	moved := protocol.Rect{X: r.X, Y: r.Y + lines, W: r.W, H: r.H - lines}
+	ops := []core.Op{core.ScrollOp{Rect: moved, DY: -lines}}
+	stripPixels := r.W * lines
+	ops = append(ops, s.textOps(stripPixels, 1)...)
+	return ops
+}
+
+// imageOps blits continuous-tone content.
+func (s *Session) imageOps(pixels int) []core.Op {
+	w := min(s.winW, max(16, intSqrt(pixels*4/3))) // 4:3-ish images
+	h := min(s.winH, max(12, pixels/w))
+	r := s.place(w, h)
+	return []core.Op{core.ImageOp{Rect: r, Pixels: photoPixels(s.rng, r.W, r.H)}}
+}
+
+// repaintOps redraws a large region with the model's content mix: a share
+// of continuous-tone imagery (ImageRichness) and the rest split between
+// fills and text. This is a Netscape page load or a Photoshop full-canvas
+// operation.
+func (s *Session) repaintOps(pixels int) []core.Op {
+	imgPx := int(float64(pixels) * s.Model.ImageRichness)
+	rest := pixels - imgPx
+	fillPx := int(float64(rest) * s.Model.RepaintFill)
+	textPx := rest - fillPx
+	var ops []core.Op
+	if fillPx > 0 {
+		ops = append(ops, s.fillOps(fillPx)...)
+	}
+	if textPx > GlyphW*GlyphH {
+		ops = append(ops, s.textOps(textPx, 3)...)
+	}
+	for imgPx > 0 {
+		chunk := imgPx
+		if chunk > 200_000 {
+			chunk = 100_000 + s.rng.Intn(100_000)
+		}
+		ops = append(ops, s.imageOps(chunk)...)
+		imgPx -= chunk
+	}
+	return ops
+}
+
+func intSqrt(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	x := n
+	y := (x + 1) / 2
+	for y < x {
+		x = y
+		y = (x + n/x) / 2
+	}
+	return x
+}

@@ -1,0 +1,217 @@
+// Package workload models the paper's benchmark applications (Table 2):
+// Adobe Photoshop, Netscape Communicator, FrameMaker, and the PIM suite.
+//
+// The original data came from 50-person user studies on Sun Ray 1
+// prototypes (§3.1). We cannot rerun those studies, so each application is
+// replaced by a generative model whose marginal distributions match the
+// published CDFs: input-event frequency (Figure 2), pixels changed per
+// event (Figure 3), command mix and compressibility (Figure 4), and bytes
+// per event (Figure 5). The models emit *real rendering operations* — glyph
+// bitmaps, fills, scrolls, and synthetic image content — which are pushed
+// through the real encoder, so every downstream number (bandwidth,
+// console service time, X-protocol comparison) is measured, not assumed.
+package workload
+
+import (
+	"fmt"
+	"time"
+)
+
+// App identifies a benchmark application class.
+type App string
+
+// The four GUI-based benchmark applications of Table 2.
+const (
+	Photoshop  App = "photoshop"
+	Netscape   App = "netscape"
+	FrameMaker App = "framemaker"
+	PIM        App = "pim"
+)
+
+// Apps lists the GUI benchmark applications in the paper's order.
+var Apps = []App{Photoshop, Netscape, FrameMaker, PIM}
+
+// ParseApp converts a name to an App.
+func ParseApp(s string) (App, error) {
+	for _, a := range Apps {
+		if string(a) == s {
+			return a, nil
+		}
+	}
+	return "", fmt.Errorf("workload: unknown application %q", s)
+}
+
+// Screen geometry used in all the paper's user studies (§5.2).
+const (
+	ScreenW = 1280
+	ScreenH = 1024
+)
+
+// actionKind is one class of user interaction an application responds to.
+type actionKind int
+
+const (
+	// actEcho is a minimal response: character echo, cursor move, hover
+	// highlight. Hundreds to a couple thousand pixels.
+	actEcho actionKind = iota
+	// actBlock is a moderate text/UI update: a reflowed paragraph, a menu,
+	// a dialog. Thousands of pixels, mostly bicolor.
+	actBlock
+	// actScroll moves a window region and repaints the exposed strip.
+	actScroll
+	// actImage blits continuous-tone content (decoded JPEG, filtered
+	// selection). Tens to hundreds of kilopixels, incompressible.
+	actImage
+	// actRepaint redraws a large window area with mixed content (page
+	// load, full-canvas operation).
+	actRepaint
+	numActions
+)
+
+// interArrival is a three-component mixture for the time between input
+// events: a typing/clicking burst regime, a moderate regime, and long
+// think-time pauses. The burst floor is just under 36 ms so a sub-1%
+// tail of events exceeds 28 Hz, matching Figure 2's observation that
+// human input has an application-independent upper bound.
+type interArrival struct {
+	BurstW, ModerateW, PauseW float64
+	BurstLo, BurstHi          time.Duration
+	ModerateLo, ModerateHi    time.Duration
+	PauseMean                 time.Duration // exponential tail added to 1 s
+}
+
+// sizeRange is a log-uniform pixel budget for one action kind.
+type sizeRange struct {
+	Lo, Hi int // pixels
+}
+
+// Model holds the per-application generative parameters.
+type Model struct {
+	App App
+	// Arrival is the inter-event time mixture (Figure 2 target).
+	Arrival interArrival
+	// ActionW are the mixture weights over action kinds (Figure 3 target).
+	ActionW [numActions]float64
+	// Sizes gives each action's pixel budget (Figure 3 target).
+	Sizes [numActions]sizeRange
+	// ImageRichness in [0,1] is the fraction of repaint content that is
+	// continuous tone rather than text/fill. Photoshop is image rich (its
+	// traffic is mostly SET, Figure 4); PIM is text poor.
+	ImageRichness float64
+	// RepaintFill in [0,1] is the share of non-image repaint and block
+	// content painted as flat fills (window backgrounds, dialog panels).
+	// It drives the FILL bandwidth savings of Figure 4.
+	RepaintFill float64
+	// Window is the application window geometry on the 1280x1024 screen.
+	Window sizeRange // interpreted as W×H bounds
+	// AvgCPU is the application's average server-CPU demand as a fraction
+	// of one 296 MHz processor (§6.1: Photoshop 14%, Netscape 13%,
+	// FrameMaker 8%, PIM 3%).
+	AvgCPU float64
+	// MemMB is the application's resident set in MB, used by the memory
+	// component of the load generator.
+	MemMB float64
+}
+
+// ModelFor returns the calibrated model for an application. The parameter
+// values were tuned so the generated populations land on the paper's
+// published distribution checkpoints; the calibration tests in
+// workload_test.go pin them there.
+func ModelFor(app App) *Model {
+	m := &Model{App: app}
+	switch app {
+	case Photoshop:
+		// Less interactive (Figure 2: large fraction of events >1 s apart)
+		// but image heavy: filters and canvas work ship incompressible
+		// pixels, so compression is only ~2x (Figure 4).
+		m.Arrival = interArrival{
+			BurstW: 0.28, ModerateW: 0.34, PauseW: 0.38,
+			BurstLo: 35 * time.Millisecond, BurstHi: 150 * time.Millisecond,
+			ModerateLo: 150 * time.Millisecond, ModerateHi: time.Second,
+			PauseMean: 3 * time.Second,
+		}
+		m.ActionW = [numActions]float64{actEcho: 0.38, actBlock: 0.21, actScroll: 0.15, actImage: 0.18, actRepaint: 0.08}
+		m.Sizes = [numActions]sizeRange{
+			actEcho:    {100, 2500},
+			actBlock:   {2_000, 12_000},
+			actScroll:  {40_000, 350_000},
+			actImage:   {4_000, 60_000},
+			actRepaint: {50_000, 250_000},
+		}
+		m.ImageRichness = 0.60
+		m.RepaintFill = 0.45
+		m.Window = sizeRange{900, 800}
+		m.AvgCPU = 0.14
+		m.MemMB = 60
+	case Netscape:
+		// Similar interactivity to Photoshop; even more pixels per event
+		// (page loads), but pages are mostly text and fills, so the
+		// compressed bandwidth is lower (§5.2).
+		m.Arrival = interArrival{
+			BurstW: 0.26, ModerateW: 0.36, PauseW: 0.38,
+			BurstLo: 35 * time.Millisecond, BurstHi: 150 * time.Millisecond,
+			ModerateLo: 150 * time.Millisecond, ModerateHi: time.Second,
+			PauseMean: 3500 * time.Millisecond,
+		}
+		m.ActionW = [numActions]float64{actEcho: 0.32, actBlock: 0.20, actScroll: 0.20, actImage: 0.11, actRepaint: 0.17}
+		m.Sizes = [numActions]sizeRange{
+			actEcho:    {150, 3_000},
+			actBlock:   {3_000, 15_000},
+			actScroll:  {50_000, 350_000},
+			actImage:   {10_000, 60_000},
+			actRepaint: {60_000, 350_000},
+		}
+		m.ImageRichness = 0.13
+		m.RepaintFill = 0.55
+		m.Window = sizeRange{1000, 900}
+		m.AvgCPU = 0.13
+		m.MemMB = 45
+	case FrameMaker:
+		// Typing heavy: most events are keystroke echoes; scrolls and the
+		// occasional dialog dominate the pixel tail (Figure 3: only ~20%
+		// of events exceed 10 Kpx).
+		m.Arrival = interArrival{
+			BurstW: 0.47, ModerateW: 0.38, PauseW: 0.15,
+			BurstLo: 35 * time.Millisecond, BurstHi: 160 * time.Millisecond,
+			ModerateLo: 160 * time.Millisecond, ModerateHi: time.Second,
+			PauseMean: 2 * time.Second,
+		}
+		m.ActionW = [numActions]float64{actEcho: 0.56, actBlock: 0.26, actScroll: 0.14, actImage: 0.01, actRepaint: 0.03}
+		m.Sizes = [numActions]sizeRange{
+			actEcho:    {100, 2_000},
+			actBlock:   {2_000, 14_000},
+			actScroll:  {20_000, 150_000},
+			actImage:   {10_000, 60_000},
+			actRepaint: {60_000, 250_000},
+		}
+		m.ImageRichness = 0.02
+		m.RepaintFill = 0.45
+		m.Window = sizeRange{850, 900}
+		m.AvgCPU = 0.08
+		m.MemMB = 30
+	case PIM:
+		// Email/calendar/forms: the most interactive and the lightest.
+		m.Arrival = interArrival{
+			BurstW: 0.50, ModerateW: 0.36, PauseW: 0.14,
+			BurstLo: 35 * time.Millisecond, BurstHi: 160 * time.Millisecond,
+			ModerateLo: 160 * time.Millisecond, ModerateHi: time.Second,
+			PauseMean: 1800 * time.Millisecond,
+		}
+		m.ActionW = [numActions]float64{actEcho: 0.585, actBlock: 0.26, actScroll: 0.13, actImage: 0.005, actRepaint: 0.02}
+		m.Sizes = [numActions]sizeRange{
+			actEcho:    {100, 1_800},
+			actBlock:   {1_500, 10_000},
+			actScroll:  {15_000, 120_000},
+			actImage:   {8_000, 40_000},
+			actRepaint: {40_000, 200_000},
+		}
+		m.ImageRichness = 0.02
+		m.RepaintFill = 0.5
+		m.Window = sizeRange{800, 850}
+		m.AvgCPU = 0.03
+		m.MemMB = 20
+	default:
+		panic(fmt.Sprintf("workload: no model for app %q", app))
+	}
+	return m
+}

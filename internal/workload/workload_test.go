@@ -1,0 +1,308 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"slim/internal/core"
+	"slim/internal/protocol"
+	"slim/internal/stats"
+)
+
+func TestParseApp(t *testing.T) {
+	for _, app := range Apps {
+		got, err := ParseApp(string(app))
+		if err != nil || got != app {
+			t.Errorf("ParseApp(%q) = %v, %v", app, got, err)
+		}
+	}
+	if _, err := ParseApp("emacs"); err == nil {
+		t.Error("unknown app accepted")
+	}
+}
+
+func TestModelsAreComplete(t *testing.T) {
+	for _, app := range Apps {
+		m := ModelFor(app)
+		var sumW float64
+		for _, w := range m.ActionW {
+			if w < 0 {
+				t.Errorf("%s: negative weight", app)
+			}
+			sumW += w
+		}
+		if sumW < 0.999 || sumW > 1.001 {
+			t.Errorf("%s: action weights sum to %f", app, sumW)
+		}
+		a := m.Arrival
+		if s := a.BurstW + a.ModerateW + a.PauseW; s < 0.999 || s > 1.001 {
+			t.Errorf("%s: arrival weights sum to %f", app, s)
+		}
+		for k, r := range m.Sizes {
+			if r.Lo <= 0 || r.Hi <= r.Lo {
+				t.Errorf("%s action %d: bad size range %+v", app, k, r)
+			}
+		}
+		if m.AvgCPU <= 0 || m.AvgCPU > 0.2 {
+			t.Errorf("%s: AvgCPU = %f", app, m.AvgCPU)
+		}
+	}
+	// Paper ordering of CPU demand (§6.1).
+	if !(ModelFor(Photoshop).AvgCPU > ModelFor(Netscape).AvgCPU &&
+		ModelFor(Netscape).AvgCPU > ModelFor(FrameMaker).AvgCPU &&
+		ModelFor(FrameMaker).AvgCPU > ModelFor(PIM).AvgCPU) {
+		t.Error("CPU demand ordering broken")
+	}
+}
+
+func TestModelForPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	ModelFor(App("vi"))
+}
+
+func TestSessionDeterminism(t *testing.T) {
+	a := NewSession(Netscape, 1, 7).Run(30 * time.Second)
+	b := NewSession(Netscape, 1, 7).Run(30 * time.Second)
+	if len(a.Records) != len(b.Records) {
+		t.Fatalf("record counts differ: %d vs %d", len(a.Records), len(b.Records))
+	}
+	for i := range a.Records {
+		if a.Records[i] != b.Records[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+	c := NewSession(Netscape, 2, 7).Run(30 * time.Second)
+	if len(c.Records) == len(a.Records) && len(a.Records) > 10 {
+		same := true
+		for i := range a.Records {
+			if a.Records[i] != c.Records[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different users produced identical sessions")
+		}
+	}
+}
+
+func TestSessionOpsStayOnScreen(t *testing.T) {
+	for _, app := range Apps {
+		sess := NewSession(app, 0, 3)
+		sess.CaptureOps = true
+		sess.Run(time.Minute)
+		screen := protocol.Rect{W: ScreenW, H: ScreenH}
+		for _, op := range sess.Ops {
+			if !screen.Contains(op.Bounds()) {
+				t.Fatalf("%s: op %v escapes the screen", app, op.Bounds())
+			}
+		}
+	}
+}
+
+func TestSessionTraceConsistency(t *testing.T) {
+	sess := NewSession(PIM, 0, 5)
+	tr := sess.Run(time.Minute)
+	var prev time.Duration
+	for i, r := range tr.Records {
+		if r.T < prev && r.Kind.IsInput() {
+			t.Fatalf("record %d: input time went backwards", i)
+		}
+		if r.Kind.IsInput() {
+			prev = r.T
+		}
+		if r.Bytes <= 0 {
+			t.Fatalf("record %d: no wire bytes", i)
+		}
+	}
+	// Trace wire bytes must equal encoder accounting.
+	if tr.DisplayBytes() != sess.Encoder.Stats.TotalWireBytes() {
+		t.Errorf("trace bytes %d != encoder bytes %d",
+			tr.DisplayBytes(), sess.Encoder.Stats.TotalWireBytes())
+	}
+}
+
+// corpus runs a small population and returns pooled distributions. Kept
+// modest so the calibration assertions run in a few seconds.
+func corpus(t *testing.T, app App) (freqs, pixels, bytesPer *stats.CDF, enc *core.CommandStats, dur time.Duration) {
+	t.Helper()
+	const users = 4
+	freqs = stats.NewCDF(1024)
+	pixels = stats.NewCDF(1024)
+	bytesPer = stats.NewCDF(1024)
+	enc = &core.CommandStats{}
+	for u := 0; u < users; u++ {
+		s := NewSession(app, u, 42)
+		tr := s.Run(5 * time.Minute)
+		for _, f := range tr.EventFrequencies() {
+			freqs.Add(f)
+		}
+		for _, pe := range tr.PerEventTotals() {
+			pixels.Add(float64(pe.Pixels))
+			bytesPer.Add(float64(pe.Bytes))
+		}
+		enc.Merge(&s.Encoder.Stats)
+		dur += tr.Duration
+	}
+	return
+}
+
+// The calibration assertions pin the models to the paper's published
+// checkpoints (with bands wide enough to absorb seed noise).
+
+func TestCalibrationInputRates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration is slow")
+	}
+	for _, app := range Apps {
+		freqs, _, _, _, _ := corpus(t, app)
+		// Figure 2: "less than 1% of input events occur with frequency
+		// greater than 28Hz".
+		if tail := 1 - freqs.At(28); tail > 0.012 {
+			t.Errorf("%s: P(freq>28Hz) = %.4f", app, tail)
+		}
+		// "roughly 70% of all events occur at low frequencies (<10Hz)".
+		if low := freqs.At(10); low < 0.6 || low > 0.92 {
+			t.Errorf("%s: P(freq<10Hz) = %.3f, want ~0.7-0.9", app, low)
+		}
+	}
+	// Netscape and Photoshop are much less interactive: larger share of
+	// events at least one second apart.
+	fPS, _, _, _, _ := corpus(t, Photoshop)
+	fFM, _, _, _, _ := corpus(t, FrameMaker)
+	if fPS.At(1) < fFM.At(1)+0.1 {
+		t.Errorf("Photoshop slow-event share %.3f not well above FrameMaker %.3f",
+			fPS.At(1), fFM.At(1))
+	}
+}
+
+func TestCalibrationPixelsPerEvent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration is slow")
+	}
+	for _, app := range Apps {
+		_, px, _, _, _ := corpus(t, app)
+		// Figure 3: "nearly 50% of all input events for any application
+		// cause less than 10Kpixels to be modified".
+		if small := px.At(10_000); small < 0.42 {
+			t.Errorf("%s: P(px<10K) = %.3f, want >= ~0.5", app, small)
+		}
+	}
+	// "only 20% of FrameMaker or PIM events affect more than 10Kpixels".
+	for _, app := range []App{FrameMaker, PIM} {
+		_, px, _, _, _ := corpus(t, app)
+		if tail := 1 - px.At(10_000); tail > 0.28 {
+			t.Errorf("%s: P(px>10K) = %.3f, want ~0.2", app, tail)
+		}
+	}
+	// Netscape is more pixel demanding than Photoshop.
+	_, pxNS, _, _, _ := corpus(t, Netscape)
+	_, pxPS, _, _, _ := corpus(t, Photoshop)
+	if 1-pxNS.At(50_000) <= 1-pxPS.At(50_000)-0.25 {
+		t.Errorf("Netscape px tail %.3f not >= Photoshop %.3f",
+			1-pxNS.At(50_000), 1-pxPS.At(50_000))
+	}
+}
+
+func TestCalibrationCompression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration is slow")
+	}
+	// Figure 4: "a factor of 2 compression for Photoshop and a factor of
+	// 10 or more for all other applications". Photoshop is the clear
+	// outlier; the others compress far better.
+	_, _, _, encPS, _ := corpus(t, Photoshop)
+	psComp := encPS.CompressionFactor()
+	if psComp < 1.5 || psComp > 5 {
+		t.Errorf("photoshop compression = %.1fx, want ~2-4x", psComp)
+	}
+	for _, app := range []App{Netscape, FrameMaker, PIM} {
+		_, _, _, enc, _ := corpus(t, app)
+		comp := enc.CompressionFactor()
+		if comp < 7 {
+			t.Errorf("%s compression = %.1fx, want >= ~10x", app, comp)
+		}
+		if comp < psComp*2 {
+			t.Errorf("%s compression %.1fx not well above photoshop %.1fx", app, comp, psComp)
+		}
+	}
+}
+
+func TestCalibrationBandwidthOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration is slow")
+	}
+	bw := map[App]float64{}
+	for _, app := range Apps {
+		_, _, _, enc, dur := corpus(t, app)
+		bw[app] = float64(enc.TotalWireBytes()*8) / dur.Seconds()
+	}
+	// Figure 8 shape: image applications need an order of magnitude more
+	// than the text applications, and Netscape's compressed bandwidth is
+	// below Photoshop's.
+	if bw[Photoshop] < 4*bw[FrameMaker] {
+		t.Errorf("photoshop %.0f bps not >> framemaker %.0f bps", bw[Photoshop], bw[FrameMaker])
+	}
+	if bw[Netscape] < 2*bw[PIM] {
+		t.Errorf("netscape %.0f bps not >> pim %.0f bps", bw[Netscape], bw[PIM])
+	}
+	if bw[Netscape] > bw[Photoshop] {
+		t.Errorf("netscape %.0f bps above photoshop %.0f bps", bw[Netscape], bw[Photoshop])
+	}
+	// Absolute scale: all under 1 Mbps on average (§5.6 "the overall
+	// bandwidth requirements are quite small").
+	for app, b := range bw {
+		if b > 1e6 {
+			t.Errorf("%s average bandwidth %.2f Mbps, want < 1", app, b/1e6)
+		}
+	}
+}
+
+func TestBuildProfile(t *testing.T) {
+	m := ModelFor(Netscape)
+	sess := NewSession(Netscape, 0, 9)
+	tr := sess.Run(2 * time.Minute)
+	prof := BuildProfile(m, tr, 11)
+	if len(prof.Intervals) == 0 {
+		t.Fatal("no intervals")
+	}
+	if prof.Duration() < 2*time.Minute {
+		t.Errorf("duration = %v", prof.Duration())
+	}
+	avg := prof.AvgCPU()
+	if avg < m.AvgCPU*0.4 || avg > m.AvgCPU*2.5 {
+		t.Errorf("profile avg CPU %.3f far from model %.3f", avg, m.AvgCPU)
+	}
+	var netBytes int64
+	for _, iv := range prof.Intervals {
+		if iv.CPU < 0 || iv.CPU > 1 {
+			t.Fatalf("interval CPU = %f", iv.CPU)
+		}
+		if iv.MemMB <= 0 {
+			t.Fatal("interval without memory")
+		}
+		netBytes += iv.NetBytes
+	}
+	if netBytes != tr.DisplayBytes() {
+		t.Errorf("profile net bytes %d != trace %d", netBytes, tr.DisplayBytes())
+	}
+	if prof.AvgNetBps() <= 0 {
+		t.Error("no net bandwidth")
+	}
+}
+
+func TestRecordedProfiles(t *testing.T) {
+	profs := RecordedProfiles(PIM, 3, time.Minute, 13)
+	if len(profs) != 3 {
+		t.Fatalf("profiles = %d", len(profs))
+	}
+	for i, p := range profs {
+		if p.User != i || p.App != PIM {
+			t.Errorf("profile %d = %s/%d", i, p.App, p.User)
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package xproto
+
+import (
+	"math"
+	"time"
+
+	"slim/internal/core"
+	"slim/internal/fb"
+	"slim/internal/protocol"
+	"slim/internal/server"
+	"slim/internal/stats"
+)
+
+// X11perf-style benchmark suite (§4.2): a set of rendering micro-operations
+// run through the SLIM display pipeline. The paper ran SPEC's x11perf with
+// the Xmark93 composite and found the Sun Ray X-server scored 3.834 with
+// the IF attached and 7.505 when display data was not transmitted —
+// evidence that network transmission, not command interpretation, was the
+// dominant cost. We reproduce that *ratio* with our own pipeline: each op
+// is timed through encode-only (no IF) and through the full
+// encode→marshal→decode→render path (with IF).
+
+// PerfOp is one micro-benchmark operation.
+type PerfOp struct {
+	Name   string
+	Weight float64 // relative weight in the composite
+	Build  func(i int) core.Op
+}
+
+// Suite returns the micro-operation set: fills, text, scrolls, and image
+// blits in the proportions the Xmark93 composite emphasizes.
+func Suite() []PerfOp {
+	font := server.DefaultFont()
+	textBits := func(cols int) (protocol.Rect, []byte) {
+		r := protocol.Rect{X: 8, Y: 8, W: cols * server.TermGlyphW, H: server.TermGlyphH}
+		rowBytes := protocol.BitmapRowBytes(r.W)
+		bits := make([]byte, rowBytes*r.H)
+		for c := 0; c < cols; c++ {
+			g := font.Glyph(byte('A' + c%26))
+			for y := 0; y < server.TermGlyphH; y++ {
+				bits[y*rowBytes+c] = g[y]
+			}
+		}
+		return r, bits
+	}
+	photo := func(w, h int, seed uint64) []protocol.Pixel {
+		rng := stats.NewRNG(seed)
+		pix := make([]protocol.Pixel, w*h)
+		for i := range pix {
+			pix[i] = protocol.RGB(uint8(rng.Intn(256)), uint8(rng.Intn(256)), uint8(rng.Intn(256)))
+		}
+		return pix
+	}
+	return []PerfOp{
+		{
+			Name: "rect10", Weight: 1,
+			Build: func(i int) core.Op {
+				return core.FillOp{
+					Rect:  protocol.Rect{X: (i * 13) % 500, Y: (i * 7) % 500, W: 10, H: 10},
+					Color: protocol.RGB(byte(i), byte(i>>3), byte(i>>5)),
+				}
+			},
+		},
+		{
+			Name: "rect500", Weight: 2,
+			Build: func(i int) core.Op {
+				return core.FillOp{
+					Rect:  protocol.Rect{X: (i * 31) % 100, Y: (i * 17) % 100, W: 500, H: 500},
+					Color: protocol.RGB(byte(i), byte(i>>2), byte(i>>4)),
+				}
+			},
+		},
+		{
+			Name: "text80", Weight: 4,
+			Build: func(i int) core.Op {
+				r, bits := textBits(80)
+				r.Y = 16 * (i % 50)
+				return core.TextOp{Rect: r, Fg: protocol.RGB(0, 0, 0), Bg: protocol.RGB(255, 255, 255), Bits: bits}
+			},
+		},
+		{
+			Name: "copy400", Weight: 2,
+			Build: func(i int) core.Op {
+				return core.ScrollOp{
+					Rect: protocol.Rect{X: 10, Y: 26, W: 400, H: 400},
+					DY:   -16,
+				}
+			},
+		},
+		{
+			Name: "putimage200", Weight: 3,
+			Build: func(i int) core.Op {
+				pix := photo(200, 200, uint64(i))
+				return core.ImageOp{Rect: protocol.Rect{X: (i * 19) % 300, Y: (i * 11) % 300, W: 200, H: 200}, Pixels: pix}
+			},
+		},
+	}
+}
+
+// PerfResult reports one operation's measured rates.
+type PerfResult struct {
+	Name       string
+	OpsPerSec  float64 // full pipeline: encode → wire → decode → render
+	NoIFPerSec float64 // encode only (no display data sent on the IF)
+}
+
+// Composite is the Xmark-style weighted geometric mean of rates, in
+// kilo-ops/sec so the magnitudes resemble Xmark scores.
+func Composite(results []PerfResult, withIF bool) float64 {
+	suite := Suite()
+	weights := make(map[string]float64, len(suite))
+	for _, op := range suite {
+		weights[op.Name] = op.Weight
+	}
+	var logSum, wSum float64
+	for _, r := range results {
+		rate := r.OpsPerSec
+		if !withIF {
+			rate = r.NoIFPerSec
+		}
+		if rate <= 0 {
+			continue
+		}
+		w := weights[r.Name]
+		logSum += w * math.Log(rate/1000)
+		wSum += w
+	}
+	if wSum == 0 {
+		return 0
+	}
+	return math.Exp(logSum / wSum)
+}
+
+// RunSuite measures every operation for roughly the given duration each.
+func RunSuite(perOp time.Duration) []PerfResult {
+	var out []PerfResult
+	for _, op := range Suite() {
+		out = append(out, runOne(op, perOp))
+	}
+	return out
+}
+
+func runOne(op PerfOp, perOp time.Duration) PerfResult {
+	res := PerfResult{Name: op.Name}
+
+	// Full pipeline: server encoder, wire marshal, console decode, render.
+	enc := core.NewEncoder(1280, 1024)
+	consoleFB := fb.New(1280, 1024)
+	start := time.Now()
+	n := 0
+	for time.Since(start) < perOp {
+		dgs, err := enc.Encode(op.Build(n))
+		if err != nil {
+			panic("xproto: " + err.Error())
+		}
+		for _, d := range dgs {
+			_, msg, _, err := protocol.Decode(d.Wire)
+			if err != nil {
+				panic("xproto: " + err.Error())
+			}
+			if err := consoleFB.Apply(msg); err != nil {
+				panic("xproto: " + err.Error())
+			}
+		}
+		n++
+	}
+	res.OpsPerSec = float64(n) / time.Since(start).Seconds()
+
+	// Encode only: the server interprets the command and renders into its
+	// own frame buffer, but no display data is sent on the IF.
+	enc2 := core.NewEncoder(1280, 1024)
+	enc2.SkipWire = true
+	start = time.Now()
+	n = 0
+	for time.Since(start) < perOp {
+		if _, err := enc2.Encode(op.Build(n)); err != nil {
+			panic("xproto: " + err.Error())
+		}
+		n++
+	}
+	res.NoIFPerSec = float64(n) / time.Since(start).Seconds()
+	return res
+}

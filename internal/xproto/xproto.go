@@ -1,0 +1,90 @@
+// Package xproto is the comparison baseline of §5.6 and §8.1: a model of
+// the X11 wire protocol's bandwidth for the same rendering operations the
+// SLIM encoder handles, plus the raw-pixel baseline of Figure 8.
+//
+// X sends high-level commands — "display a character with a given font,
+// using a specific graphics context" — so text costs roughly a byte per
+// glyph, while images go out as uncompressed ZPixmap PutImage requests with
+// each 24-bit pixel padded to 32 bits. That asymmetry is exactly what
+// Figure 8 shows: X wins slightly on the text applications it was optimized
+// for, and loses on image-heavy ones.
+package xproto
+
+import (
+	"fmt"
+
+	"slim/internal/core"
+	"slim/internal/server"
+)
+
+// X11 request cost constants (bytes), from the core protocol encoding.
+const (
+	// reqHeader is the fixed request header (opcode, length) plus the
+	// drawable and gcontext fields common to rendering requests.
+	reqHeader = 12
+	// polyTextOverhead covers PolyText8's x/y fields and one text element
+	// header (delta + length).
+	polyTextOverhead = 8
+	// fillRectBytes is one PolyFillRectangle rectangle (x,y,w,h).
+	fillRectBytes = 8
+	// copyAreaBody is CopyArea's src/dst coordinates and size.
+	copyAreaBody = 16
+	// putImageOverhead is PutImage's geometry, format and padding fields.
+	putImageOverhead = 16
+	// bytesPerImagePixel is ZPixmap depth-24: pixels are padded to 32 bits
+	// ("a full 24 bits must be transmitted for each pixel", and the wire
+	// unit is 4 bytes).
+	bytesPerImagePixel = 4
+	// gcSwitchBytes amortizes ChangeGC traffic across ops.
+	gcSwitchBytes = 4
+)
+
+// BytesFor reports the X protocol bytes needed to transport one rendering
+// operation.
+func BytesFor(op core.Op) (int, error) {
+	switch o := op.(type) {
+	case core.FillOp:
+		return reqHeader + fillRectBytes + gcSwitchBytes, nil
+	case core.TextOp:
+		// One byte per glyph; glyph count from the text block's cell grid.
+		cols := (o.Rect.W + server.TermGlyphW - 1) / server.TermGlyphW
+		rows := (o.Rect.H + server.TermGlyphH - 1) / server.TermGlyphH
+		glyphs := cols * rows
+		// Long runs are split into 254-glyph text elements.
+		elems := 1 + glyphs/254
+		return reqHeader + polyTextOverhead*elems + glyphs + gcSwitchBytes, nil
+	case core.ScrollOp:
+		return reqHeader + copyAreaBody, nil
+	case core.ImageOp:
+		return reqHeader + putImageOverhead + bytesPerImagePixel*o.Rect.Pixels(), nil
+	case core.VideoOp:
+		// X has no console-side scaling or color-space conversion: the
+		// server must ship the full destination resolution, uncompressed
+		// (§8.1).
+		return reqHeader + putImageOverhead + bytesPerImagePixel*o.Dst.Pixels(), nil
+	default:
+		return 0, fmt.Errorf("xproto: unknown op type %T", op)
+	}
+}
+
+// RawBytesFor reports the "Raw Pixels" baseline of Figure 8: every changed
+// pixel is transmitted as a packed 3-byte value with a minimal rectangle
+// header. COPY and FILL get no credit — the raw protocol does not have
+// them — so scrolled or filled pixels are retransmitted literally.
+func RawBytesFor(op core.Op) int {
+	return 8 + 3*op.RawPixels()
+}
+
+// SessionBytes totals the X and raw baselines over an op stream, for
+// side-by-side comparison with the SLIM encoder's CommandStats.
+func SessionBytes(ops []core.Op) (xBytes, rawBytes int64, err error) {
+	for _, op := range ops {
+		xb, err := BytesFor(op)
+		if err != nil {
+			return 0, 0, err
+		}
+		xBytes += int64(xb)
+		rawBytes += int64(RawBytesFor(op))
+	}
+	return xBytes, rawBytes, nil
+}

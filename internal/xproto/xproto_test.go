@@ -1,0 +1,148 @@
+package xproto
+
+import (
+	"testing"
+	"time"
+
+	"slim/internal/core"
+	"slim/internal/protocol"
+	"slim/internal/server"
+)
+
+func TestBytesForFill(t *testing.T) {
+	got, err := BytesFor(core.FillOp{Rect: protocol.Rect{W: 500, H: 500}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PolyFillRectangle cost is size independent.
+	small, _ := BytesFor(core.FillOp{Rect: protocol.Rect{W: 1, H: 1}})
+	if got != small {
+		t.Errorf("fill cost varies with size: %d vs %d", got, small)
+	}
+	if got <= 0 || got > 64 {
+		t.Errorf("fill cost = %d", got)
+	}
+}
+
+func TestBytesForTextIsPerGlyph(t *testing.T) {
+	oneLine := core.TextOp{Rect: protocol.Rect{W: 80 * server.TermGlyphW, H: server.TermGlyphH}}
+	got, err := BytesFor(oneLine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 80 glyphs ≈ 80 bytes + overheads; far less than the SLIM bitmap.
+	slim := protocol.WireSize(&protocol.Bitmap{
+		Rect: oneLine.Rect,
+		Bits: make([]byte, protocol.BitmapRowBytes(oneLine.Rect.W)*oneLine.Rect.H),
+	})
+	if got >= slim {
+		t.Errorf("X text %dB not cheaper than SLIM bitmap %dB", got, slim)
+	}
+	if got < 80 {
+		t.Errorf("text cost %d below one byte per glyph", got)
+	}
+}
+
+func TestBytesForImageCostlierThanSlim(t *testing.T) {
+	r := protocol.Rect{W: 100, H: 100}
+	op := core.ImageOp{Rect: r, Pixels: make([]protocol.Pixel, r.Pixels())}
+	got, err := BytesFor(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// X pads 24-bit pixels to 32 bits; SLIM packs 3 bytes.
+	if got < 4*r.Pixels() {
+		t.Errorf("image cost %d below 4B/px", got)
+	}
+	slimBytes := 3*r.Pixels() + 60 // SET pixels + headers
+	if got <= slimBytes {
+		t.Errorf("X image %dB not above SLIM %dB", got, slimBytes)
+	}
+}
+
+func TestBytesForScroll(t *testing.T) {
+	got, err := BytesFor(core.ScrollOp{Rect: protocol.Rect{W: 500, H: 500}, DY: -16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != reqHeader+copyAreaBody {
+		t.Errorf("scroll = %d", got)
+	}
+}
+
+func TestBytesForVideoUsesDestination(t *testing.T) {
+	op := core.VideoOp{
+		Src:    protocol.Rect{W: 320, H: 240},
+		Dst:    protocol.Rect{W: 640, H: 480},
+		Format: protocol.CSCS8,
+		Pixels: make([]protocol.Pixel, 320*240),
+	}
+	got, err := BytesFor(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §8.1: X must ship the full-size frame; SLIM ships the half-size YUV.
+	if got < 4*640*480 {
+		t.Errorf("X video = %d, want >= full destination", got)
+	}
+	slimBytes := op.Format.PayloadLen(320, 240)
+	if got < 5*slimBytes {
+		t.Errorf("X/SLIM video ratio only %f", float64(got)/float64(slimBytes))
+	}
+}
+
+func TestBytesForUnknownOp(t *testing.T) {
+	type weird struct{ core.Op }
+	if _, err := BytesFor(weird{}); err == nil {
+		t.Error("unknown op accepted")
+	}
+}
+
+func TestRawBytesFor(t *testing.T) {
+	op := core.FillOp{Rect: protocol.Rect{W: 10, H: 10}}
+	if got := RawBytesFor(op); got != 8+300 {
+		t.Errorf("raw = %d", got)
+	}
+}
+
+func TestSessionBytes(t *testing.T) {
+	ops := []core.Op{
+		core.FillOp{Rect: protocol.Rect{W: 10, H: 10}},
+		core.ScrollOp{Rect: protocol.Rect{W: 10, H: 10}, DY: 1},
+	}
+	x, raw, err := SessionBytes(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x <= 0 || raw != 2*(8+300) {
+		t.Errorf("x=%d raw=%d", x, raw)
+	}
+}
+
+func TestRunSuiteAndComposite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing benchmark")
+	}
+	results := RunSuite(30 * time.Millisecond)
+	if len(results) != len(Suite()) {
+		t.Fatalf("results = %d", len(results))
+	}
+	for _, r := range results {
+		if r.OpsPerSec <= 0 || r.NoIFPerSec <= 0 {
+			t.Fatalf("%s: zero rate", r.Name)
+		}
+		// Skipping the wire can only help.
+		if r.NoIFPerSec < r.OpsPerSec*0.7 {
+			t.Errorf("%s: no-IF slower than with-IF (%f vs %f)", r.Name, r.NoIFPerSec, r.OpsPerSec)
+		}
+	}
+	with := Composite(results, true)
+	without := Composite(results, false)
+	if with <= 0 || without <= 0 {
+		t.Fatal("zero composite")
+	}
+	// Table 4's headline: dropping transmission raises the composite.
+	if without <= with {
+		t.Errorf("composite with IF %f >= without %f", with, without)
+	}
+}

@@ -1,0 +1,84 @@
+// Package yardstick defines the indirect benchmark applications of §3.1:
+// probes with fixed, well-known resource demands whose measured latency
+// under load gauges a shared system's interactive performance. The CPU
+// yardstick (§6.1) is deliberately more demanding than any real benchmark
+// application — it needs ~17% of a processor, above Photoshop's 14% — so a
+// system that keeps the yardstick happy keeps every real application happy.
+package yardstick
+
+import (
+	"time"
+
+	"slim/internal/loadgen"
+	"slim/internal/netsim"
+	"slim/internal/sched"
+	"slim/internal/stats"
+)
+
+// CPU yardstick parameters (§6.1): 30 ms of dedicated CPU to simulate event
+// processing, followed by 150 ms of think time, i.e. an interrupt rate
+// equivalent to a fast typist.
+const (
+	CPUService = 30 * time.Millisecond
+	CPUThink   = 150 * time.Millisecond
+)
+
+// Network yardstick parameters (§6.2): a highly interactive user with
+// sizeable display updates — a 64 B command packet upstream, a 1200 B
+// response downstream, then 150 ms of think time.
+const (
+	NetUpBytes   = 64
+	NetDownBytes = 1200
+	NetThink     = 150 * time.Millisecond
+)
+
+// Perception thresholds from the paper: humans begin to notice delays in
+// the 50–150 ms range (§4.1, citing Shneiderman); the authors found
+// interactive performance noticeably poor when the CPU yardstick's added
+// delay hit ~100 ms (§6.1) and the shared network unusable when the network
+// yardstick's RTT hit ~30 ms (§6.2).
+const (
+	NoticeLow    = 50 * time.Millisecond
+	NoticeHigh   = 150 * time.Millisecond
+	CPUKneeAdded = 100 * time.Millisecond
+	NetKneeRTT   = 30 * time.Millisecond
+)
+
+// NewCPU returns the CPU yardstick burst source.
+func NewCPU() sched.Source {
+	return &loadgen.FixedSource{Service: CPUService, Think: CPUThink, Mem: 8}
+}
+
+// NetProbe generates the network yardstick's downstream packets for a run
+// of the given duration: one NetDownBytes response every NetThink plus the
+// upstream/serialization time. Flow -1 marks yardstick traffic.
+func NetProbe(dur time.Duration, seed uint64) []netsim.Packet {
+	rng := stats.NewRNG(seed)
+	var out []netsim.Packet
+	t := time.Duration(rng.Range(0, float64(NetThink)))
+	for t < dur {
+		out = append(out, netsim.Packet{T: t, Size: NetDownBytes, Flow: -1})
+		t += NetThink
+	}
+	return out
+}
+
+// NetRTTs extracts the yardstick's round-trip times from a shared-link
+// simulation: upstream serialization plus each probe's downstream queueing
+// and serialization (the server itself replies instantly, §6.2).
+func NetRTTs(deliveries []netsim.Delivery, up, down *netsim.Link) (*stats.CDF, int) {
+	rtts := stats.NewCDF(256)
+	dropped := 0
+	for _, d := range deliveries {
+		if d.Flow != -1 {
+			continue
+		}
+		if d.Dropped {
+			dropped++
+			continue
+		}
+		rtt := up.SerializeTime(NetUpBytes) + up.Prop + d.Queued + down.Prop
+		rtts.Add(rtt.Seconds())
+	}
+	return rtts, dropped
+}

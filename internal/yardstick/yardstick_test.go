@@ -1,0 +1,72 @@
+package yardstick
+
+import (
+	"testing"
+	"time"
+
+	"slim/internal/netsim"
+)
+
+func TestCPUYardstickShape(t *testing.T) {
+	src := NewCPU()
+	b, ok := src.Next()
+	if !ok {
+		t.Fatal("yardstick dry")
+	}
+	if b.Service != 30*time.Millisecond || b.Think != 150*time.Millisecond {
+		t.Errorf("burst = %+v", b)
+	}
+	// §6.1: the yardstick demands ~17% of a processor, more than any
+	// benchmark application's average.
+	frac := float64(b.Service) / float64(b.Service+b.Think)
+	if frac < 0.16 || frac > 0.17 {
+		t.Errorf("duty cycle = %f, want ~1/6", frac)
+	}
+}
+
+func TestNetProbeCadence(t *testing.T) {
+	pkts := NetProbe(3*time.Second, 1)
+	if len(pkts) < 18 || len(pkts) > 21 {
+		t.Fatalf("probes in 3s = %d, want ~20", len(pkts))
+	}
+	for i, p := range pkts {
+		if p.Flow != -1 || p.Size != NetDownBytes {
+			t.Fatalf("probe %d = %+v", i, p)
+		}
+		if i > 0 && p.T-pkts[i-1].T != NetThink {
+			t.Fatalf("cadence gap = %v", p.T-pkts[i-1].T)
+		}
+	}
+}
+
+func TestNetProbeSeedOffsets(t *testing.T) {
+	a := NetProbe(time.Second, 1)
+	b := NetProbe(time.Second, 2)
+	if a[0].T == b[0].T {
+		t.Error("different seeds share a phase")
+	}
+}
+
+func TestNetRTTs(t *testing.T) {
+	up := &netsim.Link{Bps: netsim.Rate100Mbps, Prop: 20 * time.Microsecond}
+	down := &netsim.Link{Bps: netsim.Rate100Mbps, Prop: 20 * time.Microsecond}
+	deliveries := []netsim.Delivery{
+		{Packet: netsim.Packet{Flow: -1, Size: NetDownBytes}, Queued: time.Millisecond},
+		{Packet: netsim.Packet{Flow: 0, Size: 1400}, Queued: time.Hour}, // background: ignored
+		{Packet: netsim.Packet{Flow: -1, Size: NetDownBytes}, Dropped: true},
+	}
+	rtts, dropped := NetRTTs(deliveries, up, down)
+	if rtts.N() != 1 || dropped != 1 {
+		t.Fatalf("n=%d dropped=%d", rtts.N(), dropped)
+	}
+	want := up.SerializeTime(NetUpBytes) + up.Prop + time.Millisecond + down.Prop
+	if got := time.Duration(rtts.Mean() * float64(time.Second)); got != want {
+		t.Errorf("rtt = %v, want %v", got, want)
+	}
+}
+
+func TestThresholdOrdering(t *testing.T) {
+	if !(NetKneeRTT < NoticeLow && NoticeLow < CPUKneeAdded && CPUKneeAdded <= NoticeHigh) {
+		t.Error("tolerance thresholds out of order")
+	}
+}

@@ -1,0 +1,124 @@
+// Package slim is a Go implementation of SLIM — the Stateless, Low-level
+// Interface Machine thin-client architecture of Schmidt, Lam & Northcutt
+// (SOSP 1999), the design that shipped as the Sun Ray 1.
+//
+// A SLIM system consists of servers that run all applications and hold all
+// state, stateless pixel consoles ("not much more intelligent than a frame
+// buffer"), and a dedicated interconnect carrying a five-command pixel
+// protocol: SET, BITMAP, FILL, COPY, and CSCS. This package is the public
+// facade: it re-exports the protocol and rendering types and provides
+// ready-to-run servers and consoles over UDP or an in-process fabric.
+//
+// Quick start:
+//
+//	fabric := slim.NewFabric()
+//	srv := slim.NewServer(fabric, slim.WithTerminalApp())
+//	srv.Auth.Register("card-1", "alice")
+//	con, _ := slim.NewConsole(slim.ConsoleConfig{Width: 1024, Height: 768})
+//	fabric.Attach("desk-1", con, srv)
+//	fabric.Boot("desk-1", "card-1")
+//	fabric.TypeString("desk-1", "hello, thin world\n")
+//
+// The internal packages implement the paper's full evaluation; the
+// cmd/slimbench binary regenerates every table and figure.
+package slim
+
+import (
+	"slim/internal/console"
+	"slim/internal/core"
+	"slim/internal/protocol"
+	"slim/internal/server"
+)
+
+// Re-exported wire protocol types. See Table 1 of the paper.
+type (
+	// Rect is a rectangular screen region.
+	Rect = protocol.Rect
+	// Pixel is a 24-bit RGB pixel.
+	Pixel = protocol.Pixel
+	// Message is any SLIM protocol message.
+	Message = protocol.Message
+	// MsgType identifies a protocol message type.
+	MsgType = protocol.MsgType
+	// CSCSFormat selects a CSCS bit depth (16/12/8/6/5 bpp).
+	CSCSFormat = protocol.CSCSFormat
+)
+
+// Re-exported rendering operations accepted by session encoders.
+type (
+	// Op is a rendering operation.
+	Op = core.Op
+	// FillOp paints a solid rectangle.
+	FillOp = core.FillOp
+	// TextOp draws a bicolor glyph bitmap.
+	TextOp = core.TextOp
+	// ImageOp blits literal pixels.
+	ImageOp = core.ImageOp
+	// ScrollOp moves a region (COPY).
+	ScrollOp = core.ScrollOp
+	// VideoOp ships a YUV frame via CSCS.
+	VideoOp = core.VideoOp
+	// Datagram is one framed protocol message.
+	Datagram = core.Datagram
+	// Encoder is the SLIM display driver.
+	Encoder = core.Encoder
+	// CostModel prices console decode work (Table 5).
+	CostModel = core.CostModel
+)
+
+// Re-exported system components.
+type (
+	// Console is a SLIM desktop unit.
+	Console = console.Console
+	// ConsoleConfig parameterizes a console.
+	ConsoleConfig = console.Config
+	// Server hosts sessions and system services.
+	Server = server.Server
+	// Session is one user's persistent desktop.
+	Session = server.Session
+	// Application is a program driven by session input.
+	Application = server.Application
+	// Terminal is the built-in echo terminal application.
+	Terminal = server.Terminal
+	// Transport delivers server→console datagrams.
+	Transport = server.Transport
+)
+
+// RGB assembles a pixel from components.
+func RGB(r, g, b uint8) Pixel { return protocol.RGB(r, g, b) }
+
+// CSCS formats, named by bits per pixel.
+const (
+	CSCS16 = protocol.CSCS16
+	CSCS12 = protocol.CSCS12
+	CSCS8  = protocol.CSCS8
+	CSCS6  = protocol.CSCS6
+	CSCS5  = protocol.CSCS5
+)
+
+// NewConsole returns a SLIM console.
+func NewConsole(cfg ConsoleConfig) (*Console, error) { return console.New(cfg) }
+
+// NewEncoder returns a stand-alone display encoder managing a w×h frame
+// buffer (most callers get one per session via NewServer instead).
+func NewEncoder(w, h int) *Encoder { return core.NewEncoder(w, h) }
+
+// SunRay1Costs returns the published Sun Ray 1 decode cost model.
+func SunRay1Costs() *CostModel { return core.SunRay1Costs() }
+
+// NewTerminal returns the built-in glyph terminal application.
+func NewTerminal(w, h int) *Terminal { return server.NewTerminal(w, h) }
+
+// AppFactory builds a session's application.
+type AppFactory = func(user string, w, h int) Application
+
+// WithTerminalApp is the default application factory: every session runs
+// the echo terminal.
+func WithTerminalApp() AppFactory {
+	return func(user string, w, h int) Application { return server.NewTerminal(w, h) }
+}
+
+// NewServer returns a SLIM server sending through the given transport.
+func NewServer(t Transport, newApp AppFactory) *Server {
+	return server.New(t, newApp)
+}

@@ -1,0 +1,209 @@
+package slim
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"slim/internal/protocol"
+)
+
+// The Sun Ray 1 carried the SLIM protocol over UDP/IP on a dedicated
+// switched Ethernet (§2.2). This file is the real-socket transport: a
+// server daemon and a console client that interoperate over any UDP
+// network, loopback included.
+
+// UDPServer runs a SLIM server on a UDP socket. Console datagrams are
+// demultiplexed by source address; each distinct address is a console.
+type UDPServer struct {
+	Server *Server
+
+	conn   *net.UDPConn
+	mu     sync.Mutex
+	addrs  map[string]*net.UDPAddr
+	closed chan struct{}
+}
+
+// ListenAndServe binds a UDP address and starts a SLIM server on it. The
+// returned server is already serving; Close stops it.
+func ListenAndServe(addr string, newApp AppFactory) (*UDPServer, error) {
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("slim: resolve %q: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		return nil, fmt.Errorf("slim: listen: %w", err)
+	}
+	s := &UDPServer{
+		conn:   conn,
+		addrs:  make(map[string]*net.UDPAddr),
+		closed: make(chan struct{}),
+	}
+	s.Server = NewServer(s, newApp)
+	go s.serve()
+	return s, nil
+}
+
+// Addr reports the bound UDP address.
+func (s *UDPServer) Addr() net.Addr { return s.conn.LocalAddr() }
+
+// Close stops the server.
+func (s *UDPServer) Close() error {
+	select {
+	case <-s.closed:
+		return nil
+	default:
+	}
+	close(s.closed)
+	return s.conn.Close()
+}
+
+// Send implements Transport: route a datagram to a console by address.
+func (s *UDPServer) Send(consoleID string, wire []byte) error {
+	s.mu.Lock()
+	addr := s.addrs[consoleID]
+	s.mu.Unlock()
+	if addr == nil {
+		return fmt.Errorf("slim: unknown console %q", consoleID)
+	}
+	_, err := s.conn.WriteToUDP(wire, addr)
+	return err
+}
+
+func (s *UDPServer) serve() {
+	buf := make([]byte, 64*1024)
+	start := time.Now()
+	for {
+		n, addr, err := s.conn.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		id := addr.String()
+		s.mu.Lock()
+		s.addrs[id] = addr
+		s.mu.Unlock()
+		// Per-console errors (bad datagrams, unauthenticated input) must
+		// not kill the daemon; the protocol is loss tolerant by design.
+		_ = s.Server.HandleDatagram(id, buf[:n], time.Since(start))
+	}
+}
+
+// UDPConsole is a SLIM console attached over UDP.
+type UDPConsole struct {
+	Console *Console
+
+	conn   *net.UDPConn
+	closed chan struct{}
+	start  time.Time
+}
+
+// DialConsole connects a console to a UDP server and sends its Hello
+// (presenting cardToken if non-empty). It serves incoming display traffic
+// on a background goroutine until Close.
+func DialConsole(serverAddr string, cfg ConsoleConfig, cardToken string) (*UDPConsole, error) {
+	udpAddr, err := net.ResolveUDPAddr("udp", serverAddr)
+	if err != nil {
+		return nil, fmt.Errorf("slim: resolve %q: %w", serverAddr, err)
+	}
+	conn, err := net.DialUDP("udp", nil, udpAddr)
+	if err != nil {
+		return nil, fmt.Errorf("slim: dial: %w", err)
+	}
+	con, err := NewConsole(cfg)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	c := &UDPConsole{Console: con, conn: conn, closed: make(chan struct{}), start: time.Now()}
+	hello := con.Hello()
+	hello.CardToken = cardToken
+	if err := c.send(hello); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	go c.serve()
+	return c, nil
+}
+
+// Close detaches the console. Its soft state is discarded; the session
+// lives on at the server.
+func (c *UDPConsole) Close() error {
+	select {
+	case <-c.closed:
+		return nil
+	default:
+	}
+	close(c.closed)
+	return c.conn.Close()
+}
+
+func (c *UDPConsole) send(msg Message) error {
+	_, err := c.conn.Write(protocol.Encode(nil, 0, msg))
+	return err
+}
+
+// SendKey transmits a keystroke to the server.
+func (c *UDPConsole) SendKey(code uint16, down bool) error {
+	return c.send(&protocol.KeyEvent{Code: code, Down: down})
+}
+
+// SendPointer transmits a mouse update.
+func (c *UDPConsole) SendPointer(x, y uint16, buttons uint8) error {
+	return c.send(&protocol.PointerEvent{X: x, Y: y, Buttons: buttons})
+}
+
+// TypeString types a string (press + release per character).
+func (c *UDPConsole) TypeString(s string) error {
+	for i := 0; i < len(s); i++ {
+		if err := c.SendKey(uint16(s[i]), true); err != nil {
+			return err
+		}
+		if err := c.SendKey(uint16(s[i]), false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// InsertCard presents a smart card, pulling the owner's session here.
+func (c *UDPConsole) InsertCard(token string) error {
+	return c.send(c.Console.InsertCard(token))
+}
+
+func (c *UDPConsole) serve() {
+	buf := make([]byte, 64*1024)
+	for {
+		n, err := c.conn.Read(buf)
+		if err != nil {
+			select {
+			case <-c.closed:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		replies, err := c.Console.HandleDatagram(buf[:n], time.Since(c.start))
+		if err != nil {
+			continue // malformed datagram: drop, per the loss-tolerant design
+		}
+		for _, r := range replies {
+			if _, err := c.conn.Write(r); err != nil {
+				return
+			}
+		}
+	}
+}
