@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench cover fuzz reproduce examples clean
+.PHONY: all build test vet bench cover fuzz reproduce examples clean race bench-guard ci
 
 all: build test
 
@@ -21,6 +21,19 @@ test-short: vet
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Full test suite under the race detector (wall-clock-ratio tests skip
+# themselves when they detect the race-instrumented build).
+race:
+	$(GO) test -race ./...
+
+# Compile and smoke-run the benchmark suite (one iteration per benchmark):
+# catches build breaks and panics in bench-only code without the full run.
+bench-guard:
+	$(GO) test -run xxx -bench . -benchtime 1x .
+
+# CI-style gate: static checks, race-detected tests, benchmark smoke run.
+ci: vet race bench-guard
 
 cover:
 	$(GO) test -cover ./...

@@ -7,6 +7,12 @@
 //
 //	slimd -addr 127.0.0.1:5499 -card card-1=alice -card card-2=bob
 //	slimd -app quake -fps 30       # every session plays the game stream
+//	slimd -debug :6060             # live metrics + pprof on http://:6060
+//
+// With -debug, the daemon serves /metrics (Prometheus text), /debug/vars
+// (JSON snapshot, polled by cmd/slimstat), and /debug/pprof/ on the given
+// address. The headline metric is slim_input_to_paint_seconds, the paper's
+// §3 interactive-latency figure, live per session.
 package main
 
 import (
@@ -66,6 +72,7 @@ func main() {
 	log.SetPrefix("slimd: ")
 	log.SetFlags(log.Ltime)
 	addr := flag.String("addr", "127.0.0.1:5499", "UDP address to listen on")
+	debugAddr := flag.String("debug", "", "serve /metrics, /debug/vars and /debug/pprof on this HTTP address")
 	state := flag.String("state", "", "session state file: loaded at boot, saved at shutdown")
 	app := flag.String("app", "terminal", "session application: terminal|desktop|quake|mpeg2|ntsc")
 	fps := flag.Float64("fps", 24, "video frame rate for video applications")
@@ -85,6 +92,14 @@ func main() {
 		log.Fatal(err)
 	}
 	defer srv.Close()
+	if *debugAddr != "" {
+		dbg, err := slim.ServeDebug(*debugAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer dbg.Close()
+		log.Printf("debug endpoint on http://%s (/metrics, /debug/vars, /debug/pprof)", *debugAddr)
+	}
 	if video {
 		srv.StartTicker(*fps * 2) // tick faster than the frame rate
 	}

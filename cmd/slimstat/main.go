@@ -1,0 +1,141 @@
+// Command slimstat is a live terminal monitor for a slimd started with
+// -debug: it polls the daemon's /debug/vars JSON snapshot and renders a
+// one-line-per-interval summary of interactive performance in the paper's
+// terms — input-to-paint percentiles against the §3 human-perception
+// thresholds, display command and byte rates, and drop percentage.
+//
+// Usage:
+//
+//	slimd -debug :6060 &
+//	slimstat -addr localhost:6060
+//
+// Output:
+//
+//	15:04:05  paint p50 0.8ms p95 3.1ms p99 9.7ms | 412 cmd/s | 38.1 KB/s | drop 0.00% | 2 sessions
+//
+// Each line covers exactly one polling interval (default 1 s), so the
+// percentiles are windowed, not since-boot.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"slim/internal/obs"
+)
+
+func main() {
+	log.SetPrefix("slimstat: ")
+	log.SetFlags(0)
+	addr := flag.String("addr", "localhost:6060", "slimd debug endpoint (host:port)")
+	interval := flag.Duration("interval", time.Second, "polling interval")
+	count := flag.Int("n", 0, "stop after this many lines (0 = run until interrupted)")
+	flag.Parse()
+
+	url := "http://" + strings.TrimPrefix(*addr, "http://") + "/debug/vars"
+	client := &http.Client{Timeout: *interval}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	tick := time.NewTicker(*interval)
+	defer tick.Stop()
+
+	prev, err := scrape(client, url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lines := 0
+	for {
+		select {
+		case <-sig:
+			return
+		case <-tick.C:
+		}
+		cur, err := scrape(client, url)
+		if err != nil {
+			log.Print(err)
+			continue
+		}
+		fmt.Println(summarize(prev, cur, *interval))
+		prev = cur
+		lines++
+		if *count > 0 && lines >= *count {
+			return
+		}
+	}
+}
+
+// scrape fetches the domain-keyed snapshots served at /debug/vars.
+func scrape(client *http.Client, url string) (map[string]obs.Snapshot, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("scrape %s: %s", url, resp.Status)
+	}
+	var snaps map[string]obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snaps); err != nil {
+		return nil, fmt.Errorf("scrape %s: %w", url, err)
+	}
+	return snaps, nil
+}
+
+// summarize renders one interval's activity as a single line.
+func summarize(prev, cur map[string]obs.Snapshot, interval time.Duration) string {
+	p, c := prev["wall"], cur["wall"]
+	secs := interval.Seconds()
+
+	paint := c.Histograms["slim_input_to_paint_seconds"].
+		Delta(p.Histograms["slim_input_to_paint_seconds"])
+
+	cmds := c.CounterSum("slim_encoder_commands_total") - p.CounterSum("slim_encoder_commands_total")
+	bytes := c.CounterSum("slim_encoder_wire_bytes_total") - p.CounterSum("slim_encoder_wire_bytes_total")
+
+	// Loss across whichever transports are active: fabric drops, console
+	// decode drops, UDP send errors.
+	drops := delta(p, c, "slim_fabric_dropped_total") +
+		delta(p, c, "slim_console_dropped_total") +
+		delta(p, c, "slim_udp_tx_errors_total")
+	delivered := delta(p, c, "slim_fabric_delivered_total") +
+		delta(p, c, "slim_udp_tx_datagrams_total")
+	dropPct := 0.0
+	if drops+delivered > 0 {
+		dropPct = 100 * float64(drops) / float64(drops+delivered)
+	}
+
+	return fmt.Sprintf("%s  paint p50 %s p95 %s p99 %s | %.0f cmd/s | %.1f KB/s | drop %.2f%% | %d sessions",
+		time.Now().Format("15:04:05"),
+		ms(paint.P50), ms(paint.P95), ms(paint.P99),
+		float64(cmds)/secs, float64(bytes)/1024/secs,
+		dropPct, c.Gauges["slim_sessions"])
+}
+
+func delta(p, c obs.Snapshot, name string) int64 {
+	d := c.Counters[name] - p.Counters[name]
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// ms renders a seconds value compactly in milliseconds.
+func ms(seconds float64) string {
+	switch {
+	case seconds <= 0:
+		return "-"
+	case seconds < 0.01:
+		return fmt.Sprintf("%.2fms", seconds*1e3)
+	default:
+		return fmt.Sprintf("%.0fms", seconds*1e3)
+	}
+}

@@ -5,8 +5,28 @@ import (
 	"sync"
 	"time"
 
+	"slim/internal/obs"
 	"slim/internal/protocol"
 )
+
+// fabricMetrics is the in-process transport's live instrument set.
+type fabricMetrics struct {
+	delivered *obs.Counter
+	dropped   *obs.Counter
+	queue     *obs.Gauge
+	// deliverSeconds is the wall time one datagram spends in delivery:
+	// console decode plus any replies fed back into the server.
+	deliverSeconds *obs.Histogram
+}
+
+func newFabricMetrics(r *obs.Registry) *fabricMetrics {
+	return &fabricMetrics{
+		delivered:      r.Counter("slim_fabric_delivered_total"),
+		dropped:        r.Counter("slim_fabric_dropped_total"),
+		queue:          r.Gauge("slim_fabric_queue_depth"),
+		deliverSeconds: r.Histogram("slim_fabric_deliver_seconds"),
+	}
+}
 
 // Fabric is an in-process interconnection fabric: consoles and a server
 // wired directly together, with the same message flow as the UDP transport
@@ -37,6 +57,8 @@ type Fabric struct {
 	// network (where transmission is asynchronous) never does.
 	queue    []queuedDatagram
 	draining bool
+
+	metrics *fabricMetrics
 }
 
 type queuedDatagram struct {
@@ -49,6 +71,7 @@ func NewFabric() *Fabric {
 	return &Fabric{
 		consoles: make(map[string]*Console),
 		servers:  make(map[string]*Server),
+		metrics:  newFabricMetrics(obs.Default),
 	}
 }
 
@@ -98,11 +121,13 @@ func (f *Fabric) Send(consoleID string, wire []byte) error {
 		f.sent++
 		if f.sent%f.dropEvery == 0 {
 			f.dropped++
+			f.metrics.dropped.Inc()
 			f.mu.Unlock()
 			return nil // the datagram vanished on the wire
 		}
 	}
 	f.queue = append(f.queue, queuedDatagram{console: consoleID, wire: wire})
+	f.metrics.queue.Set(int64(len(f.queue)))
 	if f.draining {
 		f.mu.Unlock()
 		return nil // the active drain will deliver it
@@ -124,6 +149,7 @@ func (f *Fabric) drain() error {
 		}
 		item := f.queue[0]
 		f.queue = f.queue[1:]
+		f.metrics.queue.Set(int64(len(f.queue)))
 		con := f.consoles[item.console]
 		srv := f.servers[item.console]
 		clock := f.Clock
@@ -131,6 +157,7 @@ func (f *Fabric) drain() error {
 		if con == nil {
 			continue
 		}
+		t0 := time.Now()
 		replies, err := con.HandleDatagram(item.wire, clock)
 		if err != nil && firstErr == nil {
 			firstErr = err
@@ -141,6 +168,8 @@ func (f *Fabric) drain() error {
 				firstErr = err
 			}
 		}
+		f.metrics.delivered.Inc()
+		f.metrics.deliverSeconds.Observe(time.Since(t0))
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"slim/internal/audio"
 	"slim/internal/core"
 	"slim/internal/fb"
+	"slim/internal/obs"
 	"slim/internal/protocol"
 	"slim/internal/stats"
 )
@@ -37,6 +38,10 @@ type Config struct {
 	// depth (0 disables audio modelling; blocks are accepted and
 	// discarded).
 	AudioBuffer time.Duration
+	// Obs is the wall-clock registry live metrics publish into
+	// (obs.Default if nil). Modelled (virtual-time) observations always go
+	// to obs.Sim, never here.
+	Obs *obs.Registry
 }
 
 // Console is one SLIM desktop unit.
@@ -59,6 +64,7 @@ type Console struct {
 	alloc      *BandwidthAllocator
 	sessionID  uint32
 	audioSink  *audio.Sink
+	metrics    *consoleMetrics
 }
 
 // New returns a console with the given configuration.
@@ -72,6 +78,9 @@ func New(cfg Config) (*Console, error) {
 	if cfg.TotalBps == 0 {
 		cfg.TotalBps = 100_000_000
 	}
+	if cfg.Obs == nil {
+		cfg.Obs = obs.Default
+	}
 	c := &Console{
 		cfg:          cfg,
 		fb:           fb.New(cfg.Width, cfg.Height),
@@ -79,6 +88,7 @@ func New(cfg Config) (*Console, error) {
 		serviceTimes: stats.NewCDF(1024),
 		QueueLimit:   500 * time.Millisecond,
 		alloc:        NewBandwidthAllocator(cfg.TotalBps),
+		metrics:      newConsoleMetrics(cfg.Obs, obs.Sim),
 	}
 	if cfg.AudioBuffer > 0 {
 		c.audioSink = audio.NewSink(cfg.AudioBuffer)
@@ -141,14 +151,19 @@ func (c *Console) Handle(seq uint32, msg protocol.Message, now time.Duration) ([
 	if msg.Type().IsDisplay() {
 		for _, nack := range c.gaps.Observe(seq) {
 			n := nack
+			c.metrics.nacks.Inc()
 			replies = append(replies, protocol.Encode(nil, c.seq.Next(), &n))
 		}
+		start := time.Now()
 		svc, ok := c.applyDisplay(msg, now)
 		if !ok {
 			c.dropped++
+			c.metrics.dropped.Inc()
 			return replies, nil
 		}
 		c.applied++
+		c.metrics.applied.Inc()
+		c.metrics.decodeSeconds.Observe(time.Since(start))
 		c.serviceTimes.Add(svc.Seconds())
 		return replies, nil
 	}
@@ -210,6 +225,10 @@ func (c *Console) applyDisplay(msg protocol.Message, now time.Duration) (time.Du
 		}
 		c.busyUntil = start + decode
 		decode = c.busyUntil - now // queueing + decode = service time
+		// Modelled quantities are virtual time: they go to the sim-domain
+		// instruments, never the wall-clock ones.
+		c.metrics.simService.Observe(decode)
+		c.metrics.simBacklogNs.Set(int64(c.busyUntil - now))
 	}
 	if err := c.fb.Apply(msg); err != nil {
 		// Malformed geometry is clipped by fb; real errors are protocol

@@ -1,0 +1,39 @@
+package console
+
+import (
+	"slim/internal/obs"
+)
+
+// consoleMetrics is the desktop unit's live instrument set. Wall-clock
+// observations (real decode+paint time on this host) go to the wall
+// registry; modelled quantities from the Sun Ray cost model (virtual
+// service time, virtual decode backlog) go to the process-wide sim
+// registry so the two clock domains never share a histogram.
+type consoleMetrics struct {
+	// applied / dropped count display commands decoded vs shed under
+	// overload (§4.3); nacks counts loss-recovery requests sent upstream.
+	applied *obs.Counter
+	dropped *obs.Counter
+	nacks   *obs.Counter
+	// decodeSeconds is the real wall time spent decoding one display
+	// command into the frame buffer — the console half of the
+	// input-to-paint pipeline on asynchronous transports.
+	decodeSeconds *obs.Histogram
+	// simService is the modelled per-command service time (Figure 7's
+	// distribution) when a cost model is installed; simBacklogNs is the
+	// modelled decode backlog. Both are virtual time, hence DomainSim.
+	simService   *obs.Histogram
+	simBacklogNs *obs.Gauge
+}
+
+func newConsoleMetrics(wall, sim *obs.Registry) *consoleMetrics {
+	obs.MustSim(sim)
+	return &consoleMetrics{
+		applied:       wall.Counter("slim_console_applied_total"),
+		dropped:       wall.Counter("slim_console_dropped_total"),
+		nacks:         wall.Counter("slim_console_nacks_total"),
+		decodeSeconds: wall.Histogram("slim_console_decode_seconds"),
+		simService:    sim.Histogram("slim_sim_console_service_seconds"),
+		simBacklogNs:  sim.Gauge("slim_sim_console_backlog_ns"),
+	}
+}

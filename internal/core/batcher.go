@@ -10,6 +10,8 @@ import "slim/internal/protocol"
 type Batcher struct {
 	// MTU bounds the batched packet size.
 	MTU int
+	// Metrics, when non-nil, publishes live queue depth and flush counts.
+	Metrics *BatcherMetrics
 
 	seqs []uint32
 	msgs []protocol.Message
@@ -48,6 +50,9 @@ func (b *Batcher) Add(d Datagram) [][]byte {
 	b.seqs = append(b.seqs, d.Seq)
 	b.msgs = append(b.msgs, d.Msg)
 	b.size += 4 + body
+	if b.Metrics != nil {
+		b.Metrics.Pending.Set(int64(len(b.msgs)))
+	}
 	return out
 }
 
@@ -57,6 +62,11 @@ func (b *Batcher) Flush() [][]byte {
 		return nil
 	}
 	wire, err := protocol.EncodeBatch(nil, b.seqs, b.msgs)
+	if b.Metrics != nil {
+		b.Metrics.Batches.Inc()
+		b.Metrics.Messages.Add(int64(len(b.msgs)))
+		b.Metrics.Pending.Set(0)
+	}
 	b.seqs = b.seqs[:0]
 	b.msgs = b.msgs[:0]
 	b.size = 0

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"slim/internal/fb"
 	"slim/internal/protocol"
@@ -40,6 +41,11 @@ type Encoder struct {
 	SkipWire bool
 	// Stats accumulates per-command wire accounting.
 	Stats CommandStats
+	// Metrics, when non-nil, mirrors Stats into a live obs registry and
+	// times Encode calls. The live server attaches it to session encoders;
+	// the experiment harness leaves it nil so simulation replays pay
+	// nothing for instrumentation.
+	Metrics *EncoderMetrics
 
 	seq    protocol.Sequencer
 	replay *ReplayBuffer
@@ -64,12 +70,16 @@ func (e *Encoder) emit(msg protocol.Message) Datagram {
 		e.replay.Store(d)
 	}
 	e.Stats.Record(msg)
+	e.Metrics.Record(msg)
 	return d
 }
 
 // Encode lowers one rendering op into SLIM datagrams, updating the
 // authoritative frame buffer as it goes.
 func (e *Encoder) Encode(op Op) ([]Datagram, error) {
+	if e.Metrics != nil {
+		defer e.Metrics.ObserveEncode(time.Now())
+	}
 	if err := validateOp(op); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"slim/internal/obs"
+	"slim/internal/protocol"
+)
+
+// EncoderMetrics mirrors CommandStats into the live obs registry so the
+// Figure 4/8 accounting — commands, wire bytes, and pixels per Table 1
+// command — is visible while the system runs, not only in post-run
+// reports. Metric pointers are resolved once here; the encoder's emit path
+// then pays only a handful of atomic adds per command.
+//
+// An encoder with a nil *EncoderMetrics is completely uninstrumented
+// (the experiment harness constructs thousands of throwaway encoders and
+// must not pay even the atomics); the live server attaches metrics to
+// every session encoder it creates.
+type EncoderMetrics struct {
+	// Per display command type, indexed by protocol.MsgType (SET..CSCS).
+	commands  [protocol.TypeCSCS + 1]*obs.Counter
+	wireBytes [protocol.TypeCSCS + 1]*obs.Counter
+	pixels    [protocol.TypeCSCS + 1]*obs.Counter
+	// encodeSeconds tracks wall time spent lowering one Op to datagrams.
+	encodeSeconds *obs.Histogram
+}
+
+// NewEncoderMetrics resolves the encoder metric family in r.
+func NewEncoderMetrics(r *obs.Registry) *EncoderMetrics {
+	m := &EncoderMetrics{encodeSeconds: r.Histogram("slim_encode_seconds")}
+	for t := protocol.TypeSet; t <= protocol.TypeCSCS; t++ {
+		label := fmt.Sprintf("{type=%q}", t.String())
+		m.commands[t] = r.Counter("slim_encoder_commands_total" + label)
+		m.wireBytes[t] = r.Counter("slim_encoder_wire_bytes_total" + label)
+		m.pixels[t] = r.Counter("slim_encoder_pixels_total" + label)
+	}
+	return m
+}
+
+// Record accounts for one outgoing display command; it is the live twin of
+// CommandStats.Record. Nil receivers are inert.
+func (m *EncoderMetrics) Record(msg protocol.Message) {
+	if m == nil {
+		return
+	}
+	t := msg.Type()
+	if int(t) >= len(m.commands) || m.commands[t] == nil {
+		return
+	}
+	m.commands[t].Inc()
+	m.wireBytes[t].Add(int64(protocol.WireSize(msg)))
+	m.pixels[t].Add(int64(PixelsOf(msg)))
+}
+
+// ObserveEncode records the wall time of one Encode call.
+func (m *EncoderMetrics) ObserveEncode(start time.Time) {
+	if m == nil {
+		return
+	}
+	m.encodeSeconds.Observe(time.Since(start))
+}
+
+// BatcherMetrics instruments the §5.4 command batcher: live queue depth and
+// flush accounting for the low-bandwidth path.
+type BatcherMetrics struct {
+	// Pending is the number of messages currently coalescing.
+	Pending *obs.Gauge
+	// Batches counts flushed batch packets.
+	Batches *obs.Counter
+	// Messages counts messages that left inside batches.
+	Messages *obs.Counter
+}
+
+// NewBatcherMetrics resolves the batcher metric family in r.
+func NewBatcherMetrics(r *obs.Registry) *BatcherMetrics {
+	return &BatcherMetrics{
+		Pending:  r.Gauge("slim_batch_pending"),
+		Batches:  r.Counter("slim_batches_total"),
+		Messages: r.Counter("slim_batched_messages_total"),
+	}
+}

@@ -333,6 +333,9 @@ func TestEncoderOverheadSmall(t *testing.T) {
 	if testing.Short() {
 		t.Skip("overhead timing is slow")
 	}
+	if raceEnabled {
+		t.Skip("race-detector instrumentation skews the render/marshal timing ratio")
+	}
 	frac := EncoderOverhead(testCorpus)
 	// §5.5: protocol generation is a marginal share of the display path
 	// (the paper measured 1.7% of the X-server; we measure 1.8-2.1% of

@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether this test binary was built with the race
+// detector, whose instrumentation slows instructions ~5-10x and skews
+// wall-clock timing ratios.
+const raceEnabled = true

@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"sort"
 	"time"
+
+	"slim/internal/obs"
 )
 
 // Common fabric speeds used throughout the paper, in bits per second.
@@ -53,6 +55,45 @@ type Delivery struct {
 	Dropped bool
 }
 
+// LinkMetrics publishes a link's simulation results — deliveries, tail
+// drops, and the queueing+serialization delay distribution — through the
+// same obs vocabulary the live transports use, so simulator experiments
+// and real UDP runs read identically on the debug endpoint. All values are
+// virtual time, so the metrics may only live in a sim-domain registry.
+type LinkMetrics struct {
+	delivered *obs.Counter
+	dropped   *obs.Counter
+	// queuedSeconds is each packet's Queued duration: waiting plus
+	// serialization, in simulated time.
+	queuedSeconds *obs.Histogram
+}
+
+// NewLinkMetrics resolves the link metric family, named by link, in r.
+// It panics if r is a wall-clock registry: simulated durations must never
+// mix into wall-clock histograms (use obs.Sim).
+func NewLinkMetrics(r *obs.Registry, link string) *LinkMetrics {
+	obs.MustSim(r)
+	label := fmt.Sprintf("{link=%q}", link)
+	return &LinkMetrics{
+		delivered:     r.Counter("slim_sim_link_delivered_total" + label),
+		dropped:       r.Counter("slim_sim_link_dropped_total" + label),
+		queuedSeconds: r.Histogram("slim_sim_link_queued_seconds" + label),
+	}
+}
+
+// record accounts one delivery; nil receivers are inert.
+func (m *LinkMetrics) record(d Delivery) {
+	if m == nil {
+		return
+	}
+	if d.Dropped {
+		m.dropped.Inc()
+		return
+	}
+	m.delivered.Inc()
+	m.queuedSeconds.Observe(d.Queued)
+}
+
 // Link is a store-and-forward FIFO link.
 type Link struct {
 	// Bps is the line rate in bits per second.
@@ -63,6 +104,10 @@ type Link struct {
 	// buffers in the paper's testbed are finite, which is why Figure 11
 	// sees loss past the knee.
 	BufBytes int
+	// Metrics, when non-nil, publishes live delivery accounting in
+	// simulated time (see NewLinkMetrics). Experiments that only
+	// post-process the returned Deliveries leave it nil and pay nothing.
+	Metrics *LinkMetrics
 }
 
 // SerializeTime reports how long the link takes to clock out one packet.
@@ -98,7 +143,9 @@ func (l *Link) Run(pkts []Packet) []Delivery {
 			queue = queue[1:]
 		}
 		if l.BufBytes > 0 && queuedBytes+p.Size > l.BufBytes {
-			out = append(out, Delivery{Packet: p, Dropped: true})
+			d := Delivery{Packet: p, Dropped: true}
+			l.Metrics.record(d)
+			out = append(out, d)
 			continue
 		}
 		start := p.T
@@ -109,7 +156,9 @@ func (l *Link) Run(pkts []Packet) []Delivery {
 		busyUntil = depart
 		queue = append(queue, inflight{depart: depart, size: p.Size})
 		queuedBytes += p.Size
-		out = append(out, Delivery{Packet: p, Depart: depart, Queued: depart - p.T})
+		d := Delivery{Packet: p, Depart: depart, Queued: depart - p.T}
+		l.Metrics.record(d)
+		out = append(out, d)
 	}
 	sort.SliceStable(out, func(i, j int) bool {
 		if out[i].Dropped != out[j].Dropped {

@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+)
+
+// Metric names may carry a Prometheus label suffix: "name{k=\"v\"}".
+// splitName separates the base name from the label body (no braces).
+func splitName(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, ""
+	}
+	return name[:i], strings.TrimSuffix(name[i+1:], "}")
+}
+
+// promName reassembles a metric name with extra labels appended.
+func promName(base, labels, extra string) string {
+	all := labels
+	if extra != "" {
+		if all != "" {
+			all += ","
+		}
+		all += extra
+	}
+	if all == "" {
+		return base
+	}
+	return base + "{" + all + "}"
+}
+
+// WritePrometheus renders every metric in Prometheus text exposition
+// format (version 0.0.4). Histograms render as cumulative _bucket series
+// with le labels plus _sum and _count, so any Prometheus-compatible
+// scraper can compute quantiles its own way.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	snap := r.Snapshot()
+	typed := make(map[string]bool) // base names already given a # TYPE line
+
+	for _, name := range sortedKeys(snap.Counters) {
+		base, labels := splitName(name)
+		if !typed[base] {
+			fmt.Fprintf(w, "# TYPE %s counter\n", base)
+			typed[base] = true
+		}
+		fmt.Fprintf(w, "%s %d\n", promName(base, labels, ""), snap.Counters[name])
+	}
+	for _, name := range sortedKeys(snap.Gauges) {
+		base, labels := splitName(name)
+		if !typed[base] {
+			fmt.Fprintf(w, "# TYPE %s gauge\n", base)
+			typed[base] = true
+		}
+		fmt.Fprintf(w, "%s %d\n", promName(base, labels, ""), snap.Gauges[name])
+	}
+	for _, name := range sortedKeys(snap.Histograms) {
+		h := snap.Histograms[name]
+		base, labels := splitName(name)
+		if !typed[base] {
+			fmt.Fprintf(w, "# TYPE %s histogram\n", base)
+			typed[base] = true
+		}
+		var cum int64
+		for i, n := range h.Buckets {
+			cum += n
+			le := "+Inf"
+			if ub := BoundarySeconds(i); !math.IsInf(ub, 1) {
+				le = fmt.Sprintf("%g", ub)
+			}
+			fmt.Fprintf(w, "%s %d\n", promName(base+"_bucket", labels, `le="`+le+`"`), cum)
+		}
+		fmt.Fprintf(w, "%s %g\n", promName(base+"_sum", labels, ""), h.SumSeconds)
+		fmt.Fprintf(w, "%s %d\n", promName(base+"_count", labels, ""), cum)
+	}
+}
+
+// WriteJSON renders the registry snapshot as a single JSON object — the
+// expvar-style view served at /debug/vars and consumed by cmd/slimstat.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// DebugMux builds the slimd debug endpoint over the given registries
+// (conventionally Default and Sim):
+//
+//	/metrics       Prometheus text, all registries concatenated
+//	/debug/vars    JSON snapshots keyed by clock domain
+//	/debug/pprof/  the standard net/http/pprof profiles
+//
+// Mount it on any address with http.ListenAndServe, or pass it to
+// ServeDebug for the canonical background server.
+func DebugMux(regs ...*Registry) *http.ServeMux {
+	if len(regs) == 0 {
+		regs = []*Registry{Default, Sim}
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		for _, r := range regs {
+			r.WritePrometheus(w)
+		}
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		domains := make(map[string]Snapshot, len(regs))
+		for _, r := range regs {
+			domains[string(r.Domain())] = r.Snapshot()
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(domains)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ServeDebug starts the debug endpoint on addr in a background goroutine
+// and returns the server (Close to stop) once the listener is bound, so
+// callers learn about bad addresses immediately.
+func ServeDebug(addr string, regs ...*Registry) (*http.Server, error) {
+	srv := &http.Server{Addr: addr, Handler: DebugMux(regs...)}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, nil
+}
+
+// SortedHistogramNames lists a snapshot's histogram names in stable order
+// (for terminal renderers like slimstat).
+func (s Snapshot) SortedHistogramNames() []string { return sortedKeys(s.Histograms) }
+
+// SortedCounterNames lists a snapshot's counter names in stable order.
+func (s Snapshot) SortedCounterNames() []string { return sortedKeys(s.Counters) }
+
+// CounterSum adds up every counter whose base name matches base, across
+// label variants — e.g. the total commands over all per-type counters.
+func (s Snapshot) CounterSum(base string) int64 {
+	var n int64
+	for name, v := range s.Counters {
+		if b, _ := splitName(name); b == base {
+			n += v
+		}
+	}
+	return n
+}
+
+// HistogramMerge folds every histogram whose base name matches base into
+// one snapshot (summing buckets, counts, and sums, recomputing
+// percentiles) — e.g. input-to-paint over all sessions.
+func (s Snapshot) HistogramMerge(base string) HistogramSnapshot {
+	var out HistogramSnapshot
+	names := make([]string, 0, 4)
+	for name := range s.Histograms {
+		if b, _ := splitName(name); b == base {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	var total int64
+	for _, name := range names {
+		h := s.Histograms[name]
+		out.Count += h.Count
+		out.SumSeconds += h.SumSeconds
+		for i, n := range h.Buckets {
+			out.Buckets[i] += n
+			total += n
+		}
+	}
+	out.P50 = quantileFromBuckets(out.Buckets, total, 0.50)
+	out.P95 = quantileFromBuckets(out.Buckets, total, 0.95)
+	out.P99 = quantileFromBuckets(out.Buckets, total, 0.99)
+	return out
+}

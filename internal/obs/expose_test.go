@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSplitName(t *testing.T) {
+	for _, tc := range []struct {
+		name, base, labels string
+	}{
+		{"slim_sessions", "slim_sessions", ""},
+		{`slim_encoder_commands_total{type="SET"}`, "slim_encoder_commands_total", `type="SET"`},
+		{`h{session="alice",host="a"}`, "h", `session="alice",host="a"`},
+	} {
+		base, labels := splitName(tc.name)
+		if base != tc.base || labels != tc.labels {
+			t.Errorf("splitName(%q) = %q, %q; want %q, %q", tc.name, base, labels, tc.base, tc.labels)
+		}
+	}
+}
+
+func TestCounterSumAcrossLabels(t *testing.T) {
+	r := NewRegistry(DomainWall)
+	r.Counter(`slim_encoder_commands_total{type="SET"}`).Add(3)
+	r.Counter(`slim_encoder_commands_total{type="COPY"}`).Add(4)
+	r.Counter("slim_other_total").Add(100)
+	if got := r.Snapshot().CounterSum("slim_encoder_commands_total"); got != 7 {
+		t.Errorf("CounterSum = %d, want 7", got)
+	}
+}
+
+func TestHistogramMergeAcrossLabels(t *testing.T) {
+	r := NewRegistry(DomainWall)
+	r.Histogram("slim_itp_seconds").Observe(10 * time.Millisecond)
+	r.Histogram(`slim_itp_seconds{session="a"}`).Observe(20 * time.Millisecond)
+	r.Histogram("slim_unrelated_seconds").Observe(time.Second)
+	m := r.Snapshot().HistogramMerge("slim_itp_seconds")
+	if m.Count != 2 {
+		t.Errorf("merged count = %d, want 2", m.Count)
+	}
+	if m.P99 > 0.1 {
+		t.Errorf("merged p99 = %g, unrelated histogram leaked in", m.P99)
+	}
+}
+
+// TestWritePrometheus pins the exposition contract: TYPE lines once per
+// base name, labelled series preserved, cumulative histogram buckets with
+// le labels plus _sum and _count.
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry(DomainWall)
+	r.Counter(`slim_cmds_total{type="SET"}`).Add(2)
+	r.Counter(`slim_cmds_total{type="COPY"}`).Add(3)
+	r.Gauge("slim_sessions").Set(1)
+	h := r.Histogram("slim_lat_seconds")
+	h.Observe(time.Millisecond)
+	h.Observe(time.Minute) // overflow
+
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	out := sb.String()
+
+	if n := strings.Count(out, "# TYPE slim_cmds_total counter"); n != 1 {
+		t.Errorf("TYPE line for labelled counter appears %d times, want 1\n%s", n, out)
+	}
+	for _, want := range []string{
+		`slim_cmds_total{type="COPY"} 3`,
+		`slim_cmds_total{type="SET"} 2`,
+		"# TYPE slim_sessions gauge",
+		"slim_sessions 1",
+		"# TYPE slim_lat_seconds histogram",
+		`slim_lat_seconds_bucket{le="+Inf"} 2`,
+		"slim_lat_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+	// Buckets must be cumulative: the +Inf bucket equals the count, and the
+	// 1 ms observation is already included at le="0.001".
+	if !strings.Contains(out, `slim_lat_seconds_bucket{le="0.001"} 1`) {
+		t.Errorf("cumulative bucket at 1ms missing\n%s", out)
+	}
+}
+
+func TestDebugMuxEndpoints(t *testing.T) {
+	wall := NewRegistry(DomainWall)
+	sim := NewRegistry(DomainSim)
+	wall.Counter("slim_wall_total").Inc()
+	sim.Histogram("slim_sim_seconds").Observe(time.Millisecond)
+
+	srv := httptest.NewServer(DebugMux(wall, sim))
+	defer srv.Close()
+
+	get := func(path string) (*http.Response, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var sb strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := resp.Body.Read(buf)
+			sb.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return resp, sb.String()
+	}
+
+	resp, body := get("/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status = %d", resp.StatusCode)
+	}
+	if !strings.HasPrefix(resp.Header.Get("Content-Type"), "text/plain") {
+		t.Errorf("/metrics content type = %q", resp.Header.Get("Content-Type"))
+	}
+	if !strings.Contains(body, "slim_wall_total 1") || !strings.Contains(body, "slim_sim_seconds_count 1") {
+		t.Errorf("/metrics missing registries:\n%s", body)
+	}
+
+	resp, body = get("/debug/vars")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/vars status = %d", resp.StatusCode)
+	}
+	var domains map[string]Snapshot
+	if err := json.Unmarshal([]byte(body), &domains); err != nil {
+		t.Fatalf("/debug/vars not valid JSON: %v", err)
+	}
+	if domains["wall"].Counters["slim_wall_total"] != 1 {
+		t.Errorf("wall snapshot wrong: %+v", domains["wall"])
+	}
+	if domains["sim"].Histograms["slim_sim_seconds"].Count != 1 {
+		t.Errorf("sim snapshot wrong: %+v", domains["sim"])
+	}
+
+	resp, _ = get("/debug/pprof/cmdline")
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline status = %d", resp.StatusCode)
+	}
+}
+
+func TestServeDebugBadAddr(t *testing.T) {
+	if _, err := ServeDebug("256.256.256.256:99999"); err == nil {
+		t.Error("ServeDebug accepted an impossible address")
+	}
+}

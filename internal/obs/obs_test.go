@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry(DomainWall)
+	c1 := r.Counter("slim_test_total")
+	c2 := r.Counter("slim_test_total")
+	if c1 != c2 {
+		t.Error("same counter name resolved to two instances")
+	}
+	if r.Gauge("g") != r.Gauge("g") {
+		t.Error("same gauge name resolved to two instances")
+	}
+	if r.Histogram("h") != r.Histogram("h") {
+		t.Error("same histogram name resolved to two instances")
+	}
+}
+
+// TestRegistryConcurrentRegistration races get-or-create from many
+// goroutines; every caller must land on the one shared metric.
+func TestRegistryConcurrentRegistration(t *testing.T) {
+	r := NewRegistry(DomainWall)
+	const n = 16
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.Counter("shared").Inc()
+			r.Histogram("hist").Observe(time.Millisecond)
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != n {
+		t.Errorf("shared counter = %d, want %d", got, n)
+	}
+	if got := r.Histogram("hist").Count(); got != n {
+		t.Errorf("shared histogram count = %d, want %d", got, n)
+	}
+}
+
+func TestSnapshotAndReset(t *testing.T) {
+	r := NewRegistry(DomainSim)
+	c := r.Counter("c_total")
+	g := r.Gauge("g")
+	h := r.Histogram("h_seconds")
+	c.Add(7)
+	g.Set(-3)
+	h.Observe(time.Millisecond)
+
+	s := r.Snapshot()
+	if s.Domain != DomainSim {
+		t.Errorf("snapshot domain = %q, want sim", s.Domain)
+	}
+	if s.Counters["c_total"] != 7 || s.Gauges["g"] != -3 || s.Histograms["h_seconds"].Count != 1 {
+		t.Errorf("snapshot values wrong: %+v", s)
+	}
+
+	r.Reset()
+	s = r.Snapshot()
+	if s.Counters["c_total"] != 0 || s.Gauges["g"] != 0 || s.Histograms["h_seconds"].Count != 0 {
+		t.Errorf("post-reset snapshot not zeroed: %+v", s)
+	}
+	// Identities survive a reset: the old pointers still feed the registry.
+	c.Inc()
+	if got := r.Snapshot().Counters["c_total"]; got != 1 {
+		t.Errorf("counter after reset+inc = %d, want 1 (identity lost)", got)
+	}
+}
+
+func TestNilInstrumentsAreSafe(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	c.Inc()
+	c.Add(5)
+	g.Set(9)
+	g.Add(1)
+	if c.Value() != 0 || g.Value() != 0 {
+		t.Error("nil instruments reported nonzero values")
+	}
+}
+
+func TestMustSim(t *testing.T) {
+	sim := NewRegistry(DomainSim)
+	if MustSim(sim) != sim {
+		t.Error("MustSim did not return the sim registry")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustSim accepted a wall-clock registry")
+		}
+	}()
+	MustSim(NewRegistry(DomainWall))
+}
+
+func TestSpan(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	span := obsStartSpanFor(a)
+	span.Attach(b)
+	span.End()
+	if a.Count() != 1 || b.Count() != 1 {
+		t.Errorf("span recorded into %d/%d histograms, want 1/1", a.Count(), b.Count())
+	}
+
+	// The zero span is inert: Attach and End are no-ops.
+	var inert Span
+	if inert.Active() {
+		t.Error("zero span reports active")
+	}
+	inert.Attach(a)
+	inert.End()
+	if a.Count() != 1 {
+		t.Error("inert span recorded an observation")
+	}
+}
+
+// obsStartSpanFor exists to keep the span under test in a helper frame,
+// mirroring how server.Handle arms spans in one scope and ends in another.
+func obsStartSpanFor(h *Histogram) Span {
+	s := StartSpan(h)
+	if !s.Active() {
+		panic("StartSpan returned inert span")
+	}
+	return s
+}

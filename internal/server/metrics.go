@@ -1,0 +1,76 @@
+package server
+
+import (
+	"fmt"
+
+	"slim/internal/core"
+	"slim/internal/obs"
+)
+
+// metrics is the session manager's live instrument set, resolved once per
+// server so the input and attach paths pay only atomic operations.
+type metrics struct {
+	// sessions is the number of live sessions (attached or detached).
+	sessions *obs.Gauge
+	// attaches counts session→console attachments (first logins and
+	// mobility moves alike); reconnects counts the subset that re-attached
+	// an existing session (a card re-inserted somewhere).
+	attaches   *obs.Counter
+	reconnects *obs.Counter
+	// authFailures counts rejected card tokens.
+	authFailures *obs.Counter
+	// inputEvents counts keystrokes and pointer updates received.
+	inputEvents *obs.Counter
+	// inputToPaint is the paper's canonical interactive-latency metric
+	// (§3): input event captured → resulting display commands encoded,
+	// shipped, and — on a synchronous transport such as the in-process
+	// fabric — decoded and flushed into the console frame buffer. Each
+	// session additionally records into its own labeled histogram.
+	inputToPaint *obs.Histogram
+}
+
+func newMetrics(r *obs.Registry) *metrics {
+	return &metrics{
+		sessions:     r.Gauge("slim_sessions"),
+		attaches:     r.Counter("slim_session_attaches_total"),
+		reconnects:   r.Counter("slim_session_reconnects_total"),
+		authFailures: r.Counter("slim_auth_failures_total"),
+		inputEvents:  r.Counter("slim_input_events_total"),
+		inputToPaint: r.Histogram("slim_input_to_paint_seconds"),
+	}
+}
+
+// sessionHistogram resolves the per-session input-to-paint histogram.
+func sessionHistogram(r *obs.Registry, user string) *obs.Histogram {
+	return r.Histogram(fmt.Sprintf("slim_input_to_paint_seconds{session=%q}", user))
+}
+
+// Instrument points the server's live metrics at r (the process-wide
+// obs.Default unless redirected — hermetic tests hand each server its own
+// registry). Call it before the first session is created; encoders and
+// histograms already resolved keep reporting to the old registry.
+func (s *Server) Instrument(r *obs.Registry) *Server {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.obs = r
+	s.metrics = newMetrics(r)
+	s.encMetrics = core.NewEncoderMetrics(r)
+	return s
+}
+
+// instrumentSession attaches the live instruments a session encoder and
+// its input-to-paint histogram report through. Callers hold s.mu.
+func (s *Server) instrumentSession(sess *Session) {
+	sess.Encoder.Metrics = s.encMetrics
+	sess.itp = sessionHistogram(s.obs, sess.User)
+}
+
+// InputToPaint exposes the session's live input-to-paint histogram.
+func (sess *Session) InputToPaint() *obs.Histogram { return sess.itp }
+
+// Obs reports the registry the server publishes metrics into.
+func (s *Server) Obs() *obs.Registry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.obs
+}

@@ -90,6 +90,7 @@ func (s *Server) LoadSessions(r io.Reader) error {
 			User:    si.User,
 			Encoder: core.NewEncoder(si.W, si.H),
 		}
+		s.instrumentSession(sess)
 		copy(sess.Encoder.FB.Pix, si.Pixels)
 		if s.NewApp != nil {
 			sess.App = s.NewApp(si.User, si.W, si.H)
@@ -102,5 +103,6 @@ func (s *Server) LoadSessions(r io.Reader) error {
 		s.sessions[sess.ID] = sess
 		s.byUser[sess.User] = sess.ID
 	}
+	s.metrics.sessions.Set(int64(len(s.sessions)))
 	return nil
 }

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"slim/internal/core"
+	"slim/internal/obs"
 	"slim/internal/protocol"
 )
 
@@ -95,6 +96,10 @@ type Session struct {
 	Encoder *core.Encoder
 	App     Application
 	Console string // attached console ID, "" if detached
+
+	// itp is the session's live input-to-paint histogram (§3's canonical
+	// interactive-latency metric), labeled with the user name.
+	itp *obs.Histogram
 }
 
 // Server ties the managers together and speaks the SLIM protocol to
@@ -110,6 +115,13 @@ type Server struct {
 	byUser    map[string]uint32
 	consoles  map[string]*consoleState
 	nextID    uint32
+
+	// Live observability (see Instrument): the registry metrics publish
+	// into, the resolved server instruments, and the shared encoder metric
+	// family attached to every session encoder.
+	obs        *obs.Registry
+	metrics    *metrics
+	encMetrics *core.EncoderMetrics
 }
 
 type consoleState struct {
@@ -128,7 +140,7 @@ const StatusLagThreshold = 512
 
 // New returns a server sending through the given transport.
 func New(t Transport, newApp func(user string, w, h int) Application) *Server {
-	return &Server{
+	s := &Server{
 		Auth:      NewAuthManager(),
 		NewApp:    newApp,
 		transport: t,
@@ -136,6 +148,7 @@ func New(t Transport, newApp func(user string, w, h int) Application) *Server {
 		byUser:    make(map[string]uint32),
 		consoles:  make(map[string]*consoleState),
 	}
+	return s.Instrument(obs.Default)
 }
 
 // outbound is one queued server→console datagram. Sends are queued while
@@ -157,12 +170,29 @@ func (s *Server) HandleDatagram(console string, wire []byte, now time.Duration) 
 }
 
 // Handle processes one already-decoded console message.
+//
+// Input events are stamped here — the earliest the server can see them —
+// and the stamp rides the whole encode→wire→decode→damage-flush pipeline:
+// on a synchronous transport (the in-process fabric) the console has
+// painted by the time flush returns, so ending the span records true
+// input-to-paint; on UDP it records input-to-wire, with console-side
+// decode published separately by the console's own instruments.
 func (s *Server) Handle(console string, msg protocol.Message, now time.Duration) error {
 	s.mu.Lock()
+	var span obs.Span
+	switch msg.(type) {
+	case *protocol.KeyEvent, *protocol.PointerEvent:
+		s.metrics.inputEvents.Inc()
+		span = obs.StartSpan(s.metrics.inputToPaint)
+		if sess, err := s.sessionFor(console); err == nil {
+			span.Attach(sess.itp)
+		}
+	}
 	var out []outbound
 	herr := s.handleLocked(&out, console, msg, now)
 	s.mu.Unlock()
 	ferr := s.flush(out)
+	span.End()
 	if herr != nil {
 		return herr
 	}
@@ -267,6 +297,7 @@ func (s *Server) handleStatus(out *[]outbound, console string, st *protocol.Stat
 func (s *Server) attachByToken(out *[]outbound, console, token string) error {
 	user, err := s.Auth.Authenticate(token)
 	if err != nil {
+		s.metrics.authFailures.Inc()
 		return err
 	}
 	cs := s.consoles[console]
@@ -274,6 +305,7 @@ func (s *Server) attachByToken(out *[]outbound, console, token string) error {
 	var sess *Session
 	if ok {
 		sess = s.sessions[id]
+		s.metrics.reconnects.Inc()
 	} else {
 		s.nextID++
 		sess = &Session{
@@ -281,12 +313,15 @@ func (s *Server) attachByToken(out *[]outbound, console, token string) error {
 			User:    user,
 			Encoder: core.NewEncoder(cs.w, cs.h),
 		}
+		s.instrumentSession(sess)
 		if s.NewApp != nil {
 			sess.App = s.NewApp(user, cs.w, cs.h)
 		}
 		s.sessions[sess.ID] = sess
 		s.byUser[user] = sess.ID
+		s.metrics.sessions.Set(int64(len(s.sessions)))
 	}
+	s.metrics.attaches.Inc()
 	// Detach from wherever it was displayed before.
 	if sess.Console != "" && sess.Console != console {
 		if old, ok := s.consoles[sess.Console]; ok && old.session == sess.ID {

@@ -1,0 +1,45 @@
+package slim
+
+import (
+	"net/http"
+
+	"slim/internal/obs"
+)
+
+// Runtime observability facade. Every hot path in the package — session
+// encoders, both transports, console decode, the session manager — reports
+// live counters, gauges, and latency histograms into a process-wide
+// registry (see internal/obs). The headline instrument is
+// slim_input_to_paint_seconds: the paper's §3 interactive-latency metric,
+// recorded per input event from capture through encode, wire, decode, and
+// damage flush, globally and per session.
+
+// Metrics re-exports the obs registry and snapshot types.
+type (
+	// MetricsRegistry is a named collection of live metrics in one clock
+	// domain (wall or simulated).
+	MetricsRegistry = obs.Registry
+	// MetricsSnapshot is a point-in-time copy of a registry.
+	MetricsSnapshot = obs.Snapshot
+	// HistogramSnapshot is a copied histogram with p50/p95/p99 computed.
+	HistogramSnapshot = obs.HistogramSnapshot
+)
+
+// Metrics returns the process-wide wall-clock metrics registry that live
+// servers, consoles, and transports publish into.
+func Metrics() *MetricsRegistry { return obs.Default }
+
+// SimMetrics returns the process-wide simulated-clock registry that
+// netsim links publish into.
+func SimMetrics() *MetricsRegistry { return obs.Sim }
+
+// DebugHandler returns the debug endpoint served by slimd -debug:
+// /metrics (Prometheus text), /debug/vars (JSON snapshot), and
+// /debug/pprof/ — embed it in any HTTP server.
+func DebugHandler() http.Handler { return obs.DebugMux(obs.Default, obs.Sim) }
+
+// ServeDebug binds addr and serves DebugHandler in the background,
+// returning the server (Close to stop) once the listener is up.
+func ServeDebug(addr string) (*http.Server, error) {
+	return obs.ServeDebug(addr, obs.Default, obs.Sim)
+}

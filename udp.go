@@ -7,8 +7,37 @@ import (
 	"sync"
 	"time"
 
+	"slim/internal/obs"
 	"slim/internal/protocol"
 )
+
+// udpMetrics is the live instrument set for one side of the UDP transport
+// (the daemon and the console client share the shape; the console prefixes
+// its names). Resolved once at socket setup; the datagram loops pay only
+// atomics.
+type udpMetrics struct {
+	rxDatagrams *obs.Counter
+	rxBytes     *obs.Counter
+	txDatagrams *obs.Counter
+	txBytes     *obs.Counter
+	txErrors    *obs.Counter
+	// sendSeconds is socket write latency; handleSeconds is the full
+	// received-datagram processing time (decode + dispatch + replies).
+	sendSeconds   *obs.Histogram
+	handleSeconds *obs.Histogram
+}
+
+func newUDPMetrics(r *obs.Registry, prefix string) *udpMetrics {
+	return &udpMetrics{
+		rxDatagrams:   r.Counter(prefix + "_rx_datagrams_total"),
+		rxBytes:       r.Counter(prefix + "_rx_bytes_total"),
+		txDatagrams:   r.Counter(prefix + "_tx_datagrams_total"),
+		txBytes:       r.Counter(prefix + "_tx_bytes_total"),
+		txErrors:      r.Counter(prefix + "_tx_errors_total"),
+		sendSeconds:   r.Histogram(prefix + "_send_seconds"),
+		handleSeconds: r.Histogram(prefix + "_handle_seconds"),
+	}
+}
 
 // The Sun Ray 1 carried the SLIM protocol over UDP/IP on a dedicated
 // switched Ethernet (§2.2). This file is the real-socket transport: a
@@ -20,10 +49,12 @@ import (
 type UDPServer struct {
 	Server *Server
 
-	conn   *net.UDPConn
-	mu     sync.Mutex
-	addrs  map[string]*net.UDPAddr
-	closed chan struct{}
+	conn    *net.UDPConn
+	mu      sync.Mutex
+	addrs   map[string]*net.UDPAddr
+	closed  chan struct{}
+	done    chan struct{} // closed when the serve goroutine has exited
+	metrics *udpMetrics
 }
 
 // ListenAndServe binds a UDP address and starts a SLIM server on it. The
@@ -38,9 +69,11 @@ func ListenAndServe(addr string, newApp AppFactory) (*UDPServer, error) {
 		return nil, fmt.Errorf("slim: listen: %w", err)
 	}
 	s := &UDPServer{
-		conn:   conn,
-		addrs:  make(map[string]*net.UDPAddr),
-		closed: make(chan struct{}),
+		conn:    conn,
+		addrs:   make(map[string]*net.UDPAddr),
+		closed:  make(chan struct{}),
+		done:    make(chan struct{}),
+		metrics: newUDPMetrics(obs.Default, "slim_udp"),
 	}
 	s.Server = NewServer(s, newApp)
 	go s.serve()
@@ -50,15 +83,20 @@ func ListenAndServe(addr string, newApp AppFactory) (*UDPServer, error) {
 // Addr reports the bound UDP address.
 func (s *UDPServer) Addr() net.Addr { return s.conn.LocalAddr() }
 
-// Close stops the server.
+// Close stops the server and waits for the serve goroutine to exit, so no
+// goroutine outlives the UDPServer even when Close races a blocked socket
+// read (closing the socket unblocks ReadFromUDP with net.ErrClosed).
 func (s *UDPServer) Close() error {
 	select {
 	case <-s.closed:
+		<-s.done
 		return nil
 	default:
 	}
 	close(s.closed)
-	return s.conn.Close()
+	err := s.conn.Close()
+	<-s.done
+	return err
 }
 
 // Send implements Transport: route a datagram to a console by address.
@@ -69,11 +107,20 @@ func (s *UDPServer) Send(consoleID string, wire []byte) error {
 	if addr == nil {
 		return fmt.Errorf("slim: unknown console %q", consoleID)
 	}
+	t0 := time.Now()
 	_, err := s.conn.WriteToUDP(wire, addr)
-	return err
+	s.metrics.sendSeconds.Observe(time.Since(t0))
+	if err != nil {
+		s.metrics.txErrors.Inc()
+		return err
+	}
+	s.metrics.txDatagrams.Inc()
+	s.metrics.txBytes.Add(int64(len(wire)))
+	return nil
 }
 
 func (s *UDPServer) serve() {
+	defer close(s.done)
 	buf := make([]byte, 64*1024)
 	start := time.Now()
 	for {
@@ -89,13 +136,17 @@ func (s *UDPServer) serve() {
 			}
 			continue
 		}
+		s.metrics.rxDatagrams.Inc()
+		s.metrics.rxBytes.Add(int64(n))
 		id := addr.String()
 		s.mu.Lock()
 		s.addrs[id] = addr
 		s.mu.Unlock()
 		// Per-console errors (bad datagrams, unauthenticated input) must
 		// not kill the daemon; the protocol is loss tolerant by design.
+		t0 := time.Now()
 		_ = s.Server.HandleDatagram(id, buf[:n], time.Since(start))
+		s.metrics.handleSeconds.Observe(time.Since(t0))
 	}
 }
 
@@ -103,9 +154,11 @@ func (s *UDPServer) serve() {
 type UDPConsole struct {
 	Console *Console
 
-	conn   *net.UDPConn
-	closed chan struct{}
-	start  time.Time
+	conn    *net.UDPConn
+	closed  chan struct{}
+	done    chan struct{} // closed when the serve goroutine has exited
+	start   time.Time
+	metrics *udpMetrics
 }
 
 // DialConsole connects a console to a UDP server and sends its Hello
@@ -125,7 +178,14 @@ func DialConsole(serverAddr string, cfg ConsoleConfig, cardToken string) (*UDPCo
 		conn.Close()
 		return nil, err
 	}
-	c := &UDPConsole{Console: con, conn: conn, closed: make(chan struct{}), start: time.Now()}
+	c := &UDPConsole{
+		Console: con,
+		conn:    conn,
+		closed:  make(chan struct{}),
+		done:    make(chan struct{}),
+		start:   time.Now(),
+		metrics: newUDPMetrics(obs.Default, "slim_udp_console"),
+	}
 	hello := con.Hello()
 	hello.CardToken = cardToken
 	if err := c.send(hello); err != nil {
@@ -136,21 +196,32 @@ func DialConsole(serverAddr string, cfg ConsoleConfig, cardToken string) (*UDPCo
 	return c, nil
 }
 
-// Close detaches the console. Its soft state is discarded; the session
-// lives on at the server.
+// Close detaches the console and waits for its serve goroutine to exit.
+// The console's soft state is discarded; the session lives on at the
+// server.
 func (c *UDPConsole) Close() error {
 	select {
 	case <-c.closed:
+		<-c.done
 		return nil
 	default:
 	}
 	close(c.closed)
-	return c.conn.Close()
+	err := c.conn.Close()
+	<-c.done
+	return err
 }
 
 func (c *UDPConsole) send(msg Message) error {
-	_, err := c.conn.Write(protocol.Encode(nil, 0, msg))
-	return err
+	wire := protocol.Encode(nil, 0, msg)
+	_, err := c.conn.Write(wire)
+	if err != nil {
+		c.metrics.txErrors.Inc()
+		return err
+	}
+	c.metrics.txDatagrams.Inc()
+	c.metrics.txBytes.Add(int64(len(wire)))
+	return nil
 }
 
 // SendKey transmits a keystroke to the server.
@@ -182,6 +253,7 @@ func (c *UDPConsole) InsertCard(token string) error {
 }
 
 func (c *UDPConsole) serve() {
+	defer close(c.done)
 	buf := make([]byte, 64*1024)
 	for {
 		n, err := c.conn.Read(buf)
@@ -196,7 +268,11 @@ func (c *UDPConsole) serve() {
 			}
 			continue
 		}
+		c.metrics.rxDatagrams.Inc()
+		c.metrics.rxBytes.Add(int64(n))
+		t0 := time.Now()
 		replies, err := c.Console.HandleDatagram(buf[:n], time.Since(c.start))
+		c.metrics.handleSeconds.Observe(time.Since(t0))
 		if err != nil {
 			continue // malformed datagram: drop, per the loss-tolerant design
 		}
@@ -204,6 +280,8 @@ func (c *UDPConsole) serve() {
 			if _, err := c.conn.Write(r); err != nil {
 				return
 			}
+			c.metrics.txDatagrams.Inc()
+			c.metrics.txBytes.Add(int64(len(r)))
 		}
 	}
 }
