@@ -29,8 +29,10 @@ race:
 
 # Compile and smoke-run the benchmark suite (one iteration per benchmark):
 # catches build breaks and panics in bench-only code without the full run.
+# The flight-recorder benches ride along: they are the overhead guard for
+# the always-on tracing path.
 bench-guard:
-	$(GO) test -run xxx -bench . -benchtime 1x .
+	$(GO) test -run xxx -bench . -benchtime 1x . ./internal/obs/flight/
 
 # CI-style gate: static checks, race-detected tests, benchmark smoke run.
 ci: vet race bench-guard

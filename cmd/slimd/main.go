@@ -25,6 +25,7 @@ import (
 	"syscall"
 
 	"slim"
+	"slim/internal/obs/flight"
 )
 
 type cardFlags []string
@@ -76,9 +77,21 @@ func main() {
 	state := flag.String("state", "", "session state file: loaded at boot, saved at shutdown")
 	app := flag.String("app", "terminal", "session application: terminal|desktop|quake|mpeg2|ntsc")
 	fps := flag.Float64("fps", 24, "video frame rate for video applications")
+	flightThreshold := flag.Duration("flight-threshold", flight.DefaultThreshold,
+		"input-to-paint latency that triggers a flight-recorder breach (0 disables)")
+	flightDir := flag.String("flight-dir", "", "directory for flight-recorder breach dumps (empty: count breaches, write nothing)")
 	var cards cardFlags
 	flag.Var(&cards, "card", "register a smart card as token=user (repeatable)")
 	flag.Parse()
+
+	slim.SetFlightThreshold(*flightThreshold)
+	if *flightDir != "" {
+		if err := os.MkdirAll(*flightDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		slim.SetFlightDumpDir(*flightDir)
+		log.Printf("flight-recorder breach dumps (threshold %v) in %s", *flightThreshold, *flightDir)
+	}
 
 	if len(cards) == 0 {
 		cards = append(cards, "card-demo=demo")
@@ -98,7 +111,7 @@ func main() {
 			log.Fatal(err)
 		}
 		defer dbg.Close()
-		log.Printf("debug endpoint on http://%s (/metrics, /debug/vars, /debug/pprof)", *debugAddr)
+		log.Printf("debug endpoint on http://%s (/metrics, /debug/vars, /debug/trace, /debug/pprof)", *debugAddr)
 	}
 	if video {
 		srv.StartTicker(*fps * 2) // tick faster than the frame rate

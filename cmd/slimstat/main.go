@@ -11,10 +11,14 @@
 //
 // Output:
 //
-//	15:04:05  paint p50 0.8ms p95 3.1ms p99 9.7ms | 412 cmd/s | 38.1 KB/s | drop 0.00% | 2 sessions
+//	15:04:05  paint p50 0.8ms p95 3.1ms p99 9.7ms | 412 cmd/s | 38.1 KB/s | drop 0.00% | 2 sessions | breach 1 (3s ago)
 //
 // Each line covers exactly one polling interval (default 1 s), so the
-// percentiles are windowed, not since-boot.
+// percentiles are windowed, not since-boot. Once the flight recorder has
+// seen an input-to-paint breach, the line carries the cumulative breach
+// count and the age of the latest one — the cue to go look at
+// /debug/trace or the breach dumps. The interval arithmetic lives in
+// internal/monitor.
 package main
 
 import (
@@ -29,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	"slim/internal/monitor"
 	"slim/internal/obs"
 )
 
@@ -64,7 +69,8 @@ func main() {
 			log.Print(err)
 			continue
 		}
-		fmt.Println(summarize(prev, cur, *interval))
+		now := time.Now()
+		fmt.Println(monitor.Summarize(prev, cur, *interval, now).Format(now))
 		prev = cur
 		lines++
 		if *count > 0 && lines >= *count {
@@ -88,54 +94,4 @@ func scrape(client *http.Client, url string) (map[string]obs.Snapshot, error) {
 		return nil, fmt.Errorf("scrape %s: %w", url, err)
 	}
 	return snaps, nil
-}
-
-// summarize renders one interval's activity as a single line.
-func summarize(prev, cur map[string]obs.Snapshot, interval time.Duration) string {
-	p, c := prev["wall"], cur["wall"]
-	secs := interval.Seconds()
-
-	paint := c.Histograms["slim_input_to_paint_seconds"].
-		Delta(p.Histograms["slim_input_to_paint_seconds"])
-
-	cmds := c.CounterSum("slim_encoder_commands_total") - p.CounterSum("slim_encoder_commands_total")
-	bytes := c.CounterSum("slim_encoder_wire_bytes_total") - p.CounterSum("slim_encoder_wire_bytes_total")
-
-	// Loss across whichever transports are active: fabric drops, console
-	// decode drops, UDP send errors.
-	drops := delta(p, c, "slim_fabric_dropped_total") +
-		delta(p, c, "slim_console_dropped_total") +
-		delta(p, c, "slim_udp_tx_errors_total")
-	delivered := delta(p, c, "slim_fabric_delivered_total") +
-		delta(p, c, "slim_udp_tx_datagrams_total")
-	dropPct := 0.0
-	if drops+delivered > 0 {
-		dropPct = 100 * float64(drops) / float64(drops+delivered)
-	}
-
-	return fmt.Sprintf("%s  paint p50 %s p95 %s p99 %s | %.0f cmd/s | %.1f KB/s | drop %.2f%% | %d sessions",
-		time.Now().Format("15:04:05"),
-		ms(paint.P50), ms(paint.P95), ms(paint.P99),
-		float64(cmds)/secs, float64(bytes)/1024/secs,
-		dropPct, c.Gauges["slim_sessions"])
-}
-
-func delta(p, c obs.Snapshot, name string) int64 {
-	d := c.Counters[name] - p.Counters[name]
-	if d < 0 {
-		return 0
-	}
-	return d
-}
-
-// ms renders a seconds value compactly in milliseconds.
-func ms(seconds float64) string {
-	switch {
-	case seconds <= 0:
-		return "-"
-	case seconds < 0.01:
-		return fmt.Sprintf("%.2fms", seconds*1e3)
-	default:
-		return fmt.Sprintf("%.0fms", seconds*1e3)
-	}
 }

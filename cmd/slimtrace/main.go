@@ -7,6 +7,15 @@
 //	slimtrace stat -i netscape.trace
 //	slimtrace json -i netscape.trace            # dump as JSON
 //	slimtrace replay -i netscape.trace -kbps 1000   # Figure 6 on any trace
+//	slimtrace flight -i flight-sess1-1.json         # inspect a breach dump
+//	slimtrace flight -i dump.json -perfetto out.json -o breach.trace
+//
+// The flight subcommand reads a flight-recorder breach dump (written by a
+// server whose input-to-paint latency crossed the breach threshold, see
+// internal/obs/flight), walks its causal chains, and can convert it to
+// either a Perfetto trace (-perfetto) or a §3.1 offline trace (-o) so
+// dumps flow through the same stat/replay analysis path as generated
+// workloads.
 package main
 
 import (
@@ -17,6 +26,7 @@ import (
 	"time"
 
 	"slim/internal/netsim"
+	"slim/internal/obs/flight"
 	"slim/internal/stats"
 	"slim/internal/trace"
 	"slim/internal/workload"
@@ -37,8 +47,10 @@ func main() {
 		dumpJSON(os.Args[2:])
 	case "replay":
 		replay(os.Args[2:])
+	case "flight":
+		flightCmd(os.Args[2:])
 	default:
-		log.Fatalf("unknown subcommand %q (want gen, stat, json, or replay)", os.Args[1])
+		log.Fatalf("unknown subcommand %q (want gen, stat, json, replay, or flight)", os.Args[1])
 	}
 }
 
@@ -157,6 +169,110 @@ func replay(args []string) {
 			time.Duration(cdf.Percentile(p)*float64(time.Second)).Round(10*time.Microsecond))
 	}
 	fmt.Printf("  fraction above 100ms (noticeable): %.3f\n", 1-cdf.At(0.100))
+}
+
+// flightCmd inspects a flight-recorder breach dump: a per-kind event
+// census, the causal chain of the breaching window, and optional exports
+// to Perfetto (-perfetto) and the offline trace format (-o).
+func flightCmd(args []string) {
+	fs := flag.NewFlagSet("flight", flag.ExitOnError)
+	in := fs.String("i", "", "input breach dump (flight-sess*.json)")
+	perfetto := fs.String("perfetto", "", "write Chrome/Perfetto trace-event JSON here")
+	out := fs.String("o", "", "write a binary §3.1 trace here (for slimtrace stat/replay)")
+	mustParse(fs, args)
+	if *in == "" {
+		log.Fatal("flight: -i is required")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := flight.ReadDump(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("session %d (%s clock): input-to-paint %v breached threshold %v\n",
+		d.Session, d.Domain,
+		time.Duration(d.LatencyNs).Round(time.Microsecond),
+		time.Duration(d.ThresholdNs))
+	fmt.Printf("captured %s, %d events in the trailing %v\n",
+		d.CapturedAt.Format(time.RFC3339), len(d.Events),
+		time.Duration(d.WindowNs))
+
+	kinds := make(map[flight.Kind]int)
+	chains := make(map[uint64]int)
+	for _, ev := range d.Events {
+		kinds[ev.Kind]++
+		if ev.Cause != 0 {
+			chains[ev.Cause]++
+		}
+	}
+	fmt.Printf("event census (%d causal chains):\n", len(chains))
+	for k := flight.EvInput; k <= flight.EvBreach; k++ {
+		if kinds[k] > 0 {
+			fmt.Printf("  %-8s %6d\n", k, kinds[k])
+		}
+	}
+
+	// Walk the last complete chain — input through paint — seq by seq.
+	var last uint64
+	for _, ev := range d.Events {
+		if ev.Kind == flight.EvInput {
+			last = ev.Cause
+		}
+	}
+	if last != 0 {
+		fmt.Printf("last causal chain (id %d):\n", last)
+		var t0 time.Duration
+		for _, ev := range d.Events {
+			if ev.Cause != last {
+				continue
+			}
+			if t0 == 0 {
+				t0 = ev.T
+			}
+			fmt.Printf("  +%-12v %-8s", (ev.T - t0).Round(time.Microsecond), ev.Kind)
+			if ev.Seq != 0 {
+				fmt.Printf(" seq=%d", ev.Seq)
+			}
+			if ev.Cmd != 0 {
+				fmt.Printf(" %s", ev.Cmd)
+			}
+			fmt.Println()
+		}
+	}
+
+	if *perfetto != "" {
+		pf, err := os.Create(*perfetto)
+		if err != nil {
+			log.Fatal(err)
+		}
+		err = flight.WritePerfetto(pf, d.Session, d.Events)
+		if cerr := pf.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote Perfetto trace to %s (load at ui.perfetto.dev)\n", *perfetto)
+	}
+	if *out != "" {
+		tr := trace.FromFlightDump(d)
+		tf, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		err = tr.WriteBinary(tf)
+		if cerr := tf.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote offline trace to %s (%d records)\n", *out, len(tr.Records))
+	}
 }
 
 func mustParse(fs *flag.FlagSet, args []string) {

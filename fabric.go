@@ -1,6 +1,7 @@
 package slim
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sync"
 	"time"
@@ -122,7 +123,16 @@ func (f *Fabric) Send(consoleID string, wire []byte) error {
 		if f.sent%f.dropEvery == 0 {
 			f.dropped++
 			f.metrics.dropped.Inc()
+			srv := f.servers[consoleID]
 			f.mu.Unlock()
+			// Flight-record the loss outside f.mu: SessionOf takes the
+			// server lock, and console replies already order s.mu → f.mu.
+			if srv != nil {
+				if sess := srv.SessionOf(consoleID); sess != nil && sess.FlightLog().Armed() {
+					sess.FlightLog().Drop(binary.BigEndian.Uint32(wire[4:8]),
+						protocol.MsgType(wire[3]), int64(len(wire)))
+				}
+			}
 			return nil // the datagram vanished on the wire
 		}
 	}

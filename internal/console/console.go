@@ -15,6 +15,7 @@ import (
 	"slim/internal/core"
 	"slim/internal/fb"
 	"slim/internal/obs"
+	"slim/internal/obs/flight"
 	"slim/internal/protocol"
 	"slim/internal/stats"
 )
@@ -42,6 +43,11 @@ type Config struct {
 	// (obs.Default if nil). Modelled (virtual-time) observations always go
 	// to obs.Sim, never here.
 	Obs *obs.Registry
+	// Flight is the causal flight recorder the console records the RX,
+	// DECODE, PAINT, and DROP legs of each command's chain into
+	// (flight.Default if nil). In-process deployments share one recorder
+	// with the server, so both ends of the wire land in one ring.
+	Flight *flight.Recorder
 }
 
 // Console is one SLIM desktop unit.
@@ -65,6 +71,9 @@ type Console struct {
 	sessionID  uint32
 	audioSink  *audio.Sink
 	metrics    *consoleMetrics
+	// flog is the attached session's flight ring (nil while detached),
+	// re-resolved whenever the session changes.
+	flog *flight.SessionLog
 }
 
 // New returns a console with the given configuration.
@@ -80,6 +89,9 @@ func New(cfg Config) (*Console, error) {
 	}
 	if cfg.Obs == nil {
 		cfg.Obs = obs.Default
+	}
+	if cfg.Flight == nil {
+		cfg.Flight = flight.Default
 	}
 	c := &Console{
 		cfg:          cfg,
@@ -149,6 +161,9 @@ func (c *Console) Handle(seq uint32, msg protocol.Message, now time.Duration) ([
 
 	var replies [][]byte
 	if msg.Type().IsDisplay() {
+		if c.flog.Armed() {
+			c.flog.Rx(seq, msg.Type(), int64(protocol.WireSize(msg)))
+		}
 		for _, nack := range c.gaps.Observe(seq) {
 			n := nack
 			c.metrics.nacks.Inc()
@@ -159,12 +174,19 @@ func (c *Console) Handle(seq uint32, msg protocol.Message, now time.Duration) ([
 		if !ok {
 			c.dropped++
 			c.metrics.dropped.Inc()
+			if c.flog.Armed() {
+				c.flog.Drop(seq, msg.Type(), int64(protocol.WireSize(msg)))
+			}
 			return replies, nil
 		}
 		c.applied++
 		c.metrics.applied.Inc()
 		c.metrics.decodeSeconds.Observe(time.Since(start))
 		c.serviceTimes.Add(svc.Seconds())
+		if c.flog.Armed() {
+			c.flog.Decode(seq, msg.Type(), svc.Nanoseconds())
+			c.flog.Paint(seq, msg.Type())
+		}
 		return replies, nil
 	}
 
@@ -208,6 +230,11 @@ func (c *Console) setSession(id uint32) {
 		c.gaps = protocol.NewGapTracker(c.cfg.ReorderWindow)
 	}
 	c.sessionID = id
+	if id == 0 {
+		c.flog = nil
+	} else {
+		c.flog = c.cfg.Flight.Session(id)
+	}
 }
 
 // applyDisplay renders one display command, returning its modelled service

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"slim/internal/fb"
+	"slim/internal/obs/flight"
 	"slim/internal/protocol"
 )
 
@@ -46,6 +47,11 @@ type Encoder struct {
 	// the experiment harness leaves it nil so simulation replays pay
 	// nothing for instrumentation.
 	Metrics *EncoderMetrics
+	// Flight, when non-nil, records every emitted command into the
+	// session's flight-recorder ring (seq, type, bytes, pixels), the
+	// ENCODE stage of the causal input-to-paint chain. Nil or disabled
+	// costs one branch per command.
+	Flight *flight.SessionLog
 
 	seq    protocol.Sequencer
 	replay *ReplayBuffer
@@ -71,6 +77,9 @@ func (e *Encoder) emit(msg protocol.Message) Datagram {
 	}
 	e.Stats.Record(msg)
 	e.Metrics.Record(msg)
+	if e.Flight.Armed() {
+		e.Flight.Encode(seq, msg.Type(), int64(protocol.WireSize(msg)), int64(PixelsOf(msg)))
+	}
 	return d
 }
 

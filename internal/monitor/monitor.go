@@ -1,0 +1,129 @@
+// Package monitor derives windowed interactive-performance summaries from
+// pairs of /debug/vars snapshots — the arithmetic behind cmd/slimstat,
+// extracted so the interval math (counter deltas, windowed histogram
+// percentiles, drop ratios, breach ages) is unit-testable without an HTTP
+// scrape loop. Each summary covers exactly one polling interval, so the
+// percentiles are windowed, not since-boot — the same framing as the
+// paper's per-benchmark latency tables (§5).
+package monitor
+
+import (
+	"fmt"
+	"time"
+
+	"slim/internal/obs"
+)
+
+// Line is one interval's derived statistics.
+type Line struct {
+	// Paint is the windowed input-to-paint distribution: the interval's
+	// delta of the paper's §3 headline histogram.
+	Paint obs.HistogramSnapshot
+	// Commands and WireBytes are the display commands and wire bytes the
+	// encoders emitted this interval.
+	Commands, WireBytes int64
+	// Drops and Delivered count lost and delivered datagrams this interval,
+	// summed across whichever transports are active.
+	Drops, Delivered int64
+	// Sessions is the live session count at the end of the interval.
+	Sessions int64
+	// Breaches is the number of flight-recorder latency breaches ever
+	// (cumulative — a breach is news however long ago the window started).
+	Breaches int64
+	// LastBreachAge is how long ago the most recent breach fired, derived
+	// from the slim_flight_last_breach_unix_ms gauge; negative when no
+	// breach has ever fired.
+	LastBreachAge time.Duration
+	// Interval is the window the deltas cover.
+	Interval time.Duration
+}
+
+// Summarize derives one interval's Line from consecutive domain-keyed
+// snapshots (as served at /debug/vars). now anchors breach-age arithmetic.
+func Summarize(prev, cur map[string]obs.Snapshot, interval time.Duration, now time.Time) Line {
+	p, c := prev["wall"], cur["wall"]
+	l := Line{
+		Paint: c.Histograms["slim_input_to_paint_seconds"].
+			Delta(p.Histograms["slim_input_to_paint_seconds"]),
+		Commands: c.CounterSum("slim_encoder_commands_total") -
+			p.CounterSum("slim_encoder_commands_total"),
+		WireBytes: c.CounterSum("slim_encoder_wire_bytes_total") -
+			p.CounterSum("slim_encoder_wire_bytes_total"),
+		// Loss across whichever transports are active: fabric drops,
+		// console decode drops, UDP send errors.
+		Drops: Delta(p, c, "slim_fabric_dropped_total") +
+			Delta(p, c, "slim_console_dropped_total") +
+			Delta(p, c, "slim_udp_tx_errors_total"),
+		Delivered: Delta(p, c, "slim_fabric_delivered_total") +
+			Delta(p, c, "slim_udp_tx_datagrams_total"),
+		Sessions:      c.Gauges["slim_sessions"],
+		Breaches:      c.Counters["slim_flight_breaches_total"],
+		LastBreachAge: -1,
+		Interval:      interval,
+	}
+	if ms := c.Gauges["slim_flight_last_breach_unix_ms"]; ms > 0 {
+		age := now.Sub(time.UnixMilli(ms))
+		if age < 0 {
+			age = 0
+		}
+		l.LastBreachAge = age
+	}
+	return l
+}
+
+// DropPct is the interval's loss percentage (0 when nothing moved).
+func (l Line) DropPct() float64 {
+	if l.Drops+l.Delivered <= 0 {
+		return 0
+	}
+	return 100 * float64(l.Drops) / float64(l.Drops+l.Delivered)
+}
+
+// Rate converts an interval count to a per-second rate.
+func (l Line) Rate(n int64) float64 {
+	if l.Interval <= 0 {
+		return 0
+	}
+	return float64(n) / l.Interval.Seconds()
+}
+
+// Format renders the Line in slimstat's one-line format, stamped with now:
+//
+//	15:04:05  paint p50 0.8ms p95 3.1ms p99 9.7ms | 412 cmd/s | 38.1 KB/s | drop 0.00% | 2 sessions | breach 1 (3s ago)
+func (l Line) Format(now time.Time) string {
+	s := fmt.Sprintf("%s  paint p50 %s p95 %s p99 %s | %.0f cmd/s | %.1f KB/s | drop %.2f%% | %d sessions",
+		now.Format("15:04:05"),
+		FormatMs(l.Paint.P50), FormatMs(l.Paint.P95), FormatMs(l.Paint.P99),
+		l.Rate(l.Commands), l.Rate(l.WireBytes)/1024,
+		l.DropPct(), l.Sessions)
+	if l.Breaches > 0 {
+		s += fmt.Sprintf(" | breach %d", l.Breaches)
+		if l.LastBreachAge >= 0 {
+			s += fmt.Sprintf(" (%s ago)", l.LastBreachAge.Round(time.Second))
+		}
+	}
+	return s
+}
+
+// Delta is the non-negative growth of a counter between snapshots (a
+// restarted daemon resets counters; clamping avoids a garbage first line).
+func Delta(p, c obs.Snapshot, name string) int64 {
+	d := c.Counters[name] - p.Counters[name]
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// FormatMs renders a seconds value compactly in milliseconds ("-" for
+// empty-window percentiles).
+func FormatMs(seconds float64) string {
+	switch {
+	case seconds <= 0:
+		return "-"
+	case seconds < 0.01:
+		return fmt.Sprintf("%.2fms", seconds*1e3)
+	default:
+		return fmt.Sprintf("%.0fms", seconds*1e3)
+	}
+}

@@ -1,0 +1,122 @@
+package monitor
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"slim/internal/obs"
+)
+
+// snapshots builds a prev/cur pair from two registries filled by the test.
+func snapPair(fill func(prev, cur *obs.Registry)) (p, c map[string]obs.Snapshot) {
+	prev := obs.NewRegistry(obs.DomainWall)
+	cur := obs.NewRegistry(obs.DomainWall)
+	fill(prev, cur)
+	return map[string]obs.Snapshot{"wall": prev.Snapshot()},
+		map[string]obs.Snapshot{"wall": cur.Snapshot()}
+}
+
+func TestSummarizeWindowsTheInterval(t *testing.T) {
+	now := time.UnixMilli(1_700_000_010_000)
+	p, c := snapPair(func(prev, cur *obs.Registry) {
+		// 100 commands and 10 KiB before the window, twice that after:
+		// the line must report only the growth.
+		prev.Counter(`slim_encoder_commands_total{type="fill"}`).Add(100)
+		prev.Counter("slim_encoder_wire_bytes_total").Add(10 * 1024)
+		cur.Counter(`slim_encoder_commands_total{type="fill"}`).Add(150)
+		cur.Counter(`slim_encoder_commands_total{type="copy"}`).Add(50)
+		cur.Counter("slim_encoder_wire_bytes_total").Add(30 * 1024)
+
+		// Paint latency: only the window's observations shape percentiles.
+		ph := prev.Histogram("slim_input_to_paint_seconds")
+		ch := cur.Histogram("slim_input_to_paint_seconds")
+		ph.Observe(time.Second) // ancient outlier, outside the window
+		ch.Observe(time.Second)
+		for i := 0; i < 100; i++ {
+			ch.Observe(2 * time.Millisecond)
+		}
+
+		cur.Counter("slim_fabric_dropped_total").Add(5)
+		cur.Counter("slim_fabric_delivered_total").Add(95)
+		cur.Gauge("slim_sessions").Set(3)
+		cur.Counter("slim_flight_breaches_total").Add(2)
+		cur.Gauge("slim_flight_last_breach_unix_ms").Set(now.Add(-3 * time.Second).UnixMilli())
+	})
+
+	l := Summarize(p, c, 2*time.Second, now)
+	if l.Commands != 100 {
+		t.Errorf("Commands = %d, want 100 (summed across labels, windowed)", l.Commands)
+	}
+	if got := l.Rate(l.Commands); got != 50 {
+		t.Errorf("command rate = %v/s, want 50", got)
+	}
+	if l.WireBytes != 20*1024 {
+		t.Errorf("WireBytes = %d, want %d", l.WireBytes, 20*1024)
+	}
+	if l.Paint.Count != 100 {
+		t.Errorf("windowed paint count = %d, want 100 (the outlier predates the window)", l.Paint.Count)
+	}
+	if l.Paint.P95 >= 0.5 {
+		t.Errorf("windowed p95 = %v, polluted by the pre-window outlier", l.Paint.P95)
+	}
+	if got := l.DropPct(); got != 5 {
+		t.Errorf("DropPct = %v, want 5", got)
+	}
+	if l.Sessions != 3 || l.Breaches != 2 {
+		t.Errorf("sessions/breaches = %d/%d, want 3/2", l.Sessions, l.Breaches)
+	}
+	if l.LastBreachAge != 3*time.Second {
+		t.Errorf("LastBreachAge = %v, want 3s", l.LastBreachAge)
+	}
+
+	line := l.Format(now)
+	if !strings.Contains(line, "breach 2 (3s ago)") {
+		t.Errorf("formatted line missing breach info: %q", line)
+	}
+	if !strings.Contains(line, "3 sessions") || !strings.Contains(line, "drop 5.00%") {
+		t.Errorf("formatted line = %q", line)
+	}
+}
+
+func TestSummarizeQuietSystem(t *testing.T) {
+	p, c := snapPair(func(prev, cur *obs.Registry) {})
+	l := Summarize(p, c, time.Second, time.UnixMilli(0))
+	if l.DropPct() != 0 {
+		t.Errorf("DropPct on idle = %v", l.DropPct())
+	}
+	if l.LastBreachAge >= 0 {
+		t.Errorf("LastBreachAge with no breach = %v, want negative", l.LastBreachAge)
+	}
+	line := l.Format(time.UnixMilli(0))
+	if strings.Contains(line, "breach") {
+		t.Errorf("idle line mentions breaches: %q", line)
+	}
+	if !strings.Contains(line, "paint p50 - p95 - p99 -") {
+		t.Errorf("idle percentiles = %q, want dashes", line)
+	}
+}
+
+func TestDeltaClampsCounterResets(t *testing.T) {
+	p, c := snapPair(func(prev, cur *obs.Registry) {
+		prev.Counter("x_total").Add(100)
+		cur.Counter("x_total").Add(10) // daemon restarted mid-watch
+	})
+	if got := Delta(p["wall"], c["wall"], "x_total"); got != 0 {
+		t.Errorf("Delta across a reset = %d, want 0", got)
+	}
+}
+
+func TestFormatMs(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "-"}, {-1, "-"}, {0.0008, "0.80ms"}, {0.25, "250ms"},
+	}
+	for _, tc := range cases {
+		if got := FormatMs(tc.in); got != tc.want {
+			t.Errorf("FormatMs(%v) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}

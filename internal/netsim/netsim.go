@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"slim/internal/obs"
+	"slim/internal/obs/flight"
 )
 
 // Common fabric speeds used throughout the paper, in bits per second.
@@ -108,6 +109,28 @@ type Link struct {
 	// simulated time (see NewLinkMetrics). Experiments that only
 	// post-process the returned Deliveries leave it nil and pay nothing.
 	Metrics *LinkMetrics
+	// Flight, when non-nil, records each delivery into a flight ring at its
+	// virtual departure time (EvLinkTx; tail drops record EvDrop at the
+	// offered time). The ring must belong to a sim-domain flight.Recorder —
+	// RecordAt enforces it — so simulated links and live transports can
+	// never interleave clock domains in one ring.
+	Flight *flight.SessionLog
+}
+
+// flightRecord mirrors one delivery into the link's flight ring.
+func (l *Link) flightRecord(d Delivery) {
+	if !l.Flight.Armed() {
+		return
+	}
+	if d.Dropped {
+		l.Flight.RecordAt(d.T, flight.Event{
+			Kind: flight.EvDrop, A: int64(d.Size), B: int64(d.Flow),
+		})
+		return
+	}
+	l.Flight.RecordAt(d.Depart, flight.Event{
+		Kind: flight.EvLinkTx, A: int64(d.Size), B: int64(d.Flow),
+	})
 }
 
 // SerializeTime reports how long the link takes to clock out one packet.
@@ -145,6 +168,7 @@ func (l *Link) Run(pkts []Packet) []Delivery {
 		if l.BufBytes > 0 && queuedBytes+p.Size > l.BufBytes {
 			d := Delivery{Packet: p, Dropped: true}
 			l.Metrics.record(d)
+			l.flightRecord(d)
 			out = append(out, d)
 			continue
 		}
@@ -158,6 +182,7 @@ func (l *Link) Run(pkts []Packet) []Delivery {
 		queuedBytes += p.Size
 		d := Delivery{Packet: p, Depart: depart, Queued: depart - p.T}
 		l.Metrics.record(d)
+		l.flightRecord(d)
 		out = append(out, d)
 	}
 	sort.SliceStable(out, func(i, j int) bool {

@@ -1,0 +1,117 @@
+package flight
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"slim/internal/obs"
+)
+
+// Dump is one breach snapshot: the events a session recorded in the
+// window leading up to an input-to-paint latency breach, plus enough
+// context to analyze the file on its own. Dumps serialize as JSON; read
+// them back with ReadDump, convert them to §3.1 offline traces with
+// trace.FromFlight, or export them to Perfetto with slimtrace flight.
+type Dump struct {
+	// Session is the breaching session's ID.
+	Session uint32 `json:"session"`
+	// Domain is the recorder's clock domain (event timestamps follow it).
+	Domain obs.Domain `json:"domain"`
+	// LatencyNs is the input-to-paint latency that tripped the dump.
+	LatencyNs int64 `json:"latency_ns"`
+	// ThresholdNs is the breach threshold at the time.
+	ThresholdNs int64 `json:"threshold_ns"`
+	// WindowNs is how far back Events reaches.
+	WindowNs int64 `json:"window_ns"`
+	// CapturedAt is the wall-clock capture time.
+	CapturedAt time.Time `json:"captured_at"`
+	// Events is the causal event log, oldest first.
+	Events []Event `json:"events"`
+}
+
+// Write serializes the dump as indented JSON.
+func (d *Dump) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// ReadDump deserializes one breach dump.
+func ReadDump(r io.Reader) (*Dump, error) {
+	var d Dump
+	if err := json.NewDecoder(r).Decode(&d); err != nil {
+		return nil, fmt.Errorf("flight: decode dump: %w", err)
+	}
+	return &d, nil
+}
+
+// CheckBreach is the server's post-paint hook: called with each input
+// event's observed input-to-paint latency, it detects threshold crossings
+// and snapshots the session's recent events to disk. Below-threshold
+// latencies return immediately (one atomic load); breaches are counted,
+// marked in the ring (EvBreach), published through the breach
+// instruments, and — when a dump directory is configured and the
+// session's rate limit allows — written as a dump file whose path is
+// returned.
+func (r *Recorder) CheckBreach(id uint32, latency time.Duration) (path string, breached bool) {
+	threshold := time.Duration(r.thresholdNs.Load())
+	if threshold <= 0 || latency < threshold || !r.enabled.Load() {
+		return "", false
+	}
+	r.mu.RLock()
+	l := r.sessions[id]
+	dir := r.dumpDir
+	r.mu.RUnlock()
+	if l == nil {
+		return "", false
+	}
+	n := r.breachN.Add(1)
+	r.breaches.Inc()
+	if r.domain == obs.DomainWall {
+		r.lastBreach.Set(time.Now().UnixMilli())
+		l.record(Event{Kind: EvBreach, A: int64(latency), B: int64(threshold)})
+	}
+	if dir == "" {
+		return "", true
+	}
+	// Per-session dump rate limit: the first breach of a storm is the
+	// interesting one; the rest would dump near-identical rings.
+	now := time.Since(r.epoch).Nanoseconds()
+	last := l.lastDumpNs.Load()
+	gap := r.dumpGapNs.Load()
+	if last != 0 && now-last < gap {
+		return "", true
+	}
+	if !l.lastDumpNs.CompareAndSwap(last, now) {
+		return "", true // another breach is already dumping
+	}
+	window := time.Duration(r.windowNs.Load())
+	d := &Dump{
+		Session:     id,
+		Domain:      r.domain,
+		LatencyNs:   int64(latency),
+		ThresholdNs: int64(threshold),
+		WindowNs:    int64(window),
+		CapturedAt:  time.Now(),
+		Events:      l.Events(window),
+	}
+	path = filepath.Join(dir, fmt.Sprintf("flight-sess%d-%d.json", id, n))
+	f, err := os.Create(path)
+	if err != nil {
+		r.dumpErrors.Inc()
+		return "", true
+	}
+	err = d.Write(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		r.dumpErrors.Inc()
+		return "", true
+	}
+	return path, true
+}

@@ -1,0 +1,500 @@
+// Package flight is the causal flight recorder: an always-on, per-session
+// ring buffer of typed protocol events covering the whole display path —
+// input received, drawing op submitted, command encoded, transmitted,
+// received, decoded, painted — linked into causal chains by the protocol
+// sequence numbers that already flow end to end.
+//
+// The paper's methodology (§3.1, §5) is event-level: every input event and
+// display command is timestamped so interactive latency can be decomposed
+// after the fact. The aggregate histograms of internal/obs say *that* a
+// paint blew past the 150 ms annoyance threshold; the flight recorder says
+// *why*, by keeping the last few thousand events of every session in a
+// lock-free ring that costs a handful of atomic stores per event when
+// enabled and a single atomic load when disabled.
+//
+// Two read paths exist:
+//
+//   - /debug/trace?session=N&last=5s on the slimd debug endpoint renders a
+//     session's recent events as Chrome/Perfetto trace-event JSON.
+//   - When a session's input-to-paint latency crosses the configured
+//     threshold (default the paper's 150 ms), the recorder snapshots that
+//     session's recent events to a dump file on disk, so slow interactions
+//     remain diagnosable after the fact.
+//
+// Clock domains follow internal/obs: a wall-domain recorder stamps events
+// itself from a monotonic epoch; a sim-domain recorder refuses self-stamped
+// records and only accepts explicit virtual timestamps (RecordAt), so
+// simulated and wall time never share a ring.
+package flight
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"slim/internal/obs"
+	"slim/internal/protocol"
+)
+
+// Kind classifies a flight-recorder event.
+type Kind uint8
+
+// Event kinds, in rough pipeline order.
+const (
+	// EvInput: an input event (keystroke, pointer update) reached the
+	// server. Opens a new causal chain: the event's Cause is the fresh
+	// input-chain ID inherited by everything recorded for this session
+	// until the next input.
+	EvInput Kind = iota + 1
+	// EvOp: the application submitted one drawing op to the encoder.
+	// A holds a server-defined op code.
+	EvOp
+	// EvEncode: the encoder lowered an op into one display command and
+	// assigned it a sequence number. A = wire bytes, B = pixels touched.
+	EvEncode
+	// EvTx: the server handed the command to the transport. A = wire bytes.
+	EvTx
+	// EvRx: the console transport received the command, before decode.
+	// A = wire bytes.
+	EvRx
+	// EvDecode: the console started decoding the command. A = modelled
+	// service nanoseconds (0 without a cost model).
+	EvDecode
+	// EvPaint: the console applied the command to its frame buffer — the
+	// pixels are on glass (or were shed: a dropped command records EvDrop
+	// instead).
+	EvPaint
+	// EvStatus: a console heartbeat arrived. A = console's last applied
+	// sequence, B = cumulative decode drops.
+	EvStatus
+	// EvNack: a console loss report arrived. A = first lost seq, B = last.
+	EvNack
+	// EvDrop: a command was lost — dropped on the wire, shed by the decode
+	// queue, or rejected by a failing transport. A = wire bytes.
+	EvDrop
+	// EvLinkTx: a simulated link finished serializing a packet (virtual
+	// time). A = payload bytes, B = flow ID.
+	EvLinkTx
+	// EvBreach: the session's input-to-paint latency crossed the breach
+	// threshold. A = observed latency in nanoseconds, B = threshold.
+	EvBreach
+)
+
+var kindNames = [...]string{
+	EvInput:  "INPUT",
+	EvOp:     "OP",
+	EvEncode: "ENCODE",
+	EvTx:     "TX",
+	EvRx:     "RX",
+	EvDecode: "DECODE",
+	EvPaint:  "PAINT",
+	EvStatus: "STATUS",
+	EvNack:   "NACK",
+	EvDrop:   "DROP",
+	EvLinkTx: "LINK_TX",
+	EvBreach: "BREACH",
+}
+
+// String names the event kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Event is one recorded protocol event.
+type Event struct {
+	// T is the event timestamp: monotonic wall time since the recorder's
+	// epoch for wall-domain recorders, virtual time for sim-domain ones.
+	T time.Duration `json:"t"`
+	// Kind classifies the event.
+	Kind Kind `json:"kind"`
+	// Cmd is the protocol message type, for protocol-level events.
+	Cmd protocol.MsgType `json:"cmd,omitempty"`
+	// Seq is the display-protocol sequence number. It links ENCODE → TX →
+	// RX → DECODE → PAINT for one command across machines, which is what
+	// makes the chains causal rather than merely temporal.
+	Seq uint32 `json:"seq,omitempty"`
+	// Cause is the input-chain ID: every event recorded for a session
+	// between input N and input N+1 carries N's ID, so a dump links each
+	// paint back to the keystroke that provoked it.
+	Cause uint64 `json:"cause,omitempty"`
+	// A and B are kind-specific payloads; see the Kind constants.
+	A int64 `json:"a,omitempty"`
+	B int64 `json:"b,omitempty"`
+}
+
+// DefaultRingSize is the per-session ring capacity in events. At a typing
+// burst of ~100 display commands per second this holds well over the
+// default 5 s dump window; bursty video sessions wrap sooner but the most
+// recent events — the ones a breach dump wants — always survive.
+const DefaultRingSize = 4096
+
+// DefaultThreshold is the breach threshold: the paper's §3 annoyance
+// bound of 150 ms.
+const DefaultThreshold = 150 * time.Millisecond
+
+// DefaultWindow is how far back a breach dump reaches.
+const DefaultWindow = 5 * time.Second
+
+// DefaultDumpGap rate-limits dumps per session: a pathological session
+// breaching on every keystroke produces one dump per gap, not thousands.
+const DefaultDumpGap = 5 * time.Second
+
+// slot is one ring entry. All fields are atomics so concurrent writers
+// (server goroutine, console loop) and snapshot readers never race: the
+// version field is a seqlock — odd while a write is in flight, bumped to
+// even when the slot is stable — and the payload is packed into five
+// words. Claiming distinct indices via the ring cursor means two writers
+// only ever collide on a slot when they race a full ring apart; the
+// version check makes the reader skip such torn slots.
+type slot struct {
+	version atomic.Uint64
+	t       atomic.Int64
+	kcs     atomic.Uint64 // kind<<40 | cmd<<32 | seq
+	cause   atomic.Uint64
+	a, b    atomic.Int64
+}
+
+func (s *slot) store(ev Event) {
+	v := s.version.Load()
+	s.version.Store(v | 1) // odd: write in progress
+	s.t.Store(int64(ev.T))
+	s.kcs.Store(uint64(ev.Kind)<<40 | uint64(ev.Cmd)<<32 | uint64(ev.Seq))
+	s.cause.Store(ev.Cause)
+	s.a.Store(ev.A)
+	s.b.Store(ev.B)
+	s.version.Store((v | 1) + 1) // even: stable
+}
+
+// load copies the slot if it is stable, reporting ok=false for slots that
+// are empty, mid-write, or were overwritten during the read.
+func (s *slot) load() (Event, bool) {
+	v1 := s.version.Load()
+	if v1 == 0 || v1&1 == 1 {
+		return Event{}, false
+	}
+	ev := Event{
+		T:     time.Duration(s.t.Load()),
+		Cause: s.cause.Load(),
+		A:     s.a.Load(),
+		B:     s.b.Load(),
+	}
+	kcs := s.kcs.Load()
+	ev.Kind = Kind(kcs >> 40)
+	ev.Cmd = protocol.MsgType(kcs >> 32)
+	ev.Seq = uint32(kcs)
+	if s.version.Load() != v1 {
+		return Event{}, false
+	}
+	return ev, true
+}
+
+// SessionLog is one session's event ring. The zero value is not usable;
+// obtain logs from Recorder.Session. A nil *SessionLog is inert: every
+// recording method no-ops, so call sites instrument unconditionally.
+type SessionLog struct {
+	id    uint32
+	rec   *Recorder
+	mask  uint64
+	slots []slot
+
+	cursor atomic.Uint64
+	// cause is the session's current input-chain ID (see Event.Cause).
+	cause atomic.Uint64
+	// lastDumpNs rate-limits breach dumps (wall nanoseconds since epoch).
+	lastDumpNs atomic.Int64
+}
+
+// Armed reports whether recording is live — the guard call sites use
+// before computing anything record-only (wire sizes, pixel counts).
+func (l *SessionLog) Armed() bool {
+	return l != nil && l.rec.enabled.Load()
+}
+
+// push claims the next ring index and writes the event.
+func (l *SessionLog) push(ev Event) {
+	i := l.cursor.Add(1) - 1
+	l.slots[i&l.mask].store(ev)
+}
+
+// record stamps and records one event on a wall-domain recorder. The
+// disabled path is a nil check plus one atomic load.
+func (l *SessionLog) record(ev Event) {
+	if !l.Armed() {
+		return
+	}
+	if l.rec.domain != obs.DomainWall {
+		panic("flight: self-stamped record on a sim-domain recorder; use RecordAt")
+	}
+	ev.T = time.Since(l.rec.epoch)
+	if ev.Cause == 0 {
+		ev.Cause = l.cause.Load()
+	}
+	l.push(ev)
+}
+
+// RecordAt records one event with an explicit virtual timestamp. Only
+// sim-domain recorders accept it — the mirror image of record — so a wall
+// ring can never silently receive virtual time.
+func (l *SessionLog) RecordAt(t time.Duration, ev Event) {
+	if !l.Armed() {
+		return
+	}
+	if l.rec.domain != obs.DomainSim {
+		panic("flight: RecordAt on a wall-domain recorder; virtual timestamps need a sim-domain recorder")
+	}
+	ev.T = t
+	l.push(ev)
+}
+
+// Input records an input event reaching the server and opens a new causal
+// chain, returning the fresh input-chain ID. cmd is TypeKey or
+// TypePointer; arg carries the key code or packed pointer position.
+func (l *SessionLog) Input(cmd protocol.MsgType, arg int64) uint64 {
+	if !l.Armed() {
+		return 0
+	}
+	id := l.rec.inputID.Add(1)
+	l.cause.Store(id)
+	l.record(Event{Kind: EvInput, Cmd: cmd, Cause: id, A: arg})
+	return id
+}
+
+// Op records one drawing op submitted to the encoder (code is
+// caller-defined).
+func (l *SessionLog) Op(code int64) {
+	l.record(Event{Kind: EvOp, A: code})
+}
+
+// Encode records one display command leaving the encoder.
+func (l *SessionLog) Encode(seq uint32, cmd protocol.MsgType, bytes, pixels int64) {
+	l.record(Event{Kind: EvEncode, Cmd: cmd, Seq: seq, A: bytes, B: pixels})
+}
+
+// Tx records one command handed to the transport.
+func (l *SessionLog) Tx(seq uint32, cmd protocol.MsgType, bytes int64) {
+	l.record(Event{Kind: EvTx, Cmd: cmd, Seq: seq, A: bytes})
+}
+
+// Rx records one command received by the console transport.
+func (l *SessionLog) Rx(seq uint32, cmd protocol.MsgType, bytes int64) {
+	l.record(Event{Kind: EvRx, Cmd: cmd, Seq: seq, A: bytes})
+}
+
+// Decode records the console decoding one command (serviceNs is the
+// modelled decode time, 0 without a cost model).
+func (l *SessionLog) Decode(seq uint32, cmd protocol.MsgType, serviceNs int64) {
+	l.record(Event{Kind: EvDecode, Cmd: cmd, Seq: seq, A: serviceNs})
+}
+
+// Paint records the console applying one command to its frame buffer.
+func (l *SessionLog) Paint(seq uint32, cmd protocol.MsgType) {
+	l.record(Event{Kind: EvPaint, Cmd: cmd, Seq: seq})
+}
+
+// Status records a console heartbeat.
+func (l *SessionLog) Status(lastSeq, dropped uint32) {
+	l.record(Event{Kind: EvStatus, Cmd: protocol.TypeStatus, A: int64(lastSeq), B: int64(dropped)})
+}
+
+// Nack records a console loss report for sequence range [from, to].
+func (l *SessionLog) Nack(from, to uint32) {
+	l.record(Event{Kind: EvNack, Cmd: protocol.TypeNack, A: int64(from), B: int64(to)})
+}
+
+// Drop records one command lost in transit or shed by the console.
+func (l *SessionLog) Drop(seq uint32, cmd protocol.MsgType, bytes int64) {
+	l.record(Event{Kind: EvDrop, Cmd: cmd, Seq: seq, A: bytes})
+}
+
+// Events returns the ring's surviving events in time order. A non-zero
+// last keeps only events within that window of the newest event.
+func (l *SessionLog) Events(last time.Duration) []Event {
+	if l == nil {
+		return nil
+	}
+	end := l.cursor.Load()
+	n := end
+	if n > uint64(len(l.slots)) {
+		n = uint64(len(l.slots))
+	}
+	evs := make([]Event, 0, n)
+	for i := end - n; i < end; i++ {
+		if ev, ok := l.slots[i&l.mask].load(); ok && ev.Kind != 0 {
+			evs = append(evs, ev)
+		}
+	}
+	// Writers racing the snapshot can leave the tail slightly out of
+	// order; sort restores the timeline.
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].T < evs[j].T })
+	if last > 0 && len(evs) > 0 {
+		cut := evs[len(evs)-1].T - last
+		i := sort.Search(len(evs), func(i int) bool { return evs[i].T >= cut })
+		evs = evs[i:]
+	}
+	return evs
+}
+
+// Recorder owns the per-session rings of one clock domain plus the breach
+// policy. The zero value is not usable; call New.
+type Recorder struct {
+	domain   obs.Domain
+	epoch    time.Time
+	ringSize int
+
+	enabled     atomic.Bool
+	thresholdNs atomic.Int64
+	windowNs    atomic.Int64
+	dumpGapNs   atomic.Int64
+	inputID     atomic.Uint64
+
+	mu       sync.RWMutex
+	sessions map[uint32]*SessionLog
+	dumpDir  string
+
+	// Breach accounting, mirrored into an obs registry by Instrument so
+	// scrapers (cmd/slimstat) see degradation without reading dumps.
+	breaches   *obs.Counter
+	dumpErrors *obs.Counter
+	lastBreach *obs.Gauge
+	breachN    atomic.Int64
+}
+
+// Default is the process-wide wall-clock recorder: enabled and
+// instrumented into obs.Default. Breach dumps stay off until a dump
+// directory is configured (slimd's -flight-dir flag, or SetDumpDir).
+// Live servers and consoles record here unless redirected.
+var Default = New(obs.DomainWall).Instrument(obs.Default)
+
+// New returns an enabled recorder in the given clock domain with the
+// default ring size, threshold, window, and dump rate limit.
+func New(domain obs.Domain) *Recorder {
+	r := &Recorder{
+		domain:   domain,
+		epoch:    time.Now(),
+		ringSize: DefaultRingSize,
+		sessions: make(map[uint32]*SessionLog),
+	}
+	r.enabled.Store(true)
+	r.thresholdNs.Store(int64(DefaultThreshold))
+	r.windowNs.Store(int64(DefaultWindow))
+	r.dumpGapNs.Store(int64(DefaultDumpGap))
+	return r
+}
+
+// Instrument resolves the recorder's breach instruments in reg:
+// slim_flight_breaches_total, slim_flight_dump_errors_total, and — wall
+// domain only — slim_flight_last_breach_unix_ms (sim recorders publish
+// slim_flight_last_breach_ns, virtual time).
+func (r *Recorder) Instrument(reg *obs.Registry) *Recorder {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.breaches = reg.Counter("slim_flight_breaches_total")
+	r.dumpErrors = reg.Counter("slim_flight_dump_errors_total")
+	if r.domain == obs.DomainWall {
+		r.lastBreach = reg.Gauge("slim_flight_last_breach_unix_ms")
+	} else {
+		r.lastBreach = reg.Gauge("slim_flight_last_breach_ns")
+	}
+	return r
+}
+
+// Domain reports the recorder's clock domain.
+func (r *Recorder) Domain() obs.Domain { return r.domain }
+
+// SetEnabled switches recording on or off. Disabled, every recording call
+// costs one atomic load; the rings are retained.
+func (r *Recorder) SetEnabled(on bool) { r.enabled.Store(on) }
+
+// Enabled reports whether recording is live.
+func (r *Recorder) Enabled() bool { return r.enabled.Load() }
+
+// SetThreshold sets the input-to-paint breach threshold (0 disables
+// breach detection entirely).
+func (r *Recorder) SetThreshold(d time.Duration) { r.thresholdNs.Store(int64(d)) }
+
+// Threshold reports the breach threshold.
+func (r *Recorder) Threshold() time.Duration { return time.Duration(r.thresholdNs.Load()) }
+
+// SetWindow sets how far back breach dumps and default trace queries
+// reach.
+func (r *Recorder) SetWindow(d time.Duration) { r.windowNs.Store(int64(d)) }
+
+// SetDumpGap sets the per-session minimum interval between breach dumps.
+func (r *Recorder) SetDumpGap(d time.Duration) { r.dumpGapNs.Store(int64(d)) }
+
+// SetDumpDir sets the directory breach dumps are written to. Empty (the
+// default) records breaches in the instruments and the ring but writes no
+// files.
+func (r *Recorder) SetDumpDir(dir string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.dumpDir = dir
+}
+
+// DumpDir reports the configured dump directory.
+func (r *Recorder) DumpDir() string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.dumpDir
+}
+
+// Session returns the session's log, creating the ring on first use.
+func (r *Recorder) Session(id uint32) *SessionLog {
+	r.mu.RLock()
+	l, ok := r.sessions[id]
+	r.mu.RUnlock()
+	if ok {
+		return l
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if l, ok := r.sessions[id]; ok {
+		return l
+	}
+	l = &SessionLog{
+		id:    id,
+		rec:   r,
+		mask:  uint64(r.ringSize - 1),
+		slots: make([]slot, r.ringSize),
+	}
+	r.sessions[id] = l
+	return l
+}
+
+// Drop evicts a session's ring — the flight-recorder half of session
+// termination (the obs half is Registry.Remove). Logs already held by
+// components keep working but are no longer reachable or dumped.
+func (r *Recorder) Drop(id uint32) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.sessions, id)
+}
+
+// Sessions lists the session IDs with live rings, ascending.
+func (r *Recorder) Sessions() []uint32 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	ids := make([]uint32, 0, len(r.sessions))
+	for id := range r.sessions {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Events returns a session's recent events (see SessionLog.Events). An
+// unknown session yields nil.
+func (r *Recorder) Events(id uint32, last time.Duration) []Event {
+	r.mu.RLock()
+	l := r.sessions[id]
+	r.mu.RUnlock()
+	return l.Events(last)
+}
+
+// BreachCount reports the number of threshold breaches observed.
+func (r *Recorder) BreachCount() int64 { return r.breachN.Load() }

@@ -178,6 +178,19 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// Remove deletes the named metric from the registry — every kind sharing
+// the name goes. Pointers already resolved by components keep working but
+// stop being exported, which is the point: per-session labeled series
+// (input-to-paint histograms, say) would otherwise accumulate for every
+// user who ever logged in. Call it from session-termination paths.
+func (r *Registry) Remove(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.counters, name)
+	delete(r.gauges, name)
+	delete(r.histograms, name)
+}
+
 // MustSim panics unless r is a simulated-clock registry. Instrumentation
 // helpers for simulator components call it so a wall-clock registry can
 // never silently receive virtual-time observations.

@@ -128,3 +128,24 @@ func obsStartSpanFor(h *Histogram) Span {
 	}
 	return s
 }
+
+func TestRegistryRemove(t *testing.T) {
+	r := NewRegistry(DomainWall)
+	c := r.Counter("gone_total")
+	r.Gauge(`labeled{session="u"}`)
+	r.Histogram(`labeled{session="u"}`)
+	c.Inc()
+
+	r.Remove("gone_total")
+	r.Remove(`labeled{session="u"}`)
+
+	snap := r.Snapshot()
+	if len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms) != 0 {
+		t.Errorf("metrics survived Remove: %+v", snap)
+	}
+	// Held pointers keep working; re-registering yields a fresh identity.
+	c.Inc()
+	if r.Counter("gone_total").Value() != 0 {
+		t.Error("re-registered counter inherited the removed identity")
+	}
+}

@@ -39,6 +39,16 @@ func (s *Span) Attach(h *Histogram) {
 	s.hists = append(s.hists, h)
 }
 
+// Elapsed reports the time since capture (zero for an inert span) without
+// ending the span — the breach check reads it after End has published the
+// histograms.
+func (s Span) Elapsed() time.Duration {
+	if s.start.IsZero() {
+		return 0
+	}
+	return time.Since(s.start)
+}
+
 // End records the elapsed time since capture into every histogram. Inert
 // (zero) spans do nothing.
 func (s Span) End() {

@@ -40,9 +40,16 @@ func newMetrics(r *obs.Registry) *metrics {
 	}
 }
 
+// sessionHistogramName is the per-session input-to-paint histogram's
+// registry key — shared by resolution here and removal in Terminate, so
+// terminated sessions do not leak labeled series.
+func sessionHistogramName(user string) string {
+	return fmt.Sprintf("slim_input_to_paint_seconds{session=%q}", user)
+}
+
 // sessionHistogram resolves the per-session input-to-paint histogram.
 func sessionHistogram(r *obs.Registry, user string) *obs.Histogram {
-	return r.Histogram(fmt.Sprintf("slim_input_to_paint_seconds{session=%q}", user))
+	return r.Histogram(sessionHistogramName(user))
 }
 
 // Instrument points the server's live metrics at r (the process-wide
@@ -59,10 +66,13 @@ func (s *Server) Instrument(r *obs.Registry) *Server {
 }
 
 // instrumentSession attaches the live instruments a session encoder and
-// its input-to-paint histogram report through. Callers hold s.mu.
+// its input-to-paint histogram report through, plus the session's flight
+// ring. Callers hold s.mu.
 func (s *Server) instrumentSession(sess *Session) {
 	sess.Encoder.Metrics = s.encMetrics
 	sess.itp = sessionHistogram(s.obs, sess.User)
+	sess.flog = s.flight.Session(sess.ID)
+	sess.Encoder.Flight = sess.flog
 }
 
 // InputToPaint exposes the session's live input-to-paint histogram.

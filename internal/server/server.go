@@ -15,6 +15,7 @@ import (
 
 	"slim/internal/core"
 	"slim/internal/obs"
+	"slim/internal/obs/flight"
 	"slim/internal/protocol"
 )
 
@@ -100,7 +101,14 @@ type Session struct {
 	// itp is the session's live input-to-paint histogram (§3's canonical
 	// interactive-latency metric), labeled with the user name.
 	itp *obs.Histogram
+	// flog is the session's flight-recorder ring: every protocol event on
+	// this session's display path lands here, causally chained.
+	flog *flight.SessionLog
 }
+
+// FlightLog exposes the session's flight-recorder ring (nil before the
+// session is instrumented).
+func (sess *Session) FlightLog() *flight.SessionLog { return sess.flog }
 
 // Server ties the managers together and speaks the SLIM protocol to
 // consoles.
@@ -122,6 +130,9 @@ type Server struct {
 	obs        *obs.Registry
 	metrics    *metrics
 	encMetrics *core.EncoderMetrics
+	// flight is the causal flight recorder sessions record protocol
+	// events into (flight.Default unless redirected by WithFlight).
+	flight *flight.Recorder
 }
 
 type consoleState struct {
@@ -147,17 +158,41 @@ func New(t Transport, newApp func(user string, w, h int) Application) *Server {
 		sessions:  make(map[uint32]*Session),
 		byUser:    make(map[string]uint32),
 		consoles:  make(map[string]*consoleState),
+		flight:    flight.Default,
 	}
 	return s.Instrument(obs.Default)
+}
+
+// WithFlight points the server's flight recorder at rec (flight.Default
+// unless redirected — hermetic tests hand each server its own recorder).
+// Call it before the first session is created; rings already resolved
+// keep recording into the old recorder.
+func (s *Server) WithFlight(rec *flight.Recorder) *Server {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.flight = rec
+	return s
+}
+
+// FlightRecorder reports the recorder sessions record into.
+func (s *Server) FlightRecorder() *flight.Recorder {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.flight
 }
 
 // outbound is one queued server→console datagram. Sends are queued while
 // the server lock is held and flushed after it is released, so a transport
 // that delivers synchronously (the in-process fabric) can feed console
-// replies straight back into Handle without deadlocking.
+// replies straight back into Handle without deadlocking. Display commands
+// carry their flight log and identity so flush can record the TX event at
+// the actual handoff to the transport; control messages leave flog nil.
 type outbound struct {
 	console string
 	wire    []byte
+	flog    *flight.SessionLog
+	seq     uint32
+	cmd     protocol.MsgType
 }
 
 // HandleDatagram processes one console→server datagram.
@@ -180,12 +215,25 @@ func (s *Server) HandleDatagram(console string, wire []byte, now time.Duration) 
 func (s *Server) Handle(console string, msg protocol.Message, now time.Duration) error {
 	s.mu.Lock()
 	var span obs.Span
-	switch msg.(type) {
+	var rec *flight.Recorder
+	var sessID uint32
+	switch m := msg.(type) {
 	case *protocol.KeyEvent, *protocol.PointerEvent:
 		s.metrics.inputEvents.Inc()
 		span = obs.StartSpan(s.metrics.inputToPaint)
 		if sess, err := s.sessionFor(console); err == nil {
 			span.Attach(sess.itp)
+			rec, sessID = s.flight, sess.ID
+			if sess.flog.Armed() {
+				var arg int64
+				switch ev := m.(type) {
+				case *protocol.KeyEvent:
+					arg = int64(ev.Code)
+				case *protocol.PointerEvent:
+					arg = int64(ev.X)<<16 | int64(ev.Y)
+				}
+				sess.flog.Input(msg.Type(), arg)
+			}
 		}
 	}
 	var out []outbound
@@ -193,15 +241,25 @@ func (s *Server) Handle(console string, msg protocol.Message, now time.Duration)
 	s.mu.Unlock()
 	ferr := s.flush(out)
 	span.End()
+	// On a synchronous transport the console has painted by now, so the
+	// span's elapsed time is true input-to-paint — exactly what the breach
+	// dump wants to explain.
+	if rec != nil {
+		rec.CheckBreach(sessID, span.Elapsed())
+	}
 	if herr != nil {
 		return herr
 	}
 	return ferr
 }
 
-// flush delivers queued datagrams outside the lock.
+// flush delivers queued datagrams outside the lock, recording the TX event
+// for display commands at the moment they reach the transport.
 func (s *Server) flush(out []outbound) error {
 	for _, o := range out {
+		if o.flog.Armed() {
+			o.flog.Tx(o.seq, o.cmd, int64(len(o.wire)))
+		}
 		if err := s.transport.Send(o.console, o.wire); err != nil {
 			return err
 		}
@@ -249,7 +307,10 @@ func (s *Server) handleLocked(out *[]outbound, console string, msg protocol.Mess
 		if err != nil {
 			return err
 		}
-		s.sendDatagrams(out, sess.Console, sess.Encoder.HandleNack(*m))
+		if sess.flog.Armed() {
+			sess.flog.Nack(m.From, m.To)
+		}
+		s.sendDatagrams(out, sess, sess.Encoder.HandleNack(*m))
 		return nil
 
 	case *protocol.Status:
@@ -282,12 +343,15 @@ func (s *Server) handleStatus(out *[]outbound, console string, st *protocol.Stat
 		return nil
 	}
 	sess := s.sessions[cs.session]
+	if sess.flog.Armed() {
+		sess.flog.Status(st.LastSeq, st.Dropped)
+	}
 	lost := st.Dropped > cs.dropped
 	cs.dropped = st.Dropped
 	lag := sess.Encoder.LastSeq() > st.LastSeq &&
 		sess.Encoder.LastSeq()-st.LastSeq > StatusLagThreshold
 	if lost || lag {
-		s.sendDatagrams(out, console, sess.Encoder.RepaintAll())
+		s.sendDatagrams(out, sess, sess.Encoder.RepaintAll())
 	}
 	return nil
 }
@@ -340,7 +404,7 @@ func (s *Server) attachByToken(out *[]outbound, console, token string) error {
 	s.send(out, console, &protocol.SessionAttach{SessionID: sess.ID})
 	// The console held only soft state: repaint the screen "to the exact
 	// state at which it was left" (§1.1).
-	s.sendDatagrams(out, console, sess.Encoder.RepaintAll())
+	s.sendDatagrams(out, sess, sess.Encoder.RepaintAll())
 	return nil
 }
 
@@ -389,6 +453,37 @@ func (s *Server) Detach(user string) error {
 	return s.flush(out)
 }
 
+// Terminate destroys a user's session: the console (if any) is detached,
+// the session state is discarded, and — unlike Detach — the session's
+// observability residue is evicted too: the labeled input-to-paint
+// histogram leaves the registry and the flight-recorder ring is dropped.
+// Without this, a server that outlives many logins accumulates one
+// histogram and one 4096-slot ring per user forever.
+func (s *Server) Terminate(user string) error {
+	s.mu.Lock()
+	var out []outbound
+	id, ok := s.byUser[user]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("server: no session for user %q", user)
+	}
+	sess := s.sessions[id]
+	if sess.Console != "" {
+		if cs, ok := s.consoles[sess.Console]; ok && cs.session == id {
+			cs.session = 0
+		}
+		s.send(&out, sess.Console, &protocol.SessionDetach{SessionID: id})
+		sess.Console = ""
+	}
+	delete(s.sessions, id)
+	delete(s.byUser, user)
+	s.metrics.sessions.Set(int64(len(s.sessions)))
+	s.obs.Remove(sessionHistogramName(user))
+	s.flight.Drop(id)
+	s.mu.Unlock()
+	return s.flush(out)
+}
+
 // sessionFor resolves the session attached to a console. Callers hold s.mu.
 func (s *Server) sessionFor(console string) (*Session, error) {
 	cs, ok := s.consoles[console]
@@ -404,21 +499,30 @@ func (s *Server) sessionFor(console string) (*Session, error) {
 // render encodes ops for a session and queues them for its console.
 func (s *Server) render(out *[]outbound, sess *Session, ops []core.Op) error {
 	for _, op := range ops {
+		if sess.flog.Armed() {
+			sess.flog.Op(int64(op.RawPixels()))
+		}
 		dgs, err := sess.Encoder.Encode(op)
 		if err != nil {
 			return err
 		}
-		s.sendDatagrams(out, sess.Console, dgs)
+		s.sendDatagrams(out, sess, dgs)
 	}
 	return nil
 }
 
-func (s *Server) sendDatagrams(out *[]outbound, console string, dgs []core.Datagram) {
-	if console == "" {
+func (s *Server) sendDatagrams(out *[]outbound, sess *Session, dgs []core.Datagram) {
+	if sess.Console == "" {
 		return // detached session keeps rendering into its frame buffer
 	}
 	for _, d := range dgs {
-		*out = append(*out, outbound{console: console, wire: d.Wire})
+		*out = append(*out, outbound{
+			console: sess.Console,
+			wire:    d.Wire,
+			flog:    sess.flog,
+			seq:     d.Seq,
+			cmd:     d.Msg.Type(),
+		})
 	}
 }
 

@@ -1,0 +1,82 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"slim/internal/obs"
+	"slim/internal/obs/flight"
+	"slim/internal/protocol"
+)
+
+// TestTerminateEvictsObservability is the cardinality-leak regression test:
+// a terminated session must take its labeled input-to-paint histogram and
+// its flight-recorder ring with it. Before Terminate existed, a server
+// that outlived many logins accumulated one histogram and one event ring
+// per user forever.
+func TestTerminateEvictsObservability(t *testing.T) {
+	tr := newMemTransport()
+	reg := obs.NewRegistry(obs.DomainWall)
+	rec := flight.New(obs.DomainWall).Instrument(reg)
+	s := newTestServer(tr).Instrument(reg).WithFlight(rec)
+
+	if err := s.Handle("desk-1", hello(64, 32, "card-alice"), 0); err != nil {
+		t.Fatal(err)
+	}
+	sess := s.SessionByUser("alice")
+	if sess == nil {
+		t.Fatal("no session for alice")
+	}
+	if err := s.Handle("desk-1", &protocol.KeyEvent{Code: 'a', Down: true}, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	name := sessionHistogramName("alice")
+	if _, ok := reg.Snapshot().Histograms[name]; !ok {
+		t.Fatalf("labeled histogram %q not registered while session live", name)
+	}
+	if evs := rec.Events(sess.ID, 0); len(evs) == 0 {
+		t.Fatal("no flight events recorded while session live")
+	}
+
+	if err := s.Terminate("alice"); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, ok := reg.Snapshot().Histograms[name]; ok {
+		t.Errorf("labeled histogram %q survived Terminate", name)
+	}
+	if ids := rec.Sessions(); len(ids) != 0 {
+		t.Errorf("flight rings survived Terminate: %v", ids)
+	}
+	if got := reg.Snapshot().Gauges["slim_sessions"]; got != 0 {
+		t.Errorf("slim_sessions = %d after Terminate, want 0", got)
+	}
+	if s.SessionByUser("alice") != nil {
+		t.Error("session still resolvable after Terminate")
+	}
+	// The console must have been told the session went away.
+	msgs := tr.msgsTo(t, "desk-1")
+	var detached bool
+	for _, m := range msgs {
+		if d, ok := m.(*protocol.SessionDetach); ok && d.SessionID == sess.ID {
+			detached = true
+		}
+	}
+	if !detached {
+		t.Error("no SessionDetach sent to the console on Terminate")
+	}
+
+	if err := s.Terminate("alice"); err == nil {
+		t.Error("second Terminate should report no session")
+	}
+
+	// A fresh login after Terminate starts a brand-new session.
+	if err := s.Handle("desk-1", hello(64, 32, "card-alice"), time.Second); err != nil {
+		t.Fatal(err)
+	}
+	fresh := s.SessionByUser("alice")
+	if fresh == nil || fresh.ID == sess.ID {
+		t.Fatalf("relogin session = %+v, want a new session ID", fresh)
+	}
+}

@@ -1,0 +1,61 @@
+package trace
+
+import (
+	"time"
+
+	"slim/internal/obs/flight"
+	"slim/internal/protocol"
+)
+
+// FromFlight converts flight-recorder events into a §3.1 offline trace, so
+// breach dumps and live /debug/trace captures flow through the same
+// analysis path as generated workload traces: bytes/pixels-per-event CDFs,
+// bandwidth figures, and netsim replay all work on a dump.
+//
+// The mapping keeps only the records the offline format models: INPUT
+// events become key or click records (bare pointer motion is kept as a
+// click — the dump has no button state, and dropping it would hide the
+// event that opened a causal chain), and ENCODE events become display
+// records carrying the command's wire bytes and touched pixels. Transport
+// and console legs (TX/RX/DECODE/PAINT) have no offline equivalent and are
+// skipped. Timestamps are rebased so the trace starts at zero.
+func FromFlight(app string, evs []flight.Event) *Trace {
+	tr := &Trace{App: app}
+	var base time.Duration
+	haveBase := false
+	for _, ev := range evs {
+		var r Record
+		switch ev.Kind {
+		case flight.EvInput:
+			switch ev.Cmd {
+			case protocol.TypeKey:
+				r = Record{Kind: KindKey}
+			default:
+				r = Record{Kind: KindClick}
+			}
+		case flight.EvEncode:
+			r = Record{
+				Kind:   KindDisplay,
+				Cmd:    ev.Cmd,
+				Bytes:  int(ev.A),
+				Pixels: int(ev.B),
+			}
+		default:
+			continue
+		}
+		if !haveBase {
+			base, haveBase = ev.T, true
+		}
+		r.T = ev.T - base
+		tr.Append(r)
+	}
+	return tr
+}
+
+// FromFlightDump converts one breach dump, naming the trace after its
+// session.
+func FromFlightDump(d *flight.Dump) *Trace {
+	tr := FromFlight("flight", d.Events)
+	tr.User = int(d.Session)
+	return tr
+}

@@ -1,9 +1,12 @@
 package slim
 
 import (
+	"net"
 	"net/http"
+	"time"
 
 	"slim/internal/obs"
+	"slim/internal/obs/flight"
 )
 
 // Runtime observability facade. Every hot path in the package — session
@@ -33,13 +36,39 @@ func Metrics() *MetricsRegistry { return obs.Default }
 // netsim links publish into.
 func SimMetrics() *MetricsRegistry { return obs.Sim }
 
+// FlightRecorder returns the process-wide causal flight recorder: the
+// per-session protocol event rings behind /debug/trace and the breach
+// dumps (see internal/obs/flight). Configure its threshold and dump
+// directory here; servers and consoles record into it unless redirected.
+func FlightRecorder() *flight.Recorder { return flight.Default }
+
+// SetFlightThreshold sets the input-to-paint latency above which the
+// flight recorder dumps a session's recent events (default 150 ms, the
+// paper's §3 annoyance bound; 0 disables breach detection).
+func SetFlightThreshold(d time.Duration) { flight.Default.SetThreshold(d) }
+
+// SetFlightDumpDir directs breach dumps to dir (empty keeps dumps off;
+// breaches are still counted and marked in the ring).
+func SetFlightDumpDir(dir string) { flight.Default.SetDumpDir(dir) }
+
 // DebugHandler returns the debug endpoint served by slimd -debug:
-// /metrics (Prometheus text), /debug/vars (JSON snapshot), and
+// /metrics (Prometheus text), /debug/vars (JSON snapshot), /debug/trace
+// (Perfetto trace-event JSON from the flight recorder), and
 // /debug/pprof/ — embed it in any HTTP server.
-func DebugHandler() http.Handler { return obs.DebugMux(obs.Default, obs.Sim) }
+func DebugHandler() http.Handler {
+	mux := obs.DebugMux(obs.Default, obs.Sim)
+	mux.Handle("/debug/trace", flight.Default.TraceHandler())
+	return mux
+}
 
 // ServeDebug binds addr and serves DebugHandler in the background,
 // returning the server (Close to stop) once the listener is up.
 func ServeDebug(addr string) (*http.Server, error) {
-	return obs.ServeDebug(addr, obs.Default, obs.Sim)
+	srv := &http.Server{Addr: addr, Handler: DebugHandler()}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, nil
 }

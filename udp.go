@@ -1,6 +1,7 @@
 package slim
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
@@ -112,6 +113,14 @@ func (s *UDPServer) Send(consoleID string, wire []byte) error {
 	s.metrics.sendSeconds.Observe(time.Since(t0))
 	if err != nil {
 		s.metrics.txErrors.Inc()
+		// The command never made the wire: flight-record the loss so the
+		// session's causal chain shows a TX with no RX and a DROP.
+		if isDisplayDatagram(wire) {
+			if sess := s.Server.SessionOf(consoleID); sess != nil && sess.FlightLog().Armed() {
+				sess.FlightLog().Drop(binary.BigEndian.Uint32(wire[4:8]),
+					protocol.MsgType(wire[3]), int64(len(wire)))
+			}
+		}
 		return err
 	}
 	s.metrics.txDatagrams.Inc()
