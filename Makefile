@@ -32,7 +32,7 @@ race:
 # The flight-recorder benches ride along: they are the overhead guard for
 # the always-on tracing path.
 bench-guard:
-	$(GO) test -run xxx -bench . -benchtime 1x . ./internal/obs/flight/
+	$(GO) test -run xxx -bench . -benchtime 1x . ./internal/obs/flight/ ./internal/flow/
 
 # CI-style gate: static checks, race-detected tests, benchmark smoke run.
 ci: vet race bench-guard

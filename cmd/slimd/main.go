@@ -7,6 +7,7 @@
 //
 //	slimd -addr 127.0.0.1:5499 -card card-1=alice -card card-2=bob
 //	slimd -app quake -fps 30       # every session plays the game stream
+//	slimd -flow                    # §7 grant-paced per-session flow control
 //	slimd -debug :6060             # live metrics + pprof on http://:6060
 //
 // With -debug, the daemon serves /metrics (Prometheus text), /debug/vars
@@ -77,6 +78,8 @@ func main() {
 	state := flag.String("state", "", "session state file: loaded at boot, saved at shutdown")
 	app := flag.String("app", "terminal", "session application: terminal|desktop|quake|mpeg2|ntsc")
 	fps := flag.Float64("fps", 24, "video frame rate for video applications")
+	flow := flag.Bool("flow", false, "enable the per-session send governor: pace to console grants, supersede stale damage, budget retransmits (§7)")
+	flowBps := flag.Uint64("flow-bps", 0, "with -flow, initial per-session bandwidth demand in bits/s (0: derive from the cost model)")
 	flightThreshold := flag.Duration("flight-threshold", flight.DefaultThreshold,
 		"input-to-paint latency that triggers a flight-recorder breach (0 disables)")
 	flightDir := flag.String("flight-dir", "", "directory for flight-recorder breach dumps (empty: count breaches, write nothing)")
@@ -100,9 +103,18 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv, err := slim.ListenAndServe(*addr, factory)
+	var opts []slim.ServerOption
+	if *flow {
+		opts = append(opts,
+			slim.WithCostModel(slim.SunRay1Costs()),
+			slim.WithFlowControl(slim.FlowConfig{InitialBps: *flowBps}))
+	}
+	srv, err := slim.ListenAndServe(*addr, factory, opts...)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *flow {
+		log.Printf("flow control on: sessions pace to console bandwidth grants")
 	}
 	defer srv.Close()
 	if *debugAddr != "" {

@@ -19,7 +19,12 @@ func main() {
 	fabric := slim.NewFabric()
 
 	// One server, running the echo terminal as every session's app (§2.4).
-	srv := slim.NewServer(fabric, slim.WithTerminalApp())
+	// Options configure the rest: the Sun Ray 1 decode cost model (Table 5)
+	// and the grant-paced send governor (§7), so each session's traffic is
+	// paced to whatever bandwidth its console grants.
+	srv := slim.NewServer(fabric, slim.WithTerminalApp(),
+		slim.WithCostModel(slim.SunRay1Costs()),
+		slim.WithFlowControl(slim.FlowConfig{}))
 	srv.Auth.Register("card-alice", "alice")
 
 	// One stateless console at desk-1 (§2.3).

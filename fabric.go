@@ -3,6 +3,7 @@ package slim
 import (
 	"encoding/binary"
 	"fmt"
+	"net"
 	"sync"
 	"time"
 
@@ -40,9 +41,10 @@ type Fabric struct {
 	mu       sync.Mutex
 	consoles map[string]*Console
 	servers  map[string]*Server
-	// Clock is the virtual time passed to console handlers; advance it if
-	// your test models decode delays.
-	Clock time.Duration
+	closed   bool
+	// clock is the virtual time passed to console handlers (SetClock);
+	// advance it if your test models decode delays.
+	clock time.Duration
 
 	// dropEvery, when positive, drops every Nth display datagram on the
 	// server→console path — loss injection for exercising the protocol's
@@ -84,6 +86,65 @@ func (f *Fabric) Attach(id string, con *Console, srv *Server) {
 	f.servers[id] = srv
 }
 
+// fabricAddr is the in-process transport's synthetic address.
+type fabricAddr struct{}
+
+func (fabricAddr) Network() string { return "fabric" }
+func (fabricAddr) String() string  { return "fabric" }
+
+// Addr implements Transport: the fabric has no network endpoint.
+func (f *Fabric) Addr() net.Addr { return fabricAddr{} }
+
+// Close implements Transport: detach every desk. Idempotent; a closed
+// fabric rejects further sends.
+func (f *Fabric) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.closed = true
+	f.consoles = make(map[string]*Console)
+	f.servers = make(map[string]*Server)
+	return nil
+}
+
+// SetClock sets the virtual time passed to console and server handlers.
+func (f *Fabric) SetClock(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.clock = d
+}
+
+// Now reports the fabric's virtual clock.
+func (f *Fabric) Now() time.Duration {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.clock
+}
+
+// Pump services every attached server's flow governors at the fabric's
+// current virtual clock — paced traffic queued by bandwidth grants is
+// released, deferred retransmits regenerate. Call it after SetClock when
+// a test advances time. No-op for servers without flow control.
+func (f *Fabric) Pump() error {
+	f.mu.Lock()
+	clock := f.clock
+	seen := make(map[*Server]bool, len(f.servers))
+	srvs := make([]*Server, 0, len(f.servers))
+	for _, srv := range f.servers {
+		if srv != nil && !seen[srv] {
+			seen[srv] = true
+			srvs = append(srvs, srv)
+		}
+	}
+	f.mu.Unlock()
+	var firstErr error
+	for _, srv := range srvs {
+		if _, _, err := srv.PumpFlows(clock); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
 // SetLoss makes the fabric drop every Nth display datagram on the
 // server→console path (0 disables). The SLIM protocol is designed to
 // survive exactly this (§2.2); tests use it to exercise Nack recovery.
@@ -113,6 +174,10 @@ func isDisplayDatagram(wire []byte) bool {
 // bandwidth grants) queues rather than nesting.
 func (f *Fabric) Send(consoleID string, wire []byte) error {
 	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return fmt.Errorf("slim: fabric is closed")
+	}
 	_, ok := f.consoles[consoleID]
 	if !ok {
 		f.mu.Unlock()
@@ -162,7 +227,7 @@ func (f *Fabric) drain() error {
 		f.metrics.queue.Set(int64(len(f.queue)))
 		con := f.consoles[item.console]
 		srv := f.servers[item.console]
-		clock := f.Clock
+		clock := f.clock
 		f.mu.Unlock()
 		if con == nil {
 			continue
@@ -203,49 +268,54 @@ func (f *Fabric) Boot(id, cardToken string) error {
 	}
 	hello := con.Hello()
 	hello.CardToken = cardToken
-	return srv.Handle(id, hello, f.Clock)
+	return srv.Handle(id, hello, f.Now())
 }
 
-// InsertCard presents a smart card at a console, moving the owner's
-// session to this desk (§1.1's mobility model).
-func (f *Fabric) InsertCard(id, token string) error {
-	con, srv, err := f.lookup(id)
-	if err != nil {
-		return err
+// Desk is one fabric desk viewed as an input device: the InputSink for
+// the console attached under an ID. The zero value is unusable; get one
+// from Fabric.Desk.
+type Desk struct {
+	inputPort
+}
+
+// Desk returns the InputSink for a desk ID. Lookups happen per event, so
+// a Desk stays valid across re-attachments.
+func (f *Fabric) Desk(id string) Desk {
+	deliver := func(msg Message) error {
+		_, srv, err := f.lookup(id)
+		if err != nil {
+			return err
+		}
+		return srv.Handle(id, msg, f.Now())
 	}
-	return srv.Handle(id, con.InsertCard(token), f.Clock)
+	return Desk{inputPort{
+		deliver: deliver,
+		card: func(token string) error {
+			con, srv, err := f.lookup(id)
+			if err != nil {
+				return err
+			}
+			return srv.Handle(id, con.InsertCard(token), f.Now())
+		},
+	}}
 }
 
-// SendKey delivers a keystroke from a console to its server.
+// InsertCard presents a smart card at a desk, moving the owner's session
+// there (§1.1's mobility model).
+func (f *Fabric) InsertCard(id, token string) error { return f.Desk(id).InsertCard(token) }
+
+// SendKey delivers a keystroke from a desk to its server.
 func (f *Fabric) SendKey(id string, code uint16, down bool) error {
-	_, srv, err := f.lookup(id)
-	if err != nil {
-		return err
-	}
-	return srv.Handle(id, &protocol.KeyEvent{Code: code, Down: down}, f.Clock)
+	return f.Desk(id).SendKey(code, down)
 }
 
-// SendPointer delivers a mouse update from a console to its server.
+// SendPointer delivers a mouse update from a desk to its server.
 func (f *Fabric) SendPointer(id string, x, y uint16, buttons uint8) error {
-	_, srv, err := f.lookup(id)
-	if err != nil {
-		return err
-	}
-	return srv.Handle(id, &protocol.PointerEvent{X: x, Y: y, Buttons: buttons}, f.Clock)
+	return f.Desk(id).SendPointer(x, y, buttons)
 }
 
-// TypeString types a string at a console (press + release per character).
-func (f *Fabric) TypeString(id, s string) error {
-	for i := 0; i < len(s); i++ {
-		if err := f.SendKey(id, uint16(s[i]), true); err != nil {
-			return err
-		}
-		if err := f.SendKey(id, uint16(s[i]), false); err != nil {
-			return err
-		}
-	}
-	return nil
-}
+// TypeString types a string at a desk (press + release per character).
+func (f *Fabric) TypeString(id, s string) error { return f.Desk(id).TypeString(s) }
 
 // Console returns the console attached at a desk.
 func (f *Fabric) Console(id string) (*Console, error) {

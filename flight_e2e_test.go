@@ -21,16 +21,16 @@ import (
 // than the paper's 150 ms annoyance bound and the flight recorder must
 // notice. Control traffic is never delayed (boot stays fast).
 type slowTransport struct {
-	fabric *Fabric
-	link   netsim.Link
-	armed  atomic.Bool
+	*Fabric
+	link  netsim.Link
+	armed atomic.Bool
 }
 
 func (s *slowTransport) Send(console string, wire []byte) error {
 	if s.armed.Load() && isDisplayDatagram(wire) {
 		time.Sleep(s.link.SerializeTime(len(wire)))
 	}
-	return s.fabric.Send(console, wire)
+	return s.Fabric.Send(console, wire)
 }
 
 // TestFlightBreachEndToEnd drives a real session through the in-process
@@ -48,7 +48,7 @@ func TestFlightBreachEndToEnd(t *testing.T) {
 	fabric := NewFabric()
 	// 2400 bps: a ~60-byte glyph datagram plus frame overhead serializes
 	// in ~340 ms, comfortably past the 150 ms default threshold.
-	slow := &slowTransport{fabric: fabric, link: netsim.Link{Bps: 2400}}
+	slow := &slowTransport{Fabric: fabric, link: netsim.Link{Bps: 2400}}
 	srv := NewServer(slow, WithTerminalApp()).Instrument(reg).WithFlight(rec)
 	srv.Auth.Register("card-alice", "alice")
 

@@ -146,7 +146,24 @@ func (c *Console) SessionID() uint32 {
 // HandleDatagram processes one datagram received at the modelled time now
 // and returns any console→server replies. Display commands are applied to
 // the local frame buffer; the decode delay model accounts for their cost.
+// Batch frames (§5.4 coalesced FILL/COPY runs from the server's flow
+// governor) unpack into their member commands, applied in sequence order.
 func (c *Console) HandleDatagram(wire []byte, now time.Duration) ([][]byte, error) {
+	if protocol.IsBatch(wire) {
+		seqs, msgs, err := protocol.DecodeBatch(wire)
+		if err != nil {
+			return nil, err
+		}
+		var replies [][]byte
+		for i, msg := range msgs {
+			rs, err := c.Handle(seqs[i], msg, now)
+			replies = append(replies, rs...)
+			if err != nil {
+				return replies, err
+			}
+		}
+		return replies, nil
+	}
 	seq, msg, _, err := protocol.Decode(wire)
 	if err != nil {
 		return nil, err

@@ -285,6 +285,26 @@ func (e *Encoder) HandleNack(n protocol.Nack) []Datagram {
 // affectedRect reports every pixel a display command may change — for
 // COPY, both where it read and where it wrote.
 func affectedRect(msg protocol.Message) protocol.Rect {
+	w := WriteRect(msg)
+	if src, ok := ReadRect(msg); ok {
+		x1 := min(src.X, w.X)
+		y1 := min(src.Y, w.Y)
+		x2 := max(src.X+src.W, w.X+w.W)
+		y2 := max(src.Y+src.H, w.Y+w.H)
+		return protocol.Rect{X: x1, Y: y1, W: x2 - x1, H: y2 - y1}
+	}
+	return w
+}
+
+// AffectedRect reports every pixel a display command may touch — for
+// COPY, the bounding box of both where it reads and where it writes.
+// Non-display messages report an empty rect.
+func AffectedRect(msg protocol.Message) protocol.Rect { return affectedRect(msg) }
+
+// WriteRect reports the pixels a display command overwrites: the target
+// rect for SET/BITMAP/FILL, the destination for COPY and CSCS. Non-display
+// messages report an empty rect.
+func WriteRect(msg protocol.Message) protocol.Rect {
 	switch m := msg.(type) {
 	case *protocol.Set:
 		return m.Rect
@@ -293,16 +313,21 @@ func affectedRect(msg protocol.Message) protocol.Rect {
 	case *protocol.Fill:
 		return m.Rect
 	case *protocol.Copy:
-		dst := protocol.Rect{X: m.DstX, Y: m.DstY, W: m.Rect.W, H: m.Rect.H}
-		x1 := min(m.Rect.X, dst.X)
-		y1 := min(m.Rect.Y, dst.Y)
-		x2 := max(m.Rect.X+m.Rect.W, dst.X+dst.W)
-		y2 := max(m.Rect.Y+m.Rect.H, dst.Y+dst.H)
-		return protocol.Rect{X: x1, Y: y1, W: x2 - x1, H: y2 - y1}
+		return protocol.Rect{X: m.DstX, Y: m.DstY, W: m.Rect.W, H: m.Rect.H}
 	case *protocol.CSCS:
 		return m.Dst
 	}
 	return protocol.Rect{}
+}
+
+// ReadRect reports the on-screen pixels a display command reads before
+// writing — only COPY does (its source rect). ok is false for commands
+// whose output does not depend on current frame-buffer contents.
+func ReadRect(msg protocol.Message) (protocol.Rect, bool) {
+	if m, isCopy := msg.(*protocol.Copy); isCopy {
+		return m.Rect, true
+	}
+	return protocol.Rect{}, false
 }
 
 // LastSeq reports the most recent sequence number issued.

@@ -1,0 +1,724 @@
+// Package flow is the per-session send governor: the piece that closes the
+// loop between the console's §7 bandwidth allocator and the server's
+// encoder. The console measures its own decode capacity and the fabric's
+// share and answers BandwidthRequests with BandwidthGrants; this package
+// makes the server honor them.
+//
+// The governor sits between the encoder and the transport and does four
+// things:
+//
+//   - Paces: a token-bucket (bytes; refilled at the granted bps) releases
+//     queued display commands so the session never exceeds its grant. The
+//     burst depth defaults to what the Table-5 cost model says the console
+//     can decode in one short quantum, so pacing never starves a console
+//     that could have kept up.
+//   - Supersedes: under backpressure, a queued command whose written rect
+//     is fully covered by a newer queued command is dropped — the paper's
+//     stateless "the server need only send the latest state" advantage
+//     (§2.2) made explicit. COPY reads are respected: a command is never
+//     shed while a later queued COPY still reads its pixels.
+//   - Budgets retransmits: NACK-triggered repaints share the grant but are
+//     capped to a configurable fraction of it and backed off exponentially
+//     when NACKs storm, so loss recovery cannot starve fresh paints (§5's
+//     observation that recovery traffic competes with interactive traffic).
+//     NACKs whose entire range was superseded are suppressed outright: the
+//     console never painted those commands, but newer queued state covers
+//     every pixel they would have touched.
+//   - Batches: adjacent small FILL/COPY commands released in one quantum
+//     coalesce into §5.4 batch frames via the core batcher.
+//
+// The governor is clock-agnostic: every method takes the current time as a
+// time.Duration offset, so the same code paces wall-clock transports (udp,
+// fabric) and virtual-time simulations (netsim-style RecordAt pacing).
+// Callers serialize access; the server's session lock already does.
+package flow
+
+import (
+	"time"
+
+	"slim/internal/core"
+	"slim/internal/protocol"
+)
+
+// Config tunes one session's governor. The zero value plus withDefaults
+// is a working configuration; Enabled gates whether the server builds
+// governors at all.
+type Config struct {
+	// Enabled turns flow control on. Disabled servers send at wire speed
+	// (the pre-governor behavior) and pay nothing.
+	Enabled bool
+	// InitialBps is the demand the server requests from the console's
+	// allocator at session attach, before any grant arrives. 0 derives it
+	// from the cost model (DefaultDemandBps).
+	InitialBps uint64
+	// BurstBytes is the token-bucket depth. 0 derives it from the cost
+	// model (DefaultBurst).
+	BurstBytes int
+	// MaxQueueBytes bounds the send queue; overflow drops the oldest
+	// commands (the console recovers them via its Status/NACK machinery,
+	// or they are covered by the newer state that pushed them out).
+	// 0 means DefaultMaxQueueBytes.
+	MaxQueueBytes int
+	// SupersedeThresholdBytes is the queue depth beyond which supersession
+	// scans run. Below it the queue drains within a burst anyway and
+	// shedding would only create NACK gaps. 0 means BurstBytes.
+	SupersedeThresholdBytes int
+	// RetransmitShare is the fraction of the grant available to
+	// NACK-triggered retransmits (0 means DefaultRetransmitShare).
+	RetransmitShare float64
+	// RetransmitBackoff is the base backoff between retransmit rounds when
+	// NACKs arrive back to back (0 means DefaultRetransmitBackoff).
+	RetransmitBackoff time.Duration
+	// RetransmitBackoffMax caps the exponential backoff
+	// (0 means DefaultRetransmitBackoffMax).
+	RetransmitBackoffMax time.Duration
+	// Batch coalesces small FILL/COPY commands released together into §5.4
+	// batch frames.
+	Batch bool
+	// MTU bounds batched packets (0 means core.DefaultMTU).
+	MTU int
+	// Costs is the console cost model behind the derived defaults
+	// (nil means core.SunRay1Costs).
+	Costs *core.CostModel
+}
+
+// Tuning defaults. See Config.
+const (
+	DefaultMaxQueueBytes        = 256 << 10
+	DefaultRetransmitShare      = 0.25
+	DefaultRetransmitBackoff    = 20 * time.Millisecond
+	DefaultRetransmitBackoffMax = 640 * time.Millisecond
+
+	// utilizationWindow is the accounting window behind the
+	// slim_flow_grant_utilization gauge.
+	utilizationWindow = time.Second
+
+	// supersededRing bounds how many shed sequence numbers are remembered
+	// for NACK suppression; matches the encoder's replay-buffer depth.
+	supersededRing = 4096
+)
+
+// demandRefPixels is the reference command for cost-model-derived
+// defaults: a 256-pixel SET strip, the dominant command of interactive
+// traffic (§4.2), carrying 3 wire bytes per pixel plus framing.
+const (
+	demandRefPixels    = 256
+	demandRefWireBytes = 3*demandRefPixels + 16
+)
+
+// DefaultDemandBps estimates a session's bandwidth demand from the cost
+// model: the wire rate at which reference SET strips arrive exactly as
+// fast as the console can decode them. Requesting more than this is
+// pointless — the decode queue, not the link, becomes the bottleneck
+// (§4.3's saturation methodology).
+func DefaultDemandBps(cm *core.CostModel) uint64 {
+	if cm == nil {
+		cm = core.SunRay1Costs()
+	}
+	svc := cm.ServiceTime(&protocol.Set{Rect: protocol.Rect{W: demandRefPixels, H: 1}})
+	if svc <= 0 {
+		return 0
+	}
+	cmdsPerSec := float64(time.Second) / float64(svc)
+	return uint64(cmdsPerSec * demandRefWireBytes * 8)
+}
+
+// DefaultBurst derives the token-bucket depth from the cost model: the
+// wire bytes of the commands the console can decode in one 5 ms quantum,
+// clamped to [8 KiB, 64 KiB]. A burst the console cannot decode would only
+// move the queue from the server (where supersession can shed it) to the
+// console (where it ages into decode drops).
+func DefaultBurst(cm *core.CostModel) int {
+	if cm == nil {
+		cm = core.SunRay1Costs()
+	}
+	svc := cm.ServiceTime(&protocol.Set{Rect: protocol.Rect{W: demandRefPixels, H: 1}})
+	if svc <= 0 {
+		return 64 << 10
+	}
+	cmds := float64(5*time.Millisecond) / float64(svc)
+	b := int(cmds * demandRefWireBytes)
+	if b < 8<<10 {
+		b = 8 << 10
+	}
+	if b > 64<<10 {
+		b = 64 << 10
+	}
+	return b
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Costs == nil {
+		c.Costs = core.SunRay1Costs()
+	}
+	if c.InitialBps == 0 {
+		c.InitialBps = DefaultDemandBps(c.Costs)
+	}
+	if c.BurstBytes == 0 {
+		c.BurstBytes = DefaultBurst(c.Costs)
+	}
+	if c.MaxQueueBytes == 0 {
+		c.MaxQueueBytes = DefaultMaxQueueBytes
+	}
+	if c.SupersedeThresholdBytes == 0 {
+		c.SupersedeThresholdBytes = c.BurstBytes
+	}
+	if c.RetransmitShare == 0 {
+		c.RetransmitShare = DefaultRetransmitShare
+	}
+	if c.RetransmitBackoff == 0 {
+		c.RetransmitBackoff = DefaultRetransmitBackoff
+	}
+	if c.RetransmitBackoffMax == 0 {
+		c.RetransmitBackoffMax = DefaultRetransmitBackoffMax
+	}
+	if c.MTU == 0 {
+		c.MTU = core.DefaultMTU
+	}
+	return c
+}
+
+// Item is one display command offered to the governor.
+type Item struct {
+	// Seq and Cmd identify the command for flight recording and NACK
+	// suppression.
+	Seq uint32
+	Cmd protocol.MsgType
+	// Msg is the decoded command; supersession reads its rects and
+	// batching re-encodes it.
+	Msg protocol.Message
+	// Wire is the framed datagram (may be nil in simulations that only
+	// account bytes; then the wire size is computed from Msg).
+	Wire []byte
+	// Retransmit marks NACK-triggered recovery traffic for accounting.
+	Retransmit bool
+}
+
+// Bytes reports the item's wire size.
+func (it Item) Bytes() int {
+	if it.Wire != nil {
+		return len(it.Wire)
+	}
+	if it.Msg != nil {
+		return protocol.WireSize(it.Msg)
+	}
+	return 0
+}
+
+// Packet is one transport datagram released by the governor: a single
+// command, or a §5.4 batch frame holding several.
+type Packet struct {
+	// Wire is the bytes to hand to the transport (nil when every member
+	// item was submitted without wire framing).
+	Wire []byte
+	// Items are the member commands, in sequence order.
+	Items []Item
+}
+
+// SubmitResult reports what Submit did with an item.
+type SubmitResult struct {
+	// Pass means the governor is ungoverned (no grant yet, or flow
+	// disabled at this layer) and the caller should send the item
+	// directly, bypassing the queue.
+	Pass bool
+	// Superseded lists older queued commands shed because the new item
+	// fully covers them (the new item's Seq is the superseding sequence).
+	Superseded []Item
+	// Evicted lists commands dropped from the head because the queue
+	// exceeded MaxQueueBytes, oldest first.
+	Evicted []Item
+	// Depth is the queue depth after the submit (0 on the Pass path).
+	Depth int
+}
+
+// NackVerdict is the governor's decision on one incoming NACK.
+type NackVerdict int
+
+const (
+	// NackRetransmit: regenerate the repaint now (budget allows).
+	NackRetransmit NackVerdict = iota
+	// NackSuppressed: every sequence in the range was superseded — newer
+	// queued state covers every pixel, nothing to retransmit.
+	NackSuppressed
+	// NackDeferred: backoff or budget exhaustion; the range is parked and
+	// will be reported by DueNacks when its time comes.
+	NackDeferred
+)
+
+// entry is one queued item plus its enqueue time (for the pacing-delay
+// histogram and utilization accounting).
+type entry struct {
+	it Item
+	at time.Duration
+}
+
+// pendingNack is a parked retransmit range.
+type pendingNack struct {
+	from, to uint32
+	readyAt  time.Duration
+}
+
+// Governor paces one session's display stream to its bandwidth grant.
+// Methods are not safe for concurrent use; callers serialize (the server's
+// session lock does).
+type Governor struct {
+	cfg Config
+	m   *Metrics
+
+	rate   uint64 // granted bps; 0 = ungoverned pass-through
+	tokens float64
+	retry  float64
+	primed bool
+	last   time.Duration
+
+	queue       []entry
+	queueBytes  int
+	dropScratch []bool
+
+	batcher *core.Batcher
+
+	shed *seqSet
+
+	backoff  time.Duration
+	lastNack time.Duration
+	seenNack bool
+	pending  []pendingNack
+
+	winStart time.Duration
+	winBytes int64
+}
+
+// NewGovernor returns a governor with cfg (zero fields defaulted),
+// reporting into m (nil is inert).
+func NewGovernor(cfg Config, m *Metrics) *Governor {
+	cfg = cfg.withDefaults()
+	g := &Governor{cfg: cfg, m: m, shed: newSeqSet(supersededRing)}
+	if cfg.Batch {
+		g.batcher = core.NewBatcher(cfg.MTU)
+	}
+	return g
+}
+
+// Config reports the governor's effective (defaulted) configuration.
+func (g *Governor) Config() Config { return g.cfg }
+
+// Grant reports the granted rate in bits per second (0 = ungoverned).
+func (g *Governor) Grant() uint64 { return g.rate }
+
+// QueueDepth reports the number of queued commands.
+func (g *Governor) QueueDepth() int { return len(g.queue) }
+
+// QueueBytes reports the queued wire bytes.
+func (g *Governor) QueueBytes() int { return g.queueBytes }
+
+// SetGrant applies a console BandwidthGrant. The first grant fills the
+// token bucket so the session starts with a full burst; later grants only
+// change the refill rate.
+func (g *Governor) SetGrant(now time.Duration, bps uint64) {
+	g.refill(now)
+	if g.rate == 0 && bps > 0 {
+		g.tokens = float64(g.cfg.BurstBytes)
+		g.retry = g.retryCap()
+	}
+	g.rate = bps
+	g.clamp()
+	g.m.grantBps(int64(bps))
+}
+
+// refill accrues tokens for the time since the last call.
+func (g *Governor) refill(now time.Duration) {
+	if !g.primed {
+		g.primed = true
+		g.last = now
+		g.winStart = now
+		return
+	}
+	dt := now - g.last
+	if dt <= 0 {
+		return
+	}
+	g.last = now
+	if g.rate == 0 {
+		return
+	}
+	sec := dt.Seconds()
+	g.tokens += float64(g.rate) / 8 * sec
+	g.retry += float64(g.rate) * g.cfg.RetransmitShare / 8 * sec
+	g.clamp()
+	if now-g.winStart >= utilizationWindow {
+		g.m.utilization(g.winBytes, g.rate, now-g.winStart)
+		g.winStart = now
+		g.winBytes = 0
+	}
+}
+
+func (g *Governor) retryCap() float64 {
+	return float64(g.cfg.BurstBytes) * g.cfg.RetransmitShare
+}
+
+func (g *Governor) clamp() {
+	if cap := float64(g.cfg.BurstBytes); g.tokens > cap {
+		g.tokens = cap
+	}
+	if cap := g.retryCap(); g.retry > cap {
+		g.retry = cap
+	}
+}
+
+// Submit offers one display command. Ungoverned sessions pass straight
+// through (zero allocations); governed ones enqueue, shedding older
+// queued commands the new one supersedes and evicting from the head on
+// overflow.
+func (g *Governor) Submit(now time.Duration, it Item) SubmitResult {
+	g.refill(now)
+	g.m.submittedInc()
+	if g.rate == 0 {
+		g.m.releasedDirect(int64(it.Bytes()))
+		return SubmitResult{Pass: true}
+	}
+	var res SubmitResult
+	if g.queueBytes >= g.cfg.SupersedeThresholdBytes {
+		res.Superseded = g.supersede(it)
+	}
+	g.queue = append(g.queue, entry{it: it, at: now})
+	g.queueBytes += it.Bytes()
+	for g.queueBytes > g.cfg.MaxQueueBytes && len(g.queue) > 1 {
+		head := g.queue[0].it
+		g.queue = g.queue[1:]
+		g.queueBytes -= head.Bytes()
+		g.shed.add(head.Seq)
+		res.Evicted = append(res.Evicted, head)
+		g.m.evictedInc()
+	}
+	res.Depth = len(g.queue)
+	g.m.queue(len(g.queue), g.queueBytes)
+	return res
+}
+
+// supersede sheds queued commands fully covered by it. Only pure writes
+// supersede (COPY output depends on current console pixels), and a queued
+// command is kept while any later queued COPY still reads its rect — the
+// console applies in order, so the covering write must land before any
+// such read for the shed to be invisible.
+func (g *Governor) supersede(it Item) []Item {
+	if it.Msg == nil {
+		return nil
+	}
+	if _, reads := core.ReadRect(it.Msg); reads {
+		return nil
+	}
+	cover := core.WriteRect(it.Msg)
+	if cover.Pixels() == 0 {
+		return nil
+	}
+	var shed []Item
+	var guards []protocol.Rect // source rects of surviving later queued COPYs
+	if cap(g.dropScratch) < len(g.queue) {
+		g.dropScratch = make([]bool, len(g.queue))
+	}
+	drop := g.dropScratch[:len(g.queue)]
+	// Scan newest→oldest so each candidate sees the reads queued after it.
+	for i := len(g.queue) - 1; i >= 0; i-- {
+		e := g.queue[i]
+		w := core.WriteRect(e.it.Msg)
+		if e.it.Msg != nil && w.Pixels() > 0 && rectContains(cover, w) && !rectIntersectsAny(w, guards) {
+			drop[i] = true
+			g.queueBytes -= e.it.Bytes()
+			g.shed.add(e.it.Seq)
+			shed = append(shed, e.it)
+			g.m.supersededInc(int64(e.it.Bytes()))
+			continue
+		}
+		drop[i] = false
+		if src, ok := core.ReadRect(e.it.Msg); ok {
+			guards = append(guards, src)
+		}
+	}
+	if len(shed) == 0 {
+		return nil
+	}
+	// Compact forward (aliasing is safe: writes trail reads).
+	kept := g.queue[:0]
+	for i, e := range g.queue {
+		if !drop[i] {
+			kept = append(kept, e)
+		}
+	}
+	g.queue = kept
+	// shed accumulated newest-first; report oldest-first.
+	for i, j := 0, len(shed)-1; i < j; i, j = i+1, j-1 {
+		shed[i], shed[j] = shed[j], shed[i]
+	}
+	return shed
+}
+
+// Release returns the packets the grant allows to leave now, in sequence
+// order. With batching enabled, runs of small FILL/COPY commands coalesce
+// into batch frames.
+func (g *Governor) Release(now time.Duration) []Packet {
+	g.refill(now)
+	if len(g.queue) == 0 {
+		return nil
+	}
+	n := 0
+	burst := float64(g.cfg.BurstBytes)
+	for _, e := range g.queue {
+		cost := float64(e.it.Bytes())
+		if g.rate != 0 && g.tokens < cost && g.tokens < burst {
+			// Not enough tokens — and the bucket is not full, so waiting
+			// will help. (A command larger than the whole burst goes out
+			// when the bucket is full, driving tokens negative: an
+			// oversized command must not stall forever.)
+			break
+		}
+		if g.rate != 0 {
+			g.tokens -= cost
+		}
+		g.winBytes += int64(cost)
+		g.m.release(int64(cost), now-e.at, e.it.Retransmit)
+		n++
+	}
+	if n == 0 {
+		return nil
+	}
+	pkts := g.pack(g.queue[:n])
+	for _, e := range g.queue[:n] {
+		g.queueBytes -= e.it.Bytes()
+	}
+	rest := copy(g.queue, g.queue[n:])
+	g.queue = g.queue[:rest]
+	g.m.queue(len(g.queue), g.queueBytes)
+	return pkts
+}
+
+// pack turns released entries into transport packets, batching runs of
+// small FILL/COPY commands when enabled.
+func (g *Governor) pack(es []entry) []Packet {
+	pkts := make([]Packet, 0, len(es))
+	if g.batcher == nil {
+		for _, e := range es {
+			pkts = append(pkts, Packet{Wire: e.it.Wire, Items: []Item{e.it}})
+		}
+		return pkts
+	}
+	var pend []Item
+	flush := func(wires [][]byte) {
+		for _, w := range wires {
+			pkts = append(pkts, Packet{Wire: w, Items: pend})
+			pend = nil
+		}
+	}
+	for _, e := range es {
+		it := e.it
+		t := it.Cmd
+		batchable := it.Msg != nil && (t == protocol.TypeFill || t == protocol.TypeCopy)
+		if !batchable {
+			flush(g.batcher.Flush())
+			pkts = append(pkts, Packet{Wire: it.Wire, Items: []Item{it}})
+			continue
+		}
+		flush(g.batcher.Add(core.Datagram{Seq: it.Seq, Msg: it.Msg}))
+		pend = append(pend, it)
+	}
+	flush(g.batcher.Flush())
+	return pkts
+}
+
+// NextRelease reports when the governor next has work the grant will
+// allow: the head-of-queue release time or the earliest due retransmit
+// round. ok is false when nothing is pending.
+func (g *Governor) NextRelease(now time.Duration) (time.Duration, bool) {
+	g.refill(now)
+	at := time.Duration(0)
+	ok := false
+	consider := func(t time.Duration) {
+		if !ok || t < at {
+			at, ok = t, true
+		}
+	}
+	if len(g.queue) > 0 {
+		if g.rate == 0 {
+			consider(now)
+		} else {
+			cost := float64(g.queue[0].it.Bytes())
+			if g.tokens >= cost || g.tokens >= float64(g.cfg.BurstBytes) {
+				consider(now)
+			} else {
+				deficit := cost - g.tokens
+				consider(now + bytesTime(deficit, g.rate))
+			}
+		}
+	}
+	for _, p := range g.pending {
+		t := p.readyAt
+		if g.rate != 0 && g.retry <= 0 {
+			t = maxDuration(t, now+bytesTime(1-g.retry, float64(g.rate)*g.cfg.RetransmitShare))
+		}
+		consider(t)
+	}
+	return at, ok
+}
+
+// bytesTime is how long rate bps takes to move n bytes.
+func bytesTime[R uint64 | float64](n float64, rate R) time.Duration {
+	if rate <= 0 {
+		return 0
+	}
+	return time.Duration(n * 8 / float64(rate) * float64(time.Second))
+}
+
+func maxDuration(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// OnNack decides the fate of one console loss report. Fully-superseded
+// ranges are suppressed (newer queued state covers every pixel they
+// touched). Otherwise the retransmit budget and backoff decide between
+// regenerating now and parking the range for DueNacks.
+func (g *Governor) OnNack(now time.Duration, from, to uint32) NackVerdict {
+	g.refill(now)
+	if g.allShed(from, to) {
+		g.m.nackSuppressed()
+		return NackSuppressed
+	}
+	// Escalate the backoff while NACKs keep arriving; a quiet period
+	// (longer than the current backoff, at least the max) resets it.
+	quiet := maxDuration(2*g.backoff, g.cfg.RetransmitBackoffMax)
+	if g.seenNack && now-g.lastNack <= quiet {
+		if g.backoff == 0 {
+			g.backoff = g.cfg.RetransmitBackoff
+		} else if g.backoff < g.cfg.RetransmitBackoffMax {
+			g.backoff = minDuration(2*g.backoff, g.cfg.RetransmitBackoffMax)
+		}
+	} else {
+		g.backoff = 0
+	}
+	g.lastNack = now
+	g.seenNack = true
+	if g.rate == 0 || (g.backoff == 0 && g.retry > 0) {
+		g.m.nackRetransmit()
+		return NackRetransmit
+	}
+	g.pending = append(g.pending, pendingNack{from: from, to: to, readyAt: now + g.backoff})
+	g.m.nackDeferred()
+	return NackDeferred
+}
+
+func minDuration(a, b time.Duration) time.Duration {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// allShed reports whether every sequence in [from, to] was superseded.
+func (g *Governor) allShed(from, to uint32) bool {
+	if g.shed.len() == 0 || to < from || uint64(to)-uint64(from) > supersededRing {
+		return false
+	}
+	for seq := from; ; seq++ {
+		if !g.shed.contains(seq) {
+			return false
+		}
+		if seq == to {
+			return true
+		}
+	}
+}
+
+// SpendRetry charges regenerated repaint bytes against the retransmit
+// budget. Callers invoke it with the wire bytes HandleNack produced for a
+// NackRetransmit verdict or a due range.
+func (g *Governor) SpendRetry(bytes int) {
+	g.retry -= float64(bytes)
+	g.m.retransmitBytes(int64(bytes))
+}
+
+// DueNacks pops the parked retransmit ranges whose backoff has expired,
+// provided the retransmit budget has recovered. The caller regenerates
+// their repaints (fresh encoder state — a deferred repaint sends the
+// *latest* pixels, one more way lateness cheapens recovery).
+func (g *Governor) DueNacks(now time.Duration) []protocol.Nack {
+	g.refill(now)
+	if len(g.pending) == 0 || (g.rate != 0 && g.retry <= 0) {
+		return nil
+	}
+	var due []protocol.Nack
+	kept := g.pending[:0]
+	for _, p := range g.pending {
+		if p.readyAt <= now {
+			due = append(due, protocol.Nack{From: p.from, To: p.to})
+		} else {
+			kept = append(kept, p)
+		}
+	}
+	g.pending = kept
+	return due
+}
+
+// Reset drops all queued state — the attach path calls it when a session
+// moves to a new console, where a full repaint follows anyway.
+func (g *Governor) Reset(now time.Duration) {
+	g.refill(now)
+	g.queue = g.queue[:0]
+	g.queueBytes = 0
+	g.pending = g.pending[:0]
+	if g.batcher != nil {
+		g.batcher.Flush()
+	}
+	g.m.queue(0, 0)
+}
+
+// rectContains reports whether a fully contains b (empty b is contained
+// nowhere: callers filtered it).
+func rectContains(a, b protocol.Rect) bool {
+	return b.X >= a.X && b.Y >= a.Y &&
+		b.X+b.W <= a.X+a.W && b.Y+b.H <= a.Y+a.H
+}
+
+// rectIntersects reports whether a and b share any pixel.
+func rectIntersects(a, b protocol.Rect) bool {
+	return a.X < b.X+b.W && b.X < a.X+a.W &&
+		a.Y < b.Y+b.H && b.Y < a.Y+a.H
+}
+
+func rectIntersectsAny(r protocol.Rect, rs []protocol.Rect) bool {
+	for _, o := range rs {
+		if rectIntersects(r, o) {
+			return true
+		}
+	}
+	return false
+}
+
+// seqSet remembers the most recent n superseded sequence numbers.
+type seqSet struct {
+	ring []uint32
+	set  map[uint32]struct{}
+	n    uint64
+}
+
+func newSeqSet(capacity int) *seqSet {
+	return &seqSet{ring: make([]uint32, capacity), set: make(map[uint32]struct{})}
+}
+
+func (s *seqSet) add(seq uint32) {
+	i := s.n % uint64(len(s.ring))
+	if s.n >= uint64(len(s.ring)) {
+		delete(s.set, s.ring[i])
+	}
+	s.ring[i] = seq
+	s.set[seq] = struct{}{}
+	s.n++
+}
+
+func (s *seqSet) contains(seq uint32) bool {
+	_, ok := s.set[seq]
+	return ok
+}
+
+func (s *seqSet) len() int { return len(s.set) }

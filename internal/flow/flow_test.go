@@ -1,0 +1,429 @@
+package flow
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"slim/internal/fb"
+	"slim/internal/obs"
+	"slim/internal/protocol"
+)
+
+// fillItem builds a FILL item with real wire framing.
+func fillItem(seq uint32, r protocol.Rect, c protocol.Pixel) Item {
+	msg := &protocol.Fill{Rect: r, Color: c}
+	return Item{Seq: seq, Cmd: protocol.TypeFill, Msg: msg, Wire: protocol.Encode(nil, seq, msg)}
+}
+
+func copyItem(seq uint32, src protocol.Rect, dx, dy int) Item {
+	msg := &protocol.Copy{Rect: src, DstX: dx, DstY: dy}
+	return Item{Seq: seq, Cmd: protocol.TypeCopy, Msg: msg, Wire: protocol.Encode(nil, seq, msg)}
+}
+
+func setItem(seq uint32, r protocol.Rect, c protocol.Pixel) Item {
+	px := make([]protocol.Pixel, r.Pixels())
+	for i := range px {
+		px[i] = c
+	}
+	msg := &protocol.Set{Rect: r, Pixels: px}
+	return Item{Seq: seq, Cmd: protocol.TypeSet, Msg: msg, Wire: protocol.Encode(nil, seq, msg)}
+}
+
+func TestUngovernedPassesThrough(t *testing.T) {
+	g := NewGovernor(Config{}, nil)
+	res := g.Submit(0, fillItem(1, protocol.Rect{W: 10, H: 10}, 0))
+	if !res.Pass {
+		t.Fatal("ungoverned submit should pass through")
+	}
+	if g.QueueDepth() != 0 {
+		t.Fatalf("queue depth = %d, want 0", g.QueueDepth())
+	}
+}
+
+func TestGrantQueuesAndPaces(t *testing.T) {
+	g := NewGovernor(Config{BurstBytes: 64, MaxQueueBytes: 1 << 20}, nil)
+	g.SetGrant(0, 8000) // 1000 bytes/s
+	it := fillItem(1, protocol.Rect{W: 4, H: 4}, 1)
+	size := it.Bytes()
+	// First submit fits in the 64-byte burst; queue more than the burst
+	// covers and they must wait for refill.
+	n := 10
+	for i := 0; i < n; i++ {
+		// Disjoint rects so supersession never sheds any of them.
+		it := fillItem(uint32(i+1), protocol.Rect{X: i * 10, W: 4, H: 4}, 1)
+		if res := g.Submit(0, it); res.Pass {
+			t.Fatal("granted governor must queue")
+		}
+	}
+	first := g.Release(0)
+	got := 0
+	for _, p := range first {
+		got += len(p.Items)
+	}
+	if want := 64 / size; got != want {
+		t.Fatalf("burst released %d commands, want %d (size %d)", got, want, size)
+	}
+	// After one second, 1000 bytes of tokens arrive (capped at burst —
+	// but drained continuously they cover 1000/size more commands).
+	total := got
+	for ms := 50; ms <= 1000; ms += 50 {
+		for _, p := range g.Release(time.Duration(ms) * time.Millisecond) {
+			total += len(p.Items)
+		}
+	}
+	want := min(n, (64+1000)/size)
+	if total != want {
+		t.Fatalf("released %d commands after 1s, want %d", total, want)
+	}
+	if _, ok := g.NextRelease(time.Second); ok != (total < n) {
+		t.Fatalf("NextRelease ok = %v with %d/%d released", ok, total, n)
+	}
+}
+
+// TestPacingWindowBoundProperty: over any 100 ms window, released bytes
+// never exceed grant/8 × 0.1 s plus one burst (plus one oversized command,
+// which may exceed the burst only when the bucket is full).
+func TestPacingWindowBoundProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		rate := uint64(rng.Intn(990)+10) * 1000 // 10k..1M bps
+		burst := rng.Intn(8<<10) + 512
+		g := NewGovernor(Config{BurstBytes: burst, MaxQueueBytes: 1 << 30}, nil)
+		g.SetGrant(0, rate)
+
+		type rel struct {
+			at    time.Duration
+			bytes int
+		}
+		var rels []rel
+		maxItem := 0
+		now := time.Duration(0)
+		seq := uint32(0)
+		record := func(pkts []Packet) {
+			for _, p := range pkts {
+				n := 0
+				for _, it := range p.Items {
+					n += it.Bytes()
+				}
+				rels = append(rels, rel{at: now, bytes: n})
+			}
+		}
+		for step := 0; step < 400; step++ {
+			now += time.Duration(rng.Intn(20_000)) * time.Microsecond
+			k := rng.Intn(4)
+			for i := 0; i < k; i++ {
+				seq++
+				side := rng.Intn(200) + 1
+				it := setItem(seq, protocol.Rect{X: rng.Intn(100), Y: rng.Intn(100), W: side, H: 1}, protocol.Pixel(rng.Uint32()))
+				if b := it.Bytes(); b > maxItem {
+					maxItem = b
+				}
+				g.Submit(now, it)
+			}
+			record(g.Release(now))
+		}
+		// Sliding 100 ms window over every release point.
+		const win = 100 * time.Millisecond
+		bound := float64(rate)/8*win.Seconds() + float64(max(burst, maxItem)) + 1
+		for i := range rels {
+			sum := 0
+			for j := i; j < len(rels) && rels[j].at-rels[i].at <= win; j++ {
+				sum += rels[j].bytes
+			}
+			if float64(sum) > bound {
+				t.Fatalf("trial %d: %d bytes released in a 100ms window, bound %.0f (rate %d bps, burst %d, maxItem %d)",
+					trial, sum, bound, rate, burst, maxItem)
+			}
+		}
+	}
+}
+
+// TestSupersessionEquivalenceProperty: applying only the surviving
+// (non-superseded) commands must leave the frame buffer identical to
+// applying every submitted command — shedding is invisible on glass.
+func TestSupersessionEquivalenceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const W, H = 64, 64
+	for trial := 0; trial < 200; trial++ {
+		// Threshold 1 keeps every submit under backpressure; the frozen
+		// 1 bps grant stops releases until the end, when the full burst
+		// lets everything out at once.
+		g := NewGovernor(Config{BurstBytes: 1 << 20, SupersedeThresholdBytes: 1, MaxQueueBytes: 1 << 30}, nil)
+		g.SetGrant(0, 1) // effectively frozen: 1 bps
+
+		var all []Item
+		shedCount := 0
+		for seq := uint32(1); seq <= 60; seq++ {
+			var it Item
+			r := protocol.Rect{X: rng.Intn(W), Y: rng.Intn(H), W: rng.Intn(W/2) + 1, H: rng.Intn(H/2) + 1}
+			switch rng.Intn(3) {
+			case 0:
+				it = fillItem(seq, r, protocol.Pixel(rng.Uint32()&0xffffff))
+			case 1:
+				it = setItem(seq, protocol.Rect{X: r.X, Y: r.Y, W: r.W, H: 1}, protocol.Pixel(rng.Uint32()&0xffffff))
+			default:
+				it = copyItem(seq, r, rng.Intn(W), rng.Intn(H))
+			}
+			all = append(all, it)
+			res := g.Submit(0, it)
+			shedCount += len(res.Superseded)
+			if len(res.Evicted) > 0 {
+				t.Fatal("eviction disabled by MaxQueueBytes, yet items evicted")
+			}
+		}
+		// Release everything.
+		g.SetGrant(0, 1<<40)
+		var survived []Item
+		for _, p := range g.Release(time.Millisecond) {
+			survived = append(survived, p.Items...)
+		}
+
+		ref := fb.New(W, H)
+		got := fb.New(W, H)
+		for _, it := range all {
+			if err := ref.Apply(it.Msg); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, it := range survived {
+			if err := got.Apply(it.Msg); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !got.Equal(ref) {
+			t.Fatalf("trial %d: shedding %d commands changed final frame buffer", trial, shedCount)
+		}
+	}
+}
+
+func TestSupersededNackSuppressed(t *testing.T) {
+	g := NewGovernor(Config{BurstBytes: 1 << 20, SupersedeThresholdBytes: 1, MaxQueueBytes: 1 << 20}, nil)
+	g.SetGrant(0, 1)
+	// Disjoint rects, both inside the eventual cover.
+	g.Submit(0, fillItem(1, protocol.Rect{X: 4, Y: 4, W: 8, H: 8}, 1))
+	g.Submit(0, fillItem(2, protocol.Rect{X: 16, Y: 4, W: 8, H: 8}, 2))
+	res := g.Submit(0, fillItem(3, protocol.Rect{X: 0, Y: 0, W: 32, H: 32}, 3))
+	if len(res.Superseded) != 2 {
+		t.Fatalf("superseded %d, want 2", len(res.Superseded))
+	}
+	if v := g.OnNack(0, 1, 2); v != NackSuppressed {
+		t.Fatalf("nack over fully-superseded range: verdict %v, want NackSuppressed", v)
+	}
+	if v := g.OnNack(0, 1, 3); v == NackSuppressed {
+		t.Fatal("nack range including a live seq must not be suppressed")
+	}
+}
+
+func TestRetransmitBackoff(t *testing.T) {
+	cfg := Config{
+		BurstBytes:           1 << 10,
+		RetransmitBackoff:    10 * time.Millisecond,
+		RetransmitBackoffMax: 80 * time.Millisecond,
+	}
+	g := NewGovernor(cfg, nil)
+	g.SetGrant(0, 1_000_000)
+	if v := g.OnNack(0, 1, 2); v != NackRetransmit {
+		t.Fatalf("first nack: %v, want NackRetransmit", v)
+	}
+	// A storm of nacks escalates into deferral.
+	deferred := 0
+	now := time.Duration(0)
+	for i := 0; i < 6; i++ {
+		now += time.Millisecond
+		if g.OnNack(now, uint32(3+i), uint32(3+i)) == NackDeferred {
+			deferred++
+		}
+	}
+	if deferred == 0 {
+		t.Fatal("nack storm never deferred")
+	}
+	if due := g.DueNacks(now); len(due) != 0 {
+		t.Fatalf("deferred ranges due immediately: %v", due)
+	}
+	due := g.DueNacks(now + cfg.RetransmitBackoffMax + time.Millisecond)
+	if len(due) != deferred {
+		t.Fatalf("due %d ranges after backoff, want %d", len(due), deferred)
+	}
+	// Quiet period resets the backoff.
+	quiet := now + 10*cfg.RetransmitBackoffMax
+	if v := g.OnNack(quiet, 100, 100); v != NackRetransmit {
+		t.Fatalf("nack after quiet period: %v, want NackRetransmit", v)
+	}
+}
+
+func TestRetransmitBudgetDefers(t *testing.T) {
+	g := NewGovernor(Config{BurstBytes: 1 << 10, RetransmitShare: 0.25}, nil)
+	g.SetGrant(0, 8_000) // 1000 B/s → retry budget 250 B/s, cap 256 B
+	if v := g.OnNack(0, 1, 1); v != NackRetransmit {
+		t.Fatalf("verdict %v, want NackRetransmit", v)
+	}
+	g.SpendRetry(10_000) // repaint far larger than the budget
+	// Budget is deep in debt: the next nack defers even though backoff
+	// alone would allow it after the quiet window.
+	now := 10 * DefaultRetransmitBackoffMax
+	if v := g.OnNack(now, 2, 2); v != NackDeferred {
+		t.Fatalf("verdict %v, want NackDeferred while budget in debt", v)
+	}
+	if due := g.DueNacks(now + time.Millisecond); due != nil {
+		t.Fatalf("due %v while budget in debt", due)
+	}
+	// ~40 s at 250 B/s repays the debt.
+	later := now + 45*time.Second
+	if due := g.DueNacks(later); len(due) != 1 {
+		t.Fatalf("due %v after budget recovery, want the parked range", due)
+	}
+}
+
+func TestQueueOverflowEvictsOldest(t *testing.T) {
+	g := NewGovernor(Config{BurstBytes: 32, MaxQueueBytes: 64, SupersedeThresholdBytes: 1 << 20}, nil)
+	g.SetGrant(0, 8)
+	var sizes []int
+	var first Item
+	for seq := uint32(1); seq <= 6; seq++ {
+		it := fillItem(seq, protocol.Rect{X: int(seq), W: 1, H: 1}, 1)
+		if seq == 1 {
+			first = it
+		}
+		sizes = append(sizes, it.Bytes())
+		res := g.Submit(0, it)
+		if seq >= 5 && len(res.Evicted) == 0 && g.QueueBytes() > 64 {
+			t.Fatalf("queue %dB exceeds MaxQueueBytes with no eviction", g.QueueBytes())
+		}
+	}
+	if g.QueueBytes() > 64 {
+		t.Fatalf("queue %dB exceeds bound", g.QueueBytes())
+	}
+	// The evicted head must be remembered for NACK suppression.
+	if v := g.OnNack(0, first.Seq, first.Seq); v != NackSuppressed {
+		t.Fatalf("nack for evicted head: %v, want NackSuppressed", v)
+	}
+	_ = sizes
+}
+
+func TestBatchCoalescesFills(t *testing.T) {
+	g := NewGovernor(Config{Batch: true, BurstBytes: 1 << 16, MaxQueueBytes: 1 << 20}, nil)
+	g.SetGrant(0, 1<<30)
+	for seq := uint32(1); seq <= 8; seq++ {
+		g.Submit(0, fillItem(seq, protocol.Rect{X: int(seq), W: 2, H: 2}, protocol.Pixel(seq)))
+	}
+	pkts := g.Release(time.Millisecond)
+	if len(pkts) != 1 {
+		t.Fatalf("got %d packets, want 1 batch", len(pkts))
+	}
+	if !protocol.IsBatch(pkts[0].Wire) {
+		t.Fatal("coalesced packet is not batch-framed")
+	}
+	seqs, msgs, err := protocol.DecodeBatch(pkts[0].Wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 8 || len(pkts[0].Items) != 8 {
+		t.Fatalf("batch holds %d msgs / %d items, want 8", len(msgs), len(pkts[0].Items))
+	}
+	for i, s := range seqs {
+		if s != pkts[0].Items[i].Seq {
+			t.Fatalf("batch seq %d = %d, want %d", i, s, pkts[0].Items[i].Seq)
+		}
+	}
+}
+
+func TestBatchKeepsLargeCommandsPlain(t *testing.T) {
+	g := NewGovernor(Config{Batch: true, BurstBytes: 1 << 20, MaxQueueBytes: 1 << 24}, nil)
+	g.SetGrant(0, 1<<30)
+	g.Submit(0, fillItem(1, protocol.Rect{W: 2, H: 2}, 1))
+	g.Submit(0, setItem(2, protocol.Rect{W: 300, H: 1}, 2))
+	g.Submit(0, fillItem(3, protocol.Rect{W: 2, H: 2}, 3))
+	pkts := g.Release(time.Millisecond)
+	if len(pkts) != 3 {
+		t.Fatalf("got %d packets, want 3 (fill batch, plain set, fill batch)", len(pkts))
+	}
+	if protocol.IsBatch(pkts[1].Wire) {
+		t.Fatal("large SET must stay plain-framed")
+	}
+	// Sequence order must survive the batching.
+	var got []uint32
+	for _, p := range pkts {
+		for _, it := range p.Items {
+			got = append(got, it.Seq)
+		}
+	}
+	for i, s := range got {
+		if s != uint32(i+1) {
+			t.Fatalf("release order %v not sequential", got)
+		}
+	}
+}
+
+func TestMetricsPublish(t *testing.T) {
+	r := obs.NewRegistry(obs.DomainWall)
+	m := NewMetrics(r, "alice")
+	g := NewGovernor(Config{BurstBytes: 1 << 20, SupersedeThresholdBytes: 1, MaxQueueBytes: 1 << 20}, m)
+	g.SetGrant(0, 1)
+	rect := protocol.Rect{X: 1, Y: 1, W: 4, H: 4}
+	g.Submit(0, fillItem(1, rect, 1))
+	g.Submit(0, fillItem(2, protocol.Rect{W: 16, H: 16}, 2))
+	snap := r.Snapshot()
+	if snap.Counters["slim_flow_superseded_total"] != 1 {
+		t.Fatalf("superseded_total = %d, want 1", snap.Counters["slim_flow_superseded_total"])
+	}
+	if snap.Gauges[`slim_flow_queue_depth{session="alice"}`] != 1 {
+		t.Fatalf("queue depth gauge = %d, want 1", snap.Gauges[`slim_flow_queue_depth{session="alice"}`])
+	}
+	if snap.Gauges[`slim_flow_grant_bps{session="alice"}`] != 1 {
+		t.Fatal("grant gauge missing")
+	}
+	// Utilization publishes once a window elapses.
+	g.SetGrant(0, 1<<20)
+	g.Release(time.Millisecond)
+	g.Release(2 * time.Second)
+	snap = r.Snapshot()
+	if _, ok := snap.Gauges[`slim_flow_grant_utilization{session="alice"}`]; !ok {
+		t.Fatal("grant utilization gauge missing")
+	}
+	m.Unregister(r)
+	snap = r.Snapshot()
+	if _, ok := snap.Gauges[`slim_flow_queue_depth{session="alice"}`]; ok {
+		t.Fatal("Unregister left per-session gauges behind")
+	}
+	if _, ok := snap.Counters["slim_flow_superseded_total"]; !ok {
+		t.Fatal("Unregister must keep shared totals")
+	}
+}
+
+// TestUngovernedZeroAlloc pins the disabled-path allocation count at zero;
+// the benchmarks in bench guard it over time.
+func TestUngovernedZeroAlloc(t *testing.T) {
+	g := NewGovernor(Config{}, nil)
+	it := fillItem(1, protocol.Rect{W: 8, H: 8}, 1)
+	allocs := testing.AllocsPerRun(1000, func() {
+		g.Submit(0, it)
+		g.Release(0)
+	})
+	if allocs != 0 {
+		t.Fatalf("ungoverned submit+release allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func BenchmarkSubmitUngoverned(b *testing.B) {
+	g := NewGovernor(Config{}, nil)
+	it := fillItem(1, protocol.Rect{W: 8, H: 8}, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Submit(0, it)
+		g.Release(0)
+	}
+}
+
+func BenchmarkSubmitGoverned(b *testing.B) {
+	g := NewGovernor(Config{BurstBytes: 1 << 16, MaxQueueBytes: 1 << 20}, nil)
+	g.SetGrant(0, 1<<30)
+	it := fillItem(1, protocol.Rect{W: 8, H: 8}, 1)
+	b.ReportAllocs()
+	now := time.Duration(0)
+	for i := 0; i < b.N; i++ {
+		now += time.Microsecond
+		g.Submit(now, it)
+		g.Release(now)
+	}
+}

@@ -1,0 +1,163 @@
+package flow
+
+import (
+	"fmt"
+	"time"
+
+	"slim/internal/obs"
+)
+
+// Metrics publishes one governor's accounting through internal/obs. The
+// process-wide totals (submitted, released, superseded, evicted,
+// retransmit verdicts, pacing delay) share unlabeled instruments across
+// sessions; the instantaneous per-session state (queue depth and bytes,
+// granted bps, grant utilization) is labeled by session so /debug shows
+// each session's governor live. A nil *Metrics is inert.
+type Metrics struct {
+	submitted   *obs.Counter
+	releasedN   *obs.Counter
+	releasedB   *obs.Counter
+	superseded  *obs.Counter
+	supersededB *obs.Counter
+	evictedN    *obs.Counter
+	nackNow     *obs.Counter
+	nackLater   *obs.Counter
+	nackShed    *obs.Counter
+	retransB    *obs.Counter
+	pacingDelay *obs.Histogram
+
+	depth  *obs.Gauge
+	bytes  *obs.Gauge
+	grant  *obs.Gauge
+	util   *obs.Gauge
+	labels []string
+}
+
+// NewMetrics resolves the flow instrument family in r, labeling the
+// per-session gauges with session. The registry's clock domain is the
+// caller's choice: wall transports use obs.Default, virtual-time
+// simulations obs.Sim — pacing delays then carry that domain's time.
+func NewMetrics(r *obs.Registry, session string) *Metrics {
+	label := fmt.Sprintf("{session=%q}", session)
+	m := &Metrics{
+		submitted:   r.Counter("slim_flow_submitted_total"),
+		releasedN:   r.Counter("slim_flow_released_total"),
+		releasedB:   r.Counter("slim_flow_released_bytes_total"),
+		superseded:  r.Counter("slim_flow_superseded_total"),
+		supersededB: r.Counter("slim_flow_superseded_bytes_total"),
+		evictedN:    r.Counter("slim_flow_evicted_total"),
+		nackNow:     r.Counter("slim_flow_retransmits_total"),
+		nackLater:   r.Counter("slim_flow_retransmits_deferred_total"),
+		nackShed:    r.Counter("slim_flow_retransmits_suppressed_total"),
+		retransB:    r.Counter("slim_flow_retransmit_bytes_total"),
+		pacingDelay: r.Histogram("slim_flow_pacing_delay_seconds"),
+		depth:       r.Gauge("slim_flow_queue_depth" + label),
+		bytes:       r.Gauge("slim_flow_queue_bytes" + label),
+		grant:       r.Gauge("slim_flow_grant_bps" + label),
+		util:        r.Gauge("slim_flow_grant_utilization" + label),
+		labels: []string{
+			"slim_flow_queue_depth" + label,
+			"slim_flow_queue_bytes" + label,
+			"slim_flow_grant_bps" + label,
+			"slim_flow_grant_utilization" + label,
+		},
+	}
+	return m
+}
+
+// Unregister removes the per-session labeled series from r — the
+// session-termination half of NewMetrics. Shared totals survive.
+func (m *Metrics) Unregister(r *obs.Registry) {
+	if m == nil {
+		return
+	}
+	for _, name := range m.labels {
+		r.Remove(name)
+	}
+}
+
+func (m *Metrics) submittedInc() {
+	if m != nil {
+		m.submitted.Inc()
+	}
+}
+
+func (m *Metrics) releasedDirect(bytes int64) {
+	if m == nil {
+		return
+	}
+	m.releasedN.Inc()
+	m.releasedB.Add(bytes)
+}
+
+func (m *Metrics) release(bytes int64, delay time.Duration, retransmit bool) {
+	if m == nil {
+		return
+	}
+	m.releasedN.Inc()
+	m.releasedB.Add(bytes)
+	m.pacingDelay.Observe(delay)
+	_ = retransmit // retransmit bytes are charged once, in SpendRetry
+}
+
+func (m *Metrics) supersededInc(bytes int64) {
+	if m == nil {
+		return
+	}
+	m.superseded.Inc()
+	m.supersededB.Add(bytes)
+}
+
+func (m *Metrics) evictedInc() {
+	if m != nil {
+		m.evictedN.Inc()
+	}
+}
+
+func (m *Metrics) queue(depth, bytes int) {
+	if m == nil {
+		return
+	}
+	m.depth.Set(int64(depth))
+	m.bytes.Set(int64(bytes))
+}
+
+func (m *Metrics) grantBps(bps int64) {
+	if m != nil {
+		m.grant.Set(bps)
+	}
+}
+
+// utilization publishes the percentage of the grant the session actually
+// used over the elapsed accounting window.
+func (m *Metrics) utilization(bytes int64, rate uint64, elapsed time.Duration) {
+	if m == nil || rate == 0 || elapsed <= 0 {
+		return
+	}
+	granted := float64(rate) / 8 * elapsed.Seconds()
+	m.util.Set(int64(float64(bytes) / granted * 100))
+}
+
+func (m *Metrics) nackRetransmit() {
+	if m != nil {
+		m.nackNow.Inc()
+	}
+}
+
+func (m *Metrics) nackDeferred() {
+	if m != nil {
+		m.nackLater.Inc()
+	}
+}
+
+func (m *Metrics) nackSuppressed() {
+	if m != nil {
+		m.nackShed.Inc()
+	}
+}
+
+func (m *Metrics) retransmitBytes(bytes int64) {
+	if m != nil {
+		m.retransB.Add(bytes)
+	}
+}

@@ -80,6 +80,15 @@ const (
 	// EvBreach: the session's input-to-paint latency crossed the breach
 	// threshold. A = observed latency in nanoseconds, B = threshold.
 	EvBreach
+	// EvTxQueue: the flow governor queued a command instead of sending it
+	// immediately — the session is pacing to its bandwidth grant. A = wire
+	// bytes, B = queue depth after the enqueue.
+	EvTxQueue
+	// EvSupersede: the governor dropped a queued command because a newer
+	// queued command fully covers its affected rect — the paper's
+	// "send only latest state" shedding made visible. A = the superseding
+	// sequence number, B = wire bytes shed.
+	EvSupersede
 )
 
 var kindNames = [...]string{
@@ -93,8 +102,10 @@ var kindNames = [...]string{
 	EvStatus: "STATUS",
 	EvNack:   "NACK",
 	EvDrop:   "DROP",
-	EvLinkTx: "LINK_TX",
-	EvBreach: "BREACH",
+	EvLinkTx:    "LINK_TX",
+	EvBreach:    "BREACH",
+	EvTxQueue:   "TXQ",
+	EvSupersede: "SUPERSEDE",
 }
 
 // String names the event kind.
@@ -309,6 +320,18 @@ func (l *SessionLog) Nack(from, to uint32) {
 // Drop records one command lost in transit or shed by the console.
 func (l *SessionLog) Drop(seq uint32, cmd protocol.MsgType, bytes int64) {
 	l.record(Event{Kind: EvDrop, Cmd: cmd, Seq: seq, A: bytes})
+}
+
+// TxQueue records the flow governor queueing one command for paced
+// release (depth is the queue depth after the enqueue).
+func (l *SessionLog) TxQueue(seq uint32, cmd protocol.MsgType, bytes, depth int64) {
+	l.record(Event{Kind: EvTxQueue, Cmd: cmd, Seq: seq, A: bytes, B: depth})
+}
+
+// Supersede records the governor shedding a queued command whose rect is
+// fully covered by the newer command bySeq.
+func (l *SessionLog) Supersede(seq uint32, cmd protocol.MsgType, bySeq uint32, bytes int64) {
+	l.record(Event{Kind: EvSupersede, Cmd: cmd, Seq: seq, A: int64(bySeq), B: bytes})
 }
 
 // Events returns the ring's surviving events in time order. A non-zero

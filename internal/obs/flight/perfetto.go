@@ -54,7 +54,7 @@ func lane(k Kind) int {
 		return laneInput
 	case EvOp, EvEncode:
 		return laneEncode
-	case EvTx, EvRx, EvDrop:
+	case EvTx, EvRx, EvDrop, EvTxQueue, EvSupersede:
 		return laneTransport
 	case EvDecode, EvPaint, EvStatus, EvNack:
 		return laneConsole

@@ -1,0 +1,168 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"slim/internal/flow"
+	"slim/internal/obs"
+	"slim/internal/obs/flight"
+	"slim/internal/protocol"
+)
+
+// newFlowServer builds a governed server over tr with a hermetic registry
+// and recorder, granting sessions bps once attached.
+func newFlowServer(t *testing.T, tr Transport, cfg flow.Config) (*Server, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry(obs.DomainWall)
+	rec := flight.New(obs.DomainWall).Instrument(reg)
+	s := New(tr, func(user string, w, h int) Application { return NewTerminal(w, h) },
+		WithRegistry(reg), WithFlightRecorder(rec), WithFlowControl(cfg))
+	s.Auth.Register("card-alice", "alice")
+	return s, reg
+}
+
+func TestFlowSessionRequestsBandwidth(t *testing.T) {
+	tr := newMemTransport()
+	s, _ := newFlowServer(t, tr, flow.Config{InitialBps: 1_000_000})
+	if !s.FlowEnabled() {
+		t.Fatal("FlowEnabled = false with WithFlowControl")
+	}
+	if err := s.Handle("c1", hello(64, 64, "card-alice"), 0); err != nil {
+		t.Fatal(err)
+	}
+	sess := s.SessionByUser("alice")
+	if sess.Governor() == nil {
+		t.Fatal("governed server created session without governor")
+	}
+	var req *protocol.BandwidthRequest
+	for _, msg := range tr.msgsTo(t, "c1") {
+		if m, ok := msg.(*protocol.BandwidthRequest); ok {
+			req = m
+		}
+	}
+	if req == nil {
+		t.Fatal("attach did not announce bandwidth demand to the console")
+	}
+	if req.SessionID != sess.ID || req.Bps != 1_000_000 {
+		t.Errorf("request = %+v", req)
+	}
+}
+
+// TestFlowGrantPacesTraffic grants a tiny rate, floods input-driven
+// damage, and checks queued commands release only as virtual time passes.
+func TestFlowGrantPacesTraffic(t *testing.T) {
+	tr := newMemTransport()
+	s, _ := newFlowServer(t, tr, flow.Config{
+		InitialBps: 1_000_000,
+		BurstBytes: 9000, // covers the 64x64 attach repaint, little more
+	})
+	if err := s.Handle("c1", hello(64, 64, "card-alice"), 0); err != nil {
+		t.Fatal(err)
+	}
+	sess := s.SessionByUser("alice")
+	// 8 kbit/s: roughly one keystroke echo's worth of bytes per second.
+	if err := s.Handle("c1", &protocol.BandwidthGrant{SessionID: sess.ID, Bps: 8_000}, 0); err != nil {
+		t.Fatal(err)
+	}
+	// The first grant fills the burst bucket; drain it with the repaint
+	// already queued plus a couple of keystrokes, then flood.
+	for i := 0; i < 400; i++ {
+		if err := s.Handle("c1", &protocol.KeyEvent{Code: uint16('a' + i%26), Down: true}, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gov := sess.Governor()
+	if gov.QueueDepth() == 0 {
+		t.Fatal("flooded governed session has an empty queue")
+	}
+	sentAt0 := len(tr.sent["c1"])
+	if _, _, err := s.PumpFlows(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tr.sent["c1"]); got != sentAt0 {
+		t.Errorf("pump at t=0 released %d datagrams with an empty bucket", got-sentAt0)
+	}
+	next, pending, err := s.PumpFlows(10 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tr.sent["c1"]); got == sentAt0 {
+		t.Error("pump after 10s released nothing")
+	}
+	if pending && next <= 10*time.Second {
+		t.Errorf("next release %v not in the future", next)
+	}
+}
+
+// TestFlowNackBudget drives repeated NACKs and checks the deferred ones
+// regenerate through PumpFlows once the backoff expires.
+func TestFlowNackBudget(t *testing.T) {
+	tr := newMemTransport()
+	s, _ := newFlowServer(t, tr, flow.Config{
+		InitialBps:        1_000_000,
+		BurstBytes:        1 << 16,
+		RetransmitShare:   0.25,
+		RetransmitBackoff: 20 * time.Millisecond,
+	})
+	if err := s.Handle("c1", hello(64, 64, "card-alice"), 0); err != nil {
+		t.Fatal(err)
+	}
+	sess := s.SessionByUser("alice")
+	if err := s.Handle("c1", &protocol.BandwidthGrant{SessionID: sess.ID, Bps: 1 << 30}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Handle("c1", &protocol.KeyEvent{Code: 'x', Down: true}, 0); err != nil {
+		t.Fatal(err)
+	}
+	last := sess.Encoder.LastSeq()
+	// First NACK retransmits immediately (budget full, no backoff).
+	sent0 := len(tr.sent["c1"])
+	if err := s.Handle("c1", &protocol.Nack{From: last, To: last}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.sent["c1"]) == sent0 {
+		t.Fatal("first nack produced no retransmit")
+	}
+	// A storm of immediate repeats escalates the backoff and defers.
+	deferred := false
+	for i := 0; i < 20 && !deferred; i++ {
+		now := time.Duration(i) * time.Millisecond
+		before := len(tr.sent["c1"])
+		if err := s.Handle("c1", &protocol.Nack{From: last, To: last}, now); err != nil {
+			t.Fatal(err)
+		}
+		deferred = len(tr.sent["c1"]) == before
+	}
+	if !deferred {
+		t.Fatal("nack storm never deferred a retransmit")
+	}
+	// The deferred range regenerates once its backoff expires.
+	before := len(tr.sent["c1"])
+	if _, _, err := s.PumpFlows(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.sent["c1"]) == before {
+		t.Error("deferred retransmit never regenerated")
+	}
+}
+
+// TestFlowTerminateUnregisters checks the labeled flow gauges leave the
+// registry with the session.
+func TestFlowTerminateUnregisters(t *testing.T) {
+	tr := newMemTransport()
+	s, reg := newFlowServer(t, tr, flow.Config{InitialBps: 1_000_000})
+	if err := s.Handle("c1", hello(64, 64, "card-alice"), 0); err != nil {
+		t.Fatal(err)
+	}
+	name := `slim_flow_queue_depth{session="alice"}`
+	if _, ok := reg.Snapshot().Gauges[name]; !ok {
+		t.Fatalf("governed session did not publish %s", name)
+	}
+	if err := s.Terminate("alice"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := reg.Snapshot().Gauges[name]; ok {
+		t.Errorf("%s survived Terminate", name)
+	}
+}

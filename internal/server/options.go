@@ -1,0 +1,47 @@
+package server
+
+import (
+	"slim/internal/core"
+	"slim/internal/flow"
+	"slim/internal/obs"
+	"slim/internal/obs/flight"
+)
+
+// Option configures a Server at construction. Options run before the
+// server is instrumented, so redirected registries and recorders are in
+// place before the first session resolves its instruments.
+type Option func(*Server)
+
+// WithRegistry redirects live metrics into r instead of the process-wide
+// obs.Default — hermetic tests and virtual-time simulations hand each
+// server its own registry.
+func WithRegistry(r *obs.Registry) Option {
+	return func(s *Server) { s.optObs = r }
+}
+
+// WithFlightRecorder points the server's causal flight recorder at rec
+// instead of flight.Default.
+func WithFlightRecorder(rec *flight.Recorder) Option {
+	return func(s *Server) { s.flight = rec }
+}
+
+// WithCostModel installs the console decode cost model (Table 5) the
+// server uses to derive flow-control defaults — the per-session demand it
+// requests from consoles and the pacing burst. It fills the Costs field
+// of a WithFlowControl config that left it nil.
+func WithCostModel(cm *core.CostModel) Option {
+	return func(s *Server) { s.costs = cm }
+}
+
+// WithFlowControl enables the grant-driven send governor (§7) for every
+// session: display traffic is paced to the console's BandwidthGrant,
+// stale queued damage is superseded under backpressure, and NACK
+// retransmits are budgeted so replay storms cannot starve fresh paints.
+// Zero-value fields take the flow package defaults; a nil cfg.Costs picks
+// up WithCostModel.
+func WithFlowControl(cfg flow.Config) Option {
+	return func(s *Server) {
+		cfg.Enabled = true
+		s.flowCfg = &cfg
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"slim/internal/core"
+	"slim/internal/flow"
 	"slim/internal/obs"
 	"slim/internal/obs/flight"
 	"slim/internal/protocol"
@@ -104,7 +105,17 @@ type Session struct {
 	// flog is the session's flight-recorder ring: every protocol event on
 	// this session's display path lands here, causally chained.
 	flog *flight.SessionLog
+	// gov paces display traffic to the console's bandwidth grant (§7);
+	// nil when the server runs without WithFlowControl.
+	gov *flow.Governor
+	// fm owns the session's labeled flow gauges so Terminate can evict
+	// them from the registry.
+	fm *flow.Metrics
 }
+
+// Governor exposes the session's send governor (nil when flow control is
+// disabled) — simulation harnesses drive its virtual-time pump directly.
+func (sess *Session) Governor() *flow.Governor { return sess.gov }
 
 // FlightLog exposes the session's flight-recorder ring (nil before the
 // session is instrumented).
@@ -133,6 +144,16 @@ type Server struct {
 	// flight is the causal flight recorder sessions record protocol
 	// events into (flight.Default unless redirected by WithFlight).
 	flight *flight.Recorder
+
+	// optObs is the registry chosen by WithRegistry, applied by New after
+	// all options have run (nil means obs.Default).
+	optObs *obs.Registry
+	// costs is the console decode cost model flow-control defaults derive
+	// from (WithCostModel).
+	costs *core.CostModel
+	// flowCfg enables the per-session send governor when non-nil
+	// (WithFlowControl).
+	flowCfg *flow.Config
 }
 
 type consoleState struct {
@@ -149,8 +170,10 @@ type consoleState struct {
 // zero and is repainted in full.
 const StatusLagThreshold = 512
 
-// New returns a server sending through the given transport.
-func New(t Transport, newApp func(user string, w, h int) Application) *Server {
+// New returns a server sending through the given transport. Options
+// configure observability and flow control; the zero-option call keeps
+// the historical defaults (obs.Default, flight.Default, no governor).
+func New(t Transport, newApp func(user string, w, h int) Application, opts ...Option) *Server {
 	s := &Server{
 		Auth:      NewAuthManager(),
 		NewApp:    newApp,
@@ -160,7 +183,24 @@ func New(t Transport, newApp func(user string, w, h int) Application) *Server {
 		consoles:  make(map[string]*consoleState),
 		flight:    flight.Default,
 	}
-	return s.Instrument(obs.Default)
+	for _, o := range opts {
+		o(s)
+	}
+	reg := obs.Default
+	if s.optObs != nil {
+		reg = s.optObs
+	}
+	if s.flowCfg != nil && s.flowCfg.Costs == nil {
+		s.flowCfg.Costs = s.costs
+	}
+	return s.Instrument(reg)
+}
+
+// FlowEnabled reports whether sessions are created with a send governor.
+func (s *Server) FlowEnabled() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.flowCfg != nil
 }
 
 // WithFlight points the server's flight recorder at rec (flight.Default
@@ -193,6 +233,9 @@ type outbound struct {
 	flog    *flight.SessionLog
 	seq     uint32
 	cmd     protocol.MsgType
+	// batch lists the member commands when wire is a coalesced batch frame
+	// from the flow governor (§5.4); each gets its own TX event.
+	batch []flow.Item
 }
 
 // HandleDatagram processes one console→server datagram.
@@ -258,7 +301,13 @@ func (s *Server) Handle(console string, msg protocol.Message, now time.Duration)
 func (s *Server) flush(out []outbound) error {
 	for _, o := range out {
 		if o.flog.Armed() {
-			o.flog.Tx(o.seq, o.cmd, int64(len(o.wire)))
+			if len(o.batch) > 0 {
+				for _, it := range o.batch {
+					o.flog.Tx(it.Seq, it.Cmd, int64(it.Bytes()))
+				}
+			} else {
+				o.flog.Tx(o.seq, o.cmd, int64(len(o.wire)))
+			}
 		}
 		if err := s.transport.Send(o.console, o.wire); err != nil {
 			return err
@@ -274,7 +323,7 @@ func (s *Server) handleLocked(out *[]outbound, console string, msg protocol.Mess
 	case *protocol.Hello:
 		s.consoles[console] = &consoleState{w: int(m.Width), h: int(m.Height)}
 		if m.CardToken != "" {
-			if err := s.attachByToken(out, console, m.CardToken); err != nil {
+			if err := s.attachByToken(out, console, m.CardToken, now); err != nil {
 				return err
 			}
 		}
@@ -286,21 +335,21 @@ func (s *Server) handleLocked(out *[]outbound, console string, msg protocol.Mess
 		if _, ok := s.consoles[console]; !ok {
 			return fmt.Errorf("%w: %q", ErrUnknownConsole, console)
 		}
-		return s.attachByToken(out, console, m.Token)
+		return s.attachByToken(out, console, m.Token, now)
 
 	case *protocol.KeyEvent:
 		sess, err := s.sessionFor(console)
 		if err != nil {
 			return err
 		}
-		return s.render(out, sess, sess.App.HandleKey(*m))
+		return s.render(out, sess, sess.App.HandleKey(*m), now)
 
 	case *protocol.PointerEvent:
 		sess, err := s.sessionFor(console)
 		if err != nil {
 			return err
 		}
-		return s.render(out, sess, sess.App.HandlePointer(*m))
+		return s.render(out, sess, sess.App.HandlePointer(*m), now)
 
 	case *protocol.Nack:
 		sess, err := s.sessionFor(console)
@@ -310,11 +359,33 @@ func (s *Server) handleLocked(out *[]outbound, console string, msg protocol.Mess
 		if sess.flog.Armed() {
 			sess.flog.Nack(m.From, m.To)
 		}
-		s.sendDatagrams(out, sess, sess.Encoder.HandleNack(*m))
+		if sess.gov == nil {
+			s.sendDatagrams(out, sess, sess.Encoder.HandleNack(*m), now)
+			return nil
+		}
+		switch sess.gov.OnNack(now, m.From, m.To) {
+		case flow.NackSuppressed, flow.NackDeferred:
+			// Suppressed: the gap is one the governor itself shed — newer
+			// queued state covers every pixel it touched. Deferred: the
+			// retransmit budget is spent; PumpFlows regenerates the range
+			// once the backoff expires, from the then-current frame buffer.
+			return nil
+		}
+		s.retransmit(out, sess, *m, now)
+		return nil
+
+	case *protocol.BandwidthGrant:
+		// Consoles arbitrate downstream bandwidth between sessions (§7);
+		// the grant addresses a session, not the console it arrived from.
+		// A stale grant for a terminated session is silently dropped.
+		if sess, ok := s.sessions[m.SessionID]; ok && sess.gov != nil {
+			sess.gov.SetGrant(now, m.Bps)
+			s.releaseFlow(out, sess, now)
+		}
 		return nil
 
 	case *protocol.Status:
-		return s.handleStatus(out, console, m)
+		return s.handleStatus(out, console, m, now)
 
 	case *protocol.Pong:
 		return nil // liveness; nothing to do
@@ -334,7 +405,7 @@ func (s *Server) handleLocked(out *[]outbound, console string, msg protocol.Mess
 // more than the in-flight window (console reboot — soft state is
 // disposable by design, §2.2). Recovery is always a repaint from the
 // authoritative frame buffer; never stop-and-wait. Callers hold s.mu.
-func (s *Server) handleStatus(out *[]outbound, console string, st *protocol.Status) error {
+func (s *Server) handleStatus(out *[]outbound, console string, st *protocol.Status, now time.Duration) error {
 	cs, ok := s.consoles[console]
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownConsole, console)
@@ -351,14 +422,14 @@ func (s *Server) handleStatus(out *[]outbound, console string, st *protocol.Stat
 	lag := sess.Encoder.LastSeq() > st.LastSeq &&
 		sess.Encoder.LastSeq()-st.LastSeq > StatusLagThreshold
 	if lost || lag {
-		s.sendDatagrams(out, sess, sess.Encoder.RepaintAll())
+		s.sendDatagrams(out, sess, sess.Encoder.RepaintAll(), now)
 	}
 	return nil
 }
 
 // attachByToken authenticates a card token and moves the user's session to
 // the given console, creating the session on first use. Callers hold s.mu.
-func (s *Server) attachByToken(out *[]outbound, console, token string) error {
+func (s *Server) attachByToken(out *[]outbound, console, token string, now time.Duration) error {
 	user, err := s.Auth.Authenticate(token)
 	if err != nil {
 		s.metrics.authFailures.Inc()
@@ -378,6 +449,10 @@ func (s *Server) attachByToken(out *[]outbound, console, token string) error {
 			Encoder: core.NewEncoder(cs.w, cs.h),
 		}
 		s.instrumentSession(sess)
+		if s.flowCfg != nil {
+			sess.fm = flow.NewMetrics(s.obs, user)
+			sess.gov = flow.NewGovernor(*s.flowCfg, sess.fm)
+		}
 		if s.NewApp != nil {
 			sess.App = s.NewApp(user, cs.w, cs.h)
 		}
@@ -402,9 +477,20 @@ func (s *Server) attachByToken(out *[]outbound, console, token string) error {
 	cs.session = sess.ID
 	sess.Console = console
 	s.send(out, console, &protocol.SessionAttach{SessionID: sess.ID})
+	if sess.gov != nil {
+		// Damage queued for the previous console is worthless here; the
+		// full repaint below regenerates everything. The new console also
+		// learns this session's bandwidth demand so its allocator can
+		// grant a share (§7).
+		sess.gov.Reset(now)
+		s.send(out, console, &protocol.BandwidthRequest{
+			SessionID: sess.ID,
+			Bps:       sess.gov.Config().InitialBps,
+		})
+	}
 	// The console held only soft state: repaint the screen "to the exact
 	// state at which it was left" (§1.1).
-	s.sendDatagrams(out, sess, sess.Encoder.RepaintAll())
+	s.sendDatagrams(out, sess, sess.Encoder.RepaintAll(), now)
 	return nil
 }
 
@@ -420,7 +506,7 @@ func (s *Server) Tick(now time.Duration) error {
 		if !ok {
 			continue
 		}
-		if err := s.render(&out, sess, tk.Tick(now)); err != nil && firstErr == nil {
+		if err := s.render(&out, sess, tk.Tick(now), now); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
@@ -479,6 +565,7 @@ func (s *Server) Terminate(user string) error {
 	delete(s.byUser, user)
 	s.metrics.sessions.Set(int64(len(s.sessions)))
 	s.obs.Remove(sessionHistogramName(user))
+	sess.fm.Unregister(s.obs)
 	s.flight.Drop(id)
 	s.mu.Unlock()
 	return s.flush(out)
@@ -497,7 +584,7 @@ func (s *Server) sessionFor(console string) (*Session, error) {
 }
 
 // render encodes ops for a session and queues them for its console.
-func (s *Server) render(out *[]outbound, sess *Session, ops []core.Op) error {
+func (s *Server) render(out *[]outbound, sess *Session, ops []core.Op, now time.Duration) error {
 	for _, op := range ops {
 		if sess.flog.Armed() {
 			sess.flog.Op(int64(op.RawPixels()))
@@ -506,24 +593,114 @@ func (s *Server) render(out *[]outbound, sess *Session, ops []core.Op) error {
 		if err != nil {
 			return err
 		}
-		s.sendDatagrams(out, sess, dgs)
+		s.sendDatagrams(out, sess, dgs, now)
 	}
 	return nil
 }
 
-func (s *Server) sendDatagrams(out *[]outbound, sess *Session, dgs []core.Datagram) {
+func (s *Server) sendDatagrams(out *[]outbound, sess *Session, dgs []core.Datagram, now time.Duration) {
+	s.submit(out, sess, dgs, now, false)
+}
+
+// retransmit regenerates a nacked range from the authoritative frame
+// buffer and charges the wire bytes against the governor's retransmit
+// budget, so replay storms cannot starve fresh paints. Callers hold s.mu
+// and have a non-nil sess.gov.
+func (s *Server) retransmit(out *[]outbound, sess *Session, n protocol.Nack, now time.Duration) {
+	dgs := sess.Encoder.HandleNack(n)
+	var bytes int
+	for _, d := range dgs {
+		bytes += len(d.Wire)
+	}
+	sess.gov.SpendRetry(bytes)
+	s.submit(out, sess, dgs, now, true)
+}
+
+// submit routes display datagrams to the console: directly when the
+// session is ungoverned or has no grant yet, through the governor's
+// supersession queue and token bucket otherwise. Callers hold s.mu.
+func (s *Server) submit(out *[]outbound, sess *Session, dgs []core.Datagram, now time.Duration, retrans bool) {
 	if sess.Console == "" {
 		return // detached session keeps rendering into its frame buffer
 	}
-	for _, d := range dgs {
-		*out = append(*out, outbound{
-			console: sess.Console,
-			wire:    d.Wire,
-			flog:    sess.flog,
-			seq:     d.Seq,
-			cmd:     d.Msg.Type(),
-		})
+	if sess.gov == nil {
+		for _, d := range dgs {
+			*out = append(*out, outbound{
+				console: sess.Console,
+				wire:    d.Wire,
+				flog:    sess.flog,
+				seq:     d.Seq,
+				cmd:     d.Msg.Type(),
+			})
+		}
+		return
 	}
+	for _, d := range dgs {
+		it := flow.Item{Seq: d.Seq, Cmd: d.Msg.Type(), Msg: d.Msg, Wire: d.Wire, Retransmit: retrans}
+		res := sess.gov.Submit(now, it)
+		if res.Pass {
+			*out = append(*out, outbound{
+				console: sess.Console,
+				wire:    d.Wire,
+				flog:    sess.flog,
+				seq:     d.Seq,
+				cmd:     it.Cmd,
+			})
+			continue
+		}
+		if sess.flog.Armed() {
+			sess.flog.TxQueue(d.Seq, it.Cmd, int64(it.Bytes()), int64(res.Depth))
+			for _, sup := range res.Superseded {
+				sess.flog.Supersede(sup.Seq, sup.Cmd, d.Seq, int64(sup.Bytes()))
+			}
+			for _, ev := range res.Evicted {
+				sess.flog.Drop(ev.Seq, ev.Cmd, int64(ev.Bytes()))
+			}
+		}
+	}
+	s.releaseFlow(out, sess, now)
+}
+
+// releaseFlow drains whatever the governor's token bucket permits at now.
+// Callers hold s.mu and have a non-nil sess.gov.
+func (s *Server) releaseFlow(out *[]outbound, sess *Session, now time.Duration) {
+	if sess.Console == "" {
+		return
+	}
+	for _, p := range sess.gov.Release(now) {
+		o := outbound{console: sess.Console, wire: p.Wire, flog: sess.flog}
+		if len(p.Items) == 1 {
+			o.seq, o.cmd = p.Items[0].Seq, p.Items[0].Cmd
+		} else {
+			o.batch = p.Items
+		}
+		*out = append(*out, o)
+	}
+}
+
+// PumpFlows services every governed session at now: deferred retransmits
+// whose backoff expired regenerate from the current frame buffer, and
+// token buckets release whatever pacing has accumulated. It reports the
+// earliest instant more queued traffic becomes sendable, so transports
+// schedule the next pump instead of polling — wall-clock transports call
+// it from a timer, simulations from the virtual-time event loop.
+func (s *Server) PumpFlows(now time.Duration) (next time.Duration, pending bool, err error) {
+	s.mu.Lock()
+	var out []outbound
+	for _, sess := range s.sessions {
+		if sess.gov == nil || sess.Console == "" {
+			continue
+		}
+		for _, n := range sess.gov.DueNacks(now) {
+			s.retransmit(&out, sess, n, now)
+		}
+		s.releaseFlow(&out, sess, now)
+		if t, ok := sess.gov.NextRelease(now); ok && (!pending || t < next) {
+			next, pending = t, true
+		}
+	}
+	s.mu.Unlock()
+	return next, pending, s.flush(out)
 }
 
 func (s *Server) send(out *[]outbound, console string, msg protocol.Message) {

@@ -36,6 +36,10 @@ func Metrics() *MetricsRegistry { return obs.Default }
 // netsim links publish into.
 func SimMetrics() *MetricsRegistry { return obs.Sim }
 
+// Recorder is a causal flight recorder (see internal/obs/flight) —
+// per-session protocol event rings with breach dumps and Perfetto export.
+type Recorder = flight.Recorder
+
 // FlightRecorder returns the process-wide causal flight recorder: the
 // per-session protocol event rings behind /debug/trace and the breach
 // dumps (see internal/obs/flight). Configure its threshold and dump

@@ -26,6 +26,7 @@ package slim
 import (
 	"slim/internal/console"
 	"slim/internal/core"
+	"slim/internal/flow"
 	"slim/internal/protocol"
 	"slim/internal/server"
 )
@@ -80,8 +81,6 @@ type (
 	Application = server.Application
 	// Terminal is the built-in echo terminal application.
 	Terminal = server.Terminal
-	// Transport delivers server→console datagrams.
-	Transport = server.Transport
 )
 
 // RGB assembles a pixel from components.
@@ -118,7 +117,35 @@ func WithTerminalApp() AppFactory {
 	return func(user string, w, h int) Application { return server.NewTerminal(w, h) }
 }
 
+// ServerOption configures a server built by NewServer (or the UDP
+// listeners, which forward their options).
+type ServerOption = server.Option
+
+// FlowConfig parameterizes the per-session send governor — see
+// WithFlowControl and internal/flow.
+type FlowConfig = flow.Config
+
+// WithFlowControl enables the grant-driven send governor (§7) on every
+// session: display traffic paces to the console's bandwidth grant, stale
+// queued damage is superseded under backpressure, and NACK retransmits
+// are budgeted so replay storms cannot starve fresh paints. The zero
+// FlowConfig takes throughput-matched defaults from the cost model.
+func WithFlowControl(cfg FlowConfig) ServerOption { return server.WithFlowControl(cfg) }
+
+// WithCostModel installs the console decode cost model (Table 5) used to
+// derive flow-control demand and pacing defaults.
+func WithCostModel(cm *CostModel) ServerOption { return server.WithCostModel(cm) }
+
+// WithMetricsRegistry redirects the server's live metrics into r instead
+// of the process-wide registry.
+func WithMetricsRegistry(r *MetricsRegistry) ServerOption { return server.WithRegistry(r) }
+
+// WithFlightRecorder points the server's causal flight recorder at rec
+// instead of the process-wide one.
+func WithFlightRecorder(rec *Recorder) ServerOption { return server.WithFlightRecorder(rec) }
+
 // NewServer returns a SLIM server sending through the given transport.
-func NewServer(t Transport, newApp AppFactory) *Server {
-	return server.New(t, newApp)
+// Options configure flow control and observability; none are required.
+func NewServer(t Transport, newApp AppFactory, opts ...ServerOption) *Server {
+	return server.New(t, newApp, opts...)
 }

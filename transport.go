@@ -1,0 +1,78 @@
+package slim
+
+import (
+	"net"
+
+	"slim/internal/protocol"
+)
+
+// Transport is the server→console datagram path, unified across the
+// in-process fabric and the UDP daemon. Send routes one framed protocol
+// message to a console by ID, Addr reports where consoles reach the
+// transport, and Close releases its resources (idempotent).
+type Transport interface {
+	// Send delivers one wire-framed datagram to a console.
+	Send(console string, wire []byte) error
+	// Addr reports the transport's address ("fabric" for in-process).
+	Addr() net.Addr
+	// Close shuts the transport down. Safe to call more than once.
+	Close() error
+}
+
+// InputSink is a console-side user: keystrokes, pointer motion, typed
+// strings, and smart-card insertion, regardless of how the console is
+// attached. Fabric desks (Desk) and UDP consoles implement it, sharing
+// one implementation of the input helpers.
+type InputSink interface {
+	// SendKey delivers one key transition to the server.
+	SendKey(code uint16, down bool) error
+	// SendPointer delivers a mouse update.
+	SendPointer(x, y uint16, buttons uint8) error
+	// TypeString types a string (press + release per character).
+	TypeString(s string) error
+	// InsertCard presents a smart card, pulling the owner's session here
+	// (§1.1's mobility model).
+	InsertCard(token string) error
+}
+
+// Compile-time wiring checks: both transports satisfy Transport, both
+// console attachments satisfy InputSink.
+var (
+	_ Transport = (*Fabric)(nil)
+	_ Transport = (*UDPServer)(nil)
+	_ InputSink = Desk{}
+	_ InputSink = (*UDPConsole)(nil)
+)
+
+// inputPort is the one shared InputSink implementation. A transport
+// supplies deliver (how a console→server message reaches the server) and
+// card (how a card insertion is initiated — the console stamps its own
+// token state first); every input helper is derived from those two.
+type inputPort struct {
+	deliver func(msg Message) error
+	card    func(token string) error
+}
+
+func (p inputPort) SendKey(code uint16, down bool) error {
+	return p.deliver(&protocol.KeyEvent{Code: code, Down: down})
+}
+
+func (p inputPort) SendPointer(x, y uint16, buttons uint8) error {
+	return p.deliver(&protocol.PointerEvent{X: x, Y: y, Buttons: buttons})
+}
+
+func (p inputPort) TypeString(s string) error {
+	for i := 0; i < len(s); i++ {
+		if err := p.SendKey(uint16(s[i]), true); err != nil {
+			return err
+		}
+		if err := p.SendKey(uint16(s[i]), false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p inputPort) InsertCard(token string) error {
+	return p.card(token)
+}

@@ -1,6 +1,7 @@
 package slim
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -50,54 +51,112 @@ func newUDPMetrics(r *obs.Registry, prefix string) *udpMetrics {
 type UDPServer struct {
 	Server *Server
 
-	conn    *net.UDPConn
-	mu      sync.Mutex
-	addrs   map[string]*net.UDPAddr
-	closed  chan struct{}
-	done    chan struct{} // closed when the serve goroutine has exited
-	metrics *udpMetrics
+	conn      *net.UDPConn
+	mu        sync.Mutex
+	addrs     map[string]*net.UDPAddr
+	closeOnce sync.Once
+	closeErr  error
+	closed    chan struct{}
+	done      chan struct{} // closed when the serve goroutine has exited
+	pacerDone chan struct{} // closed when the flow pacer has exited (flow only)
+	start     time.Time     // shared epoch for serve and the flow pacer
+	metrics   *udpMetrics
 }
 
 // ListenAndServe binds a UDP address and starts a SLIM server on it. The
-// returned server is already serving; Close stops it.
-func ListenAndServe(addr string, newApp AppFactory) (*UDPServer, error) {
-	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+// returned server is already serving; Close stops it. Equivalent to
+// ListenAndServeContext with context.Background().
+func ListenAndServe(addr string, newApp AppFactory, opts ...ServerOption) (*UDPServer, error) {
+	return ListenAndServeContext(context.Background(), addr, newApp, opts...)
+}
+
+// ListenAndServeContext binds a UDP address under ctx and starts a SLIM
+// server on it. Cancelling ctx closes the server, so callers can tie the
+// daemon's lifetime to a signal context. Options configure flow control
+// and observability (see NewServer); with flow control enabled the server
+// runs a pacer goroutine that releases grant-paced traffic on schedule.
+func ListenAndServeContext(ctx context.Context, addr string, newApp AppFactory, opts ...ServerOption) (*UDPServer, error) {
+	var lc net.ListenConfig
+	pc, err := lc.ListenPacket(ctx, "udp", addr)
 	if err != nil {
-		return nil, fmt.Errorf("slim: resolve %q: %w", addr, err)
+		return nil, fmt.Errorf("slim: listen %q: %w", addr, err)
 	}
-	conn, err := net.ListenUDP("udp", udpAddr)
-	if err != nil {
-		return nil, fmt.Errorf("slim: listen: %w", err)
+	conn, ok := pc.(*net.UDPConn)
+	if !ok {
+		pc.Close()
+		return nil, fmt.Errorf("slim: listen %q: not a UDP socket", addr)
 	}
 	s := &UDPServer{
 		conn:    conn,
 		addrs:   make(map[string]*net.UDPAddr),
 		closed:  make(chan struct{}),
 		done:    make(chan struct{}),
+		start:   time.Now(),
 		metrics: newUDPMetrics(obs.Default, "slim_udp"),
 	}
-	s.Server = NewServer(s, newApp)
+	s.Server = NewServer(s, newApp, opts...)
 	go s.serve()
+	if s.Server.FlowEnabled() {
+		s.pacerDone = make(chan struct{})
+		go s.pace()
+	}
+	if ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				s.Close()
+			case <-s.closed:
+			}
+		}()
+	}
 	return s, nil
 }
 
 // Addr reports the bound UDP address.
 func (s *UDPServer) Addr() net.Addr { return s.conn.LocalAddr() }
 
-// Close stops the server and waits for the serve goroutine to exit, so no
-// goroutine outlives the UDPServer even when Close races a blocked socket
-// read (closing the socket unblocks ReadFromUDP with net.ErrClosed).
+// Close stops the server and waits for its goroutines to exit, so none
+// outlives the UDPServer even when Close races a blocked socket read
+// (closing the socket unblocks ReadFromUDP with net.ErrClosed).
+// Idempotent: concurrent and repeated calls all wait for shutdown.
 func (s *UDPServer) Close() error {
-	select {
-	case <-s.closed:
-		<-s.done
-		return nil
-	default:
-	}
-	close(s.closed)
-	err := s.conn.Close()
+	s.closeOnce.Do(func() {
+		close(s.closed)
+		s.closeErr = s.conn.Close()
+	})
 	<-s.done
-	return err
+	if s.pacerDone != nil {
+		<-s.pacerDone
+	}
+	return s.closeErr
+}
+
+// pace releases grant-paced flow traffic on the governor's schedule. It
+// sleeps until the earliest queued datagram becomes sendable (or an idle
+// poll interval when nothing is queued — new traffic releases inline on
+// the Handle path, so idle polling only bounds deferred-retransmit
+// latency).
+func (s *UDPServer) pace() {
+	defer close(s.pacerDone)
+	const idle = 20 * time.Millisecond
+	timer := time.NewTimer(idle)
+	defer timer.Stop()
+	for {
+		select {
+		case <-s.closed:
+			return
+		case <-timer.C:
+		}
+		next, pending, _ := s.Server.PumpFlows(time.Since(s.start))
+		wait := idle
+		if pending {
+			wait = next - time.Since(s.start)
+			if wait < time.Millisecond {
+				wait = time.Millisecond
+			}
+		}
+		timer.Reset(wait)
+	}
 }
 
 // Send implements Transport: route a datagram to a console by address.
@@ -131,7 +190,6 @@ func (s *UDPServer) Send(consoleID string, wire []byte) error {
 func (s *UDPServer) serve() {
 	defer close(s.done)
 	buf := make([]byte, 64*1024)
-	start := time.Now()
 	for {
 		n, addr, err := s.conn.ReadFromUDP(buf)
 		if err != nil {
@@ -154,33 +212,48 @@ func (s *UDPServer) serve() {
 		// Per-console errors (bad datagrams, unauthenticated input) must
 		// not kill the daemon; the protocol is loss tolerant by design.
 		t0 := time.Now()
-		_ = s.Server.HandleDatagram(id, buf[:n], time.Since(start))
+		_ = s.Server.HandleDatagram(id, buf[:n], time.Since(s.start))
 		s.metrics.handleSeconds.Observe(time.Since(t0))
 	}
 }
 
-// UDPConsole is a SLIM console attached over UDP.
+// UDPConsole is a SLIM console attached over UDP. Its input methods
+// (SendKey, SendPointer, TypeString, InsertCard) are the shared InputSink
+// implementation over the console's socket.
 type UDPConsole struct {
 	Console *Console
+	inputPort
 
-	conn    *net.UDPConn
-	closed  chan struct{}
-	done    chan struct{} // closed when the serve goroutine has exited
-	start   time.Time
-	metrics *udpMetrics
+	conn      *net.UDPConn
+	closeOnce sync.Once
+	closeErr  error
+	closed    chan struct{}
+	done      chan struct{} // closed when the serve goroutine has exited
+	start     time.Time
+	metrics   *udpMetrics
 }
 
 // DialConsole connects a console to a UDP server and sends its Hello
 // (presenting cardToken if non-empty). It serves incoming display traffic
-// on a background goroutine until Close.
+// on a background goroutine until Close. Equivalent to DialConsoleContext
+// with context.Background().
 func DialConsole(serverAddr string, cfg ConsoleConfig, cardToken string) (*UDPConsole, error) {
-	udpAddr, err := net.ResolveUDPAddr("udp", serverAddr)
+	return DialConsoleContext(context.Background(), serverAddr, cfg, cardToken)
+}
+
+// DialConsoleContext connects a console to a UDP server under ctx: the
+// dial honors the context's deadline, and cancelling it afterwards closes
+// the console.
+func DialConsoleContext(ctx context.Context, serverAddr string, cfg ConsoleConfig, cardToken string) (*UDPConsole, error) {
+	var d net.Dialer
+	nc, err := d.DialContext(ctx, "udp", serverAddr)
 	if err != nil {
-		return nil, fmt.Errorf("slim: resolve %q: %w", serverAddr, err)
+		return nil, fmt.Errorf("slim: dial %q: %w", serverAddr, err)
 	}
-	conn, err := net.DialUDP("udp", nil, udpAddr)
-	if err != nil {
-		return nil, fmt.Errorf("slim: dial: %w", err)
+	conn, ok := nc.(*net.UDPConn)
+	if !ok {
+		nc.Close()
+		return nil, fmt.Errorf("slim: dial %q: not a UDP socket", serverAddr)
 	}
 	con, err := NewConsole(cfg)
 	if err != nil {
@@ -195,6 +268,10 @@ func DialConsole(serverAddr string, cfg ConsoleConfig, cardToken string) (*UDPCo
 		start:   time.Now(),
 		metrics: newUDPMetrics(obs.Default, "slim_udp_console"),
 	}
+	c.inputPort = inputPort{
+		deliver: c.send,
+		card:    func(token string) error { return c.send(c.Console.InsertCard(token)) },
+	}
 	hello := con.Hello()
 	hello.CardToken = cardToken
 	if err := c.send(hello); err != nil {
@@ -202,23 +279,29 @@ func DialConsole(serverAddr string, cfg ConsoleConfig, cardToken string) (*UDPCo
 		return nil, err
 	}
 	go c.serve()
+	if ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				c.Close()
+			case <-c.closed:
+			}
+		}()
+	}
 	return c, nil
 }
 
 // Close detaches the console and waits for its serve goroutine to exit.
 // The console's soft state is discarded; the session lives on at the
-// server.
+// server. Idempotent: concurrent and repeated calls all wait for
+// shutdown.
 func (c *UDPConsole) Close() error {
-	select {
-	case <-c.closed:
-		<-c.done
-		return nil
-	default:
-	}
-	close(c.closed)
-	err := c.conn.Close()
+	c.closeOnce.Do(func() {
+		close(c.closed)
+		c.closeErr = c.conn.Close()
+	})
 	<-c.done
-	return err
+	return c.closeErr
 }
 
 func (c *UDPConsole) send(msg Message) error {
@@ -231,34 +314,6 @@ func (c *UDPConsole) send(msg Message) error {
 	c.metrics.txDatagrams.Inc()
 	c.metrics.txBytes.Add(int64(len(wire)))
 	return nil
-}
-
-// SendKey transmits a keystroke to the server.
-func (c *UDPConsole) SendKey(code uint16, down bool) error {
-	return c.send(&protocol.KeyEvent{Code: code, Down: down})
-}
-
-// SendPointer transmits a mouse update.
-func (c *UDPConsole) SendPointer(x, y uint16, buttons uint8) error {
-	return c.send(&protocol.PointerEvent{X: x, Y: y, Buttons: buttons})
-}
-
-// TypeString types a string (press + release per character).
-func (c *UDPConsole) TypeString(s string) error {
-	for i := 0; i < len(s); i++ {
-		if err := c.SendKey(uint16(s[i]), true); err != nil {
-			return err
-		}
-		if err := c.SendKey(uint16(s[i]), false); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// InsertCard presents a smart card, pulling the owner's session here.
-func (c *UDPConsole) InsertCard(token string) error {
-	return c.send(c.Console.InsertCard(token))
 }
 
 func (c *UDPConsole) serve() {
