@@ -29,10 +29,13 @@ race:
 
 # Compile and smoke-run the benchmark suite (one iteration per benchmark):
 # catches build breaks and panics in bench-only code without the full run.
-# The flight-recorder benches ride along: they are the overhead guard for
-# the always-on tracing path.
+# The flight-recorder and wire-capture benches ride along: they are the
+# overhead guard for the always-on tracing and capture paths (the hard
+# 0 allocs/op assertion on the capture-disabled path is
+# TestDisabledTapAllocatesNothing, which every plain `go test` run
+# enforces).
 bench-guard:
-	$(GO) test -run xxx -bench . -benchtime 1x . ./internal/obs/flight/ ./internal/flow/
+	$(GO) test -run xxx -bench . -benchtime 1x . ./internal/obs/flight/ ./internal/obs/capture/ ./internal/flow/
 
 # CI-style gate: static checks, race-detected tests, benchmark smoke run.
 ci: vet race bench-guard
@@ -44,6 +47,7 @@ cover:
 fuzz:
 	$(GO) test -run xxx -fuzz 'FuzzDecode$$' -fuzztime 30s ./internal/protocol/
 	$(GO) test -run xxx -fuzz 'FuzzDecodeBatch$$' -fuzztime 30s ./internal/protocol/
+	$(GO) test -run xxx -fuzz 'FuzzDecodeMessage$$' -fuzztime 30s ./internal/protocol/
 	$(GO) test -run xxx -fuzz FuzzDecodeCSCS -fuzztime 30s ./internal/fb/
 
 # Regenerate every table and figure from the paper (quick corpus).

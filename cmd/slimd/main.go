@@ -9,11 +9,17 @@
 //	slimd -app quake -fps 30       # every session plays the game stream
 //	slimd -flow                    # §7 grant-paced per-session flow control
 //	slimd -debug :6060             # live metrics + pprof on http://:6060
+//	slimd -capture run.slimcap     # spool every datagram to a wire capture
 //
 // With -debug, the daemon serves /metrics (Prometheus text), /debug/vars
-// (JSON snapshot, polled by cmd/slimstat), and /debug/pprof/ on the given
-// address. The headline metric is slim_input_to_paint_seconds, the paper's
-// §3 interactive-latency figure, live per session.
+// (JSON snapshot, polled by cmd/slimstat), /debug/costmodel (live cost
+// calibration), and /debug/pprof/ on the given address. The headline
+// metric is slim_input_to_paint_seconds, the paper's §3 interactive-latency
+// figure, live per session.
+//
+// With -capture, every datagram the transport sends or receives is
+// spooled (timestamped, with payload) to a .slimcap file — see PROTOCOL.md
+// — for offline per-command analysis with slimtrace capture.
 package main
 
 import (
@@ -83,6 +89,7 @@ func main() {
 	flightThreshold := flag.Duration("flight-threshold", flight.DefaultThreshold,
 		"input-to-paint latency that triggers a flight-recorder breach (0 disables)")
 	flightDir := flag.String("flight-dir", "", "directory for flight-recorder breach dumps (empty: count breaches, write nothing)")
+	capturePath := flag.String("capture", "", "spool a wire capture of every datagram to this .slimcap file")
 	var cards cardFlags
 	flag.Var(&cards, "card", "register a smart card as token=user (repeatable)")
 	flag.Parse()
@@ -107,7 +114,21 @@ func main() {
 	if *flow {
 		opts = append(opts,
 			slim.WithCostModel(slim.SunRay1Costs()),
-			slim.WithFlowControl(slim.FlowConfig{InitialBps: *flowBps}))
+			slim.WithFlowControl(slim.FlowConfig{InitialBps: *flowBps}),
+			slim.WithCalibratedCosts(slim.Calibrator()))
+	}
+	if *capturePath != "" {
+		cf, err := slim.StartCapture(*capturePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := cf.Close(); err != nil {
+				log.Printf("capture: %v", err)
+			}
+		}()
+		log.Printf("spooling wire capture to %s (decode with: slimtrace capture -i %s)",
+			*capturePath, *capturePath)
 	}
 	srv, err := slim.ListenAndServe(*addr, factory, opts...)
 	if err != nil {

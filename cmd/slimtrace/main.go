@@ -9,6 +9,8 @@
 //	slimtrace replay -i netscape.trace -kbps 1000   # Figure 6 on any trace
 //	slimtrace flight -i flight-sess1-1.json         # inspect a breach dump
 //	slimtrace flight -i dump.json -perfetto out.json -o breach.trace
+//	slimtrace capture -i run.slimcap                # per-command wire tables
+//	slimtrace capture -i run.slimcap -perfetto wire.json -o run.trace
 //
 // The flight subcommand reads a flight-recorder breach dump (written by a
 // server whose input-to-paint latency crossed the breach threshold, see
@@ -16,6 +18,14 @@
 // either a Perfetto trace (-perfetto) or a §3.1 offline trace (-o) so
 // dumps flow through the same stat/replay analysis path as generated
 // workloads.
+//
+// The capture subcommand decodes a .slimcap wire capture (recorded by
+// slimd -capture or any enabled capture ring; format in PROTOCOL.md) and
+// prints per-command-type count/byte/pixel/bandwidth tables in the shape
+// of the paper's Tables 2-3, measured on the wire rather than modelled.
+// -perfetto exports the datagrams as instant events on down/up tracks
+// that load alongside a flight export; -o converts the capture to a §3.1
+// offline trace.
 package main
 
 import (
@@ -26,17 +36,39 @@ import (
 	"time"
 
 	"slim/internal/netsim"
+	"slim/internal/obs/capture"
 	"slim/internal/obs/flight"
 	"slim/internal/stats"
 	"slim/internal/trace"
 	"slim/internal/workload"
 )
 
+// usage prints the subcommand synopsis to stderr and exits non-zero, so
+// scripts and CI catch typos instead of silently succeeding.
+func usage(reason string) {
+	if reason != "" {
+		fmt.Fprintf(os.Stderr, "slimtrace: %s\n", reason)
+	}
+	fmt.Fprint(os.Stderr, `usage: slimtrace <subcommand> [flags]
+
+subcommands:
+  gen      generate a synthetic §3.1 workload trace
+  stat     summarize a trace (inputs, pixels/bytes per event, bandwidth)
+  json     dump a trace as JSON
+  replay   replay a trace over a simulated constrained link (Figure 6)
+  flight   inspect a flight-recorder breach dump
+  capture  decode a .slimcap wire capture into per-command tables
+
+run 'slimtrace <subcommand> -h' for flags
+`)
+	os.Exit(2)
+}
+
 func main() {
 	log.SetPrefix("slimtrace: ")
 	log.SetFlags(0)
 	if len(os.Args) < 2 {
-		log.Fatal("usage: slimtrace gen|stat|json [flags]")
+		usage("missing subcommand")
 	}
 	switch os.Args[1] {
 	case "gen":
@@ -49,8 +81,67 @@ func main() {
 		replay(os.Args[2:])
 	case "flight":
 		flightCmd(os.Args[2:])
+	case "capture":
+		captureCmd(os.Args[2:])
+	case "-h", "--help", "help":
+		usage("")
 	default:
-		log.Fatalf("unknown subcommand %q (want gen, stat, json, replay, or flight)", os.Args[1])
+		usage(fmt.Sprintf("unknown subcommand %q", os.Args[1]))
+	}
+}
+
+// captureCmd decodes a .slimcap wire capture into the paper's Tables 2-3
+// shape and optionally exports it for Perfetto or offline trace analysis.
+func captureCmd(args []string) {
+	fs := flag.NewFlagSet("capture", flag.ExitOnError)
+	in := fs.String("i", "", "input .slimcap capture file")
+	perfetto := fs.String("perfetto", "", "write Chrome/Perfetto trace-event JSON here")
+	out := fs.String("o", "", "write a binary §3.1 trace here (for slimtrace stat/replay)")
+	mustParse(fs, args)
+	if *in == "" {
+		log.Fatal("capture: -i is required")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	h, recs, err := capture.ReadCapture(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := capture.BuildReport(h, recs)
+	if err := rep.WriteTable(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	if *perfetto != "" {
+		pf, err := os.Create(*perfetto)
+		if err != nil {
+			log.Fatal(err)
+		}
+		err = capture.WritePerfetto(pf, h, recs)
+		if cerr := pf.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote Perfetto trace to %s (load at ui.perfetto.dev)\n", *perfetto)
+	}
+	if *out != "" {
+		tr := trace.FromCapture(recs)
+		tf, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		err = tr.WriteBinary(tf)
+		if cerr := tf.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote offline trace to %s (%d records)\n", *out, len(tr.Records))
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"slim/internal/obs"
+	"slim/internal/obs/capture"
 	"slim/internal/protocol"
 )
 
@@ -62,6 +63,10 @@ type Fabric struct {
 	draining bool
 
 	metrics *fabricMetrics
+	// capture is the wire tap (capture.Default unless redirected by
+	// SetCapture): both directions of every desk's traffic are recorded
+	// at virtual time when the ring is enabled.
+	capture *capture.Ring
 }
 
 type queuedDatagram struct {
@@ -75,7 +80,17 @@ func NewFabric() *Fabric {
 		consoles: make(map[string]*Console),
 		servers:  make(map[string]*Server),
 		metrics:  newFabricMetrics(obs.Default),
+		capture:  capture.Default,
 	}
+}
+
+// SetCapture redirects the fabric's wire tap to r (nil disables tapping
+// entirely). Hermetic tests give each fabric its own ring the same way
+// they give each server its own registry.
+func (f *Fabric) SetCapture(r *capture.Ring) {
+	f.mu.Lock()
+	f.capture = r
+	f.mu.Unlock()
 }
 
 // Attach wires a console to a server under the given desk ID.
@@ -183,6 +198,11 @@ func (f *Fabric) Send(consoleID string, wire []byte) error {
 		f.mu.Unlock()
 		return fmt.Errorf("slim: no console %q on fabric", consoleID)
 	}
+	// Tap before loss injection: the capture point is the server's NIC,
+	// and injected loss happens downstream on the modelled wire.
+	if f.capture.Enabled() {
+		f.capture.Tap(capture.DirDown, consoleID, -1, wire, f.clock)
+	}
 	if f.dropEvery > 0 && isDisplayDatagram(wire) {
 		f.sent++
 		if f.sent%f.dropEvery == 0 {
@@ -228,6 +248,7 @@ func (f *Fabric) drain() error {
 		con := f.consoles[item.console]
 		srv := f.servers[item.console]
 		clock := f.clock
+		capRing := f.capture
 		f.mu.Unlock()
 		if con == nil {
 			continue
@@ -238,6 +259,9 @@ func (f *Fabric) drain() error {
 			firstErr = err
 		}
 		for _, r := range replies {
+			if capRing.Enabled() {
+				capRing.Tap(capture.DirUp, item.console, -1, r, clock)
+			}
 			// Console→server traffic may re-enter Send; it queues.
 			if err := srv.HandleDatagram(item.console, r, clock); err != nil && firstErr == nil {
 				firstErr = err

@@ -48,6 +48,12 @@ type Config struct {
 	// (flight.Default if nil). In-process deployments share one recorder
 	// with the server, so both ends of the wire land in one ring.
 	Flight *flight.Recorder
+	// Calibrator, when non-nil, receives one (pixels, decode time) sample
+	// per display command so the §4.3 cost model can be re-fit against
+	// this console's measured behaviour. With a cost model installed the
+	// sample is the modelled service time (virtual calibration); without
+	// one it is the real wall time of the frame-buffer apply.
+	Calibrator *core.Calibrator
 }
 
 // Console is one SLIM desktop unit.
@@ -187,7 +193,7 @@ func (c *Console) Handle(seq uint32, msg protocol.Message, now time.Duration) ([
 			replies = append(replies, protocol.Encode(nil, c.seq.Next(), &n))
 		}
 		start := time.Now()
-		svc, ok := c.applyDisplay(msg, now)
+		svc, pure, ok := c.applyDisplay(msg, now)
 		if !ok {
 			c.dropped++
 			c.metrics.dropped.Inc()
@@ -198,7 +204,12 @@ func (c *Console) Handle(seq uint32, msg protocol.Message, now time.Duration) ([
 		}
 		c.applied++
 		c.metrics.applied.Inc()
-		c.metrics.decodeSeconds.Observe(time.Since(start))
+		wall := time.Since(start)
+		c.metrics.decodeSeconds.Observe(wall)
+		c.metrics.observeDecodeType(msg.Type(), wall)
+		if c.cfg.Calibrator != nil {
+			c.cfg.Calibrator.ObserveMsg(msg, pure)
+		}
 		c.serviceTimes.Add(svc.Seconds())
 		if c.flog.Armed() {
 			c.flog.Decode(seq, msg.Type(), svc.Nanoseconds())
@@ -256,30 +267,42 @@ func (c *Console) setSession(id uint32) {
 
 // applyDisplay renders one display command, returning its modelled service
 // time and whether it was processed (false = dropped due to overload).
-func (c *Console) applyDisplay(msg protocol.Message, now time.Duration) (time.Duration, bool) {
-	var decode time.Duration
+// applyDisplay decodes one display command into the frame buffer. svc is
+// the modelled service time including queueing (0 without a cost model);
+// pure is the calibration sample — the queue-free decode cost of this one
+// command (modelled when a cost model is installed, measured wall time of
+// the frame-buffer apply when a calibrator wants it, 0 otherwise).
+func (c *Console) applyDisplay(msg protocol.Message, now time.Duration) (svc, pure time.Duration, ok bool) {
 	if c.cfg.Costs != nil {
-		decode = c.cfg.Costs.ServiceTime(msg)
+		pure = c.cfg.Costs.ServiceTime(msg)
 		start := now
 		if c.busyUntil > start {
 			start = c.busyUntil
 		}
 		if start-now > c.QueueLimit {
-			return 0, false // decode queue overflow: drop (§4.3)
+			return 0, 0, false // decode queue overflow: drop (§4.3)
 		}
-		c.busyUntil = start + decode
-		decode = c.busyUntil - now // queueing + decode = service time
+		c.busyUntil = start + pure
+		svc = c.busyUntil - now // queueing + decode = service time
 		// Modelled quantities are virtual time: they go to the sim-domain
 		// instruments, never the wall-clock ones.
-		c.metrics.simService.Observe(decode)
+		c.metrics.simService.Observe(svc)
 		c.metrics.simBacklogNs.Set(int64(c.busyUntil - now))
+	}
+	var t0 time.Time
+	measure := c.cfg.Costs == nil && c.cfg.Calibrator != nil
+	if measure {
+		t0 = time.Now()
 	}
 	if err := c.fb.Apply(msg); err != nil {
 		// Malformed geometry is clipped by fb; real errors are protocol
 		// violations we count as drops.
-		return 0, false
+		return 0, 0, false
 	}
-	return decode, true
+	if measure {
+		pure = time.Since(t0)
+	}
+	return svc, pure, true
 }
 
 // KeyInput encodes a keystroke for transmission to the server.

@@ -1,7 +1,11 @@
 package console
 
 import (
+	"fmt"
+	"time"
+
 	"slim/internal/obs"
+	"slim/internal/protocol"
 )
 
 // consoleMetrics is the desktop unit's live instrument set. Wall-clock
@@ -17,8 +21,11 @@ type consoleMetrics struct {
 	nacks   *obs.Counter
 	// decodeSeconds is the real wall time spent decoding one display
 	// command into the frame buffer — the console half of the
-	// input-to-paint pipeline on asynchronous transports.
+	// input-to-paint pipeline on asynchronous transports. decodeByType
+	// splits the same observations per command so the §4.3 calibration
+	// has a per-command latency distribution next to its fitted line.
 	decodeSeconds *obs.Histogram
+	decodeByType  [protocol.TypeCSCS + 1]*obs.Histogram
 	// simService is the modelled per-command service time (Figure 7's
 	// distribution) when a cost model is installed; simBacklogNs is the
 	// modelled decode backlog. Both are virtual time, hence DomainSim.
@@ -28,12 +35,25 @@ type consoleMetrics struct {
 
 func newConsoleMetrics(wall, sim *obs.Registry) *consoleMetrics {
 	obs.MustSim(sim)
-	return &consoleMetrics{
+	m := &consoleMetrics{
 		applied:       wall.Counter("slim_console_applied_total"),
 		dropped:       wall.Counter("slim_console_dropped_total"),
 		nacks:         wall.Counter("slim_console_nacks_total"),
 		decodeSeconds: wall.Histogram("slim_console_decode_seconds"),
 		simService:    sim.Histogram("slim_sim_console_service_seconds"),
 		simBacklogNs:  sim.Gauge("slim_sim_console_backlog_ns"),
+	}
+	for t := protocol.TypeSet; t <= protocol.TypeCSCS; t++ {
+		m.decodeByType[t] = wall.Histogram(
+			fmt.Sprintf("slim_console_decode_seconds{cmd=%q}", t.String()))
+	}
+	return m
+}
+
+// observeDecodeType records the wall decode time under the per-command
+// histogram; non-display types are ignored.
+func (m *consoleMetrics) observeDecodeType(t protocol.MsgType, d time.Duration) {
+	if t.IsDisplay() {
+		m.decodeByType[t].Observe(d)
 	}
 }

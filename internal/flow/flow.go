@@ -287,17 +287,54 @@ type Governor struct {
 
 	winStart time.Duration
 	winBytes int64
+
+	// autoDemand/autoBurst/autoSupersede remember which derived fields
+	// were left zero in the caller's Config, so SetCosts can recompute
+	// them from a recalibrated cost model without clobbering explicit
+	// operator choices.
+	autoDemand    bool
+	autoBurst     bool
+	autoSupersede bool
 }
 
 // NewGovernor returns a governor with cfg (zero fields defaulted),
 // reporting into m (nil is inert).
 func NewGovernor(cfg Config, m *Metrics) *Governor {
-	cfg = cfg.withDefaults()
-	g := &Governor{cfg: cfg, m: m, shed: newSeqSet(supersededRing)}
-	if cfg.Batch {
-		g.batcher = core.NewBatcher(cfg.MTU)
+	g := &Governor{
+		m:             m,
+		shed:          newSeqSet(supersededRing),
+		autoDemand:    cfg.InitialBps == 0,
+		autoBurst:     cfg.BurstBytes == 0,
+		autoSupersede: cfg.SupersedeThresholdBytes == 0,
+	}
+	g.cfg = cfg.withDefaults()
+	if g.cfg.Batch {
+		g.batcher = core.NewBatcher(g.cfg.MTU)
 	}
 	return g
+}
+
+// SetCosts swaps in a new cost model — typically a calibrated fit from
+// core.Calibrator — and recomputes every cost-derived parameter the
+// caller originally left to the defaults: demand, burst depth, and the
+// supersession threshold. Explicitly configured values are preserved.
+// Queued traffic, grants, and NACK state are untouched; only pacing
+// arithmetic changes.
+func (g *Governor) SetCosts(cm *core.CostModel) {
+	if cm == nil {
+		return
+	}
+	g.cfg.Costs = cm
+	if g.autoDemand {
+		g.cfg.InitialBps = DefaultDemandBps(cm)
+	}
+	if g.autoBurst {
+		g.cfg.BurstBytes = DefaultBurst(cm)
+		if g.autoSupersede {
+			g.cfg.SupersedeThresholdBytes = g.cfg.BurstBytes
+		}
+	}
+	g.clamp()
 }
 
 // Config reports the governor's effective (defaulted) configuration.

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"slim/internal/obs"
+	"slim/internal/obs/capture"
 	"slim/internal/obs/flight"
 )
 
@@ -115,6 +116,12 @@ type Link struct {
 	// RecordAt enforces it — so simulated links and live transports can
 	// never interleave clock domains in one ring.
 	Flight *flight.SessionLog
+	// Capture, when non-nil and enabled, records each delivered packet
+	// into a wire-capture ring at its virtual departure time. netsim
+	// models sizes rather than bytes, so these are size-only records
+	// (wireLen 0 in the .slimcap encoding); tail-dropped packets never
+	// reach the wire and are not recorded.
+	Capture *capture.Ring
 }
 
 // flightRecord mirrors one delivery into the link's flight ring.
@@ -131,6 +138,14 @@ func (l *Link) flightRecord(d Delivery) {
 	l.Flight.RecordAt(d.Depart, flight.Event{
 		Kind: flight.EvLinkTx, A: int64(d.Size), B: int64(d.Flow),
 	})
+}
+
+// captureRecord mirrors one delivery into the link's wire-capture ring.
+func (l *Link) captureRecord(d Delivery) {
+	if d.Dropped || !l.Capture.Enabled() {
+		return
+	}
+	l.Capture.TapSize(capture.DirDown, int32(d.Flow), d.Size, d.Depart)
 }
 
 // SerializeTime reports how long the link takes to clock out one packet.
@@ -169,6 +184,7 @@ func (l *Link) Run(pkts []Packet) []Delivery {
 			d := Delivery{Packet: p, Dropped: true}
 			l.Metrics.record(d)
 			l.flightRecord(d)
+			l.captureRecord(d)
 			out = append(out, d)
 			continue
 		}
@@ -183,6 +199,7 @@ func (l *Link) Run(pkts []Packet) []Delivery {
 		d := Delivery{Packet: p, Depart: depart, Queued: depart - p.T}
 		l.Metrics.record(d)
 		l.flightRecord(d)
+		l.captureRecord(d)
 		out = append(out, d)
 	}
 	sort.SliceStable(out, func(i, j int) bool {

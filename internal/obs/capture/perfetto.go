@@ -1,0 +1,85 @@
+// Chrome/Perfetto trace-event export for captures. The events land on a
+// dedicated "wire" process with one track per direction, so loading a
+// capture alongside a flight-recorder export (slimtrace flight -perfetto)
+// lines datagrams up under the same microsecond timebase as the
+// INPUT→ENCODE→TX→PAINT spans they carry.
+package capture
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"slim/internal/protocol"
+)
+
+// wirePID keeps capture tracks clear of flight's per-session pids, which
+// are real SLIM session ids counted from 1.
+const wirePID = 999999
+
+type perfettoEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Ph    string         `json:"ph"`
+	TS    float64        `json:"ts"` // microseconds
+	Scope string         `json:"s,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type perfettoFile struct {
+	DisplayTimeUnit string          `json:"displayTimeUnit"`
+	TraceEvents     []perfettoEvent `json:"traceEvents"`
+}
+
+// datagramName summarises one record for the track: the decoded command
+// type (or batch census) plus the wire size.
+func datagramName(rec Record) string {
+	if len(rec.Wire) == 0 {
+		return fmt.Sprintf("RAW %dB", rec.Size)
+	}
+	if protocol.IsBatch(rec.Wire) {
+		if _, msgs, err := protocol.DecodeBatch(rec.Wire); err == nil {
+			return fmt.Sprintf("SB×%d %dB", len(msgs), rec.Size)
+		}
+		return fmt.Sprintf("SB? %dB", rec.Size)
+	}
+	if _, m, _, err := protocol.Decode(rec.Wire); err == nil {
+		return fmt.Sprintf("%s %dB", m.Type(), rec.Size)
+	}
+	return fmt.Sprintf("? %dB", rec.Size)
+}
+
+// WritePerfetto writes the capture as a Chrome trace-event JSON file.
+func WritePerfetto(w io.Writer, h Header, recs []Record) error {
+	evs := []perfettoEvent{
+		{Name: "process_name", Ph: "M", PID: wirePID,
+			Args: map[string]any{"name": "wire capture (" + string(h.Domain) + ")"}},
+		{Name: "thread_name", Ph: "M", PID: wirePID, TID: int(DirDown),
+			Args: map[string]any{"name": "down (server→console)"}},
+		{Name: "thread_name", Ph: "M", PID: wirePID, TID: int(DirUp),
+			Args: map[string]any{"name": "up (console→server)"}},
+	}
+	for _, rec := range recs {
+		args := map[string]any{"bytes": rec.Size}
+		if rec.Console != "" {
+			args["console"] = rec.Console
+		}
+		if rec.Flow >= 0 {
+			args["flow"] = rec.Flow
+		}
+		evs = append(evs, perfettoEvent{
+			Name:  datagramName(rec),
+			Cat:   "wire",
+			Ph:    "i",
+			Scope: "t",
+			TS:    float64(rec.T.Nanoseconds()) / 1e3,
+			PID:   wirePID,
+			TID:   int(rec.Dir),
+			Args:  args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(perfettoFile{DisplayTimeUnit: "ms", TraceEvents: evs})
+}

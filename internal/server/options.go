@@ -33,6 +33,17 @@ func WithCostModel(cm *core.CostModel) Option {
 	return func(s *Server) { s.costs = cm }
 }
 
+// WithCalibratedCosts feeds a live cost-model calibrator back into flow
+// control: whenever cal produces a new fit (its generation advances), the
+// next PumpFlows rebuilds the model and re-derives every governor's
+// demand, burst, and supersession threshold from *measured* per-command
+// costs instead of the static Table 5 constants. Consoles receive a fresh
+// BandwidthRequest when a session's derived demand changes. Pair it with
+// a console whose Config.Calibrator is the same calibrator.
+func WithCalibratedCosts(cal *core.Calibrator) Option {
+	return func(s *Server) { s.cal = cal }
+}
+
 // WithFlowControl enables the grant-driven send governor (§7) for every
 // session: display traffic is paced to the console's BandwidthGrant,
 // stale queued damage is superseded under backpressure, and NACK

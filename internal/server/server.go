@@ -154,6 +154,12 @@ type Server struct {
 	// flowCfg enables the per-session send governor when non-nil
 	// (WithFlowControl).
 	flowCfg *flow.Config
+	// cal is the live cost-model calibrator (WithCalibratedCosts). When
+	// its generation advances, PumpFlows rebuilds the fitted model and
+	// re-derives every governor's demand/burst from measured costs.
+	cal *core.Calibrator
+	// calGen is the calibrator generation last applied to the governors.
+	calGen uint64
 }
 
 type consoleState struct {
@@ -452,6 +458,11 @@ func (s *Server) attachByToken(out *[]outbound, console, token string, now time.
 		if s.flowCfg != nil {
 			sess.fm = flow.NewMetrics(s.obs, user)
 			sess.gov = flow.NewGovernor(*s.flowCfg, sess.fm)
+			if s.cal != nil && s.cal.Generation() > 0 {
+				// Sessions born after calibration converged start from
+				// the measured model, not the Table 5 constants.
+				sess.gov.SetCosts(s.cal.Model())
+			}
 		}
 		if s.NewApp != nil {
 			sess.App = s.NewApp(user, cs.w, cs.h)
@@ -687,6 +698,7 @@ func (s *Server) releaseFlow(out *[]outbound, sess *Session, now time.Duration) 
 func (s *Server) PumpFlows(now time.Duration) (next time.Duration, pending bool, err error) {
 	s.mu.Lock()
 	var out []outbound
+	s.refreshCalibrationLocked(&out, now)
 	for _, sess := range s.sessions {
 		if sess.gov == nil || sess.Console == "" {
 			continue
@@ -701,6 +713,32 @@ func (s *Server) PumpFlows(now time.Duration) (next time.Duration, pending bool,
 	}
 	s.mu.Unlock()
 	return next, pending, s.flush(out)
+}
+
+// refreshCalibrationLocked applies a newly-fitted cost model to every
+// governed session when the calibrator's generation has advanced since the
+// last pump. Sessions whose derived demand changed re-announce it to their
+// console so the §7 allocator can re-divide the link. Call with s.mu held.
+func (s *Server) refreshCalibrationLocked(out *[]outbound, now time.Duration) {
+	if s.cal == nil {
+		return
+	}
+	gen := s.cal.Generation()
+	if gen == s.calGen {
+		return
+	}
+	s.calGen = gen
+	model := s.cal.Model()
+	for _, sess := range s.sessions {
+		if sess.gov == nil {
+			continue
+		}
+		oldDemand := sess.gov.Config().InitialBps
+		sess.gov.SetCosts(model)
+		if d := sess.gov.Config().InitialBps; d != oldDemand && sess.Console != "" {
+			s.send(out, sess.Console, &protocol.BandwidthRequest{SessionID: sess.ID, Bps: d})
+		}
+	}
 }
 
 func (s *Server) send(out *[]outbound, console string, msg protocol.Message) {

@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"time"
+
+	"slim/internal/core"
+	"slim/internal/obs/capture"
+	"slim/internal/protocol"
+)
+
+// FromCapture converts wire-capture records into a §3.1 offline trace, so
+// a live .slimcap capture flows through the same analysis path as
+// generated workload traces (stat, replay, bytes/pixels-per-event CDFs).
+//
+// Down-direction display commands (batch members included) become display
+// records with their wire bytes and touched pixels. Up-direction key
+// events become key records and pointer events with buttons pressed
+// become clicks; bare motion is dropped, matching the paper's §5.1 input
+// definition. Size-only records (netsim) and undecodable datagrams have
+// no offline equivalent and are skipped. Timestamps are rebased so the
+// trace starts at zero.
+func FromCapture(recs []capture.Record) *Trace {
+	tr := &Trace{App: "capture"}
+	var base time.Duration
+	haveBase := false
+	add := func(t time.Duration, r Record) {
+		if !haveBase {
+			base, haveBase = t, true
+		}
+		r.T = t - base
+		tr.Append(r)
+	}
+	classify := func(t time.Duration, m protocol.Message) {
+		switch msg := m.(type) {
+		case *protocol.KeyEvent:
+			if msg.Down {
+				add(t, Record{Kind: KindKey})
+			}
+		case *protocol.PointerEvent:
+			if msg.Buttons != 0 {
+				add(t, Record{Kind: KindClick})
+			}
+		default:
+			if m.Type().IsDisplay() {
+				add(t, Record{
+					Kind:   KindDisplay,
+					Cmd:    m.Type(),
+					Bytes:  protocol.WireSize(m),
+					Pixels: core.PixelsOf(m),
+				})
+			}
+		}
+	}
+	for _, rec := range recs {
+		if len(rec.Wire) == 0 {
+			continue
+		}
+		if protocol.IsBatch(rec.Wire) {
+			if _, msgs, err := protocol.DecodeBatch(rec.Wire); err == nil {
+				for _, m := range msgs {
+					classify(rec.T, m)
+				}
+			}
+			continue
+		}
+		rest := rec.Wire
+		for len(rest) > 0 {
+			_, m, n, err := protocol.Decode(rest)
+			if err != nil {
+				break
+			}
+			classify(rec.T, m)
+			rest = rest[n:]
+		}
+	}
+	return tr
+}

@@ -3,9 +3,13 @@ package slim
 import (
 	"net"
 	"net/http"
+	"os"
+	"sync"
 	"time"
 
+	"slim/internal/core"
 	"slim/internal/obs"
+	"slim/internal/obs/capture"
 	"slim/internal/obs/flight"
 )
 
@@ -55,13 +59,112 @@ func SetFlightThreshold(d time.Duration) { flight.Default.SetThreshold(d) }
 // breaches are still counted and marked in the ring).
 func SetFlightDumpDir(dir string) { flight.Default.SetDumpDir(dir) }
 
+// defaultCalibrator is the process-wide cost calibrator behind
+// Calibrator() and /debug/costmodel, instrumented in the default registry
+// so its drift gauges appear in /metrics.
+var defaultCalibrator = core.NewCalibrator(nil).Instrument(obs.Default)
+
+// Calibrator returns the process-wide cost-model calibrator. Point a
+// console's ConsoleConfig.Calibrator at it (and a server at
+// WithCalibratedCosts(slim.Calibrator())) and /debug/costmodel shows the
+// measured-versus-Table-5 fit for this host.
+func Calibrator() *CostCalibrator { return defaultCalibrator }
+
+// CostModelHandler serves cal's live calibration state — the fitted
+// startup/per-pixel costs, R², sample counts, and drift versus Table 5 —
+// as an indented JSON document. DebugHandler mounts it for the default
+// calibrator at /debug/costmodel.
+func CostModelHandler(cal *CostCalibrator) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = cal.WriteJSON(w)
+	})
+}
+
+// Capture returns the process-wide wire-capture ring (disabled until a
+// capture is started). The UDP transport and every fabric tap it; see
+// internal/obs/capture and the .slimcap section of PROTOCOL.md.
+func Capture() *capture.Ring { return capture.Default }
+
+// CaptureFile is an in-progress wire capture spooling to disk.
+type CaptureFile struct {
+	f      *os.File
+	ring   *capture.Ring
+	ticker *time.Ticker
+	done   chan struct{}
+	once   sync.Once
+
+	mu  sync.Mutex // serializes spools and guards err
+	err error
+}
+
+// spool drains the ring to the file under the spool lock.
+func (c *CaptureFile) spool() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := c.ring.SpoolTo(c.f); err != nil && c.err == nil {
+		c.err = err
+	}
+}
+
+// StartCapture enables the process-wide capture ring and spools it to a
+// .slimcap file at path until Close. The spool runs in the background a
+// few times a second; ring drops (bursts outrunning the spooler) are
+// counted in slim_capture_ring_drops_total rather than blocking
+// transports.
+func StartCapture(path string) (*CaptureFile, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := capture.WriteHeader(f, obs.DomainWall, time.Now()); err != nil {
+		f.Close()
+		return nil, err
+	}
+	cf := &CaptureFile{f: f, ring: capture.Default, ticker: time.NewTicker(250 * time.Millisecond),
+		done: make(chan struct{})}
+	cf.ring.SetEnabled(true)
+	go func() {
+		for {
+			select {
+			case <-cf.ticker.C:
+				cf.spool()
+			case <-cf.done:
+				return
+			}
+		}
+	}()
+	return cf, nil
+}
+
+// Close disables the capture, spools the remaining records, and closes
+// the file. Safe to call more than once.
+func (c *CaptureFile) Close() error {
+	c.once.Do(func() {
+		c.ring.SetEnabled(false)
+		c.ticker.Stop()
+		close(c.done)
+		c.spool()
+		c.mu.Lock()
+		if err := c.f.Close(); err != nil && c.err == nil {
+			c.err = err
+		}
+		c.mu.Unlock()
+	})
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
 // DebugHandler returns the debug endpoint served by slimd -debug:
 // /metrics (Prometheus text), /debug/vars (JSON snapshot), /debug/trace
-// (Perfetto trace-event JSON from the flight recorder), and
-// /debug/pprof/ — embed it in any HTTP server.
+// (Perfetto trace-event JSON from the flight recorder), /debug/costmodel
+// (the live cost-model calibration fit), and /debug/pprof/ — embed it in
+// any HTTP server.
 func DebugHandler() http.Handler {
 	mux := obs.DebugMux(obs.Default, obs.Sim)
 	mux.Handle("/debug/trace", flight.Default.TraceHandler())
+	mux.Handle("/debug/costmodel", CostModelHandler(defaultCalibrator))
 	return mux
 }
 

@@ -12,6 +12,7 @@ import (
 
 	"slim/internal/netsim"
 	"slim/internal/obs"
+	"slim/internal/obs/capture"
 	"slim/internal/obs/flight"
 	"slim/internal/protocol"
 )
@@ -80,6 +81,10 @@ type overloadHarness struct {
 	events eventHeap
 	ord    int
 
+	// cap, when enabled, records every datagram crossing the harness —
+	// the same tap point the real transports use.
+	cap *capture.Ring
+
 	// paintAt records when each display sequence number reached its
 	// console; inputs resolve against it after the run.
 	paintAt map[string]map[uint32]time.Duration
@@ -99,6 +104,9 @@ func (h *overloadHarness) schedule(ev simEvent) {
 // serializes through the shared link with tail drop; control traffic
 // bypasses it (the paper's control plane is negligible next to pixels).
 func (h *overloadHarness) Send(console string, wire []byte) error {
+	if h.cap.Enabled() {
+		h.cap.Tap(capture.DirDown, console, -1, wire, h.now)
+	}
 	w := append([]byte(nil), wire...)
 	display := protocol.IsBatch(w) || isDisplayDatagram(w)
 	if !display {
@@ -167,8 +175,9 @@ type overloadResult struct {
 	linkDrops int
 }
 
-// runOverload drives the scenario and reports interactive latency.
-func runOverload(t *testing.T, governed bool, reg *obs.Registry, rec *flight.Recorder) overloadResult {
+// runOverload drives the scenario and reports interactive latency. A
+// non-nil ring captures every datagram the run puts on the simulated wire.
+func runOverload(t *testing.T, governed bool, reg *obs.Registry, rec *flight.Recorder, ring *capture.Ring) overloadResult {
 	t.Helper()
 	const (
 		nTerm     = 6
@@ -188,6 +197,7 @@ func runOverload(t *testing.T, governed bool, reg *obs.Registry, rec *flight.Rec
 		consoles: make(map[string]*Console),
 		paintAt:  make(map[string]map[uint32]time.Duration),
 		link:     netsim.Link{Bps: netsim.Rate10Mbps, Prop: 200 * time.Microsecond, BufBytes: 128 << 10},
+		cap:      ring,
 	}
 	opts := []ServerOption{WithMetricsRegistry(reg), WithFlightRecorder(rec)}
 	if governed {
@@ -289,6 +299,9 @@ func runOverload(t *testing.T, governed bool, reg *obs.Registry, rec *flight.Rec
 				t.Fatal(err)
 			}
 			for _, r := range replies {
+				if h.cap.Enabled() {
+					h.cap.Tap(capture.DirUp, ev.desk, -1, r, h.now)
+				}
 				if err := h.srv.HandleDatagram(ev.desk, r, h.now); err != nil {
 					t.Fatal(err)
 				}
@@ -330,11 +343,11 @@ func runOverload(t *testing.T, governed bool, reg *obs.Registry, rec *flight.Rec
 func TestOverloadGovernorDegradesGracefully(t *testing.T) {
 	regOff := obs.NewRegistry(obs.DomainWall)
 	recOff := flight.New(obs.DomainWall).Instrument(regOff)
-	off := runOverload(t, false, regOff, recOff)
+	off := runOverload(t, false, regOff, recOff, nil)
 
 	regOn := obs.NewRegistry(obs.DomainWall)
 	recOn := flight.New(obs.DomainWall).Instrument(regOn)
-	on := runOverload(t, true, regOn, recOn)
+	on := runOverload(t, true, regOn, recOn, nil)
 
 	t.Logf("governor off: p95=%v inputs=%d stale=%d linkDrops=%d",
 		off.p95, len(off.latencies)+off.stale, off.stale, off.linkDrops)

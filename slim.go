@@ -140,6 +140,23 @@ func WithCostModel(cm *CostModel) ServerOption { return server.WithCostModel(cm)
 // of the process-wide registry.
 func WithMetricsRegistry(r *MetricsRegistry) ServerOption { return server.WithRegistry(r) }
 
+// CostCalibrator fits the §4.3 cost model live from per-command decode
+// observations (see internal/core and the Calibration section of
+// DESIGN.md). Share one calibrator between a console's
+// ConsoleConfig.Calibrator and a server's WithCalibratedCosts to close
+// the measure→fit→pace loop.
+type CostCalibrator = core.Calibrator
+
+// NewCalibrator returns a cost calibrator measuring drift against base
+// (nil: the published Table 5 model).
+func NewCalibrator(base *CostModel) *CostCalibrator { return core.NewCalibrator(base) }
+
+// WithCalibratedCosts feeds cal's fitted cost model back into every
+// session governor's demand/burst computation as calibration converges.
+func WithCalibratedCosts(cal *CostCalibrator) ServerOption {
+	return server.WithCalibratedCosts(cal)
+}
+
 // WithFlightRecorder points the server's causal flight recorder at rec
 // instead of the process-wide one.
 func WithFlightRecorder(rec *Recorder) ServerOption { return server.WithFlightRecorder(rec) }

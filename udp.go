@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"slim/internal/obs"
+	"slim/internal/obs/capture"
 	"slim/internal/protocol"
 )
 
@@ -61,6 +62,11 @@ type UDPServer struct {
 	pacerDone chan struct{} // closed when the flow pacer has exited (flow only)
 	start     time.Time     // shared epoch for serve and the flow pacer
 	metrics   *udpMetrics
+	// capture is the wire tap (capture.Default): every datagram this
+	// transport sends or receives is recorded when the ring is enabled.
+	// The Enabled guard keeps the disabled path allocation- and
+	// clock-read-free.
+	capture *capture.Ring
 }
 
 // ListenAndServe binds a UDP address and starts a SLIM server on it. The
@@ -93,6 +99,7 @@ func ListenAndServeContext(ctx context.Context, addr string, newApp AppFactory, 
 		done:    make(chan struct{}),
 		start:   time.Now(),
 		metrics: newUDPMetrics(obs.Default, "slim_udp"),
+		capture: capture.Default,
 	}
 	s.Server = NewServer(s, newApp, opts...)
 	go s.serve()
@@ -184,6 +191,9 @@ func (s *UDPServer) Send(consoleID string, wire []byte) error {
 	}
 	s.metrics.txDatagrams.Inc()
 	s.metrics.txBytes.Add(int64(len(wire)))
+	if s.capture.Enabled() {
+		s.capture.Tap(capture.DirDown, consoleID, -1, wire, time.Since(s.start))
+	}
 	return nil
 }
 
@@ -206,6 +216,9 @@ func (s *UDPServer) serve() {
 		s.metrics.rxDatagrams.Inc()
 		s.metrics.rxBytes.Add(int64(n))
 		id := addr.String()
+		if s.capture.Enabled() {
+			s.capture.Tap(capture.DirUp, id, -1, buf[:n], time.Since(s.start))
+		}
 		s.mu.Lock()
 		s.addrs[id] = addr
 		s.mu.Unlock()
