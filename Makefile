@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench cover fuzz reproduce examples clean race bench-guard ci
+.PHONY: all build test vet bench cover fuzz reproduce examples clean race bench-guard bench-json alloc-guard ci
 
 all: build test
 
@@ -35,10 +35,23 @@ race:
 # TestDisabledTapAllocatesNothing, which every plain `go test` run
 # enforces).
 bench-guard:
-	$(GO) test -run xxx -bench . -benchtime 1x . ./internal/obs/flight/ ./internal/obs/capture/ ./internal/flow/
+	$(GO) test -run xxx -bench . -benchtime 1x . ./internal/obs/flight/ ./internal/obs/capture/ ./internal/flow/ ./internal/fb/ ./internal/core/
 
-# CI-style gate: static checks, race-detected tests, benchmark smoke run.
-ci: vet race bench-guard
+# Measure the pixel-pipeline hot paths (optimized vs slowXxx reference
+# kernels, serial vs parallel encoder) and record the numbers as JSON.
+bench-json:
+	$(GO) test -run xxx -bench Hotpath -benchmem ./internal/fb/ ./internal/core/ | $(GO) run ./cmd/benchjson > BENCH_hotpath.json
+	@echo wrote BENCH_hotpath.json
+
+# Steady-state allocation budgets on the hot paths (0 allocs/op for console
+# apply and the warm wire-emit path). Run without -race: the race detector's
+# instrumentation allocates, so these tests skip themselves under it.
+alloc-guard:
+	$(GO) test -run 'ZeroAlloc' -count 1 ./internal/fb/ ./internal/core/
+
+# CI-style gate: static checks, race-detected tests, benchmark smoke run,
+# allocation budgets.
+ci: vet race bench-guard alloc-guard
 
 cover:
 	$(GO) test -cover ./...

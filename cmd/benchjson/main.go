@@ -1,0 +1,89 @@
+// Command benchjson converts `go test -bench` text output into JSON so
+// benchmark numbers can be committed, diffed, and plotted. It reads bench
+// output on stdin and writes a JSON array on stdout:
+//
+//	go test -run xxx -bench Hotpath -benchmem ./internal/fb/ | benchjson > BENCH_hotpath.json
+//
+// Non-benchmark lines (ok/PASS/goos/pkg headers) pass through silently.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line, in the units Go reports.
+type Result struct {
+	Name        string  `json:"name"`
+	Procs       int     `json:"procs,omitempty"` // the -N GOMAXPROCS suffix
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerS      float64 `json:"mb_per_s,omitempty"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	r := Result{Name: fields[0]}
+	if i := strings.LastIndex(r.Name, "-"); i > 0 {
+		if p, err := strconv.Atoi(r.Name[i+1:]); err == nil {
+			r.Name, r.Procs = r.Name[:i], p
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r.Iterations = iters
+	// The rest is value/unit pairs: "251086 ns/op", "1044.32 MB/s", ...
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			r.NsPerOp = v
+		case "MB/s":
+			r.MBPerS = v
+		case "B/op":
+			r.BytesPerOp = int64(v)
+		case "allocs/op":
+			r.AllocsPerOp = int64(v)
+		}
+	}
+	return r, true
+}
+
+func main() {
+	log.SetPrefix("benchjson: ")
+	log.SetFlags(0)
+	var results []Result
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if r, ok := parseLine(sc.Text()); ok {
+			results = append(results, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+	if len(results) == 0 {
+		log.Fatal("no benchmark lines on stdin")
+	}
+	out, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(string(out))
+}

@@ -221,6 +221,13 @@ func (f *Fabric) Send(consoleID string, wire []byte) error {
 			return nil // the datagram vanished on the wire
 		}
 	}
+	if f.draining {
+		// This Send returns before the active drain delivers the datagram,
+		// and the server recycles wire buffers as soon as Send returns
+		// (the Transport contract) — so a queued-behind-a-drain wire must
+		// be copied to survive until delivery.
+		wire = append([]byte(nil), wire...)
+	}
 	f.queue = append(f.queue, queuedDatagram{console: consoleID, wire: wire})
 	f.metrics.queue.Set(int64(len(f.queue)))
 	if f.draining {

@@ -6,7 +6,9 @@ import (
 
 	"slim/internal/fb"
 	"slim/internal/obs/flight"
+	"slim/internal/par"
 	"slim/internal/protocol"
+	"slim/internal/wirebuf"
 )
 
 // DefaultMTU is the default maximum datagram body size. It leaves room for
@@ -15,10 +17,31 @@ import (
 const DefaultMTU = 1400
 
 // Datagram is one framed protocol message ready for transmission.
+//
+// Payload aliasing: when wire generation is on, the pixel/bitmap payloads
+// of Msg may alias encoder-owned scratch slabs that the next Encode call
+// reuses. Wire is always a self-contained marshalled copy; consumers that
+// outlive the Encode call (the replay ring, the flow governor) read only
+// Msg's geometry, never its payload.
 type Datagram struct {
 	Seq  uint32
 	Msg  protocol.Message
 	Wire []byte
+	// Buf is the pooled buffer backing Wire (nil when wire generation is
+	// skipped or the datagram predates the pool). The holder of the
+	// Datagram owns one reference; ReleaseWire returns it once the wire
+	// has been handed to a transport that does not retain it.
+	Buf *wirebuf.Buf
+}
+
+// ReleaseWire releases the datagram's reference on its pooled wire buffer.
+// Safe to call on datagrams without one; idempotent per Datagram value.
+func (d *Datagram) ReleaseWire() {
+	if d.Buf != nil {
+		d.Buf.Release()
+		d.Buf = nil
+		d.Wire = nil
+	}
 }
 
 // Encoder is the server-side SLIM display driver. Applications hand it
@@ -52,9 +75,25 @@ type Encoder struct {
 	// ENCODE stage of the causal input-to-paint chain. Nil or disabled
 	// costs one branch per command.
 	Flight *flight.SessionLog
+	// Parallel, when non-nil, shards large SET tilings and CSCS strip
+	// compression across its workers. Sequence numbers are reserved up
+	// front and results emitted in index order, so the datagram stream is
+	// byte-identical to the serial encoder's. Virtual-time simulation paths
+	// leave it nil to stay single-threaded and deterministic in timing.
+	Parallel *par.Pool
 
 	seq    protocol.Sequencer
 	replay *ReplayBuffer
+
+	// Reusable payload slabs for the wire-generating path. Message payloads
+	// (Set.Pixels, Bitmap.Bits) alias these and are valid only until the
+	// next Encode call — see the Datagram aliasing contract. SkipWire mode
+	// allocates fresh payloads instead, since without a wire the message IS
+	// the output.
+	setSlab     []protocol.Pixel
+	bitSlab     []byte
+	bicolorBits []byte
+	repaintPix  []protocol.Pixel
 }
 
 // NewEncoder returns an encoder managing a w×h session frame buffer.
@@ -69,11 +108,22 @@ func NewEncoder(w, h int) *Encoder {
 
 // emit frames msg, records it for replay, and accounts for it.
 func (e *Encoder) emit(msg protocol.Message) Datagram {
-	seq := e.seq.Next()
+	return e.finish(e.seq.Next(), msg, nil)
+}
+
+// finish completes the emission of msg under an already-assigned sequence
+// number: marshalling into a pooled wire buffer (unless buf carries a
+// pre-marshalled wire from a parallel worker), retaining for replay, and
+// accounting. The returned Datagram carries the send reference on buf.
+func (e *Encoder) finish(seq uint32, msg protocol.Message, buf *wirebuf.Buf) Datagram {
 	d := Datagram{Seq: seq, Msg: msg}
 	if !e.SkipWire {
-		d.Wire = protocol.Encode(nil, seq, msg)
-		e.replay.Store(d)
+		if buf == nil {
+			buf = marshalDatagram(seq, msg)
+		}
+		d.Wire = buf.Bytes()
+		d.Buf = buf
+		e.replay.Store(d) // the ring takes its own reference
 	}
 	e.Stats.Record(msg)
 	e.Metrics.Record(msg)
@@ -81,6 +131,13 @@ func (e *Encoder) emit(msg protocol.Message) Datagram {
 		e.Flight.Encode(seq, msg.Type(), int64(protocol.WireSize(msg)), int64(PixelsOf(msg)))
 	}
 	return d
+}
+
+// marshalDatagram frames msg into a pooled buffer.
+func marshalDatagram(seq uint32, msg protocol.Message) *wirebuf.Buf {
+	buf := wirebuf.Get(protocol.WireSize(msg))
+	buf.SetBytes(protocol.Encode(buf.Bytes(), seq, msg))
+	return buf
 }
 
 // Encode lowers one rendering op into SLIM datagrams, updating the
@@ -129,7 +186,7 @@ func (e *Encoder) encodeRegion(r protocol.Rect, pixels []protocol.Pixel) []Datag
 		if c, uniform := analyzeUniform(pixels); uniform {
 			return []Datagram{e.emit(&protocol.Fill{Rect: r, Color: c})}
 		}
-		if fg, bg, bits, ok := analyzeBicolor(r, pixels); ok {
+		if fg, bg, bits, ok := e.analyzeBicolor(r, pixels); ok {
 			return e.encodeBitmap(r, fg, bg, bits)
 		}
 	}
@@ -137,23 +194,56 @@ func (e *Encoder) encodeRegion(r protocol.Rect, pixels []protocol.Pixel) []Datag
 }
 
 // encodeSet splits a literal-pixel rectangle into MTU-sized SET commands.
+// Large tilings shard tile extraction and marshalling across the parallel
+// pool when one is attached; sequence numbers are reserved up front and
+// emission completes in index order, so the datagram stream is identical
+// to the serial path's.
 func (e *Encoder) encodeSet(r protocol.Rect, pixels []protocol.Pixel) []Datagram {
 	budget := e.MTU - 8 // rect header
 	maxPixels := max(1, budget/3)
 	tileW := min(r.W, maxPixels)
 	tileH := max(1, maxPixels/tileW)
-	var out []Datagram
-	for _, t := range tileRect(r, tileW, tileH) {
-		sub := make([]protocol.Pixel, 0, t.Pixels())
-		for y := t.Y; y < t.Y+t.H; y++ {
-			row := (y - r.Y) * r.W
-			for x := t.X; x < t.X+t.W; x++ {
-				sub = append(sub, pixels[row+(x-r.X)])
-			}
+	tiles := tileRect(r, tileW, tileH)
+	out := make([]Datagram, 0, len(tiles))
+	if e.Parallel.Workers() > 1 && len(tiles) > 1 && !e.SkipWire {
+		firstSeq := e.seq.Reserve(len(tiles))
+		msgs := make([]*protocol.Set, len(tiles))
+		bufs := make([]*wirebuf.Buf, len(tiles))
+		e.Parallel.Do(len(tiles), func(i int) {
+			t := tiles[i]
+			sub := make([]protocol.Pixel, t.Pixels())
+			copyTile(sub, pixels, r, t)
+			m := &protocol.Set{Rect: t, Pixels: sub}
+			msgs[i], bufs[i] = m, marshalDatagram(firstSeq+uint32(i), m)
+		})
+		for i, m := range msgs {
+			out = append(out, e.finish(firstSeq+uint32(i), m, bufs[i]))
 		}
+		return out
+	}
+	for _, t := range tiles {
+		var sub []protocol.Pixel
+		if e.SkipWire {
+			// No wire copy is made, so the message owns its payload.
+			sub = make([]protocol.Pixel, t.Pixels())
+		} else {
+			if cap(e.setSlab) < t.Pixels() {
+				e.setSlab = make([]protocol.Pixel, t.Pixels())
+			}
+			sub = e.setSlab[:t.Pixels()]
+		}
+		copyTile(sub, pixels, r, t)
 		out = append(out, e.emit(&protocol.Set{Rect: t, Pixels: sub}))
 	}
 	return out
+}
+
+// copyTile fills dst with tile t's rows out of the pixel rectangle r.
+func copyTile(dst []protocol.Pixel, pixels []protocol.Pixel, r, t protocol.Rect) {
+	for y := 0; y < t.H; y++ {
+		src := (t.Y-r.Y+y)*r.W + (t.X - r.X)
+		copy(dst[y*t.W:(y+1)*t.W], pixels[src:src+t.W])
+	}
 }
 
 // encodeBitmap splits a bicolor rectangle into MTU-sized BITMAP commands.
@@ -166,13 +256,30 @@ func (e *Encoder) encodeBitmap(r protocol.Rect, fg, bg protocol.Pixel, bits []by
 	var out []Datagram
 	for _, t := range tileRect(r, tileW, tileH) {
 		tRow := protocol.BitmapRowBytes(t.W)
-		sub := make([]byte, tRow*t.H)
-		for y := 0; y < t.H; y++ {
-			for x := 0; x < t.W; x++ {
-				sx := t.X - r.X + x
-				sy := t.Y - r.Y + y
-				if bits[sy*srcRow+sx/8]&(0x80>>uint(sx%8)) != 0 {
-					sub[y*tRow+x/8] |= 0x80 >> uint(x%8)
+		var sub []byte
+		if e.SkipWire {
+			sub = make([]byte, tRow*t.H)
+		} else {
+			if cap(e.bitSlab) < tRow*t.H {
+				e.bitSlab = make([]byte, tRow*t.H)
+			}
+			sub = e.bitSlab[:tRow*t.H]
+		}
+		if t.X == r.X && t.W == r.W {
+			// Full-width tile (the common case: the byte budget allows
+			// thousands of columns): rows are contiguous byte runs.
+			copy(sub, bits[(t.Y-r.Y)*srcRow:(t.Y-r.Y+t.H)*srcRow])
+		} else {
+			for i := range sub {
+				sub[i] = 0
+			}
+			for y := 0; y < t.H; y++ {
+				for x := 0; x < t.W; x++ {
+					sx := t.X - r.X + x
+					sy := t.Y - r.Y + y
+					if bits[sy*srcRow+sx/8]&(0x80>>uint(sx%8)) != 0 {
+						sub[y*tRow+x/8] |= 0x80 >> uint(x%8)
+					}
 				}
 			}
 		}
@@ -197,25 +304,48 @@ func (e *Encoder) encodeVideo(o VideoOp) ([]Datagram, error) {
 	for rows > 2 && o.Format.PayloadLen(o.Src.W, rows) > budget {
 		rows -= 2
 	}
-	var out []Datagram
+	// Strip geometry first, so compression can fan out over the strips.
+	var strips []protocol.Rect // Y = source row offset, H = strip height
 	for y0 := 0; y0 < o.Src.H; y0 += rows {
-		h := min(rows, o.Src.H-y0)
-		strip := o.Pixels[y0*o.Src.W : (y0+h)*o.Src.W]
-		data, err := fb.EncodeCSCS(strip, o.Src.W, h, o.Format)
-		if err != nil {
-			return nil, err
+		strips = append(strips, protocol.Rect{Y: y0, W: o.Src.W, H: min(rows, o.Src.H-y0)})
+	}
+	payloads := make([][]byte, len(strips))
+	encodeStrip := func(i int) error {
+		s := strips[i]
+		data, err := fb.EncodeCSCS(o.Pixels[s.Y*o.Src.W:(s.Y+s.H)*o.Src.W], o.Src.W, s.H, o.Format)
+		payloads[i] = data
+		return err
+	}
+	if e.Parallel.Workers() > 1 && len(strips) > 1 {
+		// Compression reads only o.Pixels, so it parallelizes cleanly;
+		// frame-buffer application and emission stay serial and in order.
+		errs := make([]error, len(strips))
+		e.Parallel.Do(len(strips), func(i int) { errs[i] = encodeStrip(i) })
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
 		}
+	} else {
+		for i := range strips {
+			if err := encodeStrip(i); err != nil {
+				return nil, err
+			}
+		}
+	}
+	out := make([]Datagram, 0, len(strips))
+	for i, s := range strips {
 		// Proportional destination band.
-		dy0 := o.Dst.Y + y0*o.Dst.H/o.Src.H
-		dy1 := o.Dst.Y + (y0+h)*o.Dst.H/o.Src.H
+		dy0 := o.Dst.Y + s.Y*o.Dst.H/o.Src.H
+		dy1 := o.Dst.Y + (s.Y+s.H)*o.Dst.H/o.Src.H
 		if dy1 <= dy0 {
 			dy1 = dy0 + 1
 		}
 		msg := &protocol.CSCS{
-			Src:    protocol.Rect{X: o.Src.X, Y: o.Src.Y + y0, W: o.Src.W, H: h},
+			Src:    protocol.Rect{X: o.Src.X, Y: o.Src.Y + s.Y, W: o.Src.W, H: s.H},
 			Dst:    protocol.Rect{X: o.Dst.X, Y: dy0, W: o.Dst.W, H: dy1 - dy0},
 			Format: o.Format,
-			Data:   data,
+			Data:   payloads[i],
 		}
 		// Keep the authoritative frame buffer current: apply the same
 		// command the console will see.
@@ -236,7 +366,10 @@ func (e *Encoder) Repaint(r protocol.Rect) []Datagram {
 	if r.Empty() {
 		return nil
 	}
-	return e.encodeRegion(r, e.FB.ReadRect(r))
+	// Repaint pixels land in an encoder-owned slab: encodeRegion only reads
+	// them (tile payloads are copies), so the slab never escapes.
+	e.repaintPix = e.FB.ReadRectInto(e.repaintPix, r)
+	return e.encodeRegion(r, e.repaintPix)
 }
 
 // RepaintAll regenerates the entire screen (session attach after mobility).
@@ -347,10 +480,12 @@ func analyzeUniform(pixels []protocol.Pixel) (protocol.Pixel, bool) {
 	return c, true
 }
 
-// analyzeBicolor reports whether the region uses exactly two colors and, if
-// so, builds the 1bpp bitmap. The more frequent color becomes the
-// background, which is the convention for text.
-func analyzeBicolor(r protocol.Rect, pixels []protocol.Pixel) (fg, bg protocol.Pixel, bits []byte, ok bool) {
+// analyzeBicolor reports whether the region uses exactly two colors and,
+// if so, builds the 1bpp bitmap in the encoder's reusable scratch (the
+// bits never escape into a message: encodeBitmap copies them into tile
+// payloads). The more frequent color becomes the background, which is the
+// convention for text.
+func (e *Encoder) analyzeBicolor(r protocol.Rect, pixels []protocol.Pixel) (fg, bg protocol.Pixel, bits []byte, ok bool) {
 	if len(pixels) < 2 {
 		return 0, 0, nil, false
 	}
@@ -376,11 +511,19 @@ func analyzeBicolor(r protocol.Rect, pixels []protocol.Pixel) (fg, bg protocol.P
 		bg, fg = c1, c0
 	}
 	rowBytes := protocol.BitmapRowBytes(r.W)
-	bits = make([]byte, rowBytes*r.H)
+	if cap(e.bicolorBits) < rowBytes*r.H {
+		e.bicolorBits = make([]byte, rowBytes*r.H)
+	}
+	bits = e.bicolorBits[:rowBytes*r.H]
+	for i := range bits {
+		bits[i] = 0
+	}
 	for y := 0; y < r.H; y++ {
-		for x := 0; x < r.W; x++ {
-			if pixels[y*r.W+x] == fg {
-				bits[y*rowBytes+x/8] |= 0x80 >> uint(x%8)
+		row := pixels[y*r.W : (y+1)*r.W]
+		brow := bits[y*rowBytes:]
+		for x, p := range row {
+			if p == fg {
+				brow[x/8] |= 0x80 >> uint(x%8)
 			}
 		}
 	}

@@ -19,9 +19,19 @@ func NewReplayBuffer(capacity int) *ReplayBuffer {
 }
 
 // Store records a transmitted datagram, evicting the one that shared its
-// ring slot.
+// ring slot. The ring takes its own reference on the datagram's pooled
+// wire buffer and releases the evicted slot's — this is what lets the rest
+// of the pipeline release wire buffers after sending without un-pooling
+// anything the ring still points at.
 func (b *ReplayBuffer) Store(d Datagram) {
-	b.slots[int(d.Seq)%b.cap] = d
+	slot := &b.slots[int(d.Seq)%b.cap]
+	if d.Buf != nil {
+		d.Buf.Retain()
+	}
+	if slot.Buf != nil {
+		slot.Buf.Release()
+	}
+	*slot = d
 }
 
 // Get returns the datagram with the given sequence number if it is still

@@ -7,12 +7,18 @@
 // The server keeps the persistent, authoritative frame buffer; the console
 // keeps only a soft copy that may be overwritten at any time (§2.2). Both
 // sides use this package.
+//
+// The pixel kernels in this file are the protocol hot path: a SLIM server's
+// session density is bounded by per-pixel CPU cost (§4.3, §6), so every
+// kernel works a row slice at a time — builtin copy for SET/COPY/ReadRect,
+// a doubling copy for FILL, byte-at-a-time 8-pixel unrolled expansion for
+// BITMAP — and allocates nothing in steady state. The original scalar
+// implementations are retained in slow.go as differential-test references.
 package fb
 
 import (
 	"fmt"
 	"image"
-	"image/color"
 	"image/png"
 	"io"
 
@@ -25,7 +31,7 @@ import (
 // pixel (Table 5).
 type Framebuffer struct {
 	W, H int
-	Pix  []uint32
+	Pix  []protocol.Pixel
 
 	damage  protocol.Rect
 	damaged bool
@@ -36,6 +42,13 @@ type Framebuffer struct {
 	// need it, which is part of why a SLIM server is simpler (§8.3).
 	TrackRegion  bool
 	damageRegion Region
+
+	// cscsDecode and cscsScale are the per-frame-buffer scratch surfaces
+	// the CSCS apply path decodes and scales into; they grow to the largest
+	// command seen and are reused forever after, so a console playing video
+	// allocates nothing per frame (§7's sustained-stream case).
+	cscsDecode []protocol.Pixel
+	cscsScale  []protocol.Pixel
 }
 
 // New returns a zeroed (black) frame buffer. It panics on non-positive
@@ -44,7 +57,7 @@ func New(w, h int) *Framebuffer {
 	if w <= 0 || h <= 0 {
 		panic(fmt.Sprintf("fb: invalid size %dx%d", w, h))
 	}
-	return &Framebuffer{W: w, H: h, Pix: make([]uint32, w*h)}
+	return &Framebuffer{W: w, H: h, Pix: make([]protocol.Pixel, w*h)}
 }
 
 // Bounds returns the full-screen rectangle.
@@ -57,7 +70,7 @@ func (f *Framebuffer) At(x, y int) protocol.Pixel {
 	if x < 0 || y < 0 || x >= f.W || y >= f.H {
 		return 0
 	}
-	return protocol.Pixel(f.Pix[y*f.W+x])
+	return f.Pix[y*f.W+x]
 }
 
 // SetAt writes the pixel at (x, y), ignoring out-of-range coordinates.
@@ -65,7 +78,7 @@ func (f *Framebuffer) SetAt(x, y int, p protocol.Pixel) {
 	if x < 0 || y < 0 || x >= f.W || y >= f.H {
 		return
 	}
-	f.Pix[y*f.W+x] = uint32(p)
+	f.Pix[y*f.W+x] = p
 }
 
 // clip returns r clipped to the frame buffer.
@@ -112,24 +125,33 @@ func (f *Framebuffer) TakeDamageRegion() []protocol.Rect {
 	return rects
 }
 
-// Fill paints r with a single color (the FILL command).
+// row returns the pixels of row y clipped to [x0, x0+w).
+func (f *Framebuffer) row(y, x0, w int) []protocol.Pixel {
+	off := y*f.W + x0
+	return f.Pix[off : off+w : off+w]
+}
+
+// Fill paints r with a single color (the FILL command). The first row is
+// filled with a doubling copy; every following row is one copy of it.
 func (f *Framebuffer) Fill(r protocol.Rect, c protocol.Pixel) {
 	r = f.clip(r)
 	if r.Empty() {
 		return
 	}
-	for y := r.Y; y < r.Y+r.H; y++ {
-		row := f.Pix[y*f.W+r.X : y*f.W+r.X+r.W]
-		for i := range row {
-			row[i] = uint32(c)
-		}
+	row0 := f.row(r.Y, r.X, r.W)
+	row0[0] = c
+	for n := 1; n < len(row0); n *= 2 {
+		copy(row0[n:], row0[:n])
+	}
+	for y := r.Y + 1; y < r.Y+r.H; y++ {
+		copy(f.row(y, r.X, r.W), row0)
 	}
 	f.noteDamage(r)
 }
 
 // Set writes literal pixels into r (the SET command). pixels must hold
 // r.W*r.H values in row-major order; rows that fall outside the frame
-// buffer are clipped.
+// buffer are clipped. One builtin copy per clipped row.
 func (f *Framebuffer) Set(r protocol.Rect, pixels []protocol.Pixel) error {
 	if len(pixels) != r.Pixels() {
 		return fmt.Errorf("fb: SET %v wants %d pixels, got %d", r, r.Pixels(), len(pixels))
@@ -139,11 +161,8 @@ func (f *Framebuffer) Set(r protocol.Rect, pixels []protocol.Pixel) error {
 		return nil
 	}
 	for y := clipped.Y; y < clipped.Y+clipped.H; y++ {
-		srcRow := (y - r.Y) * r.W
-		dstRow := y * f.W
-		for x := clipped.X; x < clipped.X+clipped.W; x++ {
-			f.Pix[dstRow+x] = uint32(pixels[srcRow+(x-r.X)])
-		}
+		src := (y-r.Y)*r.W + (clipped.X - r.X)
+		copy(f.row(y, clipped.X, clipped.W), pixels[src:src+clipped.W])
 	}
 	f.noteDamage(clipped)
 	return nil
@@ -151,6 +170,8 @@ func (f *Framebuffer) Set(r protocol.Rect, pixels []protocol.Pixel) error {
 
 // Bitmap expands a 1bpp bitmap into fg/bg colors over r (the BITMAP
 // command). bits holds r.H padded rows of ceil(r.W/8) bytes, MSB first.
+// Interior bytes expand eight pixels at a time with uniform-byte fast
+// paths for 0x00/0xff runs (solid glyph background and strikes).
 func (f *Framebuffer) Bitmap(r protocol.Rect, fg, bg protocol.Pixel, bits []byte) error {
 	rowBytes := protocol.BitmapRowBytes(r.W)
 	if len(bits) != rowBytes*r.H {
@@ -160,20 +181,71 @@ func (f *Framebuffer) Bitmap(r protocol.Rect, fg, bg protocol.Pixel, bits []byte
 	if clipped.Empty() {
 		return nil
 	}
+	bx0 := clipped.X - r.X
 	for y := clipped.Y; y < clipped.Y+clipped.H; y++ {
-		srcRow := (y - r.Y) * rowBytes
-		dstRow := y * f.W
-		for x := clipped.X; x < clipped.X+clipped.W; x++ {
-			bx := x - r.X
-			if bits[srcRow+bx/8]&(0x80>>uint(bx%8)) != 0 {
-				f.Pix[dstRow+x] = uint32(fg)
-			} else {
-				f.Pix[dstRow+x] = uint32(bg)
-			}
-		}
+		srcRow := bits[(y-r.Y)*rowBytes : (y-r.Y+1)*rowBytes]
+		expandBitmapRow(f.row(y, clipped.X, clipped.W), srcRow, bx0, fg, bg)
 	}
 	f.noteDamage(clipped)
 	return nil
+}
+
+// expandBitmapRow writes dst[i] = fg/bg according to bitmap bit bx0+i.
+func expandBitmapRow(dst []protocol.Pixel, bits []byte, bx0 int, fg, bg protocol.Pixel) {
+	i, n := 0, len(dst)
+	// Leading bits up to the first byte boundary.
+	for ; i < n && (bx0+i)&7 != 0; i++ {
+		if bits[(bx0+i)>>3]&(0x80>>uint((bx0+i)&7)) != 0 {
+			dst[i] = fg
+		} else {
+			dst[i] = bg
+		}
+	}
+	// Whole bytes: eight pixels per iteration.
+	for ; i+8 <= n; i += 8 {
+		b := bits[(bx0+i)>>3]
+		d := dst[i : i+8 : i+8]
+		switch b {
+		case 0x00:
+			d[0], d[1], d[2], d[3], d[4], d[5], d[6], d[7] = bg, bg, bg, bg, bg, bg, bg, bg
+		case 0xff:
+			d[0], d[1], d[2], d[3], d[4], d[5], d[6], d[7] = fg, fg, fg, fg, fg, fg, fg, fg
+		default:
+			d[0], d[1], d[2], d[3], d[4], d[5], d[6], d[7] = bg, bg, bg, bg, bg, bg, bg, bg
+			if b&0x80 != 0 {
+				d[0] = fg
+			}
+			if b&0x40 != 0 {
+				d[1] = fg
+			}
+			if b&0x20 != 0 {
+				d[2] = fg
+			}
+			if b&0x10 != 0 {
+				d[3] = fg
+			}
+			if b&0x08 != 0 {
+				d[4] = fg
+			}
+			if b&0x04 != 0 {
+				d[5] = fg
+			}
+			if b&0x02 != 0 {
+				d[6] = fg
+			}
+			if b&0x01 != 0 {
+				d[7] = fg
+			}
+		}
+	}
+	// Trailing partial byte.
+	for ; i < n; i++ {
+		if bits[(bx0+i)>>3]&(0x80>>uint((bx0+i)&7)) != 0 {
+			dst[i] = fg
+		} else {
+			dst[i] = bg
+		}
+	}
 }
 
 // Copy moves the src rectangle so its top-left lands at (dstX, dstY) (the
@@ -227,8 +299,12 @@ func (f *Framebuffer) Equal(o *Framebuffer) bool {
 	if f.W != o.W || f.H != o.H {
 		return false
 	}
-	for i := range f.Pix {
-		if f.Pix[i] != o.Pix[i] {
+	a, b := f.Pix, o.Pix
+	if len(b) < len(a) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
 			return false
 		}
 	}
@@ -242,8 +318,10 @@ func (f *Framebuffer) DiffPixels(o *Framebuffer) (int, error) {
 		return 0, fmt.Errorf("fb: diff of mismatched sizes %dx%d vs %dx%d", f.W, f.H, o.W, o.H)
 	}
 	n := 0
-	for i := range f.Pix {
-		if f.Pix[i] != o.Pix[i] {
+	a := f.Pix
+	b := o.Pix[:len(a)]
+	for i := range a {
+		if a[i] != b[i] {
 			n++
 		}
 	}
@@ -251,7 +329,9 @@ func (f *Framebuffer) DiffPixels(o *Framebuffer) (int, error) {
 }
 
 // DiffRect returns the bounding rectangle of all differing pixels, and
-// false if the frame buffers are identical.
+// false if the frame buffers are identical. Each row is scanned forward to
+// its first mismatch and backward to its last, so identical rows cost one
+// pass and differing rows never scan their interior twice.
 func (f *Framebuffer) DiffRect(o *Framebuffer) (protocol.Rect, bool) {
 	if f.W != o.W || f.H != o.H {
 		return f.Bounds(), true
@@ -259,23 +339,35 @@ func (f *Framebuffer) DiffRect(o *Framebuffer) (protocol.Rect, bool) {
 	minX, minY := f.W, f.H
 	maxX, maxY := -1, -1
 	for y := 0; y < f.H; y++ {
-		row := y * f.W
-		for x := 0; x < f.W; x++ {
-			if f.Pix[row+x] != o.Pix[row+x] {
-				if x < minX {
-					minX = x
-				}
-				if x > maxX {
-					maxX = x
-				}
-				if y < minY {
-					minY = y
-				}
-				if y > maxY {
-					maxY = y
-				}
+		a := f.row(y, 0, f.W)
+		b := o.row(y, 0, f.W)
+		first := -1
+		for x := range a {
+			if a[x] != b[x] {
+				first = x
+				break
 			}
 		}
+		if first < 0 {
+			continue
+		}
+		last := first
+		for x := f.W - 1; x > first; x-- {
+			if a[x] != b[x] {
+				last = x
+				break
+			}
+		}
+		if first < minX {
+			minX = first
+		}
+		if last > maxX {
+			maxX = last
+		}
+		if y < minY {
+			minY = y
+		}
+		maxY = y
 	}
 	if maxX < 0 {
 		return protocol.Rect{}, false
@@ -286,15 +378,25 @@ func (f *Framebuffer) DiffRect(o *Framebuffer) (protocol.Rect, bool) {
 // ReadRect copies the pixels of r (clipped) out of the frame buffer in
 // row-major order.
 func (f *Framebuffer) ReadRect(r protocol.Rect) []protocol.Pixel {
+	return f.ReadRectInto(nil, r)
+}
+
+// ReadRectInto copies the pixels of r (clipped) into dst in row-major
+// order, growing dst only when its capacity is insufficient. Callers that
+// repaint repeatedly (the recovery and attach paths) pass the same slab
+// every time and allocate nothing in steady state.
+func (f *Framebuffer) ReadRectInto(dst []protocol.Pixel, r protocol.Rect) []protocol.Pixel {
 	r = f.clip(r)
-	out := make([]protocol.Pixel, 0, r.Pixels())
-	for y := r.Y; y < r.Y+r.H; y++ {
-		row := y * f.W
-		for x := r.X; x < r.X+r.W; x++ {
-			out = append(out, protocol.Pixel(f.Pix[row+x]))
-		}
+	n := r.Pixels()
+	if cap(dst) < n {
+		dst = make([]protocol.Pixel, n)
+	} else {
+		dst = dst[:n]
 	}
-	return out
+	for y := 0; y < r.H; y++ {
+		copy(dst[y*r.W:(y+1)*r.W], f.row(r.Y+y, r.X, r.W))
+	}
+	return dst
 }
 
 // Apply executes one display command against the frame buffer. This is the
@@ -319,13 +421,20 @@ func (f *Framebuffer) Apply(msg protocol.Message) error {
 	}
 }
 
-// Image converts the frame buffer to an image.RGBA for inspection.
+// Image converts the frame buffer to an image.RGBA for inspection. The
+// RGBA backing slice is written directly, row-major — a 1280×1024
+// screenshot is ~1.3M pixels, and the per-pixel SetRGBA path costs a
+// bounds-checked offset computation for every one of them.
 func (f *Framebuffer) Image() *image.RGBA {
 	img := image.NewRGBA(image.Rect(0, 0, f.W, f.H))
 	for y := 0; y < f.H; y++ {
-		for x := 0; x < f.W; x++ {
-			p := protocol.Pixel(f.Pix[y*f.W+x])
-			img.SetRGBA(x, y, color.RGBA{R: p.R(), G: p.G(), B: p.B(), A: 0xff})
+		src := f.row(y, 0, f.W)
+		dst := img.Pix[y*img.Stride : y*img.Stride+4*f.W : y*img.Stride+4*f.W]
+		for x, p := range src {
+			dst[4*x+0] = p.R()
+			dst[4*x+1] = p.G()
+			dst[4*x+2] = p.B()
+			dst[4*x+3] = 0xff
 		}
 	}
 	return img

@@ -128,7 +128,7 @@ func TestCopyOverlappingProperty(t *testing.T) {
 	for i := 0; i < 300; i++ {
 		f := New(24, 24)
 		for j := range f.Pix {
-			f.Pix[j] = rng.Uint32() & 0xffffff
+			f.Pix[j] = protocol.Pixel(rng.Uint32() & 0xffffff)
 		}
 		ref := f.Snapshot()
 		src := protocol.Rect{

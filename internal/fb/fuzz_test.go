@@ -21,6 +21,10 @@ func FuzzDecodeCSCS(f *testing.F) {
 			f.Fatal(err)
 		}
 		f.Add(int(format), 8, 6, data)
+		// Truncated chroma plane: full luma, chopped tail. Must be
+		// rejected by the length check, never decoded as garbage color.
+		yBits, _ := format.Params()
+		f.Add(int(format), 8, 6, data[:(8*6*yBits+7)/8+1])
 	}
 	f.Fuzz(func(t *testing.T, formatInt, w, h int, data []byte) {
 		format := protocol.CSCSFormat(formatInt)

@@ -2,6 +2,7 @@ package fb
 
 import (
 	"fmt"
+	"sync"
 
 	"slim/internal/protocol"
 )
@@ -12,6 +13,15 @@ import (
 // bilinear scaling. Varying the color-space conversion parameters is how
 // the paper trades quality for bandwidth between 16 and 5 bits per pixel
 // (§8.1).
+//
+// This is the most pixel-intensive command in the protocol (Table 5 prices
+// CSCS well above SET), so the codec here is fused and allocation-free in
+// steady state: RGB→YUV conversion happens inside the bit-packing loop with
+// chroma accumulated into quarter-size scratch planes (no full-resolution
+// ys/us/vs intermediates), dequantization goes through precomputed lookup
+// tables, and bilinear scaling runs in 16.16 fixed point. The original
+// plane-at-a-time float implementations are kept in slow.go as the
+// differential references.
 
 // RGBToYUV converts one pixel to full-range BT.601 YUV components.
 func RGBToYUV(p protocol.Pixel) (y, u, v uint8) {
@@ -66,12 +76,17 @@ func (w *bitWriter) flush() {
 	}
 }
 
-// bitReader unpacks MSB-first values from a byte stream.
+// bitReader unpacks MSB-first values from a byte stream. Reading past the
+// end of buf sets overrun (and yields zero bits); DecodeCSCS validates
+// payload lengths up front so overrun on its paths indicates a codec bug,
+// which the decode path turns into an error instead of silently treating
+// the zero padding as color.
 type bitReader struct {
-	buf  []byte
-	pos  int
-	bits uint32
-	acc  uint64
+	buf     []byte
+	pos     int
+	bits    uint32
+	acc     uint64
+	overrun bool
 }
 
 func (r *bitReader) read(n uint) uint32 {
@@ -80,6 +95,8 @@ func (r *bitReader) read(n uint) uint32 {
 		if r.pos < len(r.buf) {
 			b = r.buf[r.pos]
 			r.pos++
+		} else {
+			r.overrun = true
 		}
 		r.acc = (r.acc << 8) | uint64(b)
 		r.bits += 8
@@ -116,10 +133,68 @@ func dequantize(q uint32, n int) uint8 {
 	return uint8((q*255 + maxQ/2) / maxQ)
 }
 
+// deqLUT[n][q] = dequantize(q, n) for the sub-byte bit widths the CSCS
+// formats use. Indexing a table replaces a multiply+divide per component;
+// widths above 8 bits dequantize with a shift and need no table.
+var deqLUT [9][]uint8
+
+func init() {
+	for n := 1; n <= 8; n++ {
+		lut := make([]uint8, 1<<uint(n))
+		for q := range lut {
+			lut[q] = dequantize(uint32(q), n)
+		}
+		deqLUT[n] = lut
+	}
+}
+
+// yuvScratch holds the reusable intermediates of one encode/decode/scale
+// call: quarter-resolution chroma accumulators and planes, and the
+// horizontal resampling maps. Pooled so concurrent strip encoders (the
+// parallel repaint path) each get their own.
+type yuvScratch struct {
+	usum, vsum   []int32 // encode: 2x2 block component sums
+	us, vs       []uint8 // decode: dequantized chroma planes
+	x0s, x1s     []int32 // scale: source column pairs per destination column
+	txs          []int64 // scale: 16.16 horizontal blend weights
+	hrow0, hrow1 []int32 // scale: cached horizontally-resampled rows (16.16 per channel)
+}
+
+var yuvScratchPool = sync.Pool{New: func() any { return new(yuvScratch) }}
+
+func growI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func growU8(s []uint8, n int) []uint8 {
+	if cap(s) < n {
+		return make([]uint8, n)
+	}
+	return s[:n]
+}
+
+func growPix(s []protocol.Pixel, n int) []protocol.Pixel {
+	if cap(s) < n {
+		return make([]protocol.Pixel, n)
+	}
+	return s[:n]
+}
+
 // EncodeCSCS compresses a w×h block of RGB pixels into the packed YUV
 // payload of the given format: a full-resolution luma plane followed by
 // 2x2-subsampled chroma planes, both bit-packed.
 func EncodeCSCS(pixels []protocol.Pixel, w, h int, format protocol.CSCSFormat) ([]byte, error) {
+	return AppendCSCS(make([]byte, 0, format.PayloadLen(w, h)), pixels, w, h, format)
+}
+
+// AppendCSCS appends the packed YUV payload to dst and returns it. The
+// conversion is fused: one pass over the pixels computes YUV, bit-packs the
+// quantized luma, and accumulates chroma sums into quarter-size scratch
+// planes; a second pass over the (4× smaller) block grid packs the chroma.
+func AppendCSCS(dst []byte, pixels []protocol.Pixel, w, h int, format protocol.CSCSFormat) ([]byte, error) {
 	if len(pixels) != w*h {
 		return nil, fmt.Errorf("fb: EncodeCSCS wants %d pixels, got %d", w*h, len(pixels))
 	}
@@ -127,44 +202,65 @@ func EncodeCSCS(pixels []protocol.Pixel, w, h int, format protocol.CSCSFormat) (
 		return nil, fmt.Errorf("fb: invalid CSCS format %d", format)
 	}
 	yBits, cBits := format.Params()
-	ys := make([]uint8, w*h)
-	us := make([]uint8, w*h)
-	vs := make([]uint8, w*h)
-	for i, p := range pixels {
-		ys[i], us[i], vs[i] = RGBToYUV(p)
+	cw, ch := (w+1)/2, (h+1)/2
+	sc := yuvScratchPool.Get().(*yuvScratch)
+	sc.usum = growI32(sc.usum, cw*ch)
+	sc.vsum = growI32(sc.vsum, cw*ch)
+	usum, vsum := sc.usum, sc.vsum
+	for i := range usum {
+		usum[i], vsum[i] = 0, 0
 	}
-	bw := &bitWriter{buf: make([]byte, 0, format.PayloadLen(w, h))}
-	for _, y := range ys {
-		bw.write(quantize(y, yBits), uint(yBits))
+	need := format.PayloadLen(w, h)
+	if cap(dst)-len(dst) < need {
+		grown := make([]byte, len(dst), len(dst)+need)
+		copy(grown, dst)
+		dst = grown
+	}
+	bw := bitWriter{buf: dst}
+	uy := uint(yBits)
+	for y := 0; y < h; y++ {
+		row := pixels[y*w : (y+1)*w]
+		crow := usum[(y>>1)*cw:]
+		crowV := vsum[(y>>1)*cw:]
+		for x, p := range row {
+			yy, uu, vv := RGBToYUV(p)
+			bw.write(quantize(yy, yBits), uy)
+			crow[x>>1] += int32(uu)
+			crowV[x>>1] += int32(vv)
+		}
 	}
 	bw.flush()
-	// Chroma, subsampled over 2x2 blocks (block average).
-	cw, ch := (w+1)/2, (h+1)/2
-	writePlane := func(plane []uint8) {
+	// Chroma: block averages, identical rounding to the reference
+	// (truncating integer division by the contributing pixel count).
+	uc := uint(cBits)
+	writePlane := func(sums []int32) {
 		for by := 0; by < ch; by++ {
-			for bx := 0; bx < cw; bx++ {
-				sum, n := 0, 0
-				for dy := 0; dy < 2; dy++ {
-					for dx := 0; dx < 2; dx++ {
-						x, y := bx*2+dx, by*2+dy
-						if x < w && y < h {
-							sum += int(plane[y*w+x])
-							n++
-						}
-					}
-				}
-				bw.write(quantize(uint8(sum/n), cBits), uint(cBits))
+			bh := int32(min(2, h-by*2))
+			row := sums[by*cw : (by+1)*cw]
+			for bx, sum := range row {
+				n := int32(min(2, w-bx*2)) * bh
+				bw.write(quantize(uint8(sum/n), cBits), uc)
 			}
 		}
 	}
-	writePlane(us)
-	writePlane(vs)
+	writePlane(usum)
+	writePlane(vsum)
 	bw.flush()
+	yuvScratchPool.Put(sc)
 	return bw.buf, nil
 }
 
 // DecodeCSCS expands a packed YUV payload back into w×h RGB pixels.
 func DecodeCSCS(data []byte, w, h int, format protocol.CSCSFormat) ([]protocol.Pixel, error) {
+	return DecodeCSCSInto(nil, data, w, h, format)
+}
+
+// DecodeCSCSInto decodes into dst (grown only when capacity is too small)
+// and returns it. The chroma planes are dequantized through lookup tables
+// into quarter-size scratch; the luma plane is then streamed straight into
+// the RGB combine, with the per-chroma-block color terms computed once per
+// 2x2 block column instead of once per pixel.
+func DecodeCSCSInto(dst []protocol.Pixel, data []byte, w, h int, format protocol.CSCSFormat) ([]protocol.Pixel, error) {
 	if !format.Valid() {
 		return nil, fmt.Errorf("fb: invalid CSCS format %d", format)
 	}
@@ -172,107 +268,214 @@ func DecodeCSCS(data []byte, w, h int, format protocol.CSCSFormat) ([]protocol.P
 		return nil, fmt.Errorf("fb: DecodeCSCS wants %d bytes, got %d", want, len(data))
 	}
 	yBits, cBits := format.Params()
-	br := &bitReader{buf: data}
-	ys := make([]uint8, w*h)
-	for i := range ys {
-		ys[i] = dequantize(br.read(uint(yBits)), yBits)
-	}
-	// Luma plane is byte aligned on the wire.
-	br.align()
-	br.pos = (w*h*yBits + 7) / 8
 	cw, ch := (w+1)/2, (h+1)/2
-	readPlane := func() []uint8 {
-		plane := make([]uint8, cw*ch)
-		for i := range plane {
-			plane[i] = dequantize(br.read(uint(cBits)), cBits)
-		}
-		return plane
+	sc := yuvScratchPool.Get().(*yuvScratch)
+	sc.us = growU8(sc.us, cw*ch)
+	sc.vs = growU8(sc.vs, cw*ch)
+	us, vs := sc.us, sc.vs
+	// Chroma first: it starts at the byte-aligned end of the luma plane.
+	cr := bitReader{buf: data, pos: (w*h*yBits + 7) / 8}
+	clut := deqLUT[cBits]
+	uc := uint(cBits)
+	for i := range us {
+		us[i] = clut[cr.read(uc)]
 	}
-	us := readPlane()
-	vs := readPlane()
-	out := make([]protocol.Pixel, w*h)
+	for i := range vs {
+		vs[i] = clut[cr.read(uc)]
+	}
+	dst = growPix(dst, w*h)
+	// Luma streams from the front, combined with chroma on the fly.
+	lr := bitReader{buf: data}
+	var ylut []uint8
+	if yBits <= 8 {
+		ylut = deqLUT[yBits]
+	}
+	yShift := uint(0)
+	if yBits > 8 {
+		yShift = uint(yBits - 8)
+	}
+	uy := uint(yBits)
 	for y := 0; y < h; y++ {
-		for x := 0; x < w; x++ {
-			c := (y/2)*cw + x/2
-			out[y*w+x] = YUVToRGB(ys[y*w+x], us[c], vs[c])
+		urow := us[(y>>1)*cw:]
+		vrow := vs[(y>>1)*cw:]
+		out := dst[y*w : (y+1)*w]
+		var rAdd, gSub, bAdd int32
+		if yBits == 8 {
+			// Byte-aligned luma (CSCS-12/16): skip the bit reader, and an
+			// 8-bit dequantize is the identity.
+			lrow := data[y*w : (y+1)*w]
+			for x := range out {
+				if x&1 == 0 {
+					uu := int32(urow[x>>1]) - 128
+					vv := int32(vrow[x>>1]) - 128
+					rAdd = (359 * vv) >> 8
+					gSub = (88*uu + 183*vv) >> 8
+					bAdd = (454 * uu) >> 8
+				}
+				yy := int32(lrow[x])
+				out[x] = protocol.RGB(clamp8(yy+rAdd), clamp8(yy-gSub), clamp8(yy+bAdd))
+			}
+			continue
+		}
+		for x := range out {
+			if x&1 == 0 {
+				uu := int32(urow[x>>1]) - 128
+				vv := int32(vrow[x>>1]) - 128
+				rAdd = (359 * vv) >> 8
+				gSub = (88*uu + 183*vv) >> 8
+				bAdd = (454 * uu) >> 8
+			}
+			var yy int32
+			if ylut != nil {
+				yy = int32(ylut[lr.read(uy)])
+			} else {
+				yy = int32(lr.read(uy) >> yShift)
+			}
+			out[x] = protocol.RGB(clamp8(yy+rAdd), clamp8(yy-gSub), clamp8(yy+bAdd))
 		}
 	}
-	return out, nil
+	overrun := cr.overrun || lr.overrun
+	yuvScratchPool.Put(sc)
+	if overrun {
+		// Unreachable for length-validated payloads; a trip here means the
+		// bit accounting above regressed, and zero padding must not be
+		// presented as color.
+		return nil, fmt.Errorf("fb: DecodeCSCS read past payload end (%d bytes, %dx%d %v)", len(data), w, h, format)
+	}
+	return dst, nil
 }
 
 // ScaleBilinear resamples a sw×sh pixel block to dw×dh with bilinear
 // filtering — the console-side scaling that lets a half-size video stream
 // fill the screen for a quarter of the bandwidth (§7, §8.1).
 func ScaleBilinear(src []protocol.Pixel, sw, sh, dw, dh int) ([]protocol.Pixel, error) {
+	return ScaleBilinearInto(nil, src, sw, sh, dw, dh)
+}
+
+// ScaleBilinearInto resamples into dst (grown only when capacity is too
+// small) and returns it. All blend arithmetic is 16.16 fixed point; the
+// horizontal source maps are computed once per call instead of once per
+// row. Results match the float reference within ±1 per channel.
+func ScaleBilinearInto(dst []protocol.Pixel, src []protocol.Pixel, sw, sh, dw, dh int) ([]protocol.Pixel, error) {
 	if len(src) != sw*sh {
 		return nil, fmt.Errorf("fb: ScaleBilinear wants %d pixels, got %d", sw*sh, len(src))
 	}
 	if dw <= 0 || dh <= 0 {
 		return nil, fmt.Errorf("fb: invalid destination %dx%d", dw, dh)
 	}
+	dst = growPix(dst, dw*dh)
 	if dw == sw && dh == sh {
-		return append([]protocol.Pixel(nil), src...), nil
+		copy(dst, src)
+		return dst, nil
 	}
-	dst := make([]protocol.Pixel, dw*dh)
-	for dy := 0; dy < dh; dy++ {
-		// Map destination pixel centers into source space.
-		fy := (float64(dy)+0.5)*float64(sh)/float64(dh) - 0.5
-		y0 := int(fy)
-		ty := fy - float64(y0)
-		if fy < 0 {
-			y0, ty = 0, 0
+	sc := yuvScratchPool.Get().(*yuvScratch)
+	sc.x0s = growI32(sc.x0s, dw)
+	sc.x1s = growI32(sc.x1s, dw)
+	sc.txs = growI64(sc.txs, dw)
+	sc.hrow0 = growI32(sc.hrow0, dw*3)
+	sc.hrow1 = growI32(sc.hrow1, dw*3)
+	x0s, x1s, txs := sc.x0s, sc.x1s, sc.txs
+	for dx := 0; dx < dw; dx++ {
+		// Destination pixel center in source space, 16.16.
+		fx := int64(2*dx+1)*int64(sw)<<15/int64(dw) - 1<<15
+		if fx < 0 {
+			fx = 0
 		}
+		x0 := fx >> 16
+		x1 := x0 + 1
+		if x1 >= int64(sw) {
+			x1 = int64(sw) - 1
+		}
+		x0s[dx], x1s[dx], txs[dx] = int32(x0), int32(x1), fx&0xffff
+	}
+	// Separable resample: horizontally-blended rows (16.16 per channel,
+	// no intermediate rounding) are cached and shared by every output row
+	// that straddles the same source row pair — on an upscale each source
+	// row is blended once, not dh/sh times. The vertical blend then rounds
+	// exactly like the fused lerp2, so results are unchanged.
+	h0, h1 := sc.hrow0, sc.hrow1
+	r0, r1 := -1, -1
+	hfill := func(buf []int32, y int) {
+		row := src[y*sw : (y+1)*sw]
+		j := 0
+		for dx := 0; dx < dw; dx++ {
+			p0, p1 := row[x0s[dx]], row[x1s[dx]]
+			tx := int32(txs[dx])
+			r := int32(p0.R())
+			g := int32(p0.G())
+			b := int32(p0.B())
+			buf[j] = r<<16 + (int32(p1.R())-r)*tx
+			buf[j+1] = g<<16 + (int32(p1.G())-g)*tx
+			buf[j+2] = b<<16 + (int32(p1.B())-b)*tx
+			j += 3
+		}
+	}
+	for dy := 0; dy < dh; dy++ {
+		fy := int64(2*dy+1)*int64(sh)<<15/int64(dh) - 1<<15
+		if fy < 0 {
+			fy = 0
+		}
+		y0 := int(fy >> 16)
+		ty := fy & 0xffff
 		y1 := y0 + 1
 		if y1 >= sh {
 			y1 = sh - 1
 		}
-		for dx := 0; dx < dw; dx++ {
-			fx := (float64(dx)+0.5)*float64(sw)/float64(dw) - 0.5
-			x0 := int(fx)
-			tx := fx - float64(x0)
-			if fx < 0 {
-				x0, tx = 0, 0
+		// y0/y1 advance monotonically; the previous bottom row usually
+		// becomes the new top, so swap instead of recomputing.
+		if y0 != r0 {
+			if y0 == r1 {
+				h0, h1, r0, r1 = h1, h0, r1, r0
+			} else {
+				hfill(h0, y0)
+				r0 = y0
 			}
-			x1 := x0 + 1
-			if x1 >= sw {
-				x1 = sw - 1
-			}
-			p00 := src[y0*sw+x0]
-			p01 := src[y0*sw+x1]
-			p10 := src[y1*sw+x0]
-			p11 := src[y1*sw+x1]
-			lerp := func(a, b uint8, t float64) float64 {
-				return float64(a) + (float64(b)-float64(a))*t
-			}
-			blend := func(c00, c01, c10, c11 uint8) uint8 {
-				top := lerp(c00, c01, tx)
-				bot := lerp(c10, c11, tx)
-				v := top + (bot-top)*ty
-				return clamp8(int32(v + 0.5))
-			}
-			dst[dy*dw+dx] = protocol.RGB(
-				blend(p00.R(), p01.R(), p10.R(), p11.R()),
-				blend(p00.G(), p01.G(), p10.G(), p11.G()),
-				blend(p00.B(), p01.B(), p10.B(), p11.B()),
-			)
+		}
+		if y1 != r1 {
+			hfill(h1, y1)
+			r1 = y1
+		}
+		out := dst[dy*dw : (dy+1)*dw]
+		j := 0
+		for dx := range out {
+			a0, a1, a2 := h0[j], h0[j+1], h0[j+2]
+			vr := int64(a0) + (int64(h1[j]-a0)*ty)>>16
+			vg := int64(a1) + (int64(h1[j+1]-a1)*ty)>>16
+			vb := int64(a2) + (int64(h1[j+2]-a2)*ty)>>16
+			out[dx] = protocol.RGB(
+				uint8((vr+1<<15)>>16), uint8((vg+1<<15)>>16), uint8((vb+1<<15)>>16))
+			j += 3
 		}
 	}
+	sc.hrow0, sc.hrow1 = h0, h1
+	yuvScratchPool.Put(sc)
 	return dst, nil
+}
+
+func growI64(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
+	}
+	return s[:n]
 }
 
 // ApplyCSCS decodes a CSCS command — YUV expansion plus optional bilinear
 // scale — and writes the result into the frame buffer at the destination
-// rectangle.
+// rectangle. Decode and scale land in frame-buffer-owned scratch surfaces,
+// so the steady-state video path allocates nothing per command.
 func (f *Framebuffer) ApplyCSCS(m *protocol.CSCS) error {
-	pixels, err := DecodeCSCS(m.Data, m.Src.W, m.Src.H, m.Format)
+	var err error
+	f.cscsDecode, err = DecodeCSCSInto(f.cscsDecode, m.Data, m.Src.W, m.Src.H, m.Format)
 	if err != nil {
 		return err
 	}
+	pixels := f.cscsDecode
 	if m.Dst.W != m.Src.W || m.Dst.H != m.Src.H {
-		pixels, err = ScaleBilinear(pixels, m.Src.W, m.Src.H, m.Dst.W, m.Dst.H)
+		f.cscsScale, err = ScaleBilinearInto(f.cscsScale, pixels, m.Src.W, m.Src.H, m.Dst.W, m.Dst.H)
 		if err != nil {
 			return err
 		}
+		pixels = f.cscsScale
 	}
 	return f.Set(m.Dst, pixels)
 }

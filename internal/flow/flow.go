@@ -38,6 +38,7 @@ import (
 
 	"slim/internal/core"
 	"slim/internal/protocol"
+	"slim/internal/wirebuf"
 )
 
 // Config tunes one session's governor. The zero value plus withDefaults
@@ -191,8 +192,24 @@ type Item struct {
 	// Wire is the framed datagram (may be nil in simulations that only
 	// account bytes; then the wire size is computed from Msg).
 	Wire []byte
+	// Buf is the pooled buffer backing Wire, nil when the wire is unpooled.
+	// The item carries its datagram's send reference through the queue; the
+	// governor never releases it — items leaving the governor (released,
+	// superseded, evicted, or dropped by Reset) hand the reference back to
+	// the caller, who releases after the send or the drop accounting.
+	Buf *wirebuf.Buf
 	// Retransmit marks NACK-triggered recovery traffic for accounting.
 	Retransmit bool
+}
+
+// ReleaseWire releases the item's reference on its pooled wire buffer (a
+// no-op for unpooled items).
+func (it *Item) ReleaseWire() {
+	if it.Buf != nil {
+		it.Buf.Release()
+		it.Buf = nil
+		it.Wire = nil
+	}
 }
 
 // Bytes reports the item's wire size.
@@ -275,6 +292,7 @@ type Governor struct {
 	queue       []entry
 	queueBytes  int
 	dropScratch []bool
+	dropped     []Item // Reset's reusable return slab
 
 	batcher *core.Batcher
 
@@ -698,9 +716,17 @@ func (g *Governor) DueNacks(now time.Duration) []protocol.Nack {
 }
 
 // Reset drops all queued state — the attach path calls it when a session
-// moves to a new console, where a full repaint follows anyway.
-func (g *Governor) Reset(now time.Duration) {
+// moves to a new console, where a full repaint follows anyway. The dropped
+// items are returned so the caller can release their wire buffers (and log
+// the drops); the slice aliases governor scratch and is valid only until
+// the next call.
+func (g *Governor) Reset(now time.Duration) []Item {
 	g.refill(now)
+	dropped := g.dropped[:0]
+	for _, e := range g.queue {
+		dropped = append(dropped, e.it)
+	}
+	g.dropped = dropped
 	g.queue = g.queue[:0]
 	g.queueBytes = 0
 	g.pending = g.pending[:0]
@@ -708,6 +734,7 @@ func (g *Governor) Reset(now time.Duration) {
 		g.batcher.Flush()
 	}
 	g.m.queue(0, 0)
+	return dropped
 }
 
 // rectContains reports whether a fully contains b (empty b is contained

@@ -1,0 +1,80 @@
+// Package par is a minimal bounded fork-join helper for the encoder's
+// embarrassingly parallel stages (CSCS strip compression, large repaint
+// tiling). It deliberately has no queues, no lifecycles, and no shared
+// state beyond an atomic work counter: callers hand it an index space and
+// a function, and Do returns when every index has run.
+//
+// A nil *Pool runs everything serially, which is how the virtual-time
+// simulation and experiment paths stay deterministic byte-for-byte — they
+// simply never attach a pool.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool bounds the concurrency of Do calls. The zero value and nil are both
+// valid and mean "serial".
+type Pool struct {
+	workers int
+}
+
+// New returns a pool running at most workers goroutines per Do call.
+// workers <= 0 means GOMAXPROCS.
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers reports the concurrency bound (0 for a nil/serial pool).
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 0
+	}
+	return p.workers
+}
+
+// Do runs fn(i) for every i in [0, n), spreading the indices over the
+// pool's workers, and returns when all have completed. Indices are claimed
+// dynamically, so uneven per-index cost still balances. fn must be safe to
+// call concurrently; a nil pool, a single worker, or n <= 1 runs serially
+// on the calling goroutine.
+func (p *Pool) Do(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers := p.Workers()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers - 1)
+	run := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			fn(i)
+		}
+	}
+	for w := 1; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			run()
+		}()
+	}
+	run() // the caller is worker 0
+	wg.Wait()
+}

@@ -1,0 +1,44 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestDoCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		p := New(workers)
+		for _, n := range []int{0, 1, 3, 100, 1000} {
+			hits := make([]atomic.Int32, n)
+			p.Do(n, func(i int) { hits[i].Add(1) })
+			for i := range hits {
+				if got := hits[i].Load(); got != 1 {
+					t.Fatalf("workers=%d n=%d: index %d ran %d times", workers, n, i, got)
+				}
+			}
+		}
+	}
+}
+
+func TestNilPoolIsSerial(t *testing.T) {
+	var p *Pool
+	if p.Workers() != 0 {
+		t.Fatalf("nil pool workers = %d", p.Workers())
+	}
+	order := []int{}
+	p.Do(5, func(i int) { order = append(order, i) }) // no locking: must be serial
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("nil pool ran out of order: %v", order)
+		}
+	}
+	if len(order) != 5 {
+		t.Fatalf("nil pool ran %d of 5 indices", len(order))
+	}
+}
+
+func TestNewDefaultsToGOMAXPROCS(t *testing.T) {
+	if New(0).Workers() <= 0 {
+		t.Fatal("New(0) has no workers")
+	}
+}

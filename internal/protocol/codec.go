@@ -134,6 +134,16 @@ func (s *Sequencer) Next() uint32 {
 // Current returns the most recently issued sequence number.
 func (s *Sequencer) Current() uint32 { return s.next }
 
+// Reserve claims a contiguous block of n sequence numbers and returns the
+// first. The parallel encoder reserves a block up front so workers can
+// marshal datagrams out of order while the emitted sequence stays exactly
+// what the serial encoder would have produced.
+func (s *Sequencer) Reserve(n int) uint32 {
+	first := s.next + 1
+	s.next += uint32(n)
+	return first
+}
+
 // GapTracker watches arriving sequence numbers on the console side and
 // reports contiguous gaps so the console can issue a Nack. Out-of-order
 // arrival within a small reorder window is tolerated without a Nack, as

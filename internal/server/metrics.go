@@ -70,6 +70,7 @@ func (s *Server) Instrument(r *obs.Registry) *Server {
 // ring. Callers hold s.mu.
 func (s *Server) instrumentSession(sess *Session) {
 	sess.Encoder.Metrics = s.encMetrics
+	sess.Encoder.Parallel = s.encPool
 	sess.itp = sessionHistogram(s.obs, sess.User)
 	sess.flog = s.flight.Session(sess.ID)
 	sess.Encoder.Flight = sess.flog

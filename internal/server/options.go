@@ -5,6 +5,7 @@ import (
 	"slim/internal/flow"
 	"slim/internal/obs"
 	"slim/internal/obs/flight"
+	"slim/internal/par"
 )
 
 // Option configures a Server at construction. Options run before the
@@ -42,6 +43,16 @@ func WithCostModel(cm *core.CostModel) Option {
 // a console whose Config.Calibrator is the same calibrator.
 func WithCalibratedCosts(cal *core.Calibrator) Option {
 	return func(s *Server) { s.cal = cal }
+}
+
+// WithParallelEncoding shards large repaint tilings and CSCS strip
+// compression in every session's encoder across a bounded worker pool
+// (workers <= 0 means GOMAXPROCS) — the §6 SMP-scaling story applied to a
+// single session's encode path. The datagram stream is byte-identical to
+// serial encoding; only wall-clock time changes, which is why virtual-time
+// simulations leave this off.
+func WithParallelEncoding(workers int) Option {
+	return func(s *Server) { s.encPool = par.New(workers) }
 }
 
 // WithFlowControl enables the grant-driven send governor (§7) for every

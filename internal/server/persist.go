@@ -6,7 +6,18 @@ import (
 	"io"
 
 	"slim/internal/core"
+	"slim/internal/protocol"
 )
+
+// pixelsToUint32 widens the frame buffer's pixel slice to the on-disk
+// []uint32 representation (the gob format predates the Pixel slice type).
+func pixelsToUint32(pix []protocol.Pixel) []uint32 {
+	out := make([]uint32, len(pix))
+	for i, p := range pix {
+		out[i] = uint32(p)
+	}
+	return out
+}
 
 // Session persistence. The paper's statelessness argument puts all true
 // state on the server (§2.2); this file makes that state durable across
@@ -52,7 +63,7 @@ func (s *Server) SaveSessions(w io.Writer) error {
 			User:   sess.User,
 			W:      sess.Encoder.FB.W,
 			H:      sess.Encoder.FB.H,
-			Pixels: append([]uint32(nil), sess.Encoder.FB.Pix...),
+			Pixels: pixelsToUint32(sess.Encoder.FB.Pix),
 		}
 		if p, ok := sess.App.(Persistent); ok {
 			si.AppState = p.SaveState()
@@ -91,7 +102,9 @@ func (s *Server) LoadSessions(r io.Reader) error {
 			Encoder: core.NewEncoder(si.W, si.H),
 		}
 		s.instrumentSession(sess)
-		copy(sess.Encoder.FB.Pix, si.Pixels)
+		for i, p := range si.Pixels {
+			sess.Encoder.FB.Pix[i] = protocol.Pixel(p)
+		}
 		if s.NewApp != nil {
 			sess.App = s.NewApp(si.User, si.W, si.H)
 			if p, ok := sess.App.(Persistent); ok && si.AppState != nil {

@@ -17,7 +17,9 @@ import (
 	"slim/internal/flow"
 	"slim/internal/obs"
 	"slim/internal/obs/flight"
+	"slim/internal/par"
 	"slim/internal/protocol"
+	"slim/internal/wirebuf"
 )
 
 // Application is the program a session runs: it receives raw input events
@@ -41,6 +43,10 @@ type Ticker interface {
 
 // Transport delivers server→console datagrams. Implementations include UDP
 // (package slim) and in-memory pipes for tests and simulation.
+//
+// Send must not retain wire after it returns: the server recycles wire
+// buffers through a pool the moment Send comes back, so an implementation
+// that queues for later delivery must copy.
 type Transport interface {
 	Send(console string, wire []byte) error
 }
@@ -160,6 +166,9 @@ type Server struct {
 	cal *core.Calibrator
 	// calGen is the calibrator generation last applied to the governors.
 	calGen uint64
+	// encPool, when non-nil, is shared by every session encoder to shard
+	// large repaints and CSCS compression (WithParallelEncoding).
+	encPool *par.Pool
 }
 
 type consoleState struct {
@@ -239,8 +248,12 @@ type outbound struct {
 	flog    *flight.SessionLog
 	seq     uint32
 	cmd     protocol.MsgType
+	// buf is the pooled buffer backing wire; flush releases it after the
+	// transport hands the bytes off (Transport.Send must not retain).
+	buf *wirebuf.Buf
 	// batch lists the member commands when wire is a coalesced batch frame
-	// from the flow governor (§5.4); each gets its own TX event.
+	// from the flow governor (§5.4); each gets its own TX event, and each
+	// member's wire buffer is released after the send.
 	batch []flow.Item
 }
 
@@ -303,9 +316,12 @@ func (s *Server) Handle(console string, msg protocol.Message, now time.Duration)
 }
 
 // flush delivers queued datagrams outside the lock, recording the TX event
-// for display commands at the moment they reach the transport.
+// for display commands at the moment they reach the transport and
+// returning their pooled wire buffers once the transport is done with the
+// bytes (the Transport contract forbids retention past Send).
 func (s *Server) flush(out []outbound) error {
-	for _, o := range out {
+	for i := range out {
+		o := &out[i]
 		if o.flog.Armed() {
 			if len(o.batch) > 0 {
 				for _, it := range o.batch {
@@ -315,7 +331,15 @@ func (s *Server) flush(out []outbound) error {
 				o.flog.Tx(o.seq, o.cmd, int64(len(o.wire)))
 			}
 		}
-		if err := s.transport.Send(o.console, o.wire); err != nil {
+		err := s.transport.Send(o.console, o.wire)
+		if o.buf != nil {
+			o.buf.Release()
+			o.buf = nil
+		}
+		for j := range o.batch {
+			o.batch[j].ReleaseWire()
+		}
+		if err != nil {
 			return err
 		}
 	}
@@ -493,7 +517,12 @@ func (s *Server) attachByToken(out *[]outbound, console, token string, now time.
 		// full repaint below regenerates everything. The new console also
 		// learns this session's bandwidth demand so its allocator can
 		// grant a share (§7).
-		sess.gov.Reset(now)
+		for _, it := range sess.gov.Reset(now) {
+			if sess.flog.Armed() {
+				sess.flog.Drop(it.Seq, it.Cmd, int64(it.Bytes()))
+			}
+			it.ReleaseWire()
+		}
 		s.send(out, console, &protocol.BandwidthRequest{
 			SessionID: sess.ID,
 			Bps:       sess.gov.Config().InitialBps,
@@ -572,6 +601,12 @@ func (s *Server) Terminate(user string) error {
 		s.send(&out, sess.Console, &protocol.SessionDetach{SessionID: id})
 		sess.Console = ""
 	}
+	if sess.gov != nil {
+		// Anything still queued dies with the session; recycle the buffers.
+		for _, it := range sess.gov.Reset(0) {
+			it.ReleaseWire()
+		}
+	}
 	delete(s.sessions, id)
 	delete(s.byUser, user)
 	s.metrics.sessions.Set(int64(len(s.sessions)))
@@ -632,7 +667,12 @@ func (s *Server) retransmit(out *[]outbound, sess *Session, n protocol.Nack, now
 // supersession queue and token bucket otherwise. Callers hold s.mu.
 func (s *Server) submit(out *[]outbound, sess *Session, dgs []core.Datagram, now time.Duration, retrans bool) {
 	if sess.Console == "" {
-		return // detached session keeps rendering into its frame buffer
+		// Detached session keeps rendering into its frame buffer; the wire
+		// goes nowhere, so its buffer returns to the pool immediately.
+		for i := range dgs {
+			dgs[i].ReleaseWire()
+		}
+		return
 	}
 	if sess.gov == nil {
 		for _, d := range dgs {
@@ -642,12 +682,13 @@ func (s *Server) submit(out *[]outbound, sess *Session, dgs []core.Datagram, now
 				flog:    sess.flog,
 				seq:     d.Seq,
 				cmd:     d.Msg.Type(),
+				buf:     d.Buf,
 			})
 		}
 		return
 	}
 	for _, d := range dgs {
-		it := flow.Item{Seq: d.Seq, Cmd: d.Msg.Type(), Msg: d.Msg, Wire: d.Wire, Retransmit: retrans}
+		it := flow.Item{Seq: d.Seq, Cmd: d.Msg.Type(), Msg: d.Msg, Wire: d.Wire, Buf: d.Buf, Retransmit: retrans}
 		res := sess.gov.Submit(now, it)
 		if res.Pass {
 			*out = append(*out, outbound{
@@ -656,6 +697,7 @@ func (s *Server) submit(out *[]outbound, sess *Session, dgs []core.Datagram, now
 				flog:    sess.flog,
 				seq:     d.Seq,
 				cmd:     it.Cmd,
+				buf:     d.Buf,
 			})
 			continue
 		}
@@ -667,6 +709,14 @@ func (s *Server) submit(out *[]outbound, sess *Session, dgs []core.Datagram, now
 			for _, ev := range res.Evicted {
 				sess.flog.Drop(ev.Seq, ev.Cmd, int64(ev.Bytes()))
 			}
+		}
+		// Shed commands never reach the wire: recycle their buffers now
+		// that the flight recorder has accounted for them.
+		for i := range res.Superseded {
+			res.Superseded[i].ReleaseWire()
+		}
+		for i := range res.Evicted {
+			res.Evicted[i].ReleaseWire()
 		}
 	}
 	s.releaseFlow(out, sess, now)
@@ -682,7 +732,11 @@ func (s *Server) releaseFlow(out *[]outbound, sess *Session, now time.Duration) 
 		o := outbound{console: sess.Console, wire: p.Wire, flog: sess.flog}
 		if len(p.Items) == 1 {
 			o.seq, o.cmd = p.Items[0].Seq, p.Items[0].Cmd
+			o.buf = p.Items[0].Buf
 		} else {
+			// A coalesced batch frame: the frame wire is freshly built by
+			// the batcher; the member items still own their per-command
+			// buffers, which flush releases after the send.
 			o.batch = p.Items
 		}
 		*out = append(*out, o)
