@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench cover fuzz reproduce examples clean race bench-guard bench-json alloc-guard ci
+.PHONY: all build test vet bench cover fuzz reproduce examples clean race bench-guard bench-json alloc-guard capacity capacity-smoke ci
 
 all: build test
 
@@ -35,7 +35,7 @@ race:
 # TestDisabledTapAllocatesNothing, which every plain `go test` run
 # enforces).
 bench-guard:
-	$(GO) test -run xxx -bench . -benchtime 1x . ./internal/obs/flight/ ./internal/obs/capture/ ./internal/flow/ ./internal/fb/ ./internal/core/
+	$(GO) test -run xxx -bench . -benchtime 1x . ./internal/obs/flight/ ./internal/obs/capture/ ./internal/obs/slo/ ./internal/flow/ ./internal/fb/ ./internal/core/
 
 # Measure the pixel-pipeline hot paths (optimized vs slowXxx reference
 # kernels, serial vs parallel encoder) and record the numbers as JSON.
@@ -44,14 +44,26 @@ bench-json:
 	@echo wrote BENCH_hotpath.json
 
 # Steady-state allocation budgets on the hot paths (0 allocs/op for console
-# apply and the warm wire-emit path). Run without -race: the race detector's
-# instrumentation allocates, so these tests skip themselves under it.
+# apply, the warm wire-emit path, and the SLO observe path — disabled AND
+# enabled). Run without -race: the race detector's instrumentation
+# allocates, so these tests skip themselves under it.
 alloc-guard:
-	$(GO) test -run 'ZeroAlloc' -count 1 ./internal/fb/ ./internal/core/
+	$(GO) test -run 'ZeroAlloc' -count 1 ./internal/fb/ ./internal/core/ ./internal/obs/slo/
+
+# Regenerate the committed capacity artifact: full LAN + WAN user ramps
+# until the SLO burn knee (~5s of wall time; see internal/capacity).
+# TestCommittedBench validates the artifact stays consistent with the code.
+capacity:
+	$(GO) run ./cmd/slimload -o BENCH_capacity.json
+
+# Two-point capacity ramp asserting the curve's shape (monotone latency,
+# well-formed points, artifact roundtrip). Runs in seconds; CI runs this.
+capacity-smoke:
+	$(GO) test -run 'TestCapacitySmoke|TestCommittedBench' -count 1 -v ./internal/capacity/
 
 # CI-style gate: static checks, race-detected tests, benchmark smoke run,
-# allocation budgets.
-ci: vet race bench-guard alloc-guard
+# allocation budgets, capacity-curve smoke.
+ci: vet race bench-guard alloc-guard capacity-smoke
 
 cover:
 	$(GO) test -cover ./...

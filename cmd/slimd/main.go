@@ -10,12 +10,14 @@
 //	slimd -flow                    # §7 grant-paced per-session flow control
 //	slimd -debug :6060             # live metrics + pprof on http://:6060
 //	slimd -capture run.slimcap     # spool every datagram to a wire capture
+//	slimd -slo-target 100ms -slo-budget 0.005   # tighten the latency SLO
 //
 // With -debug, the daemon serves /metrics (Prometheus text), /debug/vars
 // (JSON snapshot, polled by cmd/slimstat), /debug/costmodel (live cost
-// calibration), and /debug/pprof/ on the given address. The headline
-// metric is slim_input_to_paint_seconds, the paper's §3 interactive-latency
-// figure, live per session.
+// calibration), /debug/slo (the burn-rate SLO engine's health states and
+// breach-blame histograms), and /debug/pprof/ on the given address. The
+// headline metric is slim_input_to_paint_seconds, the paper's §3
+// interactive-latency figure, live per session.
 //
 // With -capture, every datagram the transport sends or receives is
 // spooled (timestamped, with payload) to a .slimcap file — see PROTOCOL.md
@@ -90,11 +92,17 @@ func main() {
 		"input-to-paint latency that triggers a flight-recorder breach (0 disables)")
 	flightDir := flag.String("flight-dir", "", "directory for flight-recorder breach dumps (empty: count breaches, write nothing)")
 	capturePath := flag.String("capture", "", "spool a wire capture of every datagram to this .slimcap file")
+	sloTarget := flag.Duration("slo-target", slim.SLO().Target(),
+		"per-event latency objective the SLO engine evaluates against")
+	sloBudget := flag.Float64("slo-budget", slim.SLO().Budget(),
+		"allowed breach fraction, e.g. 0.01 for 1% of events")
 	var cards cardFlags
 	flag.Var(&cards, "card", "register a smart card as token=user (repeatable)")
 	flag.Parse()
 
 	slim.SetFlightThreshold(*flightThreshold)
+	slim.SetSLOTarget(*sloTarget)
+	slim.SetSLOBudget(*sloBudget)
 	if *flightDir != "" {
 		if err := os.MkdirAll(*flightDir, 0o755); err != nil {
 			log.Fatal(err)
@@ -144,7 +152,9 @@ func main() {
 			log.Fatal(err)
 		}
 		defer dbg.Close()
-		log.Printf("debug endpoint on http://%s (/metrics, /debug/vars, /debug/trace, /debug/pprof)", *debugAddr)
+		log.Printf("debug endpoint on http://%s (/metrics, /debug/vars, /debug/trace, /debug/slo, /debug/pprof)", *debugAddr)
+		log.Printf("latency SLO: %v at %.2f%% budget (watch /debug/slo)",
+			*sloTarget, *sloBudget*100)
 	}
 	if video {
 		srv.StartTicker(*fps * 2) // tick faster than the frame rate

@@ -1,0 +1,95 @@
+// Command slimload runs trace-driven capacity sweeps: how many mixed
+// interactive users fit on one SLIM server before the latency SLO burns
+// (see internal/capacity). Each scenario ramps the user count, simulating
+// profiled sessions over shared CPUs and a shared downstream link, and
+// evaluates every yardstick event against the SLO; the ramp stops at the
+// burn knee.
+//
+// Usage:
+//
+//	slimload                         # lan + wan scenarios, table to stdout
+//	slimload -o BENCH_capacity.json  # also write the committed artifact
+//	slimload -scenario wan -max-users 32 -minutes 5
+//	slimload -target 100ms -budget 0.005   # sweep a tighter objective
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"slim/internal/capacity"
+)
+
+func main() {
+	log.SetPrefix("slimload: ")
+	log.SetFlags(0)
+	scenario := flag.String("scenario", "all", "which ramp to run: lan|wan|all")
+	out := flag.String("o", "", "write BENCH_capacity.json here (empty: table only)")
+	maxUsers := flag.Int("max-users", 0, "ramp ceiling (0: scenario default)")
+	start := flag.Int("start", 0, "first user count (0: scenario default)")
+	step := flag.Int("step", 0, "ramp step (0: scenario default)")
+	minutes := flag.Float64("minutes", 0, "simulated session length per point (0: scenario default)")
+	target := flag.Duration("target", 0, "SLO latency objective (0: the 150ms default)")
+	budget := flag.Float64("budget", 0, "SLO breach budget fraction (0: the 1% default)")
+	seed := flag.Uint64("seed", 0, "corpus seed (0: scenario default)")
+	flag.Parse()
+
+	var scs []capacity.Scenario
+	switch *scenario {
+	case "lan":
+		scs = []capacity.Scenario{capacity.LAN()}
+	case "wan":
+		scs = []capacity.Scenario{capacity.WAN()}
+	case "all":
+		scs = []capacity.Scenario{capacity.LAN(), capacity.WAN()}
+	default:
+		log.Fatalf("unknown scenario %q (want lan|wan|all)", *scenario)
+	}
+
+	bench := capacity.Bench{Schema: capacity.BenchSchema}
+	for i, sc := range scs {
+		if *maxUsers > 0 {
+			sc.MaxUsers = *maxUsers
+		}
+		if *start > 0 {
+			sc.Start = *start
+		}
+		if *step > 0 {
+			sc.Step = *step
+		}
+		if *minutes > 0 {
+			sc.SessionLen = time.Duration(*minutes * float64(time.Minute))
+		}
+		sc.SLO.Target = *target
+		sc.SLO.Budget = *budget
+		if *seed != 0 {
+			sc.Seed = *seed
+		}
+		if i > 0 {
+			fmt.Println()
+		}
+		curve := capacity.RunScenario(sc, nil)
+		if err := capacity.FormatCurve(os.Stdout, curve); err != nil {
+			log.Fatal(err)
+		}
+		bench.Scenarios = append(bench.Scenarios, curve)
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		err = capacity.WriteBench(f, bench)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwrote %s (%d scenarios)\n", *out, len(bench.Scenarios))
+	}
+}

@@ -9,6 +9,8 @@
 //	slimtrace replay -i netscape.trace -kbps 1000   # Figure 6 on any trace
 //	slimtrace flight -i flight-sess1-1.json         # inspect a breach dump
 //	slimtrace flight -i dump.json -perfetto out.json -o breach.trace
+//	slimtrace blame -dir ./dumps                    # aggregate breach blame
+//	slimtrace blame -i flight-sess1-1.json -reattribute
 //	slimtrace capture -i run.slimcap                # per-command wire tables
 //	slimtrace capture -i run.slimcap -perfetto wire.json -o run.trace
 //
@@ -18,6 +20,13 @@
 // either a Perfetto trace (-perfetto) or a §3.1 offline trace (-o) so
 // dumps flow through the same stat/replay analysis path as generated
 // workloads.
+//
+// The blame subcommand aggregates breach dumps — one (-i) or a directory
+// of them (-dir) — into the per-stage attribution table: how many breaches
+// each pipeline stage (ENCODE, QUEUE, WIRE, DECODE, PAINT) dominated, its
+// blame share, and average latencies. Dumps carry the verdict stamped at
+// breach time; -reattribute re-walks each dump's causal chain instead,
+// useful after attribution-logic changes or on dumps from older recorders.
 //
 // The capture subcommand decodes a .slimcap wire capture (recorded by
 // slimd -capture or any enabled capture ring; format in PROTOCOL.md) and
@@ -33,6 +42,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
+	"sort"
 	"time"
 
 	"slim/internal/netsim"
@@ -57,6 +68,7 @@ subcommands:
   json     dump a trace as JSON
   replay   replay a trace over a simulated constrained link (Figure 6)
   flight   inspect a flight-recorder breach dump
+  blame    aggregate breach dumps into a per-stage attribution table
   capture  decode a .slimcap wire capture into per-command tables
 
 run 'slimtrace <subcommand> -h' for flags
@@ -81,6 +93,8 @@ func main() {
 		replay(os.Args[2:])
 	case "flight":
 		flightCmd(os.Args[2:])
+	case "blame":
+		blameCmd(os.Args[2:])
 	case "capture":
 		captureCmd(os.Args[2:])
 	case "-h", "--help", "help":
@@ -364,6 +378,108 @@ func flightCmd(args []string) {
 		}
 		fmt.Printf("wrote offline trace to %s (%d records)\n", *out, len(tr.Records))
 	}
+}
+
+// blameCmd aggregates breach dumps into the per-stage attribution table.
+// Each dump carries the verdict computed at breach time; -reattribute
+// ignores it and re-walks the causal chain from the recorded events, the
+// path for dumps written before attribution existed (or after the
+// attribution logic changed).
+func blameCmd(args []string) {
+	fs := flag.NewFlagSet("blame", flag.ExitOnError)
+	in := fs.String("i", "", "one breach dump (flight-sess*.json)")
+	dir := fs.String("dir", "", "directory of breach dumps to aggregate")
+	reattr := fs.Bool("reattribute", false, "re-walk each dump's causal chain instead of trusting the stamped verdict")
+	perSess := fs.Bool("sessions", false, "also print one table per session")
+	mustParse(fs, args)
+	if (*in == "") == (*dir == "") {
+		log.Fatal("blame: exactly one of -i or -dir is required")
+	}
+	paths := []string{*in}
+	if *dir != "" {
+		var err error
+		paths, err = filepath.Glob(filepath.Join(*dir, "flight-sess*.json"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(paths) == 0 {
+			log.Fatalf("blame: no flight-sess*.json dumps in %s", *dir)
+		}
+		sort.Strings(paths)
+	}
+
+	var total flight.BlameTable
+	bySession := make(map[uint32]*flight.BlameTable)
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		d, err := flight.ReadDump(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("%s: %v", path, err)
+		}
+		st := bySession[d.Session]
+		if st == nil {
+			st = &flight.BlameTable{}
+			bySession[d.Session] = st
+		}
+		if *reattr {
+			v := reattribute(d)
+			total.AddVerdict(v, d.LatencyNs)
+			st.AddVerdict(v, d.LatencyNs)
+		} else {
+			total.Add(d)
+			st.Add(d)
+		}
+	}
+
+	fmt.Printf("%d dumps from %d sessions\n", len(paths), len(bySession))
+	if err := total.Format(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	if *perSess && len(bySession) > 1 {
+		ids := make([]uint32, 0, len(bySession))
+		for id := range bySession {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			fmt.Printf("\nsession %d:\n", id)
+			if err := bySession[id].Format(os.Stdout); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+}
+
+// reattribute re-walks a dump's events: the chain comes from the stamped
+// verdict (or the last INPUT in the window), the as-of time from the
+// BREACH marker (or the newest event).
+func reattribute(d *flight.Dump) flight.Verdict {
+	var chain, lastInput uint64
+	if d.Verdict != nil {
+		chain = d.Verdict.Chain
+	}
+	var asOf time.Duration
+	for _, ev := range d.Events {
+		if ev.T > asOf {
+			asOf = ev.T
+		}
+		switch ev.Kind {
+		case flight.EvInput:
+			lastInput = ev.Cause
+		case flight.EvBreach:
+			if chain == 0 && ev.Cause != 0 {
+				chain = ev.Cause
+			}
+		}
+	}
+	if chain == 0 {
+		chain = lastInput
+	}
+	return flight.Attribute(d.Events, chain, asOf)
 }
 
 func mustParse(fs *flag.FlagSet, args []string) {

@@ -50,9 +50,19 @@ type Line struct {
 	// burst outran the spooler (delta of slim_capture_ring_drops_total).
 	CaptureOn    bool
 	CaptureDrops int64
+	// SLOEvents is the cumulative slim_slo_events_total count — 0 means no
+	// SLO tracker is evaluating and the slo column is hidden. SLOState is
+	// the fleet health gauge (0 OK, 1 DEGRADED, 2 BREACHING) and SLOBurn
+	// the short/mid/long budget burn rates.
+	SLOEvents int64
+	SLOState  int64
+	SLOBurn   [3]float64
 	// Interval is the window the deltas cover.
 	Interval time.Duration
 }
+
+// sloStateNames renders the slim_slo_state gauge (mirrors slo.State).
+var sloStateNames = [...]string{"OK", "DEGRADED", "BREACHING"}
 
 // worstDrift scans the per-command drift gauges and returns the command
 // label and signed percentage with the largest magnitude.
@@ -89,10 +99,13 @@ func Summarize(prev, cur map[string]obs.Snapshot, interval time.Duration, now ti
 	l := Line{
 		Paint: c.Histograms["slim_input_to_paint_seconds"].
 			Delta(p.Histograms["slim_input_to_paint_seconds"]),
-		Commands: c.CounterSum("slim_encoder_commands_total") -
-			p.CounterSum("slim_encoder_commands_total"),
-		WireBytes: c.CounterSum("slim_encoder_wire_bytes_total") -
-			p.CounterSum("slim_encoder_wire_bytes_total"),
+		// Like Delta, the labeled-sum growths clamp at zero: a restarted
+		// daemon resets its counters, and a negative interval count would
+		// otherwise print as a negative rate for one line.
+		Commands: clampDelta(c.CounterSum("slim_encoder_commands_total") -
+			p.CounterSum("slim_encoder_commands_total")),
+		WireBytes: clampDelta(c.CounterSum("slim_encoder_wire_bytes_total") -
+			p.CounterSum("slim_encoder_wire_bytes_total")),
 		// Loss across whichever transports are active: fabric drops,
 		// console decode drops, UDP send errors.
 		Drops: Delta(p, c, "slim_fabric_dropped_total") +
@@ -116,6 +129,11 @@ func Summarize(prev, cur map[string]obs.Snapshot, interval time.Duration, now ti
 	l.DriftCmd, l.DriftPct = worstDrift(c.Gauges)
 	l.CaptureOn = c.Gauges["slim_capture_enabled"] != 0
 	l.CaptureDrops = Delta(p, c, "slim_capture_ring_drops_total")
+	l.SLOEvents = c.Counters["slim_slo_events_total"]
+	l.SLOState = c.Gauges["slim_slo_state"]
+	for i, role := range [...]string{"short", "mid", "long"} {
+		l.SLOBurn[i] = float64(c.Gauges[`slim_slo_burn_milli{window="`+role+`"}`]) / 1000
+	}
 	return l
 }
 
@@ -127,9 +145,12 @@ func (l Line) DropPct() float64 {
 	return 100 * float64(l.Drops) / float64(l.Drops+l.Delivered)
 }
 
-// Rate converts an interval count to a per-second rate.
+// Rate converts an interval count to a per-second rate. A zero or
+// negative interval (a clock that jumped, a first scrape) and a negative
+// count (a counter reset the caller did not clamp) both yield 0 rather
+// than an Inf or negative rate.
 func (l Line) Rate(n int64) float64 {
-	if l.Interval <= 0 {
+	if l.Interval <= 0 || n < 0 {
 		return 0
 	}
 	return float64(n) / l.Interval.Seconds()
@@ -159,13 +180,28 @@ func (l Line) Format(now time.Time) string {
 			s += fmt.Sprintf(" (%d shed)", l.CaptureDrops)
 		}
 	}
+	if l.SLOEvents > 0 {
+		state := "?"
+		if l.SLOState >= 0 && int(l.SLOState) < len(sloStateNames) {
+			state = sloStateNames[l.SLOState]
+		}
+		s += fmt.Sprintf(" | slo %s", state)
+		if l.SLOState > 0 {
+			s += fmt.Sprintf(" burn %.1f/%.1f/%.1f", l.SLOBurn[0], l.SLOBurn[1], l.SLOBurn[2])
+		}
+	}
 	return s
 }
 
 // Delta is the non-negative growth of a counter between snapshots (a
 // restarted daemon resets counters; clamping avoids a garbage first line).
 func Delta(p, c obs.Snapshot, name string) int64 {
-	d := c.Counters[name] - p.Counters[name]
+	return clampDelta(c.Counters[name] - p.Counters[name])
+}
+
+// clampDelta floors an interval growth at zero — counter resets must
+// never surface as negative rates.
+func clampDelta(d int64) int64 {
 	if d < 0 {
 		return 0
 	}

@@ -167,3 +167,91 @@ func TestFormatMs(t *testing.T) {
 		}
 	}
 }
+
+// TestSummarizeCounterReset is the satellite regression: a restarted
+// daemon hands the scraper a snapshot whose counters went backwards. No
+// derived statistic may come out negative, and no rate may print as
+// negative or Inf.
+func TestSummarizeCounterReset(t *testing.T) {
+	p, c := snapPair(func(prev, cur *obs.Registry) {
+		// prev saw a long-lived daemon; cur is a fresh restart.
+		prev.Counter(`slim_encoder_commands_total{type="fill"}`).Add(100_000)
+		prev.Counter("slim_encoder_wire_bytes_total").Add(50 << 20)
+		prev.Counter("slim_fabric_dropped_total").Add(500)
+		prev.Counter("slim_fabric_delivered_total").Add(90_000)
+		cur.Counter(`slim_encoder_commands_total{type="fill"}`).Add(10)
+		cur.Counter("slim_encoder_wire_bytes_total").Add(1024)
+		cur.Counter("slim_fabric_delivered_total").Add(9)
+	})
+	l := Summarize(p, c, 2*time.Second, time.UnixMilli(0))
+	if l.Commands < 0 || l.WireBytes < 0 || l.Drops < 0 || l.Delivered < 0 {
+		t.Fatalf("negative interval counts after reset: %+v", l)
+	}
+	if got := l.Rate(l.Commands); got < 0 {
+		t.Errorf("command rate = %v, want >= 0", got)
+	}
+	line := l.Format(time.UnixMilli(0))
+	if strings.Contains(line, "-") && strings.Contains(line, "cmd/s") {
+		// The only dashes allowed are the empty-percentile placeholders.
+		for _, frag := range strings.Split(line, "|") {
+			if strings.Contains(frag, "cmd/s") && strings.Contains(frag, "-") {
+				t.Errorf("negative rate leaked into line: %q", line)
+			}
+		}
+	}
+}
+
+// TestRateEdges: zero and negative intervals, and negative counts, never
+// produce Inf or negative rates.
+func TestRateEdges(t *testing.T) {
+	if got := (Line{Interval: 0}).Rate(100); got != 0 {
+		t.Errorf("zero-interval rate = %v, want 0", got)
+	}
+	if got := (Line{Interval: -time.Second}).Rate(100); got != 0 {
+		t.Errorf("negative-interval rate = %v, want 0", got)
+	}
+	if got := (Line{Interval: time.Second}).Rate(-5); got != 0 {
+		t.Errorf("negative-count rate = %v, want 0", got)
+	}
+	if got := (Line{Interval: 2 * time.Second}).Rate(10); got != 5 {
+		t.Errorf("rate = %v, want 5", got)
+	}
+}
+
+// TestSummarizeSLOColumns: the slo column appears once a tracker is
+// evaluating, shows the state, and adds burns only when unhealthy.
+func TestSummarizeSLOColumns(t *testing.T) {
+	p, c := snapPair(func(prev, cur *obs.Registry) {
+		cur.Counter("slim_slo_events_total").Add(1000)
+		cur.Gauge("slim_slo_state").Set(2)
+		cur.Gauge(`slim_slo_burn_milli{window="short"}`).Set(12_400)
+		cur.Gauge(`slim_slo_burn_milli{window="mid"}`).Set(3_100)
+		cur.Gauge(`slim_slo_burn_milli{window="long"}`).Set(800)
+	})
+	l := Summarize(p, c, time.Second, time.UnixMilli(0))
+	if l.SLOEvents != 1000 || l.SLOState != 2 {
+		t.Fatalf("slo fields = %+v", l)
+	}
+	if l.SLOBurn != [3]float64{12.4, 3.1, 0.8} {
+		t.Fatalf("burns = %v", l.SLOBurn)
+	}
+	line := l.Format(time.UnixMilli(0))
+	if !strings.Contains(line, "slo BREACHING burn 12.4/3.1/0.8") {
+		t.Errorf("line = %q", line)
+	}
+
+	// Healthy: state shown without burn noise.
+	p, c = snapPair(func(prev, cur *obs.Registry) {
+		cur.Counter("slim_slo_events_total").Add(10)
+	})
+	line = Summarize(p, c, time.Second, time.UnixMilli(0)).Format(time.UnixMilli(0))
+	if !strings.Contains(line, "slo OK") || strings.Contains(line, "burn") {
+		t.Errorf("healthy line = %q", line)
+	}
+
+	// No tracker: no slo column at all.
+	p, c = snapPair(func(prev, cur *obs.Registry) {})
+	if line := Summarize(p, c, time.Second, time.UnixMilli(0)).Format(time.UnixMilli(0)); strings.Contains(line, "slo") {
+		t.Errorf("idle line mentions slo: %q", line)
+	}
+}

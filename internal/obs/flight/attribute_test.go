@@ -1,0 +1,213 @@
+package flight
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"slim/internal/obs"
+	"slim/internal/protocol"
+)
+
+// ms builds an event timestamp.
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+// TestAttributeWireLoss walks the canonical loss chain: the command is
+// encoded and sent promptly, dropped on the wire, nacked by the console
+// when the gap is noticed, retransmitted (under a later input's chain ID,
+// as live servers do), and finally painted. The verdict must blame the
+// wire, with loss evidence, not the stages that were fast.
+func TestAttributeWireLoss(t *testing.T) {
+	const chain = 7
+	evs := []Event{
+		{T: ms(0), Kind: EvInput, Cmd: protocol.TypeKey, Cause: chain},
+		{T: ms(2), Kind: EvEncode, Cmd: protocol.TypeBitmap, Seq: 41, Cause: chain, A: 300},
+		{T: ms(3), Kind: EvTx, Cmd: protocol.TypeBitmap, Seq: 41, Cause: chain},
+		{T: ms(3), Kind: EvDrop, Cmd: protocol.TypeBitmap, Seq: 41, Cause: chain},
+		// Next input's traffic reveals the gap; everything below carries a
+		// later chain ID.
+		{T: ms(200), Kind: EvNack, Cmd: protocol.TypeNack, Cause: chain + 1, A: 41, B: 41},
+		{T: ms(201), Kind: EvTx, Cmd: protocol.TypeBitmap, Seq: 41, Cause: chain + 1},
+		{T: ms(205), Kind: EvRx, Cmd: protocol.TypeBitmap, Seq: 41, Cause: chain + 1},
+		{T: ms(206), Kind: EvDecode, Cmd: protocol.TypeBitmap, Seq: 41, Cause: chain + 1},
+		{T: ms(207), Kind: EvPaint, Cmd: protocol.TypeBitmap, Seq: 41, Cause: chain + 1},
+	}
+	v := Attribute(evs, chain, ms(207))
+	if v.Stage != StageWire {
+		t.Fatalf("stage = %v, want WIRE (verdict %+v)", v.Stage, v)
+	}
+	if !v.Loss {
+		t.Error("loss evidence not detected")
+	}
+	if got, want := v.WireNs, int64(202*time.Millisecond); got != want {
+		t.Errorf("wire time = %v, want %v", time.Duration(got), time.Duration(want))
+	}
+	if v.Seqs != 1 || v.Painted != 1 {
+		t.Errorf("seqs=%d painted=%d, want 1/1", v.Seqs, v.Painted)
+	}
+}
+
+// TestAttributeQueue blames the governor when the command sat in the
+// paced queue for most of the latency.
+func TestAttributeQueue(t *testing.T) {
+	const chain = 9
+	evs := []Event{
+		{T: ms(0), Kind: EvInput, Cmd: protocol.TypeKey, Cause: chain},
+		{T: ms(1), Kind: EvEncode, Cmd: protocol.TypeFill, Seq: 10, Cause: chain},
+		{T: ms(1), Kind: EvTxQueue, Cmd: protocol.TypeFill, Seq: 10, Cause: chain, B: 12},
+		{T: ms(180), Kind: EvTx, Cmd: protocol.TypeFill, Seq: 10, Cause: chain},
+		{T: ms(183), Kind: EvRx, Cmd: protocol.TypeFill, Seq: 10, Cause: chain},
+		{T: ms(184), Kind: EvPaint, Cmd: protocol.TypeFill, Seq: 10, Cause: chain},
+	}
+	v := Attribute(evs, chain, ms(184))
+	if v.Stage != StageQueue {
+		t.Fatalf("stage = %v, want QUEUE (verdict %+v)", v.Stage, v)
+	}
+	if v.Loss {
+		t.Error("queueing misreported as loss")
+	}
+}
+
+// TestAttributeEncodeAndDecode covers the compute-bound stages.
+func TestAttributeEncodeAndDecode(t *testing.T) {
+	const chain = 11
+	enc := []Event{
+		{T: ms(0), Kind: EvInput, Cause: chain},
+		{T: ms(170), Kind: EvEncode, Seq: 3, Cause: chain},
+		{T: ms(171), Kind: EvTx, Seq: 3, Cause: chain},
+		{T: ms(172), Kind: EvRx, Seq: 3, Cause: chain},
+		{T: ms(173), Kind: EvPaint, Seq: 3, Cause: chain},
+	}
+	if v := Attribute(enc, chain, ms(173)); v.Stage != StageEncode {
+		t.Errorf("stage = %v, want ENCODE", v.Stage)
+	}
+	dec := []Event{
+		{T: ms(0), Kind: EvInput, Cause: chain},
+		{T: ms(1), Kind: EvEncode, Seq: 3, Cause: chain},
+		{T: ms(2), Kind: EvTx, Seq: 3, Cause: chain},
+		{T: ms(3), Kind: EvRx, Seq: 3, Cause: chain},
+		{T: ms(160), Kind: EvDecode, Seq: 3, Cause: chain},
+		{T: ms(162), Kind: EvPaint, Seq: 3, Cause: chain},
+	}
+	if v := Attribute(dec, chain, ms(162)); v.Stage != StageDecode {
+		t.Errorf("stage = %v, want DECODE", v.Stage)
+	}
+}
+
+// TestAttributeOpenChain charges an in-flight command's elapsed time to
+// the stage holding it: sent but never received means the wire owes it.
+func TestAttributeOpenChain(t *testing.T) {
+	const chain = 13
+	evs := []Event{
+		{T: ms(0), Kind: EvInput, Cause: chain},
+		{T: ms(1), Kind: EvEncode, Seq: 8, Cause: chain},
+		{T: ms(2), Kind: EvTx, Seq: 8, Cause: chain},
+	}
+	v := Attribute(evs, chain, ms(200))
+	if v.Stage != StageWire {
+		t.Fatalf("stage = %v, want WIRE for a command lost in flight", v.Stage)
+	}
+	if got, want := v.WireNs, int64(198*time.Millisecond); got != want {
+		t.Errorf("wire time = %v, want %v", time.Duration(got), time.Duration(want))
+	}
+	if v.Painted != 0 {
+		t.Errorf("painted = %d, want 0", v.Painted)
+	}
+}
+
+// TestAttributeUnattributed: no chain, a chain whose input is gone, and a
+// chain that encoded nothing all degrade to UNATTRIBUTED.
+func TestAttributeUnattributed(t *testing.T) {
+	if v := Attribute(nil, 0, ms(100)); v.Stage != StageUnattributed {
+		t.Errorf("zero chain: stage = %v", v.Stage)
+	}
+	// Input overwritten: only downstream events survive.
+	evs := []Event{
+		{T: ms(5), Kind: EvEncode, Seq: 2, Cause: 3},
+		{T: ms(6), Kind: EvTx, Seq: 2, Cause: 3},
+	}
+	if v := Attribute(evs, 3, ms(200)); v.Stage != StageUnattributed {
+		t.Errorf("missing input: stage = %v, want UNATTRIBUTED", v.Stage)
+	}
+	// Input survives but its encoded commands were truncated out.
+	evs = []Event{{T: ms(0), Kind: EvInput, Cause: 3}}
+	if v := Attribute(evs, 3, ms(200)); v.Stage != StageUnattributed {
+		t.Errorf("missing commands: stage = %v, want UNATTRIBUTED", v.Stage)
+	}
+}
+
+// TestAttributeTruncatedRing is the satellite regression: a breach whose
+// chain head was already overwritten in the live ring must come back
+// UNATTRIBUTED from CheckBreach, never misclassified from the partial
+// tail. The ring is flooded between the input and the breach check so the
+// INPUT (and ENCODE) slots are gone but the breach is still detected.
+func TestAttributeTruncatedRing(t *testing.T) {
+	reg := obs.NewRegistry(obs.DomainWall)
+	rec := New(obs.DomainWall).Instrument(reg)
+	rec.SetThreshold(150 * time.Millisecond)
+	l := rec.Session(1)
+
+	l.Input(protocol.TypeKey, 'x')
+	l.Encode(1, protocol.TypeBitmap, 100, 64)
+	l.Tx(1, protocol.TypeBitmap, 100)
+	// Flood the ring: far more events than DefaultRingSize, all under the
+	// same chain, overwriting the head of the chain.
+	for i := 0; i < DefaultRingSize+64; i++ {
+		l.Status(uint32(i), 0)
+	}
+	br, breached := rec.CheckBreach(1, 400*time.Millisecond)
+	if !breached {
+		t.Fatal("breach not detected on a truncated ring")
+	}
+	if br.Verdict.Stage != StageUnattributed {
+		t.Fatalf("truncated ring attributed to %v, want UNATTRIBUTED", br.Verdict.Stage)
+	}
+}
+
+// TestBlameTable checks aggregation, shares, and the rendered table.
+func TestBlameTable(t *testing.T) {
+	var bt BlameTable
+	for i := 0; i < 9; i++ {
+		bt.AddVerdict(Verdict{Stage: StageWire, WireNs: int64(ms(200)), Loss: true}, int64(ms(220)))
+	}
+	bt.AddVerdict(Verdict{Stage: StageUnattributed}, int64(ms(300)))
+	if bt.Total != 10 || bt.Unattributed != 1 || bt.Loss != 9 {
+		t.Fatalf("table totals = %+v", bt)
+	}
+	if got := bt.Share(StageWire); got != 0.9 {
+		t.Errorf("wire share = %v, want 0.9", got)
+	}
+	var sb strings.Builder
+	if err := bt.Format(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"10 breaches", "WIRE", "90.0%", "UNATTRIBUTED"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestVerdictJSONRoundTrip pins the dump wire format: stages serialize by
+// name and survive a round trip.
+func TestVerdictJSONRoundTrip(t *testing.T) {
+	st := StageWire
+	b, err := st.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `"WIRE"` {
+		t.Fatalf("stage JSON = %s", b)
+	}
+	var back Stage
+	if err := back.UnmarshalJSON(b); err != nil {
+		t.Fatal(err)
+	}
+	if back != StageWire {
+		t.Fatalf("round trip = %v", back)
+	}
+	if _, err := ParseStage("NOPE"); err == nil {
+		t.Error("ParseStage accepted garbage")
+	}
+}

@@ -29,6 +29,10 @@ type Dump struct {
 	WindowNs int64 `json:"window_ns"`
 	// CapturedAt is the wall-clock capture time.
 	CapturedAt time.Time `json:"captured_at"`
+	// Verdict is the automated attribution for this breach: the dominant
+	// latency stage along the breaching chain's critical command (see
+	// Attribute). Nil in dumps from recorders that predate attribution.
+	Verdict *Verdict `json:"verdict,omitempty"`
 	// Events is the causal event log, oldest first.
 	Events []Event `json:"events"`
 }
@@ -49,47 +53,82 @@ func ReadDump(r io.Reader) (*Dump, error) {
 	return &d, nil
 }
 
+// Breach describes one detected threshold crossing: the attribution
+// verdict for the breaching chain, and the dump file it was snapshotted
+// to ("" when no dump was written — dumps are rate limited and need a
+// configured directory; the verdict is computed regardless).
+type Breach struct {
+	Path    string
+	Verdict Verdict
+}
+
 // CheckBreach is the server's post-paint hook: called with each input
 // event's observed input-to-paint latency, it detects threshold crossings
 // and snapshots the session's recent events to disk. Below-threshold
 // latencies return immediately (one atomic load); breaches are counted,
-// marked in the ring (EvBreach), published through the breach
-// instruments, and — when a dump directory is configured and the
-// session's rate limit allows — written as a dump file whose path is
-// returned.
-func (r *Recorder) CheckBreach(id uint32, latency time.Duration) (path string, breached bool) {
+// marked in the ring (EvBreach), attributed to their dominant latency
+// stage, published through the breach instruments, and — when a dump
+// directory is configured and the session's rate limit allows — written
+// as a dump file. Wall domain only; virtual-time harnesses use
+// CheckBreachAt.
+func (r *Recorder) CheckBreach(id uint32, latency time.Duration) (Breach, bool) {
+	if r.domain != obs.DomainWall {
+		panic("flight: CheckBreach on a sim-domain recorder; use CheckBreachAt")
+	}
+	return r.checkBreach(id, 0, latency, time.Since(r.epoch))
+}
+
+// CheckBreachAt is CheckBreach for sim-domain recorders: the harness that
+// resolved the paint supplies the input-chain ID (0 means the session's
+// current chain) and the virtual detection time.
+func (r *Recorder) CheckBreachAt(id uint32, chain uint64, latency, now time.Duration) (Breach, bool) {
+	if r.domain != obs.DomainSim {
+		panic("flight: CheckBreachAt on a wall-domain recorder; use CheckBreach")
+	}
+	return r.checkBreach(id, chain, latency, now)
+}
+
+func (r *Recorder) checkBreach(id uint32, chain uint64, latency, now time.Duration) (Breach, bool) {
 	threshold := time.Duration(r.thresholdNs.Load())
 	if threshold <= 0 || latency < threshold || !r.enabled.Load() {
-		return "", false
+		return Breach{}, false
 	}
 	r.mu.RLock()
 	l := r.sessions[id]
 	dir := r.dumpDir
 	r.mu.RUnlock()
 	if l == nil {
-		return "", false
+		return Breach{}, false
+	}
+	if chain == 0 {
+		chain = l.cause.Load()
 	}
 	n := r.breachN.Add(1)
 	r.breaches.Inc()
 	if r.domain == obs.DomainWall {
 		r.lastBreach.Set(time.Now().UnixMilli())
 		l.record(Event{Kind: EvBreach, A: int64(latency), B: int64(threshold)})
+	} else {
+		r.lastBreach.Set(now.Nanoseconds())
+		l.RecordAt(now, Event{Kind: EvBreach, Cause: chain, A: int64(latency), B: int64(threshold)})
 	}
+	window := time.Duration(r.windowNs.Load())
+	evs := l.Events(window)
+	br := Breach{Verdict: Attribute(evs, chain, now)}
 	if dir == "" {
-		return "", true
+		return br, true
 	}
 	// Per-session dump rate limit: the first breach of a storm is the
 	// interesting one; the rest would dump near-identical rings.
-	now := time.Since(r.epoch).Nanoseconds()
 	last := l.lastDumpNs.Load()
 	gap := r.dumpGapNs.Load()
-	if last != 0 && now-last < gap {
-		return "", true
+	if last != 0 && now.Nanoseconds()-last < gap {
+		return br, true
 	}
-	if !l.lastDumpNs.CompareAndSwap(last, now) {
-		return "", true // another breach is already dumping
+	if !l.lastDumpNs.CompareAndSwap(last, now.Nanoseconds()) {
+		return br, true // another breach is already dumping
 	}
-	window := time.Duration(r.windowNs.Load())
+	verdict := br.Verdict
 	d := &Dump{
 		Session:     id,
 		Domain:      r.domain,
@@ -97,13 +136,14 @@ func (r *Recorder) CheckBreach(id uint32, latency time.Duration) (path string, b
 		ThresholdNs: int64(threshold),
 		WindowNs:    int64(window),
 		CapturedAt:  time.Now(),
-		Events:      l.Events(window),
+		Verdict:     &verdict,
+		Events:      evs,
 	}
-	path = filepath.Join(dir, fmt.Sprintf("flight-sess%d-%d.json", id, n))
+	path := filepath.Join(dir, fmt.Sprintf("flight-sess%d-%d.json", id, n))
 	f, err := os.Create(path)
 	if err != nil {
 		r.dumpErrors.Inc()
-		return "", true
+		return br, true
 	}
 	err = d.Write(f)
 	if cerr := f.Close(); err == nil {
@@ -111,7 +151,8 @@ func (r *Recorder) CheckBreach(id uint32, latency time.Duration) (path string, b
 	}
 	if err != nil {
 		r.dumpErrors.Inc()
-		return "", true
+		return br, true
 	}
-	return path, true
+	br.Path = path
+	return br, true
 }

@@ -232,16 +232,24 @@ func (l *SessionLog) push(ev Event) {
 	l.slots[i&l.mask].store(ev)
 }
 
-// record stamps and records one event on a wall-domain recorder. The
-// disabled path is a nil check plus one atomic load.
+// record stamps and records one event. Wall-domain recorders stamp from
+// their monotonic epoch; sim-domain recorders stamp from the virtual clock
+// (SetNow) and panic if it was never advanced, so simulated and wall time
+// can still never share a ring by accident. The disabled path is a nil
+// check plus one atomic load.
 func (l *SessionLog) record(ev Event) {
 	if !l.Armed() {
 		return
 	}
-	if l.rec.domain != obs.DomainWall {
-		panic("flight: self-stamped record on a sim-domain recorder; use RecordAt")
+	if l.rec.domain == obs.DomainWall {
+		ev.T = time.Since(l.rec.epoch)
+	} else {
+		ns := l.rec.nowNs.Load()
+		if ns < 0 {
+			panic("flight: self-stamped record on a sim-domain recorder; use RecordAt or advance SetNow")
+		}
+		ev.T = time.Duration(ns)
 	}
-	ev.T = time.Since(l.rec.epoch)
 	if ev.Cause == 0 {
 		ev.Cause = l.cause.Load()
 	}
@@ -273,6 +281,17 @@ func (l *SessionLog) Input(cmd protocol.MsgType, arg int64) uint64 {
 	l.cause.Store(id)
 	l.record(Event{Kind: EvInput, Cmd: cmd, Cause: id, A: arg})
 	return id
+}
+
+// Cause reports the session's current input-chain ID — the ID the next
+// recorded event will inherit. Harnesses capture it right after feeding an
+// input so they can later attribute the resulting paint's latency to the
+// correct chain (CheckBreachAt).
+func (l *SessionLog) Cause() uint64 {
+	if l == nil {
+		return 0
+	}
+	return l.cause.Load()
 }
 
 // Op records one drawing op submitted to the encoder (code is
@@ -374,6 +393,10 @@ type Recorder struct {
 	windowNs    atomic.Int64
 	dumpGapNs   atomic.Int64
 	inputID     atomic.Uint64
+	// nowNs is the sim-domain virtual clock (SetNow); -1 until first
+	// advanced, which keeps self-stamped records on an undriven sim
+	// recorder a hard error rather than silently stamping zero.
+	nowNs atomic.Int64
 
 	mu       sync.RWMutex
 	sessions map[uint32]*SessionLog
@@ -406,8 +429,25 @@ func New(domain obs.Domain) *Recorder {
 	r.thresholdNs.Store(int64(DefaultThreshold))
 	r.windowNs.Store(int64(DefaultWindow))
 	r.dumpGapNs.Store(int64(DefaultDumpGap))
+	r.nowNs.Store(-1)
 	return r
 }
+
+// SetNow advances a sim-domain recorder's virtual clock. Once set, live
+// components that self-stamp (servers, consoles) record at this virtual
+// time, letting a virtual-time harness drive the real display path and
+// still get honest stage timings out of the ring. Wall-domain recorders
+// refuse it.
+func (r *Recorder) SetNow(t time.Duration) {
+	if r.domain != obs.DomainSim {
+		panic("flight: SetNow on a wall-domain recorder")
+	}
+	r.nowNs.Store(int64(t))
+}
+
+// Now reports a sim-domain recorder's virtual clock (negative if never
+// advanced).
+func (r *Recorder) Now() time.Duration { return time.Duration(r.nowNs.Load()) }
 
 // Instrument resolves the recorder's breach instruments in reg:
 // slim_flight_breaches_total, slim_flight_dump_errors_total, and — wall

@@ -157,10 +157,11 @@ func TestBreachDumpAndRateLimit(t *testing.T) {
 	if _, breached := rec.CheckBreach(3, 100*time.Millisecond); breached {
 		t.Fatal("sub-threshold latency reported as breach")
 	}
-	path, breached := rec.CheckBreach(3, 200*time.Millisecond)
-	if !breached || path == "" {
-		t.Fatalf("breach not dumped: path=%q breached=%v", path, breached)
+	br, breached := rec.CheckBreach(3, 200*time.Millisecond)
+	if !breached || br.Path == "" {
+		t.Fatalf("breach not dumped: path=%q breached=%v", br.Path, breached)
 	}
+	path := br.Path
 	if rec.BreachCount() != 1 {
 		t.Errorf("breach count = %d, want 1", rec.BreachCount())
 	}
@@ -199,8 +200,8 @@ func TestBreachDumpAndRateLimit(t *testing.T) {
 	}
 
 	// A second breach within the gap is counted but not dumped.
-	if path2, breached := rec.CheckBreach(3, 300*time.Millisecond); !breached || path2 != "" {
-		t.Errorf("rate limit failed: path=%q breached=%v", path2, breached)
+	if br2, breached := rec.CheckBreach(3, 300*time.Millisecond); !breached || br2.Path != "" {
+		t.Errorf("rate limit failed: path=%q breached=%v", br2.Path, breached)
 	}
 	files, _ := filepath.Glob(filepath.Join(dir, "flight-sess3-*.json"))
 	if len(files) != 1 {

@@ -1,0 +1,119 @@
+package slo
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+
+	"slim/internal/obs"
+	"slim/internal/obs/flight"
+)
+
+// SessionStatus is one session's point-in-time SLO evaluation as served
+// at /debug/slo.
+type SessionStatus struct {
+	Session uint32 `json:"session"`
+	User    string `json:"user"`
+	State   string `json:"state"`
+	// Windows are the session's window evaluations, short to long.
+	Windows []WindowStat `json:"windows"`
+	// Blame is the session's cumulative breach-attribution histogram,
+	// keyed by lowercase stage name; stages never blamed are omitted.
+	Blame map[string]int64 `json:"blame,omitempty"`
+}
+
+// Status is the full /debug/slo document.
+type Status struct {
+	Domain    obs.Domain `json:"domain"`
+	Enabled   bool       `json:"enabled"`
+	TargetNs  int64      `json:"target_ns"`
+	BudgetPct float64    `json:"budget_pct"`
+	// NowNs is the evaluation timestamp in the tracker's clock domain.
+	NowNs int64  `json:"now_ns"`
+	State string `json:"state"`
+	// Windows are the fleet evaluations; Blame the fleet attribution
+	// histogram; Sessions the per-session breakdown, ascending by ID.
+	Windows  []WindowStat     `json:"windows"`
+	Blame    map[string]int64 `json:"blame,omitempty"`
+	Sessions []SessionStatus  `json:"sessions"`
+}
+
+// blameMap converts an attribution array to the JSON histogram form.
+func blameMap(counts *[flight.NumStages]int64) map[string]int64 {
+	var m map[string]int64
+	for i, n := range counts {
+		if n == 0 {
+			continue
+		}
+		if m == nil {
+			m = make(map[string]int64)
+		}
+		m[strings.ToLower(flight.Stage(i).String())] = n
+	}
+	return m
+}
+
+// Status evaluates the tracker: fleet windows and state, per-session
+// windows, states, and blame histograms.
+func (t *Tracker) Status() Status {
+	nowNs := t.now()
+	budget := t.Budget()
+	burns, stats := t.fleet.eval(nowNs, budget)
+	st := Status{
+		Domain:    t.domain,
+		Enabled:   t.enabled.Load(),
+		TargetNs:  t.targetNs.Load(),
+		BudgetPct: budget * 100,
+		NowNs:     nowNs,
+		State:     stateOf(burns).String(),
+		Windows:   stats[:],
+	}
+	var fleetBlame [flight.NumStages]int64
+	for i := range t.fleetBlame {
+		fleetBlame[i] = t.fleetBlame[i].Load()
+	}
+	st.Blame = blameMap(&fleetBlame)
+
+	t.mu.RLock()
+	sessions := make([]*SessionSLO, 0, len(t.sessions))
+	for _, s := range t.sessions {
+		sessions = append(sessions, s)
+	}
+	t.mu.RUnlock()
+	st.Sessions = make([]SessionStatus, 0, len(sessions))
+	for _, s := range sessions {
+		sburns, sstats := s.win.eval(nowNs, budget)
+		var blame [flight.NumStages]int64
+		for i := range s.blame {
+			blame[i] = s.blame[i].Load()
+		}
+		st.Sessions = append(st.Sessions, SessionStatus{
+			Session: s.id,
+			User:    s.user,
+			State:   stateOf(sburns).String(),
+			Windows: sstats[:],
+			Blame:   blameMap(&blame),
+		})
+	}
+	sort.Slice(st.Sessions, func(i, j int) bool {
+		return st.Sessions[i].Session < st.Sessions[j].Session
+	})
+	return st
+}
+
+// WriteJSON serializes the current status as indented JSON.
+func (t *Tracker) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t.Status())
+}
+
+// Handler serves the tracker's status as /debug/slo JSON.
+func (t *Tracker) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = t.WriteJSON(w)
+	})
+}

@@ -1,0 +1,538 @@
+// Package slo is the interpretation tier above the raw latency telemetry:
+// an online service-level-objective engine for the paper's §3 interactivity
+// bound. The objective is expressed the way operators state it — "at most
+// 1% of input events may take longer than 150 ms to paint" — and tracked
+// the way modern SRE practice evaluates it: rolling multi-window breach
+// rates (a short ≈5 s window for detection, a mid ≈1 m and long ≈5 m
+// window for confirmation and recovery), each converted to a *burn rate*,
+// the ratio of the observed breach rate to the budgeted one. Burn 1.0
+// means the error budget is being spent exactly as fast as it accrues;
+// burn 10 means ten times too fast.
+//
+// Health states derive from the burns:
+//
+//   - BREACHING — the short AND mid windows both burn at ≥ 1: the
+//     violation is real and still happening.
+//   - DEGRADED — some window burns at ≥ 1 but the condition is either too
+//     young to confirm (short only) or already over (long tail).
+//   - OK — every window is inside budget.
+//
+// Tracking is per session and fleet-wide, lock-free on the observe path
+// (epoch-tagged slot rings, a few atomic ops per event, zero allocations),
+// and evictable: Remove takes a terminated session's labeled series out of
+// the registry so long-lived servers do not leak cardinality. Like the
+// rest of internal/obs, a tracker lives in one clock domain: wall trackers
+// self-stamp, sim trackers only accept explicit virtual timestamps
+// (ObserveAt), so capacity simulations reuse the same burn machinery.
+package slo
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"slim/internal/obs"
+	"slim/internal/obs/flight"
+)
+
+// State is a session's (or the fleet's) SLO health.
+type State int
+
+const (
+	// StateOK: every window is inside budget.
+	StateOK State = iota
+	// StateDegraded: at least one window is burning budget faster than it
+	// accrues, but the breach is not confirmed across short and mid.
+	StateDegraded
+	// StateBreaching: the short and mid windows both burn at >= 1 — the
+	// SLO is being violated right now.
+	StateBreaching
+)
+
+var stateNames = [...]string{"OK", "DEGRADED", "BREACHING"}
+
+// String names the state.
+func (s State) String() string {
+	if int(s) >= 0 && int(s) < len(stateNames) {
+		return stateNames[s]
+	}
+	return "UNKNOWN"
+}
+
+// Window roles, in rising duration. The short window detects, the mid
+// window confirms, the long window remembers.
+const (
+	WinShort = iota
+	WinMid
+	WinLong
+	numWindows
+)
+
+var windowRoles = [numWindows]string{"short", "mid", "long"}
+
+// Config parameterizes a tracker.
+type Config struct {
+	// Target is the per-event latency objective (the paper's 150 ms
+	// annoyance bound). Latencies above Target are breaches.
+	Target time.Duration
+	// Budget is the allowed breach fraction, e.g. 0.01 for "1% of events".
+	Budget float64
+	// Short, Mid, Long are the rolling window durations.
+	Short, Mid, Long time.Duration
+}
+
+// DefaultConfig is the paper-derived objective: 150 ms at 1%, evaluated
+// over 5 s / 1 m / 5 m windows.
+func DefaultConfig() Config {
+	return Config{
+		Target: 150 * time.Millisecond,
+		Budget: 0.01,
+		Short:  5 * time.Second,
+		Mid:    time.Minute,
+		Long:   5 * time.Minute,
+	}
+}
+
+// withDefaults fills zero fields from DefaultConfig.
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.Target <= 0 {
+		c.Target = d.Target
+	}
+	if c.Budget <= 0 {
+		c.Budget = d.Budget
+	}
+	if c.Short <= 0 {
+		c.Short = d.Short
+	}
+	if c.Mid <= 0 {
+		c.Mid = d.Mid
+	}
+	if c.Long <= 0 {
+		c.Long = d.Long
+	}
+	return c
+}
+
+// slotsPerWindow is the ring resolution: each rolling window is tracked in
+// this many epoch-tagged slots, so totals cover the trailing window with
+// one-slot granularity and expire without any sweeper goroutine.
+const slotsPerWindow = 16
+
+// winSlot is one epoch-tagged accumulator. Rotation is racy by design: the
+// writer that CASes the slot to a new epoch resets the counts, and a
+// concurrent add straddling the rotation can be wiped — a bounded
+// undercount at slot boundaries, which SLO accounting tolerates in
+// exchange for a lock-free observe path.
+type winSlot struct {
+	epoch            atomic.Int64
+	events, breaches atomic.Int64
+}
+
+// window is one rolling breach-rate window.
+type window struct {
+	slotNs int64
+	slots  [slotsPerWindow]winSlot
+}
+
+func (w *window) init(d time.Duration) {
+	w.slotNs = int64(d) / slotsPerWindow
+	if w.slotNs <= 0 {
+		w.slotNs = 1
+	}
+	for i := range w.slots {
+		w.slots[i].epoch.Store(-1)
+	}
+}
+
+// observe counts one event at time nowNs.
+func (w *window) observe(nowNs int64, breach bool) {
+	e := nowNs / w.slotNs
+	s := &w.slots[int(e%slotsPerWindow+slotsPerWindow)%slotsPerWindow]
+	cur := s.epoch.Load()
+	if cur != e {
+		if cur > e {
+			return // stale event from a lagging writer; its slot is gone
+		}
+		if s.epoch.CompareAndSwap(cur, e) {
+			s.events.Store(0)
+			s.breaches.Store(0)
+		} else if s.epoch.Load() != e {
+			return
+		}
+	}
+	s.events.Add(1)
+	if breach {
+		s.breaches.Add(1)
+	}
+}
+
+// totals sums the window's live slots as of nowNs.
+func (w *window) totals(nowNs int64) (events, breaches int64) {
+	cur := nowNs / w.slotNs
+	min := cur - slotsPerWindow + 1
+	for i := range w.slots {
+		s := &w.slots[i]
+		if e := s.epoch.Load(); e >= min && e <= cur {
+			events += s.events.Load()
+			breaches += s.breaches.Load()
+		}
+	}
+	return events, breaches
+}
+
+// WindowStat is one window's point-in-time evaluation.
+type WindowStat struct {
+	// Role is "short", "mid", or "long"; Window is its duration.
+	Role   string        `json:"role"`
+	Window time.Duration `json:"window_ns"`
+	// Events and Breaches are the totals inside the window.
+	Events   int64 `json:"events"`
+	Breaches int64 `json:"breaches"`
+	// BreachPct is 100*Breaches/Events; Burn is the budget burn rate
+	// (breach fraction divided by budget — 1.0 spends exactly on budget).
+	BreachPct float64 `json:"breach_pct"`
+	Burn      float64 `json:"burn"`
+}
+
+// stateOf derives the health state from the three window burns.
+func stateOf(burns [numWindows]float64) State {
+	if burns[WinShort] >= 1 && burns[WinMid] >= 1 {
+		return StateBreaching
+	}
+	for _, b := range burns {
+		if b >= 1 {
+			return StateDegraded
+		}
+	}
+	return StateOK
+}
+
+// windows is the per-scope (session or fleet) rolling state.
+type windows struct {
+	win [numWindows]window
+}
+
+func (ws *windows) init(cfg Config) {
+	ws.win[WinShort].init(cfg.Short)
+	ws.win[WinMid].init(cfg.Mid)
+	ws.win[WinLong].init(cfg.Long)
+}
+
+func (ws *windows) observe(nowNs int64, breach bool) {
+	for i := range ws.win {
+		ws.win[i].observe(nowNs, breach)
+	}
+}
+
+// eval computes the three burns as of nowNs.
+func (ws *windows) eval(nowNs int64, budget float64) (burns [numWindows]float64, stats [numWindows]WindowStat) {
+	for i := range ws.win {
+		ev, br := ws.win[i].totals(nowNs)
+		st := WindowStat{
+			Role:     windowRoles[i],
+			Window:   time.Duration(ws.win[i].slotNs * slotsPerWindow),
+			Events:   ev,
+			Breaches: br,
+		}
+		if ev > 0 {
+			frac := float64(br) / float64(ev)
+			st.BreachPct = 100 * frac
+			if budget > 0 {
+				st.Burn = frac / budget
+			}
+		}
+		burns[i] = st.Burn
+		stats[i] = st
+	}
+	return burns, stats
+}
+
+// Tracker evaluates the SLO for one clock domain: fleet-wide plus one
+// SessionSLO per live session. The zero value is not usable; call New.
+type Tracker struct {
+	domain obs.Domain
+	epoch  time.Time
+	cfg    Config
+
+	enabled   atomic.Bool
+	targetNs  atomic.Int64
+	budgetPPM atomic.Int64 // budget fraction in parts per million
+	// lastNs is the max observed timestamp — the snapshot anchor for sim
+	// trackers, whose clock only advances when events arrive.
+	lastNs atomic.Int64
+
+	fleet      windows
+	fleetBlame [flight.NumStages]atomic.Int64
+
+	mu       sync.RWMutex
+	sessions map[uint32]*SessionSLO
+
+	// Instruments (nil until Instrument): fleet counters and gauges, plus
+	// the registry per-session state gauges resolve in and evict from.
+	reg        *obs.Registry
+	events     *obs.Counter
+	breachesC  *obs.Counter
+	burnGauges [numWindows]*obs.Gauge
+	stateGauge *obs.Gauge
+	blameC     [flight.NumStages]*obs.Counter
+}
+
+// Default is the process-wide wall-clock tracker, instrumented into
+// obs.Default with the paper's default objective. Live servers evaluate
+// against it unless redirected (server.WithSLO).
+var Default = New(obs.DomainWall, DefaultConfig()).Instrument(obs.Default)
+
+// New returns an enabled tracker in the given clock domain. Zero config
+// fields take the defaults.
+func New(domain obs.Domain, cfg Config) *Tracker {
+	cfg = cfg.withDefaults()
+	t := &Tracker{
+		domain:   domain,
+		epoch:    time.Now(),
+		cfg:      cfg,
+		sessions: make(map[uint32]*SessionSLO),
+	}
+	t.fleet.init(cfg)
+	t.enabled.Store(true)
+	t.targetNs.Store(int64(cfg.Target))
+	t.budgetPPM.Store(int64(cfg.Budget * 1e6))
+	return t
+}
+
+// Instrument resolves the tracker's fleet instruments in reg and makes it
+// the registry per-session state gauges live in: slim_slo_events_total,
+// slim_slo_breaches_total, slim_slo_burn_milli{window=...},
+// slim_slo_state (0=OK 1=DEGRADED 2=BREACHING, fleet and per-session),
+// and slim_slo_blame_total{stage=...}.
+func (t *Tracker) Instrument(reg *obs.Registry) *Tracker {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.reg = reg
+	t.events = reg.Counter("slim_slo_events_total")
+	t.breachesC = reg.Counter("slim_slo_breaches_total")
+	for i := range t.burnGauges {
+		t.burnGauges[i] = reg.Gauge(`slim_slo_burn_milli{window="` + windowRoles[i] + `"}`)
+	}
+	t.stateGauge = reg.Gauge("slim_slo_state")
+	for i := range t.blameC {
+		t.blameC[i] = reg.Counter(`slim_slo_blame_total{stage="` + strings.ToLower(flight.Stage(i).String()) + `"}`)
+	}
+	return t
+}
+
+// Domain reports the tracker's clock domain.
+func (t *Tracker) Domain() obs.Domain { return t.domain }
+
+// SetEnabled switches evaluation on or off. Disabled, every Observe costs
+// one atomic load and allocates nothing; the windows are retained.
+func (t *Tracker) SetEnabled(on bool) { t.enabled.Store(on) }
+
+// Enabled reports whether evaluation is live.
+func (t *Tracker) Enabled() bool { return t.enabled.Load() }
+
+// SetTarget updates the per-event latency objective.
+func (t *Tracker) SetTarget(d time.Duration) {
+	if d > 0 {
+		t.targetNs.Store(int64(d))
+	}
+}
+
+// Target reports the latency objective.
+func (t *Tracker) Target() time.Duration { return time.Duration(t.targetNs.Load()) }
+
+// SetBudget updates the allowed breach fraction (0 < b <= 1).
+func (t *Tracker) SetBudget(b float64) {
+	if b > 0 && b <= 1 {
+		t.budgetPPM.Store(int64(b * 1e6))
+	}
+}
+
+// Budget reports the allowed breach fraction.
+func (t *Tracker) Budget() float64 { return float64(t.budgetPPM.Load()) / 1e6 }
+
+// Windows reports the configured window durations (short, mid, long).
+func (t *Tracker) Windows() (short, mid, long time.Duration) {
+	return t.cfg.Short, t.cfg.Mid, t.cfg.Long
+}
+
+// Session returns the session's SLO state, creating (and instrumenting)
+// it on first use.
+func (t *Tracker) Session(id uint32, user string) *SessionSLO {
+	t.mu.RLock()
+	s, ok := t.sessions[id]
+	t.mu.RUnlock()
+	if ok {
+		return s
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if s, ok := t.sessions[id]; ok {
+		return s
+	}
+	s = &SessionSLO{id: id, user: user, t: t}
+	s.win.init(t.cfg)
+	if t.reg != nil {
+		s.stateName = `slim_slo_state{session="` + user + `"}`
+		s.stateGauge = t.reg.Gauge(s.stateName)
+	}
+	t.sessions[id] = s
+	return s
+}
+
+// Remove evicts a terminated session: its windows are dropped and its
+// labeled state gauge leaves the registry — the SLO half of the
+// cardinality-eviction contract server.Terminate honors.
+func (t *Tracker) Remove(id uint32) {
+	t.mu.Lock()
+	s, ok := t.sessions[id]
+	delete(t.sessions, id)
+	reg := t.reg
+	t.mu.Unlock()
+	if ok && reg != nil && s.stateName != "" {
+		reg.Remove(s.stateName)
+	}
+}
+
+// SessionIDs lists sessions with live SLO state, ascending.
+func (t *Tracker) SessionIDs() []uint32 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	ids := make([]uint32, 0, len(t.sessions))
+	for id := range t.sessions {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// now returns the evaluation timestamp: elapsed monotonic time for wall
+// trackers, the last observed virtual time for sim trackers.
+func (t *Tracker) now() int64 {
+	if t.domain == obs.DomainWall {
+		return int64(time.Since(t.epoch))
+	}
+	return t.lastNs.Load()
+}
+
+// State reports the fleet health right now.
+func (t *Tracker) State() State {
+	burns, _ := t.fleet.eval(t.now(), t.Budget())
+	return stateOf(burns)
+}
+
+// FleetWindows reports the fleet's window evaluations right now.
+func (t *Tracker) FleetWindows() [numWindows]WindowStat {
+	_, stats := t.fleet.eval(t.now(), t.Budget())
+	return stats
+}
+
+// observe is the shared observe path.
+func (t *Tracker) observe(s *SessionSLO, nowNs int64, latency time.Duration) {
+	breach := latency > time.Duration(t.targetNs.Load())
+	t.fleet.observe(nowNs, breach)
+	if s != nil {
+		s.win.observe(nowNs, breach)
+	}
+	for {
+		cur := t.lastNs.Load()
+		if nowNs <= cur || t.lastNs.CompareAndSwap(cur, nowNs) {
+			break
+		}
+	}
+	if t.events != nil {
+		t.events.Inc()
+		if breach {
+			t.breachesC.Inc()
+		}
+		budget := t.Budget()
+		burns, _ := t.fleet.eval(nowNs, budget)
+		for i := range burns {
+			t.burnGauges[i].Set(int64(burns[i] * 1000))
+		}
+		t.stateGauge.Set(int64(stateOf(burns)))
+		if s != nil && s.stateGauge != nil {
+			sburns, _ := s.win.eval(nowNs, budget)
+			s.stateGauge.Set(int64(stateOf(sburns)))
+		}
+	}
+}
+
+// SessionSLO is one session's rolling SLO state. A nil *SessionSLO is
+// inert — every method no-ops — so call sites instrument unconditionally.
+type SessionSLO struct {
+	id   uint32
+	user string
+	t    *Tracker
+
+	win   windows
+	blame [flight.NumStages]atomic.Int64
+
+	stateGauge *obs.Gauge
+	stateName  string
+}
+
+// Armed reports whether SLO evaluation is live — the guard call sites use
+// before computing anything observe-only.
+func (s *SessionSLO) Armed() bool {
+	return s != nil && s.t.enabled.Load()
+}
+
+// Domain reports the owning tracker's clock domain — call sites that only
+// see real time (a live server's Handle) use it to leave sim-domain
+// trackers to their harness.
+func (s *SessionSLO) Domain() obs.Domain {
+	if s == nil {
+		return obs.DomainWall
+	}
+	return s.t.domain
+}
+
+// Observe evaluates one input-to-paint latency on a wall-domain tracker,
+// stamped now. The disabled path is a nil check plus one atomic load.
+func (s *SessionSLO) Observe(latency time.Duration) {
+	if !s.Armed() {
+		return
+	}
+	if s.t.domain != obs.DomainWall {
+		panic("slo: self-stamped Observe on a sim-domain tracker; use ObserveAt")
+	}
+	s.t.observe(s, int64(time.Since(s.t.epoch)), latency)
+}
+
+// ObserveAt evaluates one latency at an explicit virtual time. Only
+// sim-domain trackers accept it — the mirror image of Observe — so wall
+// and simulated time never share windows.
+func (s *SessionSLO) ObserveAt(now time.Duration, latency time.Duration) {
+	if !s.Armed() {
+		return
+	}
+	if s.t.domain != obs.DomainSim {
+		panic("slo: ObserveAt on a wall-domain tracker; use Observe")
+	}
+	s.t.observe(s, int64(now), latency)
+}
+
+// RecordBlame attributes one breach to its dominant latency stage,
+// accumulating the session and fleet blame histograms.
+func (s *SessionSLO) RecordBlame(st flight.Stage) {
+	if !s.Armed() || int(st) >= flight.NumStages {
+		return
+	}
+	s.blame[st].Add(1)
+	s.t.fleetBlame[st].Add(1)
+	if c := s.t.blameC[st]; c != nil {
+		c.Inc()
+	}
+}
+
+// StateAt reports the session's health as of the tracker's current clock.
+func (s *SessionSLO) StateAt() State {
+	if s == nil {
+		return StateOK
+	}
+	burns, _ := s.win.eval(s.t.now(), s.t.Budget())
+	return stateOf(burns)
+}

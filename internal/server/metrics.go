@@ -74,6 +74,7 @@ func (s *Server) instrumentSession(sess *Session) {
 	sess.itp = sessionHistogram(s.obs, sess.User)
 	sess.flog = s.flight.Session(sess.ID)
 	sess.Encoder.Flight = sess.flog
+	sess.slo = s.slo.Session(sess.ID, sess.User)
 }
 
 // InputToPaint exposes the session's live input-to-paint histogram.

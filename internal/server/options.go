@@ -5,6 +5,7 @@ import (
 	"slim/internal/flow"
 	"slim/internal/obs"
 	"slim/internal/obs/flight"
+	"slim/internal/obs/slo"
 	"slim/internal/par"
 )
 
@@ -24,6 +25,14 @@ func WithRegistry(r *obs.Registry) Option {
 // instead of flight.Default.
 func WithFlightRecorder(rec *flight.Recorder) Option {
 	return func(s *Server) { s.flight = rec }
+}
+
+// WithSLO points the server's SLO tracker at t instead of slo.Default —
+// hermetic tests and virtual-time simulations hand each server its own
+// tracker (a sim-domain tracker suppresses the server's wall-clock
+// Observe; the harness feeds ObserveAt itself).
+func WithSLO(t *slo.Tracker) Option {
+	return func(s *Server) { s.slo = t }
 }
 
 // WithCostModel installs the console decode cost model (Table 5) the

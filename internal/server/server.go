@@ -17,6 +17,7 @@ import (
 	"slim/internal/flow"
 	"slim/internal/obs"
 	"slim/internal/obs/flight"
+	"slim/internal/obs/slo"
 	"slim/internal/par"
 	"slim/internal/protocol"
 	"slim/internal/wirebuf"
@@ -117,6 +118,9 @@ type Session struct {
 	// fm owns the session's labeled flow gauges so Terminate can evict
 	// them from the registry.
 	fm *flow.Metrics
+	// slo is the session's rolling SLO state (breach-rate windows, blame
+	// histogram) in the server's tracker.
+	slo *slo.SessionSLO
 }
 
 // Governor exposes the session's send governor (nil when flow control is
@@ -126,6 +130,10 @@ func (sess *Session) Governor() *flow.Governor { return sess.gov }
 // FlightLog exposes the session's flight-recorder ring (nil before the
 // session is instrumented).
 func (sess *Session) FlightLog() *flight.SessionLog { return sess.flog }
+
+// SLO exposes the session's rolling SLO state (nil before the session is
+// instrumented).
+func (sess *Session) SLO() *slo.SessionSLO { return sess.slo }
 
 // Server ties the managers together and speaks the SLIM protocol to
 // consoles.
@@ -150,6 +158,9 @@ type Server struct {
 	// flight is the causal flight recorder sessions record protocol
 	// events into (flight.Default unless redirected by WithFlight).
 	flight *flight.Recorder
+	// slo is the SLO tracker sessions evaluate input-to-paint latency
+	// against (slo.Default unless redirected by WithSLO).
+	slo *slo.Tracker
 
 	// optObs is the registry chosen by WithRegistry, applied by New after
 	// all options have run (nil means obs.Default).
@@ -197,6 +208,7 @@ func New(t Transport, newApp func(user string, w, h int) Application, opts ...Op
 		byUser:    make(map[string]uint32),
 		consoles:  make(map[string]*consoleState),
 		flight:    flight.Default,
+		slo:       slo.Default,
 	}
 	for _, o := range opts {
 		o(s)
@@ -234,6 +246,24 @@ func (s *Server) FlightRecorder() *flight.Recorder {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.flight
+}
+
+// WithSLOTracker points the server's SLO tracker at t (slo.Default unless
+// redirected — hermetic tests hand each server its own tracker). Call it
+// before the first session is created; sessions already instrumented keep
+// evaluating against the old tracker.
+func (s *Server) WithSLOTracker(t *slo.Tracker) *Server {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.slo = t
+	return s
+}
+
+// SLOTracker reports the tracker sessions evaluate against.
+func (s *Server) SLOTracker() *slo.Tracker {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.slo
 }
 
 // outbound is one queued server→console datagram. Sends are queued while
@@ -279,6 +309,7 @@ func (s *Server) Handle(console string, msg protocol.Message, now time.Duration)
 	var span obs.Span
 	var rec *flight.Recorder
 	var sessID uint32
+	var sloSess *slo.SessionSLO
 	switch m := msg.(type) {
 	case *protocol.KeyEvent, *protocol.PointerEvent:
 		s.metrics.inputEvents.Inc()
@@ -286,6 +317,7 @@ func (s *Server) Handle(console string, msg protocol.Message, now time.Duration)
 		if sess, err := s.sessionFor(console); err == nil {
 			span.Attach(sess.itp)
 			rec, sessID = s.flight, sess.ID
+			sloSess = sess.slo
 			if sess.flog.Armed() {
 				var arg int64
 				switch ev := m.(type) {
@@ -305,9 +337,16 @@ func (s *Server) Handle(console string, msg protocol.Message, now time.Duration)
 	span.End()
 	// On a synchronous transport the console has painted by now, so the
 	// span's elapsed time is true input-to-paint — exactly what the breach
-	// dump wants to explain.
-	if rec != nil {
-		rec.CheckBreach(sessID, span.Elapsed())
+	// dump wants to explain. Sim-domain recorders and trackers are skipped:
+	// a virtual-time harness resolves true paint latencies itself and feeds
+	// ObserveAt/CheckBreachAt with virtual timestamps.
+	if sloSess.Armed() && sloSess.Domain() == obs.DomainWall {
+		sloSess.Observe(span.Elapsed())
+	}
+	if rec != nil && rec.Domain() == obs.DomainWall {
+		if br, breached := rec.CheckBreach(sessID, span.Elapsed()); breached {
+			sloSess.RecordBlame(br.Verdict.Stage)
+		}
 	}
 	if herr != nil {
 		return herr
@@ -613,6 +652,7 @@ func (s *Server) Terminate(user string) error {
 	s.obs.Remove(sessionHistogramName(user))
 	sess.fm.Unregister(s.obs)
 	s.flight.Drop(id)
+	s.slo.Remove(id)
 	s.mu.Unlock()
 	return s.flush(out)
 }

@@ -1,11 +1,14 @@
 package server
 
 import (
+	"strings"
 	"testing"
 	"time"
 
+	"slim/internal/flow"
 	"slim/internal/obs"
 	"slim/internal/obs/flight"
+	"slim/internal/obs/slo"
 	"slim/internal/protocol"
 )
 
@@ -78,5 +81,78 @@ func TestTerminateEvictsObservability(t *testing.T) {
 	fresh := s.SessionByUser("alice")
 	if fresh == nil || fresh.ID == sess.ID {
 		t.Fatalf("relogin session = %+v, want a new session ID", fresh)
+	}
+}
+
+// sessionLabeled reports the metric names in snap carrying the session
+// label — the generic enumeration the eviction regression scans, so any
+// future per-session series is covered without listing it here.
+func sessionLabeled(snap obs.Snapshot, user string) []string {
+	label := `session="` + user + `"`
+	var names []string
+	for name := range snap.Counters {
+		if strings.Contains(name, label) {
+			names = append(names, name)
+		}
+	}
+	for name := range snap.Gauges {
+		if strings.Contains(name, label) {
+			names = append(names, name)
+		}
+	}
+	for name := range snap.Histograms {
+		if strings.Contains(name, label) {
+			names = append(names, name)
+		}
+	}
+	return names
+}
+
+// TestTerminateEvictsAllSessionSeries is the generic cardinality-leak
+// regression: with every per-session subsystem live — labeled
+// input-to-paint histogram, flow-governor gauges, SLO state — Terminate
+// must leave *zero* series carrying the session label, enumerated
+// generically so series added later fail this test instead of leaking.
+func TestTerminateEvictsAllSessionSeries(t *testing.T) {
+	tr := newMemTransport()
+	reg := obs.NewRegistry(obs.DomainWall)
+	rec := flight.New(obs.DomainWall).Instrument(reg)
+	slt := slo.New(obs.DomainWall, slo.Config{}).Instrument(reg)
+	s := New(tr, func(user string, w, h int) Application { return NewTerminal(w, h) },
+		WithRegistry(reg), WithFlightRecorder(rec), WithSLO(slt),
+		WithFlowControl(flow.Config{}))
+	s.Auth.Register("card-alice", "alice")
+
+	if err := s.Handle("desk-1", hello(64, 32, "card-alice"), 0); err != nil {
+		t.Fatal(err)
+	}
+	sess := s.SessionByUser("alice")
+	if sess == nil {
+		t.Fatal("no session for alice")
+	}
+	if err := s.Handle("desk-1", &protocol.KeyEvent{Code: 'a', Down: true}, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	live := sessionLabeled(reg.Snapshot(), "alice")
+	if len(live) < 3 {
+		t.Fatalf("expected per-session series from itp, flow, and slo while live, got %v", live)
+	}
+	if sess.SLO() == nil {
+		t.Fatal("session not SLO-instrumented")
+	}
+
+	if err := s.Terminate("alice"); err != nil {
+		t.Fatal(err)
+	}
+
+	if leaked := sessionLabeled(reg.Snapshot(), "alice"); len(leaked) != 0 {
+		t.Errorf("per-session series survived Terminate: %v", leaked)
+	}
+	if ids := slt.SessionIDs(); len(ids) != 0 {
+		t.Errorf("slo sessions survived Terminate: %v", ids)
+	}
+	if ids := rec.Sessions(); len(ids) != 0 {
+		t.Errorf("flight rings survived Terminate: %v", ids)
 	}
 }

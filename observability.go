@@ -11,6 +11,7 @@ import (
 	"slim/internal/obs"
 	"slim/internal/obs/capture"
 	"slim/internal/obs/flight"
+	"slim/internal/obs/slo"
 )
 
 // Runtime observability facade. Every hot path in the package — session
@@ -58,6 +59,28 @@ func SetFlightThreshold(d time.Duration) { flight.Default.SetThreshold(d) }
 // SetFlightDumpDir directs breach dumps to dir (empty keeps dumps off;
 // breaches are still counted and marked in the ring).
 func SetFlightDumpDir(dir string) { flight.Default.SetDumpDir(dir) }
+
+// SLOTracker is the online latency SLO engine (see internal/obs/slo):
+// rolling multi-window breach rates against the 150 ms / 1% objective,
+// burn-rate computation, and OK/DEGRADED/BREACHING health states, per
+// session and fleet-wide.
+type SLOTracker = slo.Tracker
+
+// SLOConfig parameterizes a tracker's objective and windows.
+type SLOConfig = slo.Config
+
+// SLO returns the process-wide wall-clock SLO tracker: live servers
+// evaluate every input-to-paint latency against it unless redirected, and
+// /debug/slo serves its state.
+func SLO() *SLOTracker { return slo.Default }
+
+// SetSLOTarget sets the per-event latency objective (default the paper's
+// 150 ms annoyance bound).
+func SetSLOTarget(d time.Duration) { slo.Default.SetTarget(d) }
+
+// SetSLOBudget sets the allowed breach fraction (default 0.01: 1% of
+// events may exceed the target).
+func SetSLOBudget(b float64) { slo.Default.SetBudget(b) }
 
 // defaultCalibrator is the process-wide cost calibrator behind
 // Calibrator() and /debug/costmodel, instrumented in the default registry
@@ -159,12 +182,14 @@ func (c *CaptureFile) Close() error {
 // DebugHandler returns the debug endpoint served by slimd -debug:
 // /metrics (Prometheus text), /debug/vars (JSON snapshot), /debug/trace
 // (Perfetto trace-event JSON from the flight recorder), /debug/costmodel
-// (the live cost-model calibration fit), and /debug/pprof/ — embed it in
-// any HTTP server.
+// (the live cost-model calibration fit), /debug/slo (the SLO engine's
+// burn rates, health states, and blame histograms), and /debug/pprof/ —
+// embed it in any HTTP server.
 func DebugHandler() http.Handler {
 	mux := obs.DebugMux(obs.Default, obs.Sim)
 	mux.Handle("/debug/trace", flight.Default.TraceHandler())
 	mux.Handle("/debug/costmodel", CostModelHandler(defaultCalibrator))
+	mux.Handle("/debug/slo", slo.Default.Handler())
 	return mux
 }
 

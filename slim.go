@@ -167,6 +167,10 @@ func WithCalibratedCosts(cal *CostCalibrator) ServerOption {
 // instead of the process-wide one.
 func WithFlightRecorder(rec *Recorder) ServerOption { return server.WithFlightRecorder(rec) }
 
+// WithSLOTracker points the server's latency SLO engine at t instead of
+// the process-wide one (slim.SLO()).
+func WithSLOTracker(t *SLOTracker) ServerOption { return server.WithSLO(t) }
+
 // NewServer returns a SLIM server sending through the given transport.
 // Options configure flow control and observability; none are required.
 func NewServer(t Transport, newApp AppFactory, opts ...ServerOption) *Server {
