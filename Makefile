@@ -35,7 +35,7 @@ race:
 # TestDisabledTapAllocatesNothing, which every plain `go test` run
 # enforces).
 bench-guard:
-	$(GO) test -run xxx -bench . -benchtime 1x . ./internal/obs/flight/ ./internal/obs/capture/ ./internal/obs/slo/ ./internal/flow/ ./internal/fb/ ./internal/core/
+	$(GO) test -run xxx -bench . -benchtime 1x . ./internal/obs/flight/ ./internal/obs/capture/ ./internal/obs/slo/ ./internal/obs/hostmon/ ./internal/obs/incident/ ./internal/flow/ ./internal/fb/ ./internal/core/
 
 # Measure the pixel-pipeline hot paths (optimized vs slowXxx reference
 # kernels, serial vs parallel encoder) and record the numbers as JSON.
@@ -44,11 +44,12 @@ bench-json:
 	@echo wrote BENCH_hotpath.json
 
 # Steady-state allocation budgets on the hot paths (0 allocs/op for console
-# apply, the warm wire-emit path, and the SLO observe path — disabled AND
-# enabled). Run without -race: the race detector's instrumentation
-# allocates, so these tests skip themselves under it.
+# apply, the warm wire-emit path, the SLO observe path — disabled AND
+# enabled — and the hostmon sample path). Run without -race: the race
+# detector's instrumentation allocates, so these tests skip themselves
+# under it.
 alloc-guard:
-	$(GO) test -run 'ZeroAlloc' -count 1 ./internal/fb/ ./internal/core/ ./internal/obs/slo/
+	$(GO) test -run 'ZeroAlloc' -count 1 ./internal/fb/ ./internal/core/ ./internal/obs/slo/ ./internal/obs/hostmon/
 
 # Regenerate the committed capacity artifact: full LAN + WAN user ramps
 # until the SLO burn knee (~5s of wall time; see internal/capacity).

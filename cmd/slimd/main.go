@@ -11,23 +11,38 @@
 //	slimd -debug :6060             # live metrics + pprof on http://:6060
 //	slimd -capture run.slimcap     # spool every datagram to a wire capture
 //	slimd -slo-target 100ms -slo-budget 0.005   # tighten the latency SLO
+//	slimd -hostmon                 # host runtime telemetry + profiling
+//	slimd -incident-dir incidents  # SLO-triggered incident bundles
+//	slimd -log-level debug -log-json   # structured logging to stderr
 //
-// With -debug, the daemon serves /metrics (Prometheus text), /debug/vars
-// (JSON snapshot, polled by cmd/slimstat), /debug/costmodel (live cost
-// calibration), /debug/slo (the burn-rate SLO engine's health states and
-// breach-blame histograms), and /debug/pprof/ on the given address. The
-// headline metric is slim_input_to_paint_seconds, the paper's §3
-// interactive-latency figure, live per session.
+// With -debug, the daemon serves the debug endpoint on the given address;
+// GET /debug/ for the index of everything mounted there (metrics,
+// /debug/vars, /debug/trace, /debug/costmodel, /debug/slo, /debug/hostmon,
+// /debug/incident, /debug/pprof/). The headline metric is
+// slim_input_to_paint_seconds, the paper's §3 interactive-latency figure,
+// live per session.
 //
 // With -capture, every datagram the transport sends or receives is
 // spooled (timestamped, with payload) to a .slimcap file — see PROTOCOL.md
 // — for offline per-command analysis with slimtrace capture.
+//
+// With -hostmon, the daemon samples runtime/metrics (GC pauses, scheduler
+// latency, heap, goroutines) into slim_runtime_* series, keeps a rotating
+// CPU-profile window, and feeds GC/CPU stall windows to the flight
+// recorder so latency breaches caused by the host are attributed HOST
+// rather than blamed on a pipeline stage.
+//
+// With -incident-dir, transitions of the fleet SLO into DEGRADED or
+// BREACHING write a rate-limited incident bundle (profiles, dumps,
+// capture tail, metric snapshots) under the given directory — summarize
+// with slimtrace incident, or trigger one manually with
+// POST /debug/incident?trigger=reason.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strings"
@@ -78,11 +93,26 @@ func appFactory(name string, fps float64) (slim.AppFactory, bool, error) {
 	}
 }
 
+// newLogger builds the daemon's structured logger from -log-level and
+// -log-json.
+func newLogger(level string, asJSON bool) (*slog.Logger, error) {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("-log-level %q: %w", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	var h slog.Handler
+	if asJSON {
+		h = slog.NewJSONHandler(os.Stderr, opts)
+	} else {
+		h = slog.NewTextHandler(os.Stderr, opts)
+	}
+	return slog.New(h), nil
+}
+
 func main() {
-	log.SetPrefix("slimd: ")
-	log.SetFlags(log.Ltime)
 	addr := flag.String("addr", "127.0.0.1:5499", "UDP address to listen on")
-	debugAddr := flag.String("debug", "", "serve /metrics, /debug/vars and /debug/pprof on this HTTP address")
+	debugAddr := flag.String("debug", "", "serve the debug endpoint (GET /debug/ for the index) on this HTTP address")
 	state := flag.String("state", "", "session state file: loaded at boot, saved at shutdown")
 	app := flag.String("app", "terminal", "session application: terminal|desktop|quake|mpeg2|ntsc")
 	fps := flag.Float64("fps", 24, "video frame rate for video applications")
@@ -96,19 +126,36 @@ func main() {
 		"per-event latency objective the SLO engine evaluates against")
 	sloBudget := flag.Float64("slo-budget", slim.SLO().Budget(),
 		"allowed breach fraction, e.g. 0.01 for 1% of events")
+	hostmonOn := flag.Bool("hostmon", false, "sample host runtime telemetry (slim_runtime_*), profile continuously, and attribute HOST-caused latency breaches")
+	hostmonInterval := flag.Duration("hostmon-interval", 0, "with -hostmon, runtime sampling period (0: the 250ms default)")
+	profileWindow := flag.Duration("profile-window", 0, "with -hostmon, length of each rotating CPU-profile window (0: the 5s default)")
+	incidentDir := flag.String("incident-dir", "", "write SLO-triggered incident bundles under this directory (implies -hostmon)")
+	logLevel := flag.String("log-level", "info", "log verbosity: debug|info|warn|error")
+	logJSON := flag.Bool("log-json", false, "emit logs as JSON lines instead of text")
 	var cards cardFlags
 	flag.Var(&cards, "card", "register a smart card as token=user (repeatable)")
 	flag.Parse()
+
+	logger, err := newLogger(*logLevel, *logJSON)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "slimd:", err)
+		os.Exit(1)
+	}
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
 
 	slim.SetFlightThreshold(*flightThreshold)
 	slim.SetSLOTarget(*sloTarget)
 	slim.SetSLOBudget(*sloBudget)
 	if *flightDir != "" {
 		if err := os.MkdirAll(*flightDir, 0o755); err != nil {
-			log.Fatal(err)
+			fatal("flight dump dir", "err", err)
 		}
 		slim.SetFlightDumpDir(*flightDir)
-		log.Printf("flight-recorder breach dumps (threshold %v) in %s", *flightThreshold, *flightDir)
+		logger.Info("flight-recorder breach dumps on",
+			"threshold", *flightThreshold, "dir", *flightDir)
 	}
 
 	if len(cards) == 0 {
@@ -116,9 +163,9 @@ func main() {
 	}
 	factory, video, err := appFactory(*app, *fps)
 	if err != nil {
-		log.Fatal(err)
+		fatal("bad -app", "err", err)
 	}
-	var opts []slim.ServerOption
+	opts := []slim.ServerOption{slim.WithLogger(logger)}
 	if *flow {
 		opts = append(opts,
 			slim.WithCostModel(slim.SunRay1Costs()),
@@ -128,33 +175,52 @@ func main() {
 	if *capturePath != "" {
 		cf, err := slim.StartCapture(*capturePath)
 		if err != nil {
-			log.Fatal(err)
+			fatal("start capture", "err", err)
 		}
 		defer func() {
 			if err := cf.Close(); err != nil {
-				log.Printf("capture: %v", err)
+				logger.Error("capture close", "err", err)
 			}
 		}()
-		log.Printf("spooling wire capture to %s (decode with: slimtrace capture -i %s)",
-			*capturePath, *capturePath)
+		logger.Info("spooling wire capture",
+			"path", *capturePath, "decode", "slimtrace capture -i "+*capturePath)
+	}
+	if *hostmonOn || *incidentDir != "" {
+		slim.HostMonitor().SetInterval(*hostmonInterval)
+		slim.HostProfiler().SetWindow(*profileWindow)
+		stop := slim.StartHostMonitor()
+		defer stop()
+		logger.Info("host runtime telemetry on",
+			"interval", slim.HostMonitor().Interval(),
+			"profile_window", slim.HostProfiler().Window())
+	}
+	if *incidentDir != "" {
+		if err := os.MkdirAll(*incidentDir, 0o755); err != nil {
+			fatal("incident dir", "err", err)
+		}
+		eng := slim.StartIncidents(*incidentDir)
+		defer eng.Close()
+		logger.Info("incident bundles on",
+			"dir", *incidentDir, "summarize", "slimtrace incident -dir "+*incidentDir)
 	}
 	srv, err := slim.ListenAndServe(*addr, factory, opts...)
 	if err != nil {
-		log.Fatal(err)
+		fatal("listen", "addr", *addr, "err", err)
 	}
 	if *flow {
-		log.Printf("flow control on: sessions pace to console bandwidth grants")
+		logger.Info("flow control on: sessions pace to console bandwidth grants")
 	}
 	defer srv.Close()
 	if *debugAddr != "" {
 		dbg, err := slim.ServeDebug(*debugAddr)
 		if err != nil {
-			log.Fatal(err)
+			fatal("debug endpoint", "addr", *debugAddr, "err", err)
 		}
 		defer dbg.Close()
-		log.Printf("debug endpoint on http://%s (/metrics, /debug/vars, /debug/trace, /debug/slo, /debug/pprof)", *debugAddr)
-		log.Printf("latency SLO: %v at %.2f%% budget (watch /debug/slo)",
-			*sloTarget, *sloBudget*100)
+		logger.Info("debug endpoint up",
+			"url", "http://"+*debugAddr+"/debug/")
+		logger.Info("latency SLO",
+			"target", *sloTarget, "budget_pct", *sloBudget*100, "watch", "/debug/slo")
 	}
 	if video {
 		srv.StartTicker(*fps * 2) // tick faster than the frame rate
@@ -164,37 +230,37 @@ func main() {
 			loadErr := srv.Server.LoadSessions(f)
 			f.Close()
 			if loadErr != nil {
-				log.Fatalf("load %s: %v", *state, loadErr)
+				fatal("load state", "path", *state, "err", loadErr)
 			}
-			log.Printf("restored sessions from %s", *state)
+			logger.Info("restored sessions", "path", *state)
 		} else if !os.IsNotExist(err) {
-			log.Fatal(err)
+			fatal("open state", "path", *state, "err", err)
 		}
 	}
 	for _, c := range cards {
 		parts := strings.SplitN(c, "=", 2)
 		srv.Server.Auth.Register(parts[0], parts[1])
-		log.Printf("registered card %q for user %q", parts[0], parts[1])
+		logger.Info("registered card", "token", parts[0], "user", parts[1])
 	}
-	log.Printf("serving SLIM sessions on %s", srv.Addr())
+	logger.Info("serving SLIM sessions", "addr", srv.Addr(), "app", *app)
 
-	log.Printf("sessions run the %q application", *app)
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
-	<-sig
+	s := <-sig
+	logger.Info("shutting down", "signal", s.String())
 	if *state != "" {
 		f, err := os.Create(*state)
 		if err != nil {
-			log.Fatal(err)
+			fatal("create state", "path", *state, "err", err)
 		}
 		if err := srv.Server.SaveSessions(f); err != nil {
-			log.Fatal(err)
+			fatal("save sessions", "err", err)
 		}
 		if err := f.Close(); err != nil {
-			log.Fatal(err)
+			fatal("close state", "err", err)
 		}
-		log.Printf("sessions saved to %s; they resume on the next start", *state)
+		logger.Info("sessions saved; they resume on the next start", "path", *state)
 		return
 	}
-	log.Print("shutting down; sessions persist only in this process")
+	logger.Info("sessions persist only in this process")
 }

@@ -13,6 +13,8 @@
 //	slimtrace blame -i flight-sess1-1.json -reattribute
 //	slimtrace capture -i run.slimcap                # per-command wire tables
 //	slimtrace capture -i run.slimcap -perfetto wire.json -o run.trace
+//	slimtrace incident -dir ./incidents             # list incident bundles
+//	slimtrace incident -i incidents/incident-...    # summarize one bundle
 //
 // The flight subcommand reads a flight-recorder breach dump (written by a
 // server whose input-to-paint latency crossed the breach threshold, see
@@ -38,6 +40,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -49,6 +52,8 @@ import (
 	"slim/internal/netsim"
 	"slim/internal/obs/capture"
 	"slim/internal/obs/flight"
+	"slim/internal/obs/hostmon"
+	"slim/internal/obs/incident"
 	"slim/internal/stats"
 	"slim/internal/trace"
 	"slim/internal/workload"
@@ -70,6 +75,7 @@ subcommands:
   flight   inspect a flight-recorder breach dump
   blame    aggregate breach dumps into a per-stage attribution table
   capture  decode a .slimcap wire capture into per-command tables
+  incident list or summarize incident bundles (slimd -incident-dir)
 
 run 'slimtrace <subcommand> -h' for flags
 `)
@@ -97,6 +103,8 @@ func main() {
 		blameCmd(os.Args[2:])
 	case "capture":
 		captureCmd(os.Args[2:])
+	case "incident":
+		incidentCmd(os.Args[2:])
 	case "-h", "--help", "help":
 		usage("")
 	default:
@@ -456,7 +464,8 @@ func blameCmd(args []string) {
 
 // reattribute re-walks a dump's events: the chain comes from the stamped
 // verdict (or the last INPUT in the window), the as-of time from the
-// BREACH marker (or the newest event).
+// BREACH marker (or the newest event). Host stall windows recorded in the
+// dump re-enter the verdict, so HOST attribution survives offline replay.
 func reattribute(d *flight.Dump) flight.Verdict {
 	var chain, lastInput uint64
 	if d.Verdict != nil {
@@ -479,7 +488,129 @@ func reattribute(d *flight.Dump) flight.Verdict {
 	if chain == 0 {
 		chain = lastInput
 	}
-	return flight.Attribute(d.Events, chain, asOf)
+	return flight.AttributeWithHost(d.Events, chain, asOf, d.HostWindows)
+}
+
+// incidentCmd lists a bundle directory (-dir) or summarizes one bundle
+// (-i): the manifest, the collected files, the host state at capture, the
+// top CPU consumers from the bundled profile window, and the verdicts of
+// the bundled flight dumps.
+func incidentCmd(args []string) {
+	fs := flag.NewFlagSet("incident", flag.ExitOnError)
+	dir := fs.String("dir", "", "incident-bundle directory (slimd -incident-dir) to list")
+	in := fs.String("i", "", "one bundle directory (incident-*) to summarize")
+	mustParse(fs, args)
+	if (*in == "") == (*dir == "") {
+		log.Fatal("incident: exactly one of -i or -dir is required")
+	}
+	if *dir != "" {
+		bundles, err := incident.List(*dir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(bundles) == 0 {
+			fmt.Printf("no incident bundles in %s\n", *dir)
+			return
+		}
+		fmt.Printf("%-44s %-20s %-8s %-6s %s\n", "BUNDLE", "CREATED", "TRIGGER", "FILES", "REASON")
+		for _, m := range bundles {
+			fmt.Printf("%-44s %-20s %-8s %-6d %s\n", m.Name,
+				m.CreatedAt.UTC().Format("2006-01-02T15:04:05Z"), m.Trigger,
+				len(m.Files), m.Reason)
+		}
+		return
+	}
+
+	m, err := incident.ReadManifest(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bundle %s (v%d)\n", m.Name, m.Version)
+	fmt.Printf("  trigger: %s (%s), created %s\n", m.Reason, m.Trigger,
+		m.CreatedAt.UTC().Format(time.RFC3339))
+	names := make([]string, 0, len(m.Files))
+	for n := range m.Files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Printf("  files (%d):\n", len(names))
+	for _, n := range names {
+		fmt.Printf("    %-28s %10d bytes\n", n, m.Files[n])
+	}
+	if len(m.Errors) > 0 {
+		fmt.Printf("  collector errors (%d):\n", len(m.Errors))
+		errNames := make([]string, 0, len(m.Errors))
+		for n := range m.Errors {
+			errNames = append(errNames, n)
+		}
+		sort.Strings(errNames)
+		for _, n := range errNames {
+			fmt.Printf("    %-28s %s\n", n, m.Errors[n])
+		}
+	}
+
+	// Host state at capture time.
+	if raw, err := os.ReadFile(filepath.Join(*in, "hostmon.json")); err == nil {
+		var st hostmon.Status
+		if err := json.Unmarshal(raw, &st); err == nil {
+			fmt.Printf("  host at capture: heap %.1f MiB, %d goroutines, worst GC pause %v, tick lag %v\n",
+				float64(st.Last.HeapBytes)/(1<<20), st.Last.Goroutines,
+				time.Duration(st.Last.WorstGCPause).Round(time.Microsecond),
+				time.Duration(st.Last.TickLag).Round(time.Microsecond))
+			if len(st.Windows) > 0 {
+				fmt.Printf("  live stall windows: %d\n", len(st.Windows))
+			}
+		}
+	}
+
+	// Top CPU consumers from the bundled profile window.
+	if raw, err := os.ReadFile(filepath.Join(*in, "cpu.pprof")); err == nil {
+		if self, err := hostmon.SelfTimeByPkg(raw); err == nil && len(self) > 0 {
+			type ps struct {
+				pkg string
+				ns  int64
+			}
+			tops := make([]ps, 0, len(self))
+			for p, ns := range self {
+				tops = append(tops, ps{p, ns})
+			}
+			sort.Slice(tops, func(i, j int) bool { return tops[i].ns > tops[j].ns })
+			if len(tops) > 8 {
+				tops = tops[:8]
+			}
+			fmt.Println("  top self-time by package (bundled profile window):")
+			for _, t := range tops {
+				fmt.Printf("    %-40s %v\n", t.pkg, time.Duration(t.ns).Round(time.Millisecond))
+			}
+		}
+	}
+
+	// Verdicts of the bundled flight dumps.
+	dumps, _ := filepath.Glob(filepath.Join(*in, "flight", "flight-sess*.json"))
+	if len(dumps) > 0 {
+		sort.Strings(dumps)
+		var table flight.BlameTable
+		for _, path := range dumps {
+			f, err := os.Open(path)
+			if err != nil {
+				continue
+			}
+			d, err := flight.ReadDump(f)
+			f.Close()
+			if err != nil {
+				continue
+			}
+			if d.Verdict != nil {
+				table.Add(d)
+			} else {
+				table.AddVerdict(reattribute(d), d.LatencyNs)
+			}
+		}
+		fmt.Printf("  bundled flight dumps (%d):\n", len(dumps))
+		if err := table.Format(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
 }
 
 func mustParse(fs *flag.FlagSet, args []string) {

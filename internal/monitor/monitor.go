@@ -57,6 +57,15 @@ type Line struct {
 	SLOEvents int64
 	SLOState  int64
 	SLOBurn   [3]float64
+	// HostSamples is the cumulative slim_runtime_samples_total count — 0
+	// means no host monitor is running and the host column is hidden.
+	// Goroutines and WorstGCPause come from the monitor's latest tick.
+	HostSamples  int64
+	Goroutines   int64
+	WorstGCPause time.Duration
+	// Incidents is the cumulative incident-bundle count
+	// (slim_incident_bundles_total); shown once the first bundle lands.
+	Incidents int64
 	// Interval is the window the deltas cover.
 	Interval time.Duration
 }
@@ -134,6 +143,10 @@ func Summarize(prev, cur map[string]obs.Snapshot, interval time.Duration, now ti
 	for i, role := range [...]string{"short", "mid", "long"} {
 		l.SLOBurn[i] = float64(c.Gauges[`slim_slo_burn_milli{window="`+role+`"}`]) / 1000
 	}
+	l.HostSamples = c.Counters["slim_runtime_samples_total"]
+	l.Goroutines = c.Gauges["slim_runtime_goroutines"]
+	l.WorstGCPause = time.Duration(c.Gauges["slim_runtime_gc_pause_worst_ns"])
+	l.Incidents = c.Counters["slim_incident_bundles_total"]
 	return l
 }
 
@@ -189,6 +202,15 @@ func (l Line) Format(now time.Time) string {
 		if l.SLOState > 0 {
 			s += fmt.Sprintf(" burn %.1f/%.1f/%.1f", l.SLOBurn[0], l.SLOBurn[1], l.SLOBurn[2])
 		}
+	}
+	if l.HostSamples > 0 {
+		s += fmt.Sprintf(" | host %dg", l.Goroutines)
+		if l.WorstGCPause > 0 {
+			s += fmt.Sprintf(" gc %s", FormatMs(l.WorstGCPause.Seconds()))
+		}
+	}
+	if l.Incidents > 0 {
+		s += fmt.Sprintf(" | incidents %d", l.Incidents)
 	}
 	return s
 }

@@ -255,3 +255,49 @@ func TestSummarizeSLOColumns(t *testing.T) {
 		t.Errorf("idle line mentions slo: %q", line)
 	}
 }
+
+// TestSummarizeHostColumns: the host column appears once the runtime
+// monitor samples, showing goroutines and the worst GC pause; the
+// incident column appears once the first bundle is written.
+func TestSummarizeHostColumns(t *testing.T) {
+	p, c := snapPair(func(prev, cur *obs.Registry) {
+		cur.Counter("slim_runtime_samples_total").Add(40)
+		cur.Gauge("slim_runtime_goroutines").Set(23)
+		cur.Gauge("slim_runtime_gc_pause_worst_ns").Set(int64(3200 * time.Microsecond))
+		cur.Counter("slim_incident_bundles_total").Add(2)
+	})
+	l := Summarize(p, c, time.Second, time.UnixMilli(0))
+	if l.HostSamples != 40 || l.Goroutines != 23 {
+		t.Fatalf("host fields = %+v", l)
+	}
+	if l.WorstGCPause != 3200*time.Microsecond {
+		t.Fatalf("WorstGCPause = %v", l.WorstGCPause)
+	}
+	if l.Incidents != 2 {
+		t.Fatalf("Incidents = %d", l.Incidents)
+	}
+	line := l.Format(time.UnixMilli(0))
+	if !strings.Contains(line, "host 23g gc 3.20ms") {
+		t.Errorf("line missing host column: %q", line)
+	}
+	if !strings.Contains(line, "incidents 2") {
+		t.Errorf("line missing incident column: %q", line)
+	}
+
+	// Sampling but no GC pause yet: the gc fragment is dropped.
+	p, c = snapPair(func(prev, cur *obs.Registry) {
+		cur.Counter("slim_runtime_samples_total").Add(1)
+		cur.Gauge("slim_runtime_goroutines").Set(9)
+	})
+	line = Summarize(p, c, time.Second, time.UnixMilli(0)).Format(time.UnixMilli(0))
+	if !strings.Contains(line, "host 9g") || strings.Contains(line, "gc ") {
+		t.Errorf("quiet-GC line = %q", line)
+	}
+
+	// No monitor: no host or incident columns at all.
+	p, c = snapPair(func(prev, cur *obs.Registry) {})
+	line = Summarize(p, c, time.Second, time.UnixMilli(0)).Format(time.UnixMilli(0))
+	if strings.Contains(line, "host ") || strings.Contains(line, "incidents") {
+		t.Errorf("idle line grew host columns: %q", line)
+	}
+}

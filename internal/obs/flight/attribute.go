@@ -33,9 +33,16 @@ const (
 	// StagePaint: decode finished promptly but the frame-buffer apply
 	// lagged.
 	StagePaint
+	// StageHost: the time went to the host runtime, not the pipeline — the
+	// breach's critical chain overlapped a recorded GC pause or
+	// CPU-starvation window (see HostWindow) that explains the stall better
+	// than any pipeline stage does. Without this verdict a stop-the-world
+	// pause shows up as an inflated QUEUE or DECODE and an innocent stage
+	// takes the blame.
+	StageHost
 
 	// NumStages sizes per-stage accounting arrays.
-	NumStages = int(StagePaint) + 1
+	NumStages = int(StageHost) + 1
 )
 
 var stageNames = [NumStages]string{
@@ -45,6 +52,7 @@ var stageNames = [NumStages]string{
 	StageWire:         "WIRE",
 	StageDecode:       "DECODE",
 	StagePaint:        "PAINT",
+	StageHost:         "HOST",
 }
 
 // String names the stage.
@@ -82,6 +90,44 @@ func (s *Stage) UnmarshalJSON(b []byte) error {
 	return nil
 }
 
+// HostWindow is one interval during which the host runtime was unable to
+// run goroutines promptly: a garbage-collection pause or a CPU-starvation
+// episode, as detected by the hostmon sampler. Timestamps are in the same
+// clock as the flight ring's events (for the default wall recorder:
+// monotonic time since the recorder's epoch), so attribution can overlap
+// them directly against a breach's causal chain.
+type HostWindow struct {
+	// Start and End bound the window in ring time. An in-progress window
+	// ends at the detector's last sample.
+	Start time.Duration `json:"start_ns"`
+	End   time.Duration `json:"end_ns"`
+	// Kind is "gc" for a garbage-collection pause window, "cpu" for a
+	// CPU-starvation (scheduler latency) window.
+	Kind string `json:"kind"`
+	// WorstNs is the worst single pause or scheduling latency observed
+	// inside the window, in nanoseconds.
+	WorstNs int64 `json:"worst_ns,omitempty"`
+}
+
+// Duration is the window's length.
+func (w HostWindow) Duration() time.Duration { return w.End - w.Start }
+
+// overlap is the length of the intersection of [w.Start, w.End] with
+// [from, to], zero when disjoint.
+func (w HostWindow) overlap(from, to time.Duration) time.Duration {
+	lo, hi := w.Start, w.End
+	if from > lo {
+		lo = from
+	}
+	if to < hi {
+		hi = to
+	}
+	if hi <= lo {
+		return 0
+	}
+	return hi - lo
+}
+
 // Verdict is one breach's automated attribution: the dominant stage plus
 // the per-stage time split along the critical command's path. A verdict is
 // computed by walking the causal chain (INPUT → ENCODE → TXQ → TX → RX →
@@ -101,6 +147,12 @@ type Verdict struct {
 	// Loss reports wire-loss evidence on the critical path: a DROP, a NACK
 	// covering the sequence, or more than one TX (a retransmit).
 	Loss bool `json:"loss,omitempty"`
+	// HostNs is the total overlap between the chain's lifetime and the
+	// recorded host windows; HostKind names the overlapping evidence ("gc",
+	// "cpu", or "gc+cpu"). Both are recorded whenever any overlap exists,
+	// even when a pipeline stage still dominates.
+	HostNs   int64  `json:"host_ns,omitempty"`
+	HostKind string `json:"host_kind,omitempty"`
 	// Seqs is how many display commands the chain encoded; Painted is how
 	// many of them the console had painted by the time of the walk.
 	Seqs    int `json:"seqs,omitempty"`
@@ -120,6 +172,8 @@ func (v *Verdict) StageDuration(s Stage) time.Duration {
 		return time.Duration(v.DecodeNs)
 	case StagePaint:
 		return time.Duration(v.PaintNs)
+	case StageHost:
+		return time.Duration(v.HostNs)
 	}
 	return 0
 }
@@ -147,6 +201,17 @@ type seqPath struct {
 // encoded — has already been overwritten, the verdict is UNATTRIBUTED
 // rather than a guess from partial evidence.
 func Attribute(evs []Event, chain uint64, asOf time.Duration) Verdict {
+	return AttributeWithHost(evs, chain, asOf, nil)
+}
+
+// AttributeWithHost is Attribute with host-runtime evidence: hostWins are
+// the GC-pause and CPU-starvation windows recorded around the breach (ring
+// clock). When the chain's lifetime overlaps them for at least as long as
+// the dominant pipeline stage ran, the verdict is HOST — the stall is
+// explained by the host runtime, and whatever stage the time landed in was
+// a victim, not a cause. Smaller overlaps are kept as evidence (HostNs,
+// HostKind) without changing the blame.
+func AttributeWithHost(evs []Event, chain uint64, asOf time.Duration, hostWins []HostWindow) Verdict {
 	v := Verdict{Chain: chain, Stage: StageUnattributed}
 	if chain == 0 {
 		return v
@@ -285,6 +350,35 @@ func Attribute(evs []Event, chain uint64, asOf time.Duration) Verdict {
 	for _, st := range []Stage{StageQueue, StageWire, StageDecode, StagePaint} {
 		if v.StageDuration(st) > v.StageDuration(v.Stage) {
 			v.Stage = st
+		}
+	}
+	// Host evidence: overlap every recorded GC/CPU window against the
+	// chain's lifetime [input, done]. The windows come from a sampler, so
+	// adjacent windows of the same kind never overlap each other; summing
+	// per kind and taking the larger kind as the host total avoids double
+	// counting an interval flagged as both gc and cpu.
+	var gcNs, cpuNs int64
+	for _, w := range hostWins {
+		o := int64(w.overlap(inputT, crit.done))
+		switch w.Kind {
+		case "gc":
+			gcNs += o
+		default:
+			cpuNs += o
+		}
+	}
+	if gcNs > 0 || cpuNs > 0 {
+		v.HostNs = max(gcNs, cpuNs)
+		switch {
+		case gcNs > 0 && cpuNs > 0:
+			v.HostKind = "gc+cpu"
+		case gcNs > 0:
+			v.HostKind = "gc"
+		default:
+			v.HostKind = "cpu"
+		}
+		if v.HostNs >= int64(v.StageDuration(v.Stage)) {
+			v.Stage = StageHost
 		}
 	}
 	return v

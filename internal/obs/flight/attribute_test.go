@@ -1,6 +1,7 @@
 package flight
 
 import (
+	"os"
 	"strings"
 	"testing"
 	"time"
@@ -161,6 +162,120 @@ func TestAttributeTruncatedRing(t *testing.T) {
 	}
 	if br.Verdict.Stage != StageUnattributed {
 		t.Fatalf("truncated ring attributed to %v, want UNATTRIBUTED", br.Verdict.Stage)
+	}
+}
+
+// TestAttributeHost covers the HOST verdict: a chain whose lifetime is
+// covered by a recorded GC or CPU-starvation window is blamed on the host
+// runtime, not on whichever pipeline stage the stall happened to inflate.
+func TestAttributeHost(t *testing.T) {
+	const chain = 21
+	// The command sat "in the wire" for 180 ms — but the whole interval was
+	// a CPU-starvation episode on this host, so WIRE was a victim.
+	evs := []Event{
+		{T: ms(0), Kind: EvInput, Cause: chain},
+		{T: ms(1), Kind: EvEncode, Seq: 5, Cause: chain},
+		{T: ms(2), Kind: EvTx, Seq: 5, Cause: chain},
+		{T: ms(182), Kind: EvRx, Seq: 5, Cause: chain},
+		{T: ms(183), Kind: EvPaint, Seq: 5, Cause: chain},
+	}
+	wins := []HostWindow{{Start: ms(0), End: ms(185), Kind: "cpu", WorstNs: int64(ms(90))}}
+	v := AttributeWithHost(evs, chain, ms(183), wins)
+	if v.Stage != StageHost {
+		t.Fatalf("stage = %v, want HOST (verdict %+v)", v.Stage, v)
+	}
+	if v.HostKind != "cpu" {
+		t.Errorf("host kind = %q, want cpu", v.HostKind)
+	}
+	if got, want := v.HostNs, int64(183*time.Millisecond); got != want {
+		t.Errorf("host overlap = %v, want %v", time.Duration(got), time.Duration(want))
+	}
+
+	// A short GC pause inside a long genuine wire stall stays WIRE — but
+	// the overlap is kept as evidence.
+	wins = []HostWindow{{Start: ms(10), End: ms(40), Kind: "gc", WorstNs: int64(ms(25))}}
+	v = AttributeWithHost(evs, chain, ms(183), wins)
+	if v.Stage != StageWire {
+		t.Fatalf("stage = %v, want WIRE for a minor pause (verdict %+v)", v.Stage, v)
+	}
+	if v.HostNs != int64(30*time.Millisecond) || v.HostKind != "gc" {
+		t.Errorf("host evidence = %v/%q, want 30ms/gc", time.Duration(v.HostNs), v.HostKind)
+	}
+
+	// Windows of both kinds covering the chain report combined evidence;
+	// HostNs is the max per-kind overlap (the kinds often flag the same
+	// wall-clock interval, so summing them would double-count).
+	wins = []HostWindow{
+		{Start: ms(0), End: ms(185), Kind: "gc"},
+		{Start: ms(0), End: ms(185), Kind: "cpu"},
+	}
+	v = AttributeWithHost(evs, chain, ms(183), wins)
+	if v.Stage != StageHost || v.HostKind != "gc+cpu" {
+		t.Errorf("combined evidence: stage=%v kind=%q, want HOST/gc+cpu", v.Stage, v.HostKind)
+	}
+
+	// Disjoint windows leave the verdict untouched.
+	wins = []HostWindow{{Start: ms(300), End: ms(400), Kind: "gc"}}
+	v = AttributeWithHost(evs, chain, ms(183), wins)
+	if v.Stage != StageWire || v.HostNs != 0 || v.HostKind != "" {
+		t.Errorf("disjoint window polluted verdict %+v", v)
+	}
+}
+
+// TestCheckBreachHostEvidence wires host evidence into a live recorder and
+// asserts the breach path consumes it: the verdict comes back HOST and the
+// dump carries the windows for offline reattribution.
+func TestCheckBreachHostEvidence(t *testing.T) {
+	reg := obs.NewRegistry(obs.DomainWall)
+	rec := New(obs.DomainWall).Instrument(reg)
+	rec.SetThreshold(50 * time.Millisecond)
+	rec.SetDumpGap(0)
+	dir := t.TempDir()
+	rec.SetDumpDir(dir)
+	l := rec.Session(1)
+
+	l.Input(protocol.TypeKey, 'x')
+	l.Encode(9, protocol.TypeBitmap, 100, 64)
+	l.Tx(9, protocol.TypeBitmap, 100)
+	time.Sleep(20 * time.Millisecond)
+	l.Rx(9, protocol.TypeBitmap, 100)
+	l.Paint(9, protocol.TypeBitmap)
+
+	// The monitor saw the whole run as one starvation episode.
+	rec.SetHostEvidence(func(asOf time.Duration) []HostWindow {
+		return []HostWindow{{Start: 0, End: asOf, Kind: "cpu", WorstNs: int64(20 * time.Millisecond)}}
+	})
+	br, breached := rec.CheckBreach(1, 200*time.Millisecond)
+	if !breached {
+		t.Fatal("breach not detected")
+	}
+	if br.Verdict.Stage != StageHost {
+		t.Fatalf("stage = %v, want HOST (verdict %+v)", br.Verdict.Stage, br.Verdict)
+	}
+	if br.Path == "" {
+		t.Fatal("no dump written")
+	}
+	f, err := os.Open(br.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := ReadDump(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.HostWindows) != 1 || d.HostWindows[0].Kind != "cpu" {
+		t.Fatalf("dump host windows = %+v, want the cpu window", d.HostWindows)
+	}
+	if d.Verdict == nil || d.Verdict.Stage != StageHost {
+		t.Fatalf("dump verdict = %+v, want HOST", d.Verdict)
+	}
+
+	// Unwiring the evidence reverts to pipeline-only attribution.
+	rec.SetHostEvidence(nil)
+	br, _ = rec.CheckBreach(1, 200*time.Millisecond)
+	if br.Verdict.Stage == StageHost {
+		t.Error("HOST verdict without wired evidence")
 	}
 }
 

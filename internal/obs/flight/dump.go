@@ -33,6 +33,11 @@ type Dump struct {
 	// latency stage along the breaching chain's critical command (see
 	// Attribute). Nil in dumps from recorders that predate attribution.
 	Verdict *Verdict `json:"verdict,omitempty"`
+	// HostWindows are the host-runtime stall windows (GC pauses, CPU
+	// starvation) known at capture time — the evidence behind a HOST
+	// verdict, kept so `slimtrace blame -reattribute` can re-run host
+	// attribution offline. Empty when no host monitor was wired.
+	HostWindows []HostWindow `json:"host_windows,omitempty"`
 	// Events is the causal event log, oldest first.
 	Events []Event `json:"events"`
 }
@@ -96,6 +101,7 @@ func (r *Recorder) checkBreach(id uint32, chain uint64, latency, now time.Durati
 	r.mu.RLock()
 	l := r.sessions[id]
 	dir := r.dumpDir
+	hostFn := r.hostFn
 	r.mu.RUnlock()
 	if l == nil {
 		return Breach{}, false
@@ -114,7 +120,11 @@ func (r *Recorder) checkBreach(id uint32, chain uint64, latency, now time.Durati
 	}
 	window := time.Duration(r.windowNs.Load())
 	evs := l.Events(window)
-	br := Breach{Verdict: Attribute(evs, chain, now)}
+	var hostWins []HostWindow
+	if hostFn != nil {
+		hostWins = hostFn(now)
+	}
+	br := Breach{Verdict: AttributeWithHost(evs, chain, now, hostWins)}
 	if dir == "" {
 		return br, true
 	}
@@ -137,6 +147,7 @@ func (r *Recorder) checkBreach(id uint32, chain uint64, latency, now time.Durati
 		WindowNs:    int64(window),
 		CapturedAt:  time.Now(),
 		Verdict:     &verdict,
+		HostWindows: hostWins,
 		Events:      evs,
 	}
 	path := filepath.Join(dir, fmt.Sprintf("flight-sess%d-%d.json", id, n))

@@ -92,16 +92,16 @@ const (
 )
 
 var kindNames = [...]string{
-	EvInput:  "INPUT",
-	EvOp:     "OP",
-	EvEncode: "ENCODE",
-	EvTx:     "TX",
-	EvRx:     "RX",
-	EvDecode: "DECODE",
-	EvPaint:  "PAINT",
-	EvStatus: "STATUS",
-	EvNack:   "NACK",
-	EvDrop:   "DROP",
+	EvInput:     "INPUT",
+	EvOp:        "OP",
+	EvEncode:    "ENCODE",
+	EvTx:        "TX",
+	EvRx:        "RX",
+	EvDecode:    "DECODE",
+	EvPaint:     "PAINT",
+	EvStatus:    "STATUS",
+	EvNack:      "NACK",
+	EvDrop:      "DROP",
 	EvLinkTx:    "LINK_TX",
 	EvBreach:    "BREACH",
 	EvTxQueue:   "TXQ",
@@ -401,6 +401,10 @@ type Recorder struct {
 	mu       sync.RWMutex
 	sessions map[uint32]*SessionLog
 	dumpDir  string
+	// hostFn supplies host-runtime evidence (GC pause and CPU-starvation
+	// windows in ring time) to breach attribution; nil means no host
+	// monitor is wired and verdicts never blame HOST.
+	hostFn func(asOf time.Duration) []HostWindow
 
 	// Breach accounting, mirrored into an obs registry by Instrument so
 	// scrapers (cmd/slimstat) see degradation without reading dumps.
@@ -504,6 +508,29 @@ func (r *Recorder) DumpDir() string {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	return r.dumpDir
+}
+
+// SetHostEvidence wires a host-runtime monitor into breach attribution: fn
+// is called on each breach with the detection time and must return the
+// recent GC-pause and CPU-starvation windows in the ring's clock (see
+// Clock). With evidence wired, a breach whose causal chain overlaps a host
+// window gets a HOST verdict instead of blaming an innocent pipeline
+// stage. Nil unwires.
+func (r *Recorder) SetHostEvidence(fn func(asOf time.Duration) []HostWindow) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.hostFn = fn
+}
+
+// Clock reports the recorder's current ring time: monotonic time since the
+// epoch for wall-domain recorders, the virtual clock for sim-domain ones
+// (negative if never advanced). Host monitors stamp their windows with it
+// so attribution can overlap them against ring events directly.
+func (r *Recorder) Clock() time.Duration {
+	if r.domain == obs.DomainWall {
+		return time.Since(r.epoch)
+	}
+	return time.Duration(r.nowNs.Load())
 }
 
 // Session returns the session's log, creating the ring on first use.

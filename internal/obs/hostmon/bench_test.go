@@ -1,0 +1,64 @@
+package hostmon
+
+import (
+	"testing"
+	"time"
+
+	"slim/internal/obs"
+)
+
+// BenchmarkSampleNow is the steady-state sample path: one runtime/metrics
+// read, series publication, ring append, stall detection. Alloc-guard
+// pins it at 0 allocs/op.
+func BenchmarkSampleNow(b *testing.B) {
+	clk := &testClock{}
+	m := New(Config{Interval: 100 * time.Millisecond, Clock: clk.now}).
+		Instrument(obs.NewRegistry(obs.DomainWall))
+	var now time.Duration
+	for i := 0; i < 3; i++ { // size the metrics buffers
+		now += 100 * time.Millisecond
+		clk.set(now)
+		m.SampleNow()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now += 100 * time.Millisecond
+		clk.set(now)
+		m.SampleNow()
+	}
+}
+
+// BenchmarkWindows is the flight recorder's host-evidence fetch — the
+// per-breach cost of HOST attribution.
+func BenchmarkWindows(b *testing.B) {
+	clk := &testClock{}
+	m := New(Config{Interval: 100 * time.Millisecond, Clock: clk.now})
+	m.SampleNow()
+	var now time.Duration
+	for i := 0; i < 40; i++ { // populate some stall windows
+		now += 300 * time.Millisecond
+		clk.set(now)
+		m.SampleNow()
+		now += 100 * time.Millisecond
+		clk.set(now)
+		m.SampleNow()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Windows(now)
+	}
+}
+
+// BenchmarkSelfTimeByPkg is the per-profile-window parse cost.
+func BenchmarkSelfTimeByPkg(b *testing.B) {
+	data := buildProfile()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SelfTimeByPkg(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,256 @@
+package hostmon
+
+import (
+	"compress/gzip"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Minimal pprof profile.proto reader. runtime/pprof emits gzipped
+// protobuf; we need exactly one aggregate out of it — self time by
+// package — so instead of vendoring a protobuf stack we walk the wire
+// format by hand. Field numbers from profile.proto:
+//
+//	Profile:  sample_type=1  sample=2  location=4  function=5
+//	          string_table=6  period=12
+//	Sample:   location_id=1 (repeated uint64)  value=2 (repeated int64)
+//	Location: id=1  line=4 (repeated Line)
+//	Line:     function_id=1
+//	Function: id=1  name=2 (string-table index)
+//
+// Self time is attributed to each sample's leaf location (first entry in
+// location_id, by pprof convention), resolved leaf-inward through Line
+// to a function name, then truncated to its package path.
+
+var errPprof = errors.New("hostmon: malformed pprof data")
+
+// uvarint decodes one varint at data[i:], returning the value and the
+// next offset (-1 on truncation).
+func uvarint(data []byte, i int) (uint64, int) {
+	var v uint64
+	var shift uint
+	for ; i < len(data); i++ {
+		b := data[i]
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return v, i + 1
+		}
+		shift += 7
+		if shift >= 64 {
+			return 0, -1
+		}
+	}
+	return 0, -1
+}
+
+// field decodes one protobuf field at data[i:]: field number, wire type,
+// the field payload (varint value or length-delimited bytes), and the
+// next offset (-1 on any malformation). Wire types 0 (varint), 1 (i64),
+// 2 (bytes), and 5 (i32) cover everything profile.proto emits.
+func field(data []byte, i int) (num int, wire int, val uint64, body []byte, next int) {
+	key, i := uvarint(data, i)
+	if i < 0 {
+		return 0, 0, 0, nil, -1
+	}
+	num = int(key >> 3)
+	wire = int(key & 7)
+	switch wire {
+	case 0:
+		val, i = uvarint(data, i)
+		return num, wire, val, nil, i
+	case 1:
+		if i+8 > len(data) {
+			return 0, 0, 0, nil, -1
+		}
+		return num, wire, 0, nil, i + 8
+	case 2:
+		n, i := uvarint(data, i)
+		if i < 0 || uint64(len(data)-i) < n {
+			return 0, 0, 0, nil, -1
+		}
+		return num, wire, 0, data[i : i+int(n)], i + int(n)
+	case 5:
+		if i+4 > len(data) {
+			return 0, 0, 0, nil, -1
+		}
+		return num, wire, 0, nil, i + 4
+	}
+	return 0, 0, 0, nil, -1
+}
+
+// packedOrOne appends the values of a repeated numeric field: wire type
+// 2 is the packed encoding, wire type 0 a single element.
+func packedOrOne(dst []uint64, wire int, val uint64, body []byte) ([]uint64, error) {
+	if wire == 0 {
+		return append(dst, val), nil
+	}
+	for i := 0; i < len(body); {
+		v, n := uvarint(body, i)
+		if n < 0 {
+			return dst, errPprof
+		}
+		dst = append(dst, v)
+		i = n
+	}
+	return dst, nil
+}
+
+// SelfTimeByPkg parses a (possibly gzipped) pprof CPU profile and
+// returns self time in nanoseconds keyed by package path. The CPU value
+// is the sample's second value when present (samples×period otherwise,
+// per the sample_type convention).
+func SelfTimeByPkg(data []byte) (map[string]int64, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("%w: empty profile", errPprof)
+	}
+	if len(data) >= 2 && data[0] == 0x1f && data[1] == 0x8b {
+		zr, err := gzip.NewReader(strings.NewReader(string(data)))
+		if err != nil {
+			return nil, fmt.Errorf("hostmon: pprof gunzip: %w", err)
+		}
+		raw, err := io.ReadAll(zr)
+		if err != nil {
+			return nil, fmt.Errorf("hostmon: pprof gunzip: %w", err)
+		}
+		data = raw
+	}
+
+	var strTab []string
+	fnName := map[uint64]uint64{} // function id → name string index
+	locFn := map[uint64]uint64{}  // location id → leaf function id
+	type sample struct {
+		leafLoc uint64
+		cpuNs   int64
+		count   int64
+	}
+	var samples []sample
+	var period uint64
+
+	for i := 0; i < len(data); {
+		num, _, val, body, next := field(data, i)
+		if next < 0 {
+			return nil, errPprof
+		}
+		i = next
+		switch num {
+		case 2: // Sample
+			var locs, vals []uint64
+			for j := 0; j < len(body); {
+				n2, w2, v2, b2, nx := field(body, j)
+				if nx < 0 {
+					return nil, errPprof
+				}
+				j = nx
+				var err error
+				switch n2 {
+				case 1:
+					if locs, err = packedOrOne(locs, w2, v2, b2); err != nil {
+						return nil, err
+					}
+				case 2:
+					if vals, err = packedOrOne(vals, w2, v2, b2); err != nil {
+						return nil, err
+					}
+				}
+			}
+			if len(locs) == 0 {
+				continue
+			}
+			s := sample{leafLoc: locs[0]}
+			if len(vals) >= 2 {
+				s.cpuNs = int64(vals[1])
+			}
+			if len(vals) >= 1 {
+				s.count = int64(vals[0])
+			}
+			samples = append(samples, s)
+		case 4: // Location
+			var id, fn uint64
+			for j := 0; j < len(body); {
+				n2, _, v2, b2, nx := field(body, j)
+				if nx < 0 {
+					return nil, errPprof
+				}
+				j = nx
+				switch n2 {
+				case 1:
+					id = v2
+				case 4: // Line; first entry is the leaf-most line
+					if fn == 0 {
+						for k := 0; k < len(b2); {
+							n3, _, v3, _, nx3 := field(b2, k)
+							if nx3 < 0 {
+								return nil, errPprof
+							}
+							k = nx3
+							if n3 == 1 {
+								fn = v3
+								break
+							}
+						}
+					}
+				}
+			}
+			if id != 0 {
+				locFn[id] = fn
+			}
+		case 5: // Function
+			var id, name uint64
+			for j := 0; j < len(body); {
+				n2, _, v2, _, nx := field(body, j)
+				if nx < 0 {
+					return nil, errPprof
+				}
+				j = nx
+				switch n2 {
+				case 1:
+					id = v2
+				case 2:
+					name = v2
+				}
+			}
+			if id != 0 {
+				fnName[id] = name
+			}
+		case 6: // string_table
+			strTab = append(strTab, string(body))
+		case 12: // period
+			period = val
+		}
+	}
+
+	self := make(map[string]int64)
+	for _, s := range samples {
+		name := "(unknown)"
+		if fnID, ok := locFn[s.leafLoc]; ok {
+			if idx, ok := fnName[fnID]; ok && idx < uint64(len(strTab)) {
+				name = strTab[idx]
+			}
+		}
+		ns := s.cpuNs
+		if ns == 0 && period > 0 {
+			ns = s.count * int64(period)
+		}
+		self[pkgOf(name)] += ns
+	}
+	if len(self) == 0 {
+		return nil, fmt.Errorf("%w: no samples", errPprof)
+	}
+	return self, nil
+}
+
+// pkgOf truncates a fully qualified function name to its package path:
+// "slim/internal/server.(*Server).Handle" → "slim/internal/server",
+// "runtime.mallocgc" → "runtime". Names without a recognizable package
+// are returned whole.
+func pkgOf(name string) string {
+	slash := strings.LastIndexByte(name, '/')
+	rest := name[slash+1:]
+	dot := strings.IndexByte(rest, '.')
+	if dot < 0 {
+		return name
+	}
+	return name[:slash+1+dot]
+}

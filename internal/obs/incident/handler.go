@@ -1,0 +1,63 @@
+package incident
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// StatusDoc is the /debug/incident document.
+type StatusDoc struct {
+	Enabled bool   `json:"enabled"`
+	Dir     string `json:"dir"`
+	// Bundles lists every bundle's manifest, oldest first.
+	Bundles []*Manifest `json:"bundles"`
+}
+
+// Handler serves the engine over HTTP:
+//
+//	GET  /debug/incident            → StatusDoc JSON
+//	POST /debug/incident?trigger=R  → write a bundle now (reason R,
+//	                                  default "manual"); 429 when rate
+//	                                  limited, 503 when disabled
+func (e *Engine) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if r.Method == http.MethodPost {
+			reason := r.URL.Query().Get("trigger")
+			if reason == "" {
+				reason = "manual"
+			}
+			m, err := e.Trigger(reason, "manual")
+			switch {
+			case errors.Is(err, ErrRateLimited):
+				http.Error(w, `{"error":"rate limited"}`, http.StatusTooManyRequests)
+				return
+			case errors.Is(err, ErrDisabled):
+				http.Error(w, `{"error":"disabled"}`, http.StatusServiceUnavailable)
+				return
+			case err != nil:
+				http.Error(w, `{"error":`+jsonStr(err.Error())+`}`, http.StatusInternalServerError)
+				return
+			}
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(m)
+			return
+		}
+		bundles, err := List(e.cfg.Dir)
+		if err != nil {
+			http.Error(w, `{"error":`+jsonStr(err.Error())+`}`, http.StatusInternalServerError)
+			return
+		}
+		doc := StatusDoc{Enabled: e.enabled.Load(), Dir: e.cfg.Dir, Bundles: bundles}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(doc)
+	})
+}
+
+func jsonStr(s string) string {
+	b, _ := json.Marshal(s)
+	return string(b)
+}

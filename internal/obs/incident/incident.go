@@ -1,0 +1,587 @@
+// Package incident closes the observability loop: instead of hoping an
+// operator is watching /debug/slo when the SLO engine degrades, an
+// Engine subscribes to fleet state transitions and snapshots everything
+// a post-mortem needs the moment the transition happens — the CPU
+// profile window covering the incident, heap and goroutine dumps, the
+// flight recorder's breach dumps, the wire-capture tail, the /debug/slo
+// and /debug/costmodel documents, and the hostmon sample ring — into a
+// versioned, rate-limited bundle directory under `slimd -incident-dir`.
+//
+// Bundles are written to a hidden staging directory and renamed into
+// place, so a bundle that exists is complete: its manifest.json lists
+// every file (with sizes) plus a collector-error map for anything that
+// could not be gathered. /debug/incident lists and triggers bundles
+// over HTTP; `slimtrace incident` summarizes them offline.
+package incident
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"slim/internal/obs"
+	"slim/internal/obs/capture"
+	"slim/internal/obs/hostmon"
+	"slim/internal/obs/slo"
+)
+
+// BundleVersion is the manifest schema version.
+const BundleVersion = 1
+
+// Config parameterizes an engine. Dir is required; zero fields take
+// defaults.
+type Config struct {
+	// Dir is the bundle root directory (created on first bundle).
+	Dir string
+	// MinGap rate-limits bundle creation (default 60 s): triggers inside
+	// the gap are counted as dropped, not written — the first bundle of
+	// a storm is the interesting one.
+	MinGap time.Duration
+	// MaxBundles bounds the bundle directory (default 16); the oldest
+	// bundles are removed past it.
+	MaxBundles int
+	// CaptureTail bounds the wire-capture tail copied into a bundle
+	// (default 512 records); FlightTail the breach-dump files copied
+	// (default 8, newest first).
+	CaptureTail int
+	FlightTail  int
+	// ProfileFallback is the on-demand CPU-profile length used when no
+	// continuous profiler window is available (default 250 ms).
+	ProfileFallback time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MinGap <= 0 {
+		c.MinGap = time.Minute
+	}
+	if c.MaxBundles <= 0 {
+		c.MaxBundles = 16
+	}
+	if c.CaptureTail <= 0 {
+		c.CaptureTail = 512
+	}
+	if c.FlightTail <= 0 {
+		c.FlightTail = 8
+	}
+	if c.ProfileFallback <= 0 {
+		c.ProfileFallback = 250 * time.Millisecond
+	}
+	return c
+}
+
+// Sources are the subsystems an engine snapshots. Every field is
+// optional: a nil source simply leaves its artifact out of the bundle
+// (noted in the manifest's error map when one would be expected).
+type Sources struct {
+	// SLO supplies the transition feed (Start subscribes) and slo.json.
+	SLO *slo.Tracker
+	// Monitor supplies hostmon.json (ring + stall windows); Profiler the
+	// cpu.pprof window and the hostmon.json top-N table.
+	Monitor  *hostmon.Monitor
+	Profiler *hostmon.Profiler
+	// Registry supplies metrics.prom.
+	Registry *obs.Registry
+	// Costmodel writes the /debug/costmodel document (costmodel.json).
+	Costmodel func(io.Writer) error
+	// FlightDir is the flight recorder's dump directory; the newest
+	// FlightTail dumps are copied into the bundle's flight/ directory.
+	FlightDir string
+	// CaptureFile is the live .slimcap spool; its trailing CaptureTail
+	// records become capture-tail.slimcap.
+	CaptureFile string
+}
+
+// Manifest is a bundle's manifest.json.
+type Manifest struct {
+	Version int `json:"version"`
+	// Name is the bundle directory's base name.
+	Name string `json:"name"`
+	// Reason is the trigger description ("slo:OK->DEGRADED", "manual",
+	// an operator note, ...); Trigger is "slo" or "manual".
+	Reason  string `json:"reason"`
+	Trigger string `json:"trigger"`
+	// CreatedAt is the bundle wall-clock creation time.
+	CreatedAt time.Time `json:"created_at"`
+	// Files maps bundle-relative file names to their sizes in bytes.
+	Files map[string]int64 `json:"files"`
+	// Errors maps collector names to what went wrong — a bundle is
+	// complete-as-possible, never all-or-nothing.
+	Errors map[string]string `json:"errors,omitempty"`
+}
+
+// Engine watches SLO transitions and writes bundles. Create with New,
+// wire with Instrument, Start to subscribe, Close to stop.
+type Engine struct {
+	cfg     Config
+	src     Sources
+	enabled atomic.Bool
+	lastNs  atomic.Int64 // wall ns of the last written bundle
+	seq     atomic.Int64
+
+	trigC chan string
+	stop  chan struct{}
+	done  chan struct{}
+	unsub func()
+
+	wmu sync.Mutex // serializes bundle writes
+
+	bundlesC *obs.Counter
+	droppedC *obs.Counter
+	errorsC  *obs.Counter
+	lastG    *obs.Gauge
+}
+
+// New returns a stopped engine. Zero config fields take defaults.
+func New(cfg Config, src Sources) *Engine {
+	e := &Engine{cfg: cfg.withDefaults(), src: src}
+	e.enabled.Store(true)
+	return e
+}
+
+// Instrument resolves the engine's series in reg:
+// slim_incident_bundles_total, slim_incident_dropped_total,
+// slim_incident_errors_total, and slim_incident_last_unix_ms.
+func (e *Engine) Instrument(reg *obs.Registry) *Engine {
+	e.bundlesC = reg.Counter("slim_incident_bundles_total")
+	e.droppedC = reg.Counter("slim_incident_dropped_total")
+	e.errorsC = reg.Counter("slim_incident_errors_total")
+	e.lastG = reg.Gauge("slim_incident_last_unix_ms")
+	return e
+}
+
+// SetEnabled pauses or resumes triggering (manual and SLO-driven).
+func (e *Engine) SetEnabled(on bool) { e.enabled.Store(on) }
+
+// Enabled reports whether triggering is live.
+func (e *Engine) Enabled() bool { return e.enabled.Load() }
+
+// Dir reports the bundle root.
+func (e *Engine) Dir() string { return e.cfg.Dir }
+
+// Start launches the bundle worker and subscribes to the SLO tracker's
+// state transitions: any transition into DEGRADED or BREACHING from a
+// healthier state enqueues a bundle. Starting a started engine panics.
+func (e *Engine) Start() {
+	if e.stop != nil {
+		panic("incident: Start on a running engine")
+	}
+	e.trigC = make(chan string, 4)
+	e.stop = make(chan struct{})
+	e.done = make(chan struct{})
+	go e.worker(e.trigC, e.stop, e.done)
+	if e.src.SLO != nil {
+		e.unsub = e.src.SLO.Subscribe(func(from, to slo.State) {
+			if to <= from || to < slo.StateDegraded {
+				return // recovery or sideways move: nothing to capture
+			}
+			select {
+			case e.trigC <- "slo:" + from.String() + "->" + to.String():
+			default:
+				if e.droppedC != nil {
+					e.droppedC.Inc()
+				}
+			}
+		})
+	}
+}
+
+// Close unsubscribes from the SLO feed, stops the worker (finishing any
+// in-flight bundle), and waits for it. Closing a stopped engine is a
+// no-op.
+func (e *Engine) Close() {
+	if e.stop == nil {
+		return
+	}
+	if e.unsub != nil {
+		e.unsub()
+		e.unsub = nil
+	}
+	close(e.stop)
+	<-e.done
+	e.stop, e.done, e.trigC = nil, nil, nil
+}
+
+func (e *Engine) worker(trig <-chan string, stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	for {
+		select {
+		case <-stop:
+			return
+		case reason := <-trig:
+			_, _ = e.Trigger(reason, "slo")
+		}
+	}
+}
+
+// ErrRateLimited reports a trigger suppressed by the MinGap rate limit.
+var ErrRateLimited = fmt.Errorf("incident: rate limited")
+
+// ErrDisabled reports a trigger on a disabled engine.
+var ErrDisabled = fmt.Errorf("incident: disabled")
+
+// Trigger writes one bundle synchronously (trigger is "manual" for
+// operator-initiated bundles, "slo" for transition-driven ones) and
+// returns its manifest. Rate-limited and disabled triggers return
+// ErrRateLimited / ErrDisabled without touching disk.
+func (e *Engine) Trigger(reason, trigger string) (*Manifest, error) {
+	if !e.enabled.Load() || e.cfg.Dir == "" {
+		if e.droppedC != nil {
+			e.droppedC.Inc()
+		}
+		return nil, ErrDisabled
+	}
+	now := time.Now()
+	last := e.lastNs.Load()
+	if last != 0 && now.UnixNano()-last < int64(e.cfg.MinGap) {
+		if e.droppedC != nil {
+			e.droppedC.Inc()
+		}
+		return nil, ErrRateLimited
+	}
+	if !e.lastNs.CompareAndSwap(last, now.UnixNano()) {
+		if e.droppedC != nil {
+			e.droppedC.Inc()
+		}
+		return nil, ErrRateLimited // lost the race to a concurrent trigger
+	}
+	e.wmu.Lock()
+	defer e.wmu.Unlock()
+	m, err := e.writeBundle(reason, trigger, now)
+	if err != nil {
+		if e.errorsC != nil {
+			e.errorsC.Inc()
+		}
+		return nil, err
+	}
+	if e.bundlesC != nil {
+		e.bundlesC.Inc()
+	}
+	if e.lastG != nil {
+		e.lastG.Set(now.UnixMilli())
+	}
+	e.rotate()
+	return m, nil
+}
+
+// sanitizeReason makes a reason safe for a directory name.
+func sanitizeReason(r string) string {
+	var b strings.Builder
+	for _, c := range r {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_':
+			b.WriteRune(c)
+		default:
+			b.WriteByte('_')
+		}
+		if b.Len() >= 40 {
+			break
+		}
+	}
+	if b.Len() == 0 {
+		return "trigger"
+	}
+	return b.String()
+}
+
+// writeBundle collects every artifact into a staging directory and
+// renames it into place. Individual collector failures land in the
+// manifest's error map; only filesystem-level failures abort the bundle.
+func (e *Engine) writeBundle(reason, trigger string, now time.Time) (*Manifest, error) {
+	name := fmt.Sprintf("incident-%s-%s", now.UTC().Format("20060102T150405.000Z0700"), sanitizeReason(reason))
+	if err := os.MkdirAll(e.cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("incident: %w", err)
+	}
+	stage, err := os.MkdirTemp(e.cfg.Dir, ".stage-")
+	if err != nil {
+		return nil, fmt.Errorf("incident: %w", err)
+	}
+	defer os.RemoveAll(stage) // no-op after successful rename
+
+	m := &Manifest{
+		Version:   BundleVersion,
+		Name:      name,
+		Reason:    reason,
+		Trigger:   trigger,
+		CreatedAt: now,
+		Files:     map[string]int64{},
+		Errors:    map[string]string{},
+	}
+
+	writeFile := func(rel string, fill func(io.Writer) error) {
+		path := filepath.Join(stage, rel)
+		if dir := filepath.Dir(path); dir != stage {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				m.Errors[rel] = err.Error()
+				return
+			}
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			m.Errors[rel] = err.Error()
+			return
+		}
+		err = fill(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			m.Errors[rel] = err.Error()
+			os.Remove(path)
+			return
+		}
+		if fi, err := os.Stat(path); err == nil {
+			m.Files[rel] = fi.Size()
+		}
+	}
+
+	// CPU profile: the continuous profiler's current window, or a short
+	// on-demand capture when no window is available.
+	cpu := e.cpuProfile()
+	if len(cpu) > 0 {
+		writeFile("cpu.pprof", func(w io.Writer) error {
+			_, err := w.Write(cpu)
+			return err
+		})
+	} else {
+		m.Errors["cpu.pprof"] = "no profile window and on-demand capture failed"
+	}
+
+	writeFile("heap.pprof", func(w io.Writer) error {
+		return pprof.Lookup("heap").WriteTo(w, 0)
+	})
+	writeFile("goroutines.txt", func(w io.Writer) error {
+		return pprof.Lookup("goroutine").WriteTo(w, 1)
+	})
+
+	if e.src.SLO != nil {
+		writeFile("slo.json", e.src.SLO.WriteJSON)
+	} else {
+		m.Errors["slo.json"] = "no slo tracker wired"
+	}
+	if e.src.Monitor != nil {
+		e.src.Monitor.SampleNow() // a fresh tick so the ring ends at the incident
+		writeFile("hostmon.json", func(w io.Writer) error {
+			return e.src.Monitor.WriteJSON(w, e.src.Profiler)
+		})
+	} else {
+		m.Errors["hostmon.json"] = "no host monitor wired"
+	}
+	if e.src.Registry != nil {
+		writeFile("metrics.prom", func(w io.Writer) error {
+			e.src.Registry.WritePrometheus(w)
+			return nil
+		})
+	}
+	if e.src.Costmodel != nil {
+		writeFile("costmodel.json", e.src.Costmodel)
+	}
+	e.copyFlightDumps(stage, m)
+	e.captureTail(stage, m)
+
+	writeFile("manifest.json", func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(m)
+	})
+
+	final := filepath.Join(e.cfg.Dir, name)
+	if err := os.Rename(stage, final); err != nil {
+		return nil, fmt.Errorf("incident: publish bundle: %w", err)
+	}
+	return m, nil
+}
+
+// cpuProfile returns the freshest CPU profile available: the continuous
+// profiler's latest window, else a short synchronous capture.
+func (e *Engine) cpuProfile() []byte {
+	if p := e.src.Profiler; p != nil {
+		if w := p.Latest(); len(w.Data) > 0 {
+			return w.Data
+		}
+	}
+	// On-demand fallback: capture a short window right now. Fails when
+	// another profile (the continuous profiler mid-window) is running —
+	// in that case the profiler's next Latest would have it, but we
+	// don't block a bundle on it.
+	var buf bytes.Buffer
+	if err := pprof.StartCPUProfile(&buf); err != nil {
+		return nil
+	}
+	time.Sleep(e.cfg.ProfileFallback)
+	pprof.StopCPUProfile()
+	return buf.Bytes()
+}
+
+// copyFlightDumps copies the newest FlightTail breach dumps into the
+// bundle's flight/ directory.
+func (e *Engine) copyFlightDumps(stage string, m *Manifest) {
+	if e.src.FlightDir == "" {
+		return
+	}
+	ents, err := os.ReadDir(e.src.FlightDir)
+	if err != nil {
+		m.Errors["flight"] = err.Error()
+		return
+	}
+	type dump struct {
+		name string
+		mod  time.Time
+	}
+	var dumps []dump
+	for _, ent := range ents {
+		if ent.IsDir() || !strings.HasPrefix(ent.Name(), "flight-") || !strings.HasSuffix(ent.Name(), ".json") {
+			continue
+		}
+		fi, err := ent.Info()
+		if err != nil {
+			continue
+		}
+		dumps = append(dumps, dump{ent.Name(), fi.ModTime()})
+	}
+	sort.Slice(dumps, func(i, j int) bool { return dumps[i].mod.After(dumps[j].mod) })
+	if len(dumps) > e.cfg.FlightTail {
+		dumps = dumps[:e.cfg.FlightTail]
+	}
+	if len(dumps) == 0 {
+		return
+	}
+	if err := os.MkdirAll(filepath.Join(stage, "flight"), 0o755); err != nil {
+		m.Errors["flight"] = err.Error()
+		return
+	}
+	for _, d := range dumps {
+		rel := filepath.Join("flight", d.name)
+		data, err := os.ReadFile(filepath.Join(e.src.FlightDir, d.name))
+		if err != nil {
+			m.Errors[rel] = err.Error()
+			continue
+		}
+		if err := os.WriteFile(filepath.Join(stage, rel), data, 0o644); err != nil {
+			m.Errors[rel] = err.Error()
+			continue
+		}
+		m.Files[rel] = int64(len(data))
+	}
+}
+
+// captureTail writes the live capture spool's trailing records as a
+// fresh, valid .slimcap file.
+func (e *Engine) captureTail(stage string, m *Manifest) {
+	if e.src.CaptureFile == "" {
+		return
+	}
+	const rel = "capture-tail.slimcap"
+	f, err := os.Open(e.src.CaptureFile)
+	if err != nil {
+		m.Errors[rel] = err.Error()
+		return
+	}
+	hdr, recs, rerr := capture.ReadCapture(f)
+	f.Close()
+	if rerr != nil && len(recs) == 0 {
+		m.Errors[rel] = rerr.Error()
+		return
+	}
+	if rerr != nil {
+		// The spool's last record was mid-write; keep what parsed.
+		m.Errors[rel+".note"] = "truncated tail: " + rerr.Error()
+	}
+	if len(recs) > e.cfg.CaptureTail {
+		recs = recs[len(recs)-e.cfg.CaptureTail:]
+	}
+	out, err := os.Create(filepath.Join(stage, rel))
+	if err != nil {
+		m.Errors[rel] = err.Error()
+		return
+	}
+	werr := capture.WriteHeader(out, hdr.Domain, hdr.Epoch)
+	if werr == nil {
+		var buf []byte
+		for _, r := range recs {
+			buf = capture.AppendRecord(buf[:0], r)
+			if _, err := out.Write(buf); err != nil {
+				werr = err
+				break
+			}
+		}
+	}
+	if cerr := out.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		m.Errors[rel] = werr.Error()
+		return
+	}
+	if fi, err := os.Stat(filepath.Join(stage, rel)); err == nil {
+		m.Files[rel] = fi.Size()
+	}
+}
+
+// rotate removes the oldest bundles past MaxBundles. Bundle names embed
+// their UTC creation time, so lexical order is creation order.
+func (e *Engine) rotate() {
+	names, err := bundleNames(e.cfg.Dir)
+	if err != nil || len(names) <= e.cfg.MaxBundles {
+		return
+	}
+	for _, name := range names[:len(names)-e.cfg.MaxBundles] {
+		os.RemoveAll(filepath.Join(e.cfg.Dir, name))
+	}
+}
+
+// bundleNames lists bundle directories under dir, oldest first.
+func bundleNames(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, ent := range ents {
+		if ent.IsDir() && strings.HasPrefix(ent.Name(), "incident-") {
+			names = append(names, ent.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// ReadManifest loads one bundle's manifest.json.
+func ReadManifest(bundleDir string) (*Manifest, error) {
+	data, err := os.ReadFile(filepath.Join(bundleDir, "manifest.json"))
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("incident: parse manifest: %w", err)
+	}
+	return &m, nil
+}
+
+// List returns the manifests of every bundle under dir, oldest first.
+// Bundles whose manifest cannot be read are skipped.
+func List(dir string) ([]*Manifest, error) {
+	names, err := bundleNames(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	out := make([]*Manifest, 0, len(names))
+	for _, name := range names {
+		if m, err := ReadManifest(filepath.Join(dir, name)); err == nil {
+			out = append(out, m)
+		}
+	}
+	return out, nil
+}

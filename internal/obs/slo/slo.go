@@ -267,8 +267,16 @@ type Tracker struct {
 	fleet      windows
 	fleetBlame [flight.NumStages]atomic.Int64
 
-	mu       sync.RWMutex
-	sessions map[uint32]*SessionSLO
+	// lastState is the fleet state as of the last observe; nSubs mirrors
+	// len(subs) so the observe path can skip subscription work with one
+	// atomic load when nobody is listening.
+	lastState atomic.Int64
+	nSubs     atomic.Int64
+
+	mu        sync.RWMutex
+	sessions  map[uint32]*SessionSLO
+	subs      []stateSub
+	nextSubID int
 
 	// Instruments (nil until Instrument): fleet counters and gauges, plus
 	// the registry per-session state gauges resolve in and evict from.
@@ -356,6 +364,65 @@ func (t *Tracker) Budget() float64 { return float64(t.budgetPPM.Load()) / 1e6 }
 // Windows reports the configured window durations (short, mid, long).
 func (t *Tracker) Windows() (short, mid, long time.Duration) {
 	return t.cfg.Short, t.cfg.Mid, t.cfg.Long
+}
+
+// stateSub is one registered fleet state-transition listener.
+type stateSub struct {
+	id int
+	fn func(from, to State)
+}
+
+// Subscribe registers fn to be called whenever the fleet health state
+// changes (OK→DEGRADED→BREACHING and back). Transitions are detected on
+// the observe path, so a silent tracker reports no transitions until the
+// next event arrives. fn runs synchronously inside Observe — it must be
+// fast and non-blocking (enqueue and return; the incident engine hands
+// off to a worker goroutine). The returned cancel func removes the
+// subscription; it is idempotent.
+func (t *Tracker) Subscribe(fn func(from, to State)) (cancel func()) {
+	t.mu.Lock()
+	id := t.nextSubID
+	t.nextSubID++
+	// Copy-on-write: observe-path readers iterate a stable slice without
+	// holding the lock across callbacks.
+	subs := make([]stateSub, len(t.subs), len(t.subs)+1)
+	copy(subs, t.subs)
+	t.subs = append(subs, stateSub{id: id, fn: fn})
+	t.nSubs.Store(int64(len(t.subs)))
+	t.mu.Unlock()
+	return func() {
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		ns := make([]stateSub, 0, len(t.subs))
+		for _, s := range t.subs {
+			if s.id != id {
+				ns = append(ns, s)
+			}
+		}
+		t.subs = ns
+		t.nSubs.Store(int64(len(ns)))
+	}
+}
+
+// noteState records the freshly evaluated fleet state and fires
+// subscribers on a transition. The no-change path is one atomic load.
+func (t *Tracker) noteState(st State) {
+	old := State(t.lastState.Load())
+	if old == st {
+		return
+	}
+	if !t.lastState.CompareAndSwap(int64(old), int64(st)) {
+		return // a concurrent observe already owns this transition
+	}
+	if t.nSubs.Load() == 0 {
+		return
+	}
+	t.mu.RLock()
+	subs := t.subs
+	t.mu.RUnlock()
+	for _, s := range subs {
+		s.fn(old, st)
+	}
 }
 
 // Session returns the session's SLO state, creating (and instrumenting)
@@ -452,11 +519,16 @@ func (t *Tracker) observe(s *SessionSLO, nowNs int64, latency time.Duration) {
 		for i := range burns {
 			t.burnGauges[i].Set(int64(burns[i] * 1000))
 		}
-		t.stateGauge.Set(int64(stateOf(burns)))
+		fleetState := stateOf(burns)
+		t.stateGauge.Set(int64(fleetState))
+		t.noteState(fleetState)
 		if s != nil && s.stateGauge != nil {
 			sburns, _ := s.win.eval(nowNs, budget)
 			s.stateGauge.Set(int64(stateOf(sburns)))
 		}
+	} else if t.nSubs.Load() != 0 {
+		burns, _ := t.fleet.eval(nowNs, t.Budget())
+		t.noteState(stateOf(burns))
 	}
 }
 

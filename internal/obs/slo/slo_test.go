@@ -205,6 +205,68 @@ func mustPanic(t *testing.T, f func()) {
 	f()
 }
 
+// TestSubscribe drives a storm and recovery and checks that every fleet
+// state transition is delivered exactly once, in order, and that cancel
+// stops delivery.
+func TestSubscribe(t *testing.T) {
+	reg := obs.NewRegistry(obs.DomainSim)
+	tr := New(obs.DomainSim, cfg()).Instrument(reg)
+	s := tr.Session(1, "alice")
+
+	type tr2 struct{ from, to State }
+	var got []tr2
+	cancel := tr.Subscribe(func(from, to State) {
+		got = append(got, tr2{from, to})
+	})
+
+	// Clean baseline, then a sustained storm, then recovery — the same
+	// shape as TestStateProgression.
+	now := feed(s, 0, 100*time.Millisecond, 40, 0)
+	if len(got) != 0 {
+		t.Fatalf("transitions on clean traffic: %+v", got)
+	}
+	now = feed(s, now, 100*time.Millisecond, 43, 2)
+	now = feed(s, now, 100*time.Millisecond, 185, 0)
+
+	want := []tr2{
+		{StateOK, StateDegraded},
+		{StateDegraded, StateBreaching},
+		{StateBreaching, StateDegraded},
+		{StateDegraded, StateOK},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("transitions = %+v, want %+v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("transition %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+
+	// Cancel, storm again: no further deliveries. Cancel twice: harmless.
+	cancel()
+	cancel()
+	before := len(got)
+	feed(s, now, 100*time.Millisecond, 43, 2)
+	if len(got) != before {
+		t.Errorf("cancelled subscriber still delivered: %+v", got[before:])
+	}
+}
+
+// TestSubscribeUninstrumented: transitions fire even on trackers with no
+// registry (the observe path evaluates burns only when someone listens).
+func TestSubscribeUninstrumented(t *testing.T) {
+	tr := New(obs.DomainSim, cfg())
+	s := tr.Session(1, "alice")
+	var n int
+	defer tr.Subscribe(func(from, to State) { n++ })()
+	now := feed(s, 0, 100*time.Millisecond, 40, 0)
+	feed(s, now, 100*time.Millisecond, 43, 2)
+	if n == 0 {
+		t.Error("no transitions delivered on uninstrumented tracker")
+	}
+}
+
 // TestZeroAllocDisabled pins the disabled-path allocation budget: with the
 // tracker off, Observe must not allocate — servers leave the call sites
 // unconditional.
@@ -235,5 +297,13 @@ func TestZeroAllocEnabled(t *testing.T) {
 		s.Observe(10 * time.Millisecond)
 	}); n != 0 {
 		t.Errorf("enabled Observe allocates %.1f/op, want 0", n)
+	}
+	// A live subscription must not change the steady-state (no-transition)
+	// budget: noteState's no-change path is one atomic load.
+	defer tr.Subscribe(func(from, to State) {})()
+	if n := testing.AllocsPerRun(1000, func() {
+		s.Observe(10 * time.Millisecond)
+	}); n != 0 {
+		t.Errorf("subscribed Observe allocates %.1f/op, want 0", n)
 	}
 }

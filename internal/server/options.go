@@ -1,6 +1,8 @@
 package server
 
 import (
+	"log/slog"
+
 	"slim/internal/core"
 	"slim/internal/flow"
 	"slim/internal/obs"
@@ -33,6 +35,14 @@ func WithFlightRecorder(rec *flight.Recorder) Option {
 // Observe; the harness feeds ObserveAt itself).
 func WithSLO(t *slo.Tracker) Option {
 	return func(s *Server) { s.slo = t }
+}
+
+// WithLogger attaches a structured logger for session lifecycle events:
+// attach, detach, terminate, authentication failure, and display-state
+// recovery. A nil logger (the default) keeps the hot paths silent — the
+// server never logs per-datagram work regardless.
+func WithLogger(l *slog.Logger) Option {
+	return func(s *Server) { s.log = l }
 }
 
 // WithCostModel installs the console decode cost model (Table 5) the

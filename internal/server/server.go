@@ -10,6 +10,7 @@ package server
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"time"
 
@@ -161,6 +162,8 @@ type Server struct {
 	// slo is the SLO tracker sessions evaluate input-to-paint latency
 	// against (slo.Default unless redirected by WithSLO).
 	slo *slo.Tracker
+	// log receives session lifecycle events (WithLogger); nil = silent.
+	log *slog.Logger
 
 	// optObs is the registry chosen by WithRegistry, applied by New after
 	// all options have run (nil means obs.Default).
@@ -491,6 +494,10 @@ func (s *Server) handleStatus(out *[]outbound, console string, st *protocol.Stat
 	lag := sess.Encoder.LastSeq() > st.LastSeq &&
 		sess.Encoder.LastSeq()-st.LastSeq > StatusLagThreshold
 	if lost || lag {
+		if s.log != nil {
+			s.log.Warn("display state lost; recovery repaint",
+				"console", console, "session", cs.session, "drops", lost, "lag", lag)
+		}
 		s.sendDatagrams(out, sess, sess.Encoder.RepaintAll(), now)
 	}
 	return nil
@@ -502,6 +509,9 @@ func (s *Server) attachByToken(out *[]outbound, console, token string, now time.
 	user, err := s.Auth.Authenticate(token)
 	if err != nil {
 		s.metrics.authFailures.Inc()
+		if s.log != nil {
+			s.log.Warn("auth failure", "console", console)
+		}
 		return err
 	}
 	cs := s.consoles[console]
@@ -550,6 +560,10 @@ func (s *Server) attachByToken(out *[]outbound, console, token string, now time.
 	}
 	cs.session = sess.ID
 	sess.Console = console
+	if s.log != nil {
+		s.log.Info("session attached",
+			"user", user, "session", sess.ID, "console", console, "reconnect", ok)
+	}
 	s.send(out, console, &protocol.SessionAttach{SessionID: sess.ID})
 	if sess.gov != nil {
 		// Damage queued for the previous console is worthless here; the
@@ -614,6 +628,9 @@ func (s *Server) Detach(user string) error {
 		s.send(&out, sess.Console, &protocol.SessionDetach{SessionID: id})
 		sess.Console = ""
 	}
+	if s.log != nil {
+		s.log.Info("session detached", "user", user, "session", id)
+	}
 	s.mu.Unlock()
 	return s.flush(out)
 }
@@ -653,6 +670,9 @@ func (s *Server) Terminate(user string) error {
 	sess.fm.Unregister(s.obs)
 	s.flight.Drop(id)
 	s.slo.Remove(id)
+	if s.log != nil {
+		s.log.Info("session terminated", "user", user, "session", id)
+	}
 	s.mu.Unlock()
 	return s.flush(out)
 }

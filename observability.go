@@ -1,6 +1,7 @@
 package slim
 
 import (
+	"html"
 	"net"
 	"net/http"
 	"os"
@@ -11,6 +12,8 @@ import (
 	"slim/internal/obs"
 	"slim/internal/obs/capture"
 	"slim/internal/obs/flight"
+	"slim/internal/obs/hostmon"
+	"slim/internal/obs/incident"
 	"slim/internal/obs/slo"
 )
 
@@ -147,6 +150,9 @@ func StartCapture(path string) (*CaptureFile, error) {
 	cf := &CaptureFile{f: f, ring: capture.Default, ticker: time.NewTicker(250 * time.Millisecond),
 		done: make(chan struct{})}
 	cf.ring.SetEnabled(true)
+	captureMu.Lock()
+	capturePath = path // incident bundles tail the live spool
+	captureMu.Unlock()
 	go func() {
 		for {
 			select {
@@ -179,17 +185,153 @@ func (c *CaptureFile) Close() error {
 	return c.err
 }
 
-// DebugHandler returns the debug endpoint served by slimd -debug:
-// /metrics (Prometheus text), /debug/vars (JSON snapshot), /debug/trace
-// (Perfetto trace-event JSON from the flight recorder), /debug/costmodel
-// (the live cost-model calibration fit), /debug/slo (the SLO engine's
-// burn rates, health states, and blame histograms), and /debug/pprof/ —
-// embed it in any HTTP server.
+// Host-runtime telemetry facade. The default monitor samples
+// runtime/metrics into the default registry and feeds GC/CPU stall
+// windows to the default flight recorder as HOST-verdict evidence; the
+// default profiler keeps a rotating ring of short CPU-profile windows.
+// Both are stopped until StartHostMonitor.
+var (
+	defaultMonitor = hostmon.New(hostmon.Config{Clock: flight.Default.Clock}).
+			Instrument(obs.Default)
+	defaultProfiler = hostmon.NewProfiler(0, 0, 0).Instrument(obs.Default)
+
+	incidentMu      sync.Mutex
+	defaultIncident *incident.Engine
+
+	captureMu   sync.Mutex
+	capturePath string // live spool path for incident bundles
+)
+
+// HostMonitor returns the process-wide host-runtime monitor (see
+// internal/obs/hostmon): slim_runtime_* series, the sample ring behind
+// /debug/hostmon, and the stall windows behind HOST breach verdicts.
+func HostMonitor() *hostmon.Monitor { return defaultMonitor }
+
+// HostProfiler returns the process-wide continuous CPU profiler: a
+// rotating ring of short pprof windows with top-N self-time gauges.
+func HostProfiler() *hostmon.Profiler { return defaultProfiler }
+
+// StartHostMonitor starts the default monitor and profiler and wires the
+// monitor's stall windows into the default flight recorder, upgrading
+// breach attribution with HOST verdicts. Returns a stop func that
+// unwires and shuts both down.
+func StartHostMonitor() (stop func()) {
+	flight.Default.SetHostEvidence(defaultMonitor.Windows)
+	defaultMonitor.Start()
+	defaultProfiler.Start()
+	return func() {
+		flight.Default.SetHostEvidence(nil)
+		defaultMonitor.Close()
+		defaultProfiler.Close()
+	}
+}
+
+// IncidentEngine re-exports the SLO-triggered incident bundler.
+type IncidentEngine = incident.Engine
+
+// StartIncidents builds, wires, and starts the process-wide incident
+// engine: SLO transitions into DEGRADED/BREACHING write rate-limited
+// bundles under dir containing the current CPU-profile window, heap and
+// goroutine dumps, flight breach dumps, the capture-spool tail, and the
+// /debug/slo, /debug/costmodel, and hostmon snapshots. Returns the
+// engine (Close to stop). Calling it again replaces the previous engine.
+func StartIncidents(dir string) *IncidentEngine {
+	captureMu.Lock()
+	capFile := capturePath
+	captureMu.Unlock()
+	e := incident.New(incident.Config{Dir: dir}, incident.Sources{
+		SLO:         slo.Default,
+		Monitor:     defaultMonitor,
+		Profiler:    defaultProfiler,
+		Registry:    obs.Default,
+		Costmodel:   defaultCalibrator.WriteJSON,
+		FlightDir:   flight.Default.DumpDir(),
+		CaptureFile: capFile,
+	}).Instrument(obs.Default)
+	e.Start()
+	incidentMu.Lock()
+	old := defaultIncident
+	defaultIncident = e
+	incidentMu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+	return e
+}
+
+// Incidents returns the process-wide incident engine, or nil before
+// StartIncidents.
+func Incidents() *IncidentEngine {
+	incidentMu.Lock()
+	defer incidentMu.Unlock()
+	return defaultIncident
+}
+
+// DebugEndpoint is one entry in the debug-endpoint table: a mounted path
+// and its one-line description.
+type DebugEndpoint struct {
+	Path        string `json:"path"`
+	Description string `json:"description"`
+}
+
+// DebugEndpoints is the canonical table of every endpoint DebugHandler
+// mounts — the /debug/ index page and the README table both derive from
+// it.
+func DebugEndpoints() []DebugEndpoint {
+	return []DebugEndpoint{
+		{"/metrics", "Prometheus text exposition of every live series (wall and sim domains)"},
+		{"/debug/vars", "JSON snapshot of all registries, keyed by clock domain"},
+		{"/debug/pprof/", "standard net/http/pprof profile index (heap, goroutine, profile, trace, ...)"},
+		{"/debug/trace", "Perfetto trace-event JSON from the flight recorder's session rings"},
+		{"/debug/costmodel", "live cost-model calibration fit versus the paper's Table 5"},
+		{"/debug/slo", "SLO burn rates, OK/DEGRADED/BREACHING states, and breach-blame histograms"},
+		{"/debug/hostmon", "host-runtime sample ring, GC/CPU stall windows, and top-N profile self-time"},
+		{"/debug/incident", "incident bundles: GET lists manifests, POST ?trigger=reason writes one now"},
+	}
+}
+
+// debugIndex renders the endpoint table as a minimal HTML index at
+// /debug/ (and JSON with ?format=json).
+func debugIndex() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/debug/" && r.URL.Path != "/debug" && r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		eps := DebugEndpoints()
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		w.Write([]byte("<!DOCTYPE html><html><head><title>slimd debug</title></head><body>" +
+			"<h1>slimd debug endpoints</h1><table border=\"0\" cellpadding=\"4\">\n"))
+		for _, ep := range eps {
+			w.Write([]byte(`<tr><td><a href="` + ep.Path + `">` + ep.Path + `</a></td><td>` +
+				html.EscapeString(ep.Description) + "</td></tr>\n"))
+		}
+		w.Write([]byte("</table></body></html>\n"))
+	})
+}
+
+// DebugHandler returns the debug endpoint served by slimd -debug. The
+// mounted paths and their descriptions are exactly DebugEndpoints —
+// /debug/ serves that table as an index page; see the README's
+// debug-endpoint table for the same list. Embed it in any HTTP server.
 func DebugHandler() http.Handler {
 	mux := obs.DebugMux(obs.Default, obs.Sim)
 	mux.Handle("/debug/trace", flight.Default.TraceHandler())
 	mux.Handle("/debug/costmodel", CostModelHandler(defaultCalibrator))
 	mux.Handle("/debug/slo", slo.Default.Handler())
+	mux.Handle("/debug/hostmon", defaultMonitor.Handler(defaultProfiler))
+	mux.Handle("/debug/incident", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		e := Incidents()
+		if e == nil {
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			http.Error(w, `{"error":"incident engine not started (slimd -incident-dir)"}`,
+				http.StatusServiceUnavailable)
+			return
+		}
+		e.Handler().ServeHTTP(w, r)
+	}))
+	mux.Handle("/debug/", debugIndex())
+	mux.Handle("/", debugIndex())
 	return mux
 }
 

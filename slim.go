@@ -24,6 +24,8 @@
 package slim
 
 import (
+	"log/slog"
+
 	"slim/internal/console"
 	"slim/internal/core"
 	"slim/internal/flow"
@@ -170,6 +172,11 @@ func WithFlightRecorder(rec *Recorder) ServerOption { return server.WithFlightRe
 // WithSLOTracker points the server's latency SLO engine at t instead of
 // the process-wide one (slim.SLO()).
 func WithSLOTracker(t *SLOTracker) ServerOption { return server.WithSLO(t) }
+
+// WithLogger attaches a structured logger for session lifecycle events
+// (attach, detach, terminate, auth failure, recovery repaint). Nil keeps
+// the server silent; datagram paths never log either way.
+func WithLogger(l *slog.Logger) ServerOption { return server.WithLogger(l) }
 
 // NewServer returns a SLIM server sending through the given transport.
 // Options configure flow control and observability; none are required.
