@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench cover fuzz reproduce examples clean race bench-guard bench-json alloc-guard capacity capacity-smoke ci
+.PHONY: all build test vet bench cover fuzz reproduce examples clean race bench-guard bench-json alloc-guard capacity capacity-smoke fleet-smoke ci
 
 all: build test
 
@@ -35,7 +35,7 @@ race:
 # TestDisabledTapAllocatesNothing, which every plain `go test` run
 # enforces).
 bench-guard:
-	$(GO) test -run xxx -bench . -benchtime 1x . ./internal/obs/flight/ ./internal/obs/capture/ ./internal/obs/slo/ ./internal/obs/hostmon/ ./internal/obs/incident/ ./internal/flow/ ./internal/fb/ ./internal/core/
+	$(GO) test -run xxx -bench . -benchtime 1x . ./internal/broker/ ./internal/obs/flight/ ./internal/obs/capture/ ./internal/obs/slo/ ./internal/obs/hostmon/ ./internal/obs/incident/ ./internal/flow/ ./internal/fb/ ./internal/core/
 
 # Measure the pixel-pipeline hot paths (optimized vs slowXxx reference
 # kernels, serial vs parallel encoder) and record the numbers as JSON.
@@ -49,7 +49,7 @@ bench-json:
 # detector's instrumentation allocates, so these tests skip themselves
 # under it.
 alloc-guard:
-	$(GO) test -run 'ZeroAlloc' -count 1 ./internal/fb/ ./internal/core/ ./internal/obs/slo/ ./internal/obs/hostmon/
+	$(GO) test -run 'ZeroAlloc' -count 1 ./internal/fb/ ./internal/core/ ./internal/broker/ ./internal/obs/slo/ ./internal/obs/hostmon/
 
 # Regenerate the committed capacity artifact: full LAN + WAN user ramps
 # until the SLO burn knee (~5s of wall time; see internal/capacity).
@@ -62,9 +62,16 @@ capacity:
 capacity-smoke:
 	$(GO) test -run 'TestCapacitySmoke|TestCommittedBench' -count 1 -v ./internal/capacity/
 
+# Session-broker fleet smoke: a 2-shard broker over the in-process fabric,
+# hotdesk churn, one forced live migration, and the reattach latency
+# asserted against the 2-second hotdesk budget (the full 2,000-console
+# 8-shard soak is TestFleetSoak, run by plain `go test`).
+fleet-smoke:
+	$(GO) test -run 'TestFleetSmoke' -count 1 -v .
+
 # CI-style gate: static checks, race-detected tests, benchmark smoke run,
-# allocation budgets, capacity-curve smoke.
-ci: vet race bench-guard alloc-guard capacity-smoke
+# allocation budgets, capacity-curve smoke, fleet smoke.
+ci: vet race bench-guard alloc-guard capacity-smoke fleet-smoke
 
 cover:
 	$(GO) test -cover ./...

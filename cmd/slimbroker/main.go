@@ -1,0 +1,162 @@
+// Command slimbroker is the SLIM session-broker daemon: one UDP attach
+// point fronting a fleet of in-process server shards. Consoles boot and
+// present smart cards exactly as they do against slimd — the broker
+// authenticates the card, places the session on a shard (consistent hash
+// or least-loaded), and live-migrates it on hotdesk when the fleet is
+// skewed. Consoles never learn any of this; the console protocol is
+// unchanged.
+//
+// Usage:
+//
+//	slimbroker -addr 127.0.0.1:5499 -shards 8 -card card-1=alice
+//	slimbroker -routing leastloaded -migrate-slack 2   # rebalance on hotdesk
+//	slimbroker -flow                                   # per-session governors on every shard
+//	slimbroker -debug :6060                            # fleet metrics + pprof
+//
+// With -debug, the headline fleet series are slim_broker_sessions (total),
+// slim_broker_shard_sessions{shard="i"} (per-shard occupancy),
+// slim_broker_migrations_total, and slim_broker_reattach_seconds (the
+// hotdesk card-insert-to-attach latency histogram).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"slim"
+)
+
+type cardFlags []string
+
+func (c *cardFlags) String() string { return strings.Join(*c, ",") }
+
+func (c *cardFlags) Set(v string) error {
+	if !strings.Contains(v, "=") {
+		return fmt.Errorf("want token=user, got %q", v)
+	}
+	*c = append(*c, v)
+	return nil
+}
+
+func appFactory(name string, fps float64) (slim.AppFactory, bool, error) {
+	switch name {
+	case "terminal":
+		return slim.WithTerminalApp(), false, nil
+	case "desktop":
+		return slim.WithDesktopApp(), true, nil
+	case "quake":
+		return func(user string, w, h int) slim.Application {
+			return slim.NewVideoApp(slim.NewQuakeSource(min(w, 640), min(h, 480), 3),
+				slim.Rect{W: min(w, 640), H: min(h, 480)}, slim.CSCS5, fps)
+		}, true, nil
+	default:
+		return nil, false, fmt.Errorf("unknown application %q", name)
+	}
+}
+
+func routingPolicy(name string) (slim.RoutingPolicy, error) {
+	switch name {
+	case "hash":
+		return slim.RouteHash, nil
+	case "leastloaded":
+		return slim.RouteLeastLoaded, nil
+	default:
+		return slim.RouteHash, fmt.Errorf("unknown routing policy %q (want hash|leastloaded)", name)
+	}
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:5499", "UDP address to listen on")
+	shards := flag.Int("shards", 4, "number of in-process server shards")
+	routing := flag.String("routing", "hash", "session placement: hash|leastloaded")
+	slack := flag.Int("migrate-slack", 0, "with -routing leastloaded, migrate on hotdesk when the home shard holds at least this many more sessions than the emptiest (0: default 2, negative: never migrate automatically)")
+	debugAddr := flag.String("debug", "", "serve the debug endpoint (GET /debug/ for the index) on this HTTP address")
+	app := flag.String("app", "terminal", "session application: terminal|desktop|quake")
+	fps := flag.Float64("fps", 24, "video frame rate for video applications")
+	flow := flag.Bool("flow", false, "enable the per-session send governor on every shard (§7)")
+	flowBps := flag.Uint64("flow-bps", 0, "with -flow, initial per-session bandwidth demand in bits/s")
+	logLevel := flag.String("log-level", "info", "log verbosity: debug|info|warn|error")
+	logJSON := flag.Bool("log-json", false, "emit logs as JSON lines instead of text")
+	var cards cardFlags
+	flag.Var(&cards, "card", "register a smart card as token=user (repeatable)")
+	flag.Parse()
+
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintln(os.Stderr, "slimbroker:", err)
+		os.Exit(1)
+	}
+	var h slog.Handler
+	if *logJSON {
+		h = slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: lv})
+	} else {
+		h = slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lv})
+	}
+	logger := slog.New(h)
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
+
+	policy, err := routingPolicy(*routing)
+	if err != nil {
+		fatal("bad -routing", "err", err)
+	}
+	factory, video, err := appFactory(*app, *fps)
+	if err != nil {
+		fatal("bad -app", "err", err)
+	}
+	if len(cards) == 0 {
+		cards = append(cards, "card-demo=demo")
+	}
+	opts := []slim.ServerOption{slim.WithLogger(logger)}
+	if *flow {
+		opts = append(opts,
+			slim.WithCostModel(slim.SunRay1Costs()),
+			slim.WithFlowControl(slim.FlowConfig{InitialBps: *flowBps}),
+			slim.WithCalibratedCosts(slim.Calibrator()))
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	bro, err := slim.ListenAndServeBroker(ctx, *addr, slim.BrokerConfig{
+		Shards:       *shards,
+		Routing:      policy,
+		MigrateSlack: *slack,
+	}, factory, opts...)
+	if err != nil {
+		fatal("listen", "addr", *addr, "err", err)
+	}
+	defer bro.Close()
+
+	if *debugAddr != "" {
+		dbg, err := slim.ServeDebug(*debugAddr)
+		if err != nil {
+			fatal("debug endpoint", "addr", *debugAddr, "err", err)
+		}
+		defer dbg.Close()
+		logger.Info("debug endpoint up", "url", "http://"+*debugAddr+"/debug/")
+	}
+	if video {
+		bro.StartTicker(*fps * 2) // tick faster than the frame rate
+	}
+	// Card enrollment is fleet-wide: every shard shares the broker's
+	// authentication manager, so a card works at any shard after migration.
+	for _, c := range cards {
+		parts := strings.SplitN(c, "=", 2)
+		bro.Broker.Register(slim.TokenOf(parts[0]), parts[1])
+		logger.Info("registered card", "token", parts[0], "user", parts[1])
+	}
+	logger.Info("serving SLIM fleet", "addr", bro.Addr(),
+		"shards", *shards, "routing", *routing, "app", *app)
+
+	<-ctx.Done()
+	logger.Info("shutting down")
+}

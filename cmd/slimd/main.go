@@ -40,6 +40,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -203,7 +204,7 @@ func main() {
 		logger.Info("incident bundles on",
 			"dir", *incidentDir, "summarize", "slimtrace incident -dir "+*incidentDir)
 	}
-	srv, err := slim.ListenAndServe(*addr, factory, opts...)
+	srv, err := slim.ListenAndServeContext(context.Background(), *addr, factory, opts...)
 	if err != nil {
 		fatal("listen", "addr", *addr, "err", err)
 	}
@@ -237,9 +238,12 @@ func main() {
 			fatal("open state", "path", *state, "err", err)
 		}
 	}
+	// Card enrollment goes through the Directory surface; Single is the
+	// one-shard implementation, so slimd behaves exactly as before.
+	dir := slim.NewSingle(srv.Server)
 	for _, c := range cards {
 		parts := strings.SplitN(c, "=", 2)
-		srv.Server.Auth.Register(parts[0], parts[1])
+		dir.Register(slim.TokenOf(parts[0]), parts[1])
 		logger.Info("registered card", "token", parts[0], "user", parts[1])
 	}
 	logger.Info("serving SLIM sessions", "addr", srv.Addr(), "app", *app)

@@ -19,6 +19,12 @@
 // count and the age of the latest one — the cue to go look at
 // /debug/trace or the breach dumps. The interval arithmetic lives in
 // internal/monitor.
+//
+// Pointed at a slimbroker, the line grows a fleet column — total and
+// per-shard session occupancy, hotdesk migrations this interval, and the
+// windowed reattach p99:
+//
+//	... | fleet 7/4sh [1 2 3 1] mig 3 reattach p99 40ms
 package main
 
 import (

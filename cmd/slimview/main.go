@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -30,12 +31,12 @@ func main() {
 	out := flag.String("o", "screen.png", "screenshot output path")
 	flag.Parse()
 
-	con, err := slim.DialConsole(*server, slim.ConsoleConfig{
+	con, err := slim.DialConsoleContext(context.Background(), *server, slim.ConsoleConfig{
 		Width: *width, Height: *height,
 		// Measure real decode costs into the process-wide calibrator: a
 		// console is where §4.3's constants actually come from.
 		Calibrator: slim.Calibrator(),
-	}, *card)
+	}, slim.TokenOf(*card))
 	if err != nil {
 		log.Fatal(err)
 	}

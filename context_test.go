@@ -19,7 +19,7 @@ func TestContextCancelClosesUDPServer(t *testing.T) {
 		t.Fatal(err)
 	}
 	srv.Server.Auth.Register("card-ctx", "ctxuser")
-	con, err := DialConsoleContext(ctx, srv.Addr().String(), ConsoleConfig{Width: 160, Height: 120}, "card-ctx")
+	con, err := DialConsoleContext(ctx, srv.Addr().String(), ConsoleConfig{Width: 160, Height: 120}, TokenOf("card-ctx"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +50,7 @@ func TestContextCancelClosesUDPServer(t *testing.T) {
 func TestDialConsoleContextCanceled(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := DialConsoleContext(ctx, "127.0.0.1:1", ConsoleConfig{Width: 64, Height: 64}, ""); err == nil {
+	if _, err := DialConsoleContext(ctx, "127.0.0.1:1", ConsoleConfig{Width: 64, Height: 64}, NoToken); err == nil {
 		t.Fatal("dial with canceled context succeeded")
 	}
 }

@@ -41,7 +41,7 @@ func newFabricMetrics(r *obs.Registry) *fabricMetrics {
 type Fabric struct {
 	mu       sync.Mutex
 	consoles map[string]*Console
-	servers  map[string]*Server
+	servers  map[string]SessionHandler
 	closed   bool
 	// clock is the virtual time passed to console handlers (SetClock);
 	// advance it if your test models decode delays.
@@ -78,7 +78,7 @@ type queuedDatagram struct {
 func NewFabric() *Fabric {
 	return &Fabric{
 		consoles: make(map[string]*Console),
-		servers:  make(map[string]*Server),
+		servers:  make(map[string]SessionHandler),
 		metrics:  newFabricMetrics(obs.Default),
 		capture:  capture.Default,
 	}
@@ -93,8 +93,9 @@ func (f *Fabric) SetCapture(r *capture.Ring) {
 	f.mu.Unlock()
 }
 
-// Attach wires a console to a server under the given desk ID.
-func (f *Fabric) Attach(id string, con *Console, srv *Server) {
+// Attach wires a console to a server side — a *Server, or a *Broker
+// fronting a shard fleet — under the given desk ID.
+func (f *Fabric) Attach(id string, con *Console, srv SessionHandler) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.consoles[id] = con
@@ -117,7 +118,7 @@ func (f *Fabric) Close() error {
 	defer f.mu.Unlock()
 	f.closed = true
 	f.consoles = make(map[string]*Console)
-	f.servers = make(map[string]*Server)
+	f.servers = make(map[string]SessionHandler)
 	return nil
 }
 
@@ -142,8 +143,8 @@ func (f *Fabric) Now() time.Duration {
 func (f *Fabric) Pump() error {
 	f.mu.Lock()
 	clock := f.clock
-	seen := make(map[*Server]bool, len(f.servers))
-	srvs := make([]*Server, 0, len(f.servers))
+	seen := make(map[SessionHandler]bool, len(f.servers))
+	srvs := make([]SessionHandler, 0, len(f.servers))
 	for _, srv := range f.servers {
 		if srv != nil && !seen[srv] {
 			seen[srv] = true
@@ -280,7 +281,7 @@ func (f *Fabric) drain() error {
 }
 
 // lookup fetches the console/server pair for a desk.
-func (f *Fabric) lookup(id string) (*Console, *Server, error) {
+func (f *Fabric) lookup(id string) (*Console, SessionHandler, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	con, ok := f.consoles[id]

@@ -466,6 +466,14 @@ func ReadRect(msg protocol.Message) (protocol.Rect, bool) {
 // LastSeq reports the most recent sequence number issued.
 func (e *Encoder) LastSeq() uint32 { return e.seq.Current() }
 
+// ResumeAt continues the encoder's sequence numbering after last. A
+// migrated session keeps its ID, and a console resets its gap tracker only
+// when the session ID changes — so the importing server's encoder must
+// number its first datagram last+1 for the console to stay oblivious. The
+// replay ring starts empty; a Nack reaching back past the cutover falls
+// back to a full repaint, which is always safe.
+func (e *Encoder) ResumeAt(last uint32) { e.seq.Resume(last) }
+
 // analyzeUniform reports whether all pixels share one value.
 func analyzeUniform(pixels []protocol.Pixel) (protocol.Pixel, bool) {
 	if len(pixels) == 0 {

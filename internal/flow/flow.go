@@ -737,6 +737,20 @@ func (g *Governor) Reset(now time.Duration) []Item {
 	return dropped
 }
 
+// Quiesce is Reset plus grant revocation: queued damage, pending NACK
+// state, and the half-built batch are dropped (returned for buffer release,
+// like Reset), and the granted rate returns to zero so the governor passes
+// traffic ungoverned until the next console's BandwidthGrant arrives. The
+// migration path calls it on the exporting server — the old console's grant
+// was negotiated for the old attachment and must not pace the repaint the
+// importing server sends to the new console.
+func (g *Governor) Quiesce(now time.Duration) []Item {
+	dropped := g.Reset(now)
+	g.rate = 0
+	g.m.grantBps(0)
+	return dropped
+}
+
 // rectContains reports whether a fully contains b (empty b is contained
 // nowhere: callers filtered it).
 func rectContains(a, b protocol.Rect) bool {

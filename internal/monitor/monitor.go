@@ -9,6 +9,7 @@ package monitor
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"time"
 
@@ -66,6 +67,20 @@ type Line struct {
 	// Incidents is the cumulative incident-bundle count
 	// (slim_incident_bundles_total); shown once the first bundle lands.
 	Incidents int64
+	// FleetShards is the slim_broker_shards gauge — 0 means the scraped
+	// daemon is not a broker and the fleet columns are hidden.
+	FleetShards int64
+	// FleetSessions is the broker's fleet-wide session gauge, and
+	// ShardSessions the per-shard occupancy parsed from the
+	// slim_broker_shard_sessions{shard="i"} gauges, indexed by shard.
+	FleetSessions int64
+	ShardSessions []int64
+	// Migrations counts live hotdesk migrations this interval (delta of
+	// slim_broker_migrations_total).
+	Migrations int64
+	// Reattach is the windowed hotdesk reattach-latency distribution
+	// (delta of slim_broker_reattach_seconds).
+	Reattach obs.HistogramSnapshot
 	// Interval is the window the deltas cover.
 	Interval time.Duration
 }
@@ -99,6 +114,33 @@ func worstDrift(gauges map[string]int64) (cmd string, pct int64) {
 		}
 	}
 	return cmd, pct
+}
+
+// shardSessions collects the broker's per-shard occupancy gauges into a
+// slice indexed by shard number. Labels outside [0, shards) are ignored —
+// a scrape racing a reconfigured fleet must not panic the monitor.
+func shardSessions(gauges map[string]int64, shards int64) []int64 {
+	if shards <= 0 {
+		return nil
+	}
+	out := make([]int64, shards)
+	const prefix = `slim_broker_shard_sessions{shard="`
+	for name, v := range gauges {
+		rest, ok := strings.CutPrefix(name, prefix)
+		if !ok {
+			continue
+		}
+		label, ok := strings.CutSuffix(rest, `"}`)
+		if !ok {
+			continue
+		}
+		i, err := strconv.Atoi(label)
+		if err != nil || i < 0 || int64(i) >= shards {
+			continue
+		}
+		out[i] = v
+	}
+	return out
 }
 
 // Summarize derives one interval's Line from consecutive domain-keyed
@@ -147,6 +189,14 @@ func Summarize(prev, cur map[string]obs.Snapshot, interval time.Duration, now ti
 	l.Goroutines = c.Gauges["slim_runtime_goroutines"]
 	l.WorstGCPause = time.Duration(c.Gauges["slim_runtime_gc_pause_worst_ns"])
 	l.Incidents = c.Counters["slim_incident_bundles_total"]
+	l.FleetShards = c.Gauges["slim_broker_shards"]
+	if l.FleetShards > 0 {
+		l.FleetSessions = c.Gauges["slim_broker_sessions"]
+		l.ShardSessions = shardSessions(c.Gauges, l.FleetShards)
+		l.Migrations = Delta(p, c, "slim_broker_migrations_total")
+		l.Reattach = c.Histograms["slim_broker_reattach_seconds"].
+			Delta(p.Histograms["slim_broker_reattach_seconds"])
+	}
 	return l
 }
 
@@ -211,6 +261,20 @@ func (l Line) Format(now time.Time) string {
 	}
 	if l.Incidents > 0 {
 		s += fmt.Sprintf(" | incidents %d", l.Incidents)
+	}
+	if l.FleetShards > 0 {
+		occ := make([]string, len(l.ShardSessions))
+		for i, n := range l.ShardSessions {
+			occ[i] = fmt.Sprintf("%d", n)
+		}
+		s += fmt.Sprintf(" | fleet %d/%dsh [%s]",
+			l.FleetSessions, l.FleetShards, strings.Join(occ, " "))
+		if l.Migrations > 0 {
+			s += fmt.Sprintf(" mig %d", l.Migrations)
+		}
+		if l.Reattach.Count > 0 {
+			s += fmt.Sprintf(" reattach p99 %s", FormatMs(l.Reattach.P99))
+		}
 	}
 	return s
 }

@@ -301,3 +301,88 @@ func TestSummarizeHostColumns(t *testing.T) {
 		t.Errorf("idle line grew host columns: %q", line)
 	}
 }
+
+// TestSummarizeFleetColumns: the fleet column appears once a broker's
+// shard gauge is present, showing total and per-shard occupancy (ordered
+// by shard index regardless of map iteration), migrations only when the
+// window saw one, and the reattach p99 only when the window observed a
+// hotdesk.
+func TestSummarizeFleetColumns(t *testing.T) {
+	p, c := snapPair(func(prev, cur *obs.Registry) {
+		cur.Gauge("slim_broker_shards").Set(4)
+		cur.Gauge("slim_broker_sessions").Set(7)
+		cur.Gauge(`slim_broker_shard_sessions{shard="2"}`).Set(3)
+		cur.Gauge(`slim_broker_shard_sessions{shard="0"}`).Set(1)
+		cur.Gauge(`slim_broker_shard_sessions{shard="1"}`).Set(2)
+		cur.Gauge(`slim_broker_shard_sessions{shard="3"}`).Set(1)
+		// A stale label from a bigger fleet must be ignored, not crash.
+		cur.Gauge(`slim_broker_shard_sessions{shard="9"}`).Set(99)
+		prev.Counter("slim_broker_migrations_total").Add(2)
+		cur.Counter("slim_broker_migrations_total").Add(5)
+		for i := 0; i < 50; i++ {
+			cur.Histogram("slim_broker_reattach_seconds").Observe(40 * time.Millisecond)
+		}
+	})
+	l := Summarize(p, c, time.Second, time.UnixMilli(0))
+	if l.FleetShards != 4 || l.FleetSessions != 7 {
+		t.Fatalf("fleet fields = shards %d sessions %d, want 4/7", l.FleetShards, l.FleetSessions)
+	}
+	want := []int64{1, 2, 3, 1}
+	for i, n := range want {
+		if l.ShardSessions[i] != n {
+			t.Fatalf("ShardSessions = %v, want %v", l.ShardSessions, want)
+		}
+	}
+	if l.Migrations != 3 {
+		t.Errorf("Migrations = %d, want 3 (windowed delta)", l.Migrations)
+	}
+	if l.Reattach.Count != 50 {
+		t.Errorf("Reattach.Count = %d, want 50", l.Reattach.Count)
+	}
+	line := l.Format(time.UnixMilli(0))
+	if !strings.Contains(line, "fleet 7/4sh [1 2 3 1]") {
+		t.Errorf("line missing fleet column: %q", line)
+	}
+	if !strings.Contains(line, "mig 3") {
+		t.Errorf("line missing migration count: %q", line)
+	}
+	// Bucketized percentile: assert presence and magnitude, not the exact
+	// bucket boundary.
+	if !strings.Contains(line, "reattach p99 ") {
+		t.Errorf("line missing reattach p99: %q", line)
+	}
+	if l.Reattach.P99 < 0.02 || l.Reattach.P99 > 0.2 {
+		t.Errorf("Reattach.P99 = %v, want ~40ms", l.Reattach.P99)
+	}
+}
+
+// TestSummarizeHidesFleetColumnsForSingleServer: slimd scrapes carry no
+// broker gauges, so the fleet column must not appear.
+func TestSummarizeHidesFleetColumnsForSingleServer(t *testing.T) {
+	p, c := snapPair(func(prev, cur *obs.Registry) {
+		cur.Gauge("slim_sessions").Set(2)
+	})
+	l := Summarize(p, c, time.Second, time.UnixMilli(0))
+	if l.FleetShards != 0 || l.ShardSessions != nil {
+		t.Fatalf("single-server scrape grew fleet fields: %+v", l)
+	}
+	if line := l.Format(time.UnixMilli(0)); strings.Contains(line, "fleet") {
+		t.Errorf("single-server line mentions fleet: %q", line)
+	}
+
+	// A quiet fleet (no migrations, no hotdesks this window) shows
+	// occupancy but neither the mig nor the reattach fragment.
+	p, c = snapPair(func(prev, cur *obs.Registry) {
+		cur.Gauge("slim_broker_shards").Set(2)
+		cur.Gauge("slim_broker_sessions").Set(2)
+		cur.Gauge(`slim_broker_shard_sessions{shard="0"}`).Set(1)
+		cur.Gauge(`slim_broker_shard_sessions{shard="1"}`).Set(1)
+	})
+	line := Summarize(p, c, time.Second, time.UnixMilli(0)).Format(time.UnixMilli(0))
+	if !strings.Contains(line, "fleet 2/2sh [1 1]") {
+		t.Errorf("quiet fleet line = %q", line)
+	}
+	if strings.Contains(line, "mig") || strings.Contains(line, "reattach") {
+		t.Errorf("quiet fleet line grew mig/reattach fragments: %q", line)
+	}
+}

@@ -144,6 +144,12 @@ func (s *Sequencer) Reserve(n int) uint32 {
 	return first
 }
 
+// Resume continues numbering after last, as if last had just been issued.
+// Session migration uses it: a session keeps its ID across servers, so the
+// receiving server's sequencer must pick up exactly where the sender's
+// stopped or the console's gap tracker would see the stream jump backwards.
+func (s *Sequencer) Resume(last uint32) { s.next = last }
+
 // GapTracker watches arriving sequence numbers on the console side and
 // reports contiguous gaps so the console can issue a Nack. Out-of-order
 // arrival within a small reorder window is tolerated without a Nack, as

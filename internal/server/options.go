@@ -74,6 +74,36 @@ func WithParallelEncoding(workers int) Option {
 	return func(s *Server) { s.encPool = par.New(workers) }
 }
 
+// WithSessionIDBase starts the server's session-ID counter at base instead
+// of zero. A broker gives each shard a disjoint ID space (shard i issues
+// IDs above i<<24) so sessions keep their IDs when they migrate between
+// shards and control messages addressed by session ID (BandwidthGrant)
+// route unambiguously across the fleet.
+func WithSessionIDBase(base uint32) Option {
+	return func(s *Server) { s.nextID = base }
+}
+
+// Resolved is the subset of option-configured settings a broker needs to
+// see before fanning the same option list out to its shards — the shared
+// registry its fleet rollup publishes into, and the logger for broker-level
+// lifecycle events. Everything else (flow config, cost model, SLO tracker,
+// flight recorder, parallel encoding) is inherited opaquely by each shard.
+type Resolved struct {
+	Registry *obs.Registry
+	Logger   *slog.Logger
+}
+
+// ResolveOptions applies opts to a blank server and reports the settings a
+// broker inherits at its own level. The options are not consumed: callers
+// pass the same list on to every shard they construct.
+func ResolveOptions(opts ...Option) Resolved {
+	var probe Server
+	for _, o := range opts {
+		o(&probe)
+	}
+	return Resolved{Registry: probe.optObs, Logger: probe.log}
+}
+
 // WithFlowControl enables the grant-driven send governor (§7) for every
 // session: display traffic is paced to the console's BandwidthGrant,
 // stale queued damage is superseded under backpressure, and NACK

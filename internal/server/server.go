@@ -514,6 +514,52 @@ func (s *Server) attachByToken(out *[]outbound, console, token string, now time.
 		}
 		return err
 	}
+	return s.attachUserLocked(out, console, user, now)
+}
+
+// Attach moves (or creates) a user's session onto a console without a
+// credential check — the caller has already authenticated the user. This is
+// the broker's redirect step: it authenticates tokens fleet-wide, picks a
+// shard, and attaches by user. The console must have said Hello here first.
+func (s *Server) Attach(console, user string, now time.Duration) error {
+	s.mu.Lock()
+	var out []outbound
+	var err error
+	if _, ok := s.consoles[console]; !ok {
+		err = fmt.Errorf("%w: %q", ErrUnknownConsole, console)
+	} else {
+		err = s.attachUserLocked(&out, console, user, now)
+	}
+	s.mu.Unlock()
+	ferr := s.flush(out)
+	if err != nil {
+		return err
+	}
+	return ferr
+}
+
+// EvictConsole silently forgets a console: any session displayed there is
+// detached (no SessionDetach on the wire — the broker is redirecting the
+// console to another shard, whose SessionAttach supersedes it) and the
+// geometry registration is dropped. No-op for unknown consoles.
+func (s *Server) EvictConsole(console string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cs, ok := s.consoles[console]
+	if !ok {
+		return
+	}
+	if cs.session != 0 {
+		if sess, ok := s.sessions[cs.session]; ok && sess.Console == console {
+			sess.Console = ""
+		}
+	}
+	delete(s.consoles, console)
+}
+
+// attachUserLocked moves an already-authenticated user's session to the
+// given console, creating the session on first use. Callers hold s.mu.
+func (s *Server) attachUserLocked(out *[]outbound, console, user string, now time.Duration) error {
 	cs := s.consoles[console]
 	id, ok := s.byUser[user]
 	var sess *Session

@@ -36,21 +36,31 @@ func NewQuakeSource(w, h int, seed uint64) VideoSource { return video.NewQuake(w
 // StartTicker drives Ticker applications (video players) at the given
 // rate until the server is closed.
 func (s *UDPServer) StartTicker(fps float64) {
+	s.udpListener.startTicker(fps, s.Server.Tick)
+}
+
+// StartTicker drives Ticker applications on every shard at the given rate
+// until the broker is closed.
+func (b *UDPBroker) StartTicker(fps float64) {
+	b.udpListener.startTicker(fps, b.Broker.Tick)
+}
+
+func (l *udpListener) startTicker(fps float64, tick func(time.Duration) error) {
 	if fps <= 0 {
 		fps = 30
 	}
 	interval := time.Duration(float64(time.Second) / fps)
 	start := time.Now()
 	go func() {
-		tick := time.NewTicker(interval)
-		defer tick.Stop()
+		t := time.NewTicker(interval)
+		defer t.Stop()
 		for {
 			select {
-			case <-s.closed:
+			case <-l.closed:
 				return
-			case <-tick.C:
+			case <-t.C:
 				// Per-session errors must not stop the clock.
-				_ = s.Server.Tick(time.Since(start))
+				_ = tick(time.Since(start))
 			}
 		}
 	}()

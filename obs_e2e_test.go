@@ -161,7 +161,7 @@ func TestUDPConsoleCloseJoinsServeGoroutine(t *testing.T) {
 	}
 	defer srv.Close()
 	srv.Server.Auth.Register("card-u", "udpuser")
-	con, err := DialConsole(srv.Addr().String(), ConsoleConfig{Width: 320, Height: 240}, "card-u")
+	con, err := DialConsole(srv.Addr().String(), ConsoleConfig{Width: 320, Height: 240}, TokenOf("card-u"))
 	if err != nil {
 		t.Fatal(err)
 	}

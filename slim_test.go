@@ -142,7 +142,7 @@ func TestUDPEndToEnd(t *testing.T) {
 	defer srv.Close()
 	srv.Server.Auth.Register("card-u", "udpuser")
 
-	con, err := DialConsole(srv.Addr().String(), ConsoleConfig{Width: 320, Height: 240}, "card-u")
+	con, err := DialConsole(srv.Addr().String(), ConsoleConfig{Width: 320, Height: 240}, TokenOf("card-u"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +188,7 @@ func TestUDPMobilityAcrossConsoles(t *testing.T) {
 	defer srv.Close()
 	srv.Server.Auth.Register("card-m", "mover")
 
-	con1, err := DialConsole(srv.Addr().String(), ConsoleConfig{Width: 320, Height: 240}, "card-m")
+	con1, err := DialConsole(srv.Addr().String(), ConsoleConfig{Width: 320, Height: 240}, TokenOf("card-m"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,7 +201,7 @@ func TestUDPMobilityAcrossConsoles(t *testing.T) {
 	before := con1.Console.Framebuffer().Snapshot()
 
 	// Second console presents the same card: session moves.
-	con2, err := DialConsole(srv.Addr().String(), ConsoleConfig{Width: 320, Height: 240}, "card-m")
+	con2, err := DialConsole(srv.Addr().String(), ConsoleConfig{Width: 320, Height: 240}, TokenOf("card-m"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -314,7 +314,7 @@ func TestUDPTickerStreamsVideo(t *testing.T) {
 	srv.Server.Auth.Register("card-t", "tv")
 	srv.StartTicker(60)
 
-	con, err := DialConsole(srv.Addr().String(), ConsoleConfig{Width: 120, Height: 90}, "card-t")
+	con, err := DialConsole(srv.Addr().String(), ConsoleConfig{Width: 120, Height: 90}, TokenOf("card-t"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -417,7 +417,7 @@ func TestUDPServerSurvivesGarbage(t *testing.T) {
 		}
 	}
 	// The daemon must still serve a real console afterwards.
-	con, err := DialConsole(srv.Addr().String(), ConsoleConfig{Width: 320, Height: 240}, "card-g")
+	con, err := DialConsole(srv.Addr().String(), ConsoleConfig{Width: 320, Height: 240}, TokenOf("card-g"))
 	if err != nil {
 		t.Fatal(err)
 	}

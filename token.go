@@ -1,0 +1,60 @@
+package slim
+
+import (
+	"crypto/rand"
+	"crypto/subtle"
+	"encoding/hex"
+	"fmt"
+)
+
+// Token is a smart-card credential: the opaque string a console presents
+// when a card is inserted (§1.1) and the key the directory's
+// authentication manager resolves to a user. Typing it keeps credentials
+// from being confused with the other bare strings in the attach API
+// (console IDs, user names, addresses) — the motivation for replacing the
+// old `cardToken string` parameters.
+//
+// The zero Token (NoToken) is "no card inserted": DialConsoleContext with
+// NoToken boots to the login screen.
+type Token struct {
+	s string
+}
+
+// NoToken is the absent credential: a console booting with no card.
+var NoToken = Token{}
+
+// TokenOf wraps an existing card-token string (cards enrolled outside this
+// process, config files, the slimd -card flag).
+func TokenOf(s string) Token { return Token{s: s} }
+
+// IssueToken mints a fresh 128-bit random credential, hex encoded — the
+// card-burning side of the directory.
+func IssueToken() (Token, error) {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return NoToken, fmt.Errorf("slim: issue token: %w", err)
+	}
+	return Token{s: hex.EncodeToString(b[:])}, nil
+}
+
+// MustIssueToken is IssueToken for tests and examples; it panics if the
+// system's randomness source fails.
+func MustIssueToken() Token {
+	t, err := IssueToken()
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// String reveals the credential for the wire and the AuthManager boundary,
+// both of which carry card tokens as strings.
+func (t Token) String() string { return t.s }
+
+// IsZero reports whether the token is NoToken.
+func (t Token) IsZero() bool { return t.s == "" }
+
+// Equal compares credentials in constant time.
+func (t Token) Equal(o Token) bool {
+	return subtle.ConstantTimeCompare([]byte(t.s), []byte(o.s)) == 1
+}

@@ -2,6 +2,7 @@ package slim
 
 import (
 	"net"
+	"time"
 
 	"slim/internal/protocol"
 )
@@ -17,6 +18,24 @@ type Transport interface {
 	Addr() net.Addr
 	// Close shuts the transport down. Safe to call more than once.
 	Close() error
+}
+
+// SessionHandler is the server side a transport feeds console traffic
+// into: one Server, or a Broker fronting a shard fleet — the transports
+// drive either without knowing which. It is the narrow, datagram-facing
+// subset of Directory.
+type SessionHandler interface {
+	// Handle processes one already-decoded console message.
+	Handle(console string, msg Message, now time.Duration) error
+	// HandleDatagram processes one raw console datagram.
+	HandleDatagram(console string, wire []byte, now time.Duration) error
+	// SessionOf reports the session a console is displaying (nil if none).
+	SessionOf(console string) *Session
+	// PumpFlows services flow governors at now, reporting when more paced
+	// traffic becomes sendable.
+	PumpFlows(now time.Duration) (next time.Duration, pending bool, err error)
+	// FlowEnabled reports whether any session runs a send governor.
+	FlowEnabled() bool
 }
 
 // InputSink is a console-side user: keystrokes, pointer motion, typed
@@ -36,12 +55,16 @@ type InputSink interface {
 }
 
 // Compile-time wiring checks: both transports satisfy Transport, both
-// console attachments satisfy InputSink.
+// console attachments satisfy InputSink, and both server sides satisfy
+// SessionHandler.
 var (
-	_ Transport = (*Fabric)(nil)
-	_ Transport = (*UDPServer)(nil)
-	_ InputSink = Desk{}
-	_ InputSink = (*UDPConsole)(nil)
+	_ Transport      = (*Fabric)(nil)
+	_ Transport      = (*UDPServer)(nil)
+	_ Transport      = (*UDPBroker)(nil)
+	_ InputSink      = Desk{}
+	_ InputSink      = (*UDPConsole)(nil)
+	_ SessionHandler = (*Server)(nil)
+	_ SessionHandler = (*Broker)(nil)
 )
 
 // inputPort is the one shared InputSink implementation. A transport

@@ -47,10 +47,13 @@ func newUDPMetrics(r *obs.Registry, prefix string) *udpMetrics {
 // server daemon and a console client that interoperate over any UDP
 // network, loopback included.
 
-// UDPServer runs a SLIM server on a UDP socket. Console datagrams are
-// demultiplexed by source address; each distinct address is a console.
-type UDPServer struct {
-	Server *Server
+// udpListener is the socket machinery shared by the single-server and
+// broker UDP daemons: the serve loop demultiplexing console datagrams by
+// source address, the Transport implementation routing sends back, and the
+// flow pacer. The handler — one Server or a Broker — is set before the
+// goroutines start.
+type udpListener struct {
+	handler SessionHandler
 
 	conn      *net.UDPConn
 	mu        sync.Mutex
@@ -69,19 +72,9 @@ type UDPServer struct {
 	capture *capture.Ring
 }
 
-// ListenAndServe binds a UDP address and starts a SLIM server on it. The
-// returned server is already serving; Close stops it. Equivalent to
-// ListenAndServeContext with context.Background().
-func ListenAndServe(addr string, newApp AppFactory, opts ...ServerOption) (*UDPServer, error) {
-	return ListenAndServeContext(context.Background(), addr, newApp, opts...)
-}
-
-// ListenAndServeContext binds a UDP address under ctx and starts a SLIM
-// server on it. Cancelling ctx closes the server, so callers can tie the
-// daemon's lifetime to a signal context. Options configure flow control
-// and observability (see NewServer); with flow control enabled the server
-// runs a pacer goroutine that releases grant-paced traffic on schedule.
-func ListenAndServeContext(ctx context.Context, addr string, newApp AppFactory, opts ...ServerOption) (*UDPServer, error) {
+// listenUDP binds the socket and builds the listener shell; the caller
+// wires a handler and calls run.
+func listenUDP(ctx context.Context, addr string) (*udpListener, error) {
 	var lc net.ListenConfig
 	pc, err := lc.ListenPacket(ctx, "udp", addr)
 	if err != nil {
@@ -92,7 +85,7 @@ func ListenAndServeContext(ctx context.Context, addr string, newApp AppFactory, 
 		pc.Close()
 		return nil, fmt.Errorf("slim: listen %q: not a UDP socket", addr)
 	}
-	s := &UDPServer{
+	return &udpListener{
 		conn:    conn,
 		addrs:   make(map[string]*net.UDPAddr),
 		closed:  make(chan struct{}),
@@ -100,10 +93,14 @@ func ListenAndServeContext(ctx context.Context, addr string, newApp AppFactory, 
 		start:   time.Now(),
 		metrics: newUDPMetrics(obs.Default, "slim_udp"),
 		capture: capture.Default,
-	}
-	s.Server = NewServer(s, newApp, opts...)
+	}, nil
+}
+
+// run starts the serve loop (and the flow pacer when the handler paces)
+// and ties the listener's lifetime to ctx.
+func (s *udpListener) run(ctx context.Context) {
 	go s.serve()
-	if s.Server.FlowEnabled() {
+	if s.handler.FlowEnabled() {
 		s.pacerDone = make(chan struct{})
 		go s.pace()
 	}
@@ -116,17 +113,76 @@ func ListenAndServeContext(ctx context.Context, addr string, newApp AppFactory, 
 			}
 		}()
 	}
+}
+
+// UDPServer runs a SLIM server on a UDP socket. Console datagrams are
+// demultiplexed by source address; each distinct address is a console.
+type UDPServer struct {
+	Server *Server
+	*udpListener
+}
+
+// ListenAndServe binds a UDP address and starts a SLIM server on it.
+//
+// Deprecated: use ListenAndServeContext, which ties the daemon's lifetime
+// to a context. This wrapper is ListenAndServeContext with
+// context.Background().
+func ListenAndServe(addr string, newApp AppFactory, opts ...ServerOption) (*UDPServer, error) {
+	return ListenAndServeContext(context.Background(), addr, newApp, opts...)
+}
+
+// ListenAndServeContext binds a UDP address under ctx and starts a SLIM
+// server on it. Cancelling ctx closes the server, so callers can tie the
+// daemon's lifetime to a signal context. Options configure flow control
+// and observability (see NewServer); with flow control enabled the server
+// runs a pacer goroutine that releases grant-paced traffic on schedule.
+func ListenAndServeContext(ctx context.Context, addr string, newApp AppFactory, opts ...ServerOption) (*UDPServer, error) {
+	l, err := listenUDP(ctx, addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := NewServer(l, newApp, opts...)
+	l.handler = srv
+	s := &UDPServer{Server: srv, udpListener: l}
+	l.run(ctx)
 	return s, nil
 }
 
-// Addr reports the bound UDP address.
-func (s *UDPServer) Addr() net.Addr { return s.conn.LocalAddr() }
+// UDPBroker runs a session-broker fleet on one UDP socket: every shard
+// sends through the same transport, and the broker routes each console's
+// datagrams to the shard hosting its session.
+type UDPBroker struct {
+	Broker *Broker
+	*udpListener
+}
 
-// Close stops the server and waits for its goroutines to exit, so none
-// outlives the UDPServer even when Close races a blocked socket read
+// ListenAndServeBroker binds a UDP address and starts a session-broker
+// fleet on it. Cancelling ctx closes the listener and the broker. Options
+// are inherited by every shard (see NewBroker).
+func ListenAndServeBroker(ctx context.Context, addr string, cfg BrokerConfig, newApp AppFactory, opts ...ServerOption) (*UDPBroker, error) {
+	l, err := listenUDP(ctx, addr)
+	if err != nil {
+		return nil, err
+	}
+	b, err := NewBroker(ctx, cfg, l, newApp, opts...)
+	if err != nil {
+		l.conn.Close()
+		return nil, err
+	}
+	l.handler = b
+	u := &UDPBroker{Broker: b, udpListener: l}
+	l.run(ctx)
+	return u, nil
+}
+
+// Addr reports the bound UDP address.
+func (s *udpListener) Addr() net.Addr { return s.conn.LocalAddr() }
+
+// Close stops the daemon and waits for its goroutines to exit, so none
+// outlives the listener even when Close races a blocked socket read
 // (closing the socket unblocks ReadFromUDP with net.ErrClosed).
 // Idempotent: concurrent and repeated calls all wait for shutdown.
-func (s *UDPServer) Close() error {
+func (s *udpListener) Close() error {
 	s.closeOnce.Do(func() {
 		close(s.closed)
 		s.closeErr = s.conn.Close()
@@ -143,7 +199,7 @@ func (s *UDPServer) Close() error {
 // poll interval when nothing is queued — new traffic releases inline on
 // the Handle path, so idle polling only bounds deferred-retransmit
 // latency).
-func (s *UDPServer) pace() {
+func (s *udpListener) pace() {
 	defer close(s.pacerDone)
 	const idle = 20 * time.Millisecond
 	timer := time.NewTimer(idle)
@@ -154,7 +210,7 @@ func (s *UDPServer) pace() {
 			return
 		case <-timer.C:
 		}
-		next, pending, _ := s.Server.PumpFlows(time.Since(s.start))
+		next, pending, _ := s.handler.PumpFlows(time.Since(s.start))
 		wait := idle
 		if pending {
 			wait = next - time.Since(s.start)
@@ -167,7 +223,7 @@ func (s *UDPServer) pace() {
 }
 
 // Send implements Transport: route a datagram to a console by address.
-func (s *UDPServer) Send(consoleID string, wire []byte) error {
+func (s *udpListener) Send(consoleID string, wire []byte) error {
 	s.mu.Lock()
 	addr := s.addrs[consoleID]
 	s.mu.Unlock()
@@ -181,8 +237,8 @@ func (s *UDPServer) Send(consoleID string, wire []byte) error {
 		s.metrics.txErrors.Inc()
 		// The command never made the wire: flight-record the loss so the
 		// session's causal chain shows a TX with no RX and a DROP.
-		if isDisplayDatagram(wire) {
-			if sess := s.Server.SessionOf(consoleID); sess != nil && sess.FlightLog().Armed() {
+		if isDisplayDatagram(wire) && s.handler != nil {
+			if sess := s.handler.SessionOf(consoleID); sess != nil && sess.FlightLog().Armed() {
 				sess.FlightLog().Drop(binary.BigEndian.Uint32(wire[4:8]),
 					protocol.MsgType(wire[3]), int64(len(wire)))
 			}
@@ -197,7 +253,7 @@ func (s *UDPServer) Send(consoleID string, wire []byte) error {
 	return nil
 }
 
-func (s *UDPServer) serve() {
+func (s *udpListener) serve() {
 	defer close(s.done)
 	buf := make([]byte, 64*1024)
 	for {
@@ -225,7 +281,7 @@ func (s *UDPServer) serve() {
 		// Per-console errors (bad datagrams, unauthenticated input) must
 		// not kill the daemon; the protocol is loss tolerant by design.
 		t0 := time.Now()
-		_ = s.Server.HandleDatagram(id, buf[:n], time.Since(s.start))
+		_ = s.handler.HandleDatagram(id, buf[:n], time.Since(s.start))
 		s.metrics.handleSeconds.Observe(time.Since(t0))
 	}
 }
@@ -247,17 +303,21 @@ type UDPConsole struct {
 }
 
 // DialConsole connects a console to a UDP server and sends its Hello
-// (presenting cardToken if non-empty). It serves incoming display traffic
-// on a background goroutine until Close. Equivalent to DialConsoleContext
-// with context.Background().
-func DialConsole(serverAddr string, cfg ConsoleConfig, cardToken string) (*UDPConsole, error) {
-	return DialConsoleContext(context.Background(), serverAddr, cfg, cardToken)
+// (presenting tok unless it is NoToken). It serves incoming display
+// traffic on a background goroutine until Close.
+//
+// Deprecated: use DialConsoleContext, which honors a dial deadline and
+// ties the console's lifetime to a context. This wrapper is
+// DialConsoleContext with context.Background().
+func DialConsole(serverAddr string, cfg ConsoleConfig, tok Token) (*UDPConsole, error) {
+	return DialConsoleContext(context.Background(), serverAddr, cfg, tok)
 }
 
 // DialConsoleContext connects a console to a UDP server under ctx: the
 // dial honors the context's deadline, and cancelling it afterwards closes
-// the console.
-func DialConsoleContext(ctx context.Context, serverAddr string, cfg ConsoleConfig, cardToken string) (*UDPConsole, error) {
+// the console. The console presents tok as its smart card (NoToken boots
+// to the login screen).
+func DialConsoleContext(ctx context.Context, serverAddr string, cfg ConsoleConfig, tok Token) (*UDPConsole, error) {
 	var d net.Dialer
 	nc, err := d.DialContext(ctx, "udp", serverAddr)
 	if err != nil {
@@ -286,7 +346,7 @@ func DialConsoleContext(ctx context.Context, serverAddr string, cfg ConsoleConfi
 		card:    func(token string) error { return c.send(c.Console.InsertCard(token)) },
 	}
 	hello := con.Hello()
-	hello.CardToken = cardToken
+	hello.CardToken = tok.String()
 	if err := c.send(hello); err != nil {
 		conn.Close()
 		return nil, err
