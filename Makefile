@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench cover fuzz reproduce examples clean race bench-guard bench-json alloc-guard capacity capacity-smoke fleet-smoke ci
+.PHONY: all build test vet bench cover fuzz reproduce examples clean race bench-guard bench-json alloc-guard capacity capacity-smoke fleet-smoke netqual netqual-smoke ci
 
 all: build test
 
@@ -35,7 +35,7 @@ race:
 # TestDisabledTapAllocatesNothing, which every plain `go test` run
 # enforces).
 bench-guard:
-	$(GO) test -run xxx -bench . -benchtime 1x . ./internal/broker/ ./internal/obs/flight/ ./internal/obs/capture/ ./internal/obs/slo/ ./internal/obs/hostmon/ ./internal/obs/incident/ ./internal/flow/ ./internal/fb/ ./internal/core/
+	$(GO) test -run xxx -bench . -benchtime 1x . ./internal/broker/ ./internal/obs/flight/ ./internal/obs/capture/ ./internal/obs/slo/ ./internal/obs/hostmon/ ./internal/obs/incident/ ./internal/obs/netqual/ ./internal/flow/ ./internal/fb/ ./internal/core/
 
 # Measure the pixel-pipeline hot paths (optimized vs slowXxx reference
 # kernels, serial vs parallel encoder) and record the numbers as JSON.
@@ -45,11 +45,11 @@ bench-json:
 
 # Steady-state allocation budgets on the hot paths (0 allocs/op for console
 # apply, the warm wire-emit path, the SLO observe path — disabled AND
-# enabled — and the hostmon sample path). Run without -race: the race
-# detector's instrumentation allocates, so these tests skip themselves
-# under it.
+# enabled — the hostmon sample path, and the netqual observe path —
+# disabled AND enabled). Run without -race: the race detector's
+# instrumentation allocates, so these tests skip themselves under it.
 alloc-guard:
-	$(GO) test -run 'ZeroAlloc' -count 1 ./internal/fb/ ./internal/core/ ./internal/broker/ ./internal/obs/slo/ ./internal/obs/hostmon/
+	$(GO) test -run 'ZeroAlloc' -count 1 ./internal/fb/ ./internal/core/ ./internal/broker/ ./internal/obs/slo/ ./internal/obs/hostmon/ ./internal/obs/netqual/
 
 # Regenerate the committed capacity artifact: full LAN + WAN user ramps
 # until the SLO burn knee (~5s of wall time; see internal/capacity).
@@ -62,6 +62,18 @@ capacity:
 capacity-smoke:
 	$(GO) test -run 'TestCapacitySmoke|TestCommittedBench' -count 1 -v ./internal/capacity/
 
+# Regenerate the committed path-estimation accuracy artifact: the netsim
+# sweep over RTT 1-300ms x loss 0-10% (see internal/obs/netqual/sweep.go).
+# TestCommittedBench validates the artifact stays within the accuracy bounds.
+netqual:
+	$(GO) run ./cmd/slimnetqual -o BENCH_netqual.json
+
+# Single-point estimator accuracy check plus committed-artifact validation.
+# Runs in seconds; CI runs this (the full sweep is TestAccuracySweep, run
+# by plain `go test`).
+netqual-smoke:
+	$(GO) test -run 'TestNetqualSmoke|TestCommittedBench' -count 1 -v ./internal/obs/netqual/
+
 # Session-broker fleet smoke: a 2-shard broker over the in-process fabric,
 # hotdesk churn, one forced live migration, and the reattach latency
 # asserted against the 2-second hotdesk budget (the full 2,000-console
@@ -70,8 +82,9 @@ fleet-smoke:
 	$(GO) test -run 'TestFleetSmoke' -count 1 -v .
 
 # CI-style gate: static checks, race-detected tests, benchmark smoke run,
-# allocation budgets, capacity-curve smoke, fleet smoke.
-ci: vet race bench-guard alloc-guard capacity-smoke fleet-smoke
+# allocation budgets, capacity-curve smoke, path-estimation smoke, fleet
+# smoke.
+ci: vet race bench-guard alloc-guard capacity-smoke netqual-smoke fleet-smoke
 
 cover:
 	$(GO) test -cover ./...

@@ -81,6 +81,7 @@ func main() {
 	fps := flag.Float64("fps", 24, "video frame rate for video applications")
 	flow := flag.Bool("flow", false, "enable the per-session send governor on every shard (§7)")
 	flowBps := flag.Uint64("flow-bps", 0, "with -flow, initial per-session bandwidth demand in bits/s")
+	netqualOn := flag.Bool("netqual", false, "estimate per-session path RTT/jitter/loss/goodput passively on every shard (slim_netqual_*, per-shard rollups, /debug/netqual)")
 	logLevel := flag.String("log-level", "info", "log verbosity: debug|info|warn|error")
 	logJSON := flag.Bool("log-json", false, "emit logs as JSON lines instead of text")
 	var cards cardFlags
@@ -121,6 +122,14 @@ func main() {
 			slim.WithCostModel(slim.SunRay1Costs()),
 			slim.WithFlowControl(slim.FlowConfig{InitialBps: *flowBps}),
 			slim.WithCalibratedCosts(slim.Calibrator()))
+	}
+	if *netqualOn {
+		// Shards share the process-wide tracker (session IDs are disjoint
+		// per shard), so estimator state follows a session across hotdesk
+		// migrations and the broker rolls it up per shard.
+		slim.SetNetQualEnabled(true)
+		logger.Info("passive path estimation on",
+			"series", "slim_netqual_*", "watch", "/debug/netqual")
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)

@@ -12,6 +12,7 @@
 //	slimd -capture run.slimcap     # spool every datagram to a wire capture
 //	slimd -slo-target 100ms -slo-budget 0.005   # tighten the latency SLO
 //	slimd -hostmon                 # host runtime telemetry + profiling
+//	slimd -netqual                 # passive per-session path RTT/loss estimation
 //	slimd -incident-dir incidents  # SLO-triggered incident bundles
 //	slimd -log-level debug -log-json   # structured logging to stderr
 //
@@ -127,6 +128,7 @@ func main() {
 		"per-event latency objective the SLO engine evaluates against")
 	sloBudget := flag.Float64("slo-budget", slim.SLO().Budget(),
 		"allowed breach fraction, e.g. 0.01 for 1% of events")
+	netqualOn := flag.Bool("netqual", false, "estimate per-session path RTT/jitter/loss/goodput passively from STATUS/NACK/grant traffic (slim_netqual_*, /debug/netqual)")
 	hostmonOn := flag.Bool("hostmon", false, "sample host runtime telemetry (slim_runtime_*), profile continuously, and attribute HOST-caused latency breaches")
 	hostmonInterval := flag.Duration("hostmon-interval", 0, "with -hostmon, runtime sampling period (0: the 250ms default)")
 	profileWindow := flag.Duration("profile-window", 0, "with -hostmon, length of each rotating CPU-profile window (0: the 5s default)")
@@ -185,6 +187,11 @@ func main() {
 		}()
 		logger.Info("spooling wire capture",
 			"path", *capturePath, "decode", "slimtrace capture -i "+*capturePath)
+	}
+	if *netqualOn {
+		slim.SetNetQualEnabled(true)
+		logger.Info("passive path estimation on",
+			"series", "slim_netqual_*", "watch", "/debug/netqual")
 	}
 	if *hostmonOn || *incidentDir != "" {
 		slim.HostMonitor().SetInterval(*hostmonInterval)

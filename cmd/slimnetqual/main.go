@@ -1,0 +1,49 @@
+// Command slimnetqual regenerates the committed path-telemetry accuracy
+// artifact: it sweeps the RTT 1–300 ms × loss 0–10% netsim matrix through
+// the passive estimators (internal/obs/netqual) and writes the
+// estimated-versus-configured table that TestCommittedBench validates.
+//
+// Usage:
+//
+//	slimnetqual -o BENCH_netqual.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"slim/internal/obs/netqual"
+)
+
+func main() {
+	log.SetPrefix("slimnetqual: ")
+	log.SetFlags(0)
+	out := flag.String("o", "BENCH_netqual.json", "output artifact path")
+	flag.Parse()
+
+	b := netqual.RunSweep()
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	err = netqual.WriteBench(f, b)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	var worstRTT, worstLoss float64
+	for _, p := range b.Points {
+		if p.RTTErrPct > worstRTT {
+			worstRTT = p.RTTErrPct
+		}
+		if p.LossErrPP > worstLoss {
+			worstLoss = p.LossErrPP
+		}
+	}
+	fmt.Printf("wrote %s: %d points, worst RTT err %.2f%% (bar %d%%), worst loss err %.3fpp (bar %.1fpp)\n",
+		*out, len(b.Points), worstRTT, netqual.RTTTolerancePct, worstLoss, netqual.LossTolerancePP)
+}

@@ -13,6 +13,7 @@
 //	slimtrace blame -i flight-sess1-1.json -reattribute
 //	slimtrace capture -i run.slimcap                # per-command wire tables
 //	slimtrace capture -i run.slimcap -perfetto wire.json -o run.trace
+//	slimtrace netqual -i run.slimcap                # per-session path estimates
 //	slimtrace incident -dir ./incidents             # list incident bundles
 //	slimtrace incident -i incidents/incident-...    # summarize one bundle
 //
@@ -34,6 +35,13 @@
 // slimd -capture or any enabled capture ring; format in PROTOCOL.md) and
 // prints per-command-type count/byte/pixel/bandwidth tables in the shape
 // of the paper's Tables 2-3, measured on the wire rather than modelled.
+//
+// The netqual subcommand replays a .slimcap capture offline through the
+// passive path estimators (internal/obs/netqual): down-direction display
+// datagrams re-arm the send ring, up-direction STATUS/NACK traffic yields
+// RTT/jitter/loss samples, and the result is a per-console path table —
+// the same numbers a live server exports as slim_netqual_*, recovered
+// from a spool after the fact.
 // -perfetto exports the datagrams as instant events on down/up tracks
 // that load alongside a flight export; -o converts the capture to a §3.1
 // offline trace.
@@ -54,6 +62,8 @@ import (
 	"slim/internal/obs/flight"
 	"slim/internal/obs/hostmon"
 	"slim/internal/obs/incident"
+	"slim/internal/obs/netqual"
+	"slim/internal/protocol"
 	"slim/internal/stats"
 	"slim/internal/trace"
 	"slim/internal/workload"
@@ -75,6 +85,7 @@ subcommands:
   flight   inspect a flight-recorder breach dump
   blame    aggregate breach dumps into a per-stage attribution table
   capture  decode a .slimcap wire capture into per-command tables
+  netqual  replay a .slimcap capture through the passive path estimators
   incident list or summarize incident bundles (slimd -incident-dir)
 
 run 'slimtrace <subcommand> -h' for flags
@@ -103,6 +114,8 @@ func main() {
 		blameCmd(os.Args[2:])
 	case "capture":
 		captureCmd(os.Args[2:])
+	case "netqual":
+		netqualCmd(os.Args[2:])
 	case "incident":
 		incidentCmd(os.Args[2:])
 	case "-h", "--help", "help":
@@ -164,6 +177,170 @@ func captureCmd(args []string) {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote offline trace to %s (%d records)\n", *out, len(tr.Records))
+	}
+}
+
+// netqualCmd replays a .slimcap wire capture through the passive path
+// estimators and prints the per-console path table a live server would
+// export as slim_netqual_* — SRTT from STATUS acks against replayed
+// sends, jitter from STATUS inter-arrivals, loss from NACK ranges and
+// cumulative console drop counters, goodput from acked bytes.
+func netqualCmd(args []string) {
+	fs := flag.NewFlagSet("netqual", flag.ExitOnError)
+	in := fs.String("i", "", "input .slimcap capture file")
+	mustParse(fs, args)
+	if *in == "" {
+		log.Fatal("netqual: -i is required")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	h, recs, err := capture.ReadCapture(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The tracker runs in the capture's own clock domain so window reads
+	// line up with record timestamps whether the spool came from a wall
+	// transport or a simulated link.
+	tr := netqual.New(h.Domain, netqual.DefaultConfig())
+	tr.SetEnabled(true)
+
+	type replaySession struct {
+		console string
+		nq      *netqual.PathSession
+		maxSeq  uint32 // high-water display seq, for offline retransmit detection
+		down    int64  // display datagrams replayed
+		up      int64  // STATUS/NACK/grant messages replayed
+	}
+	sessions := map[string]*replaySession{}
+	nextID := uint32(1)
+	lookup := func(console string) *replaySession {
+		if console == "" {
+			console = "?"
+		}
+		rs, ok := sessions[console]
+		if !ok {
+			rs = &replaySession{console: console, nq: tr.Session(nextID, console)}
+			sessions[console] = rs
+			nextID++
+		}
+		return rs
+	}
+
+	var sizeOnly, undecodable int
+	var lastT time.Duration
+	for _, rec := range recs {
+		if rec.T > lastT {
+			lastT = rec.T
+		}
+		if rec.Wire == nil {
+			sizeOnly++ // netsim links spool sizes, not payloads
+			continue
+		}
+		seqs, msgs, err := protocol.DecodeAny(rec.Wire)
+		if err != nil {
+			undecodable++
+			continue
+		}
+		rs := lookup(rec.Console)
+		switch rec.Dir {
+		case capture.DirDown:
+			// Split the datagram's wire size evenly across its display
+			// commands; header overhead is noise at goodput scale.
+			display := 0
+			for _, m := range msgs {
+				switch m.Type() {
+				case protocol.TypeSet, protocol.TypeBitmap, protocol.TypeFill,
+					protocol.TypeCopy, protocol.TypeCSCS, protocol.TypeAudio:
+					display++
+				}
+			}
+			for i, m := range msgs {
+				switch m.Type() {
+				case protocol.TypeSet, protocol.TypeBitmap, protocol.TypeFill,
+					protocol.TypeCopy, protocol.TypeCSCS, protocol.TypeAudio:
+					seq := seqs[i]
+					// Offline we cannot see the governor's retransmit flag;
+					// a seq at or below the high-water mark is a replay.
+					retrans := seq <= rs.maxSeq && rs.maxSeq != 0
+					if seq > rs.maxSeq {
+						rs.maxSeq = seq
+					}
+					rs.nq.OnSend(rec.T, seq, rec.Size/display, retrans)
+					rs.down++
+				case protocol.TypeBandwidthRequest:
+					rs.nq.OnProbe(rec.T)
+				}
+			}
+		case capture.DirUp:
+			for _, m := range msgs {
+				switch v := m.(type) {
+				case *protocol.Status:
+					rs.nq.OnStatus(rec.T, v.LastSeq, v.Dropped)
+					rs.up++
+				case *protocol.Nack:
+					rs.nq.OnNack(rec.T, v.From, v.To)
+					rs.up++
+				case *protocol.BandwidthGrant:
+					rs.nq.OnGrant(rec.T)
+					rs.up++
+				}
+			}
+		}
+	}
+
+	names := make([]string, 0, len(sessions))
+	for name := range sessions {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	fmt.Printf("capture: %d records, %d consoles, span %s\n",
+		len(recs), len(sessions), lastT.Round(time.Millisecond))
+	if sizeOnly > 0 {
+		fmt.Printf("  %d size-only records skipped (no payload to decode)\n", sizeOnly)
+	}
+	if undecodable > 0 {
+		fmt.Printf("  %d undecodable records skipped\n", undecodable)
+	}
+	fmt.Printf("\n%-16s %8s %9s %9s %9s %7s %7s %10s %7s %5s\n",
+		"console", "srtt", "rttvar", "minrtt", "jitter",
+		"loss5s", "loss1m", "goodput", "sends", "acks")
+	for _, name := range names {
+		rs := sessions[name]
+		nq := rs.nq
+		fmt.Printf("%-16s %8s %9s %9s %9s %6.2f%% %6.2f%% %10s %7d %5d\n",
+			rs.console,
+			fmtPathDur(nq.SRTT()), fmtPathDur(nq.RTTVar()),
+			fmtPathDur(nq.MinRTT()), fmtPathDur(nq.Jitter()),
+			nq.LossShortAt(lastT)*100, nq.LossLongAt(lastT)*100,
+			fmtBps(nq.GoodputAt(lastT)), rs.down, nq.Samples())
+	}
+}
+
+// fmtPathDur renders an estimator duration, dashing out the "no samples
+// yet" zero so empty paths read as unknown rather than instantaneous.
+func fmtPathDur(d time.Duration) string {
+	if d == 0 {
+		return "-"
+	}
+	return d.Round(10 * time.Microsecond).String()
+}
+
+// fmtBps renders a bits-per-second rate with an adaptive unit.
+func fmtBps(bps float64) string {
+	switch {
+	case bps <= 0:
+		return "-"
+	case bps >= 1e6:
+		return fmt.Sprintf("%.2fMb/s", bps/1e6)
+	case bps >= 1e3:
+		return fmt.Sprintf("%.1fkb/s", bps/1e3)
+	default:
+		return fmt.Sprintf("%.0fb/s", bps)
 	}
 }
 

@@ -27,6 +27,7 @@ func main() {
 	width := flag.Int("width", 1024, "display width in pixels")
 	height := flag.Int("height", 768, "display height in pixels")
 	text := flag.String("type", "", "text to type into the session")
+	cps := flag.Float64("cps", 0, "paced typing rate in chars/sec (0 = type instantly)")
 	wait := flag.Duration("wait", 500*time.Millisecond, "settle time before the screenshot")
 	out := flag.String("o", "screen.png", "screenshot output path")
 	flag.Parse()
@@ -44,7 +45,7 @@ func main() {
 	time.Sleep(*wait / 2) // allow attach + repaint
 
 	if *text != "" {
-		if err := con.TypeString(*text); err != nil {
+		if err := typeText(con, *text, *cps); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -64,4 +65,22 @@ func main() {
 	applied, dropped := con.Console.Counters()
 	fmt.Printf("session %d: %d display commands applied, %d dropped; screenshot in %s\n",
 		con.Console.SessionID(), applied, dropped, *out)
+}
+
+// typeText types s into the sink, instantly at cps<=0 or paced at cps
+// keystrokes per second — a human rhythm gives server-side passive path
+// estimators (slimd -netqual) an interactive workload to measure rather
+// than one burst datagram.
+func typeText(sink slim.InputSink, s string, cps float64) error {
+	if cps <= 0 {
+		return sink.TypeString(s)
+	}
+	gap := time.Duration(float64(time.Second) / cps)
+	for i := 0; i < len(s); i++ {
+		if err := sink.TypeString(s[i : i+1]); err != nil {
+			return err
+		}
+		time.Sleep(gap)
+	}
+	return nil
 }

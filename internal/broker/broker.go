@@ -124,8 +124,8 @@ type Broker struct {
 	// it for one lookup and releases it before entering the shard.
 	routeMu  sync.RWMutex
 	consoles map[string]consoleInfo
-	users    map[string]int  // user → shard hosting their session
-	sessions map[uint32]int  // session ID → shard (grant routing)
+	users    map[string]int // user → shard hosting their session
+	sessions map[uint32]int // session ID → shard (grant routing)
 	closed   bool
 
 	m *metrics
@@ -628,4 +628,50 @@ func (b *Broker) rollup() {
 		b.m.shardSessions[i].Set(int64(n))
 	}
 	b.m.sessions.Set(int64(total))
+	b.rollupNetQual()
+}
+
+// rollupNetQual republishes per-shard path-quality aggregates from the
+// shards' netqual trackers: the worst session's smoothed RTT and
+// short-window loss per shard, and the shard's summed delivered goodput.
+// Session IDs are fleet-unique, so the broker's grant-routing map already
+// groups estimators by owning shard. Shards with estimation disabled (or
+// no observed sessions) publish zeros.
+func (b *Broker) rollupNetQual() {
+	type owned struct {
+		id    uint32
+		shard int
+	}
+	b.routeMu.RLock()
+	sessions := make([]owned, 0, len(b.sessions))
+	for id, shard := range b.sessions {
+		sessions = append(sessions, owned{id, shard})
+	}
+	b.routeMu.RUnlock()
+	srtt := make([]int64, len(b.shards))
+	loss := make([]int64, len(b.shards))
+	goodput := make([]float64, len(b.shards))
+	for _, o := range sessions {
+		t := b.shards[o.shard].NetQualTracker()
+		if t == nil || !t.Enabled() {
+			continue
+		}
+		s := t.Lookup(o.id)
+		if s == nil {
+			continue
+		}
+		now := t.Now()
+		if v := int64(s.SRTT()); v > srtt[o.shard] {
+			srtt[o.shard] = v
+		}
+		if v := int64(s.LossShortAt(now) * 1000); v > loss[o.shard] {
+			loss[o.shard] = v
+		}
+		goodput[o.shard] += s.GoodputAt(now)
+	}
+	for i := range b.shards {
+		b.m.shardSRTT[i].Set(srtt[i])
+		b.m.shardLoss[i].Set(loss[i])
+		b.m.shardGoodput[i].Set(int64(goodput[i]))
+	}
 }

@@ -31,6 +31,14 @@ type metrics struct {
 	// repainted (§1.1's "seconds" figure). Nil on sim-domain registries:
 	// virtual-time harnesses score reattach latency themselves.
 	reattach *obs.Histogram
+	// Per-shard path-quality rollups from the shards' netqual trackers:
+	// the worst session's smoothed RTT and short-window loss on each shard
+	// (the actionable fleet view — one bad path shows up regardless of how
+	// many healthy neighbors it has) and the shard's summed delivered
+	// goodput. All zero while estimation is disabled.
+	shardSRTT    []*obs.Gauge // slim_netqual_shard_srtt_ns{shard="i"}
+	shardLoss    []*obs.Gauge // slim_netqual_shard_loss_permille{shard="i"}
+	shardGoodput []*obs.Gauge // slim_netqual_shard_goodput_bps{shard="i"}
 }
 
 func newMetrics(r *obs.Registry, shards int) *metrics {
@@ -43,8 +51,14 @@ func newMetrics(r *obs.Registry, shards int) *metrics {
 		authFailures:  r.Counter("slim_broker_auth_failures_total"),
 	}
 	r.Gauge("slim_broker_shards").Set(int64(shards))
+	m.shardSRTT = make([]*obs.Gauge, shards)
+	m.shardLoss = make([]*obs.Gauge, shards)
+	m.shardGoodput = make([]*obs.Gauge, shards)
 	for i := range m.shardSessions {
 		m.shardSessions[i] = r.Gauge(fmt.Sprintf(`slim_broker_shard_sessions{shard="%d"}`, i))
+		m.shardSRTT[i] = r.Gauge(fmt.Sprintf(`slim_netqual_shard_srtt_ns{shard="%d"}`, i))
+		m.shardLoss[i] = r.Gauge(fmt.Sprintf(`slim_netqual_shard_loss_permille{shard="%d"}`, i))
+		m.shardGoodput[i] = r.Gauge(fmt.Sprintf(`slim_netqual_shard_goodput_bps{shard="%d"}`, i))
 	}
 	if r.Domain() == obs.DomainWall {
 		m.reattach = r.Histogram("slim_broker_reattach_seconds")

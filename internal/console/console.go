@@ -329,6 +329,17 @@ func (c *Console) Status() *protocol.Status {
 	}
 }
 
+// StatusWire encodes the heartbeat for transmission, consuming one
+// up-direction sequence number like any other console-originated message.
+func (c *Console) StatusWire() []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return protocol.Encode(nil, c.seq.Next(), &protocol.Status{
+		LastSeq: c.gaps.Highest(),
+		Dropped: uint32(c.dropped),
+	})
+}
+
 // Framebuffer exposes the soft display state (for screenshots and tests).
 func (c *Console) Framebuffer() *fb.Framebuffer {
 	c.mu.Lock()

@@ -306,6 +306,14 @@ type Governor struct {
 	winStart time.Duration
 	winBytes int64
 
+	// pacedBytes/pacedRetransBytes count wire bytes this governor has
+	// handed to the transport since creation — both paced releases and
+	// ungoverned pass-throughs — split into fresh display traffic and
+	// NACK-triggered retransmits. The netqual estimator compares them
+	// against console-acknowledged bytes to derive delivered goodput.
+	pacedBytes        int64
+	pacedRetransBytes int64
+
 	// autoDemand/autoBurst/autoSupersede remember which derived fields
 	// were left zero in the caller's Config, so SetCosts can recompute
 	// them from a recalibrated cost model without clobbering explicit
@@ -366,6 +374,14 @@ func (g *Governor) QueueDepth() int { return len(g.queue) }
 
 // QueueBytes reports the queued wire bytes.
 func (g *Governor) QueueBytes() int { return g.queueBytes }
+
+// PacedBytes reports the cumulative wire bytes this governor has handed
+// to the transport: total includes every release and ungoverned
+// pass-through; retrans is the NACK-recovery subset. Delivered goodput is
+// estimated by comparing total against console-acknowledged bytes.
+func (g *Governor) PacedBytes() (total, retrans int64) {
+	return g.pacedBytes, g.pacedRetransBytes
+}
 
 // SetGrant applies a console BandwidthGrant. The first grant fills the
 // token bucket so the session starts with a full burst; later grants only
@@ -430,6 +446,10 @@ func (g *Governor) Submit(now time.Duration, it Item) SubmitResult {
 	g.m.submittedInc()
 	if g.rate == 0 {
 		g.m.releasedDirect(int64(it.Bytes()))
+		g.pacedBytes += int64(it.Bytes())
+		if it.Retransmit {
+			g.pacedRetransBytes += int64(it.Bytes())
+		}
 		return SubmitResult{Pass: true}
 	}
 	var res SubmitResult
@@ -531,6 +551,10 @@ func (g *Governor) Release(now time.Duration) []Packet {
 			g.tokens -= cost
 		}
 		g.winBytes += int64(cost)
+		g.pacedBytes += int64(cost)
+		if e.it.Retransmit {
+			g.pacedRetransBytes += int64(cost)
+		}
 		g.m.release(int64(cost), now-e.at, e.it.Retransmit)
 		n++
 	}

@@ -484,3 +484,37 @@ func TestSetCostsPreservesExplicitConfig(t *testing.T) {
 		t.Fatal("cost model itself should still update")
 	}
 }
+
+func TestPacedBytesAccounting(t *testing.T) {
+	// Ungoverned pass-throughs count immediately.
+	g := NewGovernor(Config{}, nil)
+	it := fillItem(1, protocol.Rect{W: 4, H: 4}, 1)
+	size := int64(it.Bytes())
+	g.Submit(0, it)
+	if total, retrans := g.PacedBytes(); total != size || retrans != 0 {
+		t.Fatalf("pass-through paced = (%d, %d), want (%d, 0)", total, retrans, size)
+	}
+	rt := fillItem(2, protocol.Rect{X: 10, W: 4, H: 4}, 1)
+	rt.Retransmit = true
+	g.Submit(0, rt)
+	if total, retrans := g.PacedBytes(); total != 2*size || retrans != size {
+		t.Fatalf("retransmit paced = (%d, %d), want (%d, %d)", total, retrans, 2*size, size)
+	}
+
+	// Governed: queued bytes count only when the bucket releases them.
+	g = NewGovernor(Config{BurstBytes: int(size), MaxQueueBytes: 1 << 20}, nil)
+	g.SetGrant(0, 8*uint64(size)) // size bytes/s: one command per second
+	g.Submit(0, fillItem(1, protocol.Rect{W: 4, H: 4}, 1))
+	g.Submit(0, fillItem(2, protocol.Rect{X: 10, W: 4, H: 4}, 1))
+	if total, _ := g.PacedBytes(); total != 0 {
+		t.Fatalf("queued bytes already paced: %d", total)
+	}
+	g.Release(0)
+	if total, _ := g.PacedBytes(); total != size {
+		t.Fatalf("paced after burst = %d, want %d", total, size)
+	}
+	g.Release(time.Second)
+	if total, retrans := g.PacedBytes(); total != 2*size || retrans != 0 {
+		t.Fatalf("paced after refill = (%d, %d), want (%d, 0)", total, retrans, 2*size)
+	}
+}

@@ -67,6 +67,16 @@ type Line struct {
 	// Incidents is the cumulative incident-bundle count
 	// (slim_incident_bundles_total); shown once the first bundle lands.
 	Incidents int64
+	// NetQualSamples is the cumulative slim_netqual_rtt_samples_total
+	// count — 0 means passive path estimation is disabled (or has seen no
+	// round-trips yet) and the net column is hidden. NetRTT and NetJitter
+	// are the worst session's smoothed estimates at scrape time, and
+	// NetLossPermille the worst session's short-window loss, all read from
+	// the per-session slim_netqual_* gauges.
+	NetQualSamples  int64
+	NetRTT          time.Duration
+	NetJitter       time.Duration
+	NetLossPermille int64
 	// FleetShards is the slim_broker_shards gauge — 0 means the scraped
 	// daemon is not a broker and the fleet columns are hidden.
 	FleetShards int64
@@ -114,6 +124,20 @@ func worstDrift(gauges map[string]int64) (cmd string, pct int64) {
 		}
 	}
 	return cmd, pct
+}
+
+// worstSession scans a metric's session-labeled gauges and returns the
+// largest value — slimstat's one-line format has room for the worst path,
+// not a per-session table (that is /debug/netqual's job).
+func worstSession(gauges map[string]int64, metric string) int64 {
+	prefix := metric + `{session="`
+	var worst int64
+	for name, v := range gauges {
+		if strings.HasPrefix(name, prefix) && v > worst {
+			worst = v
+		}
+	}
+	return worst
 }
 
 // shardSessions collects the broker's per-shard occupancy gauges into a
@@ -189,6 +213,12 @@ func Summarize(prev, cur map[string]obs.Snapshot, interval time.Duration, now ti
 	l.Goroutines = c.Gauges["slim_runtime_goroutines"]
 	l.WorstGCPause = time.Duration(c.Gauges["slim_runtime_gc_pause_worst_ns"])
 	l.Incidents = c.Counters["slim_incident_bundles_total"]
+	l.NetQualSamples = c.Counters["slim_netqual_rtt_samples_total"]
+	if l.NetQualSamples > 0 {
+		l.NetRTT = time.Duration(worstSession(c.Gauges, "slim_netqual_srtt_ns"))
+		l.NetJitter = time.Duration(worstSession(c.Gauges, "slim_netqual_jitter_ns"))
+		l.NetLossPermille = worstSession(c.Gauges, "slim_netqual_loss_permille")
+	}
 	l.FleetShards = c.Gauges["slim_broker_shards"]
 	if l.FleetShards > 0 {
 		l.FleetSessions = c.Gauges["slim_broker_sessions"]
@@ -261,6 +291,13 @@ func (l Line) Format(now time.Time) string {
 	}
 	if l.Incidents > 0 {
 		s += fmt.Sprintf(" | incidents %d", l.Incidents)
+	}
+	if l.NetQualSamples > 0 {
+		s += fmt.Sprintf(" | net rtt %s jit %s",
+			FormatMs(l.NetRTT.Seconds()), FormatMs(l.NetJitter.Seconds()))
+		if l.NetLossPermille > 0 {
+			s += fmt.Sprintf(" loss %.1f%%", float64(l.NetLossPermille)/10)
+		}
 	}
 	if l.FleetShards > 0 {
 		occ := make([]string, len(l.ShardSessions))

@@ -386,3 +386,54 @@ func TestSummarizeHidesFleetColumnsForSingleServer(t *testing.T) {
 		t.Errorf("quiet fleet line grew mig/reattach fragments: %q", line)
 	}
 }
+
+func TestSummarizeNetQualColumn(t *testing.T) {
+	now := time.UnixMilli(1_700_000_010_000)
+	p, c := snapPair(func(prev, cur *obs.Registry) {
+		cur.Counter("slim_netqual_rtt_samples_total").Add(40)
+		cur.Gauge(`slim_netqual_srtt_ns{session="alice"}`).Set(12_000_000)
+		cur.Gauge(`slim_netqual_srtt_ns{session="bob"}`).Set(48_000_000)
+		cur.Gauge(`slim_netqual_jitter_ns{session="alice"}`).Set(3_000_000)
+		cur.Gauge(`slim_netqual_jitter_ns{session="bob"}`).Set(1_000_000)
+		cur.Gauge(`slim_netqual_loss_permille{session="alice"}`).Set(0)
+		cur.Gauge(`slim_netqual_loss_permille{session="bob"}`).Set(25)
+	})
+	l := Summarize(p, c, time.Second, now)
+	if l.NetQualSamples != 40 {
+		t.Errorf("NetQualSamples = %d, want 40", l.NetQualSamples)
+	}
+	if l.NetRTT != 48*time.Millisecond {
+		t.Errorf("NetRTT = %v, want 48ms (worst session wins)", l.NetRTT)
+	}
+	if l.NetJitter != 3*time.Millisecond {
+		t.Errorf("NetJitter = %v, want 3ms", l.NetJitter)
+	}
+	if l.NetLossPermille != 25 {
+		t.Errorf("NetLossPermille = %d, want 25", l.NetLossPermille)
+	}
+	line := l.Format(now)
+	if !strings.Contains(line, "net rtt 48ms jit 3.00ms loss 2.5%") {
+		t.Errorf("formatted line = %q, want net column with worst rtt/jitter/loss", line)
+	}
+
+	// A clean path drops the loss suffix but keeps rtt/jitter.
+	l.NetLossPermille = 0
+	if line := l.Format(now); strings.Contains(line, "loss") {
+		t.Errorf("clean-path line mentions loss: %q", line)
+	}
+}
+
+func TestNetQualColumnHiddenWithoutSamples(t *testing.T) {
+	p, c := snapPair(func(prev, cur *obs.Registry) {
+		// Gauges linger after the counter resets (daemon restart): the
+		// column stays hidden until estimation produces round-trips.
+		cur.Gauge(`slim_netqual_srtt_ns{session="alice"}`).Set(12_000_000)
+	})
+	l := Summarize(p, c, time.Second, time.UnixMilli(0))
+	if l.NetQualSamples != 0 || l.NetRTT != 0 {
+		t.Errorf("netqual = samples %d rtt %v, want hidden", l.NetQualSamples, l.NetRTT)
+	}
+	if line := l.Format(time.UnixMilli(0)); strings.Contains(line, "net rtt") {
+		t.Errorf("sample-free line grew a net column: %q", line)
+	}
+}

@@ -147,6 +147,10 @@ type Verdict struct {
 	// Loss reports wire-loss evidence on the critical path: a DROP, a NACK
 	// covering the sequence, or more than one TX (a retransmit).
 	Loss bool `json:"loss,omitempty"`
+	// Link is the WIRE sub-verdict — LinkLoss or LinkLatency — set when
+	// the dominant stage is WIRE and path evidence (or chain loss
+	// evidence) lets the breach distinguish a lossy path from a slow one.
+	Link string `json:"link,omitempty"`
 	// HostNs is the total overlap between the chain's lifetime and the
 	// recorded host windows; HostKind names the overlapping evidence ("gc",
 	// "cpu", or "gc+cpu"). Both are recorded whenever any overlap exists,

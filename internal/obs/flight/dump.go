@@ -38,6 +38,11 @@ type Dump struct {
 	// verdict, kept so `slimtrace blame -reattribute` can re-run host
 	// attribution offline. Empty when no host monitor was wired.
 	HostWindows []HostWindow `json:"host_windows,omitempty"`
+	// PathEvidence is the session's measured network-path state (SRTT,
+	// jitter, loss, goodput) at detection time — the evidence behind a
+	// WIRE verdict's LINK sub-verdict. Nil when no path estimator was
+	// wired.
+	PathEvidence *PathEvidence `json:"path_evidence,omitempty"`
 	// Events is the causal event log, oldest first.
 	Events []Event `json:"events"`
 }
@@ -102,6 +107,7 @@ func (r *Recorder) checkBreach(id uint32, chain uint64, latency, now time.Durati
 	l := r.sessions[id]
 	dir := r.dumpDir
 	hostFn := r.hostFn
+	pathFn := r.pathFn
 	r.mu.RUnlock()
 	if l == nil {
 		return Breach{}, false
@@ -124,7 +130,14 @@ func (r *Recorder) checkBreach(id uint32, chain uint64, latency, now time.Durati
 	if hostFn != nil {
 		hostWins = hostFn(now)
 	}
+	var pathEv *PathEvidence
+	if pathFn != nil {
+		pathEv = pathFn(id, now)
+	}
 	br := Breach{Verdict: AttributeWithHost(evs, chain, now, hostWins)}
+	if br.Verdict.Stage == StageWire {
+		br.Verdict.Link = classifyLink(&br.Verdict, pathEv)
+	}
 	if dir == "" {
 		return br, true
 	}
@@ -140,15 +153,16 @@ func (r *Recorder) checkBreach(id uint32, chain uint64, latency, now time.Durati
 	}
 	verdict := br.Verdict
 	d := &Dump{
-		Session:     id,
-		Domain:      r.domain,
-		LatencyNs:   int64(latency),
-		ThresholdNs: int64(threshold),
-		WindowNs:    int64(window),
-		CapturedAt:  time.Now(),
-		Verdict:     &verdict,
-		HostWindows: hostWins,
-		Events:      evs,
+		Session:      id,
+		Domain:       r.domain,
+		LatencyNs:    int64(latency),
+		ThresholdNs:  int64(threshold),
+		WindowNs:     int64(window),
+		CapturedAt:   time.Now(),
+		Verdict:      &verdict,
+		HostWindows:  hostWins,
+		PathEvidence: pathEv,
+		Events:       evs,
 	}
 	path := filepath.Join(dir, fmt.Sprintf("flight-sess%d-%d.json", id, n))
 	f, err := os.Create(path)

@@ -405,6 +405,10 @@ type Recorder struct {
 	// windows in ring time) to breach attribution; nil means no host
 	// monitor is wired and verdicts never blame HOST.
 	hostFn func(asOf time.Duration) []HostWindow
+	// pathFn supplies measured network-path evidence (the netqual
+	// estimators) per session; nil means dumps carry no PathEvidence and
+	// WIRE verdicts get a LINK sub-verdict only from chain loss evidence.
+	pathFn func(session uint32, asOf time.Duration) *PathEvidence
 
 	// Breach accounting, mirrored into an obs registry by Instrument so
 	// scrapers (cmd/slimstat) see degradation without reading dumps.

@@ -1,0 +1,68 @@
+package flight
+
+import "time"
+
+// PathEvidence is the measured network-path state stamped into a breach:
+// the passive per-session estimates (internal/obs/netqual) read at
+// detection time. A WIRE verdict without it says "the time went to the
+// network"; with it, the dump says what the network actually looked like
+// — and the LINK sub-verdict says whether loss or latency is the better
+// explanation.
+type PathEvidence struct {
+	// SRTTNs/RTTVarNs/MinRTTNs/JitterNs are the smoothed estimators in
+	// nanoseconds (RFC 6298 EWMAs; inter-arrival jitter).
+	SRTTNs   int64 `json:"srtt_ns"`
+	RTTVarNs int64 `json:"rttvar_ns,omitempty"`
+	MinRTTNs int64 `json:"min_rtt_ns,omitempty"`
+	JitterNs int64 `json:"jitter_ns,omitempty"`
+	// Samples is how many RTT samples back the estimates.
+	Samples int64 `json:"rtt_samples,omitempty"`
+	// LossShort/LossLong are loss fractions over the estimator's short
+	// (pacer-facing) and long (steady-state) windows.
+	LossShort float64 `json:"loss_short,omitempty"`
+	LossLong  float64 `json:"loss_long,omitempty"`
+	// GoodputBps is delivered (console-acknowledged) goodput over the
+	// short window.
+	GoodputBps float64 `json:"goodput_bps,omitempty"`
+}
+
+// Link sub-verdict values: what a WIRE breach's path evidence points at.
+const (
+	// LinkLoss: the path was losing packets — the wire time is loss plus
+	// NACK-driven recovery, and FEC/ARQ tuning is the lever.
+	LinkLoss = "loss"
+	// LinkLatency: the path was clean but slow — the wire time is
+	// RTT/serialization, and pacing or proximity is the lever.
+	LinkLatency = "latency"
+)
+
+// linkLossThreshold is the short-window loss fraction above which a WIRE
+// breach is classified loss-driven even without loss evidence on the
+// critical chain itself.
+const linkLossThreshold = 0.005
+
+// classifyLink distinguishes loss-driven from latency-driven WIRE
+// breaches. Loss evidence on the critical path (a DROP, a covering NACK,
+// a retransmit) or measured short-window loss wins; otherwise the wire
+// time is explained by the path's latency.
+func classifyLink(v *Verdict, pe *PathEvidence) string {
+	if v.Loss {
+		return LinkLoss
+	}
+	if pe != nil && pe.LossShort > linkLossThreshold {
+		return LinkLoss
+	}
+	return LinkLatency
+}
+
+// SetPathEvidence wires a path estimator into breach dumps: fn is called
+// at breach-detection time with the breaching session's ID and the
+// detection time (ring clock) and returns the session's measured path
+// state, or nil when the estimator knows nothing about the session. The
+// evidence is stamped into the dump, and WIRE verdicts gain a LINK
+// sub-verdict. The server wires this to the netqual tracker; nil unwires.
+func (r *Recorder) SetPathEvidence(fn func(session uint32, asOf time.Duration) *PathEvidence) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.pathFn = fn
+}

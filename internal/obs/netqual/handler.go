@@ -1,0 +1,106 @@
+package netqual
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"sort"
+	"time"
+
+	"slim/internal/obs"
+)
+
+// SessionStatus is one session's path estimate in a Status report.
+type SessionStatus struct {
+	ID         uint32  `json:"id"`
+	User       string  `json:"user"`
+	SRTTMs     float64 `json:"srtt_ms"`
+	RTTVarMs   float64 `json:"rttvar_ms"`
+	MinRTTMs   float64 `json:"min_rtt_ms"`
+	JitterMs   float64 `json:"jitter_ms"`
+	Samples    int64   `json:"rtt_samples"`
+	LossShort  float64 `json:"loss_short"` // fraction over the short window
+	LossLong   float64 `json:"loss_long"`  // fraction over the long window
+	GoodputBps float64 `json:"goodput_bps"`
+	SentPkts   int64   `json:"sent_pkts"`
+	SentBytes  int64   `json:"sent_bytes"`
+}
+
+// Status is the tracker's full state for the /debug/netqual endpoint.
+type Status struct {
+	Enabled     bool            `json:"enabled"`
+	Domain      obs.Domain      `json:"domain"`
+	ShortWindow time.Duration   `json:"short_window_ns"`
+	LongWindow  time.Duration   `json:"long_window_ns"`
+	Sessions    []SessionStatus `json:"sessions"`
+}
+
+// SessionStatusAt reports one session's estimate as of now (sim-domain
+// callers pass their own clock; wall callers usually want t.Now()).
+func (t *Tracker) SessionStatusAt(id uint32, now time.Duration) (SessionStatus, bool) {
+	s := t.lookup(id)
+	if s == nil {
+		return SessionStatus{}, false
+	}
+	return s.statusAt(now), true
+}
+
+func (s *PathSession) statusAt(now time.Duration) SessionStatus {
+	return SessionStatus{
+		ID:         s.id,
+		User:       s.user,
+		SRTTMs:     ms(s.SRTT()),
+		RTTVarMs:   ms(s.RTTVar()),
+		MinRTTMs:   ms(s.MinRTT()),
+		JitterMs:   ms(s.Jitter()),
+		Samples:    s.Samples(),
+		LossShort:  s.LossShortAt(now),
+		LossLong:   s.LossLongAt(now),
+		GoodputBps: s.GoodputAt(now),
+		SentPkts:   s.sentPkts.Load(),
+		SentBytes:  s.sentBytes.Load(),
+	}
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// Status snapshots every session as of the tracker's read clock, sorted
+// by session ID.
+func (t *Tracker) Status() Status {
+	now := t.Now()
+	t.mu.RLock()
+	sessions := make([]*PathSession, 0, len(t.sessions))
+	for _, s := range t.sessions {
+		sessions = append(sessions, s)
+	}
+	t.mu.RUnlock()
+	st := Status{
+		Enabled:     t.enabled.Load(),
+		Domain:      t.domain,
+		ShortWindow: t.cfg.ShortWindow,
+		LongWindow:  t.cfg.LongWindow,
+		Sessions:    make([]SessionStatus, 0, len(sessions)),
+	}
+	for _, s := range sessions {
+		st.Sessions = append(st.Sessions, s.statusAt(now))
+	}
+	sort.Slice(st.Sessions, func(i, j int) bool { return st.Sessions[i].ID < st.Sessions[j].ID })
+	return st
+}
+
+// WriteJSON writes the Status report as indented JSON.
+func (t *Tracker) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t.Status())
+}
+
+// Handler serves the Status report over HTTP (mounted at /debug/netqual).
+func (t *Tracker) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := t.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}

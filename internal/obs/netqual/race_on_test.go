@@ -1,0 +1,8 @@
+//go:build race
+
+package netqual
+
+// raceEnabled reports whether this test binary was built with the race
+// detector, whose instrumentation adds allocations and skews the
+// steady-state allocs/op assertions.
+const raceEnabled = true

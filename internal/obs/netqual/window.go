@@ -1,0 +1,69 @@
+package netqual
+
+import "sync/atomic"
+
+// slotsPerWindow fixes each accounting window's resolution: the window is
+// sixteen rotating slots, each covering window/16 of time. The same
+// epoch-tagged design as internal/obs/slo's burn windows: slots expire on
+// read by epoch comparison, so idle windows decay to zero with no sweeper
+// goroutine, and a slot whose epoch is stale is rotated by CAS on the hot
+// path. The bounded undercount when two writers race a slot boundary is
+// tolerated, exactly as in the SLO tracker.
+const slotsPerWindow = 16
+
+// winSlot is one window slot: an epoch tag plus the loss/goodput
+// accounting counters.
+type winSlot struct {
+	epoch      atomic.Int64
+	acked      atomic.Int64 // sequences the console acknowledged past
+	lost       atomic.Int64 // sequences counted lost (NACK ranges, drops)
+	ackedBytes atomic.Int64 // bytes acknowledged (goodput numerator)
+}
+
+// window is a fixed ring of epoch-tagged slots. The zero value is not
+// usable; slotNs must be set first.
+type window struct {
+	slotNs int64
+	slots  [slotsPerWindow]winSlot
+}
+
+// spanNs is the total time the window covers.
+func (w *window) spanNs() int64 { return w.slotNs * slotsPerWindow }
+
+// observe adds counts at the caller-clock instant nowNs. Lock-free: a
+// stale slot is rotated by CAS; a writer that loses the rotation race (or
+// holds an instant older than the slot's current epoch) drops its counts
+// into the newer epoch's slot — bounded smearing at slot boundaries.
+func (w *window) observe(nowNs, acked, lost, ackedBytes int64) {
+	e := nowNs / w.slotNs
+	s := &w.slots[e%slotsPerWindow]
+	// A writer holding an instant older than the slot's epoch (cur > e)
+	// folds its counts into the newer slot — close enough to current to
+	// keep rather than lose.
+	if cur := s.epoch.Load(); cur < e && s.epoch.CompareAndSwap(cur, e) {
+		s.acked.Store(0)
+		s.lost.Store(0)
+		s.ackedBytes.Store(0)
+	}
+	s.acked.Add(acked)
+	s.lost.Add(lost)
+	s.ackedBytes.Add(ackedBytes)
+}
+
+// totals sums the slots still inside the window as of nowNs. Expiry is
+// purely epoch arithmetic: a slot whose epoch fell out of the trailing
+// sixteen contributes nothing, which is how idle sessions decay.
+func (w *window) totals(nowNs int64) (acked, lost, ackedBytes int64) {
+	cur := nowNs / w.slotNs
+	min := cur - slotsPerWindow + 1
+	for i := range w.slots {
+		s := &w.slots[i]
+		e := s.epoch.Load()
+		if e >= min && e <= cur {
+			acked += s.acked.Load()
+			lost += s.lost.Load()
+			ackedBytes += s.ackedBytes.Load()
+		}
+	}
+	return acked, lost, ackedBytes
+}

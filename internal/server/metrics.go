@@ -75,6 +75,7 @@ func (s *Server) instrumentSession(sess *Session) {
 	sess.flog = s.flight.Session(sess.ID)
 	sess.Encoder.Flight = sess.flog
 	sess.slo = s.slo.Session(sess.ID, sess.User)
+	sess.nq = s.netqual.Session(sess.ID, sess.User)
 }
 
 // InputToPaint exposes the session's live input-to-paint histogram.

@@ -7,6 +7,7 @@ import (
 	"slim/internal/flow"
 	"slim/internal/obs"
 	"slim/internal/obs/flight"
+	"slim/internal/obs/netqual"
 	"slim/internal/obs/slo"
 	"slim/internal/par"
 )
@@ -35,6 +36,15 @@ func WithFlightRecorder(rec *flight.Recorder) Option {
 // Observe; the harness feeds ObserveAt itself).
 func WithSLO(t *slo.Tracker) Option {
 	return func(s *Server) { s.slo = t }
+}
+
+// WithNetQual points the server's passive path estimation at t instead of
+// netqual.Default — hermetic tests and virtual-time simulations hand each
+// server its own tracker (sim-domain trackers take explicit clocks from
+// the harness). The tracker must still be armed with SetEnabled; the
+// option only chooses where estimates live.
+func WithNetQual(t *netqual.Tracker) Option {
+	return func(s *Server) { s.netqual = t }
 }
 
 // WithLogger attaches a structured logger for session lifecycle events:
@@ -91,6 +101,9 @@ func WithSessionIDBase(base uint32) Option {
 type Resolved struct {
 	Registry *obs.Registry
 	Logger   *slog.Logger
+	// NetQual is the path-estimation tracker shards share (nil means
+	// netqual.Default) — the broker reads it for per-shard fleet rollups.
+	NetQual *netqual.Tracker
 }
 
 // ResolveOptions applies opts to a blank server and reports the settings a
@@ -101,7 +114,7 @@ func ResolveOptions(opts ...Option) Resolved {
 	for _, o := range opts {
 		o(&probe)
 	}
-	return Resolved{Registry: probe.optObs, Logger: probe.log}
+	return Resolved{Registry: probe.optObs, Logger: probe.log, NetQual: probe.netqual}
 }
 
 // WithFlowControl enables the grant-driven send governor (§7) for every

@@ -18,6 +18,7 @@ import (
 	"slim/internal/flow"
 	"slim/internal/obs"
 	"slim/internal/obs/flight"
+	"slim/internal/obs/netqual"
 	"slim/internal/obs/slo"
 	"slim/internal/par"
 	"slim/internal/protocol"
@@ -122,6 +123,11 @@ type Session struct {
 	// slo is the session's rolling SLO state (breach-rate windows, blame
 	// histogram) in the server's tracker.
 	slo *slo.SessionSLO
+	// nq is the session's passive path estimator (RTT/jitter/loss/goodput)
+	// in the server's netqual tracker. Estimators are keyed by the
+	// fleet-unique session ID, so a hotdesk migration resolves the same
+	// estimator on the destination shard and smoothed state survives.
+	nq *netqual.PathSession
 }
 
 // Governor exposes the session's send governor (nil when flow control is
@@ -135,6 +141,10 @@ func (sess *Session) FlightLog() *flight.SessionLog { return sess.flog }
 // SLO exposes the session's rolling SLO state (nil before the session is
 // instrumented).
 func (sess *Session) SLO() *slo.SessionSLO { return sess.slo }
+
+// NetQual exposes the session's passive path estimator (nil before the
+// session is instrumented).
+func (sess *Session) NetQual() *netqual.PathSession { return sess.nq }
 
 // Server ties the managers together and speaks the SLIM protocol to
 // consoles.
@@ -162,6 +172,10 @@ type Server struct {
 	// slo is the SLO tracker sessions evaluate input-to-paint latency
 	// against (slo.Default unless redirected by WithSLO).
 	slo *slo.Tracker
+	// netqual owns per-session passive path estimators (netqual.Default
+	// unless redirected by WithNetQual). Estimation is armed by the
+	// tracker's SetEnabled, not per server.
+	netqual *netqual.Tracker
 	// log receives session lifecycle events (WithLogger); nil = silent.
 	log *slog.Logger
 
@@ -191,6 +205,14 @@ type consoleState struct {
 	// dropped is the console's cumulative drop counter at the last Status;
 	// an increase means display state was lost and must be regenerated.
 	dropped uint32
+	// recoverSeq is the encoder sequence a pending recovery (or attach)
+	// repaint ends at; further Status-triggered recoveries are suppressed
+	// until the console acknowledges past it or RecoverGrace elapses.
+	// Without this epoch, a console acking mid-repaint still trails the
+	// encoder, each heartbeat triggers another full repaint, and the
+	// recovery path becomes a storm that never converges.
+	recoverSeq uint32
+	recoverAt  time.Duration // transport time the epoch opened
 }
 
 // StatusLagThreshold is how many display sequence numbers a console may
@@ -198,6 +220,12 @@ type consoleState struct {
 // A console that rebooted (soft state gone) reports LastSeq far behind or
 // zero and is repainted in full.
 const StatusLagThreshold = 512
+
+// RecoverGrace bounds a recovery epoch in time: a console that still
+// hasn't acknowledged past the repaint after this long (every status it
+// sent was lost, or it rebooted before acking anything) gets another
+// recovery rather than staying suppressed forever.
+const RecoverGrace = 2 * time.Second
 
 // New returns a server sending through the given transport. Options
 // configure observability and flow control; the zero-option call keeps
@@ -212,6 +240,7 @@ func New(t Transport, newApp func(user string, w, h int) Application, opts ...Op
 		consoles:  make(map[string]*consoleState),
 		flight:    flight.Default,
 		slo:       slo.Default,
+		netqual:   netqual.Default,
 	}
 	for _, o := range opts {
 		o(s)
@@ -223,6 +252,7 @@ func New(t Transport, newApp func(user string, w, h int) Application, opts ...Op
 	if s.flowCfg != nil && s.flowCfg.Costs == nil {
 		s.flowCfg.Costs = s.costs
 	}
+	s.wirePathEvidence()
 	return s.Instrument(reg)
 }
 
@@ -267,6 +297,67 @@ func (s *Server) SLOTracker() *slo.Tracker {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.slo
+}
+
+// WithNetQualTracker points the server's path estimation at t
+// (netqual.Default unless redirected — hermetic tests and virtual-time
+// simulations hand each server its own sim-domain tracker). Call it
+// before the first session is created; sessions already instrumented keep
+// observing into the old tracker.
+func (s *Server) WithNetQualTracker(t *netqual.Tracker) *Server {
+	s.mu.Lock()
+	s.netqual = t
+	s.mu.Unlock()
+	s.wirePathEvidence()
+	return s
+}
+
+// NetQualTracker reports the tracker sessions observe path samples into.
+func (s *Server) NetQualTracker() *netqual.Tracker {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.netqual
+}
+
+// wirePathEvidence stamps the netqual tracker's measured path state into
+// the flight recorder's breach dumps: WIRE verdicts gain a LINK
+// sub-verdict (loss-driven vs latency-driven) backed by the RTT/loss the
+// estimator saw at breach time. Sessions the tracker never observed — or
+// a disarmed tracker — contribute no evidence rather than zeros.
+func (s *Server) wirePathEvidence() {
+	s.mu.Lock()
+	rec, t := s.flight, s.netqual
+	s.mu.Unlock()
+	if rec == nil || t == nil {
+		return
+	}
+	rec.SetPathEvidence(func(id uint32, asOf time.Duration) *flight.PathEvidence {
+		if !t.Enabled() {
+			return nil
+		}
+		nq := t.Lookup(id)
+		if nq == nil {
+			return nil
+		}
+		// The recorder's breach clock and the tracker's observe clock are
+		// different epochs in the wall domain; read the windows at the
+		// tracker's own now. Sim harnesses share one virtual clock, so the
+		// breach time is the right read time there.
+		at := asOf
+		if t.Domain() == obs.DomainWall {
+			at = t.Now()
+		}
+		return &flight.PathEvidence{
+			SRTTNs:     int64(nq.SRTT()),
+			RTTVarNs:   int64(nq.RTTVar()),
+			MinRTTNs:   int64(nq.MinRTT()),
+			JitterNs:   int64(nq.Jitter()),
+			Samples:    nq.Samples(),
+			LossShort:  nq.LossShortAt(at),
+			LossLong:   nq.LossLongAt(at),
+			GoodputBps: nq.GoodputAt(at),
+		}
+	})
 }
 
 // outbound is one queued server→console datagram. Sends are queued while
@@ -431,6 +522,7 @@ func (s *Server) handleLocked(out *[]outbound, console string, msg protocol.Mess
 		if sess.flog.Armed() {
 			sess.flog.Nack(m.From, m.To)
 		}
+		sess.nq.OnNack(now, m.From, m.To)
 		if sess.gov == nil {
 			s.sendDatagrams(out, sess, sess.Encoder.HandleNack(*m), now)
 			return nil
@@ -451,6 +543,7 @@ func (s *Server) handleLocked(out *[]outbound, console string, msg protocol.Mess
 		// the grant addresses a session, not the console it arrived from.
 		// A stale grant for a terminated session is silently dropped.
 		if sess, ok := s.sessions[m.SessionID]; ok && sess.gov != nil {
+			sess.nq.OnGrant(now)
 			sess.gov.SetGrant(now, m.Bps)
 			s.releaseFlow(out, sess, now)
 		}
@@ -489,16 +582,29 @@ func (s *Server) handleStatus(out *[]outbound, console string, st *protocol.Stat
 	if sess.flog.Armed() {
 		sess.flog.Status(st.LastSeq, st.Dropped)
 	}
+	sess.nq.OnStatus(now, st.LastSeq, st.Dropped)
 	lost := st.Dropped > cs.dropped
 	cs.dropped = st.Dropped
 	lag := sess.Encoder.LastSeq() > st.LastSeq &&
 		sess.Encoder.LastSeq()-st.LastSeq > StatusLagThreshold
+	// One recovery epoch at a time: while the console is still working
+	// through a recovery repaint (acks trail recoverSeq, grace not yet
+	// elapsed), both triggers stay suppressed — the in-flight repaint
+	// already carries the full authoritative screen, so repainting again
+	// only amplifies the burst.
+	if cs.recoverSeq != 0 && int32(cs.recoverSeq-st.LastSeq) > 0 &&
+		now-cs.recoverAt < RecoverGrace {
+		return nil
+	}
+	cs.recoverSeq = 0
 	if lost || lag {
 		if s.log != nil {
 			s.log.Warn("display state lost; recovery repaint",
 				"console", console, "session", cs.session, "drops", lost, "lag", lag)
 		}
 		s.sendDatagrams(out, sess, sess.Encoder.RepaintAll(), now)
+		cs.recoverSeq = sess.Encoder.LastSeq()
+		cs.recoverAt = now
 	}
 	return nil
 }
@@ -591,6 +697,13 @@ func (s *Server) attachUserLocked(out *[]outbound, console, user string, now tim
 		s.metrics.sessions.Set(int64(len(s.sessions)))
 	}
 	s.metrics.attaches.Inc()
+	if ok {
+		// Hotdesk move or reconnect: the console — and likely the network
+		// path — changed. Rebase the estimator so stale in-flight samples
+		// from the old path never poison the new one; smoothed SRTT/jitter
+		// and the loss windows survive the cutover.
+		sess.nq.Rebase(now)
+	}
 	// Detach from wherever it was displayed before.
 	if sess.Console != "" && sess.Console != console {
 		if old, ok := s.consoles[sess.Console]; ok && old.session == sess.ID {
@@ -622,14 +735,19 @@ func (s *Server) attachUserLocked(out *[]outbound, console, user string, now tim
 			}
 			it.ReleaseWire()
 		}
+		sess.nq.OnProbe(now)
 		s.send(out, console, &protocol.BandwidthRequest{
 			SessionID: sess.ID,
 			Bps:       sess.gov.Config().InitialBps,
 		})
 	}
 	// The console held only soft state: repaint the screen "to the exact
-	// state at which it was left" (§1.1).
+	// state at which it was left" (§1.1). The repaint opens a recovery
+	// epoch so heartbeats acking mid-burst (legitimately trailing the
+	// encoder) don't trigger a redundant second repaint.
 	s.sendDatagrams(out, sess, sess.Encoder.RepaintAll(), now)
+	cs.recoverSeq = sess.Encoder.LastSeq()
+	cs.recoverAt = now
 	return nil
 }
 
@@ -716,6 +834,7 @@ func (s *Server) Terminate(user string) error {
 	sess.fm.Unregister(s.obs)
 	s.flight.Drop(id)
 	s.slo.Remove(id)
+	s.netqual.Remove(id)
 	if s.log != nil {
 		s.log.Info("session terminated", "user", user, "session", id)
 	}
@@ -782,6 +901,7 @@ func (s *Server) submit(out *[]outbound, sess *Session, dgs []core.Datagram, now
 	}
 	if sess.gov == nil {
 		for _, d := range dgs {
+			sess.nq.OnSend(now, d.Seq, len(d.Wire), retrans)
 			*out = append(*out, outbound{
 				console: sess.Console,
 				wire:    d.Wire,
@@ -797,6 +917,7 @@ func (s *Server) submit(out *[]outbound, sess *Session, dgs []core.Datagram, now
 		it := flow.Item{Seq: d.Seq, Cmd: d.Msg.Type(), Msg: d.Msg, Wire: d.Wire, Buf: d.Buf, Retransmit: retrans}
 		res := sess.gov.Submit(now, it)
 		if res.Pass {
+			sess.nq.OnSend(now, d.Seq, len(d.Wire), retrans)
 			*out = append(*out, outbound{
 				console: sess.Console,
 				wire:    d.Wire,
@@ -835,6 +956,11 @@ func (s *Server) releaseFlow(out *[]outbound, sess *Session, now time.Duration) 
 		return
 	}
 	for _, p := range sess.gov.Release(now) {
+		if sess.nq.Armed() {
+			for _, it := range p.Items {
+				sess.nq.OnSend(now, it.Seq, it.Bytes(), it.Retransmit)
+			}
+		}
 		o := outbound{console: sess.Console, wire: p.Wire, flog: sess.flog}
 		if len(p.Items) == 1 {
 			o.seq, o.cmd = p.Items[0].Seq, p.Items[0].Cmd
@@ -896,6 +1022,7 @@ func (s *Server) refreshCalibrationLocked(out *[]outbound, now time.Duration) {
 		oldDemand := sess.gov.Config().InitialBps
 		sess.gov.SetCosts(model)
 		if d := sess.gov.Config().InitialBps; d != oldDemand && sess.Console != "" {
+			sess.nq.OnProbe(now)
 			s.send(out, sess.Console, &protocol.BandwidthRequest{SessionID: sess.ID, Bps: d})
 		}
 	}

@@ -3,6 +3,7 @@ package server
 import (
 	"errors"
 	"testing"
+	"time"
 
 	"slim/internal/core"
 	"slim/internal/fb"
@@ -366,12 +367,37 @@ func TestStatusLagTriggersRepaint(t *testing.T) {
 		}
 	}
 	before := len(tr.sent["c1"])
-	// Console reports it is still at sequence 1: it rebooted.
-	if err := s.Handle("c1", &protocol.Status{LastSeq: 1}, 0); err != nil {
+	// Console reports it is still at sequence 1: it rebooted. (The attach
+	// repaint opened a recovery epoch; a reboot this early is only
+	// detectable once RecoverGrace has elapsed without an ack.)
+	rebootAt := RecoverGrace + time.Millisecond
+	if err := s.Handle("c1", &protocol.Status{LastSeq: 1}, rebootAt); err != nil {
 		t.Fatal(err)
 	}
 	if len(tr.sent["c1"]) <= before {
 		t.Error("sequence lag did not trigger recovery")
+	}
+	// A heartbeat acking mid-repaint still trails the encoder far beyond
+	// the lag threshold; the open recovery epoch must suppress a second
+	// repaint or recovery storms (each repaint re-creating the lag that
+	// triggers the next).
+	mid := len(tr.sent["c1"])
+	if err := s.Handle("c1", &protocol.Status{LastSeq: 2}, rebootAt); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.sent["c1"]) != mid {
+		t.Error("mid-recovery heartbeat triggered a repaint storm")
+	}
+	// Once the console acks past the repaint, the epoch closes and a
+	// fresh reboot is again detected immediately.
+	if err := s.Handle("c1", &protocol.Status{LastSeq: sess.Encoder.LastSeq()}, rebootAt); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Handle("c1", &protocol.Status{LastSeq: 1}, rebootAt); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.sent["c1"]) <= mid {
+		t.Error("post-recovery reboot not detected")
 	}
 	// Verify the repaint restores the screen exactly.
 	screen := fb.New(64, 64)

@@ -8,6 +8,7 @@ import (
 	"slim/internal/flow"
 	"slim/internal/obs"
 	"slim/internal/obs/flight"
+	"slim/internal/obs/netqual"
 	"slim/internal/obs/slo"
 	"slim/internal/protocol"
 )
@@ -110,16 +111,19 @@ func sessionLabeled(snap obs.Snapshot, user string) []string {
 
 // TestTerminateEvictsAllSessionSeries is the generic cardinality-leak
 // regression: with every per-session subsystem live — labeled
-// input-to-paint histogram, flow-governor gauges, SLO state — Terminate
-// must leave *zero* series carrying the session label, enumerated
-// generically so series added later fail this test instead of leaking.
+// input-to-paint histogram, flow-governor gauges, SLO state, path
+// estimators — Terminate must leave *zero* series carrying the session
+// label, enumerated generically so series added later fail this test
+// instead of leaking.
 func TestTerminateEvictsAllSessionSeries(t *testing.T) {
 	tr := newMemTransport()
 	reg := obs.NewRegistry(obs.DomainWall)
 	rec := flight.New(obs.DomainWall).Instrument(reg)
 	slt := slo.New(obs.DomainWall, slo.Config{}).Instrument(reg)
+	nqt := netqual.New(obs.DomainWall, netqual.DefaultConfig()).Instrument(reg)
+	nqt.SetEnabled(true)
 	s := New(tr, func(user string, w, h int) Application { return NewTerminal(w, h) },
-		WithRegistry(reg), WithFlightRecorder(rec), WithSLO(slt),
+		WithRegistry(reg), WithFlightRecorder(rec), WithSLO(slt), WithNetQual(nqt),
 		WithFlowControl(flow.Config{}))
 	s.Auth.Register("card-alice", "alice")
 
@@ -135,11 +139,23 @@ func TestTerminateEvictsAllSessionSeries(t *testing.T) {
 	}
 
 	live := sessionLabeled(reg.Snapshot(), "alice")
-	if len(live) < 3 {
-		t.Fatalf("expected per-session series from itp, flow, and slo while live, got %v", live)
+	if len(live) < 4 {
+		t.Fatalf("expected per-session series from itp, flow, slo, and netqual while live, got %v", live)
+	}
+	var netqualLive bool
+	for _, name := range live {
+		if strings.HasPrefix(name, "slim_netqual_") {
+			netqualLive = true
+		}
+	}
+	if !netqualLive {
+		t.Fatalf("no slim_netqual_* series registered while session live, got %v", live)
 	}
 	if sess.SLO() == nil {
 		t.Fatal("session not SLO-instrumented")
+	}
+	if sess.NetQual() == nil {
+		t.Fatal("session not netqual-instrumented")
 	}
 
 	if err := s.Terminate("alice"); err != nil {
@@ -151,6 +167,9 @@ func TestTerminateEvictsAllSessionSeries(t *testing.T) {
 	}
 	if ids := slt.SessionIDs(); len(ids) != 0 {
 		t.Errorf("slo sessions survived Terminate: %v", ids)
+	}
+	if ids := nqt.SessionIDs(); len(ids) != 0 {
+		t.Errorf("netqual estimators survived Terminate: %v", ids)
 	}
 	if ids := rec.Sessions(); len(ids) != 0 {
 		t.Errorf("flight rings survived Terminate: %v", ids)

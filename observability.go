@@ -14,6 +14,7 @@ import (
 	"slim/internal/obs/flight"
 	"slim/internal/obs/hostmon"
 	"slim/internal/obs/incident"
+	"slim/internal/obs/netqual"
 	"slim/internal/obs/slo"
 )
 
@@ -84,6 +85,22 @@ func SetSLOTarget(d time.Duration) { slo.Default.SetTarget(d) }
 // SetSLOBudget sets the allowed breach fraction (default 0.01: 1% of
 // events may exceed the target).
 func SetSLOBudget(b float64) { slo.Default.SetBudget(b) }
+
+// NetQualTracker is the passive network-path estimator (see
+// internal/obs/netqual): per-session smoothed RTT, jitter, loss, and
+// delivered goodput derived purely from traffic the protocol already
+// carries — STATUS acks, NACKs, and bandwidth grant round-trips.
+type NetQualTracker = netqual.Tracker
+
+// NetQual returns the process-wide wall-clock path estimator: live
+// servers register sessions here unless redirected, /debug/netqual serves
+// its state, and slimstat's rtt/jitter/loss columns read its gauges.
+// Disabled (observe paths cost one atomic load) until SetNetQualEnabled
+// or slimd/slimbroker -netqual.
+func NetQual() *NetQualTracker { return netqual.Default }
+
+// SetNetQualEnabled arms or disarms passive path estimation process-wide.
+func SetNetQualEnabled(on bool) { netqual.Default.SetEnabled(on) }
 
 // defaultCalibrator is the process-wide cost calibrator behind
 // Calibrator() and /debug/costmodel, instrumented in the default registry
@@ -285,6 +302,7 @@ func DebugEndpoints() []DebugEndpoint {
 		{"/debug/trace", "Perfetto trace-event JSON from the flight recorder's session rings"},
 		{"/debug/costmodel", "live cost-model calibration fit versus the paper's Table 5"},
 		{"/debug/slo", "SLO burn rates, OK/DEGRADED/BREACHING states, and breach-blame histograms"},
+		{"/debug/netqual", "per-session passive path estimates: smoothed RTT, jitter, loss windows, goodput"},
 		{"/debug/hostmon", "host-runtime sample ring, GC/CPU stall windows, and top-N profile self-time"},
 		{"/debug/incident", "incident bundles: GET lists manifests, POST ?trigger=reason writes one now"},
 	}
@@ -319,6 +337,7 @@ func DebugHandler() http.Handler {
 	mux.Handle("/debug/trace", flight.Default.TraceHandler())
 	mux.Handle("/debug/costmodel", CostModelHandler(defaultCalibrator))
 	mux.Handle("/debug/slo", slo.Default.Handler())
+	mux.Handle("/debug/netqual", netqual.Default.Handler())
 	mux.Handle("/debug/hostmon", defaultMonitor.Handler(defaultProfiler))
 	mux.Handle("/debug/incident", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		e := Incidents()

@@ -173,6 +173,12 @@ func WithFlightRecorder(rec *Recorder) ServerOption { return server.WithFlightRe
 // the process-wide one (slim.SLO()).
 func WithSLOTracker(t *SLOTracker) ServerOption { return server.WithSLO(t) }
 
+// WithNetQualTracker points the server's passive path estimation at t
+// instead of the process-wide one (slim.NetQual()). The tracker must
+// still be armed with SetEnabled; the option only chooses where the
+// estimates live.
+func WithNetQualTracker(t *NetQualTracker) ServerOption { return server.WithNetQual(t) }
+
 // WithLogger attaches a structured logger for session lifecycle events
 // (attach, detach, terminate, auth failure, recovery repaint). Nil keeps
 // the server silent; datagram paths never log either way.

@@ -300,6 +300,13 @@ type UDPConsole struct {
 	done      chan struct{} // closed when the serve goroutine has exited
 	start     time.Time
 	metrics   *udpMetrics
+
+	// STATUS bookkeeping shared by the serve loop (immediate acks) and
+	// the heartbeat goroutine (trailing acks + idle heartbeat).
+	ackMu      sync.Mutex
+	lastAckAt  time.Time
+	ackApplied uint64
+	ackDropped uint64
 }
 
 // DialConsole connects a console to a UDP server and sends its Hello
@@ -352,6 +359,7 @@ func DialConsoleContext(ctx context.Context, serverAddr string, cfg ConsoleConfi
 		return nil, err
 	}
 	go c.serve()
+	go c.heartbeat()
 	if ctx.Done() != nil {
 		go func() {
 			select {
@@ -389,6 +397,69 @@ func (c *UDPConsole) send(msg Message) error {
 	return nil
 }
 
+// StatusInterval is the UDP console's idle heartbeat cadence. STATUS
+// carries the applied sequence and cumulative drop count the server's
+// recovery path and passive path estimators (internal/obs/netqual) both
+// consume; the steady cadence is itself the signal jitter estimation
+// measures.
+const StatusInterval = 500 * time.Millisecond
+
+// StatusAckDelay bounds how soon after applying display traffic the
+// console acknowledges it with a STATUS. Acking on receipt (rather than
+// waiting for the idle heartbeat) is what keeps passively-derived RTT
+// samples close to the true path RTT — a timer-delayed ack would inflate
+// them by up to StatusInterval.
+const StatusAckDelay = 20 * time.Millisecond
+
+// maybeAck sends a STATUS when the console's applied/dropped counters
+// moved since the last STATUS went out (rate-limited to one per
+// StatusAckDelay), or unconditionally when force is set (the idle
+// heartbeat). Reports whether a STATUS was sent.
+func (c *UDPConsole) maybeAck(force bool) bool {
+	c.ackMu.Lock()
+	applied, dropped := c.Console.Counters()
+	moved := applied != c.ackApplied || dropped != c.ackDropped
+	now := time.Now()
+	if !force && (!moved || now.Sub(c.lastAckAt) < StatusAckDelay) {
+		c.ackMu.Unlock()
+		return false
+	}
+	c.ackApplied, c.ackDropped = applied, dropped
+	c.lastAckAt = now
+	wire := c.Console.StatusWire()
+	c.ackMu.Unlock()
+	if _, err := c.conn.Write(wire); err != nil {
+		c.metrics.txErrors.Inc()
+		return false
+	}
+	c.metrics.txDatagrams.Inc()
+	c.metrics.txBytes.Add(int64(len(wire)))
+	return true
+}
+
+// heartbeat ticks at the ack delay so a display burst's tail is
+// acknowledged promptly even when the serve loop's rate limit suppressed
+// the in-burst acks, and forces an idle STATUS every StatusInterval so
+// the server sees liveness (and path estimators a steady cadence) from a
+// quiet console.
+func (c *UDPConsole) heartbeat() {
+	t := time.NewTicker(StatusAckDelay)
+	defer t.Stop()
+	ticksPerIdle := int(StatusInterval / StatusAckDelay)
+	idle := 0
+	for {
+		select {
+		case <-c.closed:
+			return
+		case <-t.C:
+			idle++
+			if c.maybeAck(idle >= ticksPerIdle) {
+				idle = 0
+			}
+		}
+	}
+}
+
 func (c *UDPConsole) serve() {
 	defer close(c.done)
 	buf := make([]byte, 64*1024)
@@ -413,6 +484,10 @@ func (c *UDPConsole) serve() {
 		if err != nil {
 			continue // malformed datagram: drop, per the loss-tolerant design
 		}
+		// Delayed-ack STATUS: when this datagram moved the applied or
+		// dropped counters, acknowledge promptly (rate-limited to one ack
+		// per StatusAckDelay) instead of waiting for the idle heartbeat.
+		c.maybeAck(false)
 		for _, r := range replies {
 			if _, err := c.conn.Write(r); err != nil {
 				return
