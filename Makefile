@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench cover fuzz reproduce examples clean race bench-guard bench-json alloc-guard capacity capacity-smoke fleet-smoke netqual netqual-smoke ci
+.PHONY: all build test vet bench cover fuzz reproduce examples clean race bench-guard bench-json alloc-guard capacity capacity-smoke fleet-smoke netqual netqual-smoke codec2 codec2-smoke ci
 
 all: build test
 
@@ -74,6 +74,21 @@ netqual:
 netqual-smoke:
 	$(GO) test -run 'TestNetqualSmoke|TestCommittedBench' -count 1 -v ./internal/obs/netqual/
 
+# Regenerate the committed gen-2 codec artifact: the scroll, re-expose,
+# and mixed drives compared raw vs gen-1 vs gen-2 (the Figure 8-shaped
+# bytes-on-wire table). TestCommittedBench validates the artifact stays
+# consistent with the encoders.
+codec2:
+	$(GO) run ./cmd/slimbench -workload all -codec2out BENCH_codec2.json
+
+# Gen-2 codec smoke: the >=5x scroll/re-expose payload-reduction
+# acceptance bound, churn reclassification on the mixed drive, and
+# committed-artifact validation. Runs in seconds; CI runs this (the
+# zero-alloc budget for the warm cache-hit path rides in alloc-guard,
+# the Codec2 hot-path benches in bench-guard).
+codec2-smoke:
+	$(GO) test -run 'TestCodecSpeedup|TestMixedDriveExercisesChurn|TestCommittedBench' -count 1 -v ./internal/workload/
+
 # Session-broker fleet smoke: a 2-shard broker over the in-process fabric,
 # hotdesk churn, one forced live migration, and the reattach latency
 # asserted against the 2-second hotdesk budget (the full 2,000-console
@@ -82,9 +97,9 @@ fleet-smoke:
 	$(GO) test -run 'TestFleetSmoke' -count 1 -v .
 
 # CI-style gate: static checks, race-detected tests, benchmark smoke run,
-# allocation budgets, capacity-curve smoke, path-estimation smoke, fleet
-# smoke.
-ci: vet race bench-guard alloc-guard capacity-smoke netqual-smoke fleet-smoke
+# allocation budgets, capacity-curve smoke, path-estimation smoke, gen-2
+# codec smoke, fleet smoke.
+ci: vet race bench-guard alloc-guard capacity-smoke netqual-smoke codec2-smoke fleet-smoke
 
 cover:
 	$(GO) test -cover ./...
@@ -95,6 +110,7 @@ fuzz:
 	$(GO) test -run xxx -fuzz 'FuzzDecodeBatch$$' -fuzztime 30s ./internal/protocol/
 	$(GO) test -run xxx -fuzz 'FuzzDecodeMessage$$' -fuzztime 30s ./internal/protocol/
 	$(GO) test -run xxx -fuzz FuzzDecodeCSCS -fuzztime 30s ./internal/fb/
+	$(GO) test -run xxx -fuzz FuzzTileCache -fuzztime 30s ./internal/core/
 
 # Regenerate every table and figure from the paper (quick corpus).
 reproduce:

@@ -33,7 +33,14 @@ func main() {
 	runFor := flag.Duration("simtime", 60*time.Second, "simulated seconds per sharing data point")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile (after the run) to this file")
+	workloads := flag.String("workload", "", "codec gen-2 comparison drives (scroll|reexpose|mixed|all, comma list); runs only this and exits")
+	codec2Out := flag.String("codec2out", "", "with -workload: also write the comparison as JSON (the BENCH_codec2.json artifact)")
 	flag.Parse()
+
+	if *workloads != "" {
+		runCodec2(*workloads, *codec2Out)
+		return
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -206,4 +213,36 @@ func main() {
 		frac := experiments.EncoderOverhead(c)
 		fmt.Printf("Section 5.5: SLIM protocol generation is %.1f%% of server display-path time (paper: 1.7%% of X-server execution)\n\n", 100*frac)
 	}
+}
+
+// runCodec2 runs the gen-2 codec comparison drives and prints the
+// Figure 8-shaped bytes-on-wire table. The committed BENCH_codec2.json is
+// regenerated with `make codec2`; the drives are seeded with the pinned
+// artifact seed so the TestCommittedBench validation stays exact.
+func runCodec2(names, out string) {
+	sel := strings.Split(names, ",")
+	if names == "all" {
+		sel = workload.DriveNames
+	}
+	b := &workload.CodecBench{Schema: workload.CodecBenchSchema, Seed: workload.DefaultCodecSeed}
+	for _, n := range sel {
+		row, err := workload.RunCodecRow(strings.TrimSpace(n), workload.DefaultCodecSeed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		b.Rows = append(b.Rows, row)
+	}
+	fmt.Print(workload.RenderCodecBench(b))
+	if out == "" {
+		return
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := workload.WriteCodecBench(f, b); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s", out)
 }

@@ -119,6 +119,7 @@ func main() {
 	app := flag.String("app", "terminal", "session application: terminal|desktop|quake|mpeg2|ntsc")
 	fps := flag.Float64("fps", 24, "video frame rate for video applications")
 	flow := flag.Bool("flow", false, "enable the per-session send governor: pace to console grants, supersede stale damage, budget retransmits (§7)")
+	codec2 := flag.Bool("codec2", false, "arm the gen-2 codec (content-typed tiles + dirty-tile cache); engages per attachment for consoles advertising CACHE_PAINT")
 	flowBps := flag.Uint64("flow-bps", 0, "with -flow, initial per-session bandwidth demand in bits/s (0: derive from the cost model)")
 	flightThreshold := flag.Duration("flight-threshold", flight.DefaultThreshold,
 		"input-to-paint latency that triggers a flight-recorder breach (0 disables)")
@@ -169,6 +170,9 @@ func main() {
 		fatal("bad -app", "err", err)
 	}
 	opts := []slim.ServerOption{slim.WithLogger(logger)}
+	if *codec2 {
+		opts = append(opts, slim.WithCodec2())
+	}
 	if *flow {
 		opts = append(opts,
 			slim.WithCostModel(slim.SunRay1Costs()),

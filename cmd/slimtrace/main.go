@@ -254,14 +254,16 @@ func netqualCmd(args []string) {
 			for _, m := range msgs {
 				switch m.Type() {
 				case protocol.TypeSet, protocol.TypeBitmap, protocol.TypeFill,
-					protocol.TypeCopy, protocol.TypeCSCS, protocol.TypeAudio:
+					protocol.TypeCopy, protocol.TypeCSCS, protocol.TypeCachePaint,
+					protocol.TypeAudio:
 					display++
 				}
 			}
 			for i, m := range msgs {
 				switch m.Type() {
 				case protocol.TypeSet, protocol.TypeBitmap, protocol.TypeFill,
-					protocol.TypeCopy, protocol.TypeCSCS, protocol.TypeAudio:
+					protocol.TypeCopy, protocol.TypeCSCS, protocol.TypeCachePaint,
+					protocol.TypeAudio:
 					seq := seqs[i]
 					// Offline we cannot see the governor's retransmit flag;
 					// a seq at or below the high-water mark is a replay.

@@ -28,16 +28,21 @@ func main() {
 	height := flag.Int("height", 768, "display height in pixels")
 	text := flag.String("type", "", "text to type into the session")
 	cps := flag.Float64("cps", 0, "paced typing rate in chars/sec (0 = type instantly)")
+	codec2 := flag.Bool("codec2", true, "advertise the gen-2 CACHE_PAINT capability and keep a dirty-tile cache (harmless against gen-1 servers)")
 	wait := flag.Duration("wait", 500*time.Millisecond, "settle time before the screenshot")
 	out := flag.String("o", "screen.png", "screenshot output path")
 	flag.Parse()
 
-	con, err := slim.DialConsoleContext(context.Background(), *server, slim.ConsoleConfig{
+	cfg := slim.ConsoleConfig{
 		Width: *width, Height: *height,
 		// Measure real decode costs into the process-wide calibrator: a
 		// console is where §4.3's constants actually come from.
 		Calibrator: slim.Calibrator(),
-	}, slim.TokenOf(*card))
+	}
+	if *codec2 {
+		cfg.TileCacheEntries = slim.DefaultTileCacheEntries
+	}
+	con, err := slim.DialConsoleContext(context.Background(), *server, cfg, slim.TokenOf(*card))
 	if err != nil {
 		log.Fatal(err)
 	}

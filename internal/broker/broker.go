@@ -101,6 +101,7 @@ var (
 // at the broker until placement decides which shard gets it).
 type consoleInfo struct {
 	w, h       uint16
+	caps       uint16
 	shard      int
 	registered bool
 }
@@ -324,7 +325,7 @@ func (b *Broker) handleHello(console string, m *protocol.Hello, now time.Duratio
 	if !known {
 		ci = consoleInfo{shard: int(fnv1a(console) % uint32(len(b.shards)))}
 	}
-	ci.w, ci.h = m.Width, m.Height
+	ci.w, ci.h, ci.caps = m.Width, m.Height, m.Caps
 	// A Hello is a (re)boot: whatever shard-side registration existed is
 	// stale until the broker forwards a fresh one.
 	ci.registered = false
@@ -332,7 +333,7 @@ func (b *Broker) handleHello(console string, m *protocol.Hello, now time.Duratio
 	b.routeMu.Unlock()
 	if m.CardToken == "" {
 		if err := b.shards[ci.shard].Handle(console,
-			&protocol.Hello{Width: m.Width, Height: m.Height}, now); err != nil {
+			&protocol.Hello{Width: m.Width, Height: m.Height, Caps: m.Caps}, now); err != nil {
 			return err
 		}
 		b.routeMu.Lock()
@@ -393,7 +394,7 @@ func (b *Broker) attach(console, token string, now time.Duration) error {
 			b.shards[ci.shard].EvictConsole(console)
 		}
 		if err := b.shards[target].Handle(console,
-			&protocol.Hello{Width: ci.w, Height: ci.h}, now); err != nil {
+			&protocol.Hello{Width: ci.w, Height: ci.h, Caps: ci.caps}, now); err != nil {
 			return err
 		}
 		b.routeMu.Lock()
@@ -509,7 +510,7 @@ func (b *Broker) MigrateUser(user string, to int, now time.Duration) error {
 	b.routeMu.RUnlock()
 	b.shards[home].EvictConsole(console)
 	if err := b.shards[to].Handle(console,
-		&protocol.Hello{Width: ci.w, Height: ci.h}, now); err != nil {
+		&protocol.Hello{Width: ci.w, Height: ci.h, Caps: ci.caps}, now); err != nil {
 		return err
 	}
 	b.routeMu.Lock()

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"slim/internal/core"
 	"slim/internal/obs"
 	"slim/internal/protocol"
 	"slim/internal/server"
@@ -380,5 +381,73 @@ func BenchmarkBrokerKeystroke(b *testing.B) {
 		if err := bro.HandleDatagram("desk-1", key, 0); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestBrokerForwardsConsoleCaps: the broker synthesizes Hellos when it
+// redirects consoles between shards, and those must carry the console's
+// advertised capability bits — otherwise a gen-2 console fronted by a
+// broker silently never negotiates the tile cache.
+func TestBrokerForwardsConsoleCaps(t *testing.T) {
+	tr := newFleetTransport()
+	b, err := New(Config{
+		Shards:       2,
+		Policy:       RouteLeastLoaded,
+		MigrateSlack: 1,
+		Registry:     obs.NewRegistry(obs.DomainWall),
+		NewShard: func(i int) *server.Server {
+			return server.New(tr,
+				func(user string, w, h int) server.Application { return server.NewTerminal(w, h) },
+				server.WithRegistry(obs.NewRegistry(obs.DomainWall)),
+				server.WithSessionIDBase(uint32(i)*ShardIDSpace),
+				server.WithCodec2())
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Register("card-a", "alice")
+	b.Register("card-b", "bob")
+
+	encoder := func(user string) *core.Encoder {
+		t.Helper()
+		shard, ok := b.Locate(user)
+		if !ok {
+			t.Fatalf("no shard hosts %s", user)
+		}
+		sess := b.Shard(shard).SessionByUser(user)
+		if sess == nil {
+			t.Fatalf("shard %d has no session for %s", shard, user)
+		}
+		return sess.Encoder
+	}
+
+	// Card-carrying Hello with the capability: the attach path's redirect
+	// Hello must preserve it.
+	if err := b.Handle("g2", &protocol.Hello{Width: 64, Height: 64, CardToken: "card-a", Caps: protocol.CapCachePaint}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !encoder("alice").Codec2Enabled() {
+		t.Error("capability lost on the broker's attach redirect")
+	}
+
+	// Bare Hello then SessionConnect (hotdesk): both broker-synthesized
+	// Hellos must preserve what the console advertised.
+	if err := b.Handle("g2b", &protocol.Hello{Width: 64, Height: 64, Caps: protocol.CapCachePaint}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Handle("g2b", &protocol.SessionConnect{Token: "card-a"}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !encoder("alice").Codec2Enabled() {
+		t.Error("capability lost on the broker's hotdesk redirect")
+	}
+
+	// A legacy console stays gen-1 on the same armed fleet.
+	if err := b.Handle("g1", &protocol.Hello{Width: 64, Height: 64, CardToken: "card-b"}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if encoder("bob").Codec2Enabled() {
+		t.Error("legacy console negotiated codec2 through the broker")
 	}
 }

@@ -54,6 +54,14 @@ type Config struct {
 	// sample is the modelled service time (virtual calibration); without
 	// one it is the real wall time of the frame-buffer apply.
 	Calibrator *core.Calibrator
+	// TileCacheEntries enables the gen-2 content-addressed tile cache
+	// with the given entry capacity; the console then advertises
+	// CapCachePaint in its Hello and accepts CACHE_PAINT commands. 0
+	// leaves the console a pure gen-1 frame buffer. The capacity must
+	// match what the server's encoder assumes (the capability bit
+	// implies core.DefaultTileCacheEntries) or the mirrored LRU orders
+	// drift — each drift is repaired by a NACK, but it costs bandwidth.
+	TileCacheEntries int
 }
 
 // Console is one SLIM desktop unit.
@@ -77,6 +85,11 @@ type Console struct {
 	sessionID  uint32
 	audioSink  *audio.Sink
 	metrics    *consoleMetrics
+	// cache is the gen-2 tile cache (nil on a gen-1 console); cpPix
+	// stages the looked-up pixels between the cache probe in Handle and
+	// the frame-buffer blit in applyDisplay.
+	cache *core.TileCache
+	cpPix []protocol.Pixel
 	// flog is the attached session's flight ring (nil while detached),
 	// re-resolved whenever the session changes.
 	flog *flight.SessionLog
@@ -111,6 +124,9 @@ func New(cfg Config) (*Console, error) {
 	if cfg.AudioBuffer > 0 {
 		c.audioSink = audio.NewSink(cfg.AudioBuffer)
 	}
+	if cfg.TileCacheEntries > 0 {
+		c.cache = core.NewTileCache(cfg.TileCacheEntries, true)
+	}
 	return c, nil
 }
 
@@ -118,10 +134,15 @@ func New(cfg Config) (*Console, error) {
 func (c *Console) Hello() *protocol.Hello {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	var caps uint16
+	if c.cache != nil {
+		caps |= protocol.CapCachePaint
+	}
 	return &protocol.Hello{
 		Width:     uint16(c.cfg.Width),
 		Height:    uint16(c.cfg.Height),
 		CardToken: c.cfg.CardToken,
+		Caps:      caps,
 	}
 }
 
@@ -192,6 +213,26 @@ func (c *Console) Handle(seq uint32, msg protocol.Message, now time.Duration) ([
 			c.metrics.nacks.Inc()
 			replies = append(replies, protocol.Encode(nil, c.seq.Next(), &n))
 		}
+		if cp, isCP := msg.(*protocol.CachePaint); isCP {
+			pix, hit := c.cacheLookup(cp)
+			if !hit {
+				// Absent entry: treat the datagram as lost. The NACK makes
+				// the server forget the key and repaint from its true
+				// frame buffer — cached tiles can be dropped at any time
+				// without a protocol error, they are soft state like
+				// everything else the console holds.
+				c.metrics.cacheMisses.Inc()
+				c.metrics.nacks.Inc()
+				if c.flog.Armed() {
+					c.flog.Drop(seq, msg.Type(), int64(protocol.WireSize(msg)))
+				}
+				n := protocol.Nack{From: seq, To: seq}
+				replies = append(replies, protocol.Encode(nil, c.seq.Next(), &n))
+				return replies, nil
+			}
+			c.metrics.cacheHits.Inc()
+			c.cpPix = pix
+		}
 		start := time.Now()
 		svc, pure, ok := c.applyDisplay(msg, now)
 		if !ok {
@@ -204,6 +245,12 @@ func (c *Console) Handle(seq uint32, msg protocol.Message, now time.Duration) ([
 		}
 		c.applied++
 		c.metrics.applied.Inc()
+		if c.cache != nil {
+			// Console half of the mirrored cache-maintenance rule: insert
+			// every applied command's write-rect tiles (CACHE_PAINT only
+			// touches, done at lookup; CSCS never caches).
+			c.cache.NoteApply(c.fb, msg)
+		}
 		wall := time.Since(start)
 		c.metrics.decodeSeconds.Observe(wall)
 		c.metrics.observeDecodeType(msg.Type(), wall)
@@ -257,12 +304,39 @@ func (c *Console) setSession(id uint32) {
 	if id != c.sessionID {
 		c.gaps = protocol.NewGapTracker(c.cfg.ReorderWindow)
 	}
+	if c.cache != nil {
+		// Every (re)attach starts a fresh tile-cache generation: the
+		// server's encoder does the same and immediately repaints, which
+		// re-seeds both sides from an identical empty state. Keeping old
+		// entries would only desynchronize the mirrored LRU orders.
+		c.cache.Reset()
+	}
 	c.sessionID = id
 	if id == 0 {
 		c.flog = nil
 	} else {
 		c.flog = c.cfg.Flight.Session(id)
 	}
+}
+
+// cacheLookup probes the tile cache for a CACHE_PAINT claim. A gen-1
+// console (no cache) can only reach here if a server violates the
+// negotiated capability; it answers with the same miss-NACK, which makes
+// the server repaint with plain commands — degraded, never wrong.
+// Callers hold c.mu.
+func (c *Console) cacheLookup(cp *protocol.CachePaint) ([]protocol.Pixel, bool) {
+	if c.cache == nil {
+		return nil, false
+	}
+	return c.cache.Lookup(cp.Key, cp.Rect.W, cp.Rect.H)
+}
+
+// TileCache exposes the console's gen-2 cache (nil on a gen-1 console)
+// for tests and fuzzing.
+func (c *Console) TileCache() *core.TileCache {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cache
 }
 
 // applyDisplay renders one display command, returning its modelled service
@@ -294,7 +368,15 @@ func (c *Console) applyDisplay(msg protocol.Message, now time.Duration) (svc, pu
 	if measure {
 		t0 = time.Now()
 	}
-	if err := c.fb.Apply(msg); err != nil {
+	var err error
+	if cp, isCP := msg.(*protocol.CachePaint); isCP {
+		// The staged cache entry blits straight into the frame buffer;
+		// Handle already validated the claim.
+		err = c.fb.Set(cp.Rect, c.cpPix)
+	} else {
+		err = c.fb.Apply(msg)
+	}
+	if err != nil {
 		// Malformed geometry is clipped by fb; real errors are protocol
 		// violations we count as drops.
 		return 0, 0, false

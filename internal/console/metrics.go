@@ -24,8 +24,17 @@ type consoleMetrics struct {
 	// input-to-paint pipeline on asynchronous transports. decodeByType
 	// splits the same observations per command so the §4.3 calibration
 	// has a per-command latency distribution next to its fitted line.
+	// decodeByType spans the full display range including the gen-2
+	// CACHE_PAINT, which gets its own bucket: a cache-hit apply is a
+	// small blit, and folding it into the class of the command that
+	// originally painted the pixels would drag that class's calibration
+	// window toward zero.
 	decodeSeconds *obs.Histogram
-	decodeByType  [protocol.TypeCSCS + 1]*obs.Histogram
+	decodeByType  [protocol.TypeCachePaint + 1]*obs.Histogram
+	// cacheHits / cacheMisses count CACHE_PAINT claims against the
+	// console's tile cache; a miss becomes a targeted NACK.
+	cacheHits   *obs.Counter
+	cacheMisses *obs.Counter
 	// simService is the modelled per-command service time (Figure 7's
 	// distribution) when a cost model is installed; simBacklogNs is the
 	// modelled decode backlog. Both are virtual time, hence DomainSim.
@@ -47,6 +56,10 @@ func newConsoleMetrics(wall, sim *obs.Registry) *consoleMetrics {
 		m.decodeByType[t] = wall.Histogram(
 			fmt.Sprintf("slim_console_decode_seconds{cmd=%q}", t.String()))
 	}
+	m.decodeByType[protocol.TypeCachePaint] = wall.Histogram(
+		fmt.Sprintf("slim_console_decode_seconds{cmd=%q}", protocol.TypeCachePaint.String()))
+	m.cacheHits = wall.Counter("slim_console_cache_hits_total")
+	m.cacheMisses = wall.Counter("slim_console_cache_misses_total")
 	return m
 }
 

@@ -1,0 +1,239 @@
+package core
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"slim/internal/fb"
+	"slim/internal/protocol"
+)
+
+var updateTiles = flag.Bool("update", false, "rewrite the golden tile fixtures in testdata/tiles")
+
+// goldenTiles generates the classifier's fixture set: one 16x16 tile per
+// content shape the classifier must tell apart. Every generator is a pure
+// function of (x, y), so `go test -update ./internal/core/` rewrites the
+// checked-in files deterministically. A fixture's filename prefix (up to
+// the first underscore) names the class the classifier must assign it.
+func goldenTiles() map[string][]protocol.Pixel {
+	const n = TileSize
+	tiles := map[string][]protocol.Pixel{}
+	mk := func(name string, gen func(x, y int) protocol.Pixel) {
+		pix := make([]protocol.Pixel, n*n)
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				pix[y*n+x] = gen(x, y)
+			}
+		}
+		tiles[name] = pix
+	}
+
+	// Single-color tiles: window background, black screen.
+	mk("solid_blue", func(x, y int) protocol.Pixel { return protocol.RGB(0x30, 0x60, 0xC0) })
+	mk("solid_black", func(x, y int) protocol.Pixel { return 0 })
+
+	// Strictly bicolor glyph rows — antialiasing off, the paper's text.
+	glyphRows := [TileSize]uint16{
+		0x0000, 0x3C3C, 0x4242, 0x4242, 0x7E7E, 0x4242, 0x4242, 0x0000,
+		0x0000, 0x7C3E, 0x4220, 0x7C20, 0x4220, 0x4220, 0x7C3E, 0x0000,
+	}
+	mk("text_glyphs", func(x, y int) protocol.Pixel {
+		if glyphRows[y]&(0x8000>>uint(x)) != 0 {
+			return protocol.RGB(0, 0, 0)
+		}
+		return protocol.RGB(0xFF, 0xFF, 0xFF)
+	})
+
+	// Four-color 2x2 ordered dither: a limited palette whose rows repeat
+	// with period two — the gradient-fill pattern 8-bit desktops draw.
+	dither := [4]protocol.Pixel{
+		protocol.RGB(0x60, 0x60, 0x80), protocol.RGB(0x70, 0x70, 0x90),
+		protocol.RGB(0x68, 0x68, 0x88), protocol.RGB(0x78, 0x78, 0x98),
+	}
+	mk("text_dither", func(x, y int) protocol.Pixel { return dither[(x%2)+2*(y%2)] })
+
+	// Toolbar chrome: highlight edge, uniform body, shadow edge. Three
+	// colors, three distinct rows.
+	mk("text_toolbar", func(x, y int) protocol.Pixel {
+		switch y {
+		case 0:
+			return protocol.RGB(0xE0, 0xE0, 0xE0)
+		case TileSize - 1:
+			return protocol.RGB(0x40, 0x40, 0x40)
+		default:
+			return protocol.RGB(0xA0, 0xA0, 0xA0)
+		}
+	})
+
+	// Smooth continuous-tone ramp: every pixel distinct, every row distinct.
+	mk("photo_gradient", func(x, y int) protocol.Pixel {
+		return protocol.RGB(uint8(x*17), uint8(y*17), uint8(x*y))
+	})
+
+	// Sensor noise via a Weyl-style integer mix, no two rows alike.
+	mk("photo_noise", func(x, y int) protocol.Pixel {
+		s := uint32(y*TileSize+x+1) * 2654435761
+		s ^= s >> 13
+		s *= 2246822519
+		return protocol.RGB(uint8(s), uint8(s>>8), uint8(s>>16))
+	})
+
+	return tiles
+}
+
+const tileFixtureDir = "testdata/tiles"
+
+// tileFixturePixels decodes one checked-in fixture: raw row-major RGB,
+// 3 bytes per pixel, 16x16.
+func tileFixturePixels(t *testing.T, path string) []protocol.Pixel {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) != 3*TileSize*TileSize {
+		t.Fatalf("%s: %d bytes, want %d (raw 16x16 RGB)", path, len(raw), 3*TileSize*TileSize)
+	}
+	pix := make([]protocol.Pixel, TileSize*TileSize)
+	for i := range pix {
+		pix[i] = protocol.RGB(raw[3*i], raw[3*i+1], raw[3*i+2])
+	}
+	return pix
+}
+
+func writeTileFixtures(t *testing.T) {
+	t.Helper()
+	if err := os.MkdirAll(tileFixtureDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for name, pix := range goldenTiles() {
+		raw := make([]byte, 0, 3*len(pix))
+		for _, p := range pix {
+			raw = append(raw, p.R(), p.G(), p.B())
+		}
+		if err := os.WriteFile(filepath.Join(tileFixtureDir, name+".tile"), raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestClassifyGoldenTiles pins the classifier against the checked-in tile
+// fixtures. The expected class is the filename prefix; each tile is also
+// classified with the churn tracker reporting hot, which must reclassify
+// photo content (and only photo content) to churn — palette-limited tiles
+// stay pixel exact no matter how fast they rewrite.
+func TestClassifyGoldenTiles(t *testing.T) {
+	if *updateTiles {
+		writeTileFixtures(t)
+	}
+	paths, err := filepath.Glob(filepath.Join(tileFixtureDir, "*.tile"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := goldenTiles()
+	if len(paths) != len(want) {
+		t.Fatalf("%d fixtures on disk, generator produces %d (regenerate with: go test -update ./internal/core/)",
+			len(paths), len(want))
+	}
+	sort.Strings(paths)
+	r := protocol.Rect{W: TileSize, H: TileSize}
+	for _, path := range paths {
+		name := strings.TrimSuffix(filepath.Base(path), ".tile")
+		gen, ok := want[name]
+		if !ok {
+			t.Errorf("%s: fixture has no generator (stale file?)", path)
+			continue
+		}
+		pix := tileFixturePixels(t, path)
+		for i := range pix {
+			if pix[i] != gen[i] {
+				t.Errorf("%s: pixel %d is %06x, generator says %06x (regenerate with: go test -update ./internal/core/)",
+					name, i, pix[i], gen[i])
+				break
+			}
+		}
+		f := fb.New(TileSize, TileSize)
+		if err := f.Set(r, pix); err != nil {
+			t.Fatal(err)
+		}
+		wantClass := map[string]TileClass{
+			"solid": ClassSolid, "text": ClassText, "photo": ClassPhoto,
+		}[strings.SplitN(name, "_", 2)[0]]
+		if got := ClassifyTile(f, r, false); got != wantClass {
+			t.Errorf("%s: classified %v, want %v", name, got, wantClass)
+		}
+		wantHot := wantClass
+		if wantClass == ClassPhoto {
+			wantHot = ClassChurn
+		}
+		if got := ClassifyTile(f, r, true); got != wantHot {
+			t.Errorf("%s (hot cell): classified %v, want %v", name, got, wantHot)
+		}
+	}
+}
+
+// TestTileFixtureNamesAreClasses guards the fixture naming convention the
+// golden test depends on.
+func TestTileFixtureNamesAreClasses(t *testing.T) {
+	for name := range goldenTiles() {
+		prefix := strings.SplitN(name, "_", 2)[0]
+		switch prefix {
+		case "solid", "text", "photo":
+		default:
+			t.Errorf("fixture %q: prefix %q is not a classifier class", name, prefix)
+		}
+	}
+}
+
+// TestChurnTrackerHeatsAndDecays exercises the rate detector directly:
+// sustained rewrites of one cell cross ChurnHotThreshold, other cells stay
+// cold, and once the rewrites stop the decay window cools the cell again.
+func TestChurnTrackerHeatsAndDecays(t *testing.T) {
+	ct := NewChurnTracker(64, 64)
+	hotRect := protocol.Rect{X: 0, Y: 0, W: TileSize, H: TileSize}
+	for i := 0; i < ChurnHotThreshold; i++ {
+		ct.Bump(hotRect)
+	}
+	if !ct.Hot(0, 0) {
+		t.Fatalf("cell not hot after %d bumps", ChurnHotThreshold)
+	}
+	if ct.Hot(TileSize, TileSize) {
+		t.Fatal("neighbouring cell heated without being bumped")
+	}
+	// Rewrites stop; traffic elsewhere drives the decay clock. Each
+	// churnDecayEvery commands halve the counter, so a few windows later
+	// the cell must read cold.
+	coldRect := protocol.Rect{X: 32, Y: 32, W: TileSize, H: TileSize}
+	for w := 0; w < 8 && ct.Hot(0, 0); w++ {
+		for i := 0; i < churnDecayEvery; i++ {
+			ct.Bump(coldRect)
+		}
+	}
+	if ct.Hot(0, 0) {
+		t.Fatal("cell never cooled after rewrites stopped")
+	}
+	ct.Reset()
+	if ct.Hot(32, 32) {
+		t.Fatal("Reset left a hot cell")
+	}
+}
+
+// TestChurnTrackerSaturates pins the uint8 counter clamp: a cell bumped
+// far past 255 must stay hot and not wrap to cold.
+func TestChurnTrackerSaturates(t *testing.T) {
+	ct := NewChurnTracker(32, 32)
+	r := protocol.Rect{X: 0, Y: 0, W: 8, H: 8}
+	for i := 0; i < 300; i++ {
+		ct.Bump(r)
+		// Keep the decay clock from firing mid-test by staying under the
+		// window: 300 bumps span two windows, which is the point — the
+		// counter must survive halving and keep reading hot.
+	}
+	if !ct.Hot(0, 0) {
+		t.Fatal("saturated cell reads cold")
+	}
+}

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"slim/internal/fb"
+	"slim/internal/protocol"
+)
+
+// Gen-2 codec: the encoder-side tile path. Where gen-1 lowered each
+// damage rectangle to one command family chosen by whole-rect analysis,
+// gen-2 walks the rectangle in TileSize chunks and, per tile, first asks
+// the mirrored tile cache whether the console has seen exactly this
+// content before — a hit costs 28 wire bytes instead of a pixel re-send —
+// and only on a miss classifies the tile and encodes it with the
+// cheapest command for its content class. The cache keys double as the
+// CACHE_PAINT wire payload; see protocol.CachePaint for the recovery
+// story that keeps all of this soft state.
+
+// Codec2Stats is the gen-2 accounting, the committed-bench twin of
+// CommandStats.
+type Codec2Stats struct {
+	// Hits and Misses count tile cache probes on the encode path.
+	Hits, Misses uint64
+	// SavedBytes is wire bytes avoided by hits, measured against a
+	// literal re-send of the tile (SET framing, 3 bytes per pixel).
+	SavedBytes int64
+	// Tiles counts classified (miss-path) tiles per content class.
+	Tiles [numTileClasses]uint64
+	// Resets counts cache generation bumps (attach, recovery repaint).
+	Resets uint64
+}
+
+// HitRatio reports hits / (hits + misses), 0 when no probes happened.
+func (s *Codec2Stats) HitRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Codec2 is the gen-2 state hanging off an Encoder: the key-only mirror
+// of the console's tile cache, the churn tracker, and scratch slabs for
+// the per-tile miss path.
+type Codec2 struct {
+	cache *TileCache
+	churn *ChurnTracker
+	stats Codec2Stats
+
+	pix           []protocol.Pixel // tile readback slab
+	lastEvictions uint64
+}
+
+// EnableCodec2 switches the encoder onto the gen-2 tile path with a
+// fresh cache of the given entry capacity (0 selects
+// DefaultTileCacheEntries, the capacity CapCachePaint implies). The
+// server calls this at session attach when — and only when — the console
+// advertised CapCachePaint; the cache starts a new generation on every
+// call, matching the console's reset-on-attach, so both sides begin
+// mirrored and empty.
+func (e *Encoder) EnableCodec2(capacity int) {
+	if e.codec2 != nil && e.codec2.cache.Cap() == capOrDefault(capacity) {
+		e.ResetCodec2()
+		return
+	}
+	e.codec2 = &Codec2{
+		cache: NewTileCache(capacity, false),
+		churn: NewChurnTracker(e.FB.W, e.FB.H),
+	}
+	e.codec2.stats.Resets++
+}
+
+func capOrDefault(capacity int) int {
+	if capacity <= 0 {
+		return DefaultTileCacheEntries
+	}
+	return capacity
+}
+
+// DisableCodec2 reverts the encoder to the gen-1 command path (console
+// without the capability bit, or codec2 switched off server-wide).
+func (e *Encoder) DisableCodec2() { e.codec2 = nil }
+
+// Codec2Enabled reports whether the gen-2 tile path is active.
+func (e *Encoder) Codec2Enabled() bool { return e.codec2 != nil }
+
+// Codec2Stats returns a copy of the gen-2 accounting (zero value when
+// gen-2 is off).
+func (e *Encoder) Codec2Stats() Codec2Stats {
+	if e.codec2 == nil {
+		return Codec2Stats{}
+	}
+	return e.codec2.stats
+}
+
+// ResetCodec2 starts a new cache generation and clears churn state. Runs
+// at attach (via EnableCodec2) and before full-screen recovery repaints,
+// the moments console cache state stops being trustworthy.
+func (e *Encoder) ResetCodec2() {
+	if e.codec2 == nil {
+		return
+	}
+	e.codec2.cache.Reset()
+	e.codec2.churn.Reset()
+	e.codec2.stats.Resets++
+}
+
+// noteEmit is the server half of the mirrored cache-maintenance rule,
+// run from finish() for every emitted command in sequence order — the
+// same order the console applies them. CACHE_PAINT touches the entry it
+// claimed; SET and CSCS bump the churn tracker (the content-replacing
+// commands); everything except CSCS and CACHE_PAINT inserts its write
+// rectangle's tiles.
+func (c2 *Codec2) noteEmit(f *fb.Framebuffer, msg protocol.Message) {
+	switch m := msg.(type) {
+	case *protocol.CachePaint:
+		c2.cache.Touch(m.Key)
+		return
+	case *protocol.CSCS:
+		c2.churn.Bump(m.Dst)
+		return
+	case *protocol.Set:
+		c2.churn.Bump(m.Rect)
+	}
+	c2.cache.NoteApply(f, msg)
+}
+
+// encodeRegion2 is the gen-2 replacement for encodeRegion: it reads the
+// (already updated) authoritative frame buffer tile by tile. The pixels
+// argument of encodeRegion is deliberately unused — by the time any
+// region is encoded the frame buffer holds the truth, and hashing must
+// see exactly what the console will hold after applying the command.
+func (e *Encoder) encodeRegion2(r protocol.Rect) []Datagram {
+	r = r.Intersect(e.FB.Bounds())
+	if r.Empty() {
+		return nil
+	}
+	tilesX := (r.W + TileSize - 1) / TileSize
+	tilesY := (r.H + TileSize - 1) / TileSize
+	out := make([]Datagram, 0, tilesX*tilesY)
+	for y := r.Y; y < r.Y+r.H; y += TileSize {
+		th := min(TileSize, r.Y+r.H-y)
+		for x := r.X; x < r.X+r.W; x += TileSize {
+			t := protocol.Rect{X: x, Y: y, W: min(TileSize, r.X+r.W-x), H: th}
+			out = e.encodeTile(out, t)
+		}
+	}
+	return out
+}
+
+// encodeTile emits the cheapest encoding for one cache tile: a
+// CACHE_PAINT on a hit, else the per-class command. The hit branch is
+// the hot path and allocates nothing beyond the message itself.
+func (e *Encoder) encodeTile(out []Datagram, t protocol.Rect) []Datagram {
+	c2 := e.codec2
+	key := e.FB.HashRect(t)
+	if key != 0 && c2.cache.Contains(key) {
+		c2.stats.Hits++
+		saved := int64(protocol.HeaderSize + 8 + 3*t.Pixels() - (protocol.HeaderSize + 16))
+		c2.stats.SavedBytes += saved
+		if e.Metrics != nil {
+			e.Metrics.codec2Hits.Inc()
+			e.Metrics.codec2SavedBytes.Add(saved)
+		}
+		return append(out, e.emit(&protocol.CachePaint{Rect: t, Key: key}))
+	}
+	c2.stats.Misses++
+	hot := c2.churn.Hot(t.X, t.Y)
+	class := ClassifyTile(e.FB, t, hot)
+	c2.stats.Tiles[class]++
+	if e.Metrics != nil {
+		e.Metrics.codec2Misses.Inc()
+		e.Metrics.codec2Tiles[class].Inc()
+	}
+	c2.pix = e.FB.ReadRectInto(c2.pix, t)
+	switch class {
+	case ClassSolid:
+		out = append(out, e.emit(&protocol.Fill{Rect: t, Color: c2.pix[0]}))
+	case ClassText:
+		if fg, bg, bits, ok := e.analyzeBicolor(t, c2.pix); ok {
+			out = append(out, e.encodeBitmap(t, fg, bg, bits)...)
+		} else {
+			out = append(out, e.encodeSet(t, c2.pix)...)
+		}
+	case ClassChurn:
+		if dgs, ok := e.encodeTileCSCS(t, c2.pix); ok {
+			out = append(out, dgs...)
+		} else {
+			out = append(out, e.encodeSet(t, c2.pix)...)
+		}
+	default: // ClassPhoto
+		out = append(out, e.encodeSet(t, c2.pix)...)
+	}
+	if c2.cache.Evictions() != c2.lastEvictions {
+		if e.Metrics != nil {
+			e.Metrics.codec2Evictions.Add(int64(c2.cache.Evictions() - c2.lastEvictions))
+		}
+		c2.lastEvictions = c2.cache.Evictions()
+	}
+	return out
+}
+
+// encodeTileCSCS ships one churning photo tile as lossy CSCS — the "only
+// where it pays" case: the pixels are being rewritten at video rates, so
+// fidelity that will not survive the next frame is traded for 2 bytes
+// per pixel and a cheaper console decode. The chroma subsampling needs
+// even geometry; edge tiles fall back to SET (ok=false). The server
+// applies the same lossy command to its own frame buffer, keeping the
+// authoritative state bit-identical to the console's.
+func (e *Encoder) encodeTileCSCS(t protocol.Rect, pix []protocol.Pixel) ([]Datagram, bool) {
+	if t.W < 2 || t.H < 2 || t.W%2 != 0 || t.H%2 != 0 {
+		return nil, false
+	}
+	data, err := fb.EncodeCSCS(pix, t.W, t.H, protocol.CSCS16)
+	if err != nil {
+		return nil, false
+	}
+	msg := &protocol.CSCS{Src: t, Dst: t, Format: protocol.CSCS16, Data: data}
+	if err := e.FB.ApplyCSCS(msg); err != nil {
+		return nil, false
+	}
+	return []Datagram{e.emit(msg)}, true
+}

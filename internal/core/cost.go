@@ -37,12 +37,17 @@ func SunRay1Costs() *CostModel {
 			protocol.TypeFill:   5000,
 			protocol.TypeCopy:   5000,
 			protocol.TypeCSCS:   24000,
+			// CACHE_PAINT is a gen-2 extension, not a Table 5 row: the
+			// console blits already-decoded pixels out of cache memory, a
+			// COPY-class memory move (no wire pixel expansion).
+			protocol.TypeCachePaint: 5000,
 		},
 		PerPixel: map[protocol.MsgType]float64{
-			protocol.TypeSet:    270,
-			protocol.TypeBitmap: 22,
-			protocol.TypeFill:   2,
-			protocol.TypeCopy:   10,
+			protocol.TypeSet:        270,
+			protocol.TypeBitmap:     22,
+			protocol.TypeFill:       2,
+			protocol.TypeCopy:       10,
+			protocol.TypeCachePaint: 10,
 		},
 		CSCSPerPixel: map[protocol.CSCSFormat]float64{
 			protocol.CSCS16: 205,
@@ -72,6 +77,8 @@ func (c *CostModel) ServiceTime(msg protocol.Message) time.Duration {
 		// CSCS cost scales with the *destination* pixels rendered: scaling
 		// at the console touches every output pixel.
 		ns += c.CSCSPerPixel[m.Format] * float64(m.Dst.Pixels())
+	case *protocol.CachePaint:
+		ns += c.PerPixel[t] * float64(m.Rect.Pixels())
 	}
 	return time.Duration(ns) * time.Nanosecond
 }

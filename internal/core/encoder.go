@@ -84,6 +84,9 @@ type Encoder struct {
 
 	seq    protocol.Sequencer
 	replay *ReplayBuffer
+	// codec2 is the gen-2 tile path (content classifier + mirrored tile
+	// cache); nil runs the gen-1 command path. See codec2.go.
+	codec2 *Codec2
 
 	// Reusable payload slabs for the wire-generating path. Message payloads
 	// (Set.Pixels, Bitmap.Bits) alias these and are valid only until the
@@ -129,6 +132,11 @@ func (e *Encoder) finish(seq uint32, msg protocol.Message, buf *wirebuf.Buf) Dat
 	e.Metrics.Record(msg)
 	if e.Flight.Armed() {
 		e.Flight.Encode(seq, msg.Type(), int64(protocol.WireSize(msg)), int64(PixelsOf(msg)))
+	}
+	if e.codec2 != nil {
+		// Mirrored cache maintenance, in sequence order — the same order
+		// the console runs its half of the rule.
+		e.codec2.noteEmit(e.FB, msg)
 	}
 	return d
 }
@@ -182,6 +190,12 @@ func (e *Encoder) Encode(op Op) ([]Datagram, error) {
 
 // encodeRegion lowers a pixel rectangle to the cheapest command sequence.
 func (e *Encoder) encodeRegion(r protocol.Rect, pixels []protocol.Pixel) []Datagram {
+	if e.codec2 != nil {
+		// Gen-2 ignores the staged pixels: the frame buffer is already
+		// current, and the tile path must hash exactly what the console
+		// will hold.
+		return e.encodeRegion2(r)
+	}
 	if e.AnalyzeImages {
 		if c, uniform := analyzeUniform(pixels); uniform {
 			return []Datagram{e.emit(&protocol.Fill{Rect: r, Color: c})}
@@ -372,8 +386,13 @@ func (e *Encoder) Repaint(r protocol.Rect) []Datagram {
 	return e.encodeRegion(r, e.repaintPix)
 }
 
-// RepaintAll regenerates the entire screen (session attach after mobility).
+// RepaintAll regenerates the entire screen (session attach after
+// mobility, or recovery when the console's state is demonstrably lost).
+// In both situations the console's tile cache can no longer be trusted
+// to mirror the server's model, so gen-2 starts a fresh cache generation
+// first; the repaint itself then re-seeds both sides identically.
 func (e *Encoder) RepaintAll() []Datagram {
+	e.ResetCodec2()
 	return e.Repaint(e.FB.Bounds())
 }
 
@@ -395,6 +414,13 @@ func (e *Encoder) HandleNack(n protocol.Nack) []Datagram {
 		d, ok := e.replay.Get(seq)
 		if !ok {
 			return e.RepaintAll()
+		}
+		if cp, isCP := d.Msg.(*protocol.CachePaint); isCP && e.codec2 != nil {
+			// A nacked CACHE_PAINT means the console does not hold (or
+			// never received) the entry. Forget the key so the repaint
+			// re-sends pixels — which re-seeds both caches — instead of
+			// claiming the same hit into a NACK loop.
+			e.codec2.cache.Remove(cp.Key)
 		}
 		damage.Add(affectedRect(d.Msg))
 	}
@@ -449,6 +475,8 @@ func WriteRect(msg protocol.Message) protocol.Rect {
 		return protocol.Rect{X: m.DstX, Y: m.DstY, W: m.Rect.W, H: m.Rect.H}
 	case *protocol.CSCS:
 		return m.Dst
+	case *protocol.CachePaint:
+		return m.Rect
 	}
 	return protocol.Rect{}
 }

@@ -1,0 +1,187 @@
+package core_test
+
+import (
+	"os"
+	"testing"
+
+	"slim/internal/core"
+	"slim/internal/fb"
+	"slim/internal/obs/capture"
+	"slim/internal/protocol"
+)
+
+// FuzzTileCache drives a mirrored pair of tile caches — the server's
+// key-only model and the console's retaining variant — through an
+// arbitrary interleaving of the operations the protocol performs on them
+// (mirrored inserts via NoteApply, CACHE_PAINT claims, NACK-driven
+// removals, attach resets) and checks the invariants the CACHE_PAINT
+// design stands on after every step:
+//
+//   - the two caches agree on membership, size, and eviction count;
+//   - size never exceeds capacity;
+//   - every retained entry's pixels hash back to its key (content
+//     addressing: the cache can be stale, never wrong);
+//   - a key the server still holds is claimable on the console.
+//
+// The corpus is seeded from the checked-in .slimcap wire capture: inputs
+// that decode as display commands run through the mirrored-insert rule
+// with realistic command geometry before the byte-driven interleaving.
+func FuzzTileCache(f *testing.F) {
+	fh, err := os.Open("../protocol/testdata/seed.slimcap")
+	if err != nil {
+		f.Fatal(err)
+	}
+	_, recs, err := capture.ReadCapture(fh)
+	fh.Close()
+	if err != nil {
+		f.Fatalf("checked-in seed.slimcap is malformed: %v", err)
+	}
+	for _, rec := range recs {
+		if len(rec.Wire) > 0 {
+			f.Add(rec.Wire)
+		}
+	}
+	f.Add([]byte{0, 10, 10, 3, 1, 4, 200, 30, 7, 2, 6, 0, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const w, h = 96, 96
+		const capEntries = 24 // small on purpose: eviction is the interesting path
+		screen := fb.New(w, h)
+		server := core.NewTileCache(capEntries, false)
+		console := core.NewTileCache(capEntries, true)
+
+		type tileRef struct {
+			key  uint64
+			w, h int
+		}
+		var seen []tileRef
+
+		check := func() {
+			t.Helper()
+			if server.Len() != console.Len() {
+				t.Fatalf("mirror broke: server holds %d entries, console %d", server.Len(), console.Len())
+			}
+			if server.Evictions() != console.Evictions() {
+				t.Fatalf("eviction counts diverged: %d vs %d", server.Evictions(), console.Evictions())
+			}
+			if server.Len() > server.Cap() || console.Len() > console.Cap() {
+				t.Fatalf("cache overflow: %d/%d entries", console.Len(), console.Cap())
+			}
+			for _, ref := range seen {
+				if server.Contains(ref.key) != console.Contains(ref.key) {
+					t.Fatalf("membership of %#x diverged", ref.key)
+				}
+			}
+		}
+
+		// note runs one display command through the mirrored rule on both
+		// sides and records the chunk keys the rule inserted.
+		note := func(msg protocol.Message) {
+			screen.Apply(msg) // clipping/validation errors leave the screen unchanged on both sides
+			server.NoteApply(screen, msg)
+			console.NoteApply(screen, msg)
+			wr := core.WriteRect(msg).Intersect(screen.Bounds())
+			for y := wr.Y; y < wr.Y+wr.H; y += core.TileSize {
+				ch := minInt(core.TileSize, wr.Y+wr.H-y)
+				for x := wr.X; x < wr.X+wr.W; x += core.TileSize {
+					chunk := protocol.Rect{X: x, Y: y, W: minInt(core.TileSize, wr.X+wr.W-x), H: ch}
+					if key := screen.HashRect(chunk); key != 0 && console.Contains(key) {
+						seen = append(seen, tileRef{key: key, w: chunk.W, h: chunk.H})
+					}
+				}
+			}
+			if len(seen) > 512 {
+				seen = seen[len(seen)-256:]
+			}
+		}
+
+		// .slimcap seeds (and any fuzzer mutation that still frames as a
+		// message) exercise realistic command geometry first.
+		if protocol.IsBatch(data) {
+			if _, msgs, err := protocol.DecodeBatch(data); err == nil {
+				for _, m := range msgs {
+					if m.Type().IsDisplay() {
+						note(m)
+					}
+				}
+			}
+		} else if _, m, _, err := protocol.Decode(data); err == nil && m.Type().IsDisplay() {
+			note(m)
+		}
+		check()
+
+		for i := 0; i+5 <= len(data); i += 5 {
+			op, bx, by, bv, sel := data[i], data[i+1], data[i+2], data[i+3], data[i+4]
+			x, y := int(bx)%w, int(by)%h
+			switch op % 8 {
+			case 0, 1: // paint a fill (the dominant desktop command)
+				note(&protocol.Fill{
+					Rect:  protocol.Rect{X: x, Y: y, W: 1 + int(bv)%40, H: 1 + int(sel)%40},
+					Color: protocol.RGB(bv, sel, op),
+				})
+			case 2: // paint literal pixels (unique content per salt)
+				r := protocol.Rect{X: x % (w - 16), Y: y % (h - 16), W: 1 + int(bv)%16, H: 1 + int(sel)%16}
+				pix := make([]protocol.Pixel, r.Pixels())
+				for j := range pix {
+					s := (uint32(j) + uint32(bv)<<8 + uint32(sel) + 1) * 2654435761
+					pix[j] = protocol.Pixel(s & 0xffffff)
+				}
+				note(&protocol.Set{Rect: r, Pixels: pix})
+			case 3: // scroll: the one command that reads the screen
+				note(&protocol.Copy{
+					Rect: protocol.Rect{X: x % 48, Y: y % 48, W: 1 + int(bv)%48, H: 1 + int(sel)%48},
+					DstX: int(sel) % 48, DstY: int(bv) % 48,
+				})
+			case 4: // CACHE_PAINT claim of a previously inserted tile
+				if len(seen) == 0 {
+					continue
+				}
+				ref := seen[int(sel)%len(seen)]
+				if server.Contains(ref.key) != console.Contains(ref.key) {
+					t.Fatalf("claim of %#x: membership diverged", ref.key)
+				}
+				if !server.Contains(ref.key) {
+					continue // evicted on both sides; the server would miss and re-send
+				}
+				server.Touch(ref.key) // server half: touch at emit
+				pix, ok := console.Lookup(ref.key, ref.w, ref.h)
+				if !ok {
+					t.Fatalf("console cannot satisfy a claim the server would make for %#x", ref.key)
+				}
+				if got := fb.HashPixels(pix, ref.w, ref.h); got != ref.key {
+					t.Fatalf("cached pixels hash to %#x, claimed key %#x: cache can paint wrong pixels", got, ref.key)
+				}
+			case 5: // NACK recovery: both sides forget the key
+				if len(seen) == 0 {
+					continue
+				}
+				ref := seen[int(sel)%len(seen)]
+				server.Remove(ref.key)
+				console.Remove(ref.key)
+				if server.Contains(ref.key) || console.Contains(ref.key) {
+					t.Fatalf("key %#x survived Remove", ref.key)
+				}
+			case 6: // attach: both sides start a new generation
+				server.Reset()
+				console.Reset()
+				if server.Len() != 0 || console.Len() != 0 {
+					t.Fatal("Reset left entries")
+				}
+				seen = seen[:0]
+			case 7: // broad repaint-style write spanning many chunks
+				note(&protocol.Fill{
+					Rect:  protocol.Rect{X: 0, Y: int(by) % h, W: w, H: 1 + int(bv)%32},
+					Color: protocol.RGB(sel, bv, by),
+				})
+			}
+			check()
+		}
+	})
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -57,6 +57,8 @@ func PixelsOf(msg protocol.Message) int {
 		return m.Rect.Pixels()
 	case *protocol.CSCS:
 		return m.Dst.Pixels()
+	case *protocol.CachePaint:
+		return m.Rect.Pixels()
 	}
 	return 0
 }

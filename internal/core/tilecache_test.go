@@ -1,0 +1,245 @@
+package core
+
+import (
+	"testing"
+
+	"slim/internal/fb"
+	"slim/internal/protocol"
+)
+
+// tileAt paints a distinct solid color into the i-th 16x16 cell of f and
+// returns the cell rectangle — a cheap way to mint tiles with distinct,
+// reproducible content keys.
+func tileAt(f *fb.Framebuffer, i int) protocol.Rect {
+	cols := f.W / TileSize
+	r := protocol.Rect{X: (i % cols) * TileSize, Y: (i / cols) * TileSize, W: TileSize, H: TileSize}
+	f.Fill(r, protocol.RGB(uint8(i*29+1), uint8(i*53+7), uint8(i*97+13)))
+	return r
+}
+
+func TestTileCacheLRUEviction(t *testing.T) {
+	f := fb.New(128, 128)
+	c := NewTileCache(4, true)
+	keys := make([]uint64, 5)
+	for i := range keys {
+		keys[i] = c.Insert(f, tileAt(f, i))
+		if keys[i] == 0 {
+			t.Fatalf("tile %d: zero key", i)
+		}
+	}
+	// Capacity 4, five inserts: the first (least recently used) is out.
+	if c.Contains(keys[0]) {
+		t.Error("oldest key survived past capacity")
+	}
+	for _, k := range keys[1:] {
+		if !c.Contains(k) {
+			t.Errorf("key %#x evicted out of LRU order", k)
+		}
+	}
+	if c.Len() != 4 || c.Evictions() != 1 {
+		t.Errorf("len=%d evictions=%d, want 4 and 1", c.Len(), c.Evictions())
+	}
+}
+
+func TestTileCacheTouchProtects(t *testing.T) {
+	f := fb.New(128, 128)
+	c := NewTileCache(4, false)
+	keys := make([]uint64, 4)
+	for i := range keys {
+		keys[i] = c.Insert(f, tileAt(f, i))
+	}
+	c.Touch(keys[0]) // now most recent; keys[1] is the tail
+	c.Insert(f, tileAt(f, 4))
+	if !c.Contains(keys[0]) {
+		t.Error("touched key evicted")
+	}
+	if c.Contains(keys[1]) {
+		t.Error("tail survived eviction")
+	}
+}
+
+func TestTileCacheLookupValidatesGeometry(t *testing.T) {
+	f := fb.New(64, 64)
+	console := NewTileCache(8, true)
+	server := NewTileCache(8, false)
+	r := tileAt(f, 0)
+	key := console.Insert(f, r)
+	server.Insert(f, r)
+
+	pix, ok := console.Lookup(key, TileSize, TileSize)
+	if !ok {
+		t.Fatal("console lookup missed a live key")
+	}
+	// Content addressing: the stored pixels must hash back to the key.
+	if got := fb.HashPixels(pix, TileSize, TileSize); got != key {
+		t.Fatalf("cached pixels hash to %#x, key is %#x", got, key)
+	}
+	if _, ok := console.Lookup(key, TileSize, TileSize-1); ok {
+		t.Error("lookup with mismatched geometry hit")
+	}
+	if _, ok := console.Lookup(key^1, TileSize, TileSize); ok {
+		t.Error("lookup of absent key hit")
+	}
+	// The server's key-only model never returns pixels.
+	if _, ok := server.Lookup(key, TileSize, TileSize); ok {
+		t.Error("key-only cache returned pixels")
+	}
+	if !server.Contains(key) {
+		t.Error("key-only cache lost the key")
+	}
+}
+
+func TestTileCacheResetForgets(t *testing.T) {
+	f := fb.New(64, 64)
+	c := NewTileCache(8, true)
+	key := c.Insert(f, tileAt(f, 0))
+	epoch := c.Epoch()
+	c.Reset()
+	if c.Len() != 0 || c.Contains(key) {
+		t.Fatal("Reset kept entries")
+	}
+	if c.Epoch() == epoch {
+		t.Fatal("Reset did not start a new generation")
+	}
+	// The cache must be fully usable in the new generation.
+	k2 := c.Insert(f, tileAt(f, 1))
+	if pix, ok := c.Lookup(k2, TileSize, TileSize); !ok || fb.HashPixels(pix, TileSize, TileSize) != k2 {
+		t.Fatal("post-Reset insert unusable")
+	}
+}
+
+// TestTileCacheRemoveKeepsStructure removes entries from the head, middle,
+// and tail of the LRU list — the slot-recycling swap in freeSlot must fix
+// every link and index it moves.
+func TestTileCacheRemoveKeepsStructure(t *testing.T) {
+	f := fb.New(128, 128)
+	c := NewTileCache(8, true)
+	keys := make([]uint64, 6)
+	for i := range keys {
+		keys[i] = c.Insert(f, tileAt(f, i))
+	}
+	for _, victim := range []int{2, 0, 5} { // middle, tail-era entry, head-era entry
+		c.Remove(keys[victim])
+		if c.Contains(keys[victim]) {
+			t.Fatalf("key %d survived Remove", victim)
+		}
+	}
+	c.Remove(keys[2]) // double-remove is a no-op
+	if c.Len() != 3 {
+		t.Fatalf("len=%d after removing 3 of 6", c.Len())
+	}
+	for _, i := range []int{1, 3, 4} {
+		pix, ok := c.Lookup(keys[i], TileSize, TileSize)
+		if !ok {
+			t.Fatalf("survivor %d lost", i)
+		}
+		if fb.HashPixels(pix, TileSize, TileSize) != keys[i] {
+			t.Fatalf("survivor %d pixels corrupted by slot recycling", i)
+		}
+	}
+	// Refill to capacity through the recycled slots, then one past it.
+	for i := 6; i < 12; i++ {
+		c.Insert(f, tileAt(f, i))
+	}
+	if c.Len() != 8 {
+		t.Fatalf("len=%d after refill, want capacity 8", c.Len())
+	}
+}
+
+// TestTileCacheMirrors drives the retain and key-only variants through one
+// identical operation sequence: the two must agree on membership, length,
+// and eviction count at every step — the property the CACHE_PAINT protocol
+// stands on.
+func TestTileCacheMirrors(t *testing.T) {
+	f := fb.New(128, 128)
+	console := NewTileCache(5, true)
+	server := NewTileCache(5, false)
+	var keys []uint64
+	step := func() {
+		if server.Len() != console.Len() || server.Evictions() != console.Evictions() {
+			t.Fatalf("mirror broke: server len=%d ev=%d, console len=%d ev=%d",
+				server.Len(), server.Evictions(), console.Len(), console.Evictions())
+		}
+		for _, k := range keys {
+			if server.Contains(k) != console.Contains(k) {
+				t.Fatalf("membership of %#x diverged", k)
+			}
+		}
+	}
+	for i := 0; i < 9; i++ {
+		r := tileAt(f, i)
+		ks := server.Insert(f, r)
+		kc := console.Insert(f, r)
+		if ks != kc {
+			t.Fatalf("insert %d: keys differ (%#x vs %#x)", i, ks, kc)
+		}
+		keys = append(keys, ks)
+		if i%3 == 0 {
+			server.Touch(keys[i/2])
+			console.Touch(keys[i/2])
+		}
+		step()
+	}
+	server.Remove(keys[7])
+	console.Remove(keys[7])
+	step()
+	server.Reset()
+	console.Reset()
+	step()
+}
+
+// TestNoteApplyChunking pins the mirrored insert rule's geometry: chunks
+// anchor at the write rectangle's origin, edge chunks run smaller, CSCS and
+// CACHE_PAINT never insert, and non-display messages are ignored.
+func TestNoteApplyChunking(t *testing.T) {
+	f := fb.New(64, 64)
+	c := NewTileCache(64, true)
+
+	// 40x24 rect at (8,8): chunk columns at x=8,24,40 (widths 16,16,8),
+	// rows at y=8,24 (heights 16,8) = 6 chunks. The fill is uniform, so
+	// content addressing collapses same-geometry chunks onto one entry:
+	// the distinct keys are one per geometry — 16x16, 8x16, 16x8, 8x8.
+	r := protocol.Rect{X: 8, Y: 8, W: 40, H: 24}
+	f.Fill(r, protocol.RGB(1, 2, 3))
+	c.NoteApply(f, &protocol.Fill{Rect: r, Color: protocol.RGB(1, 2, 3)})
+	if c.Len() != 4 {
+		t.Fatalf("len=%d after uniform 40x24 fill, want 4 deduplicated geometries", c.Len())
+	}
+	// An edge chunk (8 wide) must be retrievable under its own geometry.
+	edge := protocol.Rect{X: 40, Y: 8, W: 8, H: 16}
+	key := f.HashRect(edge)
+	if pix, ok := c.Lookup(key, 8, 16); !ok || fb.HashPixels(pix, 8, 16) != key {
+		t.Fatal("edge chunk not cached under clipped geometry")
+	}
+	// Non-uniform content in the same footprint produces all 6 entries.
+	noisy := NewTileCache(64, true)
+	for y := r.Y; y < r.Y+r.H; y++ {
+		for x := r.X; x < r.X+r.W; x++ {
+			f.Fill(protocol.Rect{X: x, Y: y, W: 1, H: 1}, protocol.RGB(uint8(x*31), uint8(y*57), uint8(x^y)))
+		}
+	}
+	noisy.NoteApply(f, &protocol.Fill{Rect: r, Color: 0})
+	if noisy.Len() != 6 {
+		t.Fatalf("len=%d after noisy 40x24 write, want 6 chunks", noisy.Len())
+	}
+
+	before := c.Len()
+	c.NoteApply(f, &protocol.CachePaint{Rect: protocol.Rect{W: TileSize, H: TileSize}, Key: key})
+	c.NoteApply(f, &protocol.CSCS{Src: r, Dst: r, Format: protocol.CSCS16})
+	c.NoteApply(f, &protocol.Nack{From: 1, To: 2})
+	if c.Len() != before {
+		t.Fatalf("CACHE_PAINT/CSCS/non-display changed the cache (%d -> %d)", before, c.Len())
+	}
+
+	// A rect fully off screen inserts nothing; a partly off-screen rect
+	// inserts its clipped chunks only.
+	c.NoteApply(f, &protocol.Fill{Rect: protocol.Rect{X: 100, Y: 100, W: 16, H: 16}})
+	if c.Len() != before {
+		t.Fatal("off-screen write rect inserted chunks")
+	}
+
+	// Oversized direct Insert is the caller's bug: ignored with key 0.
+	if k := c.Insert(f, protocol.Rect{X: 0, Y: 0, W: TileSize + 1, H: TileSize}); k != 0 {
+		t.Fatalf("oversized insert returned key %#x, want 0", k)
+	}
+}

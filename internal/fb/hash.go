@@ -1,0 +1,135 @@
+package fb
+
+import "slim/internal/protocol"
+
+// Content hashing for the gen-2 codec's dirty-tile cache. Keys are 64-bit
+// xxhash-style digests over a rectangle's pixels with the rectangle's
+// dimensions folded in, so two tiles match only when they have identical
+// geometry AND identical content. The cache built on these keys is
+// content addressed: an entry's key is by construction the hash of the
+// pixels it stores, which makes stale entries self-invalidating (a key
+// that no longer matches current content is simply never claimed).
+//
+// The mixer is the xxhash64 round function (multiply, rotate, multiply)
+// with the standard avalanche finalizer. It is not cryptographic — a
+// malicious application could engineer collisions — but the threat model
+// here is the paper's: the server is trusted, and a collision costs one
+// mispainted tile until the next repaint, not a protocol violation.
+
+const (
+	hashPrime1 = 0x9E3779B185EBCA87
+	hashPrime2 = 0xC2B2AE3D27D4EB4F
+	hashPrime3 = 0x165667B19E3779F9
+)
+
+func hashRotl(x uint64, r uint) uint64 { return x<<r | x>>(64-r) }
+
+// hashRow folds one row of pixels into h.
+func hashRow(h uint64, row []protocol.Pixel) uint64 {
+	for _, p := range row {
+		h ^= uint64(p) * hashPrime2
+		h = hashRotl(h, 31) * hashPrime1
+	}
+	return h
+}
+
+// hashFinish applies the xxhash avalanche so single-pixel differences
+// diffuse across all 64 bits.
+func hashFinish(h uint64) uint64 {
+	h ^= h >> 33
+	h *= hashPrime2
+	h ^= h >> 29
+	h *= hashPrime3
+	h ^= h >> 32
+	return h
+}
+
+// hashSeed starts a digest for a w×h rectangle.
+func hashSeed(w, h int) uint64 {
+	return hashPrime3 ^ uint64(w)<<32 ^ uint64(h)
+}
+
+// HashRect returns the 64-bit content hash of the clipped rectangle's
+// pixels. It reads the frame buffer row by row and allocates nothing, so
+// the gen-2 encoder can hash every dirty tile on the hot path. An empty
+// (fully clipped) rectangle hashes to 0, which callers treat as "not
+// cacheable".
+func (f *Framebuffer) HashRect(r protocol.Rect) uint64 {
+	r = f.clip(r)
+	if r.Empty() {
+		return 0
+	}
+	h := hashSeed(r.W, r.H)
+	for y := r.Y; y < r.Y+r.H; y++ {
+		h = hashRow(h, f.row(y, r.X, r.W))
+	}
+	return hashFinish(h)
+}
+
+// HashPixels hashes a row-major w×h pixel slice exactly as HashRect
+// hashes the same content in place. The console uses it to validate
+// cached tiles against their keys in tests and fuzzing; len(pix) must be
+// w*h.
+func HashPixels(pix []protocol.Pixel, w, h int) uint64 {
+	if w <= 0 || h <= 0 || len(pix) != w*h {
+		return 0
+	}
+	d := hashSeed(w, h)
+	for y := 0; y < h; y++ {
+		d = hashRow(d, pix[y*w:(y+1)*w])
+	}
+	return hashFinish(d)
+}
+
+// TileStats summarizes a clipped rectangle for the gen-2 content
+// classifier in one pass: the number of distinct colors observed, capped
+// at colorCap (a return of colorCap+1 means "more than the cap"), and the
+// number of distinct row hashes. Text and UI chrome are palette limited
+// with heavily repeated rows (blank interline gaps, dither patterns);
+// continuous-tone content shows many colors and nearly all-distinct rows.
+func (f *Framebuffer) TileStats(r protocol.Rect, colorCap int) (colors, uniqueRows int) {
+	r = f.clip(r)
+	if r.Empty() {
+		return 0, 0
+	}
+	var palette [16]protocol.Pixel
+	if colorCap > len(palette) {
+		colorCap = len(palette)
+	}
+	var rowHashes [64]uint64
+	for y := r.Y; y < r.Y+r.H; y++ {
+		row := f.row(y, r.X, r.W)
+		if colors <= colorCap {
+			for _, p := range row {
+				found := false
+				for i := 0; i < colors; i++ {
+					if palette[i] == p {
+						found = true
+						break
+					}
+				}
+				if !found {
+					if colors >= colorCap {
+						colors = colorCap + 1
+						break
+					}
+					palette[colors] = p
+					colors++
+				}
+			}
+		}
+		rh := hashFinish(hashRow(hashSeed(r.W, 1), row))
+		seen := false
+		for i := 0; i < uniqueRows; i++ {
+			if rowHashes[i] == rh {
+				seen = true
+				break
+			}
+		}
+		if !seen && uniqueRows < len(rowHashes) {
+			rowHashes[uniqueRows] = rh
+			uniqueRows++
+		}
+	}
+	return colors, uniqueRows
+}

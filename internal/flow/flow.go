@@ -306,6 +306,17 @@ type Governor struct {
 	winStart time.Duration
 	winBytes int64
 
+	// measuredBps is the wire send rate observed over the last completed
+	// utilizationWindow — bytes the session *actually* put on the wire,
+	// paced or pass-through. With the gen-2 codec a cache-heavy session
+	// sends a fraction of its cost-model demand, and this measurement is
+	// what lets DemandBps hand the freed budget back to the console's
+	// allocator. demandKnown distinguishes "no window completed yet"
+	// (demand unknown, claim the ceiling) from "a window completed idle"
+	// (demand genuinely near zero).
+	measuredBps uint64
+	demandKnown bool
+
 	// pacedBytes/pacedRetransBytes count wire bytes this governor has
 	// handed to the transport since creation — both paced releases and
 	// ungoverned pass-throughs — split into fresh display traffic and
@@ -383,6 +394,33 @@ func (g *Governor) PacedBytes() (total, retrans int64) {
 	return g.pacedBytes, g.pacedRetransBytes
 }
 
+// DemandBps reports the session's current bandwidth demand: the
+// cost-model ceiling (InitialBps, what the console could decode) capped
+// at roughly twice the measured send rate, floored at ceiling/8. Before
+// the first measurement window completes the ceiling stands unmodified —
+// a new attachment is about to receive a full repaint and must not start
+// throttled. The 2× headroom lets a session that suddenly turns busy
+// (cache gone cold, window switch) ramp within one window instead of
+// deadlocking on a grant sized to its idle traffic; the floor keeps a
+// fully idle session reachable at interactive latency. The server
+// re-announces this value to the console's §7 allocator when it moves, so
+// gen-2 cache hits — bytes that never leave the server — free grant
+// budget for the console's other sessions.
+func (g *Governor) DemandBps() uint64 {
+	ceil := g.cfg.InitialBps
+	if !g.demandKnown {
+		return ceil
+	}
+	d := 2 * g.measuredBps
+	if floor := ceil / 8; d < floor {
+		d = floor
+	}
+	if d > ceil {
+		d = ceil
+	}
+	return d
+}
+
 // SetGrant applies a console BandwidthGrant. The first grant fills the
 // token bucket so the session starts with a full burst; later grants only
 // change the refill rate.
@@ -410,6 +448,15 @@ func (g *Governor) refill(now time.Duration) {
 		return
 	}
 	g.last = now
+	if elapsed := now - g.winStart; elapsed >= utilizationWindow {
+		if g.rate != 0 {
+			g.m.utilization(g.winBytes, g.rate, elapsed)
+		}
+		g.measuredBps = uint64(float64(g.winBytes*8) / elapsed.Seconds())
+		g.demandKnown = true
+		g.winStart = now
+		g.winBytes = 0
+	}
 	if g.rate == 0 {
 		return
 	}
@@ -417,11 +464,6 @@ func (g *Governor) refill(now time.Duration) {
 	g.tokens += float64(g.rate) / 8 * sec
 	g.retry += float64(g.rate) * g.cfg.RetransmitShare / 8 * sec
 	g.clamp()
-	if now-g.winStart >= utilizationWindow {
-		g.m.utilization(g.winBytes, g.rate, now-g.winStart)
-		g.winStart = now
-		g.winBytes = 0
-	}
 }
 
 func (g *Governor) retryCap() float64 {
@@ -446,6 +488,7 @@ func (g *Governor) Submit(now time.Duration, it Item) SubmitResult {
 	g.m.submittedInc()
 	if g.rate == 0 {
 		g.m.releasedDirect(int64(it.Bytes()))
+		g.winBytes += int64(it.Bytes())
 		g.pacedBytes += int64(it.Bytes())
 		if it.Retransmit {
 			g.pacedRetransBytes += int64(it.Bytes())
@@ -743,9 +786,15 @@ func (g *Governor) DueNacks(now time.Duration) []protocol.Nack {
 // moves to a new console, where a full repaint follows anyway. The dropped
 // items are returned so the caller can release their wire buffers (and log
 // the drops); the slice aliases governor scratch and is valid only until
-// the next call.
+// the next call. The measured-demand window resets too: the old console's
+// traffic pattern says nothing about the new attachment, and the repaint
+// about to go out deserves the full cost-model demand.
 func (g *Governor) Reset(now time.Duration) []Item {
 	g.refill(now)
+	g.measuredBps = 0
+	g.demandKnown = false
+	g.winStart = now
+	g.winBytes = 0
 	dropped := g.dropped[:0]
 	for _, e := range g.queue {
 		dropped = append(dropped, e.it)

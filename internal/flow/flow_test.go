@@ -518,3 +518,68 @@ func TestPacedBytesAccounting(t *testing.T) {
 		t.Fatalf("paced after refill = (%d, %d), want (%d, 0)", total, retrans, 2*size)
 	}
 }
+
+// TestDemandBpsTracksMeasuredRate pins the gen-2 demand feedback: before
+// a measurement window completes the session claims its full cost-model
+// ceiling (a fresh attachment is about to take a repaint), afterwards the
+// claim follows actual wire bytes — 2× headroom, floored at ceiling/8,
+// capped at the ceiling — and Reset forgets the measurement so the next
+// console starts from the ceiling again.
+func TestDemandBpsTracksMeasuredRate(t *testing.T) {
+	const ceiling = 8000
+	g := NewGovernor(Config{InitialBps: ceiling}, nil)
+	if got := g.DemandBps(); got != ceiling {
+		t.Fatalf("demand before first window = %d, want ceiling %d", got, ceiling)
+	}
+
+	// Sparse traffic: a few commands inside one utilization window.
+	size := fillItem(1, protocol.Rect{W: 8, H: 8}, 0).Bytes()
+	const n = 6
+	var sent int64
+	for i := 0; i < n; i++ {
+		it := fillItem(uint32(i+1), protocol.Rect{X: i * 10, W: 8, H: 8}, 0)
+		g.Submit(time.Duration(i)*time.Millisecond, it)
+		sent += int64(it.Bytes())
+	}
+	// Any call at now ≥ 1 s closes the window; this submit lands in the next.
+	g.Submit(time.Second, fillItem(n+1, protocol.Rect{X: 100, W: 8, H: 8}, 0))
+
+	measured := uint64(sent * 8) // bits over a 1 s window
+	want := 2 * measured
+	if floor := uint64(ceiling / 8); want < floor {
+		want = floor
+	}
+	if want > ceiling {
+		want = ceiling
+	}
+	if got := g.DemandBps(); got != want {
+		t.Fatalf("demand after %d bytes/s = %d, want %d (item size %d)", sent, got, want, size)
+	}
+	if got := g.DemandBps(); got <= ceiling/8 || got >= ceiling {
+		t.Fatalf("test content did not land mid-range: demand %d, ceiling %d", got, ceiling)
+	}
+
+	// A busy window claims at most the ceiling: the console could not
+	// decode more even if the wire carried it.
+	for i := 0; i < 200; i++ {
+		it := fillItem(uint32(100+i), protocol.Rect{X: (i % 30) * 10, Y: 40, W: 8, H: 8}, 0)
+		g.Submit(time.Second+time.Duration(i)*time.Millisecond, it)
+	}
+	g.Submit(2200*time.Millisecond, fillItem(999, protocol.Rect{Y: 80, W: 8, H: 8}, 0))
+	if got := g.DemandBps(); got != ceiling {
+		t.Fatalf("busy demand = %d, want capped at ceiling %d", got, ceiling)
+	}
+
+	// An idle window drops to the floor, never zero: the session must
+	// stay reachable at interactive latency.
+	g.Submit(3300*time.Millisecond, fillItem(1000, protocol.Rect{Y: 120, W: 8, H: 8}, 0))
+	if got, floor := g.DemandBps(), uint64(ceiling/8); got != floor {
+		t.Fatalf("idle demand = %d, want floor %d", got, floor)
+	}
+
+	// Hotdesk: the measurement says nothing about the new console.
+	g.Reset(3400 * time.Millisecond)
+	if got := g.DemandBps(); got != ceiling {
+		t.Fatalf("demand after Reset = %d, want ceiling %d", got, ceiling)
+	}
+}

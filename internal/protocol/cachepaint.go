@@ -1,0 +1,62 @@
+package protocol
+
+import "encoding/binary"
+
+// Console capability bits, advertised in Hello.Caps. A server must not
+// emit a command gated on a capability the console did not advertise;
+// absent bits fall back to the gen-1 Table 1 command set.
+const (
+	// CapCachePaint: the console keeps a content-addressed dirty-tile
+	// cache and accepts CACHE_PAINT commands (gen-2 codec).
+	CapCachePaint uint16 = 1 << 0
+)
+
+// CachePaint paints a rectangle from the console's content-addressed
+// tile cache: Key is the 64-bit hash of the tile's pixel content, taken
+// when the console last painted those pixels by any other display
+// command. 28 bytes on the wire replace a re-send of pixels the console
+// has already seen (re-exposed windows, scrolled-back content, blinking
+// cursors).
+//
+// The command is self-validating: the console stores tiles keyed by the
+// hash of their own pixels, so a stale or missing entry cannot paint
+// wrong content — the console simply treats the sequence number as lost
+// and NACKs it, and the server repaints the rectangle from its true
+// frame buffer (the §2.2 recovery path, unchanged). That property is
+// what lets both sides run bounded caches with no invalidation
+// handshake.
+type CachePaint struct {
+	Rect Rect
+	Key  uint64
+}
+
+// Type implements Message.
+func (m *CachePaint) Type() MsgType { return TypeCachePaint }
+
+// BodyLen implements Message.
+func (m *CachePaint) BodyLen() int { return 8 + 8 }
+
+// MarshalBody implements Message.
+func (m *CachePaint) MarshalBody(dst []byte) []byte {
+	dst = putRect(dst, m.Rect)
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], m.Key)
+	return append(dst, b[:]...)
+}
+
+// UnmarshalBody implements Message.
+func (m *CachePaint) UnmarshalBody(src []byte) error {
+	r, rest, err := getRect(src)
+	if err != nil {
+		return err
+	}
+	if !r.Valid() {
+		return ErrBadGeometry
+	}
+	if len(rest) != 8 {
+		return ErrBodyLen
+	}
+	m.Rect = r
+	m.Key = binary.BigEndian.Uint64(rest)
+	return nil
+}

@@ -67,6 +67,8 @@ func newMessage(t MsgType) (Message, error) {
 		return &Pong{}, nil
 	case TypeDevice:
 		return &Device{}, nil
+	case TypeCachePaint:
+		return &CachePaint{}, nil
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrBadType, uint8(t))
 	}

@@ -113,18 +113,32 @@ func (m *Audio) UnmarshalBody(src []byte) error {
 }
 
 // Hello is the console's first message on power-up: it advertises its
-// display geometry and the token read from the smart card (empty if none is
-// inserted). The server replies with HelloAck.
+// display geometry, the token read from the smart card (empty if none is
+// inserted), and optional capability bits (Cap*). The server replies
+// with HelloAck.
+//
+// Caps rides as a trailing 2-byte extension present only when nonzero:
+// a gen-1 console emits the original 6+n-byte body and a gen-1 server
+// decoding a gen-2 Hello would reject the extension rather than
+// misparse it. The encoding stays canonical (one byte representation
+// per value) because an explicit zero extension is rejected on decode.
 type Hello struct {
 	Width, Height uint16
 	CardToken     string
+	Caps          uint16
 }
 
 // Type implements Message.
 func (m *Hello) Type() MsgType { return TypeHello }
 
 // BodyLen implements Message.
-func (m *Hello) BodyLen() int { return 6 + len(m.CardToken) }
+func (m *Hello) BodyLen() int {
+	n := 6 + len(m.CardToken)
+	if m.Caps != 0 {
+		n += 2
+	}
+	return n
+}
 
 // MarshalBody implements Message.
 func (m *Hello) MarshalBody(dst []byte) []byte {
@@ -133,7 +147,13 @@ func (m *Hello) MarshalBody(dst []byte) []byte {
 	binary.BigEndian.PutUint16(b[2:], m.Height)
 	binary.BigEndian.PutUint16(b[4:], uint16(len(m.CardToken)))
 	dst = append(dst, b[:]...)
-	return append(dst, m.CardToken...)
+	dst = append(dst, m.CardToken...)
+	if m.Caps != 0 {
+		var c [2]byte
+		binary.BigEndian.PutUint16(c[:], m.Caps)
+		dst = append(dst, c[:]...)
+	}
+	return dst
 }
 
 // UnmarshalBody implements Message.
@@ -144,10 +164,20 @@ func (m *Hello) UnmarshalBody(src []byte) error {
 	m.Width = binary.BigEndian.Uint16(src[0:])
 	m.Height = binary.BigEndian.Uint16(src[2:])
 	n := int(binary.BigEndian.Uint16(src[4:]))
-	if len(src) != 6+n {
+	switch len(src) {
+	case 6 + n:
+		m.CardToken = string(src[6:])
+		m.Caps = 0
+	case 6 + n + 2:
+		m.CardToken = string(src[6 : 6+n])
+		m.Caps = binary.BigEndian.Uint16(src[6+n:])
+		if m.Caps == 0 {
+			// Zero caps must omit the extension (canonical encoding).
+			return ErrBodyLen
+		}
+	default:
 		return ErrBodyLen
 	}
-	m.CardToken = string(src[6:])
 	return nil
 }
 

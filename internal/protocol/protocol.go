@@ -57,6 +57,9 @@ const (
 	TypePong
 	// Peripheral (remote device manager) traffic.
 	TypeDevice
+	// Gen-2 codec display command (server → console, negotiated at
+	// attach via the Hello capability bits): paint a cached tile.
+	TypeCachePaint
 
 	maxMsgType
 )
@@ -82,6 +85,7 @@ var typeNames = map[MsgType]string{
 	TypePing:             "PING",
 	TypePong:             "PONG",
 	TypeDevice:           "DEVICE",
+	TypeCachePaint:       "CACHE_PAINT",
 }
 
 // String returns the human-readable command name used in the paper.
@@ -92,9 +96,12 @@ func (t MsgType) String() string {
 	return fmt.Sprintf("MsgType(%d)", uint8(t))
 }
 
-// IsDisplay reports whether t is one of the five Table 1 display commands.
+// IsDisplay reports whether t is a display command: one of the five
+// Table 1 commands, or the negotiated gen-2 CACHE_PAINT. Display
+// commands mutate the console's frame buffer and participate in
+// sequence-gap tracking and NACK recovery.
 func (t MsgType) IsDisplay() bool {
-	return t >= TypeSet && t <= TypeCSCS
+	return (t >= TypeSet && t <= TypeCSCS) || t == TypeCachePaint
 }
 
 // Message is any SLIM protocol message. Marshal appends the body (not the

@@ -84,6 +84,17 @@ func WithParallelEncoding(workers int) Option {
 	return func(s *Server) { s.encPool = par.New(workers) }
 }
 
+// WithCodec2 arms the gen-2 encoder: content-typed tiles plus the
+// hash-keyed dirty-tile cache. Armed servers negotiate per attachment —
+// the cache engages only for consoles whose Hello advertised
+// protocol.CapCachePaint, so a mixed fleet of gen-1 and gen-2 consoles
+// shares one server. Cache state never migrates: snapshots rebuild
+// encoders fresh, and the attach repaint restarts both sides' caches
+// from empty, mirrored.
+func WithCodec2() Option {
+	return func(s *Server) { s.codec2 = true }
+}
+
 // WithSessionIDBase starts the server's session-ID counter at base instead
 // of zero. A broker gives each shard a disjoint ID space (shard i issues
 // IDs above i<<24) so sessions keep their IDs when they migrate between

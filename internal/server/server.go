@@ -128,6 +128,10 @@ type Session struct {
 	// fleet-unique session ID, so a hotdesk migration resolves the same
 	// estimator on the destination shard and smoothed state survives.
 	nq *netqual.PathSession
+	// demandBps is the bandwidth demand last announced to the console's §7
+	// allocator; PumpFlows re-announces when the governor's measured demand
+	// drifts from it by more than 1/8.
+	demandBps uint64
 }
 
 // Governor exposes the session's send governor (nil when flow control is
@@ -197,10 +201,15 @@ type Server struct {
 	// encPool, when non-nil, is shared by every session encoder to shard
 	// large repaints and CSCS compression (WithParallelEncoding).
 	encPool *par.Pool
+	// codec2 arms the gen-2 tile cache (WithCodec2). The cache engages
+	// per attachment, only for consoles that advertised CapCachePaint in
+	// their Hello; gen-1 consoles keep receiving the plain encoding.
+	codec2 bool
 }
 
 type consoleState struct {
 	w, h    int
+	caps    uint16 // capability bits from the console's Hello
 	session uint32 // attached session, 0 = login screen
 	// dropped is the console's cumulative drop counter at the last Status;
 	// an increase means display state was lost and must be regenerated.
@@ -484,7 +493,7 @@ func (s *Server) flush(out []outbound) error {
 func (s *Server) handleLocked(out *[]outbound, console string, msg protocol.Message, now time.Duration) error {
 	switch m := msg.(type) {
 	case *protocol.Hello:
-		s.consoles[console] = &consoleState{w: int(m.Width), h: int(m.Height)}
+		s.consoles[console] = &consoleState{w: int(m.Width), h: int(m.Height), caps: m.Caps}
 		if m.CardToken != "" {
 			if err := s.attachByToken(out, console, m.CardToken, now); err != nil {
 				return err
@@ -736,10 +745,22 @@ func (s *Server) attachUserLocked(out *[]outbound, console, user string, now tim
 			it.ReleaseWire()
 		}
 		sess.nq.OnProbe(now)
+		sess.demandBps = sess.gov.DemandBps()
 		s.send(out, console, &protocol.BandwidthRequest{
 			SessionID: sess.ID,
-			Bps:       sess.gov.Config().InitialBps,
+			Bps:       sess.demandBps,
 		})
+	}
+	// Negotiate the gen-2 tile cache per attachment: engage it only when
+	// the server is armed (WithCodec2) and this console advertised
+	// CapCachePaint in its Hello. A gen-1 console gets the plain encoding
+	// — same pixels, no CACHE_PAINT on its wire. EnableCodec2 resets the
+	// server-side cache and RepaintAll below resets the console's (its
+	// setSession does), so both sides restart mirrored from an empty cache.
+	if s.codec2 && cs.caps&protocol.CapCachePaint != 0 {
+		sess.Encoder.EnableCodec2(0)
+	} else {
+		sess.Encoder.DisableCodec2()
 	}
 	// The console held only soft state: repaint the screen "to the exact
 	// state at which it was left" (§1.1). The repaint opens a recovery
@@ -993,6 +1014,7 @@ func (s *Server) PumpFlows(now time.Duration) (next time.Duration, pending bool,
 			s.retransmit(&out, sess, n, now)
 		}
 		s.releaseFlow(&out, sess, now)
+		s.announceDemandLocked(&out, sess, now)
 		if t, ok := sess.gov.NextRelease(now); ok && (!pending || t < next) {
 			next, pending = t, true
 		}
@@ -1023,9 +1045,44 @@ func (s *Server) refreshCalibrationLocked(out *[]outbound, now time.Duration) {
 		sess.gov.SetCosts(model)
 		if d := sess.gov.Config().InitialBps; d != oldDemand && sess.Console != "" {
 			sess.nq.OnProbe(now)
-			s.send(out, sess.Console, &protocol.BandwidthRequest{SessionID: sess.ID, Bps: d})
+			sess.demandBps = sess.gov.DemandBps()
+			s.send(out, sess.Console, &protocol.BandwidthRequest{SessionID: sess.ID, Bps: sess.demandBps})
 		}
 	}
+}
+
+// announceDemandLocked re-announces a session's bandwidth demand to its
+// console when the governor's measured demand has drifted from the last
+// announcement by more than 1/8 in either direction. The governor measures
+// bytes actually sent, so a session whose gen-2 cache absorbs most of its
+// pixel traffic shrinks its claim and the console's §7 allocator can grant
+// the freed budget to hungrier sessions; a cache gone cold grows it back.
+// The 1/8 deadband keeps steady-state traffic from emitting a
+// BandwidthRequest every pump. Callers hold s.mu.
+func (s *Server) announceDemandLocked(out *[]outbound, sess *Session, now time.Duration) {
+	if sess.gov == nil || sess.Console == "" {
+		return
+	}
+	d := sess.gov.DemandBps()
+	old := sess.demandBps
+	if old == 0 {
+		if d == 0 {
+			return
+		}
+	} else {
+		var diff uint64
+		if d > old {
+			diff = d - old
+		} else {
+			diff = old - d
+		}
+		if diff*8 <= old {
+			return
+		}
+	}
+	sess.demandBps = d
+	sess.nq.OnProbe(now)
+	s.send(out, sess.Console, &protocol.BandwidthRequest{SessionID: sess.ID, Bps: d})
 }
 
 func (s *Server) send(out *[]outbound, console string, msg protocol.Message) {

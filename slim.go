@@ -138,6 +138,17 @@ func WithFlowControl(cfg FlowConfig) ServerOption { return server.WithFlowContro
 // derive flow-control demand and pacing defaults.
 func WithCostModel(cm *CostModel) ServerOption { return server.WithCostModel(cm) }
 
+// DefaultTileCacheEntries is the dirty-tile cache capacity the gen-2
+// codec's capability bit implies; a console arms its cache by setting
+// ConsoleConfig.TileCacheEntries (this value, typically).
+const DefaultTileCacheEntries = core.DefaultTileCacheEntries
+
+// WithCodec2 arms the gen-2 encoder: content-typed tiles plus the
+// hash-keyed dirty-tile cache. Engages per attachment, only for consoles
+// that advertise the CACHE_PAINT capability (ConsoleConfig.
+// TileCacheEntries > 0); everyone else keeps the gen-1 command stream.
+func WithCodec2() ServerOption { return server.WithCodec2() }
+
 // WithParallelEncoding shards large repaints and CSCS video compression in
 // every session's encoder across a bounded worker pool (workers <= 0 means
 // GOMAXPROCS). The emitted datagram stream is byte-identical to serial
